@@ -1,0 +1,182 @@
+/**
+ * @file
+ * §4.2 ablation at the data-structure level (google-benchmark).
+ *
+ * TEA's overhead is dominated by the transition function's lookups.
+ * These microbenchmarks isolate each layer the paper stacked up:
+ * linear trace list vs global B+ tree vs per-state local cache, plus
+ * the end-to-end transition function under each LookupConfig on a
+ * synthetic automaton.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
+
+#include "btree/bptree.hh"
+#include "btree/local_cache.hh"
+#include "tea/builder.hh"
+#include "tea/replayer.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace tea;
+
+/** Evenly spread synthetic trace-entry addresses. */
+std::vector<uint32_t>
+makeKeys(size_t n)
+{
+    std::vector<uint32_t> keys;
+    keys.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        keys.push_back(0x1000 + static_cast<uint32_t>(i) * 24);
+    return keys;
+}
+
+void
+BM_LinearListFind(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    auto keys = makeKeys(n);
+    std::vector<std::pair<uint32_t, uint32_t>> list;
+    for (size_t i = 0; i < n; ++i)
+        list.emplace_back(keys[i], static_cast<uint32_t>(i));
+    Xorshift64Star rng(42);
+    for (auto _ : state) {
+        uint32_t probe = keys[rng.nextBelow(n)];
+        uint32_t found = 0;
+        for (const auto &[k, v] : list) {
+            if (k == probe) {
+                found = v;
+                break;
+            }
+        }
+        benchmark::DoNotOptimize(found);
+    }
+}
+BENCHMARK(BM_LinearListFind)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+void
+BM_BPlusTreeFind(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    auto keys = makeKeys(n);
+    BPlusTree tree;
+    for (size_t i = 0; i < n; ++i)
+        tree.insert(keys[i], static_cast<uint32_t>(i));
+    Xorshift64Star rng(42);
+    for (auto _ : state) {
+        uint32_t out = 0;
+        tree.find(keys[rng.nextBelow(n)], out);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_BPlusTreeFind)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+void
+BM_StdMapFind(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    auto keys = makeKeys(n);
+    std::map<uint32_t, uint32_t> map;
+    for (size_t i = 0; i < n; ++i)
+        map[keys[i]] = static_cast<uint32_t>(i);
+    Xorshift64Star rng(42);
+    for (auto _ : state) {
+        auto it = map.find(keys[rng.nextBelow(n)]);
+        benchmark::DoNotOptimize(it);
+    }
+}
+BENCHMARK(BM_StdMapFind)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+void
+BM_LocalCacheHit(benchmark::State &state)
+{
+    LocalCache cache;
+    cache.fill(0x2000, 7);
+    for (auto _ : state) {
+        uint32_t out = 0;
+        cache.lookup(0x2000, out);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_LocalCacheHit);
+
+/** A synthetic automaton: `traces` two-block cyclic loops. */
+Tea
+makeTea(size_t traces)
+{
+    TraceSet set;
+    for (size_t t = 0; t < traces; ++t) {
+        Trace trace;
+        Addr base = 0x1000 + static_cast<Addr>(t) * 64;
+        trace.blocks.push_back({base, base + 12, true});
+        trace.blocks.push_back({base + 16, base + 28, false});
+        trace.edges.push_back({0, 1});
+        trace.edges.push_back({1, 0});
+        set.add(std::move(trace));
+    }
+    return buildTea(set);
+}
+
+void
+transitionBench(benchmark::State &state, bool global, bool local)
+{
+    size_t traces = static_cast<size_t>(state.range(0));
+    Tea tea = makeTea(traces);
+    LookupConfig cfg;
+    cfg.useGlobalBTree = global;
+    cfg.useLocalCache = local;
+    TeaReplayer replayer(tea, cfg);
+
+    // Drive a loop that mostly stays inside one trace but hops to a
+    // different trace every 16th transition (exercising the exit path).
+    Xorshift64Star rng(7);
+    BlockTransition tr{};
+    tr.kind = EdgeKind::BranchTaken;
+    Addr cur_base = 0x1000;
+    int phase = 0;
+    for (auto _ : state) {
+        tr.from.start = cur_base + (phase ? 16 : 0);
+        tr.from.end = tr.from.start + 12;
+        tr.from.icount = 4;
+        if (phase == 1 && rng.nextBelow(16) == 0) {
+            cur_base = 0x1000 +
+                       static_cast<Addr>(rng.nextBelow(traces)) * 64;
+            tr.toStart = cur_base; // hop to another trace entry
+            phase = 0;
+        } else {
+            phase ^= 1;
+            tr.toStart = cur_base + (phase ? 16 : 0);
+        }
+        replayer.feed(tr);
+    }
+    state.counters["intra_hit_rate"] = benchmark::Counter(
+        static_cast<double>(replayer.stats().intraTraceHits) /
+        static_cast<double>(replayer.stats().transitions));
+}
+
+void
+BM_Transition_GlobalLocal(benchmark::State &state)
+{
+    transitionBench(state, true, true);
+}
+void
+BM_Transition_GlobalNoLocal(benchmark::State &state)
+{
+    transitionBench(state, true, false);
+}
+void
+BM_Transition_NoGlobalLocal(benchmark::State &state)
+{
+    transitionBench(state, false, true);
+}
+BENCHMARK(BM_Transition_GlobalLocal)->Arg(16)->Arg(256)->Arg(2048);
+BENCHMARK(BM_Transition_GlobalNoLocal)->Arg(16)->Arg(256)->Arg(2048);
+BENCHMARK(BM_Transition_NoGlobalLocal)->Arg(16)->Arg(256)->Arg(2048);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Figure 1: profiling an unrolled loop via trace *duplication*.
+ *
+ * The paper's §2 motivation: an optimizer wants to unroll a hot copy
+ * loop by two, but the unrolled body has no counterpart in the
+ * executable, so a DFA for it could never follow the program counters.
+ * The fix is to duplicate the trace instead (Figure 1(d)): the DFA gets
+ * two chained copies of the body over the *same* addresses, and replay
+ * attributes odd iterations to one copy and even iterations to the
+ * other — exactly the per-copy profile the unrolled code needs.
+ *
+ * Build & run:  ./build/examples/trace_duplication
+ */
+
+#include <cstdio>
+
+#include "isa/assembler.hh"
+#include "tea/builder.hh"
+#include "tea/recorder.hh"
+#include "tea/replayer.hh"
+#include "trace/duplicate.hh"
+#include "trace/mret.hh"
+#include "vm/block.hh"
+#include "vm/machine.hh"
+
+using namespace tea;
+
+namespace {
+
+/** Figure 1(a): copy one hundred words from [esi] to [edi], repeated. */
+const char *kSource = R"(
+.org 0x1000
+.entry main
+main:
+    mov ebp, 500            ; run the copy kernel many times
+again:
+    mov esi, 0x100000
+    mov edi, 0x120000
+    mov ecx, 100
+copy:                       ; the Figure 1(b) trace body
+    mov eax, [esi]          ; (1)
+    mov [edi], eax          ; (2)
+    add esi, 4              ; (3)
+    add edi, 4              ; (4)
+    dec ecx                 ; (5)
+    jne copy                ; (6)
+    dec ebp
+    jne again
+    out ecx
+    halt
+)";
+
+void
+replayAndPrint(const Program &prog, const TraceSet &traces,
+               const char *title)
+{
+    Tea tea = buildTea(traces);
+    TeaReplayer replayer(tea, LookupConfig{});
+    Machine machine(prog);
+    BlockTracker tracker(
+        prog, [&](const BlockTransition &tr) { replayer.feed(tr); });
+    machine.runHooked([&](const EdgeEvent &ev) { tracker.onEdge(ev); },
+                      /*split_at_special=*/false);
+
+    std::printf("%s (%zu states):\n", title, tea.numTbbStates());
+    for (const Trace &t : traces.all()) {
+        for (uint32_t b = 0; b < t.blocks.size(); ++b) {
+            std::printf("  copy %u of block 0x%04x: %llu executions\n",
+                        b, t.blocks[b].start,
+                        static_cast<unsigned long long>(
+                            replayer.execCountFor(t.id, b)));
+        }
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    Program prog = assemble(kSource);
+
+    // Record the loop trace (Figure 1(b)).
+    TeaRecorder recorder(std::make_unique<MretSelector>());
+    Machine machine(prog);
+    BlockTracker tracker(
+        prog, [&](const BlockTransition &tr) { recorder.feed(tr); });
+    machine.runHooked([&](const EdgeEvent &ev) { tracker.onEdge(ev); },
+                      /*split_at_special=*/true);
+
+    // Find the cyclic copy-loop trace among the recorded traces.
+    const Trace *loop = nullptr;
+    for (const Trace &t : recorder.traces().all())
+        if (t.entry() == prog.label("copy"))
+            loop = &t;
+    if (!loop) {
+        std::printf("copy loop was not recorded as a trace?\n");
+        return 1;
+    }
+
+    // Replay the original trace: one profile bin for the body.
+    TraceSet original;
+    original.add(*loop);
+    replayAndPrint(prog, original, "original trace");
+
+    // Figure 1(d): duplicate instead of unroll, then replay. The two
+    // copies alternate, so each bin receives ~half the iterations —
+    // the per-copy labels an unroll-by-2 optimizer can consume.
+    TraceSet duplicated;
+    duplicated.add(duplicateTrace(*loop, 2));
+    replayAndPrint(prog, duplicated, "duplicated x2 (Figure 1(d))");
+
+    std::printf("note: iteration counts split ~50/50 between the two "
+                "copies;\nwith 100 iterations per entry, the copy "
+                "entered from cold code\nabsorbs the odd iterations.\n");
+    return 0;
+}

@@ -1,0 +1,494 @@
+#include "btree/bptree.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace tea {
+
+/**
+ * One tree node. Leaves keep parallel key/value arrays and a next-leaf
+ * link; inner nodes keep keys[i] = smallest key in children[i + 1]'s
+ * subtree, with one more child than keys.
+ */
+struct BPlusTree::Node
+{
+    bool leaf;
+    int nkeys = 0;
+    Key keys[kOrder];
+    union
+    {
+        Value values[kOrder];        ///< leaf payloads
+        Node *children[kOrder + 1];  ///< inner children (nkeys + 1 used)
+    };
+    Node *next = nullptr; ///< leaf chain
+
+    explicit Node(bool is_leaf) : leaf(is_leaf)
+    {
+        for (int i = 0; i <= kOrder; ++i)
+            if (!is_leaf)
+                children[i] = nullptr;
+    }
+
+    /** Index of the first key >= key. */
+    int
+    lowerBound(Key key) const
+    {
+        int lo = 0, hi = nkeys;
+        while (lo < hi) {
+            int mid = (lo + hi) / 2;
+            if (keys[mid] < key)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+    /** Child slot to descend into for key (inner nodes). */
+    int
+    childIndex(Key key) const
+    {
+        int lo = 0, hi = nkeys;
+        while (lo < hi) {
+            int mid = (lo + hi) / 2;
+            if (key < keys[mid])
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        return lo;
+    }
+};
+
+/** Result of a recursive insert: a possible split to propagate up. */
+struct BPlusTree::InsertResult
+{
+    bool split = false;
+    Key sepKey = 0;    ///< smallest key of the new right sibling
+    Node *right = nullptr;
+    bool inserted = false; ///< false when an existing key was overwritten
+};
+
+BPlusTree::BPlusTree() : root(new Node(true)), count(0) {}
+
+BPlusTree::~BPlusTree()
+{
+    destroy(root);
+}
+
+BPlusTree::BPlusTree(BPlusTree &&other) noexcept
+    : root(other.root), count(other.count)
+{
+    other.root = new Node(true);
+    other.count = 0;
+}
+
+BPlusTree &
+BPlusTree::operator=(BPlusTree &&other) noexcept
+{
+    if (this != &other) {
+        destroy(root);
+        root = other.root;
+        count = other.count;
+        other.root = new Node(true);
+        other.count = 0;
+    }
+    return *this;
+}
+
+void
+BPlusTree::destroy(Node *node)
+{
+    if (!node)
+        return;
+    if (!node->leaf)
+        for (int i = 0; i <= node->nkeys; ++i)
+            destroy(node->children[i]);
+    delete node;
+}
+
+void
+BPlusTree::clear()
+{
+    destroy(root);
+    root = new Node(true);
+    count = 0;
+}
+
+bool
+BPlusTree::find(Key key, Value &out) const
+{
+    const Node *node = root;
+    while (!node->leaf)
+        node = node->children[node->childIndex(key)];
+    int i = node->lowerBound(key);
+    if (i < node->nkeys && node->keys[i] == key) {
+        out = node->values[i];
+        return true;
+    }
+    return false;
+}
+
+bool
+BPlusTree::contains(Key key) const
+{
+    Value v;
+    return find(key, v);
+}
+
+BPlusTree::InsertResult
+BPlusTree::insertRec(Node *node, Key key, Value value)
+{
+    InsertResult result;
+    if (node->leaf) {
+        int i = node->lowerBound(key);
+        if (i < node->nkeys && node->keys[i] == key) {
+            node->values[i] = value; // overwrite
+            return result;
+        }
+        result.inserted = true;
+        if (node->nkeys < kOrder) {
+            for (int j = node->nkeys; j > i; --j) {
+                node->keys[j] = node->keys[j - 1];
+                node->values[j] = node->values[j - 1];
+            }
+            node->keys[i] = key;
+            node->values[i] = value;
+            ++node->nkeys;
+            return result;
+        }
+        // Split the leaf: left keeps the low half, right gets the rest.
+        Node *right = new Node(true);
+        int half = (kOrder + 1) / 2;
+        // Merge the new key into a temporary view by splitting around i.
+        Key tmp_keys[kOrder + 1];
+        Value tmp_vals[kOrder + 1];
+        for (int j = 0; j < i; ++j) {
+            tmp_keys[j] = node->keys[j];
+            tmp_vals[j] = node->values[j];
+        }
+        tmp_keys[i] = key;
+        tmp_vals[i] = value;
+        for (int j = i; j < node->nkeys; ++j) {
+            tmp_keys[j + 1] = node->keys[j];
+            tmp_vals[j + 1] = node->values[j];
+        }
+        int total = kOrder + 1;
+        node->nkeys = half;
+        right->nkeys = total - half;
+        for (int j = 0; j < half; ++j) {
+            node->keys[j] = tmp_keys[j];
+            node->values[j] = tmp_vals[j];
+        }
+        for (int j = 0; j < right->nkeys; ++j) {
+            right->keys[j] = tmp_keys[half + j];
+            right->values[j] = tmp_vals[half + j];
+        }
+        right->next = node->next;
+        node->next = right;
+        result.split = true;
+        result.sepKey = right->keys[0];
+        result.right = right;
+        return result;
+    }
+
+    int slot = node->childIndex(key);
+    InsertResult child = insertRec(node->children[slot], key, value);
+    result.inserted = child.inserted;
+    if (!child.split)
+        return result;
+
+    // Insert (sepKey, right) after slot.
+    if (node->nkeys < kOrder) {
+        for (int j = node->nkeys; j > slot; --j) {
+            node->keys[j] = node->keys[j - 1];
+            node->children[j + 1] = node->children[j];
+        }
+        node->keys[slot] = child.sepKey;
+        node->children[slot + 1] = child.right;
+        ++node->nkeys;
+        return result;
+    }
+
+    // Split the inner node.
+    Key tmp_keys[kOrder + 1];
+    Node *tmp_children[kOrder + 2];
+    for (int j = 0; j < slot; ++j)
+        tmp_keys[j] = node->keys[j];
+    tmp_keys[slot] = child.sepKey;
+    for (int j = slot; j < node->nkeys; ++j)
+        tmp_keys[j + 1] = node->keys[j];
+    for (int j = 0; j <= slot; ++j)
+        tmp_children[j] = node->children[j];
+    tmp_children[slot + 1] = child.right;
+    for (int j = slot + 1; j <= node->nkeys; ++j)
+        tmp_children[j + 1] = node->children[j];
+
+    int total = kOrder + 1; // keys including the new one
+    int left_keys = total / 2;
+    Key up_key = tmp_keys[left_keys];
+    Node *right = new Node(false);
+    right->nkeys = total - left_keys - 1;
+
+    node->nkeys = left_keys;
+    for (int j = 0; j < left_keys; ++j)
+        node->keys[j] = tmp_keys[j];
+    for (int j = 0; j <= left_keys; ++j)
+        node->children[j] = tmp_children[j];
+    for (int j = 0; j < right->nkeys; ++j)
+        right->keys[j] = tmp_keys[left_keys + 1 + j];
+    for (int j = 0; j <= right->nkeys; ++j)
+        right->children[j] = tmp_children[left_keys + 1 + j];
+
+    result.split = true;
+    result.sepKey = up_key;
+    result.right = right;
+    return result;
+}
+
+void
+BPlusTree::insert(Key key, Value value)
+{
+    InsertResult r = insertRec(root, key, value);
+    if (r.inserted)
+        ++count;
+    if (r.split) {
+        Node *new_root = new Node(false);
+        new_root->nkeys = 1;
+        new_root->keys[0] = r.sepKey;
+        new_root->children[0] = root;
+        new_root->children[1] = r.right;
+        root = new_root;
+    }
+}
+
+namespace {
+constexpr int kMinKeys = BPlusTree::kOrder / 2;
+} // namespace
+
+void
+BPlusTree::rebalanceChild(Node *parent, int child_idx)
+{
+    Node *child = parent->children[child_idx];
+    Node *left = child_idx > 0 ? parent->children[child_idx - 1] : nullptr;
+    Node *right =
+        child_idx < parent->nkeys ? parent->children[child_idx + 1] : nullptr;
+
+    if (left && left->nkeys > kMinKeys) {
+        // Borrow the largest entry from the left sibling.
+        if (child->leaf) {
+            for (int j = child->nkeys; j > 0; --j) {
+                child->keys[j] = child->keys[j - 1];
+                child->values[j] = child->values[j - 1];
+            }
+            child->keys[0] = left->keys[left->nkeys - 1];
+            child->values[0] = left->values[left->nkeys - 1];
+            ++child->nkeys;
+            --left->nkeys;
+            parent->keys[child_idx - 1] = child->keys[0];
+        } else {
+            for (int j = child->nkeys; j > 0; --j)
+                child->keys[j] = child->keys[j - 1];
+            for (int j = child->nkeys + 1; j > 0; --j)
+                child->children[j] = child->children[j - 1];
+            child->keys[0] = parent->keys[child_idx - 1];
+            child->children[0] = left->children[left->nkeys];
+            parent->keys[child_idx - 1] = left->keys[left->nkeys - 1];
+            ++child->nkeys;
+            --left->nkeys;
+        }
+        return;
+    }
+    if (right && right->nkeys > kMinKeys) {
+        // Borrow the smallest entry from the right sibling.
+        if (child->leaf) {
+            child->keys[child->nkeys] = right->keys[0];
+            child->values[child->nkeys] = right->values[0];
+            ++child->nkeys;
+            for (int j = 0; j < right->nkeys - 1; ++j) {
+                right->keys[j] = right->keys[j + 1];
+                right->values[j] = right->values[j + 1];
+            }
+            --right->nkeys;
+            parent->keys[child_idx] = right->keys[0];
+        } else {
+            child->keys[child->nkeys] = parent->keys[child_idx];
+            child->children[child->nkeys + 1] = right->children[0];
+            parent->keys[child_idx] = right->keys[0];
+            ++child->nkeys;
+            for (int j = 0; j < right->nkeys - 1; ++j)
+                right->keys[j] = right->keys[j + 1];
+            for (int j = 0; j < right->nkeys; ++j)
+                right->children[j] = right->children[j + 1];
+            --right->nkeys;
+        }
+        return;
+    }
+
+    // Merge with a sibling. Normalize so we merge child_idx and
+    // child_idx + 1 into the left one.
+    int left_idx = left ? child_idx - 1 : child_idx;
+    Node *a = parent->children[left_idx];
+    Node *b = parent->children[left_idx + 1];
+    if (a->leaf) {
+        for (int j = 0; j < b->nkeys; ++j) {
+            a->keys[a->nkeys + j] = b->keys[j];
+            a->values[a->nkeys + j] = b->values[j];
+        }
+        a->nkeys += b->nkeys;
+        a->next = b->next;
+    } else {
+        a->keys[a->nkeys] = parent->keys[left_idx];
+        for (int j = 0; j < b->nkeys; ++j)
+            a->keys[a->nkeys + 1 + j] = b->keys[j];
+        for (int j = 0; j <= b->nkeys; ++j)
+            a->children[a->nkeys + 1 + j] = b->children[j];
+        a->nkeys += b->nkeys + 1;
+    }
+    delete b;
+    for (int j = left_idx; j < parent->nkeys - 1; ++j)
+        parent->keys[j] = parent->keys[j + 1];
+    for (int j = left_idx + 1; j < parent->nkeys; ++j)
+        parent->children[j] = parent->children[j + 1];
+    --parent->nkeys;
+}
+
+bool
+BPlusTree::eraseRec(Node *node, Key key)
+{
+    if (node->leaf) {
+        int i = node->lowerBound(key);
+        if (i >= node->nkeys || node->keys[i] != key)
+            return false;
+        for (int j = i; j < node->nkeys - 1; ++j) {
+            node->keys[j] = node->keys[j + 1];
+            node->values[j] = node->values[j + 1];
+        }
+        --node->nkeys;
+        return true;
+    }
+    int slot = node->childIndex(key);
+    bool erased = eraseRec(node->children[slot], key);
+    if (erased && node->children[slot]->nkeys < kMinKeys)
+        rebalanceChild(node, slot);
+    return erased;
+}
+
+bool
+BPlusTree::erase(Key key)
+{
+    bool erased = eraseRec(root, key);
+    if (erased) {
+        --count;
+        if (!root->leaf && root->nkeys == 0) {
+            Node *old = root;
+            root = root->children[0];
+            delete old;
+        }
+    }
+    return erased;
+}
+
+int
+BPlusTree::height() const
+{
+    int h = 1;
+    const Node *node = root;
+    while (!node->leaf) {
+        node = node->children[0];
+        ++h;
+    }
+    return h;
+}
+
+std::vector<std::pair<BPlusTree::Key, BPlusTree::Value>>
+BPlusTree::items() const
+{
+    std::vector<std::pair<Key, Value>> out;
+    out.reserve(count);
+    const Node *node = root;
+    while (!node->leaf)
+        node = node->children[0];
+    for (; node; node = node->next)
+        for (int i = 0; i < node->nkeys; ++i)
+            out.emplace_back(node->keys[i], node->values[i]);
+    return out;
+}
+
+size_t
+BPlusTree::footprintBytes() const
+{
+    // Count nodes by walking the structure.
+    size_t nodes = 0;
+    struct Walker
+    {
+        static void
+        walk(const Node *node, size_t &acc)
+        {
+            ++acc;
+            if (!node->leaf)
+                for (int i = 0; i <= node->nkeys; ++i)
+                    walk(node->children[i], acc);
+        }
+    };
+    Walker::walk(root, nodes);
+    return nodes * sizeof(Node);
+}
+
+int
+BPlusTree::leafDepth() const
+{
+    return height();
+}
+
+void
+BPlusTree::checkNode(const Node *node, int depth, int leaf_depth,
+                     bool is_root) const
+{
+    if (node->leaf) {
+        TEA_ASSERT(depth == leaf_depth, "leaves at different depths");
+    }
+    if (!is_root) {
+        TEA_ASSERT(node->nkeys >= (node->leaf ? 1 : 1),
+                   "underfull node (nkeys=%d)", node->nkeys);
+    }
+    TEA_ASSERT(node->nkeys <= kOrder, "overfull node");
+    for (int i = 1; i < node->nkeys; ++i)
+        TEA_ASSERT(node->keys[i - 1] < node->keys[i], "unsorted keys");
+    if (!node->leaf) {
+        for (int i = 0; i <= node->nkeys; ++i) {
+            const Node *child = node->children[i];
+            TEA_ASSERT(child != nullptr, "null child");
+            checkNode(child, depth + 1, leaf_depth, false);
+            // Separator discipline: child i's keys < keys[i] <= child i+1.
+            if (i < node->nkeys) {
+                TEA_ASSERT(child->keys[child->nkeys - 1] < node->keys[i],
+                           "separator violated (left)");
+            }
+            if (i > 0) {
+                TEA_ASSERT(child->keys[0] >= node->keys[i - 1],
+                           "separator violated (right)");
+            }
+        }
+    }
+}
+
+void
+BPlusTree::checkInvariants() const
+{
+    if (count == 0) {
+        TEA_ASSERT(root->leaf && root->nkeys == 0, "bad empty tree");
+        return;
+    }
+    checkNode(root, 1, leafDepth(), true);
+
+    // Leaf chain must enumerate exactly count sorted keys.
+    auto all = items();
+    TEA_ASSERT(all.size() == count, "leaf chain count mismatch "
+               "(%zu vs %zu)", all.size(), count);
+    for (size_t i = 1; i < all.size(); ++i)
+        TEA_ASSERT(all[i - 1].first < all[i].first, "leaf chain unsorted");
+}
+
+} // namespace tea

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * In-memory B+ tree mapping guest addresses to automaton state ids.
+ *
+ * This is the "global B+ tree" of the paper's §4.2: the container searched
+ * by TEA's transition function whenever control flows from cold code into
+ * a trace, or from one trace to another, and the per-state transition list
+ * and local cache both miss. The paper found it essential on benchmarks
+ * with many traces (gcc, vortex); the ablation in bench/table4_overhead
+ * reproduces that by swapping it for a linear list.
+ */
+
+#ifndef TEA_BTREE_BPTREE_HH
+#define TEA_BTREE_BPTREE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tea {
+
+/**
+ * A B+ tree from uint32 keys to uint32 values.
+ *
+ * Keys are unique; insert overwrites. All values live in the leaves, which
+ * are chained for in-order iteration. Fanout is fixed at compile time.
+ */
+class BPlusTree
+{
+  public:
+    using Key = uint32_t;
+    using Value = uint32_t;
+
+    /** Maximum keys per node. */
+    static constexpr int kOrder = 16;
+
+    BPlusTree();
+    ~BPlusTree();
+
+    BPlusTree(const BPlusTree &) = delete;
+    BPlusTree &operator=(const BPlusTree &) = delete;
+    BPlusTree(BPlusTree &&other) noexcept;
+    BPlusTree &operator=(BPlusTree &&other) noexcept;
+
+    /** Insert or overwrite a key. */
+    void insert(Key key, Value value);
+
+    /**
+     * Point lookup.
+     * @return true and set out when the key exists.
+     */
+    bool find(Key key, Value &out) const;
+
+    /** True when the key is present. */
+    bool contains(Key key) const;
+
+    /**
+     * Remove a key.
+     * @return true when the key existed.
+     */
+    bool erase(Key key);
+
+    /** Number of keys stored. */
+    size_t size() const { return count; }
+
+    /** True when empty. */
+    bool empty() const { return count == 0; }
+
+    /** Height of the tree (1 for a single leaf). */
+    int height() const;
+
+    /** Remove everything. */
+    void clear();
+
+    /** All (key, value) pairs in key order (walks the leaf chain). */
+    std::vector<std::pair<Key, Value>> items() const;
+
+    /**
+     * Approximate resident bytes of the tree's nodes; used by the
+     * TEA memory accounting to charge the entry index.
+     */
+    size_t footprintBytes() const;
+
+    /** Validate structural invariants; throws PanicError on corruption. */
+    void checkInvariants() const;
+
+  private:
+    struct Node;
+    struct InsertResult;
+
+    Node *root;
+    size_t count;
+
+    static void destroy(Node *node);
+    InsertResult insertRec(Node *node, Key key, Value value);
+    bool eraseRec(Node *node, Key key);
+    static void rebalanceChild(Node *parent, int child_idx);
+    void checkNode(const Node *node, int depth, int leaf_depth,
+                   bool is_root) const;
+    int leafDepth() const;
+};
+
+} // namespace tea
+
+#endif // TEA_BTREE_BPTREE_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The per-state "local cache" of §4.2.
+ *
+ * TEA's transition function is dominated by lookups that leave a trace:
+ * the current state's explicit transition list misses and the target must
+ * be found in the global trace container. The paper adds a small cache in
+ * front of that container, private to each automaton state, remembering
+ * recent (address -> state) resolutions. The paper's data shows it matters
+ * even more than the global B+ tree.
+ */
+
+#ifndef TEA_BTREE_LOCAL_CACHE_HH
+#define TEA_BTREE_LOCAL_CACHE_HH
+
+#include <cstdint>
+
+namespace tea {
+
+/**
+ * A tiny direct-mapped address->value cache.
+ *
+ * Four entries, indexed by address bits; misses are simply overwritten.
+ * Kept header-only and branch-light because it sits on the hot path of
+ * every trace-exit transition.
+ */
+class LocalCache
+{
+  public:
+    static constexpr int kEntries = 4;
+
+    LocalCache() { clear(); }
+
+    /** Invalidate every entry. */
+    void
+    clear()
+    {
+        for (auto &e : entries)
+            e.addr = kInvalid;
+    }
+
+    /** @return true and set out when addr is cached. */
+    bool
+    lookup(uint32_t addr, uint32_t &out) const
+    {
+        const Entry &e = entries[slot(addr)];
+        if (e.addr != addr)
+            return false;
+        out = e.value;
+        return true;
+    }
+
+    /** Remember a resolution. */
+    void
+    fill(uint32_t addr, uint32_t value)
+    {
+        Entry &e = entries[slot(addr)];
+        e.addr = addr;
+        e.value = value;
+    }
+
+    /** Bytes used by one cache instance (for memory accounting). */
+    static constexpr size_t footprintBytes() { return sizeof(Entry) * kEntries; }
+
+  private:
+    static constexpr uint32_t kInvalid = 0xffffffffu;
+
+    struct Entry
+    {
+        uint32_t addr;
+        uint32_t value;
+    };
+
+    static int
+    slot(uint32_t addr)
+    {
+        // Guest instructions are byte addressed; drop the low bits that
+        // rarely vary between block starts.
+        return (addr >> 2) & (kEntries - 1);
+    }
+
+    Entry entries[kEntries];
+};
+
+} // namespace tea
+
+#endif // TEA_BTREE_LOCAL_CACHE_HH

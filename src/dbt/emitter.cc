@@ -1,0 +1,364 @@
+#include "dbt/emitter.hh"
+
+#include "dbt/memory_model.hh"
+#include "isa/encoding.hh"
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace tea {
+
+namespace {
+
+/** Placeholder for unresolved branch targets; forces the 4-byte form. */
+constexpr int32_t kFixup = 0x7fffffff;
+
+/** How an emitted instruction's target gets resolved in pass 2. */
+enum class Fix : uint8_t
+{
+    None,
+    ToBlock, ///< dst.imm := cache address of TBB fixIndex
+    ToStub,  ///< dst.imm := cache address of stub fixIndex
+};
+
+struct EmitSlot
+{
+    Insn insn;
+    Fix fix = Fix::None;
+    uint32_t fixIndex = 0;
+};
+
+/** Emission state for one trace. */
+class TraceEmission
+{
+  public:
+    TraceEmission(const Program &prog, const Trace &trace,
+                  bool optimize = false, PeepholeStats *opt_stats = nullptr)
+        : prog(prog), trace(trace), optimize(optimize),
+          optStats(opt_stats)
+    {
+    }
+
+    EmittedTrace emit(Addr cache_base);
+
+  private:
+    uint32_t
+    newStub(Addr guest_target)
+    {
+        stubTargets.push_back(guest_target);
+        return static_cast<uint32_t>(stubTargets.size() - 1);
+    }
+
+    void
+    push(Insn insn, Fix fix = Fix::None, uint32_t fix_index = 0)
+    {
+        slots.push_back({insn, fix, fix_index});
+    }
+
+    /** Emit a direct jump slot (target resolved later). */
+    void
+    pushJump(Opcode op, Fix fix, uint32_t fix_index)
+    {
+        Insn j;
+        j.op = op;
+        j.dst = Operand::makeImm(kFixup);
+        push(j, fix, fix_index);
+    }
+
+    void emitBlock(uint32_t index);
+    void emitSuccessors(uint32_t index, const Insn &term, bool has_term);
+
+    const Program &prog;
+    const Trace &trace;
+    bool optimize;
+    PeepholeStats *optStats;
+    std::vector<EmitSlot> slots;
+    std::vector<size_t> blockSlot;  ///< first slot index of each TBB
+    std::vector<Addr> stubTargets;  ///< guest target of each stub
+    TraceMemory memory;
+};
+
+void
+TraceEmission::emitSuccessors(uint32_t index, const Insn &term,
+                              bool has_term)
+{
+    auto intra = [&](Addr label) { return trace.successorOn(index, label); };
+    bool adjacent_ok = index + 1 < trace.blocks.size();
+    Addr next_start = adjacent_ok ? trace.blocks[index + 1].start : kNoAddr;
+
+    auto route = [&](Addr target, bool conditional) {
+        int v = intra(target);
+        if (v >= 0) {
+            if (conditional) {
+                Insn cond = term;
+                cond.dst = Operand::makeImm(kFixup);
+                push(cond, Fix::ToBlock, static_cast<uint32_t>(v));
+            } else if (static_cast<uint32_t>(v) == index + 1 &&
+                       adjacent_ok && trace.blocks[index + 1].start ==
+                           next_start) {
+                // falls straight into the next emitted block
+            } else {
+                pushJump(Opcode::Jmp, Fix::ToBlock,
+                         static_cast<uint32_t>(v));
+            }
+        } else {
+            uint32_t s = newStub(target);
+            if (conditional) {
+                Insn cond = term;
+                cond.dst = Operand::makeImm(kFixup);
+                push(cond, Fix::ToStub, s);
+            } else {
+                pushJump(Opcode::Jmp, Fix::ToStub, s);
+            }
+        }
+    };
+
+    if (!has_term) {
+        // Block ends mid-stream (a split block): continue sequentially.
+        route(term.nextAddr(), false);
+        return;
+    }
+
+    switch (term.op) {
+      case Opcode::Jmp:
+        if (term.dst.kind == OperandKind::Imm) {
+            route(static_cast<Addr>(term.dst.imm), false);
+        } else {
+            push(term); // indirect: leaves the cache via the IBTC
+            memory.metaBytes += kIndirectStubBytes;
+        }
+        break;
+      case Opcode::Call: {
+        if (term.dst.kind == OperandKind::Imm) {
+            Addr target = static_cast<Addr>(term.dst.imm);
+            int v = intra(target);
+            if (v >= 0) {
+                Insn call = term;
+                call.dst = Operand::makeImm(kFixup);
+                push(call, Fix::ToBlock, static_cast<uint32_t>(v));
+            } else {
+                push(term); // call out to cold code
+            }
+        } else {
+            push(term);
+            memory.metaBytes += kIndirectStubBytes;
+        }
+        // The emitted call pushes the cache address of whatever follows
+        // it, so the slot after a call must route back to the *guest*
+        // return point — otherwise the callee's ret would fall into the
+        // next TBB copy. (Real trace JITs avoid this by inlining; an
+        // exit stub keeps the replication baseline simple and correct.)
+        uint32_t s = newStub(term.nextAddr());
+        pushJump(Opcode::Jmp, Fix::ToStub, s);
+        break;
+      }
+      case Opcode::Ret:
+        push(term);
+        memory.metaBytes += kIndirectStubBytes;
+        break;
+      case Opcode::Halt:
+        push(term);
+        break;
+      default:
+        if (isConditionalJump(term.op)) {
+            route(term.directTarget(), true); // taken side
+            route(term.nextAddr(), false);    // fall-through side
+        } else {
+            // Not a control transfer; keep it and continue sequentially.
+            push(term);
+            route(term.nextAddr(), false);
+        }
+        break;
+    }
+}
+
+void
+TraceEmission::emitBlock(uint32_t index)
+{
+    const TraceBasicBlock &tbb = trace.blocks[index];
+    size_t first = prog.indexAt(tbb.start);
+    size_t last = prog.indexAt(tbb.end);
+    if (first == Program::npos || last == Program::npos || last < first)
+        fatal("trace %u TBB %u: bad block [%s, %s]", trace.id, index,
+              hex32(tbb.start).c_str(), hex32(tbb.end).c_str());
+
+    blockSlot.push_back(slots.size());
+    memory.metaBytes += kBlockMetaBytes;
+
+    const Insn &term = prog.at(last);
+    bool has_term = isBlockTerminator(term.op);
+    if (optimize) {
+        // Optimize the whole block (terminator included, so the pass
+        // sees flag consumers), then re-route the terminator below.
+        std::vector<Insn> insns(
+            prog.instructions().begin() + static_cast<long>(first),
+            prog.instructions().begin() + static_cast<long>(last) + 1);
+        insns = optimizeBlock(insns, optStats);
+        if (has_term)
+            insns.pop_back(); // emitSuccessors re-emits the terminator
+        for (const Insn &insn : insns)
+            push(insn);
+    } else {
+        for (size_t i = first; i < last; ++i)
+            push(prog.at(i));
+        if (!has_term)
+            push(term);
+    }
+    emitSuccessors(index, term, has_term);
+}
+
+EmittedTrace
+TraceEmission::emit(Addr cache_base)
+{
+    memory.headerBytes = kTraceHeaderBytes;
+    for (uint32_t b = 0; b < trace.blocks.size(); ++b)
+        emitBlock(b);
+
+    size_t body_slots = slots.size();
+
+    // Stubs: a 6-byte jump to the guest target padded to kExitStubBytes.
+    std::vector<size_t> stub_slot(stubTargets.size());
+    std::vector<size_t> stub_jmp_slot(stubTargets.size());
+    for (size_t s = 0; s < stubTargets.size(); ++s) {
+        stub_slot[s] = slots.size();
+        stub_jmp_slot[s] = slots.size();
+        Insn j;
+        j.op = Opcode::Jmp;
+        j.dst = Operand::makeImm(static_cast<int32_t>(stubTargets[s]));
+        push(j);
+        size_t jmp_len = encodedLength(j);
+        TEA_ASSERT(jmp_len <= kExitStubBytes, "stub jump too long");
+        for (size_t pad = jmp_len; pad < kExitStubBytes; ++pad) {
+            Insn nop;
+            nop.op = Opcode::Nop;
+            push(nop);
+        }
+    }
+
+    // Pass 1: layout.
+    std::vector<Addr> slot_addr(slots.size());
+    Addr cursor = cache_base;
+    for (size_t i = 0; i < slots.size(); ++i) {
+        slot_addr[i] = cursor;
+        cursor += static_cast<Addr>(encodedLength(slots[i].insn));
+    }
+
+    // Pass 2: resolve fixups. All cache addresses are >= 0x1000, so the
+    // encoded widths computed in pass 1 cannot change.
+    for (EmitSlot &slot : slots) {
+        switch (slot.fix) {
+          case Fix::None:
+            break;
+          case Fix::ToBlock:
+            slot.insn.dst = Operand::makeImm(static_cast<int32_t>(
+                slot_addr[blockSlot[slot.fixIndex]]));
+            break;
+          case Fix::ToStub:
+            slot.insn.dst = Operand::makeImm(static_cast<int32_t>(
+                slot_addr[stub_slot[slot.fixIndex]]));
+            break;
+        }
+    }
+
+    EmittedTrace out;
+    out.id = trace.id;
+    out.cacheEntry = slot_addr[blockSlot[0]];
+    out.blockCacheAddr.reserve(trace.blocks.size());
+    for (size_t b : blockSlot)
+        out.blockCacheAddr.push_back(slot_addr[b]);
+    out.code.reserve(slots.size());
+    for (size_t i = 0; i < slots.size(); ++i)
+        out.code.push_back(slots[i].insn);
+
+    for (size_t i = 0; i < body_slots; ++i)
+        memory.codeBytes += encodedLength(slots[i].insn);
+    memory.stubBytes = stubTargets.size() * kExitStubBytes;
+    memory.metaBytes += stubTargets.size() * kExitRecordBytes;
+
+    out.stubs.reserve(stubTargets.size());
+    for (size_t s = 0; s < stubTargets.size(); ++s)
+        out.stubs.emplace_back(slot_addr[stub_jmp_slot[s]],
+                               stubTargets[s]);
+    out.memory = memory;
+    return out;
+}
+
+} // namespace
+
+size_t
+TranslatedImage::totalBytes() const
+{
+    size_t total = 0;
+    for (const EmittedTrace &t : traces)
+        total += t.memory.total();
+    return total;
+}
+
+TranslatedImage
+translate(const Program &prog, const TraceSet &traces, bool optimize)
+{
+    TranslatedImage image;
+    Program &out = image.translated;
+    out.setBase(prog.baseAddr());
+    out.setEntry(prog.entry());
+    for (const auto &[name, addr] : prog.labels())
+        out.addLabel(name, addr);
+    for (const DataWord &d : prog.data())
+        out.addData(d.addr, d.value);
+    for (const Insn &insn : prog.instructions()) {
+        out.append(insn);
+        TEA_ASSERT(out.instructions().back().addr == insn.addr,
+                   "translated image drifted from the original layout");
+    }
+
+    // Emit every trace at the current cursor.
+    for (const Trace &t : traces.all()) {
+        TraceEmission emission(prog, t, optimize, &image.optStats);
+        EmittedTrace emitted = emission.emit(out.endAddr());
+        image.entryMap[t.entry()] = emitted.cacheEntry;
+        // Appending advances the cursor exactly by the laid-out bytes.
+        for (const Insn &insn : emitted.code)
+            out.append(insn);
+        image.traces.push_back(std::move(emitted));
+    }
+
+    // Trace linking: stubs whose guest target is another trace's entry
+    // are patched to branch straight to that trace's cache entry.
+    for (EmittedTrace &t : image.traces) {
+        for (auto &[stub_addr, guest_target] : t.stubs) {
+            auto it = image.entryMap.find(guest_target);
+            if (it == image.entryMap.end())
+                continue;
+            size_t idx = out.indexAt(stub_addr);
+            TEA_ASSERT(idx != Program::npos, "stub address lost");
+            Insn patched = out.at(idx);
+            TEA_ASSERT(patched.op == Opcode::Jmp, "stub is not a jump");
+            // Rewrite in place; the width cannot change (both targets
+            // are full-width addresses).
+            patched.dst = Operand::makeImm(static_cast<int32_t>(it->second));
+            out.patch(idx, patched);
+            t.memory.metaBytes += kLinkRecordBytes;
+        }
+    }
+    return image;
+}
+
+std::vector<TraceMemory>
+accountTraces(const Program &prog, const TraceSet &traces)
+{
+    // Accounting does not need the executable image; emit each trace at
+    // a synthetic base and keep only the byte counts (plus link records
+    // for stubs that would be patched).
+    std::vector<TraceMemory> out;
+    out.reserve(traces.size());
+    for (const Trace &t : traces.all()) {
+        TraceEmission emission(prog, t);
+        EmittedTrace emitted = emission.emit(prog.endAddr());
+        for (auto &[stub_addr, guest_target] : emitted.stubs)
+            if (traces.hasEntry(guest_target))
+                emitted.memory.metaBytes += kLinkRecordBytes;
+        out.push_back(emitted.memory);
+    }
+    return out;
+}
+
+} // namespace tea

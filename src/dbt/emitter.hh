@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Trace code emission: the code-replication baseline.
+ *
+ * Translates a recorded trace into executable TinyX86 code laid out in
+ * the code cache region of a translated program image:
+ *
+ * - every TBB's instructions are copied (replicated) in trace order;
+ * - intra-trace branches are retargeted to the cache copies (taken edges
+ *   rewrite the branch target; non-adjacent fall-through edges get an
+ *   extra jump — the classic superblock/tree layout);
+ * - side exits branch to per-exit stubs appended after the trace body,
+ *   each stub jumping back to the original (cold) guest address;
+ * - exits whose target is another trace's entry can be *linked* later
+ *   (the stub's jump is patched to the other trace's cache entry).
+ *
+ * The emitted code is genuinely executable by the Machine, which is how
+ * the test suite proves the replication baseline semantically faithful —
+ * and the emitted byte counts are what Table 1 charges the DBT.
+ */
+
+#ifndef TEA_DBT_EMITTER_HH
+#define TEA_DBT_EMITTER_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "isa/program.hh"
+#include "opt/peephole.hh"
+#include "trace/trace.hh"
+
+namespace tea {
+
+/** Memory accounting for one emitted trace. */
+struct TraceMemory
+{
+    size_t codeBytes = 0;   ///< replicated + retargeted instruction bytes
+    size_t stubBytes = 0;   ///< exit stubs (kExitStubBytes each)
+    size_t headerBytes = 0; ///< kTraceHeaderBytes
+    size_t metaBytes = 0;   ///< per-TBB + indirect + link records
+
+    /** Total bytes charged to the DBT for this trace. */
+    size_t
+    total() const
+    {
+        return codeBytes + stubBytes + headerBytes + metaBytes;
+    }
+};
+
+/** One emitted trace: executable code plus bookkeeping. */
+struct EmittedTrace
+{
+    TraceId id = 0;
+    Addr cacheEntry = 0;           ///< cache address of TBB 0
+    std::vector<Insn> code;        ///< instructions, in layout order
+    std::vector<Addr> blockCacheAddr; ///< cache address of each TBB
+    TraceMemory memory;
+    /** Exit stubs: (stub cache address, original guest target). */
+    std::vector<std::pair<Addr, Addr>> stubs;
+};
+
+/** A fully translated program image. */
+struct TranslatedImage
+{
+    Program translated; ///< original code followed by the code cache
+    std::unordered_map<Addr, Addr> entryMap; ///< guest entry -> cache
+    std::vector<EmittedTrace> traces;
+    PeepholeStats optStats; ///< what the optional optimizer did
+
+    /** Total DBT bytes (the Table 1 "DBT" number). */
+    size_t totalBytes() const;
+};
+
+/**
+ * Emit every trace of `traces` into a translated image of `prog`.
+ *
+ * Stubs that target another trace's entry are linked directly to that
+ * trace's cache entry (and charged a link record). With `optimize` set,
+ * each TBB's replicated body runs through the intra-block peephole pass
+ * (opt/peephole.hh) first — trace code gets smaller and faster while
+ * staying bit-equivalent, which the test suite proves by executing it.
+ *
+ * @throws FatalError when a trace references blocks that do not exist in
+ *         the program or has edges that do not match any static
+ *         successor.
+ */
+TranslatedImage translate(const Program &prog, const TraceSet &traces,
+                          bool optimize = false);
+
+/**
+ * Memory accounting only (skips building the executable image; used by
+ * the Table 1 bench on large trace sets).
+ */
+std::vector<TraceMemory> accountTraces(const Program &prog,
+                                       const TraceSet &traces);
+
+} // namespace tea
+
+#endif // TEA_DBT_EMITTER_HH

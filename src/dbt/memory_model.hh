@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The DBT baseline's memory cost model (Table 1 "DBT" column).
+ *
+ * StarDBT represents a trace by *replicating code*: every TBB's
+ * instructions are copied into the code cache, side exits get exit stubs
+ * (context bookkeeping + a jump back to cold code or the dispatcher),
+ * linked traces keep link records so they can be unlinked, and each
+ * trace carries dispatch/lookup metadata. TEA avoids every one of those
+ * costs by storing only automaton state.
+ *
+ * All byte constants below are charged against structures our emitter
+ * actually creates; replicated instruction bytes are the *actual encoded
+ * lengths* of the emitted TinyX86 code (dbt/emitter.hh), not estimates.
+ */
+
+#ifndef TEA_DBT_MEMORY_MODEL_HH
+#define TEA_DBT_MEMORY_MODEL_HH
+
+#include <cstddef>
+
+namespace tea {
+
+/**
+ * Bytes of one side-exit stub in the code cache: a direct jump to the
+ * original code plus the exit-id / context slot the dispatcher needs to
+ * resume cold execution. Our emitter materializes each stub as a 6-byte
+ * jump padded with nops to exactly this size.
+ */
+constexpr size_t kExitStubBytes = 16;
+
+/**
+ * Per-trace header: code-cache allocation record, dispatch-table entry
+ * (guest entry address -> cache address) and flags.
+ */
+constexpr size_t kTraceHeaderBytes = 24;
+
+/**
+ * Per-TBB metadata: the source-address mapping record needed to
+ * attribute exits and exceptions back to guest addresses.
+ */
+constexpr size_t kBlockMetaBytes = 8;
+
+/**
+ * One trace-link record: when an exit stub is patched to branch
+ * directly into another trace, the DBT must remember the patch site to
+ * be able to unlink the trace later.
+ */
+constexpr size_t kLinkRecordBytes = 8;
+
+/**
+ * Per-exit bookkeeping beyond the stub code itself: the exit's guest
+ * target and its counter slot, consulted when deciding whether to link
+ * the exit or promote it to a new trace.
+ */
+constexpr size_t kExitRecordBytes = 8;
+
+/**
+ * Indirect-branch translation cost per TBB ending in ret / an indirect
+ * jump: the inline IBTC (indirect branch translation cache) probe.
+ */
+constexpr size_t kIndirectStubBytes = 24;
+
+} // namespace tea
+
+#endif // TEA_DBT_MEMORY_MODEL_HH

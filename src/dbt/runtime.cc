@@ -1,0 +1,69 @@
+#include "dbt/runtime.hh"
+
+#include "trace/factory.hh"
+#include "util/timer.hh"
+#include "vm/block.hh"
+
+namespace tea {
+
+DbtRuntime::RecordResult
+DbtRuntime::record(const std::string &selector_name, SelectorConfig config,
+                   uint64_t max_steps) const
+{
+    Machine machine(prog);
+    TeaRecorder recorder(makeSelector(selector_name, config));
+    BlockTracker tracker(
+        prog,
+        [&recorder](const BlockTransition &tr) { recorder.feed(tr); },
+        /*rep_per_iteration=*/false);
+
+    RunExit exit = machine.runHooked(
+        [&tracker](const EdgeEvent &ev) { tracker.onEdge(ev); },
+        /*split_at_special=*/false, max_steps);
+
+    RecordResult result;
+    result.traces = recorder.traces();
+    result.stats = recorder.stats();
+    result.installs = recorder.installs();
+    result.exit = exit;
+    return result;
+}
+
+double
+DbtRuntime::timedRun(uint64_t max_steps) const
+{
+    Machine machine(prog);
+    uint64_t edges = 0;
+    Stopwatch timer;
+    machine.runHooked([&edges](const EdgeEvent &) { ++edges; },
+                      /*split_at_special=*/false, max_steps);
+    return timer.elapsedSeconds();
+}
+
+DbtRuntime::TranslatedRun
+DbtRuntime::runTranslated(const TranslatedImage &image, uint64_t max_steps)
+{
+    Machine machine(image.translated);
+    Addr cache_begin = image.traces.empty()
+                           ? image.translated.endAddr()
+                           : image.traces.front().cacheEntry;
+
+    TranslatedRun run;
+    for (uint64_t i = 0; i < max_steps; ++i) {
+        auto it = image.entryMap.find(machine.pc());
+        if (it != image.entryMap.end())
+            machine.setPc(it->second);
+        if (machine.pc() >= cache_begin)
+            ++run.cacheSteps;
+        machine.step();
+        ++run.steps;
+        if (machine.halted()) {
+            run.halted = true;
+            break;
+        }
+    }
+    run.output = machine.output();
+    return run;
+}
+
+} // namespace tea

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The StarDBT-analogue runtime driver.
+ *
+ * Three roles, mirroring how the paper uses StarDBT:
+ *
+ * 1. **Recording** traces with the StarDBT dynamic-block policy: blocks
+ *    end only at branch instructions (no CPUID/REP splitting) and a REP
+ *    instruction counts as a single instruction (§4.1). The recording
+ *    logic itself is Algorithm 2 with a pluggable selector, shared with
+ *    the TEA experiments so the two sides record comparable trace sets.
+ *
+ * 2. **Translated execution**: running the code-replicated image built by
+ *    dbt/emitter.hh, dispatching into cache copies at trace entries. The
+ *    test suite uses this to prove the replication baseline is
+ *    semantically equivalent to native execution.
+ *
+ * 3. **Timing proxy**: a real DBT executes translated traces at close to
+ *    native speed, which an interpreter cannot reproduce while also
+ *    doing per-edge analysis. The Table 2/3 "DBT Time" column therefore
+ *    measures a run with only StarDBT's residual per-transition cost (a
+ *    counter bump), as documented in DESIGN.md.
+ */
+
+#ifndef TEA_DBT_RUNTIME_HH
+#define TEA_DBT_RUNTIME_HH
+
+#include <string>
+
+#include "dbt/emitter.hh"
+#include "tea/recorder.hh"
+#include "vm/machine.hh"
+
+namespace tea {
+
+/** Drives recording and translated execution over one program. */
+class DbtRuntime
+{
+  public:
+    explicit DbtRuntime(const Program &prog) : prog(prog) {}
+
+    /** Result of a recording run. */
+    struct RecordResult
+    {
+        TraceSet traces;
+        ReplayStats stats; ///< StarDBT-side counters (REP counts as one)
+        uint64_t installs = 0;
+        RunExit exit = RunExit::Halted;
+    };
+
+    /**
+     * Execute the program while recording traces with the given
+     * selection strategy ("mret", "tt", "ctt", "mfet").
+     */
+    RecordResult record(const std::string &selector_name,
+                        SelectorConfig config = {},
+                        uint64_t max_steps =
+                            Machine::kDefaultStepLimit) const;
+
+    /**
+     * The translated-execution timing proxy: run with only a per-edge
+     * counter bump (StarDBT's steady-state residual cost).
+     * @return wall-clock seconds.
+     */
+    double timedRun(uint64_t max_steps = Machine::kDefaultStepLimit) const;
+
+    /** Result of executing a translated image. */
+    struct TranslatedRun
+    {
+        std::vector<uint32_t> output; ///< guest Out-port values
+        uint64_t steps = 0;           ///< instructions executed
+        uint64_t cacheSteps = 0;      ///< of those, inside the code cache
+        bool halted = false;
+    };
+
+    /**
+     * Execute a translated image, entering trace code whenever the guest
+     * PC hits a recorded trace entry.
+     */
+    static TranslatedRun runTranslated(const TranslatedImage &image,
+                                       uint64_t max_steps =
+                                           Machine::kDefaultStepLimit);
+
+  private:
+    const Program &prog;
+};
+
+} // namespace tea
+
+#endif // TEA_DBT_RUNTIME_HH

@@ -1,0 +1,424 @@
+#include "isa/assembler.hh"
+
+#include <optional>
+#include <sstream>
+
+#include "isa/encoding.hh"
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace tea {
+
+namespace {
+
+/** Minimum address a label may resolve to (keeps imm widths stable). */
+constexpr Addr kMinLabelAddr = 0x1000;
+
+/** An operand as parsed, possibly with unresolved label references. */
+struct PendingOperand
+{
+    Operand operand;          ///< concrete parts
+    std::string immLabel;     ///< label used as an immediate, if any
+    std::string dispLabel;    ///< label used as a memory displacement
+    int64_t dispOffset = 0;   ///< numeric offset added to dispLabel
+};
+
+/** A parsed instruction statement awaiting label resolution. */
+struct PendingInsn
+{
+    Opcode op;
+    PendingOperand dst;
+    PendingOperand src;
+    int line;
+};
+
+/** One initialized data word, possibly a label reference. */
+struct PendingData
+{
+    Addr addr;
+    uint32_t value;
+    std::string label;
+    int line;
+};
+
+class Assembler
+{
+  public:
+    explicit Assembler(const std::string &source) : text(source) {}
+
+    Program run();
+
+  private:
+    [[noreturn]] void
+    error(int line, const std::string &msg) const
+    {
+        fatal("asm line %d: %s", line, msg.c_str());
+    }
+
+    void parseLine(const std::string &line, int line_no);
+    void parseDirective(const std::string &line, int line_no);
+    void parseInstruction(const std::string &line, int line_no);
+    PendingOperand parseOperand(const std::string &text, int line_no);
+    PendingOperand parseMemOperand(const std::string &inner, int line_no);
+
+    /** Placeholder immediate used before labels resolve (forces width 4). */
+    static constexpr int32_t kPlaceholder = 0x7fffffff;
+
+    Addr resolveLabel(const std::string &name, int line_no) const;
+    Operand resolveOperand(const PendingOperand &pending, int line_no) const;
+
+    const std::string &text;
+
+    Addr codeBase = 0x1000;
+    bool sawCode = false;
+    bool dataMode = false;
+    Addr dataCursor = 0;
+    std::string entryLabel;
+
+    Addr codeCursor = 0x1000;
+    std::vector<PendingInsn> pendingInsns;
+    std::vector<Addr> insnAddrs;
+    std::vector<PendingData> pendingData;
+    std::map<std::string, Addr> labels;
+};
+
+void
+Assembler::parseDirective(const std::string &line, int line_no)
+{
+    auto fields = splitWhitespace(line);
+    const std::string &dir = fields[0];
+    auto need = [&](size_t n) {
+        if (fields.size() < n + 1)
+            error(line_no, dir + " needs an argument");
+    };
+    if (dir == ".org") {
+        need(1);
+        int64_t v;
+        if (!parseInt(fields[1], v) || v < kMinLabelAddr)
+            error(line_no, ".org needs an address >= 0x1000");
+        if (sawCode)
+            error(line_no, ".org after code was emitted");
+        codeBase = static_cast<Addr>(v);
+        codeCursor = codeBase;
+    } else if (dir == ".entry") {
+        need(1);
+        entryLabel = fields[1];
+    } else if (dir == ".data") {
+        need(1);
+        int64_t v;
+        if (!parseInt(fields[1], v) || v < kMinLabelAddr)
+            error(line_no, ".data needs an address >= 0x1000");
+        dataMode = true;
+        dataCursor = static_cast<Addr>(v);
+    } else if (dir == ".word") {
+        if (!dataMode)
+            error(line_no, ".word outside a .data section");
+        need(1);
+        for (size_t i = 1; i < fields.size(); ++i) {
+            int64_t v;
+            PendingData d{dataCursor, 0, "", line_no};
+            if (parseInt(fields[i], v))
+                d.value = static_cast<uint32_t>(v);
+            else
+                d.label = fields[i];
+            pendingData.push_back(d);
+            dataCursor += 4;
+        }
+    } else if (dir == ".space") {
+        if (!dataMode)
+            error(line_no, ".space outside a .data section");
+        need(1);
+        int64_t v;
+        if (!parseInt(fields[1], v) || v < 0)
+            error(line_no, ".space needs a nonnegative size");
+        dataCursor += static_cast<Addr>(v);
+    } else {
+        error(line_no, "unknown directive '" + dir + "'");
+    }
+}
+
+PendingOperand
+Assembler::parseMemOperand(const std::string &inner, int line_no)
+{
+    PendingOperand out;
+    MemRef mem;
+    int64_t disp_acc = 0;
+    // Tokenize on +/- keeping the sign with each term.
+    std::vector<std::pair<int, std::string>> terms; // sign, text
+    int sign = 1;
+    std::string cur;
+    auto flush = [&]() {
+        std::string t = trim(cur);
+        if (!t.empty())
+            terms.emplace_back(sign, t);
+        cur.clear();
+    };
+    for (char c : inner) {
+        if (c == '+') {
+            flush();
+            sign = 1;
+        } else if (c == '-') {
+            flush();
+            sign = -1;
+        } else {
+            cur.push_back(c);
+        }
+    }
+    flush();
+    if (terms.empty())
+        error(line_no, "empty memory operand");
+
+    for (auto &[term_sign, term] : terms) {
+        // reg*scale ?
+        size_t star = term.find('*');
+        if (star != std::string::npos) {
+            Reg reg;
+            if (!parseReg(trim(term.substr(0, star)), reg))
+                error(line_no, "bad index register in '" + term + "'");
+            int64_t scale;
+            if (!parseInt(trim(term.substr(star + 1)), scale) ||
+                (scale != 1 && scale != 2 && scale != 4 && scale != 8))
+                error(line_no, "bad scale in '" + term + "'");
+            if (term_sign < 0 || mem.hasIndex)
+                error(line_no, "invalid index term '" + term + "'");
+            mem.hasIndex = true;
+            mem.index = reg;
+            mem.scale = static_cast<uint8_t>(scale);
+            continue;
+        }
+        Reg reg;
+        if (parseReg(term, reg)) {
+            if (term_sign < 0)
+                error(line_no, "cannot subtract a register");
+            if (!mem.hasBase) {
+                mem.hasBase = true;
+                mem.base = reg;
+            } else if (!mem.hasIndex) {
+                mem.hasIndex = true;
+                mem.index = reg;
+                mem.scale = 1;
+            } else {
+                error(line_no, "too many registers in memory operand");
+            }
+            continue;
+        }
+        int64_t value;
+        if (parseInt(term, value)) {
+            disp_acc += term_sign * value;
+            continue;
+        }
+        // a label displacement
+        if (term_sign < 0)
+            error(line_no, "cannot subtract a label");
+        if (!out.dispLabel.empty())
+            error(line_no, "multiple labels in memory operand");
+        out.dispLabel = term;
+    }
+    if (disp_acc < INT32_MIN || disp_acc > INT32_MAX)
+        error(line_no, "displacement out of range");
+    if (out.dispLabel.empty()) {
+        mem.disp = static_cast<int32_t>(disp_acc);
+    } else {
+        // Numeric offsets ride along with the label and are added after
+        // resolution; the placeholder forces the 4-byte encoding that
+        // any label-relative displacement will need.
+        out.dispOffset = disp_acc;
+        mem.disp = kPlaceholder;
+    }
+    out.operand = Operand::makeMem(mem);
+    return out;
+}
+
+PendingOperand
+Assembler::parseOperand(const std::string &operand_text, int line_no)
+{
+    std::string t = trim(operand_text);
+    if (t.empty())
+        error(line_no, "empty operand");
+
+    PendingOperand out;
+    if (t.front() == '[') {
+        if (t.back() != ']')
+            error(line_no, "unterminated memory operand '" + t + "'");
+        return parseMemOperand(t.substr(1, t.size() - 2), line_no);
+    }
+    Reg reg;
+    if (parseReg(t, reg)) {
+        out.operand = Operand::makeReg(reg);
+        return out;
+    }
+    int64_t value;
+    if (parseInt(t, value)) {
+        out.operand = Operand::makeImm(static_cast<int32_t>(value));
+        return out;
+    }
+    // must be a label immediate
+    out.operand = Operand::makeImm(kPlaceholder);
+    out.immLabel = t;
+    return out;
+}
+
+void
+Assembler::parseInstruction(const std::string &line, int line_no)
+{
+    // mnemonic [op1 [, op2]]
+    size_t space = line.find_first_of(" \t");
+    std::string mnemonic =
+        space == std::string::npos ? line : line.substr(0, space);
+    Opcode op;
+    if (!parseOpcode(mnemonic, op))
+        error(line_no, "unknown mnemonic '" + mnemonic + "'");
+
+    PendingInsn pending;
+    pending.op = op;
+    pending.line = line_no;
+
+    std::string rest =
+        space == std::string::npos ? "" : trim(line.substr(space));
+    std::vector<std::string> ops;
+    if (!rest.empty()) {
+        for (auto &piece : split(rest, ','))
+            ops.push_back(trim(piece));
+    }
+    int expected = operandCount(op);
+    if (static_cast<int>(ops.size()) != expected)
+        error(line_no, strprintf("'%s' expects %d operand(s), got %zu",
+                                 mnemonic.c_str(), expected, ops.size()));
+    if (expected >= 1)
+        pending.dst = parseOperand(ops[0], line_no);
+    if (expected >= 2)
+        pending.src = parseOperand(ops[1], line_no);
+
+    // Layout: compute the encoded length with placeholder immediates; all
+    // label addresses are >= 0x1000 so widths cannot shrink in pass 2.
+    Insn probe;
+    probe.op = pending.op;
+    probe.dst = pending.dst.operand;
+    probe.src = pending.src.operand;
+    size_t len = encodedLength(probe);
+
+    insnAddrs.push_back(codeCursor);
+    codeCursor += static_cast<Addr>(len);
+    pendingInsns.push_back(std::move(pending));
+    sawCode = true;
+}
+
+void
+Assembler::parseLine(const std::string &raw, int line_no)
+{
+    // strip comments
+    std::string line = raw;
+    size_t comment = line.find_first_of(";#");
+    if (comment != std::string::npos)
+        line = line.substr(0, comment);
+    line = trim(line);
+    if (line.empty())
+        return;
+
+    // labels (possibly several on one line)
+    for (;;) {
+        size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            break;
+        std::string name = trim(line.substr(0, colon));
+        if (name.empty() || name.find_first_of(" \t[],") != std::string::npos)
+            break; // ':' inside an operand, not a label
+        Addr addr = dataMode ? dataCursor : codeCursor;
+        if (labels.count(name))
+            error(line_no, "label '" + name + "' redefined");
+        labels[name] = addr;
+        line = trim(line.substr(colon + 1));
+        if (line.empty())
+            return;
+    }
+
+    if (line[0] == '.') {
+        parseDirective(line, line_no);
+        return;
+    }
+    if (dataMode)
+        error(line_no, "instruction inside a .data section "
+                       "(missing .org to switch back?)");
+    parseInstruction(line, line_no);
+}
+
+Addr
+Assembler::resolveLabel(const std::string &name, int line_no) const
+{
+    auto it = labels.find(name);
+    if (it == labels.end())
+        error(line_no, "undefined label '" + name + "'");
+    if (it->second < kMinLabelAddr)
+        error(line_no, "label '" + name + "' below 0x1000");
+    return it->second;
+}
+
+Operand
+Assembler::resolveOperand(const PendingOperand &pending, int line_no) const
+{
+    Operand op = pending.operand;
+    if (!pending.immLabel.empty())
+        op.imm = static_cast<int32_t>(resolveLabel(pending.immLabel,
+                                                   line_no));
+    if (!pending.dispLabel.empty()) {
+        int64_t disp = static_cast<int64_t>(
+                           resolveLabel(pending.dispLabel, line_no)) +
+                       pending.dispOffset;
+        if (disp < INT32_MIN || disp > INT32_MAX)
+            error(line_no, "label displacement out of range");
+        op.mem.disp = static_cast<int32_t>(disp);
+    }
+    return op;
+}
+
+Program
+Assembler::run()
+{
+    std::istringstream stream(text);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(stream, line))
+        parseLine(line, ++line_no);
+    if (dataMode && pendingInsns.empty())
+        fatal("program has no instructions");
+
+    Program prog;
+    prog.setBase(codeBase);
+    for (const auto &[name, addr] : labels)
+        prog.addLabel(name, addr);
+
+    for (size_t i = 0; i < pendingInsns.size(); ++i) {
+        const PendingInsn &pending = pendingInsns[i];
+        Insn insn;
+        insn.op = pending.op;
+        insn.dst = resolveOperand(pending.dst, pending.line);
+        insn.src = resolveOperand(pending.src, pending.line);
+        prog.append(insn);
+        if (prog.at(i).addr != insnAddrs[i])
+            panic("assembler layout drift at line %d", pending.line);
+    }
+    if (prog.size() == 0)
+        fatal("program has no instructions");
+
+    for (const PendingData &d : pendingData) {
+        uint32_t value = d.value;
+        if (!d.label.empty())
+            value = resolveLabel(d.label, d.line);
+        prog.addData(d.addr, value);
+    }
+
+    if (!entryLabel.empty())
+        prog.setEntry(resolveLabel(entryLabel, 0));
+    return prog;
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source)
+{
+    Assembler assembler(source);
+    return assembler.run();
+}
+
+} // namespace tea

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Two-pass textual assembler for TinyX86.
+ *
+ * Syntax (Intel-flavoured):
+ * @code
+ *   ; comment
+ *   .org 0x1000          ; code base address (>= 0x1000)
+ *   .entry main          ; entry label (default: first instruction)
+ *   .data 0x100000       ; switch to data mode at the given address
+ *   .word 1 2 head       ; emit 32-bit words (labels allowed)
+ *   .space 64            ; reserve bytes without initializing them
+ *   main:
+ *       mov eax, 100
+ *       mov ebx, [esi + ecx*4 + 8]
+ *       cmp eax, ebx
+ *       jne main
+ *       out eax
+ *       halt
+ * @endcode
+ *
+ * Labels referenced as immediates or displacements must resolve to
+ * addresses >= 0x1000 so that the encoder's immediate-width selection is
+ * stable across the two passes.
+ */
+
+#ifndef TEA_ISA_ASSEMBLER_HH
+#define TEA_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace tea {
+
+/**
+ * Assemble a program from source text.
+ * @throws FatalError with a line-numbered message on any syntax error.
+ */
+Program assemble(const std::string &source);
+
+} // namespace tea
+
+#endif // TEA_ISA_ASSEMBLER_HH

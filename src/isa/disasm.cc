@@ -1,0 +1,89 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+#include "util/strutil.hh"
+
+namespace tea {
+
+std::string
+formatOperand(const Operand &op)
+{
+    switch (op.kind) {
+      case OperandKind::None:
+        return "";
+      case OperandKind::Reg:
+        return regName(op.reg);
+      case OperandKind::Imm:
+        return std::to_string(op.imm);
+      case OperandKind::Mem: {
+        std::ostringstream os;
+        os << "[";
+        bool first = true;
+        if (op.mem.hasBase) {
+            os << regName(op.mem.base);
+            first = false;
+        }
+        if (op.mem.hasIndex) {
+            if (!first)
+                os << " + ";
+            os << regName(op.mem.index);
+            if (op.mem.scale != 1)
+                os << "*" << static_cast<int>(op.mem.scale);
+            first = false;
+        }
+        if (op.mem.disp != 0 || first) {
+            if (!first)
+                os << (op.mem.disp < 0 ? " - " : " + ");
+            int64_t d = op.mem.disp;
+            if (!first && d < 0)
+                d = -d;
+            os << d;
+        }
+        os << "]";
+        return os.str();
+      }
+    }
+    return "?";
+}
+
+std::string
+formatInsn(const Insn &insn)
+{
+    std::string out = opcodeName(insn.op);
+    int count = operandCount(insn.op);
+    if (count >= 1) {
+        out += " ";
+        // Direct branch targets read better in hex.
+        if (isControlFlow(insn.op) && insn.dst.kind == OperandKind::Imm)
+            out += hex32(static_cast<Addr>(insn.dst.imm));
+        else
+            out += formatOperand(insn.dst);
+    }
+    if (count >= 2) {
+        out += ", ";
+        out += formatOperand(insn.src);
+    }
+    return out;
+}
+
+std::string
+formatInsnWithAddr(const Insn &insn)
+{
+    return hex32(insn.addr) + ": " + formatInsn(insn);
+}
+
+std::string
+disassemble(const Program &prog)
+{
+    std::ostringstream os;
+    for (const Insn &insn : prog.instructions()) {
+        std::string label = prog.labelAt(insn.addr);
+        if (!label.empty())
+            os << label << ":\n";
+        os << "    " << formatInsnWithAddr(insn) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace tea

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * TinyX86 disassembler: instruction -> assembler-compatible text.
+ */
+
+#ifndef TEA_ISA_DISASM_HH
+#define TEA_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/insn.hh"
+#include "isa/program.hh"
+
+namespace tea {
+
+/** Render one operand ("eax", "42", "[esi + ecx*4 + 8]"). */
+std::string formatOperand(const Operand &op);
+
+/** Render one instruction without its address ("mov eax, 100"). */
+std::string formatInsn(const Insn &insn);
+
+/** Render one instruction with a leading address ("0x1000: mov ..."). */
+std::string formatInsnWithAddr(const Insn &insn);
+
+/** Disassemble a whole program, with labels interleaved. */
+std::string disassemble(const Program &prog);
+
+} // namespace tea
+
+#endif // TEA_ISA_DISASM_HH

@@ -1,0 +1,237 @@
+#include "isa/encoding.hh"
+
+#include "util/logging.hh"
+
+namespace tea {
+
+namespace {
+
+bool
+immFitsByte(int32_t v)
+{
+    return v >= -128 && v <= 127;
+}
+
+uint8_t
+scaleCode(uint8_t scale)
+{
+    switch (scale) {
+      case 1: return 0;
+      case 2: return 1;
+      case 4: return 2;
+      case 8: return 3;
+      default:
+        fatal("invalid memory operand scale %u", scale);
+    }
+}
+
+uint8_t
+scaleFromCode(uint8_t code)
+{
+    static const uint8_t scales[4] = {1, 2, 4, 8};
+    return scales[code & 3];
+}
+
+/** Disp size code: 0 = none, 1 = byte, 2 = dword. */
+uint8_t
+dispSizeCode(int32_t disp)
+{
+    if (disp == 0)
+        return 0;
+    if (immFitsByte(disp))
+        return 1;
+    return 2;
+}
+
+size_t
+memEncodedLength(const MemRef &mem)
+{
+    size_t disp_bytes[3] = {0, 1, 4};
+    return 2 + disp_bytes[dispSizeCode(mem.disp)];
+}
+
+size_t
+operandEncodedLength(const Operand &op, bool imm_long)
+{
+    switch (op.kind) {
+      case OperandKind::None: return 0;
+      case OperandKind::Reg: return 1;
+      case OperandKind::Imm: return imm_long ? 4 : 1;
+      case OperandKind::Mem: return memEncodedLength(op.mem);
+    }
+    panic("unreachable operand kind");
+}
+
+void
+appendLe32(std::vector<uint8_t> &out, uint32_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v >> 16));
+    out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void
+encodeOperand(const Operand &op, bool imm_long, std::vector<uint8_t> &out)
+{
+    switch (op.kind) {
+      case OperandKind::None:
+        return;
+      case OperandKind::Reg:
+        out.push_back(static_cast<uint8_t>(op.reg));
+        return;
+      case OperandKind::Imm:
+        if (imm_long)
+            appendLe32(out, static_cast<uint32_t>(op.imm));
+        else
+            out.push_back(static_cast<uint8_t>(op.imm));
+        return;
+      case OperandKind::Mem: {
+        const MemRef &m = op.mem;
+        uint8_t mode = 0;
+        if (m.hasBase)
+            mode |= 0x01 | (static_cast<uint8_t>(m.base) << 1);
+        if (m.hasIndex)
+            mode |= 0x10 | (static_cast<uint8_t>(m.index) << 5);
+        out.push_back(mode);
+        uint8_t dcode = dispSizeCode(m.disp);
+        out.push_back(static_cast<uint8_t>(scaleCode(m.scale) | (dcode << 2)));
+        if (dcode == 1)
+            out.push_back(static_cast<uint8_t>(m.disp));
+        else if (dcode == 2)
+            appendLe32(out, static_cast<uint32_t>(m.disp));
+        return;
+      }
+    }
+}
+
+} // namespace
+
+size_t
+encodedLength(const Insn &insn)
+{
+    size_t len = 1; // opcode byte
+    if (operandCount(insn.op) == 0)
+        return len;
+    len += 1; // descriptor
+    bool dst_long = insn.dst.kind == OperandKind::Imm &&
+                    !immFitsByte(insn.dst.imm);
+    bool src_long = insn.src.kind == OperandKind::Imm &&
+                    !immFitsByte(insn.src.imm);
+    len += operandEncodedLength(insn.dst, dst_long);
+    len += operandEncodedLength(insn.src, src_long);
+    return len;
+}
+
+size_t
+encode(const Insn &insn, std::vector<uint8_t> &out)
+{
+    size_t begin = out.size();
+    out.push_back(static_cast<uint8_t>(insn.op));
+    if (operandCount(insn.op) > 0) {
+        bool dst_long = insn.dst.kind == OperandKind::Imm &&
+                        !immFitsByte(insn.dst.imm);
+        bool src_long = insn.src.kind == OperandKind::Imm &&
+                        !immFitsByte(insn.src.imm);
+        uint8_t desc = static_cast<uint8_t>(insn.dst.kind) |
+                       (static_cast<uint8_t>(insn.src.kind) << 2);
+        if (dst_long)
+            desc |= 0x10;
+        if (src_long)
+            desc |= 0x20;
+        out.push_back(desc);
+        encodeOperand(insn.dst, dst_long, out);
+        encodeOperand(insn.src, src_long, out);
+    }
+    size_t len = out.size() - begin;
+    TEA_ASSERT(len <= kMaxInsnLength, "encoding overflow");
+    return len;
+}
+
+namespace {
+
+uint8_t
+fetchByte(const std::vector<uint8_t> &bytes, size_t &offset)
+{
+    if (offset >= bytes.size())
+        fatal("decode: truncated instruction at offset %zu", offset);
+    return bytes[offset++];
+}
+
+uint32_t
+fetchLe32(const std::vector<uint8_t> &bytes, size_t &offset)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(fetchByte(bytes, offset)) << (8 * i);
+    return v;
+}
+
+Operand
+decodeOperand(OperandKind kind, bool imm_long,
+              const std::vector<uint8_t> &bytes, size_t &offset)
+{
+    switch (kind) {
+      case OperandKind::None:
+        return Operand::none();
+      case OperandKind::Reg: {
+        uint8_t r = fetchByte(bytes, offset);
+        if (r >= kNumRegs)
+            fatal("decode: bad register id %u", r);
+        return Operand::makeReg(static_cast<Reg>(r));
+      }
+      case OperandKind::Imm: {
+        int32_t v;
+        if (imm_long)
+            v = static_cast<int32_t>(fetchLe32(bytes, offset));
+        else
+            v = static_cast<int8_t>(fetchByte(bytes, offset));
+        return Operand::makeImm(v);
+      }
+      case OperandKind::Mem: {
+        uint8_t mode = fetchByte(bytes, offset);
+        uint8_t sib = fetchByte(bytes, offset);
+        MemRef m;
+        m.hasBase = mode & 0x01;
+        m.base = static_cast<Reg>((mode >> 1) & 0x07);
+        m.hasIndex = mode & 0x10;
+        m.index = static_cast<Reg>((mode >> 5) & 0x07);
+        m.scale = scaleFromCode(sib & 3);
+        uint8_t dcode = (sib >> 2) & 3;
+        if (dcode == 1)
+            m.disp = static_cast<int8_t>(fetchByte(bytes, offset));
+        else if (dcode == 2)
+            m.disp = static_cast<int32_t>(fetchLe32(bytes, offset));
+        else if (dcode == 3)
+            fatal("decode: bad displacement size code");
+        return Operand::makeMem(m);
+      }
+    }
+    panic("unreachable operand kind");
+}
+
+} // namespace
+
+Insn
+decode(const std::vector<uint8_t> &bytes, size_t offset, Addr addr)
+{
+    size_t cursor = offset;
+    uint8_t opbyte = fetchByte(bytes, cursor);
+    if (opbyte >= static_cast<uint8_t>(Opcode::NumOpcodes))
+        fatal("decode: bad opcode byte 0x%02x at offset %zu", opbyte, offset);
+
+    Insn insn;
+    insn.op = static_cast<Opcode>(opbyte);
+    insn.addr = addr;
+    if (operandCount(insn.op) > 0) {
+        uint8_t desc = fetchByte(bytes, cursor);
+        auto dst_kind = static_cast<OperandKind>(desc & 3);
+        auto src_kind = static_cast<OperandKind>((desc >> 2) & 3);
+        insn.dst = decodeOperand(dst_kind, desc & 0x10, bytes, cursor);
+        insn.src = decodeOperand(src_kind, desc & 0x20, bytes, cursor);
+    }
+    insn.length = static_cast<uint8_t>(cursor - offset);
+    return insn;
+}
+
+} // namespace tea

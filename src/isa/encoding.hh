@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Byte-accurate binary encoding of TinyX86 instructions.
+ *
+ * The encoding is variable length (1 to 14 bytes) like IA-32, which is what
+ * makes the DBT code-replication baseline's memory accounting (paper
+ * Table 1) meaningful: replicating a trace costs the sum of its
+ * instructions' encoded lengths plus stub overhead, while TEA only stores
+ * automaton state.
+ *
+ * Layout:
+ *   byte 0          opcode
+ *   byte 1          operand descriptor (only when the opcode has operands):
+ *                     bits 0-1  dst kind, bits 2-3  src kind,
+ *                     bit 4     dst imm is 4 bytes (else 1),
+ *                     bit 5     src imm is 4 bytes (else 1)
+ *   per operand     Reg: 1 byte
+ *                   Imm: 1 or 4 bytes, little endian, sign-extended
+ *                   Mem: mode byte {hasBase, base[3], hasIndex, index[3]},
+ *                        sib byte  {scale code[2], disp size code[2]},
+ *                        then 0/1/4 disp bytes
+ */
+
+#ifndef TEA_ISA_ENCODING_HH
+#define TEA_ISA_ENCODING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/insn.hh"
+
+namespace tea {
+
+/** Maximum encoded instruction length in bytes. */
+constexpr size_t kMaxInsnLength = 14;
+
+/**
+ * Append the encoding of insn to out.
+ * @return the number of bytes appended.
+ */
+size_t encode(const Insn &insn, std::vector<uint8_t> &out);
+
+/** Encoded length of insn in bytes without materializing the bytes. */
+size_t encodedLength(const Insn &insn);
+
+/**
+ * Decode one instruction from bytes at offset.
+ *
+ * @param bytes  the code image
+ * @param offset position of the instruction's first byte
+ * @param addr   guest address to stamp into the decoded instruction
+ * @return the decoded instruction with addr/length filled in.
+ * @throws FatalError on a malformed encoding.
+ */
+Insn decode(const std::vector<uint8_t> &bytes, size_t offset, Addr addr);
+
+} // namespace tea
+
+#endif // TEA_ISA_ENCODING_HH

@@ -1,0 +1,146 @@
+#include "isa/insn.hh"
+
+#include <unordered_map>
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace tea {
+
+namespace {
+
+struct OpcodeInfo
+{
+    const char *name;
+    int operands;
+};
+
+// Indexed by Opcode value; keep in sync with the enum.
+const OpcodeInfo kOpcodeInfo[] = {
+    {"mov", 2},   {"lea", 2},   {"push", 1},  {"pop", 1},   {"xchg", 2},
+    {"add", 2},   {"sub", 2},   {"adc", 2},   {"mul", 2},   {"div", 2},
+    {"mod", 2},   {"and", 2},   {"or", 2},    {"xor", 2},   {"shl", 2},
+    {"shr", 2},   {"sar", 2},   {"not", 1},   {"neg", 1},   {"inc", 1},
+    {"dec", 1},   {"cmp", 2},   {"test", 2},  {"jmp", 1},   {"je", 1},
+    {"jne", 1},   {"jl", 1},    {"jle", 1},   {"jg", 1},    {"jge", 1},
+    {"jb", 1},    {"jbe", 1},   {"ja", 1},    {"jae", 1},   {"js", 1},
+    {"jns", 1},   {"call", 1},  {"ret", 0},   {"repmovs", 0},
+    {"repstos", 0}, {"repscas", 0}, {"cpuid", 0}, {"out", 1}, {"nop", 0},
+    {"halt", 0},
+};
+
+static_assert(sizeof(kOpcodeInfo) / sizeof(kOpcodeInfo[0]) ==
+                  static_cast<size_t>(Opcode::NumOpcodes),
+              "kOpcodeInfo out of sync with Opcode enum");
+
+const char *kRegNames[kNumRegs] = {"eax", "ecx", "edx", "ebx",
+                                   "esp", "ebp", "esi", "edi"};
+
+} // namespace
+
+const char *
+regName(Reg reg)
+{
+    auto idx = static_cast<size_t>(reg);
+    TEA_ASSERT(idx < kNumRegs, "bad register id %zu", idx);
+    return kRegNames[idx];
+}
+
+bool
+parseReg(const std::string &name, Reg &out)
+{
+    std::string lower = toLower(name);
+    for (size_t i = 0; i < kNumRegs; ++i) {
+        if (lower == kRegNames[i]) {
+            out = static_cast<Reg>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    auto idx = static_cast<size_t>(op);
+    TEA_ASSERT(idx < static_cast<size_t>(Opcode::NumOpcodes),
+               "bad opcode %zu", idx);
+    return kOpcodeInfo[idx].name;
+}
+
+bool
+parseOpcode(const std::string &name, Opcode &out)
+{
+    static const std::unordered_map<std::string, Opcode> table = [] {
+        std::unordered_map<std::string, Opcode> t;
+        for (size_t i = 0; i < static_cast<size_t>(Opcode::NumOpcodes); ++i)
+            t[kOpcodeInfo[i].name] = static_cast<Opcode>(i);
+        return t;
+    }();
+    auto it = table.find(toLower(name));
+    if (it == table.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+bool
+isControlFlow(Opcode op)
+{
+    switch (op) {
+      case Opcode::Jmp:
+      case Opcode::Call:
+      case Opcode::Ret:
+        return true;
+      default:
+        return isConditionalJump(op);
+    }
+}
+
+bool
+isConditionalJump(Opcode op)
+{
+    auto v = static_cast<uint8_t>(op);
+    return v >= static_cast<uint8_t>(Opcode::Je) &&
+           v <= static_cast<uint8_t>(Opcode::Jns);
+}
+
+bool
+isBlockTerminator(Opcode op)
+{
+    return isControlFlow(op) || op == Opcode::Halt;
+}
+
+bool
+isRepString(Opcode op)
+{
+    return op == Opcode::RepMovs || op == Opcode::RepStos ||
+           op == Opcode::RepScas;
+}
+
+bool
+isPinBlockSplitter(Opcode op)
+{
+    return op == Opcode::Cpuid || isRepString(op);
+}
+
+int
+operandCount(Opcode op)
+{
+    auto idx = static_cast<size_t>(op);
+    TEA_ASSERT(idx < static_cast<size_t>(Opcode::NumOpcodes),
+               "bad opcode %zu", idx);
+    return kOpcodeInfo[idx].operands;
+}
+
+Addr
+Insn::directTarget() const
+{
+    if (!isControlFlow(op) || op == Opcode::Ret)
+        return kNoAddr;
+    if (dst.kind == OperandKind::Imm)
+        return static_cast<Addr>(dst.imm);
+    return kNoAddr;
+}
+
+} // namespace tea

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * TinyX86 instruction and operand model.
+ */
+
+#ifndef TEA_ISA_INSN_HH
+#define TEA_ISA_INSN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/types.hh"
+
+namespace tea {
+
+/** Every TinyX86 opcode. */
+enum class Opcode : uint8_t
+{
+    // data movement
+    Mov,     ///< mov dst, src
+    Lea,     ///< lea reg, mem — compute effective address
+    Push,    ///< push src
+    Pop,     ///< pop reg
+    Xchg,    ///< xchg reg, reg
+
+    // integer arithmetic / logic (dst op= src; sets flags)
+    Add,
+    Sub,
+    Adc,     ///< add with carry
+    Mul,     ///< two-operand signed multiply (imul)
+    Div,     ///< signed divide dst /= src; traps on 0 and INT_MIN/-1
+    Mod,     ///< signed remainder dst %= src (traps like Div)
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,     ///< logical shift right
+    Sar,     ///< arithmetic shift right
+    Not,     ///< one-operand bitwise not (flags unchanged)
+    Neg,     ///< one-operand negate (sets flags)
+    Inc,     ///< one-operand increment (sets ZF/SF/OF, preserves CF)
+    Dec,     ///< one-operand decrement (sets ZF/SF/OF, preserves CF)
+
+    // comparison (flags only)
+    Cmp,     ///< flags of dst - src
+    Test,    ///< flags of dst & src
+
+    // control flow
+    Jmp,     ///< unconditional; direct (imm target) or indirect (reg/mem)
+    Je,
+    Jne,
+    Jl,      ///< signed less
+    Jle,
+    Jg,
+    Jge,
+    Jb,      ///< unsigned below
+    Jbe,
+    Ja,
+    Jae,
+    Js,      ///< sign set
+    Jns,
+    Call,    ///< direct or indirect call; pushes return address
+    Ret,     ///< pops return address
+
+    // string operations with an implicit REP prefix (word granularity)
+    RepMovs, ///< copy ecx words from [esi] to [edi]
+    RepStos, ///< store eax into ecx words at [edi]
+    RepScas, ///< scan words at [edi] for eax while ecx != 0; sets ZF
+
+    // misc
+    Cpuid,   ///< writes model constants to eax..edx; Pin-like block splitter
+    Out,     ///< append src to the machine's output port (observable state)
+    Nop,
+    Halt,    ///< stop the machine
+
+    NumOpcodes
+};
+
+/** Kinds of instruction operands. */
+enum class OperandKind : uint8_t
+{
+    None = 0,
+    Reg = 1,
+    Imm = 2,
+    Mem = 3,
+};
+
+/** A memory reference: [base + index*scale + disp]. */
+struct MemRef
+{
+    bool hasBase = false;
+    Reg base = Reg::Eax;
+    bool hasIndex = false;
+    Reg index = Reg::Eax;
+    uint8_t scale = 1; ///< 1, 2, 4 or 8
+    int32_t disp = 0;
+
+    bool operator==(const MemRef &) const = default;
+};
+
+/** A single instruction operand. */
+struct Operand
+{
+    OperandKind kind = OperandKind::None;
+    Reg reg = Reg::Eax; ///< valid when kind == Reg
+    int32_t imm = 0;    ///< valid when kind == Imm
+    MemRef mem;         ///< valid when kind == Mem
+
+    static Operand none() { return {}; }
+    static Operand
+    makeReg(Reg r)
+    {
+        Operand o;
+        o.kind = OperandKind::Reg;
+        o.reg = r;
+        return o;
+    }
+    static Operand
+    makeImm(int32_t v)
+    {
+        Operand o;
+        o.kind = OperandKind::Imm;
+        o.imm = v;
+        return o;
+    }
+    static Operand
+    makeMem(MemRef m)
+    {
+        Operand o;
+        o.kind = OperandKind::Mem;
+        o.mem = m;
+        return o;
+    }
+
+    bool operator==(const Operand &) const = default;
+};
+
+/**
+ * A decoded TinyX86 instruction.
+ *
+ * The instruction knows its own guest address and encoded length so that
+ * higher layers (dynamic block discovery, trace recording, DBT code
+ * replication) can reason about the address space without re-encoding.
+ */
+struct Insn
+{
+    Opcode op = Opcode::Nop;
+    Operand dst;
+    Operand src;
+    Addr addr = 0;     ///< guest address of the first byte
+    uint8_t length = 1; ///< encoded length in bytes
+
+    /** Guest address of the next sequential instruction. */
+    Addr nextAddr() const { return addr + length; }
+
+    /**
+     * Direct control-transfer target, when the instruction is a direct
+     * branch/call (dst is an immediate); kNoAddr otherwise.
+     */
+    Addr directTarget() const;
+
+    bool operator==(const Insn &) const = default;
+};
+
+/** Mnemonic string for an opcode ("mov", "jne", ...). */
+const char *opcodeName(Opcode op);
+
+/** Parse a mnemonic; returns false when unknown. */
+bool parseOpcode(const std::string &name, Opcode &out);
+
+/** True for any control-transfer instruction (jumps, calls, ret). */
+bool isControlFlow(Opcode op);
+
+/** True for conditional jumps (Je..Jns). */
+bool isConditionalJump(Opcode op);
+
+/** True for Jmp/Call/Ret/conditional jumps that end a basic block. */
+bool isBlockTerminator(Opcode op);
+
+/** True for the REP-prefixed string operations. */
+bool isRepString(Opcode op);
+
+/**
+ * True for instructions at which a Pin-like runtime starts a new dynamic
+ * basic block even though they are not branches (CPUID, REP strings) —
+ * the §4.1 implementation challenge.
+ */
+bool isPinBlockSplitter(Opcode op);
+
+/** Number of explicit operands an opcode takes (0, 1 or 2). */
+int operandCount(Opcode op);
+
+} // namespace tea
+
+#endif // TEA_ISA_INSN_HH

@@ -1,0 +1,124 @@
+#include "isa/program.hh"
+
+#include "isa/encoding.hh"
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace tea {
+
+void
+Program::setBase(Addr new_base)
+{
+    if (!insns.empty())
+        fatal("setBase after instructions were appended");
+    base = new_base;
+    cursor = new_base;
+}
+
+void
+Program::append(Insn insn)
+{
+    insn.addr = cursor;
+    insn.length = static_cast<uint8_t>(encodedLength(insn));
+    byAddr[insn.addr] = insns.size();
+    cursor += insn.length;
+    insns.push_back(insn);
+}
+
+void
+Program::addLabel(const std::string &name, Addr addr)
+{
+    auto [it, inserted] = labelMap.emplace(name, addr);
+    if (!inserted && it->second != addr)
+        fatal("label '%s' redefined (0x%x vs 0x%x)", name.c_str(),
+              it->second, addr);
+}
+
+Addr
+Program::label(const std::string &name) const
+{
+    auto it = labelMap.find(name);
+    if (it == labelMap.end())
+        fatal("unknown label '%s'", name.c_str());
+    return it->second;
+}
+
+bool
+Program::hasLabel(const std::string &name) const
+{
+    return labelMap.count(name) != 0;
+}
+
+std::string
+Program::labelAt(Addr addr) const
+{
+    for (const auto &[name, label_addr] : labelMap)
+        if (label_addr == addr)
+            return name;
+    return "";
+}
+
+void
+Program::addData(Addr addr, uint32_t value)
+{
+    dataWords.push_back({addr, value});
+}
+
+size_t
+Program::indexAt(Addr addr) const
+{
+    auto it = byAddr.find(addr);
+    return it == byAddr.end() ? npos : it->second;
+}
+
+const Insn &
+Program::insnAt(Addr addr) const
+{
+    size_t idx = indexAt(addr);
+    if (idx == npos)
+        fatal("no instruction at address %s", hex32(addr).c_str());
+    return insns[idx];
+}
+
+void
+Program::patch(size_t index, Insn insn)
+{
+    if (index >= insns.size())
+        fatal("patch: index %zu out of range", index);
+    Insn &old = insns[index];
+    insn.addr = old.addr;
+    insn.length = static_cast<uint8_t>(encodedLength(insn));
+    if (insn.length != old.length)
+        fatal("patch at %s changes length (%u -> %u)",
+              hex32(old.addr).c_str(), old.length, insn.length);
+    old = insn;
+}
+
+std::vector<uint8_t>
+Program::encodeImage() const
+{
+    std::vector<uint8_t> bytes;
+    bytes.reserve(codeBytes());
+    for (const Insn &insn : insns) {
+        size_t len = encode(insn, bytes);
+        TEA_ASSERT(len == insn.length, "length drift at %s",
+                   hex32(insn.addr).c_str());
+    }
+    return bytes;
+}
+
+Program
+Program::decodeImage(const std::vector<uint8_t> &bytes, Addr image_base)
+{
+    Program prog;
+    prog.setBase(image_base);
+    size_t offset = 0;
+    while (offset < bytes.size()) {
+        Insn insn = decode(bytes, offset, image_base + offset);
+        offset += insn.length;
+        prog.append(insn);
+    }
+    return prog;
+}
+
+} // namespace tea

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * A loaded TinyX86 program image: code, symbols, and initial data.
+ */
+
+#ifndef TEA_ISA_PROGRAM_HH
+#define TEA_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/insn.hh"
+
+namespace tea {
+
+/** One word of initialized data at a guest address. */
+struct DataWord
+{
+    Addr addr;
+    uint32_t value;
+};
+
+/**
+ * A program image ready for execution or translation.
+ *
+ * Instructions are stored decoded, each stamped with its guest address and
+ * encoded length, so lookups by address are O(1). The image also carries
+ * the label table (for diagnostics and the paper-figure examples) and the
+ * initial data section contents.
+ */
+class Program
+{
+  public:
+    Program() = default;
+
+    /** Append an instruction laid out at the current code cursor. */
+    void append(Insn insn);
+
+    /** Set the code base address; only valid before any append. */
+    void setBase(Addr base);
+
+    /** Code base address (default 0x1000). */
+    Addr baseAddr() const { return base; }
+
+    /** Address one past the last code byte. */
+    Addr endAddr() const { return cursor; }
+
+    /** Entry point (defaults to the base address). */
+    Addr entry() const { return entryAddr == kNoAddr ? base : entryAddr; }
+
+    /** Set the entry point. */
+    void setEntry(Addr addr) { entryAddr = addr; }
+
+    /** Bind a label name to an address. */
+    void addLabel(const std::string &name, Addr addr);
+
+    /** Address of a label; throws FatalError when missing. */
+    Addr label(const std::string &name) const;
+
+    /** True when the label exists. */
+    bool hasLabel(const std::string &name) const;
+
+    /** Name of the label bound at addr, or "" when none. */
+    std::string labelAt(Addr addr) const;
+
+    /** All labels, name -> address. */
+    const std::map<std::string, Addr> &labels() const { return labelMap; }
+
+    /** Add one word of initialized data. */
+    void addData(Addr addr, uint32_t value);
+
+    /** All initialized data words. */
+    const std::vector<DataWord> &data() const { return dataWords; }
+
+    /** Number of instructions. */
+    size_t size() const { return insns.size(); }
+
+    /** Instruction by index. */
+    const Insn &at(size_t index) const { return insns[index]; }
+
+    /** All instructions in layout order. */
+    const std::vector<Insn> &instructions() const { return insns; }
+
+    /**
+     * Index of the instruction whose first byte is at addr.
+     * @return the index, or npos when addr is not an instruction start.
+     */
+    size_t indexAt(Addr addr) const;
+
+    /** Sentinel returned by indexAt for misses. */
+    static constexpr size_t npos = static_cast<size_t>(-1);
+
+    /** True when addr is the first byte of some instruction. */
+    bool isInsnStart(Addr addr) const { return indexAt(addr) != npos; }
+
+    /** Instruction at a guest address; throws FatalError on a miss. */
+    const Insn &insnAt(Addr addr) const;
+
+    /**
+     * Replace the instruction at an index in place (code patching, as a
+     * DBT does when linking traces). The replacement must have the same
+     * encoded length; throws FatalError otherwise.
+     */
+    void patch(size_t index, Insn insn);
+
+    /** Total encoded code bytes. */
+    size_t codeBytes() const { return cursor - base; }
+
+    /**
+     * Serialize the code section to raw bytes (the "binary" a DBT would
+     * consume). Round-trips through decodeImage().
+     */
+    std::vector<uint8_t> encodeImage() const;
+
+    /**
+     * Rebuild a program from raw code bytes at the given base address.
+     * Labels and data are not part of the raw image.
+     */
+    static Program decodeImage(const std::vector<uint8_t> &bytes, Addr base);
+
+  private:
+    Addr base = 0x1000;
+    Addr cursor = 0x1000;
+    Addr entryAddr = kNoAddr;
+    std::vector<Insn> insns;
+    std::unordered_map<Addr, size_t> byAddr;
+    std::map<std::string, Addr> labelMap;
+    std::vector<DataWord> dataWords;
+};
+
+} // namespace tea
+
+#endif // TEA_ISA_PROGRAM_HH

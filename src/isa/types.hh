@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Basic guest-architecture types for the TinyX86 ISA.
+ *
+ * TinyX86 is the synthetic 32-bit x86-like guest ISA this repository uses
+ * in place of IA-32 (see DESIGN.md, "Substitutions"). It keeps the
+ * properties TEA depends on: variable-length encodings, conditional and
+ * indirect control flow, CPUID-style "unexpected" instructions and
+ * REP-prefixed string operations.
+ */
+
+#ifndef TEA_ISA_TYPES_HH
+#define TEA_ISA_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tea {
+
+/** A guest virtual address. TinyX86 is a 32-bit architecture. */
+using Addr = uint32_t;
+
+/** An invalid / "no address" marker. */
+constexpr Addr kNoAddr = 0xffffffffu;
+
+/** General-purpose registers, numbered as IA-32 does. */
+enum class Reg : uint8_t
+{
+    Eax = 0,
+    Ecx = 1,
+    Edx = 2,
+    Ebx = 3,
+    Esp = 4,
+    Ebp = 5,
+    Esi = 6,
+    Edi = 7,
+};
+
+/** Number of general purpose registers. */
+constexpr size_t kNumRegs = 8;
+
+/** Register name ("eax", ...). */
+const char *regName(Reg reg);
+
+/** Parse a register name; returns false when the name is unknown. */
+bool parseReg(const std::string &name, Reg &out);
+
+/** Condition flags (subset of EFLAGS). */
+struct Flags
+{
+    bool zf = false; ///< zero
+    bool sf = false; ///< sign
+    bool cf = false; ///< carry (unsigned overflow)
+    bool of = false; ///< signed overflow
+
+    bool operator==(const Flags &) const = default;
+};
+
+} // namespace tea
+
+#endif // TEA_ISA_TYPES_HH

@@ -1,0 +1,342 @@
+#include "opt/peephole.hh"
+
+#include <optional>
+
+#include "util/logging.hh"
+
+namespace tea {
+
+namespace {
+
+using RegMask = uint32_t;
+
+RegMask
+bit(Reg r)
+{
+    return 1u << static_cast<unsigned>(r);
+}
+
+constexpr RegMask kAllRegs = 0xff;
+
+/** Registers an operand reads when used as a source. */
+RegMask
+operandReads(const Operand &op)
+{
+    switch (op.kind) {
+      case OperandKind::Reg:
+        return bit(op.reg);
+      case OperandKind::Mem: {
+        RegMask m = 0;
+        if (op.mem.hasBase)
+            m |= bit(op.mem.base);
+        if (op.mem.hasIndex)
+            m |= bit(op.mem.index);
+        return m;
+      }
+      default:
+        return 0;
+    }
+}
+
+/** True when the opcode reads its dst operand before writing it. */
+bool
+readsDst(Opcode op)
+{
+    switch (op) {
+      case Opcode::Mov:
+      case Opcode::Lea:
+      case Opcode::Pop:
+        return false;
+      default:
+        return true;
+    }
+}
+
+/** True when the opcode writes a register dst. */
+bool
+writesDst(Opcode op)
+{
+    switch (op) {
+      case Opcode::Cmp:
+      case Opcode::Test:
+      case Opcode::Push:
+      case Opcode::Out:
+        return false;
+      default:
+        return !isControlFlow(op) && op != Opcode::Nop &&
+               op != Opcode::Halt && op != Opcode::Cpuid &&
+               !isRepString(op);
+    }
+}
+
+RegMask
+regsRead(const Insn &insn)
+{
+    RegMask m = 0;
+    // A memory dst always reads its address registers; a register dst
+    // is read only by read-modify-write opcodes.
+    if (readsDst(insn.op) || insn.dst.kind == OperandKind::Mem)
+        m |= operandReads(insn.dst);
+    m |= operandReads(insn.src);
+    switch (insn.op) {
+      case Opcode::Push:
+      case Opcode::Pop:
+      case Opcode::Call:
+      case Opcode::Ret:
+        m |= bit(Reg::Esp);
+        break;
+      case Opcode::RepMovs:
+        m |= bit(Reg::Ecx) | bit(Reg::Esi) | bit(Reg::Edi);
+        break;
+      case Opcode::RepStos:
+        m |= bit(Reg::Ecx) | bit(Reg::Edi) | bit(Reg::Eax);
+        break;
+      case Opcode::RepScas:
+        m |= bit(Reg::Ecx) | bit(Reg::Edi) | bit(Reg::Eax);
+        break;
+      case Opcode::Xchg:
+        m |= operandReads(insn.dst);
+        break;
+      default:
+        break;
+    }
+    return m;
+}
+
+RegMask
+regsWritten(const Insn &insn)
+{
+    RegMask m = 0;
+    if (writesDst(insn.op) && insn.dst.kind == OperandKind::Reg)
+        m |= bit(insn.dst.reg);
+    switch (insn.op) {
+      case Opcode::Xchg:
+        if (insn.src.kind == OperandKind::Reg)
+            m |= bit(insn.src.reg);
+        if (insn.dst.kind == OperandKind::Reg)
+            m |= bit(insn.dst.reg);
+        break;
+      case Opcode::Push:
+      case Opcode::Pop:
+      case Opcode::Call:
+      case Opcode::Ret:
+        m |= bit(Reg::Esp);
+        break;
+      case Opcode::Cpuid:
+        m |= bit(Reg::Eax) | bit(Reg::Ebx) | bit(Reg::Ecx) |
+             bit(Reg::Edx);
+        break;
+      case Opcode::RepMovs:
+        m |= bit(Reg::Ecx) | bit(Reg::Esi) | bit(Reg::Edi);
+        break;
+      case Opcode::RepStos:
+      case Opcode::RepScas:
+        m |= bit(Reg::Ecx) | bit(Reg::Edi);
+        break;
+      default:
+        break;
+    }
+    return m;
+}
+
+/** True when the opcode writes ZF/SF/CF/OF completely. */
+bool
+killsAllFlags(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Adc:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Mod:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Neg:
+      case Opcode::Cmp:
+      case Opcode::Test:
+        return true;
+      default:
+        // Inc/Dec preserve CF; shifts skip flags when the count is 0.
+        return false;
+    }
+}
+
+/** True when the opcode observes the current flags. */
+bool
+readsFlags(Opcode op)
+{
+    return isConditionalJump(op) || op == Opcode::Adc;
+}
+
+/** Flags produced by insns[i]: dead if rewritten before any reader. */
+bool
+flagsDeadAfter(const std::vector<Insn> &insns, size_t i)
+{
+    for (size_t j = i + 1; j < insns.size(); ++j) {
+        if (readsFlags(insns[j].op))
+            return false;
+        if (killsAllFlags(insns[j].op))
+            return true;
+    }
+    return false; // conservatively live across the block boundary
+}
+
+/** log2 for exact powers of two >= 2, else nullopt. */
+std::optional<int32_t>
+exactLog2(int32_t v)
+{
+    if (v < 2 || (v & (v - 1)) != 0)
+        return std::nullopt;
+    int32_t k = 0;
+    while ((1 << k) != v)
+        ++k;
+    return k;
+}
+
+/** Constant-register state. */
+struct ConstState
+{
+    std::optional<int32_t> value[kNumRegs];
+
+    void
+    invalidate(RegMask written)
+    {
+        for (size_t r = 0; r < kNumRegs; ++r)
+            if (written & (1u << r))
+                value[r].reset();
+    }
+};
+
+} // namespace
+
+std::vector<Insn>
+optimizeBlock(const std::vector<Insn> &input, PeepholeStats *stats)
+{
+    PeepholeStats local;
+    std::vector<Insn> out;
+    out.reserve(input.size());
+    ConstState consts;
+
+    for (size_t i = 0; i < input.size(); ++i) {
+        Insn insn = input[i];
+
+        // --- constant propagation into operands ------------------
+        auto substitute = [&](Operand &op, bool value_position) {
+            if (op.kind == OperandKind::Reg && value_position) {
+                auto v = consts.value[static_cast<size_t>(op.reg)];
+                if (v) {
+                    op = Operand::makeImm(*v);
+                    ++local.constOperands;
+                }
+            } else if (op.kind == OperandKind::Mem) {
+                MemRef &m = op.mem;
+                if (m.hasBase) {
+                    auto v = consts.value[static_cast<size_t>(m.base)];
+                    int64_t folded =
+                        v ? static_cast<int64_t>(m.disp) + *v : 0;
+                    if (v && folded >= INT32_MIN && folded <= INT32_MAX) {
+                        m.disp = static_cast<int32_t>(folded);
+                        m.hasBase = false;
+                        m.base = Reg::Eax;
+                        ++local.memFolds;
+                    }
+                }
+                if (m.hasIndex) {
+                    auto v = consts.value[static_cast<size_t>(m.index)];
+                    int64_t folded =
+                        v ? static_cast<int64_t>(m.disp) +
+                                static_cast<int64_t>(*v) * m.scale
+                          : 0;
+                    if (v && folded >= INT32_MIN && folded <= INT32_MAX) {
+                        m.disp = static_cast<int32_t>(folded);
+                        m.hasIndex = false;
+                        m.index = Reg::Eax;
+                        m.scale = 1;
+                        ++local.memFolds;
+                    }
+                }
+            }
+        };
+        // src operands are always value reads; dst is a value read only
+        // for read-only ops (cmp/test/push/out) and indirect branches.
+        bool dst_is_value_read =
+            insn.op == Opcode::Cmp || insn.op == Opcode::Test ||
+            insn.op == Opcode::Push || insn.op == Opcode::Out;
+        // xchg writes its src operand, so it is not a value read.
+        if (operandCount(insn.op) >= 2 && insn.op != Opcode::Xchg)
+            substitute(insn.src, true);
+        if (operandCount(insn.op) >= 1)
+            substitute(insn.dst, dst_is_value_read);
+
+        // --- strength reduction -----------------------------------
+        if (insn.op == Opcode::Mul && insn.src.kind == OperandKind::Imm) {
+            if (auto k = exactLog2(insn.src.imm);
+                k && flagsDeadAfter(input, i)) {
+                insn.op = Opcode::Shl;
+                insn.src = Operand::makeImm(*k);
+                ++local.strengthReduced;
+            }
+        }
+
+        // --- dead-mov elimination ---------------------------------
+        if (insn.op == Opcode::Mov && insn.dst.kind == OperandKind::Reg) {
+            Reg r = insn.dst.reg;
+            if (insn.src.kind == OperandKind::Reg &&
+                insn.src.reg == r) {
+                ++local.deadMovs; // mov r, r
+                continue;
+            }
+            // Overwritten before any read within the block?
+            bool dead = false;
+            for (size_t j = i + 1; j < input.size(); ++j) {
+                if (regsRead(input[j]) & bit(r))
+                    break;
+                if (regsWritten(input[j]) & bit(r)) {
+                    dead = true;
+                    break;
+                }
+            }
+            if (dead) {
+                ++local.deadMovs;
+                continue; // drop it (mov writes no flags)
+            }
+        }
+
+        // --- update constant tracking -----------------------------
+        consts.invalidate(regsWritten(insn));
+        if (insn.op == Opcode::Mov &&
+            insn.dst.kind == OperandKind::Reg &&
+            insn.src.kind == OperandKind::Imm)
+            consts.value[static_cast<size_t>(insn.dst.reg)] =
+                insn.src.imm;
+
+        out.push_back(insn);
+    }
+
+    if (stats) {
+        stats->constOperands += local.constOperands;
+        stats->memFolds += local.memFolds;
+        stats->deadMovs += local.deadMovs;
+        stats->strengthReduced += local.strengthReduced;
+    }
+    return out;
+}
+
+std::vector<Insn>
+optimizeBlock(const Program &prog, Addr start, Addr end,
+              PeepholeStats *stats)
+{
+    size_t first = prog.indexAt(start);
+    size_t last = prog.indexAt(end);
+    if (first == Program::npos || last == Program::npos || last < first)
+        fatal("peephole: bad block [%u, %u]", start, end);
+    std::vector<Insn> insns(prog.instructions().begin() +
+                                static_cast<long>(first),
+                            prog.instructions().begin() +
+                                static_cast<long>(last) + 1);
+    return optimizeBlock(insns, stats);
+}
+
+} // namespace tea

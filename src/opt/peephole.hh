@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Intra-TBB peephole optimization of trace code.
+ *
+ * The paper's §2 motivation is that recorded traces get *optimized*
+ * using the profile data TEA collects. This pass implements the safe,
+ * always-applicable subset a trace JIT would run before anything
+ * speculative:
+ *
+ *  - **constant propagation**: after `mov r, imm`, later reads of r in
+ *    the same TBB become immediates (including folding constant bases
+ *    or indices into memory displacements) — bit-identical results and
+ *    flags, so unconditionally sound;
+ *  - **dead-store elimination** for register moves overwritten before
+ *    any read (moves never write flags in TinyX86);
+ *  - **strength reduction** `mul r, 2^k` -> `shl r, k`, applied only
+ *    where the multiply's flags are provably dead within the TBB
+ *    (flags are conservatively live across TBB boundaries — think of
+ *    the ADC loops in syn.lucas).
+ *
+ * The scope is one TBB: side exits make cross-block transforms require
+ * compensation code, which is exactly the paper's duplication/unrolling
+ * discussion and out of scope for a baseline pass.
+ */
+
+#ifndef TEA_OPT_PEEPHOLE_HH
+#define TEA_OPT_PEEPHOLE_HH
+
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace tea {
+
+/** What the pass did (accumulated across calls). */
+struct PeepholeStats
+{
+    uint64_t constOperands = 0;  ///< register reads become immediates
+    uint64_t memFolds = 0;       ///< base/index folded into disp
+    uint64_t deadMovs = 0;       ///< register moves removed
+    uint64_t strengthReduced = 0;///< mul -> shift
+
+    uint64_t
+    total() const
+    {
+        return constOperands + memFolds + deadMovs + strengthReduced;
+    }
+};
+
+/**
+ * Optimize one TBB's instruction sequence.
+ *
+ * @param insns  the block's instructions in execution order (the
+ *               terminator, if any, is transformed conservatively:
+ *               its operands may be simplified but it is never removed)
+ * @param stats  accumulates what happened (optional)
+ * @return the optimized sequence; never more *instructions* than the
+ *         input (encoded bytes may grow slightly where registers become
+ *         wide immediates).
+ */
+std::vector<Insn> optimizeBlock(const std::vector<Insn> &insns,
+                                PeepholeStats *stats = nullptr);
+
+/** Convenience: fetch [start, end] from prog and optimize it. */
+std::vector<Insn> optimizeBlock(const Program &prog, Addr start, Addr end,
+                                PeepholeStats *stats = nullptr);
+
+} // namespace tea
+
+#endif // TEA_OPT_PEEPHOLE_HH

@@ -1,0 +1,116 @@
+#include "sim/cycle_model.hh"
+
+#include "util/logging.hh"
+
+namespace tea {
+
+CycleModel::CycleModel(const Program &program, CycleConfig config)
+    : prog(program), cfg(config), bp(config.predictorEntries)
+{
+}
+
+uint32_t
+CycleModel::insnCost(const Insn &insn) const
+{
+    uint32_t cost;
+    switch (insn.op) {
+      case Opcode::Mul:
+        cost = cfg.mulOp;
+        break;
+      case Opcode::Div:
+      case Opcode::Mod:
+        cost = cfg.divOp;
+        break;
+      case Opcode::Push:
+      case Opcode::Pop:
+        cost = cfg.stackOp;
+        break;
+      case Opcode::Call:
+      case Opcode::Ret:
+        cost = cfg.callRet;
+        break;
+      case Opcode::Cpuid:
+        cost = cfg.cpuidOp;
+        break;
+      case Opcode::RepMovs:
+      case Opcode::RepStos:
+      case Opcode::RepScas:
+        cost = cfg.simpleOp; // per-iteration cost is added dynamically
+        break;
+      default:
+        cost = isControlFlow(insn.op) ? cfg.branchBase : cfg.simpleOp;
+        break;
+    }
+    if (insn.dst.kind == OperandKind::Mem)
+        cost += cfg.memSurcharge;
+    if (insn.src.kind == OperandKind::Mem)
+        cost += cfg.memSurcharge;
+    return cost;
+}
+
+uint64_t
+CycleModel::blockCost(Addr start, Addr end)
+{
+    uint64_t key = (static_cast<uint64_t>(start) << 32) | end;
+    auto it = blockCosts.find(key);
+    if (it != blockCosts.end())
+        return it->second;
+
+    size_t first = prog.indexAt(start);
+    size_t last = prog.indexAt(end);
+    if (first == Program::npos || last == Program::npos || last < first)
+        fatal("cycle model: bad block [%u, %u]", start, end);
+    uint64_t cost = 0;
+    for (size_t i = first; i <= last; ++i)
+        cost += insnCost(prog.at(i));
+    blockCosts.emplace(key, cost);
+    return cost;
+}
+
+uint64_t
+CycleModel::feed(const BlockTransition &tr)
+{
+    uint64_t charged = blockCost(tr.from.start, tr.from.end);
+
+    // Dynamic REP iterations beyond the first.
+    uint64_t static_count = 0;
+    {
+        size_t first = prog.indexAt(tr.from.start);
+        size_t last = prog.indexAt(tr.from.end);
+        static_count = last - first + 1;
+    }
+    if (tr.from.icount > static_count)
+        charged += (tr.from.icount - static_count) * cfg.repPerIteration;
+
+    // Branch modelling at the block's terminator.
+    if (tr.kind == EdgeKind::BranchTaken ||
+        tr.kind == EdgeKind::BranchNotTaken) {
+        bool taken = tr.kind == EdgeKind::BranchTaken;
+        if (!bp.update(tr.from.end, taken))
+            charged += cfg.mispredictPenalty;
+    } else if (tr.kind == EdgeKind::Ret) {
+        // Return-address stack hit assumed; calls/rets cost their base.
+    }
+
+    total += charged;
+    insns += tr.from.icount;
+    return charged;
+}
+
+double
+CycleModel::cpi() const
+{
+    if (insns == 0)
+        return 0.0;
+    return static_cast<double>(total) / static_cast<double>(insns);
+}
+
+void
+CycleModel::reset()
+{
+    total = 0;
+    insns = 0;
+    bp.reset();
+}
+
+} // namespace tea

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A block-granular timing model — the "second system" of the paper's
+ * first use case: *"building traces in one system, e.g. by using a DBT,
+ * and collecting statistics and profiling information for them on a
+ * second system, e.g. by replaying the traces on a cycle accurate
+ * simulator."*
+ *
+ * The model consumes the same block-transition stream as the TEA
+ * replayer and charges:
+ *   - static per-instruction costs (latency class per opcode, memory
+ *     operand surcharges), precomputed per program block;
+ *   - dynamic REP iteration costs;
+ *   - branch-misprediction penalties from a bimodal predictor.
+ *
+ * Combined with TEA's state it yields per-trace cycle and CPI numbers
+ * for code that was never compiled into a code cache.
+ */
+
+#ifndef TEA_SIM_CYCLE_MODEL_HH
+#define TEA_SIM_CYCLE_MODEL_HH
+
+#include <unordered_map>
+
+#include "isa/program.hh"
+#include "sim/predictor.hh"
+#include "vm/block.hh"
+
+namespace tea {
+
+/** Timing parameters; defaults sketch a 2010-era out-of-order core. */
+struct CycleConfig
+{
+    uint32_t simpleOp = 1;       ///< mov/add/logic/lea/...
+    uint32_t mulOp = 3;
+    uint32_t divOp = 20;
+    uint32_t memSurcharge = 2;   ///< per memory operand (L1 hit)
+    uint32_t stackOp = 2;        ///< push/pop
+    uint32_t callRet = 2;
+    uint32_t cpuidOp = 60;       ///< serializing instruction
+    uint32_t repPerIteration = 1;
+    uint32_t branchBase = 1;
+    uint32_t mispredictPenalty = 14;
+    size_t predictorEntries = 4096;
+};
+
+/**
+ * Accumulates cycles over a run; feed every BlockTransition.
+ */
+class CycleModel
+{
+  public:
+    CycleModel(const Program &prog, CycleConfig config = {});
+
+    /**
+     * Charge one completed block plus its terminating control transfer.
+     * @return the cycles charged for this block instance.
+     */
+    uint64_t feed(const BlockTransition &tr);
+
+    /** Total cycles so far. */
+    uint64_t cycles() const { return total; }
+
+    /** Cycles per instruction over everything fed so far. */
+    double cpi() const;
+
+    /** The predictor (for accuracy statistics). */
+    const BranchPredictor &predictor() const { return bp; }
+
+    /** Static cycle cost of one instruction under this config. */
+    uint32_t insnCost(const Insn &insn) const;
+
+    /** Reset all accumulation (the predictor included). */
+    void reset();
+
+  private:
+    uint64_t blockCost(Addr start, Addr end);
+
+    const Program &prog;
+    CycleConfig cfg;
+    BranchPredictor bp;
+    uint64_t total = 0;
+    uint64_t insns = 0;
+    /** Memoized static block costs keyed by packed (start, end). */
+    std::unordered_map<uint64_t, uint64_t> blockCosts;
+};
+
+} // namespace tea
+
+#endif // TEA_SIM_CYCLE_MODEL_HH

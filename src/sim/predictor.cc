@@ -1,0 +1,52 @@
+#include "sim/predictor.hh"
+
+#include "util/logging.hh"
+
+namespace tea {
+
+BranchPredictor::BranchPredictor(size_t entries)
+{
+    if (entries == 0 || (entries & (entries - 1)) != 0)
+        fatal("predictor size %zu is not a power of two", entries);
+    counters.assign(entries, 1); // weakly not-taken
+    mask = entries - 1;
+}
+
+bool
+BranchPredictor::predict(Addr addr) const
+{
+    return counters[index(addr)] >= 2;
+}
+
+bool
+BranchPredictor::update(Addr addr, bool taken)
+{
+    uint8_t &ctr = counters[index(addr)];
+    bool predicted = ctr >= 2;
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+    ++total;
+    if (predicted != taken)
+        ++wrong;
+    return predicted == taken;
+}
+
+double
+BranchPredictor::accuracy() const
+{
+    if (total == 0)
+        return 1.0;
+    return 1.0 - static_cast<double>(wrong) / static_cast<double>(total);
+}
+
+void
+BranchPredictor::reset()
+{
+    counters.assign(counters.size(), 1);
+    total = 0;
+    wrong = 0;
+}
+
+} // namespace tea

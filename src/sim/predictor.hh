@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A bimodal branch predictor for the cycle model.
+ */
+
+#ifndef TEA_SIM_PREDICTOR_HH
+#define TEA_SIM_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/types.hh"
+
+namespace tea {
+
+/**
+ * Classic 2-bit saturating-counter bimodal predictor, indexed by branch
+ * address. Used by the CycleModel to charge misprediction penalties —
+ * the dominant timing effect trace selection interacts with.
+ */
+class BranchPredictor
+{
+  public:
+    /** @param entries table size; must be a power of two. */
+    explicit BranchPredictor(size_t entries = 4096);
+
+    /** Predicted direction for the branch at addr. */
+    bool predict(Addr addr) const;
+
+    /**
+     * Train with the actual outcome.
+     * @return true when the prediction was correct.
+     */
+    bool update(Addr addr, bool taken);
+
+    /** Accuracy so far (1.0 when nothing was predicted yet). */
+    double accuracy() const;
+
+    uint64_t predictions() const { return total; }
+    uint64_t mispredictions() const { return wrong; }
+
+    /** Reset the tables and counters. */
+    void reset();
+
+  private:
+    size_t index(Addr addr) const { return (addr >> 2) & mask; }
+
+    std::vector<uint8_t> counters; ///< 0..3; >= 2 predicts taken
+    size_t mask;
+    uint64_t total = 0;
+    uint64_t wrong = 0;
+};
+
+} // namespace tea
+
+#endif // TEA_SIM_PREDICTOR_HH

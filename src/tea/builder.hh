@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Algorithm 1: converting a set of traces into a TEA.
+ */
+
+#ifndef TEA_TEA_BUILDER_HH
+#define TEA_TEA_BUILDER_HH
+
+#include "tea/automaton.hh"
+#include "trace/trace.hh"
+
+namespace tea {
+
+/**
+ * Build the whole-program TEA for a trace set (Algorithm 1).
+ *
+ * Step 1 creates the NTE state (implicit in Tea's constructor); step 2
+ * adds one state per TBB (Property 1); step 3 adds, for every TBB, the
+ * transitions to its intra-trace successors labeled with the successor's
+ * start address, leaves transitions to non-trace successors implicit
+ * (they fall back to NTE), and wires NTE to every trace entry
+ * (Property 2).
+ *
+ * The result is validated against the input before being returned.
+ */
+Tea buildTea(const TraceSet &traces);
+
+} // namespace tea
+
+#endif // TEA_TEA_BUILDER_HH

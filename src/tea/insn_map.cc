@@ -1,0 +1,67 @@
+#include "tea/insn_map.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace tea {
+
+InsnMap::InsnMap(const Tea &automaton, const Program &program)
+    : tea(automaton), prog(program)
+{
+    addrs.resize(tea.numStates());
+    for (StateId id = 1; id < tea.numStates(); ++id) {
+        const TeaState &s = tea.state(id);
+        size_t first = prog.indexAt(s.start);
+        size_t last = prog.indexAt(s.end);
+        if (first == Program::npos || last == Program::npos ||
+            last < first)
+            fatal("insn map: state %u block [%s, %s] not in program", id,
+                  hex32(s.start).c_str(), hex32(s.end).c_str());
+        auto &list = addrs[id];
+        list.reserve(last - first + 1);
+        for (size_t i = first; i <= last; ++i)
+            list.push_back(prog.at(i).addr);
+        total += list.size();
+    }
+}
+
+bool
+InsnMap::map(StateId state, Addr pc, TraceInsn &out) const
+{
+    if (state == Tea::kNteState || state >= addrs.size())
+        return false;
+    const auto &list = addrs[state];
+    auto it = std::lower_bound(list.begin(), list.end(), pc);
+    if (it == list.end() || *it != pc)
+        return false;
+    const TeaState &s = tea.state(state);
+    out.trace = s.trace;
+    out.tbb = s.tbb;
+    out.index = static_cast<uint32_t>(it - list.begin());
+    out.pc = pc;
+    return true;
+}
+
+size_t
+InsnMap::insnCount(StateId state) const
+{
+    TEA_ASSERT(state < addrs.size(), "bad state id %u", state);
+    return addrs[state].size();
+}
+
+std::vector<TraceInsn>
+InsnMap::instancesOf(StateId state) const
+{
+    std::vector<TraceInsn> out;
+    if (state == Tea::kNteState || state >= addrs.size())
+        return out;
+    const TeaState &s = tea.state(state);
+    out.reserve(addrs[state].size());
+    for (uint32_t i = 0; i < addrs[state].size(); ++i)
+        out.push_back({s.trace, s.tbb, i, addrs[state][i]});
+    return out;
+}
+
+} // namespace tea

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Instruction-granular trace mapping.
+ *
+ * The paper defines TEA as mapping executing instructions to
+ * "instructions or basic blocks" in recorded traces. The automaton
+ * proper works at TBB granularity; this adjunct refines a (state, PC)
+ * pair to the precise *instruction instance* inside the trace — e.g.
+ * instruction (C) of the duplicated trace in Figure 1(d), as opposed to
+ * the same guest instruction's copy (5) in another TBB.
+ *
+ * This is a pure query structure derived from a Tea and the program; it
+ * adds nothing to the automaton's memory accounting.
+ */
+
+#ifndef TEA_TEA_INSN_MAP_HH
+#define TEA_TEA_INSN_MAP_HH
+
+#include <vector>
+
+#include "isa/program.hh"
+#include "tea/automaton.hh"
+
+namespace tea {
+
+/** The identity of one instruction instance inside a trace. */
+struct TraceInsn
+{
+    TraceId trace;   ///< owning trace
+    uint32_t tbb;    ///< TBB instance within the trace
+    uint32_t index;  ///< instruction index within the TBB (0-based)
+    Addr pc;         ///< the guest address it mirrors
+
+    bool operator==(const TraceInsn &) const = default;
+};
+
+/**
+ * Refines block-level TEA states to instruction instances.
+ */
+class InsnMap
+{
+  public:
+    /**
+     * Build the map for an automaton over a program.
+     * @throws FatalError when a state's block range does not decode in
+     *         the program.
+     */
+    InsnMap(const Tea &tea, const Program &prog);
+
+    /**
+     * Map the PC executing under a given automaton state.
+     * @param state the replayer's current state
+     * @param pc    the executing instruction's address
+     * @return true and fill `out` when the state is a TBB state and pc
+     *         falls on one of its instructions; false otherwise (NTE,
+     *         or a PC outside the state's block — which cannot happen
+     *         on a consistent replay).
+     */
+    bool map(StateId state, Addr pc, TraceInsn &out) const;
+
+    /** Number of instruction instances across all TBB states. */
+    size_t totalInsns() const { return total; }
+
+    /** Instruction count of one TBB state. */
+    size_t insnCount(StateId state) const;
+
+    /** All instruction instances of a state, in execution order. */
+    std::vector<TraceInsn> instancesOf(StateId state) const;
+
+  private:
+    const Tea &tea;
+    const Program &prog;
+    /** Per state: the addresses of its instructions (index aligned). */
+    std::vector<std::vector<Addr>> addrs;
+    size_t total = 0;
+};
+
+} // namespace tea
+
+#endif // TEA_TEA_INSN_MAP_HH

@@ -1,0 +1,62 @@
+#include "tea/phase.hh"
+
+namespace tea {
+
+void
+PhaseDetector::sample(const ReplayStats &stats)
+{
+    // "Off-trace" events: transitions that fell out of all traces into
+    // cold code, plus block executions spent in NTE. Both are ~zero
+    // while the recorded traces match the program's current behaviour
+    // and spike between phases (Wimmer et al.'s stability criterion).
+    uint64_t off_trace = stats.exitsToCold + stats.nteBlocks;
+    uint64_t blocks = stats.blocks - lastBlocks;
+    uint64_t exits = off_trace - lastExits;
+    lastBlocks = stats.blocks;
+    lastExits = off_trace;
+    if (blocks < cfg.minWindowBlocks)
+        return;
+
+    Window w;
+    w.blocks = blocks;
+    w.exits = exits;
+    w.ratio = static_cast<double>(exits) / static_cast<double>(blocks);
+    w.stable = w.ratio <= cfg.stableExitRatio;
+    wins.push_back(w);
+}
+
+bool
+PhaseDetector::inStablePhase() const
+{
+    return !wins.empty() && wins.back().stable;
+}
+
+size_t
+PhaseDetector::phaseCount() const
+{
+    size_t phases = 0;
+    bool in_run = false;
+    for (const Window &w : wins) {
+        if (w.stable && !in_run) {
+            ++phases;
+            in_run = true;
+        } else if (!w.stable) {
+            in_run = false;
+        }
+    }
+    return phases;
+}
+
+size_t
+PhaseDetector::longestPhase() const
+{
+    size_t best = 0;
+    size_t run = 0;
+    for (const Window &w : wins) {
+        run = w.stable ? run + 1 : 0;
+        best = std::max(best, run);
+    }
+    return best;
+}
+
+} // namespace tea

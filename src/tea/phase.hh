@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Phase detection via trace stability (extension).
+ *
+ * Wimmer et al. (PPPJ '09), cited in the paper's related work, identify
+ * program phases from trace behaviour: when the recorded traces are
+ * stable (low trace-exit ratio) the program is in a phase; when side
+ * exits spike the program is between phases. TEA makes this cheap — the
+ * replayer already counts trace exits — so we provide the detector as a
+ * library feature (see examples/phase_detection).
+ */
+
+#ifndef TEA_TEA_PHASE_HH
+#define TEA_TEA_PHASE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tea/replayer.hh"
+
+namespace tea {
+
+/**
+ * Classifies execution windows as stable (inside a phase) or unstable
+ * (between phases) from the replayer's running counters.
+ *
+ * Call sample() periodically (e.g. every N blocks); the detector works
+ * on deltas between consecutive samples.
+ */
+class PhaseDetector
+{
+  public:
+    struct Config
+    {
+        /** Exit ratio (exits / blocks) at or below which a window is
+         *  stable. */
+        double stableExitRatio = 0.05;
+        /** Windows shorter than this many blocks are ignored. */
+        uint64_t minWindowBlocks = 16;
+    };
+
+    /** One sampled window. */
+    struct Window
+    {
+        uint64_t blocks;  ///< block executions in the window
+        uint64_t exits;   ///< off-trace events (cold exits + NTE blocks)
+        double ratio;     ///< exits / blocks
+        bool stable;
+    };
+
+    PhaseDetector() = default;
+    explicit PhaseDetector(Config config) : cfg(config) {}
+
+    /** Feed the replayer's cumulative stats; closes one window. */
+    void sample(const ReplayStats &stats);
+
+    /** All closed windows in order. */
+    const std::vector<Window> &windows() const { return wins; }
+
+    /** True when the most recent window was stable. */
+    bool inStablePhase() const;
+
+    /** Number of maximal runs of stable windows (detected phases). */
+    size_t phaseCount() const;
+
+    /** Longest stable run, in windows. */
+    size_t longestPhase() const;
+
+  private:
+    Config cfg{};
+    std::vector<Window> wins;
+    uint64_t lastBlocks = 0;
+    uint64_t lastExits = 0;
+};
+
+} // namespace tea
+
+#endif // TEA_TEA_PHASE_HH

@@ -1,0 +1,194 @@
+#include "tea/profiler.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "isa/program.hh"
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace tea {
+
+TeaProfiler::TeaProfiler(const Tea &automaton, const TeaReplayer &rep)
+    : tea(automaton), replayer(rep)
+{
+    bins.resize(tea.numStates());
+}
+
+void
+TeaProfiler::observe(const BlockTransition &tr)
+{
+    StateId cur = replayer.currentState();
+    TEA_ASSERT(cur < bins.size(), "profiler bound to a different TEA");
+
+    TbbProfile &bin = bins[cur];
+    ++bin.executions;
+    bin.instructions += tr.from.icount;
+
+    if (cur == Tea::kNteState || tr.toStart == kNoAddr)
+        return;
+    StateId next = tea.nextState(cur, tr.toStart);
+    if (next != Tea::kNteState) {
+        // Distinguish intra-trace edges from trace-to-trace entries.
+        const TeaState &s = tea.state(cur);
+        bool intra = false;
+        for (StateId t : s.succs)
+            intra |= t == next;
+        if (intra) {
+            ++edges[{cur, next}];
+            return;
+        }
+    }
+    ++exits[{cur, tr.toStart}];
+}
+
+std::vector<TeaProfiler::ExitProfile>
+TeaProfiler::hotExits(size_t max_entries) const
+{
+    std::vector<ExitProfile> out;
+    out.reserve(exits.size());
+    for (const auto &[key, count] : exits)
+        out.push_back({key.first, key.second, count});
+    std::sort(out.begin(), out.end(),
+              [](const ExitProfile &a, const ExitProfile &b) {
+                  return a.count > b.count;
+              });
+    if (out.size() > max_entries)
+        out.resize(max_entries);
+    return out;
+}
+
+double
+TeaProfiler::traceEntryCount(TraceId trace) const
+{
+    double total = 0.0;
+    for (StateId id = 1; id < tea.numStates(); ++id)
+        if (tea.state(id).trace == trace && tea.state(id).tbb == 0)
+            total += static_cast<double>(bins[id].executions);
+    return total;
+}
+
+std::string
+TeaProfiler::report(const Program *prog, size_t max_rows) const
+{
+    std::ostringstream os;
+    os << "TEA profile: " << tea.numTbbStates() << " TBB states\n";
+
+    // Hottest TBBs first.
+    std::vector<StateId> order;
+    for (StateId id = 1; id < tea.numStates(); ++id)
+        if (bins[id].executions > 0)
+            order.push_back(id);
+    std::sort(order.begin(), order.end(), [&](StateId a, StateId b) {
+        return bins[a].executions > bins[b].executions;
+    });
+    if (order.size() > max_rows)
+        order.resize(max_rows);
+
+    for (StateId id : order) {
+        const TeaState &s = tea.state(id);
+        std::string name = hex32(s.start);
+        if (prog) {
+            std::string label = prog->labelAt(s.start);
+            if (!label.empty())
+                name = label;
+        }
+        os << strprintf("  $$T%u.%-12s %12llu execs %14llu instrs\n",
+                        s.trace + 1, name.c_str(),
+                        static_cast<unsigned long long>(
+                            bins[id].executions),
+                        static_cast<unsigned long long>(
+                            bins[id].instructions));
+    }
+
+    auto hot = hotExits(8);
+    if (!hot.empty()) {
+        os << "hot side exits:\n";
+        for (const ExitProfile &e : hot) {
+            const TeaState &s = tea.state(e.from);
+            os << strprintf("  $$T%u.%s -> %s: %llu\n", s.trace + 1,
+                            hex32(s.start).c_str(), hex32(e.to).c_str(),
+                            static_cast<unsigned long long>(e.count));
+        }
+    }
+    return os.str();
+}
+
+void
+TeaProfiler::merge(const std::string &text)
+{
+    std::istringstream stream(text);
+    std::string line;
+    int line_no = 0;
+    if (!std::getline(stream, line) ||
+        trim(line) != std::string("teaprofile 1"))
+        fatal("profile: bad header");
+    ++line_no;
+    while (std::getline(stream, line)) {
+        ++line_no;
+        auto fields = splitWhitespace(line);
+        if (fields.empty())
+            continue;
+        auto want = [&](size_t n) {
+            if (fields.size() != n)
+                fatal("profile line %d: expected %zu fields", line_no, n);
+        };
+        auto num = [&](const std::string &s) -> uint64_t {
+            int64_t v;
+            if (!parseInt(s, v) || v < 0)
+                fatal("profile line %d: bad number '%s'", line_no,
+                      s.c_str());
+            return static_cast<uint64_t>(v);
+        };
+        if (fields[0] == "tbb") {
+            want(5);
+            StateId id = tea.stateFor(static_cast<TraceId>(num(fields[1])),
+                                      static_cast<uint32_t>(num(fields[2])));
+            if (id == Tea::kNteState)
+                fatal("profile line %d: unknown TBB", line_no);
+            bins[id].executions += num(fields[3]);
+            bins[id].instructions += num(fields[4]);
+        } else if (fields[0] == "edge") {
+            want(4);
+            StateId from = static_cast<StateId>(num(fields[1]));
+            StateId to = static_cast<StateId>(num(fields[2]));
+            if (from == Tea::kNteState || from >= tea.numStates() ||
+                to == Tea::kNteState || to >= tea.numStates())
+                fatal("profile line %d: bad edge", line_no);
+            edges[{from, to}] += num(fields[3]);
+        } else if (fields[0] == "exit") {
+            want(4);
+            StateId from = static_cast<StateId>(num(fields[1]));
+            if (from == Tea::kNteState || from >= tea.numStates())
+                fatal("profile line %d: bad exit source", line_no);
+            exits[{from, static_cast<Addr>(num(fields[2]))}] +=
+                num(fields[3]);
+        } else {
+            fatal("profile line %d: unknown record '%s'", line_no,
+                  fields[0].c_str());
+        }
+    }
+}
+
+std::string
+TeaProfiler::serialize() const
+{
+    std::ostringstream os;
+    os << "teaprofile 1\n";
+    for (StateId id = 1; id < bins.size(); ++id) {
+        if (bins[id].executions == 0)
+            continue;
+        const TeaState &s = tea.state(id);
+        os << "tbb " << s.trace << " " << s.tbb << " "
+           << bins[id].executions << " " << bins[id].instructions << "\n";
+    }
+    for (const auto &[key, count] : edges)
+        os << "edge " << key.first << " " << key.second << " " << count
+           << "\n";
+    for (const auto &[key, count] : exits)
+        os << "exit " << key.first << " " << hex32(key.second) << " "
+           << count << "\n";
+    return os.str();
+}
+
+} // namespace tea

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Trace profiling on top of TEA replay.
+ *
+ * The paper's second motivating use (§1-2): collect accurate profile
+ * information for traces *before* any trace code exists — per-TBB
+ * execution counts, intra-trace edge counts, and side-exit histograms,
+ * with duplicated blocks kept in separate bins ("the ability to label
+ * duplicate instructions differently for every copy"). Profiles can be
+ * serialized next to the traces for reuse in future runs.
+ */
+
+#ifndef TEA_TEA_PROFILER_HH
+#define TEA_TEA_PROFILER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tea/replayer.hh"
+
+namespace tea {
+
+class Program;
+
+/**
+ * Accumulates a trace profile from the replayer's block stream.
+ *
+ * Feed it the same BlockTransitions the TeaReplayer receives, *after*
+ * feeding the replayer (it reads the replayer's state to attribute
+ * events). The TeaProfiler never affects the transition function; it is
+ * an analysis client like the paper's pintool.
+ */
+class TeaProfiler
+{
+  public:
+    /** Per-TBB profile record. */
+    struct TbbProfile
+    {
+        uint64_t executions = 0;   ///< times this TBB ran
+        uint64_t instructions = 0; ///< dynamic instructions inside it
+    };
+
+    /** One side exit: (TBB state, destination address) -> count. */
+    struct ExitProfile
+    {
+        StateId from;
+        Addr to;
+        uint64_t count;
+    };
+
+    TeaProfiler(const Tea &tea, const TeaReplayer &replayer);
+
+    /**
+     * Record one transition. Call immediately *before* feeding the
+     * replayer so the pre-transition state attributes the block.
+     */
+    void observe(const BlockTransition &tr);
+
+    /** Per-TBB bins, indexed by state id (0 = NTE aggregate). */
+    const std::vector<TbbProfile> &tbbProfiles() const { return bins; }
+
+    /** Intra-trace edge counts: (from state, to state) -> count. */
+    const std::map<std::pair<StateId, StateId>, uint64_t> &
+    edgeCounts() const
+    {
+        return edges;
+    }
+
+    /** Side exits sorted by decreasing count. */
+    std::vector<ExitProfile> hotExits(size_t max_entries = 16) const;
+
+    /**
+     * Completion ratio of a trace: executions of its last-executed TBBs
+     * relative to entries. Approximated as entry-state executions vs
+     * cyclic returns; a low value flags unstable traces.
+     */
+    double traceEntryCount(TraceId trace) const;
+
+    /** Render a human-readable report (the pintool's output). */
+    std::string report(const Program *prog = nullptr,
+                       size_t max_rows = 32) const;
+
+    /** Serialize to a text form that can be stored with the traces. */
+    std::string serialize() const;
+
+    /**
+     * Merge a previously stored profile (the paper's "reuse in future
+     * executions"): counts from `text` are added onto this profiler's
+     * bins. The profile must have been taken over the same trace set;
+     * records that do not match a state are rejected.
+     * @throws FatalError on malformed text or mismatched states.
+     */
+    void merge(const std::string &text);
+
+  private:
+    const Tea &tea;
+    const TeaReplayer &replayer;
+    std::vector<TbbProfile> bins;
+    std::map<std::pair<StateId, StateId>, uint64_t> edges;
+    std::map<std::pair<StateId, Addr>, uint64_t> exits;
+};
+
+} // namespace tea
+
+#endif // TEA_TEA_PROFILER_HH

@@ -1,0 +1,117 @@
+#include "tea/recorder.hh"
+
+#include "util/logging.hh"
+
+namespace tea {
+
+namespace {
+
+/** Merge b into a field-wise. */
+void
+accumulate(ReplayStats &a, const ReplayStats &b)
+{
+    a.blocks += b.blocks;
+    a.insnsTotal += b.insnsTotal;
+    a.insnsInTrace += b.insnsInTrace;
+    a.transitions += b.transitions;
+    a.intraTraceHits += b.intraTraceHits;
+    a.traceExits += b.traceExits;
+    a.exitsToCold += b.exitsToCold;
+    a.nteBlocks += b.nteBlocks;
+    a.localCacheHits += b.localCacheHits;
+    a.globalLookups += b.globalLookups;
+    a.globalHits += b.globalHits;
+}
+
+} // namespace
+
+TeaRecorder::TeaRecorder(std::unique_ptr<TraceSelector> sel,
+                         LookupConfig config)
+    : selector(std::move(sel)), cfg(config)
+{
+    TEA_ASSERT(selector != nullptr, "recorder needs a selector");
+    // "Initial": InitializeTEA — an automaton with only the NTE state.
+    automaton = buildTea(traceSet);
+    replayer = std::make_unique<TeaReplayer>(automaton, cfg);
+}
+
+TeaRecorder::~TeaRecorder() = default;
+
+ReplayStats
+TeaRecorder::stats() const
+{
+    ReplayStats total = accumulated;
+    accumulate(total, replayer->stats());
+    return total;
+}
+
+void
+TeaRecorder::install(RecordingResult result)
+{
+    if (result.kind == RecordingResult::Kind::Aborted)
+        return;
+
+    if (result.kind == RecordingResult::Kind::NewTrace)
+        traceSet.add(std::move(result.trace));
+    else
+        traceSet.replace(result.extends, std::move(result.trace));
+    ++installCount;
+
+    // Rebuild the automaton and re-seat the replayer. State ids change,
+    // so reposition from the address about to execute: entering a trace
+    // is only possible at its entry (NTE transitions), so entryAt() is
+    // exactly the automaton's answer.
+    accumulate(accumulated, replayer->stats());
+    automaton = buildTea(traceSet);
+    replayer = std::make_unique<TeaReplayer>(automaton, cfg);
+    if (lastToStart != kNoAddr)
+        replayer->setCurrentState(automaton.entryAt(lastToStart));
+}
+
+void
+TeaRecorder::feed(const BlockTransition &tr)
+{
+    // Build the policy's view of where the automaton is *before* the
+    // transition: the Current TBB of Algorithm 2.
+    StateId pre = replayer->currentState();
+    SelectorContext ctx{traceSet, pre != Tea::kNteState, 0, 0, false};
+    if (ctx.inTrace) {
+        const TeaState &s = automaton.state(pre);
+        ctx.curTrace = s.trace;
+        ctx.curTbb = s.tbb;
+        if (tr.toStart == kNoAddr) {
+            ctx.exitsTrace = true;
+        } else {
+            bool intra = false;
+            for (StateId t : s.succs)
+                if (automaton.state(t).start == tr.toStart)
+                    intra = true;
+            ctx.exitsTrace = !intra;
+        }
+    }
+
+    // ChangeState(TEA, Current, Next).
+    replayer->feed(tr);
+    lastToStart = tr.toStart;
+
+    switch (recState) {
+      case RecState::Executing: {
+        ExecutingAction action = selector->onExecuting(tr, ctx);
+        if (action == ExecutingAction::StartRecording)
+            recState = RecState::Creating;
+        else if (action == ExecutingAction::FinishImmediately)
+            install(selector->finish(traceSet));
+        break;
+      }
+      case RecState::Creating: {
+        CreatingAction action = selector->onCreating(tr, ctx);
+        if (action != CreatingAction::Continue) {
+            install(selector->finish(traceSet));
+            recState = RecState::Executing;
+        }
+        break;
+      }
+    }
+}
+
+} // namespace tea

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Algorithm 2: recording TEA (and traces) online.
+ *
+ * The recorder is the paper's three-state machine:
+ *
+ *   Initial   — set up an empty TEA (just NTE); done in the constructor.
+ *   Executing — ChangeState(TEA, Current, Next) on every block
+ *               transition; ask the selection policy whether to start
+ *               recording (TriggerTraceRecording / StartCreatingTrace).
+ *   Creating  — AddTBBToTrace(Current, Next) until the policy declares
+ *               the trace done (DoneTraceRecording / FinishTrace).
+ *
+ * One deliberate refinement over the paper's pseudo-code: ChangeState
+ * also runs while Creating, so the automaton position stays valid if a
+ * recording aborts into already-hot code.
+ */
+
+#ifndef TEA_TEA_RECORDER_HH
+#define TEA_TEA_RECORDER_HH
+
+#include <memory>
+
+#include "tea/builder.hh"
+#include "tea/replayer.hh"
+#include "trace/selector.hh"
+
+namespace tea {
+
+/**
+ * Records traces online, maintaining the TEA as it grows.
+ */
+class TeaRecorder
+{
+  public:
+    /**
+     * @param selector the trace-selection policy (owned)
+     * @param config   lookup configuration for the embedded replayer
+     */
+    TeaRecorder(std::unique_ptr<TraceSelector> selector,
+                LookupConfig config = {});
+
+    ~TeaRecorder();
+
+    /** Process one block transition (one invocation of Algorithm 2). */
+    void feed(const BlockTransition &tr);
+
+    /** The traces recorded so far. */
+    const TraceSet &traces() const { return traceSet; }
+
+    /** The automaton recorded so far. */
+    const Tea &tea() const { return automaton; }
+
+    /** Whether the state machine is currently creating a trace. */
+    bool creating() const { return recState == RecState::Creating; }
+
+    /**
+     * Counters accumulated over the whole run, including across TEA
+     * rebuilds (coverage here is the Table 3 "Recording" coverage).
+     */
+    ReplayStats stats() const;
+
+    /** Number of traces installed (new + extensions). */
+    uint64_t installs() const { return installCount; }
+
+  private:
+    enum class RecState { Executing, Creating };
+
+    void install(RecordingResult result);
+
+    std::unique_ptr<TraceSelector> selector;
+    LookupConfig cfg;
+    TraceSet traceSet;
+    Tea automaton;
+    std::unique_ptr<TeaReplayer> replayer;
+    RecState recState = RecState::Executing;
+    ReplayStats accumulated; ///< stats from replayers retired by rebuilds
+    Addr lastToStart = kNoAddr;
+    uint64_t installCount = 0;
+};
+
+} // namespace tea
+
+#endif // TEA_TEA_RECORDER_HH

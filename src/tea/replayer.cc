@@ -1,0 +1,155 @@
+#include "tea/replayer.hh"
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace tea {
+
+TeaReplayer::TeaReplayer(const Tea &automaton, LookupConfig config)
+    : tea(automaton), cfg(config)
+{
+    for (const auto &[addr, id] : tea.entries()) {
+        if (cfg.useGlobalBTree)
+            globalTree.insert(addr, id);
+        else
+            globalList.emplace_front(addr, id);
+    }
+    if (cfg.useLocalCache)
+        caches.resize(tea.numStates());
+    execCounts.assign(tea.numStates(), 0);
+}
+
+uint64_t
+TeaReplayer::execCount(StateId id) const
+{
+    TEA_ASSERT(id < execCounts.size(), "bad state id %u", id);
+    return execCounts[id];
+}
+
+uint64_t
+TeaReplayer::execCountFor(TraceId trace, uint32_t tbb) const
+{
+    StateId id = tea.stateFor(trace, tbb);
+    return id == Tea::kNteState ? 0 : execCounts[id];
+}
+
+size_t
+TeaReplayer::lookupFootprintBytes() const
+{
+    size_t bytes = 0;
+    if (cfg.useGlobalBTree) {
+        bytes += globalTree.footprintBytes();
+    } else {
+        for (const auto &entry : globalList)
+            bytes += sizeof(entry) + sizeof(void *);
+    }
+    bytes += caches.size() * LocalCache::footprintBytes();
+    return bytes;
+}
+
+StateId
+TeaReplayer::resolveEntry(Addr addr)
+{
+    ++st.globalLookups;
+    if (cfg.useGlobalBTree) {
+        BPlusTree::Value v;
+        if (globalTree.find(addr, v)) {
+            ++st.globalHits;
+            return static_cast<StateId>(v);
+        }
+        return Tea::kNteState;
+    }
+    // The un-indexed fallback the paper started from: walk the trace
+    // list. Pathological when there are many traces (gcc, vortex).
+    for (const auto &[entry, id] : globalList) {
+        if (entry == addr) {
+            ++st.globalHits;
+            return id;
+        }
+    }
+    return Tea::kNteState;
+}
+
+void
+TeaReplayer::feed(const BlockTransition &tr)
+{
+    // Attribute the block that just finished to the current state.
+    ++st.blocks;
+    ++execCounts[cur];
+    st.insnsTotal += tr.from.icount;
+    if (cur == Tea::kNteState)
+        ++st.nteBlocks;
+    if (cur != Tea::kNteState) {
+        st.insnsInTrace += tr.from.icount;
+        if (cfg.checkConsistency) {
+            const TeaState &s = tea.state(cur);
+            if (s.start != tr.from.start)
+                panic("replay desync: state %u maps %s but %s executed",
+                      cur, hex32(s.start).c_str(),
+                      hex32(tr.from.start).c_str());
+        }
+    }
+
+    if (tr.toStart == kNoAddr)
+        return; // program halted; stay put
+    ++st.transitions;
+    Addr label = tr.toStart;
+
+    if (cur != Tea::kNteState) {
+        // 1. the state's own transition list (intra-trace).
+        const TeaState &s = tea.state(cur);
+        for (StateId t : s.succs) {
+            if (tea.state(t).start == label) {
+                ++st.intraTraceHits;
+                cur = t;
+                return;
+            }
+        }
+        ++st.traceExits;
+        // 2. the per-state local cache (covers trace -> trace and
+        //    trace -> cold resolutions; a cached 0 means "cold").
+        if (cfg.useLocalCache) {
+            uint32_t v;
+            if (caches[cur].lookup(label, v)) {
+                ++st.localCacheHits;
+                cur = static_cast<StateId>(v);
+                if (cur == Tea::kNteState)
+                    ++st.exitsToCold;
+                return;
+            }
+            StateId next = resolveEntry(label);
+            caches[cur].fill(label, next);
+            cur = next;
+            if (cur == Tea::kNteState)
+                ++st.exitsToCold;
+            return;
+        }
+        cur = resolveEntry(label);
+        if (cur == Tea::kNteState)
+            ++st.exitsToCold;
+        return;
+    }
+
+    // From NTE: only the global container can get us into a trace
+    // ("local caches are pointless outside of traces").
+    cur = resolveEntry(label);
+}
+
+void
+TeaReplayer::setCurrentState(StateId id)
+{
+    TEA_ASSERT(id < tea.numStates(), "bad state id %u", id);
+    cur = id;
+}
+
+void
+TeaReplayer::reset()
+{
+    cur = Tea::kNteState;
+    st = ReplayStats{};
+    execCounts.assign(tea.numStates(), 0);
+    for (LocalCache &c : caches)
+        c.clear();
+}
+
+} // namespace tea

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * TEA replay: the optimized transition function of §4.2.
+ *
+ * The replayer consumes the block-transition stream of an *unmodified*
+ * program execution and keeps the automaton state synchronized, gathering
+ * per-TBB profile data on the way. Its hot path is the transition
+ * function; per the paper it is layered as
+ *
+ *   1. the current state's own transition list (intra-trace, common case),
+ *   2. a per-state local cache of recent (address -> state) resolutions,
+ *   3. a global container over trace entry addresses: a B+ tree, or a
+ *      plain linear list when the B+ tree is disabled.
+ *
+ * The four Table 4 configurations are obtained from LookupConfig:
+ * {No-Global/Local, Global/No-Local, Global/Local} plus the "Empty" run
+ * (an automaton with no traces, global tree on, caches off).
+ */
+
+#ifndef TEA_TEA_REPLAYER_HH
+#define TEA_TEA_REPLAYER_HH
+
+#include <forward_list>
+#include <vector>
+
+#include "btree/bptree.hh"
+#include "btree/local_cache.hh"
+#include "tea/automaton.hh"
+#include "vm/block.hh"
+
+namespace tea {
+
+/** Which lookup accelerators the transition function may use (§4.2). */
+struct LookupConfig
+{
+    bool useGlobalBTree = true; ///< B+ tree over entries vs linear list
+    bool useLocalCache = true;  ///< per-state caches on the exit path
+    /**
+     * Verify on every transition that the automaton state matches the
+     * executing block (the paper's "precise map" property). Used by the
+     * test suite; adds overhead, so benches leave it off.
+     */
+    bool checkConsistency = false;
+};
+
+/** Counters gathered during a replay (or an online recording) run. */
+struct ReplayStats
+{
+    uint64_t blocks = 0;        ///< block executions observed
+    uint64_t insnsTotal = 0;    ///< dynamic instructions observed
+    uint64_t insnsInTrace = 0;  ///< of those, executed inside a trace
+    uint64_t transitions = 0;   ///< automaton transitions processed
+    uint64_t intraTraceHits = 0;///< resolved by the state's own list
+    uint64_t traceExits = 0;    ///< transitions that left a trace
+    uint64_t exitsToCold = 0;   ///< of those, landing in cold code (NTE)
+    uint64_t nteBlocks = 0;     ///< block executions attributed to NTE
+    uint64_t localCacheHits = 0;
+    uint64_t globalLookups = 0;
+    uint64_t globalHits = 0;
+
+    /** Fraction of dynamic instructions inside traces (Tables 2/3). */
+    double
+    coverage() const
+    {
+        return insnsTotal == 0
+                   ? 0.0
+                   : static_cast<double>(insnsInTrace) /
+                         static_cast<double>(insnsTotal);
+    }
+};
+
+/**
+ * Replays a TEA against a running program.
+ *
+ * Feed it every BlockTransition produced by a BlockTracker; it attributes
+ * the completed block to the current state (profiling) and then applies
+ * the transition function on the next block's start address.
+ */
+class TeaReplayer
+{
+  public:
+    TeaReplayer(const Tea &tea, LookupConfig config);
+
+    /** Process one completed block execution. */
+    void feed(const BlockTransition &tr);
+
+    /** The automaton state of the block currently executing. */
+    StateId currentState() const { return cur; }
+
+    /** Accumulated counters. */
+    const ReplayStats &stats() const { return st; }
+
+    /** Executions attributed to a state (NTE included at index 0). */
+    uint64_t execCount(StateId id) const;
+
+    /** Executions of (trace, tbb) — the per-copy profile of Figure 1. */
+    uint64_t execCountFor(TraceId trace, uint32_t tbb) const;
+
+    /** Memory used by the lookup structures (tree/list + caches). */
+    size_t lookupFootprintBytes() const;
+
+    /** Return to NTE and zero all statistics. */
+    void reset();
+
+    /**
+     * Force the automaton position. Used by the online recorder after it
+     * rebuilds the TEA (state ids are not stable across rebuilds).
+     */
+    void setCurrentState(StateId id);
+
+  private:
+    StateId resolveEntry(Addr addr);
+
+    const Tea &tea;
+    LookupConfig cfg;
+    StateId cur = Tea::kNteState;
+
+    BPlusTree globalTree;
+    /**
+     * The unindexed fallback container. The paper's first implementation
+     * "kept the traces in a linked list" (§4.2); a real node-per-entry
+     * list is used here so the pathological configurations pay the same
+     * pointer-chasing cost the paper measured.
+     */
+    std::forward_list<std::pair<Addr, StateId>> globalList;
+    std::vector<LocalCache> caches;
+    std::vector<uint64_t> execCounts;
+    ReplayStats st;
+};
+
+} // namespace tea
+
+#endif // TEA_TEA_REPLAYER_HH

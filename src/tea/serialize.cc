@@ -1,0 +1,240 @@
+#include "tea/serialize.hh"
+
+#include <fstream>
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace tea {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x54454141; // "TEAA"
+constexpr uint32_t kVersion = 2;
+
+void
+put8(std::vector<uint8_t> &out, uint8_t v)
+{
+    out.push_back(v);
+}
+
+void
+put16(std::vector<uint8_t> &out, uint16_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void
+put32(std::vector<uint8_t> &out, uint32_t v)
+{
+    put16(out, static_cast<uint16_t>(v));
+    put16(out, static_cast<uint16_t>(v >> 16));
+}
+
+/** LEB128 (7 bits per byte, high bit = continue). */
+void
+putVar(std::vector<uint8_t> &out, uint32_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+uint8_t
+get8(const std::vector<uint8_t> &bytes, size_t &cursor)
+{
+    if (cursor >= bytes.size())
+        fatal("tea: truncated input");
+    return bytes[cursor++];
+}
+
+uint16_t
+get16(const std::vector<uint8_t> &bytes, size_t &cursor)
+{
+    uint16_t lo = get8(bytes, cursor);
+    uint16_t hi = get8(bytes, cursor);
+    return static_cast<uint16_t>(lo | (hi << 8));
+}
+
+uint32_t
+get32(const std::vector<uint8_t> &bytes, size_t &cursor)
+{
+    uint32_t lo = get16(bytes, cursor);
+    uint32_t hi = get16(bytes, cursor);
+    return lo | (hi << 16);
+}
+
+uint32_t
+getVar(const std::vector<uint8_t> &bytes, size_t &cursor)
+{
+    uint32_t v = 0;
+    int shift = 0;
+    for (;;) {
+        uint8_t byte = get8(bytes, cursor);
+        v |= static_cast<uint32_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return v;
+        shift += 7;
+        if (shift > 28)
+            fatal("tea: varint too long");
+    }
+}
+
+} // namespace
+
+std::vector<uint8_t>
+saveTea(const Tea &tea)
+{
+    size_t n = tea.numTbbStates();
+
+    // Count traces and their block counts; states are grouped by trace.
+    std::vector<uint32_t> blocks_per_trace;
+    for (size_t i = 1; i <= n; ++i) {
+        const TeaState &s = tea.state(static_cast<StateId>(i));
+        if (s.trace >= blocks_per_trace.size())
+            blocks_per_trace.resize(s.trace + 1, 0);
+        if (s.tbb != blocks_per_trace[s.trace])
+            fatal("tea: states not grouped by trace; cannot serialize");
+        ++blocks_per_trace[s.trace];
+    }
+
+    std::vector<uint8_t> out;
+    put32(out, kMagic);
+    put32(out, kVersion);
+    put32(out, static_cast<uint32_t>(n));
+    put32(out, static_cast<uint32_t>(blocks_per_trace.size()));
+    for (uint32_t count : blocks_per_trace)
+        putVar(out, count);
+
+    bool wide_ids = n >= 0xffff;
+    put8(out, wide_ids ? 1 : 0);
+    for (size_t i = 1; i <= n; ++i) {
+        const TeaState &s = tea.state(static_cast<StateId>(i));
+        put32(out, s.start);
+        putVar(out, s.end - s.start);
+        put8(out, s.loopHeader ? 1 : 0);
+        putVar(out, static_cast<uint32_t>(s.succs.size()));
+        for (StateId t : s.succs) {
+            if (wide_ids)
+                put32(out, t);
+            else
+                put16(out, static_cast<uint16_t>(t));
+        }
+    }
+    return out;
+}
+
+Tea
+loadTea(const std::vector<uint8_t> &bytes)
+{
+    size_t cursor = 0;
+    if (get32(bytes, cursor) != kMagic)
+        fatal("tea: bad magic");
+    if (get32(bytes, cursor) != kVersion)
+        fatal("tea: unsupported version");
+    uint32_t nstates = get32(bytes, cursor);
+    uint32_t ntraces = get32(bytes, cursor);
+
+    if (nstates > 100'000'000 || ntraces > nstates + 1)
+        fatal("tea: implausible header (%u states, %u traces)", nstates,
+              ntraces);
+    std::vector<uint32_t> blocks_per_trace(ntraces);
+    uint64_t total = 0;
+    for (uint32_t i = 0; i < ntraces; ++i) {
+        blocks_per_trace[i] = getVar(bytes, cursor);
+        if (blocks_per_trace[i] == 0)
+            fatal("tea: trace %u has no blocks", i);
+        total += blocks_per_trace[i];
+    }
+    if (total != nstates)
+        fatal("tea: trace block counts (%llu) disagree with state count "
+              "(%u)", static_cast<unsigned long long>(total), nstates);
+
+    Tea tea;
+    struct Pending
+    {
+        StateId id;
+        std::vector<StateId> succs;
+    };
+    std::vector<Pending> pending;
+    pending.reserve(nstates);
+
+    bool wide_ids = get8(bytes, cursor) != 0;
+    uint32_t trace = 0;
+    uint32_t tbb = 0;
+    for (uint32_t i = 0; i < nstates; ++i) {
+        while (trace < ntraces && tbb >= blocks_per_trace[trace]) {
+            ++trace;
+            tbb = 0;
+        }
+        if (trace >= ntraces)
+            fatal("tea: state outside any trace");
+        Addr start = get32(bytes, cursor);
+        uint32_t delta = getVar(bytes, cursor);
+        if (delta > 0xffffff)
+            fatal("tea: implausible block length %u", delta);
+        Addr end = start + delta;
+        bool loop_header = (get8(bytes, cursor) & 1) != 0;
+        uint32_t ntrans = getVar(bytes, cursor);
+        if (ntrans > nstates)
+            fatal("tea: state with %u transitions", ntrans);
+        StateId id = tea.addState(trace, tbb, start, end, loop_header);
+        Pending p;
+        p.id = id;
+        p.succs.reserve(ntrans);
+        for (uint32_t j = 0; j < ntrans; ++j)
+            p.succs.push_back(wide_ids ? get32(bytes, cursor)
+                                       : get16(bytes, cursor));
+        pending.push_back(std::move(p));
+        ++tbb;
+    }
+    if (cursor != bytes.size())
+        fatal("tea: %zu trailing bytes", bytes.size() - cursor);
+
+    for (const Pending &p : pending) {
+        for (StateId t : p.succs) {
+            if (t == Tea::kNteState || t > nstates)
+                fatal("tea: bad transition target %u", t);
+            tea.addTransition(p.id, t);
+        }
+    }
+    // Entries: TBB 0 of every trace. Corrupt inputs can carry two
+    // traces with the same entry address; report that as bad data
+    // rather than tripping the library invariant.
+    for (uint32_t t = 0; t < ntraces; ++t) {
+        StateId entry = tea.stateFor(t, 0);
+        if (tea.entryAt(tea.state(entry).start) != Tea::kNteState)
+            fatal("tea: duplicate trace entry address");
+        tea.addEntry(entry);
+    }
+    return tea;
+}
+
+void
+saveTeaFile(const Tea &tea, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    auto bytes = saveTea(tea);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out)
+        fatal("error writing '%s'", path.c_str());
+}
+
+Tea
+loadTeaFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    return loadTea(bytes);
+}
+
+} // namespace tea

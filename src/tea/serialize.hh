@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Compact binary (de)serialization of a TEA.
+ *
+ * This is the representation whose size the Table 1 "TEA" column
+ * reports: the complete trace shape with **zero replicated code bytes**.
+ *
+ * Layout (little endian, varints are LEB128):
+ *   u32 magic 'TEAA'   u32 version   u32 #tbb-states   u32 #traces
+ *   per trace:  varint block count (states are stored grouped by trace,
+ *               in TBB order; TBB 0 is the trace entry, so NTE
+ *               transitions are fully implicit)
+ *   u8 wide-ids flag (state ids are u32 when >= 65535 states, else u16)
+ *   per state:  u32 start, varint end-start, u8 flags (bit0 = loop
+ *               header), varint #transitions, then one state id per
+ *               transition (labels are implicit: label == target.start)
+ */
+
+#ifndef TEA_TEA_SERIALIZE_HH
+#define TEA_TEA_SERIALIZE_HH
+
+#include <string>
+#include <vector>
+
+#include "tea/automaton.hh"
+
+namespace tea {
+
+/** Serialize; the result's size() equals Tea::serializedBytes(). */
+std::vector<uint8_t> saveTea(const Tea &tea);
+
+/** Deserialize. @throws FatalError on malformed input. */
+Tea loadTea(const std::vector<uint8_t> &bytes);
+
+/** Write the binary form to a file. */
+void saveTeaFile(const Tea &tea, const std::string &path);
+
+/** Read the binary form from a file. */
+Tea loadTeaFile(const std::string &path);
+
+} // namespace tea
+
+#endif // TEA_TEA_SERIALIZE_HH

@@ -1,0 +1,47 @@
+#include "trace/duplicate.hh"
+
+#include "util/logging.hh"
+
+namespace tea {
+
+Trace
+duplicateTrace(const Trace &trace, unsigned factor)
+{
+    if (factor < 2)
+        fatal("duplication factor must be >= 2");
+    if (trace.kind != TraceKind::Superblock)
+        fatal("only superblock traces can be duplicated");
+    uint32_t n = static_cast<uint32_t>(trace.blocks.size());
+    if (n == 0)
+        fatal("cannot duplicate an empty trace");
+
+    // Require the cyclic shape: sequential edges plus last -> 0.
+    bool cyclic = false;
+    for (const Trace::Edge &e : trace.edges) {
+        if (e.from == n - 1 && e.to == 0)
+            cyclic = true;
+        else if (e.to != e.from + 1)
+            fatal("trace %u is not a plain cyclic superblock", trace.id);
+    }
+    if (!cyclic)
+        fatal("trace %u does not loop back to its head", trace.id);
+
+    Trace out;
+    out.kind = TraceKind::Superblock;
+    out.blocks.reserve(static_cast<size_t>(n) * factor);
+    for (unsigned copy = 0; copy < factor; ++copy)
+        for (uint32_t b = 0; b < n; ++b)
+            out.blocks.push_back(trace.blocks[b]);
+
+    for (unsigned copy = 0; copy < factor; ++copy) {
+        uint32_t base = static_cast<uint32_t>(copy) * n;
+        for (uint32_t b = 0; b + 1 < n; ++b)
+            out.edges.push_back({base + b, base + b + 1});
+        uint32_t next_base =
+            (static_cast<uint32_t>(copy) + 1) % factor * n;
+        out.edges.push_back({base + n - 1, next_base});
+    }
+    return out;
+}
+
+} // namespace tea

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Trace duplication (the "hard option" of the paper's §2, Figure 1(d)).
+ *
+ * To re-profile a trace that an optimizer wants to unroll by a factor k,
+ * the trace cannot simply be unrolled in the automaton — the unrolled
+ * body has no counterpart in the executable, so the DFA would find no
+ * matching program counters. Instead the trace is *duplicated*: the DFA
+ * gets k copies of the body chained cyclically, each copy's TBBs being
+ * distinct states over the same addresses. Replaying then attributes
+ * iteration i's profile to copy (i mod k) — exactly the per-copy labels
+ * the unrolled code will need.
+ */
+
+#ifndef TEA_TRACE_DUPLICATE_HH
+#define TEA_TRACE_DUPLICATE_HH
+
+#include "trace/trace.hh"
+
+namespace tea {
+
+/**
+ * Duplicate a cyclic superblock trace `factor` times.
+ *
+ * The input must be a superblock whose last block loops back to its
+ * head (the common MRET loop trace). The result contains factor copies
+ * of the body; copy j's last block feeds copy (j+1) mod factor's head.
+ *
+ * @throws FatalError when the trace is not a cyclic superblock or
+ *         factor < 2.
+ */
+Trace duplicateTrace(const Trace &trace, unsigned factor);
+
+} // namespace tea
+
+#endif // TEA_TRACE_DUPLICATE_HH

@@ -1,0 +1,30 @@
+#include "trace/factory.hh"
+
+#include "trace/mfet.hh"
+#include "trace/mret.hh"
+#include "trace/tree.hh"
+#include "util/logging.hh"
+
+namespace tea {
+
+std::unique_ptr<TraceSelector>
+makeSelector(const std::string &name, SelectorConfig config)
+{
+    if (name == "mret")
+        return std::make_unique<MretSelector>(config);
+    if (name == "tt")
+        return std::make_unique<TtSelector>(config);
+    if (name == "ctt")
+        return std::make_unique<CttSelector>(config);
+    if (name == "mfet")
+        return std::make_unique<MfetSelector>(config);
+    fatal("unknown trace selector '%s'", name.c_str());
+}
+
+std::vector<std::string>
+selectorNames()
+{
+    return {"mret", "ctt", "tt", "mfet"};
+}
+
+} // namespace tea

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Construction of trace selectors by name.
+ */
+
+#ifndef TEA_TRACE_FACTORY_HH
+#define TEA_TRACE_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/selector.hh"
+
+namespace tea {
+
+/**
+ * Build a selector: "mret", "tt", "ctt" or "mfet".
+ * @throws FatalError for unknown names.
+ */
+std::unique_ptr<TraceSelector> makeSelector(const std::string &name,
+                                            SelectorConfig config = {});
+
+/** Names accepted by makeSelector, in the paper's Table 1 order. */
+std::vector<std::string> selectorNames();
+
+} // namespace tea
+
+#endif // TEA_TRACE_FACTORY_HH

@@ -1,0 +1,42 @@
+#include "trace/metrics.hh"
+
+#include <set>
+
+#include "util/logging.hh"
+
+namespace tea {
+
+TraceSetMetrics
+computeMetrics(const TraceSet &traces)
+{
+    TraceSetMetrics m;
+    m.traces = traces.size();
+    std::set<std::pair<Addr, Addr>> distinct;
+    for (const Trace &t : traces.all()) {
+        m.tbbs += t.blocks.size();
+        m.edges += t.edges.size();
+        m.maxTraceBlocks = std::max(m.maxTraceBlocks, t.blocks.size());
+        for (const TraceBasicBlock &b : t.blocks)
+            distinct.insert({b.start, b.end});
+        for (const Trace::Edge &e : t.edges) {
+            if (e.to == 0) {
+                ++m.cyclicTraces;
+                break;
+            }
+        }
+    }
+    m.distinctBlocks = distinct.size();
+    return m;
+}
+
+std::string
+TraceSetMetrics::toString() const
+{
+    return strprintf("%zu traces, %zu TBBs over %zu blocks "
+                     "(duplication %.2fx), %zu edges, largest %zu, "
+                     "%zu cyclic",
+                     traces, tbbs, distinctBlocks, duplicationFactor(),
+                     edges, maxTraceBlocks, cyclicTraces);
+}
+
+} // namespace tea

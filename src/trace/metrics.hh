@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Trace-set quality metrics.
+ *
+ * The companion CTT paper compares selection strategies by how much
+ * code they duplicate; these metrics quantify that for any TraceSet:
+ * the duplication factor (TBB instances per distinct guest block) is
+ * exactly what separates TT from CTT on the blowup workloads, and the
+ * static instruction footprint feeds the Table 1 intuition.
+ */
+
+#ifndef TEA_TRACE_METRICS_HH
+#define TEA_TRACE_METRICS_HH
+
+#include <cstddef>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace tea {
+
+/** Aggregate shape statistics of a trace set. */
+struct TraceSetMetrics
+{
+    size_t traces = 0;
+    size_t tbbs = 0;           ///< TBB instances (Definition 2)
+    size_t distinctBlocks = 0; ///< distinct guest (start, end) blocks
+    size_t edges = 0;
+    size_t maxTraceBlocks = 0; ///< largest single trace
+    size_t cyclicTraces = 0;   ///< traces with a back edge to TBB 0
+
+    /** TBB instances per distinct block; 1.0 = no duplication. */
+    double
+    duplicationFactor() const
+    {
+        return distinctBlocks == 0
+                   ? 0.0
+                   : static_cast<double>(tbbs) /
+                         static_cast<double>(distinctBlocks);
+    }
+
+    /** Mean TBBs per trace. */
+    double
+    avgTraceBlocks() const
+    {
+        return traces == 0 ? 0.0
+                           : static_cast<double>(tbbs) /
+                                 static_cast<double>(traces);
+    }
+
+    /** One-line summary for logs and tools. */
+    std::string toString() const;
+};
+
+/** Compute the metrics for a trace set. */
+TraceSetMetrics computeMetrics(const TraceSet &traces);
+
+} // namespace tea
+
+#endif // TEA_TRACE_METRICS_HH

@@ -1,0 +1,120 @@
+#include "trace/mfet.hh"
+
+#include "trace/mret.hh"
+#include "util/logging.hh"
+
+namespace tea {
+
+MfetSelector::MfetSelector(SelectorConfig config) : cfg(config) {}
+
+ExecutingAction
+MfetSelector::onExecuting(const BlockTransition &tr,
+                          const SelectorContext &ctx)
+{
+    // MFET instruments every edge, not just back edges.
+    BlockProfile &info = profile[tr.from.start];
+    info.end = tr.from.end;
+    ++info.execs;
+    if (tr.toStart != kNoAddr)
+        ++info.succs[tr.toStart];
+
+    if (!MretSelector::isBackEdge(tr))
+        return ExecutingAction::Continue;
+    Addr target = tr.toStart;
+    if (ctx.traces.hasEntry(target))
+        return ExecutingAction::Continue;
+    if (++counters[target] < cfg.hotThreshold)
+        return ExecutingAction::Continue;
+
+    counters[target] = 0;
+    head = target;
+    // The whole path comes from the profile; no Creating phase needed.
+    return ExecutingAction::FinishImmediately;
+}
+
+CreatingAction
+MfetSelector::onCreating(const BlockTransition &, const SelectorContext &)
+{
+    panic("MFET never enters the Creating state");
+}
+
+RecordingResult
+MfetSelector::finish(const TraceSet &traces)
+{
+    RecordingResult result;
+    if (head == kNoAddr)
+        return result;
+
+    auto head_it = profile.find(head);
+    if (head_it == profile.end()) {
+        head = kNoAddr;
+        return result;
+    }
+    double head_execs = static_cast<double>(head_it->second.execs);
+
+    Trace trace;
+    trace.kind = TraceKind::FrequentPath;
+    bool cyclic = false;
+    Addr cur = head;
+    while (trace.blocks.size() < cfg.maxBlocks) {
+        auto it = profile.find(cur);
+        if (it == profile.end())
+            break;
+        const BlockProfile &info = it->second;
+        TraceBasicBlock tbb;
+        tbb.start = cur;
+        tbb.end = info.end;
+        tbb.loopHeader = cur == head;
+        trace.blocks.push_back(tbb);
+
+        // Follow the most frequent successor edge.
+        Addr best = kNoAddr;
+        uint64_t best_count = 0;
+        for (const auto &[succ, n] : info.succs) {
+            if (n > best_count) {
+                best = succ;
+                best_count = n;
+            }
+        }
+        if (best == kNoAddr ||
+            static_cast<double>(best_count) <
+                cfg.mfetMinEdgeRatio * head_execs)
+            break;
+        if (best == head) {
+            cyclic = true;
+            break;
+        }
+        if (traces.hasEntry(best))
+            break;
+        // Revisiting a non-head block would loop the walk forever.
+        bool revisit = false;
+        for (const TraceBasicBlock &b : trace.blocks)
+            if (b.start == best)
+                revisit = true;
+        if (revisit)
+            break;
+        cur = best;
+    }
+
+    head = kNoAddr;
+    if (trace.blocks.empty())
+        return result;
+    for (uint32_t i = 0; i + 1 < trace.blocks.size(); ++i)
+        trace.edges.push_back({i, i + 1});
+    if (cyclic)
+        trace.edges.push_back(
+            {static_cast<uint32_t>(trace.blocks.size() - 1), 0});
+    result.kind = RecordingResult::Kind::NewTrace;
+    result.trace = std::move(trace);
+    return result;
+}
+
+void
+MfetSelector::reset()
+{
+    profile.clear();
+    counters.clear();
+    head = kNoAddr;
+}
+
+} // namespace tea

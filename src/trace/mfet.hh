@@ -1,0 +1,53 @@
+/**
+ * @file
+ * MFET (Most Frequently Executed Tail) trace selection.
+ *
+ * The paper's related work (§5) contrasts MRET with MFET [Cifuentes &
+ * van Emmerik]: MFET keeps full edge profiles and, when a loop head gets
+ * hot, selects the *most frequent* successor path rather than the most
+ * recent one. It pays more profiling overhead but is immune to unlucky
+ * recording iterations. Provided as an extension; all benches can run it.
+ */
+
+#ifndef TEA_TRACE_MFET_HH
+#define TEA_TRACE_MFET_HH
+
+#include <unordered_map>
+
+#include "trace/selector.hh"
+
+namespace tea {
+
+/** The MFET selector. */
+class MfetSelector : public TraceSelector
+{
+  public:
+    explicit MfetSelector(SelectorConfig config = {});
+
+    const char *name() const override { return "mfet"; }
+    TraceKind kind() const override { return TraceKind::FrequentPath; }
+
+    ExecutingAction onExecuting(const BlockTransition &tr,
+                                const SelectorContext &ctx) override;
+    CreatingAction onCreating(const BlockTransition &tr,
+                              const SelectorContext &ctx) override;
+    RecordingResult finish(const TraceSet &traces) override;
+    void reset() override;
+
+  private:
+    struct BlockProfile
+    {
+        Addr end = kNoAddr;
+        uint64_t execs = 0;
+        std::unordered_map<Addr, uint64_t> succs;
+    };
+
+    SelectorConfig cfg;
+    std::unordered_map<Addr, BlockProfile> profile;
+    std::unordered_map<Addr, uint32_t> counters;
+    Addr head = kNoAddr;
+};
+
+} // namespace tea
+
+#endif // TEA_TRACE_MFET_HH

@@ -1,0 +1,110 @@
+#include "trace/mret.hh"
+
+#include "util/logging.hh"
+
+namespace tea {
+
+MretSelector::MretSelector(SelectorConfig config) : cfg(config) {}
+
+bool
+MretSelector::isBackEdge(const BlockTransition &tr)
+{
+    if (tr.toStart == kNoAddr)
+        return false;
+    bool taken = tr.kind == EdgeKind::BranchTaken ||
+                 tr.kind == EdgeKind::Jump;
+    return taken && tr.toStart <= tr.from.end;
+}
+
+ExecutingAction
+MretSelector::onExecuting(const BlockTransition &tr,
+                          const SelectorContext &ctx)
+{
+    // NET's two kinds of potential trace heads: backward-branch targets
+    // and the targets of exits from already-recorded traces.
+    bool candidate = isBackEdge(tr) ||
+                     (ctx.inTrace && ctx.exitsTrace &&
+                      tr.toStart != kNoAddr);
+    if (!candidate)
+        return ExecutingAction::Continue;
+    Addr target = tr.toStart;
+    if (ctx.traces.hasEntry(target))
+        return ExecutingAction::Continue; // already have this trace
+    if (++counters[target] < cfg.hotThreshold)
+        return ExecutingAction::Continue;
+
+    counters[target] = 0; // restart the count if recording aborts
+    head = target;
+    pending.clear();
+    closesCyclically = false;
+    return ExecutingAction::StartRecording;
+}
+
+CreatingAction
+MretSelector::onCreating(const BlockTransition &tr,
+                         const SelectorContext &ctx)
+{
+    TEA_ASSERT(head != kNoAddr, "onCreating without StartRecording");
+
+    // AddTBBToTrace(Current, Next): the block that just finished.
+    TraceBasicBlock tbb;
+    tbb.start = tr.from.start;
+    tbb.end = tr.from.end;
+    tbb.loopHeader = tr.from.start == head;
+    pending.push_back(tbb);
+
+    // DoneTraceRecording(Current, Next).
+    if (tr.toStart == kNoAddr)
+        return CreatingAction::Finish; // program halted mid-recording
+    if (tr.toStart == head) {
+        closesCyclically = true;
+        return CreatingAction::Finish;
+    }
+    if (pending.size() >= cfg.maxBlocks)
+        return CreatingAction::Finish;
+    if (isBackEdge(tr))
+        return CreatingAction::Finish; // a backward branch ends the tail
+    if (ctx.traces.hasEntry(tr.toStart))
+        return CreatingAction::Finish; // fell into an existing trace head
+    return CreatingAction::Continue;
+}
+
+RecordingResult
+MretSelector::finish(const TraceSet &)
+{
+    RecordingResult result;
+    if (pending.empty() || pending[0].start != head) {
+        // Recording never reached the head (e.g. an immediate abort).
+        head = kNoAddr;
+        pending.clear();
+        return result;
+    }
+
+    Trace trace;
+    trace.kind = TraceKind::Superblock;
+    trace.blocks = pending;
+    for (uint32_t i = 0; i + 1 < trace.blocks.size(); ++i)
+        trace.edges.push_back({i, i + 1});
+    if (closesCyclically) {
+        trace.edges.push_back(
+            {static_cast<uint32_t>(trace.blocks.size() - 1), 0});
+    }
+
+    result.kind = RecordingResult::Kind::NewTrace;
+    result.trace = std::move(trace);
+    head = kNoAddr;
+    pending.clear();
+    closesCyclically = false;
+    return result;
+}
+
+void
+MretSelector::reset()
+{
+    counters.clear();
+    head = kNoAddr;
+    pending.clear();
+    closesCyclically = false;
+}
+
+} // namespace tea

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * MRET (Most Recently Executed Tail) trace selection.
+ *
+ * The Dynamo / NET strategy [Bala et al. '00, Duesterwald & Bala '00]:
+ * potential trace heads are the targets of backward taken branches plus
+ * the targets of *exits from existing traces* (Dynamo's exit-stub
+ * counters); when a head's counter crosses the hot threshold, the blocks
+ * executed next are recorded verbatim as a superblock until the
+ * recording closes back on its head, hits another backward branch,
+ * reaches an existing trace, or overflows.
+ */
+
+#ifndef TEA_TRACE_MRET_HH
+#define TEA_TRACE_MRET_HH
+
+#include <unordered_map>
+
+#include "trace/selector.hh"
+
+namespace tea {
+
+/** The MRET selector. */
+class MretSelector : public TraceSelector
+{
+  public:
+    explicit MretSelector(SelectorConfig config = {});
+
+    const char *name() const override { return "mret"; }
+    TraceKind kind() const override { return TraceKind::Superblock; }
+
+    ExecutingAction onExecuting(const BlockTransition &tr,
+                                const SelectorContext &ctx) override;
+    CreatingAction onCreating(const BlockTransition &tr,
+                              const SelectorContext &ctx) override;
+    RecordingResult finish(const TraceSet &traces) override;
+    void reset() override;
+
+    /** True when the transition is a backward taken branch. */
+    static bool isBackEdge(const BlockTransition &tr);
+
+  private:
+    SelectorConfig cfg;
+    std::unordered_map<Addr, uint32_t> counters;
+
+    // in-progress recording
+    Addr head = kNoAddr;
+    std::vector<TraceBasicBlock> pending;
+    bool closesCyclically = false;
+};
+
+} // namespace tea
+
+#endif // TEA_TRACE_MRET_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The trace-selection policy interface used by Algorithm 2.
+ *
+ * The paper's online recording state machine (Initial / Executing /
+ * Creating) delegates its policy decisions — TriggerTraceRecording,
+ * AddTBBToTrace, DoneTraceRecording, FinishTrace — to a strategy object.
+ * Implementations provided: MRET (mret.hh), TT and CTT (tree.hh), and
+ * MFET (mfet.hh).
+ */
+
+#ifndef TEA_TRACE_SELECTOR_HH
+#define TEA_TRACE_SELECTOR_HH
+
+#include <cstdint>
+
+#include "trace/trace.hh"
+#include "vm/block.hh"
+
+namespace tea {
+
+/**
+ * What the recorder knows about the automaton position when it hands a
+ * transition to the selector. Tree selectors use this to detect hot side
+ * exits of existing traces.
+ */
+struct SelectorContext
+{
+    const TraceSet &traces;
+    bool inTrace;     ///< state before the transition was a TBB state
+    TraceId curTrace; ///< valid when inTrace
+    uint32_t curTbb;  ///< valid when inTrace
+    bool exitsTrace;  ///< the transition leaves the trace (to NTE/another)
+};
+
+/** Decision returned while in Algorithm 2's "Executing" state. */
+enum class ExecutingAction
+{
+    Continue,       ///< stay in Executing
+    StartRecording, ///< switch to Creating (TriggerTraceRecording fired)
+    /**
+     * The selector already has a complete trace (e.g. MFET builds one
+     * from its edge profile, or a tree selector repairs a missing back
+     * edge); the recorder should call finish() now and stay in
+     * Executing.
+     */
+    FinishImmediately,
+};
+
+/** Decision returned while in Algorithm 2's "Creating" state. */
+enum class CreatingAction
+{
+    Continue, ///< keep recording
+    Finish,   ///< trace complete; call finish()
+    Abort,    ///< recording failed; call finish() and discard
+};
+
+/** The outcome of a recording episode. */
+struct RecordingResult
+{
+    enum class Kind
+    {
+        Aborted,     ///< nothing to install
+        NewTrace,    ///< install trace as a brand new trace
+        ExtendTrace, ///< replace the existing trace `extends` with trace
+    };
+
+    Kind kind = Kind::Aborted;
+    Trace trace;
+    TraceId extends = 0;
+};
+
+/**
+ * A trace-selection strategy.
+ *
+ * The TeaRecorder calls onExecuting() for every block transition while no
+ * recording is active, and onCreating() for every transition while one
+ * is. Both receive the *completed* block (tr.from) and the address control
+ * moved to (tr.toStart) — exactly the (Current, Next) pair of Algorithm 2.
+ */
+class TraceSelector
+{
+  public:
+    virtual ~TraceSelector() = default;
+
+    /** Human-readable strategy name ("mret", "tt", "ctt", "mfet"). */
+    virtual const char *name() const = 0;
+
+    /** The TraceKind this selector produces. */
+    virtual TraceKind kind() const = 0;
+
+    /** Observe a transition in the Executing state. */
+    virtual ExecutingAction onExecuting(const BlockTransition &tr,
+                                        const SelectorContext &ctx) = 0;
+
+    /** Observe a transition in the Creating state. */
+    virtual CreatingAction onCreating(const BlockTransition &tr,
+                                      const SelectorContext &ctx) = 0;
+
+    /**
+     * Harvest the recording after Finish/Abort (or FinishImmediately).
+     * @param traces the current trace set (tree selectors read the trace
+     *               they are extending from it)
+     */
+    virtual RecordingResult finish(const TraceSet &traces) = 0;
+
+    /** Drop all counters and in-progress state. */
+    virtual void reset() = 0;
+};
+
+/** Tunables shared by the bundled selectors. */
+struct SelectorConfig
+{
+    /** Executions of a candidate head before recording starts. */
+    uint32_t hotThreshold = 50;
+
+    /** Maximum TBBs in an MRET/MFET trace. */
+    uint32_t maxBlocks = 64;
+
+    /** Maximum TBBs recorded for one trace-tree path. */
+    uint32_t maxPathBlocks = 256;
+
+    /** Side-exit executions before a tree extension is recorded. */
+    uint32_t extensionThreshold = 50;
+
+    /** Maximum total TBBs in one trace tree. */
+    uint32_t maxTreeBlocks = 4096;
+
+    /** Minimum edge frequency ratio MFET follows (vs head count). */
+    double mfetMinEdgeRatio = 0.1;
+};
+
+} // namespace tea
+
+#endif // TEA_TRACE_SELECTOR_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Trace-set (de)serialization.
+ *
+ * This is the paper's "build traces in one system ... and load them for
+ * use in different runs" capability: a DBT records traces, saves them,
+ * and a profiling tool in another environment loads them and rebuilds the
+ * TEA with Algorithm 1. Two formats are provided:
+ *
+ * - a human-readable text format (diff-friendly, used in tests), and
+ * - a compact binary format (used for the Table 1 memory accounting of
+ *   what a *code-free* trace description costs on disk).
+ */
+
+#ifndef TEA_TRACE_SERIALIZE_HH
+#define TEA_TRACE_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace tea {
+
+/** Serialize to the text format. */
+std::string saveTracesText(const TraceSet &traces);
+
+/** Parse the text format. @throws FatalError on malformed input. */
+TraceSet loadTracesText(const std::string &text);
+
+/** Serialize to the binary format. */
+std::vector<uint8_t> saveTracesBinary(const TraceSet &traces);
+
+/** Parse the binary format. @throws FatalError on malformed input. */
+TraceSet loadTracesBinary(const std::vector<uint8_t> &bytes);
+
+/** Write text-format traces to a file. @throws FatalError on IO errors. */
+void saveTracesFile(const TraceSet &traces, const std::string &path);
+
+/** Read text-format traces from a file. @throws FatalError on errors. */
+TraceSet loadTracesFile(const std::string &path);
+
+} // namespace tea
+
+#endif // TEA_TRACE_SERIALIZE_HH

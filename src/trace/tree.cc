@@ -1,0 +1,233 @@
+#include "trace/tree.hh"
+
+#include "trace/mret.hh"
+#include "util/logging.hh"
+
+namespace tea {
+
+TreeSelector::TreeSelector(bool is_compact, SelectorConfig config)
+    : compact(is_compact), cfg(config)
+{
+}
+
+int
+TreeSelector::findPathHeader(Addr addr, const SelectorContext &ctx) const
+{
+    // Current path first (later copies shadow earlier ones is irrelevant;
+    // the first match keeps the closure as tight as possible).
+    for (size_t i = 0; i < pending.size(); ++i)
+        if (pending[i].loopHeader && pending[i].start == addr)
+            return static_cast<int>(i);
+    if (mode == Mode::Extension) {
+        const Trace &t = ctx.traces.at(extendId);
+        for (uint32_t idx : extendRootPath)
+            if (t.blocks[idx].loopHeader && t.blocks[idx].start == addr)
+                return -2 - static_cast<int>(idx);
+    }
+    return -1;
+}
+
+ExecutingAction
+TreeSelector::onExecuting(const BlockTransition &tr,
+                          const SelectorContext &ctx)
+{
+    // Hot side exits of one of our trees grow the tree.
+    if (ctx.inTrace && ctx.exitsTrace && tr.toStart != kNoAddr) {
+        const Trace &t = ctx.traces.at(ctx.curTrace);
+        // Exits into *other* traces don't grow this tree, but an exit to
+        // the tree's own anchor is the repairable missing-back-edge case.
+        bool to_foreign_entry = ctx.traces.hasEntry(tr.toStart) &&
+                                tr.toStart != t.entry();
+        if (t.kind == kind() && t.blocks.size() < cfg.maxTreeBlocks &&
+            !to_foreign_entry) {
+            auto key = std::make_tuple(ctx.curTrace, ctx.curTbb, tr.toStart);
+            if (++exitCounters[key] >= cfg.extensionThreshold) {
+                exitCounters[key] = 0;
+                anchor = t.entry();
+                extendId = ctx.curTrace;
+                extendFrom = ctx.curTbb;
+                pending.clear();
+                closeTo = -1;
+                aborted = false;
+                // The extension head is a loop header when it was
+                // reached by a backward taken branch (CTT closes at it).
+                nextIsLoopHeader = MretSelector::isBackEdge(tr);
+
+                // Root path of the exit TBB (tree edges go low -> high).
+                extendRootPath.clear();
+                std::vector<int> parent(t.blocks.size(), -1);
+                for (const Trace::Edge &e : t.edges)
+                    if (e.to > e.from && parent[e.to] < 0)
+                        parent[e.to] = static_cast<int>(e.from);
+                for (int n = static_cast<int>(extendFrom); n >= 0;
+                     n = parent[n]) {
+                    extendRootPath.push_back(static_cast<uint32_t>(n));
+                    if (n == 0)
+                        break;
+                }
+
+                if (tr.toStart == anchor) {
+                    // The tree is only missing a back edge to its root;
+                    // repair it without recording any path.
+                    mode = Mode::Extension;
+                    closeTo = -2; // existing index 0
+                    return ExecutingAction::FinishImmediately;
+                }
+                mode = Mode::Extension;
+                head = tr.toStart;
+                return ExecutingAction::StartRecording;
+            }
+        }
+        return ExecutingAction::Continue;
+    }
+
+    // Cold code: detect hot loop anchors exactly like MRET does.
+    if (!MretSelector::isBackEdge(tr))
+        return ExecutingAction::Continue;
+    Addr target = tr.toStart;
+    if (ctx.traces.hasEntry(target))
+        return ExecutingAction::Continue;
+    if (++anchorCounters[target] < cfg.hotThreshold)
+        return ExecutingAction::Continue;
+
+    anchorCounters[target] = 0;
+    mode = Mode::Trunk;
+    anchor = target;
+    head = target;
+    pending.clear();
+    extendRootPath.clear();
+    closeTo = -1;
+    aborted = false;
+    nextIsLoopHeader = true; // the anchor is a backward-branch target
+    return ExecutingAction::StartRecording;
+}
+
+CreatingAction
+TreeSelector::onCreating(const BlockTransition &tr,
+                         const SelectorContext &ctx)
+{
+    TEA_ASSERT(mode != Mode::Idle, "onCreating while idle");
+
+    TraceBasicBlock tbb;
+    tbb.start = tr.from.start;
+    tbb.end = tr.from.end;
+    tbb.loopHeader = nextIsLoopHeader;
+    pending.push_back(tbb);
+    nextIsLoopHeader = MretSelector::isBackEdge(tr);
+
+    if (tr.toStart == kNoAddr) {
+        aborted = true;
+        return CreatingAction::Abort;
+    }
+    if (tr.toStart == anchor) {
+        closeTo = mode == Mode::Trunk ? 0 : -2;
+        return CreatingAction::Finish;
+    }
+    if (compact) {
+        int h = findPathHeader(tr.toStart, ctx);
+        if (h != -1) {
+            closeTo = h;
+            return CreatingAction::Finish;
+        }
+    }
+    if (pending.size() >= cfg.maxPathBlocks) {
+        aborted = true;
+        return CreatingAction::Abort;
+    }
+    // Note: unlike MRET, tree recording continues straight through other
+    // traces' entry points — a trace tree's paths always run back to
+    // their own anchor, duplicating whatever inner loops they cross.
+    // This is precisely the unrolling that makes TT trees explode on
+    // data-dependent inner loops while CTT (the findPathHeader closure
+    // above) stays compact.
+    return CreatingAction::Continue;
+}
+
+RecordingResult
+TreeSelector::finish(const TraceSet &traces)
+{
+    RecordingResult result;
+    Mode done_mode = mode;
+    mode = Mode::Idle;
+
+    if (aborted || done_mode == Mode::Idle) {
+        pending.clear();
+        return result;
+    }
+
+    if (done_mode == Mode::Trunk) {
+        if (pending.empty() || pending[0].start != head ||
+            pending.size() > cfg.maxTreeBlocks) {
+            pending.clear();
+            return result;
+        }
+        Trace trace;
+        trace.kind = kind();
+        trace.blocks = pending;
+        for (uint32_t i = 0; i + 1 < trace.blocks.size(); ++i)
+            trace.edges.push_back({i, i + 1});
+        TEA_ASSERT(closeTo >= 0, "trunk finished without a closure");
+        trace.edges.push_back(
+            {static_cast<uint32_t>(trace.blocks.size() - 1),
+             static_cast<uint32_t>(closeTo)});
+        result.kind = RecordingResult::Kind::NewTrace;
+        result.trace = std::move(trace);
+        pending.clear();
+        return result;
+    }
+
+    // Extension: graft the recorded path (possibly empty for a pure
+    // back-edge repair) onto a copy of the existing tree.
+    auto existing_index = [&](int encoded) {
+        return static_cast<uint32_t>(-(encoded + 2));
+    };
+    Trace merged = traces.at(extendId);
+    if (pending.empty()) {
+        TEA_ASSERT(closeTo <= -2, "empty extension without a repair edge");
+        uint32_t target = existing_index(closeTo);
+        if (merged.successorOn(extendFrom, merged.blocks[target].start) >= 0)
+            return result; // the edge appeared meanwhile; nothing to do
+        merged.edges.push_back({extendFrom, target});
+    } else {
+        if (pending[0].start != head || closeTo == -1)
+            return result;
+        if (merged.blocks.size() + pending.size() > cfg.maxTreeBlocks) {
+            pending.clear();
+            return result;
+        }
+        if (merged.successorOn(extendFrom, head) >= 0) {
+            pending.clear();
+            return result; // raced with ourselves; keep the tree as is
+        }
+        uint32_t base = static_cast<uint32_t>(merged.blocks.size());
+        merged.blocks.insert(merged.blocks.end(), pending.begin(),
+                             pending.end());
+        merged.edges.push_back({extendFrom, base});
+        for (uint32_t i = 0; i + 1 < pending.size(); ++i)
+            merged.edges.push_back({base + i, base + i + 1});
+        uint32_t last = base + static_cast<uint32_t>(pending.size()) - 1;
+        uint32_t target = closeTo >= 0
+                              ? base + static_cast<uint32_t>(closeTo)
+                              : existing_index(closeTo);
+        merged.edges.push_back({last, target});
+        pending.clear();
+    }
+    result.kind = RecordingResult::Kind::ExtendTrace;
+    result.extends = extendId;
+    result.trace = std::move(merged);
+    return result;
+}
+
+void
+TreeSelector::reset()
+{
+    anchorCounters.clear();
+    exitCounters.clear();
+    mode = Mode::Idle;
+    pending.clear();
+    extendRootPath.clear();
+    closeTo = -1;
+    aborted = false;
+}
+
+} // namespace tea

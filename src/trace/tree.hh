@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Trace-tree selection: TT (Gal & Franz) and CTT (Porto et al. '09).
+ *
+ * A trace tree is anchored at a loop header. The first recording captures
+ * one path around the loop ("trunk"); later, when execution keeps leaving
+ * the tree through the same side exit, a new path is recorded from the
+ * exit back to the anchor and grafted onto the tree. Because every path
+ * runs all the way back to the anchor, basic blocks get duplicated across
+ * paths — the TT memory blowup of the paper's Table 1.
+ *
+ * CTT differs in one rule: while recording a path, a branch to any *loop
+ * header already on the current path* closes the path right there with a
+ * back edge to that header's TBB, instead of duplicating the rest of the
+ * loop body. Nested loops therefore stop unrolling into the tree.
+ */
+
+#ifndef TEA_TRACE_TREE_HH
+#define TEA_TRACE_TREE_HH
+
+#include <map>
+#include <tuple>
+#include <unordered_map>
+
+#include "trace/selector.hh"
+
+namespace tea {
+
+/** Shared implementation of the TT and CTT selectors. */
+class TreeSelector : public TraceSelector
+{
+  public:
+    TreeSelector(bool compact, SelectorConfig config);
+
+    const char *name() const override { return compact ? "ctt" : "tt"; }
+    TraceKind
+    kind() const override
+    {
+        return compact ? TraceKind::CompactTraceTree : TraceKind::TraceTree;
+    }
+
+    ExecutingAction onExecuting(const BlockTransition &tr,
+                                const SelectorContext &ctx) override;
+    CreatingAction onCreating(const BlockTransition &tr,
+                              const SelectorContext &ctx) override;
+    RecordingResult finish(const TraceSet &traces) override;
+    void reset() override;
+
+  private:
+    /** What the in-progress recording will produce. */
+    enum class Mode { Idle, Trunk, Extension };
+
+    /**
+     * CTT: find a loop-header TBB on the current path whose start is
+     * addr. @return closure index: >= 0 in pending (offset by extension
+     * base later), or -2 - k for index k in the existing trace's
+     * root-path, or -1 when none.
+     */
+    int findPathHeader(Addr addr, const SelectorContext &ctx) const;
+
+    const bool compact;
+    SelectorConfig cfg;
+
+    std::unordered_map<Addr, uint32_t> anchorCounters;
+    /** (trace, tbb, destination) -> side-exit executions. */
+    std::map<std::tuple<TraceId, uint32_t, Addr>, uint32_t> exitCounters;
+
+    // in-progress recording
+    Mode mode = Mode::Idle;
+    Addr anchor = kNoAddr;  ///< the tree's root address
+    Addr head = kNoAddr;    ///< first block of the path being recorded
+    TraceId extendId = 0;   ///< valid in Extension mode
+    uint32_t extendFrom = 0; ///< TBB the side exit left from
+    std::vector<uint32_t> extendRootPath; ///< TBB indices root..extendFrom
+    std::vector<TraceBasicBlock> pending;
+    bool nextIsLoopHeader = false;
+    int closeTo = -1;    ///< resolved closure target (see finish())
+    bool aborted = false;
+};
+
+/** The TT selector. */
+class TtSelector : public TreeSelector
+{
+  public:
+    explicit TtSelector(SelectorConfig config = {})
+        : TreeSelector(false, config)
+    {
+    }
+};
+
+/** The CTT selector. */
+class CttSelector : public TreeSelector
+{
+  public:
+    explicit CttSelector(SelectorConfig config = {})
+        : TreeSelector(true, config)
+    {
+    }
+};
+
+} // namespace tea
+
+#endif // TEA_TRACE_TREE_HH

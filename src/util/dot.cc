@@ -1,0 +1,57 @@
+#include "util/dot.hh"
+
+#include <sstream>
+
+namespace tea {
+
+DotGraph::DotGraph(std::string graph_name) : name(std::move(graph_name)) {}
+
+void
+DotGraph::addNode(const std::string &id, const std::string &label,
+                  const std::string &shape)
+{
+    nodes.push_back({id, label.empty() ? id : label, shape});
+}
+
+void
+DotGraph::addEdge(const std::string &from, const std::string &to,
+                  const std::string &label)
+{
+    edges.push_back({from, to, label});
+}
+
+std::string
+DotGraph::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+std::string
+DotGraph::render() const
+{
+    std::ostringstream os;
+    os << "digraph \"" << escape(name) << "\" {\n";
+    os << "    rankdir=TB;\n";
+    for (const auto &n : nodes) {
+        os << "    \"" << escape(n.id) << "\" [label=\"" << escape(n.label)
+           << "\", shape=" << n.shape << "];\n";
+    }
+    for (const auto &e : edges) {
+        os << "    \"" << escape(e.from) << "\" -> \"" << escape(e.to)
+           << "\"";
+        if (!e.label.empty())
+            os << " [label=\"" << escape(e.label) << "\"]";
+        os << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace tea

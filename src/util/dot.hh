@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tiny GraphViz DOT emitter used to visualize automata and CFGs.
+ */
+
+#ifndef TEA_UTIL_DOT_HH
+#define TEA_UTIL_DOT_HH
+
+#include <string>
+#include <vector>
+
+namespace tea {
+
+/**
+ * Builds a directed graph in DOT syntax.
+ *
+ * Node/edge identities are free-form strings; the emitter quotes and
+ * escapes them. The paper's Figure 3 (trace DFA and whole-program TEA) is
+ * regenerated through this class.
+ */
+class DotGraph
+{
+  public:
+    /** Create a graph with the given name (used in the digraph header). */
+    explicit DotGraph(std::string name);
+
+    /** Add a node with an optional display label and shape. */
+    void addNode(const std::string &id, const std::string &label = "",
+                 const std::string &shape = "ellipse");
+
+    /** Add an edge with an optional label (the transition's address). */
+    void addEdge(const std::string &from, const std::string &to,
+                 const std::string &label = "");
+
+    /** Render the whole graph as DOT text. */
+    std::string render() const;
+
+  private:
+    struct Node
+    {
+        std::string id;
+        std::string label;
+        std::string shape;
+    };
+    struct Edge
+    {
+        std::string from;
+        std::string to;
+        std::string label;
+    };
+
+    static std::string escape(const std::string &s);
+
+    std::string name;
+    std::vector<Node> nodes;
+    std::vector<Edge> edges;
+};
+
+} // namespace tea
+
+#endif // TEA_UTIL_DOT_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Status and error reporting for the TEA library.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (library bugs), fatal() for user errors (bad input programs, bad
+ * configuration). Unlike gem5 both throw exceptions instead of aborting so
+ * that a host application (and the test suite) can recover.
+ */
+
+#ifndef TEA_UTIL_LOGGING_HH
+#define TEA_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace tea {
+
+/** Exception thrown by fatal(): a user/configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Exception thrown by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Quiet = 0, Warn = 1, Inform = 2, Debug = 3 };
+
+/** Set the global verbosity threshold (default: Warn). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity threshold. */
+LogLevel logLevel();
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Informative message; shown at LogLevel::Inform and above. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Warning message; shown at LogLevel::Warn and above. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Debug message; shown only at LogLevel::Debug. */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a user error and throw FatalError.
+ * Use for conditions caused by the caller (bad program, bad config).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a library bug and throw PanicError.
+ * Use for conditions that can never happen unless the library is broken.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** assert-like helper that panics with a message when cond is false. */
+#define TEA_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::tea::panic("assertion '" #cond "' failed: " __VA_ARGS__);     \
+    } while (0)
+
+} // namespace tea
+
+#endif // TEA_UTIL_LOGGING_HH

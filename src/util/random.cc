@@ -1,0 +1,56 @@
+#include "util/random.hh"
+
+#include "util/logging.hh"
+
+namespace tea {
+
+Xorshift64Star::Xorshift64Star(uint64_t seed)
+    : state(seed ? seed : 0x106689d45497fdb5ULL)
+{
+}
+
+uint64_t
+Xorshift64Star::next()
+{
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dULL;
+}
+
+uint64_t
+Xorshift64Star::nextBelow(uint64_t bound)
+{
+    TEA_ASSERT(bound != 0, "nextBelow(0)");
+    // Rejection sampling to avoid modulo bias for large bounds.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Xorshift64Star::nextRange(int64_t lo, int64_t hi)
+{
+    TEA_ASSERT(lo <= hi, "nextRange with lo > hi");
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<int64_t>(next());
+    return lo + static_cast<int64_t>(nextBelow(span));
+}
+
+double
+Xorshift64Star::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool
+Xorshift64Star::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+} // namespace tea

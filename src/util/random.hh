@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All randomness in the library (workload input generation, property tests,
+ * fuzzers) flows through Xorshift64Star so experiments are reproducible from
+ * a single seed.
+ */
+
+#ifndef TEA_UTIL_RANDOM_HH
+#define TEA_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+namespace tea {
+
+/**
+ * xorshift64* PRNG. Small, fast, and good enough for workload synthesis;
+ * never used for anything security-sensitive.
+ */
+class Xorshift64Star
+{
+  public:
+    /** Construct from a seed; seed 0 is remapped to a fixed constant. */
+    explicit Xorshift64Star(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of true. */
+    bool nextBool(double p = 0.5);
+
+  private:
+    uint64_t state;
+};
+
+} // namespace tea
+
+#endif // TEA_UTIL_RANDOM_HH

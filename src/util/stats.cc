@@ -1,0 +1,111 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace tea {
+
+double
+geomean(const std::vector<double> &values)
+{
+    double log_sum = 0.0;
+    size_t n = 0;
+    for (double v : values) {
+        if (v <= 0.0)
+            continue;
+        log_sum += std::log(v);
+        ++n;
+    }
+    if (n == 0)
+        return 0.0;
+    return std::exp(log_sum / static_cast<double>(n));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    double m = mean(values);
+    double acc = 0.0;
+    for (double v : values)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double
+percentile(std::vector<double> values, double pct)
+{
+    if (values.empty())
+        return 0.0;
+    TEA_ASSERT(pct >= 0.0 && pct <= 100.0, "percentile out of range");
+    std::sort(values.begin(), values.end());
+    size_t rank = static_cast<size_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(values.size())));
+    if (rank == 0)
+        rank = 1;
+    return values[rank - 1];
+}
+
+void
+CounterSet::add(const std::string &name, uint64_t delta)
+{
+    counters[name] += delta;
+}
+
+void
+CounterSet::set(const std::string &name, uint64_t value)
+{
+    counters[name] = value;
+}
+
+uint64_t
+CounterSet::get(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+bool
+CounterSet::has(const std::string &name) const
+{
+    return counters.count(name) != 0;
+}
+
+void
+CounterSet::clear()
+{
+    counters.clear();
+}
+
+void
+CounterSet::merge(const CounterSet &other)
+{
+    for (const auto &[name, value] : other.counters)
+        counters[name] += value;
+}
+
+std::string
+CounterSet::toString() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : counters)
+        os << name << "=" << value << "\n";
+    return os.str();
+}
+
+} // namespace tea

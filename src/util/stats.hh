@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Lightweight statistics helpers used by the benchmark harnesses.
+ */
+
+#ifndef TEA_UTIL_STATS_HH
+#define TEA_UTIL_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tea {
+
+/** Geometric mean of a series. Zero/negative entries are skipped. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean; returns 0 for an empty series. */
+double mean(const std::vector<double> &values);
+
+/** Population standard deviation; returns 0 for fewer than 2 samples. */
+double stddev(const std::vector<double> &values);
+
+/** Percentile (0..100) via nearest-rank on a copy of the series. */
+double percentile(std::vector<double> values, double pct);
+
+/**
+ * A named bag of monotonically increasing counters.
+ *
+ * Replay/record harnesses accumulate event counts here (instructions,
+ * transitions, cache hits, ...) and the benches read them back by name.
+ */
+class CounterSet
+{
+  public:
+    /** Add delta (default 1) to counter name, creating it at 0. */
+    void add(const std::string &name, uint64_t delta = 1);
+
+    /** Set counter name to an absolute value. */
+    void set(const std::string &name, uint64_t value);
+
+    /** Value of counter name; 0 when never touched. */
+    uint64_t get(const std::string &name) const;
+
+    /** True when the counter exists. */
+    bool has(const std::string &name) const;
+
+    /** Reset all counters to an empty set. */
+    void clear();
+
+    /** All counters in name order. */
+    const std::map<std::string, uint64_t> &all() const { return counters; }
+
+    /** Merge other into this set by summing matching names. */
+    void merge(const CounterSet &other);
+
+    /** Render as "name=value" lines for logs. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, uint64_t> counters;
+};
+
+} // namespace tea
+
+#endif // TEA_UTIL_STATS_HH

@@ -1,0 +1,112 @@
+#include "util/strutil.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tea {
+
+std::string
+trim(std::string_view s)
+{
+    size_t begin = 0;
+    size_t end = s.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])))
+        --end;
+    return std::string(s.substr(begin, end - begin));
+}
+
+std::vector<std::string>
+split(std::string_view s, char delim)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    for (size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == delim) {
+            out.emplace_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitWhitespace(std::string_view s)
+{
+    std::vector<std::string> out;
+    size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+        size_t start = i;
+        while (i < s.size() &&
+               !std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+        if (i > start)
+            out.emplace_back(s.substr(start, i - start));
+    }
+    return out;
+}
+
+std::string
+toLower(std::string_view s)
+{
+    std::string out(s);
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+bool
+endsWith(std::string_view s, std::string_view suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool
+parseInt(std::string_view s, int64_t &out)
+{
+    if (s.empty())
+        return false;
+    std::string buf(s);
+    char *end = nullptr;
+    errno = 0;
+    long long v = std::strtoll(buf.c_str(), &end, 0);
+    if (errno != 0 || end == buf.c_str() || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+std::string
+hex32(uint32_t value)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%08x", value);
+    return buf;
+}
+
+std::string
+join(const std::vector<std::string> &items, std::string_view sep)
+{
+    std::string out;
+    for (size_t i = 0; i < items.size(); ++i) {
+        if (i)
+            out.append(sep);
+        out.append(items[i]);
+    }
+    return out;
+}
+
+} // namespace tea

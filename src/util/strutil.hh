@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Small string helpers shared by the assembler, table printer, and tools.
+ */
+
+#ifndef TEA_UTIL_STRUTIL_HH
+#define TEA_UTIL_STRUTIL_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tea {
+
+/** Strip leading and trailing whitespace. */
+std::string trim(std::string_view s);
+
+/** Split on a delimiter character; empty fields are kept. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Split on runs of whitespace; empty fields are dropped. */
+std::vector<std::string> splitWhitespace(std::string_view s);
+
+/** Lowercase an ASCII string. */
+std::string toLower(std::string_view s);
+
+/** True when s starts with the given prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** True when s ends with the given suffix. */
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/**
+ * Parse an integer literal supporting decimal, 0x-hex, and a leading '-'.
+ * @return true on success, storing the value into out.
+ */
+bool parseInt(std::string_view s, int64_t &out);
+
+/** Format an address as 0x%08x (guest addresses are 32-bit). */
+std::string hex32(uint32_t value);
+
+/** Join items with a separator. */
+std::string join(const std::vector<std::string> &items,
+                 std::string_view sep);
+
+} // namespace tea
+
+#endif // TEA_UTIL_STRUTIL_HH

@@ -1,0 +1,104 @@
+#include "util/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace tea {
+
+TextTable::TextTable(std::vector<std::string> header_cells)
+    : header(std::move(header_cells))
+{
+    TEA_ASSERT(!header.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != header.size())
+        fatal("table row has %zu cells, expected %zu", cells.size(),
+              header.size());
+    rows.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows.emplace_back();
+}
+
+size_t
+TextTable::rowCount() const
+{
+    size_t n = 0;
+    for (const auto &r : rows)
+        if (!r.empty())
+            ++n;
+    return n;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(header.size());
+    for (size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &cells,
+                          std::ostringstream &os) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << "| " << cells[c];
+            os << std::string(widths[c] - cells[c].size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+    auto render_sep = [&](std::ostringstream &os) {
+        for (size_t c = 0; c < widths.size(); ++c)
+            os << "+" << std::string(widths[c] + 2, '-');
+        os << "+\n";
+    };
+
+    std::ostringstream os;
+    render_sep(os);
+    render_row(header, os);
+    render_sep(os);
+    for (const auto &row : rows) {
+        if (row.empty())
+            render_sep(os);
+        else
+            render_row(row, os);
+    }
+    render_sep(os);
+    return os.str();
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+TextTable::num(uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+std::string
+TextTable::pct(double ratio, int precision)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, ratio * 100.0);
+    return buf;
+}
+
+} // namespace tea

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fixed-width ASCII table rendering.
+ *
+ * The benchmark harnesses print the same rows the paper's tables report;
+ * this helper keeps the output aligned and machine-greppable.
+ */
+
+#ifndef TEA_UTIL_TABLE_HH
+#define TEA_UTIL_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tea {
+
+/**
+ * Column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"benchmark", "DBT", "TEA", "Savings"});
+ *   t.addRow({"171.swim", "538", "110", "79%"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** Construct with header cells; column count is fixed from here on. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a data row; must match the header's column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Number of data rows added so far (separators excluded). */
+    size_t rowCount() const;
+
+    /** Render the table with padded columns. */
+    std::string render() const;
+
+    /** Helper: format a double with the given precision. */
+    static std::string num(double value, int precision = 2);
+
+    /** Helper: format an integer with thousands separators removed. */
+    static std::string num(uint64_t value);
+
+    /** Helper: format a ratio as a percentage string like "79%". */
+    static std::string pct(double ratio, int precision = 0);
+
+  private:
+    std::vector<std::string> header;
+    /** Rows; an empty vector marks a separator. */
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace tea
+
+#endif // TEA_UTIL_TABLE_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Wall-clock timing for the benchmark harnesses (Table 2/3/4 "Time").
+ */
+
+#ifndef TEA_UTIL_TIMER_HH
+#define TEA_UTIL_TIMER_HH
+
+#include <chrono>
+
+namespace tea {
+
+/** A simple steady-clock stopwatch. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : begin(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { begin = Clock::now(); }
+
+    /** Elapsed seconds since construction/reset. */
+    double
+    elapsedSeconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - begin).count();
+    }
+
+    /** Elapsed milliseconds since construction/reset. */
+    double elapsedMillis() const { return elapsedSeconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point begin;
+};
+
+} // namespace tea
+
+#endif // TEA_UTIL_TIMER_HH

@@ -1,0 +1,61 @@
+#include "vm/block.hh"
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace tea {
+
+BlockTracker::BlockTracker(const Program &program, TransitionFn cb,
+                           bool rep_per_iteration, bool collect_blocks)
+    : prog(program), callback(std::move(cb)),
+      repPerIteration(rep_per_iteration), collectBlocks(collect_blocks),
+      curStart(program.entry())
+{
+    TEA_ASSERT(callback != nullptr, "BlockTracker needs a callback");
+    // Precompute the address -> instruction-index map once; this sits on
+    // the per-transition hot path of every replay/record run.
+    denseIndex.assign(prog.codeBytes(), -1);
+    for (size_t i = 0; i < prog.size(); ++i)
+        denseIndex[prog.at(i).addr - prog.baseAddr()] =
+            static_cast<int32_t>(i);
+}
+
+void
+BlockTracker::reset()
+{
+    curStart = prog.entry();
+}
+
+uint64_t
+BlockTracker::staticCount(Addr start, Addr end) const
+{
+    Addr base = prog.baseAddr();
+    Addr s_off = start - base;
+    Addr e_off = end - base;
+    int32_t first = s_off < denseIndex.size() ? denseIndex[s_off] : -1;
+    int32_t last = e_off < denseIndex.size() ? denseIndex[e_off] : -1;
+    if (first < 0 || last < 0 || last < first)
+        fatal("bad block [%s, %s]", hex32(start).c_str(),
+              hex32(end).c_str());
+    return static_cast<uint64_t>(last - first) + 1;
+}
+
+void
+BlockTracker::onEdge(const EdgeEvent &ev)
+{
+    BlockTransition tr;
+    tr.from.start = curStart;
+    tr.from.end = ev.src;
+    tr.from.icount = staticCount(curStart, ev.src);
+    if (repPerIteration && ev.repIterations > 1)
+        tr.from.icount += ev.repIterations - 1;
+    tr.toStart = ev.kind == EdgeKind::Halt ? kNoAddr : ev.dst;
+    tr.kind = ev.kind;
+
+    if (collectBlocks)
+        ++seen[{tr.from.start, tr.from.end}];
+    curStart = tr.toStart;
+    callback(tr);
+}
+
+} // namespace tea

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Dynamic basic-block discovery on top of the Machine's edge events.
+ *
+ * Both runtimes in the paper see execution as a stream of *dynamic basic
+ * blocks*: StarDBT ends a block at every branch instruction, Pin
+ * additionally starts a new block at "unexpected" instructions (CPUID,
+ * REP prefixes — §4.1). The Machine already delivers an EdgeEvent at
+ * exactly those boundaries (the Pin splitters only when the hook was
+ * installed with split_at_special = true), so this tracker just turns
+ * consecutive events into block-to-block transitions.
+ */
+
+#ifndef TEA_VM_BLOCK_HH
+#define TEA_VM_BLOCK_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "isa/program.hh"
+#include "vm/machine.hh"
+
+namespace tea {
+
+/** A dynamic basic block keyed by its first and last instruction. */
+struct BlockRef
+{
+    Addr start;      ///< address of the first instruction
+    Addr end;        ///< address of the last instruction
+    uint64_t icount; ///< instructions executed in this block instance
+
+    bool operator==(const BlockRef &) const = default;
+};
+
+/** A completed block execution plus where control went next. */
+struct BlockTransition
+{
+    BlockRef from;  ///< the block that just finished executing
+    Addr toStart;   ///< start address of the next block (kNoAddr at halt)
+    EdgeKind kind;  ///< how the block exited
+};
+
+/**
+ * Turns the Machine's edge-event stream into block transitions.
+ *
+ * Also keeps a registry of distinct (start, end) blocks seen, which
+ * higher layers use for statistics and for Figure-2-style CFG dumps.
+ */
+class BlockTracker
+{
+  public:
+    using TransitionFn = std::function<void(const BlockTransition &)>;
+
+    /**
+     * @param prog     the running program (for instruction counting)
+     * @param callback invoked once per completed block execution
+     * @param rep_per_iteration when true, a REP instruction contributes
+     *        one instruction per iteration to BlockRef::icount (Pin's
+     *        convention); when false it counts as a single instruction
+     *        (StarDBT's convention, §4.1)
+     * @param collect_blocks maintain the distinct-block registry (adds a
+     *        map update per transition; the timing benches turn it off)
+     */
+    BlockTracker(const Program &prog, TransitionFn callback,
+                 bool rep_per_iteration = true, bool collect_blocks = true);
+
+    /** Feed the next edge event; fires the callback exactly once. */
+    void onEdge(const EdgeEvent &ev);
+
+    /** Reset to the program entry (for a fresh run). */
+    void reset();
+
+    /**
+     * Static instruction count of [start, end] inclusive.
+     * Counts a REP instruction as one (the StarDBT convention); callers
+     * that want Pin's per-iteration convention add EdgeEvent
+     * repIterations on top.
+     */
+    uint64_t staticCount(Addr start, Addr end) const;
+
+    /** Distinct (start, end) blocks seen so far, with execution counts. */
+    const std::map<std::pair<Addr, Addr>, uint64_t> &
+    blocks() const
+    {
+        return seen;
+    }
+
+  private:
+    const Program &prog;
+    TransitionFn callback;
+    bool repPerIteration;
+    bool collectBlocks;
+    Addr curStart;
+    /** Dense (addr - base) -> instruction index map; -1 between starts. */
+    std::vector<int32_t> denseIndex;
+    std::map<std::pair<Addr, Addr>, uint64_t> seen;
+};
+
+} // namespace tea
+
+#endif // TEA_VM_BLOCK_HH

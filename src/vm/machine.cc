@@ -1,0 +1,428 @@
+#include "vm/machine.hh"
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace tea {
+
+Machine::Machine(const Program &program) : prog(program)
+{
+    layout.assign(prog.codeBytes(), -1);
+    for (size_t i = 0; i < prog.size(); ++i) {
+        const Insn &insn = prog.at(i);
+        layout[insn.addr - prog.baseAddr()] = static_cast<int32_t>(i);
+    }
+    reset();
+}
+
+void
+Machine::reset()
+{
+    for (auto &r : regs)
+        r = 0;
+    regs[static_cast<size_t>(Reg::Esp)] = kStackTop;
+    eflags = Flags{};
+    pcReg = prog.entry();
+    isHalted = false;
+    mem.clear();
+    outPort.clear();
+    countRepAsOne = 0;
+    countRepPerIter = 0;
+    for (const DataWord &d : prog.data())
+        mem.store32(d.addr, d.value);
+}
+
+Addr
+Machine::effectiveAddr(const MemRef &mem_ref) const
+{
+    Addr addr = static_cast<Addr>(mem_ref.disp);
+    if (mem_ref.hasBase)
+        addr += regs[static_cast<size_t>(mem_ref.base)];
+    if (mem_ref.hasIndex)
+        addr += regs[static_cast<size_t>(mem_ref.index)] * mem_ref.scale;
+    return addr;
+}
+
+uint32_t
+Machine::operandValue(const Operand &op) const
+{
+    switch (op.kind) {
+      case OperandKind::Reg:
+        return regs[static_cast<size_t>(op.reg)];
+      case OperandKind::Imm:
+        return static_cast<uint32_t>(op.imm);
+      case OperandKind::Mem:
+        return mem.load32(effectiveAddr(op.mem));
+      case OperandKind::None:
+        break;
+    }
+    panic("reading a None operand");
+}
+
+void
+Machine::writeOperand(const Operand &op, uint32_t value)
+{
+    switch (op.kind) {
+      case OperandKind::Reg:
+        regs[static_cast<size_t>(op.reg)] = value;
+        return;
+      case OperandKind::Mem:
+        mem.store32(effectiveAddr(op.mem), value);
+        return;
+      default:
+        fatal("instruction writes to a non-writable operand");
+    }
+}
+
+void
+Machine::setArithFlags(uint32_t result)
+{
+    eflags.zf = result == 0;
+    eflags.sf = (result >> 31) != 0;
+}
+
+void
+Machine::push(uint32_t value)
+{
+    uint32_t &esp = regs[static_cast<size_t>(Reg::Esp)];
+    esp -= 4;
+    mem.store32(esp, value);
+}
+
+uint32_t
+Machine::pop()
+{
+    uint32_t &esp = regs[static_cast<size_t>(Reg::Esp)];
+    uint32_t value = mem.load32(esp);
+    esp += 4;
+    return value;
+}
+
+EdgeEvent
+Machine::step()
+{
+    if (isHalted)
+        fatal("step() on a halted machine");
+
+    Addr off = pcReg - prog.baseAddr();
+    int32_t idx = (off < layout.size()) ? layout[off] : -1;
+    if (idx < 0)
+        fatal("PC %s is not an instruction start", hex32(pcReg).c_str());
+    const Insn &insn = prog.at(static_cast<size_t>(idx));
+
+    EdgeEvent ev;
+    ev.src = insn.addr;
+    ev.fallthrough = insn.nextAddr();
+    ev.dst = insn.nextAddr();
+    ev.kind = EdgeKind::Sequential;
+    ev.repIterations = 0;
+
+    ++countRepAsOne;
+    ++countRepPerIter; // REP cases add their extra iterations below
+
+    auto branch_to = [&](Addr target, EdgeKind kind) {
+        ev.dst = target;
+        ev.kind = kind;
+    };
+    auto cond_jump = [&](bool taken) {
+        if (taken)
+            branch_to(static_cast<Addr>(operandValue(insn.dst)),
+                      EdgeKind::BranchTaken);
+        else
+            ev.kind = EdgeKind::BranchNotTaken;
+    };
+
+    const Flags &f = eflags;
+    switch (insn.op) {
+      case Opcode::Mov:
+        writeOperand(insn.dst, operandValue(insn.src));
+        break;
+      case Opcode::Lea:
+        if (insn.src.kind != OperandKind::Mem)
+            fatal("lea needs a memory source");
+        writeOperand(insn.dst, effectiveAddr(insn.src.mem));
+        break;
+      case Opcode::Push:
+        push(operandValue(insn.dst));
+        break;
+      case Opcode::Pop:
+        writeOperand(insn.dst, pop());
+        break;
+      case Opcode::Xchg: {
+        uint32_t a = operandValue(insn.dst);
+        uint32_t b = operandValue(insn.src);
+        writeOperand(insn.dst, b);
+        writeOperand(insn.src, a);
+        break;
+      }
+      case Opcode::Add: {
+        uint32_t a = operandValue(insn.dst);
+        uint32_t b = operandValue(insn.src);
+        uint32_t r = a + b;
+        eflags.cf = r < a;
+        eflags.of = (~(a ^ b) & (a ^ r)) >> 31;
+        setArithFlags(r);
+        writeOperand(insn.dst, r);
+        break;
+      }
+      case Opcode::Adc: {
+        uint32_t a = operandValue(insn.dst);
+        uint32_t b = operandValue(insn.src);
+        uint64_t wide = static_cast<uint64_t>(a) + b + (f.cf ? 1 : 0);
+        uint32_t r = static_cast<uint32_t>(wide);
+        eflags.cf = (wide >> 32) != 0;
+        eflags.of = (~(a ^ b) & (a ^ r)) >> 31;
+        setArithFlags(r);
+        writeOperand(insn.dst, r);
+        break;
+      }
+      case Opcode::Sub:
+      case Opcode::Cmp: {
+        uint32_t a = operandValue(insn.dst);
+        uint32_t b = operandValue(insn.src);
+        uint32_t r = a - b;
+        eflags.cf = a < b;
+        eflags.of = ((a ^ b) & (a ^ r)) >> 31;
+        setArithFlags(r);
+        if (insn.op == Opcode::Sub)
+            writeOperand(insn.dst, r);
+        break;
+      }
+      case Opcode::Mul: {
+        int64_t wide = static_cast<int64_t>(
+                           static_cast<int32_t>(operandValue(insn.dst))) *
+                       static_cast<int32_t>(operandValue(insn.src));
+        uint32_t r = static_cast<uint32_t>(wide);
+        eflags.cf = eflags.of = wide != static_cast<int32_t>(r);
+        setArithFlags(r);
+        writeOperand(insn.dst, r);
+        break;
+      }
+      case Opcode::Div:
+      case Opcode::Mod: {
+        int32_t a = static_cast<int32_t>(operandValue(insn.dst));
+        int32_t b = static_cast<int32_t>(operandValue(insn.src));
+        if (b == 0)
+            fatal("division by zero at %s", hex32(insn.addr).c_str());
+        if (a == INT32_MIN && b == -1)
+            fatal("division overflow at %s", hex32(insn.addr).c_str());
+        int32_t r = insn.op == Opcode::Div ? a / b : a % b;
+        eflags.cf = eflags.of = false;
+        setArithFlags(static_cast<uint32_t>(r));
+        writeOperand(insn.dst, static_cast<uint32_t>(r));
+        break;
+      }
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Test: {
+        uint32_t a = operandValue(insn.dst);
+        uint32_t b = operandValue(insn.src);
+        uint32_t r;
+        switch (insn.op) {
+          case Opcode::And:
+          case Opcode::Test: r = a & b; break;
+          case Opcode::Or: r = a | b; break;
+          default: r = a ^ b; break;
+        }
+        eflags.cf = eflags.of = false;
+        setArithFlags(r);
+        if (insn.op != Opcode::Test)
+            writeOperand(insn.dst, r);
+        break;
+      }
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Sar: {
+        uint32_t a = operandValue(insn.dst);
+        uint32_t count = operandValue(insn.src) & 31;
+        uint32_t r = a;
+        if (count != 0) {
+            switch (insn.op) {
+              case Opcode::Shl:
+                eflags.cf = (a >> (32 - count)) & 1;
+                r = a << count;
+                break;
+              case Opcode::Shr:
+                eflags.cf = (a >> (count - 1)) & 1;
+                r = a >> count;
+                break;
+              default:
+                eflags.cf = (static_cast<int32_t>(a) >> (count - 1)) & 1;
+                r = static_cast<uint32_t>(static_cast<int32_t>(a) >> count);
+                break;
+            }
+            eflags.of = false;
+            setArithFlags(r);
+        }
+        writeOperand(insn.dst, r);
+        break;
+      }
+      case Opcode::Not:
+        writeOperand(insn.dst, ~operandValue(insn.dst));
+        break;
+      case Opcode::Neg: {
+        uint32_t a = operandValue(insn.dst);
+        uint32_t r = 0 - a;
+        eflags.cf = a != 0;
+        eflags.of = a == 0x80000000u;
+        setArithFlags(r);
+        writeOperand(insn.dst, r);
+        break;
+      }
+      case Opcode::Inc: {
+        uint32_t a = operandValue(insn.dst);
+        uint32_t r = a + 1;
+        eflags.of = r == 0x80000000u;
+        setArithFlags(r); // CF preserved, as on x86
+        writeOperand(insn.dst, r);
+        break;
+      }
+      case Opcode::Dec: {
+        uint32_t a = operandValue(insn.dst);
+        uint32_t r = a - 1;
+        eflags.of = r == 0x7fffffffu;
+        setArithFlags(r); // CF preserved
+        writeOperand(insn.dst, r);
+        break;
+      }
+      case Opcode::Jmp:
+        branch_to(static_cast<Addr>(operandValue(insn.dst)),
+                  EdgeKind::Jump);
+        break;
+      case Opcode::Je: cond_jump(f.zf); break;
+      case Opcode::Jne: cond_jump(!f.zf); break;
+      case Opcode::Jl: cond_jump(f.sf != f.of); break;
+      case Opcode::Jle: cond_jump(f.zf || f.sf != f.of); break;
+      case Opcode::Jg: cond_jump(!f.zf && f.sf == f.of); break;
+      case Opcode::Jge: cond_jump(f.sf == f.of); break;
+      case Opcode::Jb: cond_jump(f.cf); break;
+      case Opcode::Jbe: cond_jump(f.cf || f.zf); break;
+      case Opcode::Ja: cond_jump(!f.cf && !f.zf); break;
+      case Opcode::Jae: cond_jump(!f.cf); break;
+      case Opcode::Js: cond_jump(f.sf); break;
+      case Opcode::Jns: cond_jump(!f.sf); break;
+      case Opcode::Call:
+        push(insn.nextAddr());
+        branch_to(static_cast<Addr>(operandValue(insn.dst)),
+                  EdgeKind::Call);
+        break;
+      case Opcode::Ret:
+        branch_to(pop(), EdgeKind::Ret);
+        break;
+      case Opcode::RepMovs: {
+        uint32_t &ecx = regs[static_cast<size_t>(Reg::Ecx)];
+        uint32_t &esi = regs[static_cast<size_t>(Reg::Esi)];
+        uint32_t &edi = regs[static_cast<size_t>(Reg::Edi)];
+        ev.repIterations = ecx;
+        while (ecx != 0) {
+            mem.store32(edi, mem.load32(esi));
+            esi += 4;
+            edi += 4;
+            --ecx;
+        }
+        if (ev.repIterations > 1)
+            countRepPerIter += ev.repIterations - 1;
+        break;
+      }
+      case Opcode::RepStos: {
+        uint32_t &ecx = regs[static_cast<size_t>(Reg::Ecx)];
+        uint32_t &edi = regs[static_cast<size_t>(Reg::Edi)];
+        uint32_t eax = regs[static_cast<size_t>(Reg::Eax)];
+        ev.repIterations = ecx;
+        while (ecx != 0) {
+            mem.store32(edi, eax);
+            edi += 4;
+            --ecx;
+        }
+        if (ev.repIterations > 1)
+            countRepPerIter += ev.repIterations - 1;
+        break;
+      }
+      case Opcode::RepScas: {
+        uint32_t &ecx = regs[static_cast<size_t>(Reg::Ecx)];
+        uint32_t &edi = regs[static_cast<size_t>(Reg::Edi)];
+        uint32_t eax = regs[static_cast<size_t>(Reg::Eax)];
+        uint32_t iters = 0;
+        eflags.zf = false;
+        while (ecx != 0) {
+            ++iters;
+            uint32_t v = mem.load32(edi);
+            edi += 4;
+            --ecx;
+            if (v == eax) {
+                eflags.zf = true;
+                break;
+            }
+        }
+        ev.repIterations = iters;
+        if (iters > 1)
+            countRepPerIter += iters - 1;
+        break;
+      }
+      case Opcode::Cpuid:
+        // Model constants; enough to be a data source and a block splitter.
+        regs[static_cast<size_t>(Reg::Eax)] = 0x54494e59; // 'TINY'
+        regs[static_cast<size_t>(Reg::Ebx)] = 0x58383621; // 'X86!'
+        regs[static_cast<size_t>(Reg::Ecx)] = 1;
+        regs[static_cast<size_t>(Reg::Edx)] = 0;
+        break;
+      case Opcode::Out:
+        outPort.push_back(operandValue(insn.dst));
+        break;
+      case Opcode::Nop:
+        break;
+      case Opcode::Halt:
+        isHalted = true;
+        ev.kind = EdgeKind::Halt;
+        ev.dst = kNoAddr;
+        break;
+      case Opcode::NumOpcodes:
+        panic("invalid opcode");
+    }
+
+    if (!isHalted)
+        pcReg = ev.dst;
+    return ev;
+}
+
+RunExit
+Machine::run(uint64_t max_steps)
+{
+    for (uint64_t i = 0; i < max_steps; ++i) {
+        step();
+        if (isHalted)
+            return RunExit::Halted;
+    }
+    return RunExit::StepLimit;
+}
+
+RunExit
+Machine::runHooked(const EdgeHook &hook, bool split_at_special,
+                   uint64_t max_steps)
+{
+    auto op_at = [&](Addr addr) -> Opcode {
+        Addr off = addr - prog.baseAddr();
+        int32_t idx = (off < layout.size()) ? layout[off] : -1;
+        return idx >= 0 ? prog.at(static_cast<size_t>(idx)).op : Opcode::Nop;
+    };
+    for (uint64_t i = 0; i < max_steps; ++i) {
+        EdgeEvent ev = step();
+        // Deliver control transfers always; deliver Sequential events only
+        // around special (CPUID/REP) instructions, where a Pin-like system
+        // breaks dynamic basic blocks (§4.1) — both when sequentially
+        // leaving a splitter and when sequentially entering one.
+        bool deliver = isTransfer(ev.kind) || ev.kind == EdgeKind::Halt;
+        if (!deliver && split_at_special) {
+            deliver = isPinBlockSplitter(op_at(ev.src)) ||
+                      isPinBlockSplitter(op_at(ev.dst));
+        }
+        if (deliver)
+            hook(ev);
+        if (isHalted)
+            return RunExit::Halted;
+    }
+    return RunExit::StepLimit;
+}
+
+} // namespace tea

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The TinyX86 interpreter and its Pin-style instrumentation interface.
+ */
+
+#ifndef TEA_VM_MACHINE_HH
+#define TEA_VM_MACHINE_HH
+
+#include <functional>
+#include <vector>
+
+#include "isa/program.hh"
+#include "vm/memory.hh"
+
+namespace tea {
+
+/** How one instruction transferred control (or failed to). */
+enum class EdgeKind : uint8_t
+{
+    Sequential,     ///< fell into the next instruction (not a branch)
+    BranchTaken,    ///< conditional jump, taken
+    BranchNotTaken, ///< conditional jump, fell through
+    Jump,           ///< unconditional jmp (direct or indirect)
+    Call,           ///< call (direct or indirect)
+    Ret,            ///< ret
+    Halt,           ///< halt executed; dst is invalid
+};
+
+/** True when the kind represents an actual control transfer. */
+inline bool
+isTransfer(EdgeKind kind)
+{
+    return kind != EdgeKind::Sequential && kind != EdgeKind::Halt;
+}
+
+/**
+ * One dynamic control-flow event, as a Pin-like runtime would deliver it
+ * to instrumentation placed on the taken and fall-through edges (§4.1).
+ */
+struct EdgeEvent
+{
+    Addr src;          ///< address of the transferring instruction
+    Addr fallthrough;  ///< address of the instruction after src
+    Addr dst;          ///< destination (new PC)
+    EdgeKind kind;
+    uint32_t repIterations; ///< REP iteration count of src (0 if not REP)
+};
+
+/** Per-edge instrumentation callback. */
+using EdgeHook = std::function<void(const EdgeEvent &)>;
+
+/** Outcome of Machine::run*(). */
+enum class RunExit
+{
+    Halted,    ///< program executed Halt
+    StepLimit, ///< the step budget ran out
+};
+
+/**
+ * The TinyX86 interpreter.
+ *
+ * Substitutes for the "runtime environment" role of Pin in the paper: it
+ * executes the unmodified guest program and can deliver an event at every
+ * taken / fall-through edge to a tool (e.g. the TEA replayer/recorder).
+ *
+ * Two dynamic instruction counters are maintained simultaneously because
+ * StarDBT and Pin disagree on REP-prefixed instructions (§4.1): StarDBT
+ * counts a REP as one instruction, Pin counts every iteration.
+ */
+class Machine
+{
+  public:
+    /** Bind a program; decodes the layout and resets machine state. */
+    explicit Machine(const Program &prog);
+
+    /** Reset registers, flags, memory, and counters; reload data. */
+    void reset();
+
+    /**
+     * Run without instrumentation (the "Native" configuration of
+     * Table 4). @return why execution stopped.
+     */
+    RunExit run(uint64_t max_steps = kDefaultStepLimit);
+
+    /**
+     * Run delivering an EdgeEvent for every control transfer. When
+     * split_at_special is true, Sequential events are also delivered
+     * around CPUID/REP instructions, matching Pin's dynamic
+     * basic-block boundaries (§4.1).
+     */
+    RunExit runHooked(const EdgeHook &hook, bool split_at_special,
+                      uint64_t max_steps = kDefaultStepLimit);
+
+    /** @name Architectural state accessors */
+    /// @{
+    uint32_t reg(Reg r) const { return regs[static_cast<size_t>(r)]; }
+    void setReg(Reg r, uint32_t v) { regs[static_cast<size_t>(r)] = v; }
+    const Flags &flags() const { return eflags; }
+    Addr pc() const { return pcReg; }
+    void setPc(Addr addr) { pcReg = addr; }
+    Memory &memory() { return mem; }
+    const Memory &memory() const { return mem; }
+    bool halted() const { return isHalted; }
+    /// @}
+
+    /** Values written by Out instructions, in order (observable output). */
+    const std::vector<uint32_t> &output() const { return outPort; }
+
+    /** Dynamic instructions, counting each REP as one (StarDBT policy). */
+    uint64_t icountRepAsOne() const { return countRepAsOne; }
+
+    /** Dynamic instructions, counting REP per iteration (Pin policy). */
+    uint64_t icountRepPerIter() const { return countRepPerIter; }
+
+    /** The bound program. */
+    const Program &program() const { return prog; }
+
+    /** Initial stack pointer given to programs. */
+    static constexpr Addr kStackTop = 0x7ff00000;
+
+    /** Default step budget; a backstop against runaway guests. */
+    static constexpr uint64_t kDefaultStepLimit = 2'000'000'000ull;
+
+    /**
+     * Execute exactly one instruction at the current PC.
+     * @return the edge event describing what the instruction did.
+     */
+    EdgeEvent step();
+
+  private:
+    uint32_t operandValue(const Operand &op) const;
+    Addr effectiveAddr(const MemRef &mem_ref) const;
+    void writeOperand(const Operand &op, uint32_t value);
+    void setArithFlags(uint32_t result);
+    void push(uint32_t value);
+    uint32_t pop();
+
+    const Program &prog;
+
+    /** Dense map from (addr - base) to instruction index, or -1. */
+    std::vector<int32_t> layout;
+
+    uint32_t regs[kNumRegs] = {};
+    Flags eflags;
+    Addr pcReg = 0;
+    bool isHalted = false;
+    Memory mem;
+    std::vector<uint32_t> outPort;
+    uint64_t countRepAsOne = 0;
+    uint64_t countRepPerIter = 0;
+};
+
+} // namespace tea
+
+#endif // TEA_VM_MACHINE_HH

@@ -1,0 +1,76 @@
+#include "vm/memory.hh"
+
+namespace tea {
+
+const Memory::Page *
+Memory::findPage(Addr addr) const
+{
+    auto it = pages.find(addr >> kPageBits);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+Memory::Page &
+Memory::touchPage(Addr addr)
+{
+    auto &slot = pages[addr >> kPageBits];
+    if (!slot)
+        slot = std::make_unique<Page>();
+    return *slot;
+}
+
+uint8_t
+Memory::load8(Addr addr) const
+{
+    const Page *page = findPage(addr);
+    return page ? page->bytes[addr & (kPageSize - 1)] : 0;
+}
+
+void
+Memory::store8(Addr addr, uint8_t value)
+{
+    touchPage(addr).bytes[addr & (kPageSize - 1)] = value;
+}
+
+uint32_t
+Memory::load32(Addr addr) const
+{
+    uint32_t off = addr & (kPageSize - 1);
+    if (off + 4 <= kPageSize) {
+        const Page *page = findPage(addr);
+        if (!page)
+            return 0;
+        const uint8_t *p = page->bytes + off;
+        return static_cast<uint32_t>(p[0]) |
+               (static_cast<uint32_t>(p[1]) << 8) |
+               (static_cast<uint32_t>(p[2]) << 16) |
+               (static_cast<uint32_t>(p[3]) << 24);
+    }
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(load8(addr + i)) << (8 * i);
+    return v;
+}
+
+void
+Memory::store32(Addr addr, uint32_t value)
+{
+    uint32_t off = addr & (kPageSize - 1);
+    if (off + 4 <= kPageSize) {
+        uint8_t *p = touchPage(addr).bytes + off;
+        p[0] = static_cast<uint8_t>(value);
+        p[1] = static_cast<uint8_t>(value >> 8);
+        p[2] = static_cast<uint8_t>(value >> 16);
+        p[3] = static_cast<uint8_t>(value >> 24);
+        return;
+    }
+    for (int i = 0; i < 4; ++i)
+        store8(addr + i, static_cast<uint8_t>(value >> (8 * i)));
+}
+
+void
+Memory::clear()
+{
+    pages.clear();
+}
+
+} // namespace tea

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Sparse paged guest memory.
+ */
+
+#ifndef TEA_VM_MEMORY_HH
+#define TEA_VM_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "isa/types.hh"
+
+namespace tea {
+
+/**
+ * A sparse, demand-paged 32-bit byte-addressable memory.
+ *
+ * Pages are allocated on first touch and zero-filled, so workloads can
+ * scatter data sections and stacks anywhere in the address space without
+ * reserving host memory up front.
+ */
+class Memory
+{
+  public:
+    static constexpr uint32_t kPageBits = 12;
+    static constexpr uint32_t kPageSize = 1u << kPageBits;
+
+    /** Load a byte. */
+    uint8_t load8(Addr addr) const;
+
+    /** Store a byte. */
+    void store8(Addr addr, uint8_t value);
+
+    /** Load a little-endian 32-bit word (may straddle pages). */
+    uint32_t load32(Addr addr) const;
+
+    /** Store a little-endian 32-bit word (may straddle pages). */
+    void store32(Addr addr, uint32_t value);
+
+    /** Drop all pages. */
+    void clear();
+
+    /** Number of resident pages (for footprint diagnostics). */
+    size_t residentPages() const { return pages.size(); }
+
+  private:
+    struct Page
+    {
+        uint8_t bytes[kPageSize] = {};
+    };
+
+    const Page *findPage(Addr addr) const;
+    Page &touchPage(Addr addr);
+
+    std::unordered_map<uint32_t, std::unique_ptr<Page>> pages;
+};
+
+} // namespace tea
+
+#endif // TEA_VM_MEMORY_HH

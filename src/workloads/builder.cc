@@ -1,0 +1,62 @@
+#include "workloads/builder.hh"
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace tea {
+
+void
+AsmBuilder::line(const std::string &text_line)
+{
+    text += text_line;
+    text += '\n';
+}
+
+void
+AsmBuilder::ins(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    char buf[512];
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    text += "    ";
+    text += buf;
+    text += '\n';
+}
+
+void
+AsmBuilder::label(const std::string &name)
+{
+    text += name;
+    text += ":\n";
+}
+
+std::string
+AsmBuilder::fresh(const std::string &stem)
+{
+    return strprintf("%s_%d", stem.c_str(), counter++);
+}
+
+void
+AsmBuilder::dataAt(Addr addr)
+{
+    line(strprintf(".data 0x%x", addr));
+}
+
+void
+AsmBuilder::word(uint32_t value)
+{
+    line(strprintf(".word %u", value));
+}
+
+void
+AsmBuilder::lcg(const char *state, const char *out)
+{
+    ins("mul %s, 1103515245", state);
+    ins("add %s, 12345", state);
+    ins("mov %s, %s", out, state);
+    ins("shr %s, 16", out);
+}
+
+} // namespace tea

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Assembly-source builder used by the workload generators.
+ */
+
+#ifndef TEA_WORKLOADS_BUILDER_HH
+#define TEA_WORKLOADS_BUILDER_HH
+
+#include <cstdarg>
+#include <string>
+
+#include "isa/types.hh"
+
+namespace tea {
+
+/**
+ * Accumulates TinyX86 assembly text with printf-style convenience and
+ * fresh-label generation, so workload generators stay readable.
+ */
+class AsmBuilder
+{
+  public:
+    /** Append one raw line. */
+    void line(const std::string &text);
+
+    /** Append a printf-formatted line (indented as an instruction). */
+    void ins(const char *fmt, ...) __attribute__((format(printf, 2, 3)));
+
+    /** Append a label definition line. */
+    void label(const std::string &name);
+
+    /** Make a unique label with the given stem ("loop" -> "loop_17"). */
+    std::string fresh(const std::string &stem);
+
+    /** Append a ".data ADDR" directive. */
+    void dataAt(Addr addr);
+
+    /** Append one or more ".word" values. */
+    void word(uint32_t value);
+
+    /**
+     * Emit a guest-side LCG step: state = state * 1103515245 + 12345
+     * (mod 2^32), then out = state >> 16 (the usable pseudo-random
+     * bits). state and out must be different registers.
+     */
+    void lcg(const char *state, const char *out);
+
+    /** The accumulated source. */
+    const std::string &source() const { return text; }
+
+  private:
+    std::string text;
+    int counter = 0;
+};
+
+} // namespace tea
+
+#endif // TEA_WORKLOADS_BUILDER_HH

@@ -1,0 +1,584 @@
+/**
+ * @file
+ * CFP2000 analogues: loop-nest dominated programs with high trace
+ * coverage and comparatively few traces (see workload.hh).
+ */
+
+#include "workloads/generators.hh"
+
+#include "workloads/builder.hh"
+
+namespace tea {
+namespace workloads {
+
+namespace {
+
+constexpr uint32_t kArrayA = 0x100000;
+constexpr uint32_t kArrayB = 0x140000;
+constexpr uint32_t kArrayC = 0x180000;
+constexpr uint32_t kArrayD = 0x1c0000;
+
+/** Standard prologue. */
+void
+prologue(AsmBuilder &b)
+{
+    b.line(".org 0x1000");
+    b.line(".entry main");
+    b.label("main");
+}
+
+/** Standard epilogue: print a checksum and stop. */
+void
+epilogue(AsmBuilder &b, const char *checksum_reg)
+{
+    b.ins("out %s", checksum_reg);
+    b.ins("halt");
+}
+
+/**
+ * Emit an array-fill loop: for (i = 0; i < count; ++i) base[i] = seed
+ * pattern. Clobbers esi, ecx, ebx, edx.
+ */
+void
+fillArray(AsmBuilder &b, uint32_t base, uint32_t count, uint32_t seed)
+{
+    std::string loop = b.fresh("fill");
+    b.ins("mov esi, %u", base);
+    b.ins("mov ecx, %u", count);
+    b.ins("mov ebx, %u", seed);
+    b.label(loop);
+    b.lcg("ebx", "edx");
+    b.ins("mov [esi], edx");
+    b.ins("add esi, 4");
+    b.ins("dec ecx");
+    b.ins("jne %s", loop.c_str());
+}
+
+} // namespace
+
+std::string
+genWupwise(uint32_t scale)
+{
+    // Dense 2-level nest: complex multiply-accumulate over two arrays.
+    AsmBuilder b;
+    prologue(b);
+    fillArray(b, kArrayA, 256, 7);
+    fillArray(b, kArrayB, 256, 11);
+    b.ins("mov ebp, %u", 90 * scale); // outer trips
+    b.label("outer");
+    b.ins("mov esi, %u", kArrayA);
+    b.ins("mov edi, %u", kArrayB);
+    b.ins("mov ecx, 128"); // inner trips
+    b.label("inner");
+    b.ins("mov eax, [esi]");
+    b.ins("mov edx, [edi]");
+    b.ins("mul eax, edx");
+    b.ins("add eax, [esi + 4]");
+    b.ins("mul edx, 3");
+    b.ins("sub eax, edx");
+    b.ins("mov [esi], eax");
+    b.ins("add esi, 8");
+    b.ins("add edi, 8");
+    b.ins("dec ecx");
+    b.ins("jne inner");
+    b.ins("dec ebp");
+    b.ins("jne outer");
+    epilogue(b, "eax");
+    return b.source();
+}
+
+std::string
+genSwim(uint32_t scale)
+{
+    // Shallow-water stencil: three long streaming loops per step plus a
+    // REP block copy (exercises the §4.1 REP instruction-count quirk).
+    AsmBuilder b;
+    prologue(b);
+    fillArray(b, kArrayA, 512, 3);
+    fillArray(b, kArrayB, 512, 5);
+    b.ins("mov ebp, %u", 28 * scale);
+    b.label("step");
+    // u[i] = (a[i] + a[i+1]) - b[i]
+    b.ins("mov esi, %u", kArrayA);
+    b.ins("mov edi, %u", kArrayC);
+    b.ins("mov ecx, 500");
+    b.label("l1");
+    b.ins("mov eax, [esi]");
+    b.ins("add eax, [esi + 4]");
+    b.ins("sub eax, [esi + %u]", kArrayB - kArrayA);
+    b.ins("mov [edi], eax");
+    b.ins("add esi, 4");
+    b.ins("add edi, 4");
+    b.ins("dec ecx");
+    b.ins("jne l1");
+    // b[i] += c[i] >> 2
+    b.ins("mov esi, %u", kArrayC);
+    b.ins("mov edi, %u", kArrayB);
+    b.ins("mov ecx, 500");
+    b.label("l2");
+    b.ins("mov eax, [esi]");
+    b.ins("sar eax, 2");
+    b.ins("add [edi], eax");
+    b.ins("add esi, 4");
+    b.ins("add edi, 4");
+    b.ins("dec ecx");
+    b.ins("jne l2");
+    // block copy c -> a with the REP string unit
+    b.ins("mov esi, %u", kArrayC);
+    b.ins("mov edi, %u", kArrayA);
+    b.ins("mov ecx, 500");
+    b.ins("repmovs");
+    b.ins("dec ebp");
+    b.ins("jne step");
+    b.ins("mov eax, [%u]", kArrayA + 64);
+    epilogue(b, "eax");
+    return b.source();
+}
+
+std::string
+genMgrid(uint32_t scale)
+{
+    // 3-level grid relaxation: tiny inner body, deep nest.
+    AsmBuilder b;
+    prologue(b);
+    fillArray(b, kArrayA, 1024, 13);
+    b.ins("mov ebp, %u", 5 * scale);
+    b.label("sweep");
+    b.ins("mov ebx, 16"); // planes
+    b.label("plane");
+    b.ins("mov esi, %u", kArrayA);
+    b.ins("mov edx, 8"); // rows
+    b.label("row");
+    b.ins("mov ecx, 60"); // cells
+    b.label("cell");
+    b.ins("mov eax, [esi]");
+    b.ins("add eax, [esi + 4]");
+    b.ins("shr eax, 1");
+    b.ins("mov [esi], eax");
+    b.ins("add esi, 4");
+    b.ins("dec ecx");
+    b.ins("jne cell");
+    b.ins("dec edx");
+    b.ins("jne row");
+    b.ins("dec ebx");
+    b.ins("jne plane");
+    b.ins("dec ebp");
+    b.ins("jne sweep");
+    epilogue(b, "eax");
+    return b.source();
+}
+
+std::string
+genApplu(uint32_t scale)
+{
+    // Two sequential inner loops per outer step (lower/upper sweeps).
+    AsmBuilder b;
+    prologue(b);
+    fillArray(b, kArrayA, 400, 17);
+    fillArray(b, kArrayB, 400, 19);
+    b.ins("mov ebp, %u", 42 * scale);
+    b.label("iter");
+    b.ins("mov esi, %u", kArrayA);
+    b.ins("mov ecx, 200");
+    b.label("lower");
+    b.ins("mov eax, [esi]");
+    b.ins("mul eax, 5");
+    b.ins("add eax, [esi + %u]", kArrayB - kArrayA);
+    b.ins("mov [esi], eax");
+    b.ins("add esi, 4");
+    b.ins("dec ecx");
+    b.ins("jne lower");
+    b.ins("mov esi, %u", kArrayA + 4 * 399);
+    b.ins("mov ecx, 200");
+    b.label("upper");
+    b.ins("mov eax, [esi]");
+    b.ins("sub eax, [esi - 4]");
+    b.ins("sar eax, 1");
+    b.ins("mov [esi], eax");
+    b.ins("sub esi, 4");
+    b.ins("dec ecx");
+    b.ins("jne upper");
+    b.ins("dec ebp");
+    b.ins("jne iter");
+    epilogue(b, "eax");
+    return b.source();
+}
+
+std::string
+genMesa(uint32_t scale)
+{
+    // Rasterizer-ish: per-"pixel" clip test with two paths, plus an
+    // occasional CPUID (the unexpected-instruction block splitter of
+    // §4.1, which perturbs Pin-vs-StarDBT block boundaries).
+    AsmBuilder b;
+    prologue(b);
+    fillArray(b, kArrayA, 512, 23);
+    b.ins("mov ebp, %u", 26 * scale);
+    b.label("frame");
+    b.ins("mov esi, %u", kArrayA);
+    b.ins("mov ecx, 512");
+    b.label("pixel");
+    b.ins("mov eax, [esi]");
+    b.ins("test eax, 1");
+    b.ins("je clipped");
+    b.ins("mul eax, 3");
+    b.ins("add eax, 7");
+    b.ins("jmp store");
+    b.label("clipped");
+    b.ins("shr eax, 1");
+    b.label("store");
+    b.ins("mov [esi], eax");
+    b.ins("add esi, 4");
+    b.ins("dec ecx");
+    b.ins("jne pixel");
+    // Query the "hardware" once per frame.
+    b.ins("cpuid");
+    b.ins("dec ebp");
+    b.ins("jne frame");
+    epilogue(b, "eax");
+    return b.source();
+}
+
+std::string
+genGalgel(uint32_t scale)
+{
+    // Long straight-line inner body (Galerkin kernel).
+    AsmBuilder b;
+    prologue(b);
+    fillArray(b, kArrayA, 300, 29);
+    fillArray(b, kArrayB, 300, 31);
+    b.ins("mov ebp, %u", 50 * scale);
+    b.label("outer");
+    b.ins("mov esi, %u", kArrayA);
+    b.ins("mov edi, %u", kArrayB);
+    b.ins("mov ecx, 100");
+    b.label("inner");
+    b.ins("mov eax, [esi]");
+    b.ins("mov edx, [edi]");
+    b.ins("mul eax, edx");
+    b.ins("add eax, [esi + 4]");
+    b.ins("mov edx, [edi + 4]");
+    b.ins("mul edx, 7");
+    b.ins("sub eax, edx");
+    b.ins("mov edx, [esi + 8]");
+    b.ins("add eax, edx");
+    b.ins("shr edx, 3");
+    b.ins("xor eax, edx");
+    b.ins("mov edx, [edi + 8]");
+    b.ins("add eax, edx");
+    b.ins("mov [esi], eax");
+    b.ins("add esi, 12");
+    b.ins("add edi, 12");
+    b.ins("dec ecx");
+    b.ins("jne inner");
+    b.ins("dec ebp");
+    b.ins("jne outer");
+    epilogue(b, "eax");
+    return b.source();
+}
+
+std::string
+genArt(uint32_t scale)
+{
+    // Two passes with data-dependent (but heavily biased) select.
+    AsmBuilder b;
+    prologue(b);
+    fillArray(b, kArrayA, 256, 37);
+    b.ins("mov ebp, %u", 40 * scale);
+    b.label("epoch");
+    // pass 1: find "winner" (max scan)
+    b.ins("mov esi, %u", kArrayA);
+    b.ins("mov ecx, 256");
+    b.ins("mov ebx, 0");
+    b.label("scan");
+    b.ins("mov eax, [esi]");
+    b.ins("cmp eax, ebx");
+    b.ins("jle noswap");
+    b.ins("mov ebx, eax");
+    b.label("noswap");
+    b.ins("add esi, 4");
+    b.ins("dec ecx");
+    b.ins("jne scan");
+    // pass 2: normalize by the winner
+    b.ins("mov esi, %u", kArrayA);
+    b.ins("mov ecx, 256");
+    b.ins("or ebx, 1");
+    b.label("norm");
+    b.ins("mov eax, [esi]");
+    b.ins("mod eax, ebx");
+    b.ins("mov [esi], eax");
+    b.ins("add esi, 4");
+    b.ins("dec ecx");
+    b.ins("jne norm");
+    b.ins("dec ebp");
+    b.ins("jne epoch");
+    epilogue(b, "ebx");
+    return b.source();
+}
+
+std::string
+genEquake(uint32_t scale)
+{
+    // Sparse matrix-vector product: indirection through an index array.
+    AsmBuilder b;
+    prologue(b);
+    fillArray(b, kArrayA, 256, 41); // values
+    // index array: idx[i] = lcg % 256
+    b.ins("mov esi, %u", kArrayB);
+    b.ins("mov ecx, 256");
+    b.ins("mov ebx, 43");
+    b.label("mkidx");
+    b.lcg("ebx", "edx");
+    b.ins("and edx, 255");
+    b.ins("mov [esi], edx");
+    b.ins("add esi, 4");
+    b.ins("dec ecx");
+    b.ins("jne mkidx");
+    b.ins("mov ebp, %u", 55 * scale);
+    b.label("smvp");
+    b.ins("mov esi, %u", kArrayB);
+    b.ins("mov ecx, 256");
+    b.ins("mov ebx, 0");
+    b.label("row");
+    b.ins("mov edx, [esi]");        // column index
+    b.ins("mov eax, [edx*4 + %u]", kArrayA);
+    b.ins("add ebx, eax");
+    b.ins("add esi, 4");
+    b.ins("dec ecx");
+    b.ins("jne row");
+    b.ins("dec ebp");
+    b.ins("jne smvp");
+    epilogue(b, "ebx");
+    return b.source();
+}
+
+std::string
+genFacerec(uint32_t scale)
+{
+    // Inner loop calls a leaf "distance" function.
+    AsmBuilder b;
+    prologue(b);
+    fillArray(b, kArrayA, 256, 47);
+    fillArray(b, kArrayB, 256, 53);
+    b.ins("mov ebp, %u", 60 * scale);
+    b.label("probe");
+    b.ins("mov esi, %u", kArrayA);
+    b.ins("mov edi, %u", kArrayB);
+    b.ins("mov ecx, 128");
+    b.label("pairs");
+    b.ins("call dist");
+    b.ins("add esi, 8");
+    b.ins("add edi, 8");
+    b.ins("dec ecx");
+    b.ins("jne pairs");
+    b.ins("dec ebp");
+    b.ins("jne probe");
+    epilogue(b, "ebx");
+    b.label("dist");
+    b.ins("mov eax, [esi]");
+    b.ins("sub eax, [edi]");
+    b.ins("mov edx, eax");
+    b.ins("mul edx, eax");
+    b.ins("add ebx, edx");
+    b.ins("ret");
+    return b.source();
+}
+
+std::string
+genAmmp(uint32_t scale)
+{
+    // Molecular dynamics-ish: cutoff test skips the expensive path.
+    AsmBuilder b;
+    prologue(b);
+    fillArray(b, kArrayA, 384, 59);
+    b.ins("mov ebp, %u", 30 * scale);
+    b.label("tstep");
+    b.ins("mov esi, %u", kArrayA);
+    b.ins("mov ecx, 384");
+    b.label("atom");
+    b.ins("mov eax, [esi]");
+    b.ins("and eax, 4095");
+    b.ins("cmp eax, 512");
+    b.ins("jl near_");
+    // far: cheap update
+    b.ins("add [esi], 1");
+    b.ins("jmp next");
+    b.label("near_");
+    // near: expensive force computation
+    b.ins("mov edx, eax");
+    b.ins("mul edx, eax");
+    b.ins("shr edx, 4");
+    b.ins("add edx, 3");
+    b.ins("mod eax, edx");
+    b.ins("add [esi], eax");
+    b.label("next");
+    b.ins("add esi, 4");
+    b.ins("dec ecx");
+    b.ins("jne atom");
+    b.ins("dec ebp");
+    b.ins("jne tstep");
+    b.ins("mov eax, [%u]", kArrayA);
+    epilogue(b, "eax");
+    return b.source();
+}
+
+std::string
+genLucas(uint32_t scale)
+{
+    // Multiword arithmetic with ADC chains; a large sub-threshold setup
+    // phase keeps replay coverage visibly below 100% (paper: 90.4%).
+    AsmBuilder b;
+    prologue(b);
+    // Setup: many *distinct* short loops, each too cold to become a
+    // trace (30 trips < hot threshold 50).
+    for (int i = 0; i < 24; ++i) {
+        std::string lab = b.fresh("setup");
+        b.ins("mov esi, %u", kArrayA + 0x400u * i);
+        b.ins("mov ecx, 30");
+        b.ins("mov ebx, %u", 61u + i);
+        b.label(lab);
+        b.lcg("ebx", "edx");
+        b.ins("mov [esi], edx");
+        b.ins("add esi, 4");
+        b.ins("dec ecx");
+        b.ins("jne %s", lab.c_str());
+    }
+    b.ins("mov ebp, %u", 120 * scale);
+    b.label("mersenne");
+    b.ins("mov esi, %u", kArrayA);
+    b.ins("mov edi, %u", kArrayB);
+    b.ins("mov ecx, 96");
+    b.ins("cmp ecx, ecx"); // clear carry (ZF set, CF cleared)
+    b.label("limb");
+    b.ins("mov eax, [esi]");
+    b.ins("adc eax, [edi]");
+    b.ins("mov [edi], eax");
+    // lea/dec keep the carry chain alive across iterations (as real
+    // multiprecision loops do on x86).
+    b.ins("lea esi, [esi + 4]");
+    b.ins("lea edi, [edi + 4]");
+    b.ins("dec ecx");
+    b.ins("jne limb");
+    b.ins("dec ebp");
+    b.ins("jne mersenne");
+    b.ins("mov eax, [%u]", kArrayB);
+    epilogue(b, "eax");
+    return b.source();
+}
+
+std::string
+genFma3d(uint32_t scale)
+{
+    // Finite elements: per-element call fan-out to three kernels.
+    AsmBuilder b;
+    prologue(b);
+    fillArray(b, kArrayA, 256, 67);
+    // modest cold phase (paper coverage ~94%)
+    for (int i = 0; i < 10; ++i) {
+        std::string lab = b.fresh("mesh");
+        b.ins("mov esi, %u", kArrayB + 0x200u * i);
+        b.ins("mov ecx, 35");
+        b.label(lab);
+        b.ins("mov [esi], ecx");
+        b.ins("add esi, 4");
+        b.ins("dec ecx");
+        b.ins("jne %s", lab.c_str());
+    }
+    b.ins("mov ebp, %u", 60 * scale);
+    b.label("solve");
+    b.ins("mov esi, %u", kArrayA);
+    b.ins("mov ecx, 64");
+    b.label("elem");
+    b.ins("call stiff");
+    b.ins("call mass");
+    b.ins("call forces");
+    b.ins("add esi, 12");
+    b.ins("dec ecx");
+    b.ins("jne elem");
+    b.ins("dec ebp");
+    b.ins("jne solve");
+    b.ins("mov eax, [%u]", kArrayA);
+    epilogue(b, "eax");
+    b.label("stiff");
+    b.ins("mov eax, [esi]");
+    b.ins("mul eax, 9");
+    b.ins("mov [esi], eax");
+    b.ins("ret");
+    b.label("mass");
+    b.ins("mov eax, [esi + 4]");
+    b.ins("add eax, 17");
+    b.ins("mov [esi + 4], eax");
+    b.ins("ret");
+    b.label("forces");
+    b.ins("mov eax, [esi]");
+    b.ins("add eax, [esi + 4]");
+    b.ins("sar eax, 1");
+    b.ins("mov [esi + 8], eax");
+    b.ins("ret");
+    return b.source();
+}
+
+std::string
+genSixtrack(uint32_t scale)
+{
+    // Particle tracking with divide in the hot loop.
+    AsmBuilder b;
+    prologue(b);
+    fillArray(b, kArrayA, 320, 71);
+    b.ins("mov ebp, %u", 60 * scale);
+    b.label("turn");
+    b.ins("mov esi, %u", kArrayA);
+    b.ins("mov ecx, 160");
+    b.label("part");
+    b.ins("mov eax, [esi]");
+    b.ins("or eax, 1");
+    b.ins("mov edx, 982451653");
+    b.ins("div edx, eax");
+    b.ins("add edx, [esi + 4]");
+    b.ins("mov [esi], edx");
+    b.ins("add esi, 8");
+    b.ins("dec ecx");
+    b.ins("jne part");
+    b.ins("dec ebp");
+    b.ins("jne turn");
+    epilogue(b, "edx");
+    return b.source();
+}
+
+std::string
+genApsi(uint32_t scale)
+{
+    // Pollutant transport: 3-level nest with mixed ops.
+    AsmBuilder b;
+    prologue(b);
+    fillArray(b, kArrayA, 768, 73);
+    b.ins("mov ebp, %u", 6 * scale);
+    b.label("hour");
+    b.ins("mov ebx, 12"); // layers
+    b.label("layer");
+    b.ins("mov esi, %u", kArrayA);
+    b.ins("mov edx, 6"); // rows
+    b.label("lat");
+    b.ins("mov ecx, 64");
+    b.label("lon");
+    b.ins("mov eax, [esi]");
+    b.ins("mul eax, 3");
+    b.ins("add eax, [esi + 4]");
+    b.ins("shr eax, 2");
+    b.ins("xor eax, ecx");
+    b.ins("mov [esi], eax");
+    b.ins("add esi, 4");
+    b.ins("dec ecx");
+    b.ins("jne lon");
+    b.ins("dec edx");
+    b.ins("jne lat");
+    b.ins("dec ebx");
+    b.ins("jne layer");
+    b.ins("dec ebp");
+    b.ins("jne hour");
+    epilogue(b, "eax");
+    return b.source();
+}
+
+} // namespace workloads
+} // namespace tea

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Internal: the 26 workload generator functions.
+ *
+ * Each returns TinyX86 assembly text. The scale parameter multiplies the
+ * dynamic instruction count (Test = 1, Train = 6, Ref = 30); static code
+ * shape (function counts, loop structure) is scale-independent so trace
+ * sets stay comparable across input sizes, as with SPEC inputs.
+ */
+
+#ifndef TEA_WORKLOADS_GENERATORS_HH
+#define TEA_WORKLOADS_GENERATORS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tea {
+namespace workloads {
+
+// CFP2000 analogues
+std::string genWupwise(uint32_t scale);
+std::string genSwim(uint32_t scale);
+std::string genMgrid(uint32_t scale);
+std::string genApplu(uint32_t scale);
+std::string genMesa(uint32_t scale);
+std::string genGalgel(uint32_t scale);
+std::string genArt(uint32_t scale);
+std::string genEquake(uint32_t scale);
+std::string genFacerec(uint32_t scale);
+std::string genAmmp(uint32_t scale);
+std::string genLucas(uint32_t scale);
+std::string genFma3d(uint32_t scale);
+std::string genSixtrack(uint32_t scale);
+std::string genApsi(uint32_t scale);
+
+// CINT2000 analogues
+std::string genGzip(uint32_t scale);
+std::string genVpr(uint32_t scale);
+std::string genGcc(uint32_t scale);
+std::string genMcf(uint32_t scale);
+std::string genCrafty(uint32_t scale);
+std::string genParser(uint32_t scale);
+std::string genEon(uint32_t scale);
+std::string genPerlbmk(uint32_t scale);
+std::string genGap(uint32_t scale);
+std::string genVortex(uint32_t scale);
+std::string genBzip2(uint32_t scale);
+std::string genTwolf(uint32_t scale);
+
+} // namespace workloads
+} // namespace tea
+
+#endif // TEA_WORKLOADS_GENERATORS_HH

@@ -1,0 +1,650 @@
+/**
+ * @file
+ * CINT2000 analogues: branchy, call-heavy, and interpreter-style
+ * programs (see workload.hh for the per-benchmark rationale).
+ */
+
+#include "workloads/generators.hh"
+
+#include "util/logging.hh"
+#include "workloads/builder.hh"
+
+namespace tea {
+namespace workloads {
+
+namespace {
+
+constexpr uint32_t kHeap = 0x100000;
+constexpr uint32_t kHeap2 = 0x180000;
+constexpr uint32_t kTable = 0x1f0000;
+
+void
+prologue(AsmBuilder &b)
+{
+    b.line(".org 0x1000");
+    b.line(".entry main");
+    b.label("main");
+}
+
+void
+epilogue(AsmBuilder &b, const char *checksum_reg)
+{
+    b.ins("out %s", checksum_reg);
+    b.ins("halt");
+}
+
+} // namespace
+
+std::string
+genGzip(uint32_t scale)
+{
+    // LZ-style compressor sketch: per input symbol, a data-dependent
+    // match loop (0..15 iterations) then a literal/match diamond. The
+    // varying inner trip counts unroll into many distinct trace-tree
+    // paths (the Table 1 TT blowup), while CTT closes them at the inner
+    // header.
+    AsmBuilder b;
+    prologue(b);
+    b.ins("mov ebp, %u", 3400 * scale); // symbols
+    b.ins("mov ebx, 79");               // lcg state
+    b.ins("mov edi, 0");                // checksum
+    b.label("symbol");
+    b.lcg("ebx", "edx");
+    b.ins("test edx, 1"); // half the symbols are literals
+    b.ins("je literal");
+    b.ins("mov ecx, edx");
+    b.ins("shr ecx, 1");
+    b.ins("and ecx, 7"); // match length 0..7
+    b.ins("je literal");
+    b.label("match");
+    b.ins("add edi, ecx");
+    b.ins("shl edi, 1");
+    b.ins("shr edi, 1");
+    b.ins("dec ecx");
+    b.ins("jne match");
+    b.ins("test edx, 16");
+    b.ins("je emit");
+    b.ins("add edi, 3");
+    b.ins("jmp emit");
+    b.label("literal");
+    b.ins("add edi, 1");
+    b.ins("xor edi, edx");
+    b.label("emit");
+    b.ins("dec ebp");
+    b.ins("jne symbol");
+    epilogue(b, "edi");
+    return b.source();
+}
+
+std::string
+genVpr(uint32_t scale)
+{
+    // Placement loop: propose a swap, evaluate a small cost loop,
+    // accept/reject on the (pseudo-random) delta.
+    AsmBuilder b;
+    prologue(b);
+    // grid init
+    b.ins("mov esi, %u", kHeap);
+    b.ins("mov ecx, 256");
+    b.ins("mov ebx, 83");
+    b.label("grid");
+    b.lcg("ebx", "edx");
+    b.ins("mov [esi], edx");
+    b.ins("add esi, 4");
+    b.ins("dec ecx");
+    b.ins("jne grid");
+    b.ins("mov ebp, %u", 1200 * scale); // moves
+    b.label("move");
+    b.lcg("ebx", "edx");
+    b.ins("mov eax, edx");
+    b.ins("and eax, 255");
+    // cost of the neighbourhood (fixed 12-cell loop)
+    b.ins("mov esi, %u", kHeap);
+    b.ins("mov ecx, 12");
+    b.ins("mov edi, 0");
+    b.label("cost");
+    b.ins("add edi, [esi + eax*4]");
+    b.ins("add eax, 1");
+    b.ins("and eax, 255");
+    b.ins("dec ecx");
+    b.ins("jne cost");
+    b.ins("test edi, 64");
+    b.ins("je reject");
+    b.ins("mov [esi + eax*4], edi"); // accept: commit the swap
+    b.label("reject");
+    b.ins("dec ebp");
+    b.ins("jne move");
+    epilogue(b, "edi");
+    return b.source();
+}
+
+std::string
+genGcc(uint32_t scale)
+{
+    // Compiler-ish: the largest static footprint of the suite. Many
+    // small "pass" functions, each with its own loop and branches,
+    // driven through an indirect-call dispatch table -> the most traces
+    // (and the Table 4 linear-list pathology).
+    constexpr int kFuncs = 256;
+    AsmBuilder b;
+    prologue(b);
+    b.ins("mov ebp, %u", 700 * scale); // compilation units
+    b.ins("mov ebx, 89");
+    b.ins("mov edi, 0");
+    b.label("unit");
+    b.lcg("ebx", "edx");
+    b.ins("and edx, %u", kFuncs - 1);
+    b.ins("call [edx*4 + %u]", kTable);
+    b.ins("dec ebp");
+    b.ins("jne unit");
+    epilogue(b, "edi");
+
+    for (int f = 0; f < kFuncs; ++f) {
+        std::string loop = strprintf("p%d_loop", f);
+        std::string skip = strprintf("p%d_skip", f);
+        b.label(strprintf("pass%d", f));
+        b.ins("mov esi, %u", kHeap + 0x100u * f);
+        b.ins("mov ecx, %u", 20 + (f % 7) * 8);
+        b.label(loop);
+        b.ins("mov eax, [esi]");
+        b.ins("add eax, %d", f + 1);
+        if (f % 3 == 0) {
+            b.ins("test eax, 8");
+            b.ins("je %s", skip.c_str());
+            b.ins("mul eax, 3");
+            b.label(skip);
+        } else if (f % 3 == 1) {
+            b.ins("shr eax, %d", 1 + f % 4);
+        } else {
+            b.ins("xor eax, %d", 0x5a5a + f);
+        }
+        b.ins("mov [esi], eax");
+        b.ins("add edi, eax");
+        b.ins("add esi, 4");
+        b.ins("dec ecx");
+        b.ins("jne %s", loop.c_str());
+        b.ins("ret");
+    }
+
+    b.dataAt(kTable);
+    std::string words = ".word";
+    for (int f = 0; f < kFuncs; ++f) {
+        words += strprintf(" pass%d", f);
+        if (f % 8 == 7) {
+            b.line(words);
+            words = ".word";
+        }
+    }
+    return b.source();
+}
+
+std::string
+genMcf(uint32_t scale)
+{
+    // Network simplex sketch: pointer chasing over a linked structure
+    // (the Figure 2 list-scan pattern, writ large).
+    AsmBuilder b;
+    prologue(b);
+    // Build a 512-node singly linked list with payload. Node layout:
+    // [value][next]. Nodes are placed with a stride so chasing is not
+    // a simple array walk.
+    b.ins("mov esi, %u", kHeap);
+    b.ins("mov ecx, 511");
+    b.ins("mov ebx, 97");
+    b.label("mknode");
+    b.lcg("ebx", "edx");
+    b.ins("mov [esi], edx");
+    b.ins("lea eax, [esi + 24]");
+    b.ins("mov [esi + 4], eax");
+    b.ins("mov esi, eax");
+    b.ins("dec ecx");
+    b.ins("jne mknode");
+    b.ins("mov [esi], 1");
+    b.ins("mov [esi + 4], 0"); // terminator
+    b.ins("mov ebp, %u", 60 * scale);
+    b.label("pass");
+    b.ins("mov edx, %u", kHeap); // head
+    b.ins("mov edi, 0");
+    b.label("chase");
+    b.ins("mov eax, [edx]");
+    b.ins("test eax, 1");
+    b.ins("je even");
+    b.ins("add edi, eax");
+    b.ins("jmp adv");
+    b.label("even");
+    b.ins("sub edi, eax");
+    b.label("adv");
+    b.ins("mov edx, [edx + 4]");
+    b.ins("test edx, edx");
+    b.ins("jne chase");
+    b.ins("dec ebp");
+    b.ins("jne pass");
+    epilogue(b, "edi");
+    return b.source();
+}
+
+std::string
+genCrafty(uint32_t scale)
+{
+    // Bitboard move generation: shifts/masks with a 4-deep conditional
+    // ladder -> many distinct paths (CTT grows large here).
+    AsmBuilder b;
+    prologue(b);
+    b.ins("mov ebp, %u", 4000 * scale);
+    b.ins("mov ebx, 101");
+    b.ins("mov edi, 0");
+    b.label("ply");
+    b.lcg("ebx", "edx");
+    b.ins("mov eax, edx");
+    b.ins("and eax, 63"); // square
+    b.ins("mov ecx, edx");
+    b.ins("shr ecx, 6");
+    b.ins("test ecx, 1");
+    b.ins("je nrook");
+    b.ins("shl eax, 2");
+    b.ins("add edi, eax");
+    b.label("nrook");
+    b.ins("test ecx, 2");
+    b.ins("je nbishop");
+    b.ins("shr eax, 1");
+    b.ins("xor edi, eax");
+    b.label("nbishop");
+    b.ins("test ecx, 4");
+    b.ins("je nknight");
+    b.ins("add eax, 17");
+    b.ins("add edi, eax");
+    b.label("nknight");
+    b.ins("test ecx, 8");
+    b.ins("je nqueen");
+    b.ins("mul eax, 3");
+    b.ins("sub edi, eax");
+    b.label("nqueen");
+    b.ins("and edi, 16777215");
+    b.ins("dec ebp");
+    b.ins("jne ply");
+    epilogue(b, "edi");
+    return b.source();
+}
+
+std::string
+genParser(uint32_t scale)
+{
+    // Recursive-descent parser: parse() recurses to a data-dependent
+    // depth, consuming "tokens" from the LCG.
+    AsmBuilder b;
+    prologue(b);
+    b.ins("mov ebp, %u", 230 * scale); // sentences
+    b.ins("mov ebx, 103");
+    b.ins("mov edi, 0");
+    b.label("sentence");
+    b.ins("mov eax, 5"); // max depth
+    b.ins("call parse");
+    b.ins("dec ebp");
+    b.ins("jne sentence");
+    epilogue(b, "edi");
+
+    b.label("parse");
+    b.ins("test eax, eax");
+    b.ins("je leaf");
+    b.lcg("ebx", "edx");
+    b.ins("test edx, 3"); // 75%: recurse twice
+    b.ins("je leaf");
+    b.ins("push eax");
+    b.ins("dec eax");
+    b.ins("call parse");
+    b.ins("pop eax");
+    b.ins("dec eax");
+    b.ins("call parse");
+    b.ins("inc eax");
+    b.ins("ret");
+    b.label("leaf");
+    // dictionary scan (short loop)
+    b.ins("mov ecx, 6");
+    b.label("dict");
+    b.ins("add edi, ecx");
+    b.ins("dec ecx");
+    b.ins("jne dict");
+    b.ins("ret");
+    return b.source();
+}
+
+std::string
+genEon(uint32_t scale)
+{
+    // Ray tracer sketch in a C++-ish style: deep chains of small
+    // functions; a fat cold setup keeps coverage near the paper's 91%.
+    AsmBuilder b;
+    prologue(b);
+    // cold scene setup: distinct sub-threshold loops
+    for (int i = 0; i < 30; ++i) {
+        std::string lab = b.fresh("scene");
+        b.ins("mov esi, %u", kHeap + 0x200u * i);
+        b.ins("mov ecx, 32");
+        b.ins("mov ebx, %u", 107u + i);
+        b.label(lab);
+        b.lcg("ebx", "edx");
+        b.ins("mov [esi], edx");
+        b.ins("add esi, 4");
+        b.ins("dec ecx");
+        b.ins("jne %s", lab.c_str());
+    }
+    b.ins("mov ebp, %u", 2500 * scale); // rays
+    b.ins("mov ebx, 109");
+    b.ins("mov edi, 0");
+    b.label("ray");
+    b.lcg("ebx", "edx");
+    b.ins("mov eax, edx");
+    b.ins("call shade");
+    b.ins("add edi, eax");
+    b.ins("dec ebp");
+    b.ins("jne ray");
+    epilogue(b, "edi");
+
+    b.label("shade");
+    b.ins("call intersect");
+    b.ins("call brdf");
+    b.ins("call attenuate");
+    b.ins("ret");
+    b.label("intersect");
+    b.ins("and eax, 1023");
+    b.ins("mov ecx, [eax*4 + %u]", kHeap);
+    b.ins("mov edx, ecx");
+    b.ins("shr edx, 5");
+    b.ins("xor ecx, edx");
+    b.ins("add eax, ecx");
+    b.ins("and eax, 1048575");
+    b.ins("ret");
+    b.label("brdf");
+    b.ins("mov ecx, eax");
+    b.ins("mul ecx, ecx");
+    b.ins("shr ecx, 7");
+    b.ins("mov edx, eax");
+    b.ins("shl edx, 2");
+    b.ins("add ecx, edx");
+    b.ins("add eax, ecx");
+    b.ins("ret");
+    b.label("attenuate");
+    b.ins("test eax, 7");
+    b.ins("je dark");
+    b.ins("shr eax, 1");
+    b.ins("ret");
+    b.label("dark");
+    b.ins("mov eax, 1");
+    b.ins("ret");
+    return b.source();
+}
+
+std::string
+genPerlbmk(uint32_t scale)
+{
+    // Bytecode interpreter: indirect threaded dispatch. Indirect jumps
+    // end every handler, so traces keep breaking (paper coverage 83%).
+    constexpr int kOps = 8;
+    AsmBuilder b;
+    prologue(b);
+    // bytecode program: 256 ops from the LCG
+    b.ins("mov esi, %u", kHeap);
+    b.ins("mov ecx, 256");
+    b.ins("mov ebx, 113");
+    b.label("mkprog");
+    b.lcg("ebx", "edx");
+    b.ins("and edx, %u", kOps - 1);
+    b.ins("mov [esi], edx");
+    b.ins("add esi, 4");
+    b.ins("dec ecx");
+    b.ins("jne mkprog");
+    b.ins("mov ebp, %u", 40 * scale); // interpreter passes
+    b.label("run");
+    b.ins("mov esi, %u", kHeap); // pc
+    b.ins("mov ecx, 256");       // remaining ops
+    b.ins("mov edi, 0");         // accumulator
+    b.label("fetch");
+    b.ins("mov edx, [esi]");
+    b.ins("add esi, 4");
+    b.ins("jmp [edx*4 + %u]", kTable);
+    for (int op = 0; op < kOps; ++op) {
+        b.label(strprintf("op%d", op));
+        switch (op) {
+          case 0: b.ins("add edi, 1"); break;
+          case 1: b.ins("sub edi, 3"); break;
+          case 2: b.ins("shl edi, 1"); break;
+          case 3: b.ins("shr edi, 2"); break;
+          case 4: b.ins("xor edi, 255"); break;
+          case 5: b.ins("add edi, edx"); break;
+          case 6: b.ins("mul edi, 3"); b.ins("and edi, 65535"); break;
+          default: b.ins("neg edi"); break;
+        }
+        b.ins("dec ecx");
+        b.ins("jne fetch");
+        b.ins("jmp done");
+    }
+    b.label("done");
+    b.ins("dec ebp");
+    b.ins("jne run");
+    epilogue(b, "edi");
+
+    b.dataAt(kTable);
+    for (int op = 0; op < kOps; ++op)
+        b.line(strprintf(".word op%d", op));
+    return b.source();
+}
+
+std::string
+genGap(uint32_t scale)
+{
+    // Computer-algebra kernel: a small stack machine with arithmetic
+    // handlers that contain their own loops.
+    AsmBuilder b;
+    prologue(b);
+    b.ins("mov ebp, %u", 3500 * scale);
+    b.ins("mov ebx, 127");
+    b.ins("mov edi, 1");
+    b.label("expr");
+    b.lcg("ebx", "edx");
+    b.ins("mov eax, edx");
+    b.ins("and eax, 3");
+    b.ins("cmp eax, 1");
+    b.ins("jl do_add");
+    b.ins("je do_mul");
+    b.ins("cmp eax, 3");
+    b.ins("je do_gcd");
+    // do_pow: square repeatedly
+    b.ins("mov ecx, 5");
+    b.label("pow");
+    b.ins("mul edi, edi");
+    b.ins("and edi, 1048575");
+    b.ins("or edi, 3");
+    b.ins("dec ecx");
+    b.ins("jne pow");
+    b.ins("jmp next");
+    b.label("do_add");
+    b.ins("add edi, edx");
+    b.ins("jmp next");
+    b.label("do_mul");
+    b.ins("mul edi, 7");
+    b.ins("and edi, 16777215");
+    b.ins("jmp next");
+    b.label("do_gcd");
+    // few rounds of a gcd-ish remainder loop
+    b.ins("mov eax, edx");
+    b.ins("or eax, 5");
+    b.ins("mov ecx, 4");
+    b.label("gcd");
+    b.ins("or edi, 1");
+    b.ins("mod eax, edi");
+    b.ins("add eax, 7");
+    b.ins("xchg eax, edi");
+    b.ins("dec ecx");
+    b.ins("jne gcd");
+    b.label("next");
+    b.ins("dec ebp");
+    b.ins("jne expr");
+    epilogue(b, "edi");
+    return b.source();
+}
+
+std::string
+genVortex(uint32_t scale)
+{
+    // Object database: hashed inserts and lookups through a probe loop,
+    // split across several small routines -> many medium traces with
+    // heavy inter-trace linking.
+    AsmBuilder b;
+    prologue(b);
+    b.ins("mov ebp, %u", 4200 * scale); // transactions
+    b.ins("mov ebx, 131");
+    b.ins("mov edi, 0");
+    b.label("txn");
+    b.lcg("ebx", "edx");
+    b.ins("mov eax, edx");
+    b.ins("and eax, 31"); // object class selects its method table
+    b.ins("call [eax*4 + %u]", kTable);
+    b.ins("dec ebp");
+    b.ins("jne txn");
+    epilogue(b, "edi");
+
+    // 32 object classes, each with its own insert/lookup method pair
+    // over a private bucket region (many distinct medium traces, like
+    // vortex's per-object-type code paths).
+    for (int klass = 0; klass < 32; ++klass) {
+        uint32_t region = kHeap2 + 0x1000u * static_cast<uint32_t>(klass);
+        std::string probe = strprintf("v%d_probe", klass);
+        std::string miss = strprintf("v%d_miss", klass);
+        std::string hit = strprintf("v%d_hit", klass);
+        std::string ins = strprintf("v%d_ins", klass);
+        b.label(strprintf("vclass%d", klass));
+        b.ins("mov ecx, edx");
+        b.ins("mul ecx, %u", 2654435761u + static_cast<uint32_t>(klass));
+        b.ins("shr ecx, 22");
+        b.ins("and ecx, 255"); // bucket within the class region
+        b.ins("test edx, 3");
+        b.ins("je %s", ins.c_str());
+        b.ins("mov esi, 6"); // probe budget
+        b.label(probe);
+        b.ins("mov eax, [ecx*4 + %u]", region);
+        b.ins("test eax, eax");
+        b.ins("je %s", miss.c_str());
+        b.ins("cmp eax, edx");
+        b.ins("je %s", hit.c_str());
+        b.ins("add ecx, 1");
+        b.ins("and ecx, 255");
+        b.ins("dec esi");
+        b.ins("jne %s", probe.c_str());
+        b.label(miss);
+        b.ins("add edi, 1");
+        b.ins("ret");
+        b.label(hit);
+        b.ins("add edi, eax");
+        b.ins("ret");
+        b.label(ins);
+        b.ins("mov [ecx*4 + %u], edx", region);
+        b.ins("add edi, 2");
+        b.ins("ret");
+    }
+
+    b.dataAt(kTable);
+    for (int klass = 0; klass < 32; klass += 8)
+        b.line(strprintf(".word vclass%d vclass%d vclass%d vclass%d "
+                         "vclass%d vclass%d vclass%d vclass%d",
+                         klass, klass + 1, klass + 2, klass + 3,
+                         klass + 4, klass + 5, klass + 6, klass + 7));
+    return b.source();
+}
+
+std::string
+genBzip2(uint32_t scale)
+{
+    // Block sorting sketch: two nesting levels whose inner trip counts
+    // are data dependent -> the worst trace-tree explosion of Table 1.
+    AsmBuilder b;
+    prologue(b);
+    b.ins("mov ebp, %u", 520 * scale); // blocks
+    b.ins("mov ebx, 137");
+    b.ins("mov edi, 0");
+    b.label("block");
+    b.lcg("ebx", "edx");
+    b.ins("mov esi, edx");
+    b.ins("and esi, 7"); // bucket count 0..7
+    b.ins("je rle");
+    b.label("bucket");
+    b.lcg("ebx", "edx");
+    b.ins("mov ecx, edx");
+    b.ins("and ecx, 3"); // elements 0..3; empty buckets are common
+    b.ins("je bdone");
+    b.label("sortel");
+    b.ins("mov eax, ecx");
+    b.ins("xor eax, edx");
+    b.ins("and eax, 1");
+    b.ins("je keep");
+    b.ins("add edi, ecx");
+    b.ins("jmp swapped");
+    b.label("keep");
+    b.ins("sub edi, 1");
+    b.label("swapped");
+    b.ins("dec ecx");
+    b.ins("jne sortel");
+    b.label("bdone");
+    b.ins("dec esi");
+    b.ins("jne bucket");
+    b.ins("jmp bnext");
+    b.label("rle");
+    b.ins("add edi, 13");
+    b.label("bnext");
+    b.ins("and edi, 33554431");
+    b.ins("dec ebp");
+    b.ins("jne block");
+    epilogue(b, "edi");
+    return b.source();
+}
+
+std::string
+genTwolf(uint32_t scale)
+{
+    // Simulated annealing: accept/reject with a cooling-dependent bias
+    // plus two cost loops of different lengths.
+    AsmBuilder b;
+    prologue(b);
+    b.ins("mov esi, %u", kHeap);
+    b.ins("mov ecx, 128");
+    b.ins("mov ebx, 139");
+    b.label("cells");
+    b.lcg("ebx", "edx");
+    b.ins("mov [esi], edx");
+    b.ins("add esi, 4");
+    b.ins("dec ecx");
+    b.ins("jne cells");
+    b.ins("mov ebp, %u", 1200 * scale); // moves
+    b.ins("mov edi, 0");
+    b.label("anneal");
+    b.lcg("ebx", "edx");
+    b.ins("mov eax, edx");
+    b.ins("and eax, 127");
+    // wire-length cost (long loop)
+    b.ins("mov ecx, 10");
+    b.label("wire");
+    b.ins("add edi, [eax*4 + %u]", kHeap);
+    b.ins("add eax, 1");
+    b.ins("and eax, 127");
+    b.ins("dec ecx");
+    b.ins("jne wire");
+    b.ins("test edx, 96");
+    b.ins("je rejectm");
+    // accept: overlap cost (short loop) and commit
+    b.ins("mov ecx, 4");
+    b.label("overlap");
+    b.ins("sub edi, [eax*4 + %u]", kHeap);
+    b.ins("add eax, 2");
+    b.ins("and eax, 127");
+    b.ins("dec ecx");
+    b.ins("jne overlap");
+    b.ins("mov [eax*4 + %u], edi", kHeap);
+    b.label("rejectm");
+    b.ins("and edi, 67108863");
+    b.ins("dec ebp");
+    b.ins("jne anneal");
+    epilogue(b, "edi");
+    return b.source();
+}
+
+} // namespace workloads
+} // namespace tea

@@ -1,0 +1,113 @@
+#include "workloads/workload.hh"
+
+#include "isa/assembler.hh"
+#include "util/logging.hh"
+#include "workloads/generators.hh"
+
+namespace tea {
+
+namespace {
+
+using Generator = std::string (*)(uint32_t);
+
+struct Entry
+{
+    const char *name;
+    const char *specName;
+    bool fp;
+    Generator generate;
+};
+
+using namespace workloads;
+
+/** Table 1 row order: CFP2000 first, then CINT2000. */
+const Entry kSuite[] = {
+    {"syn.wupwise", "168.wupwise", true, genWupwise},
+    {"syn.swim", "171.swim", true, genSwim},
+    {"syn.mgrid", "172.mgrid", true, genMgrid},
+    {"syn.applu", "173.applu", true, genApplu},
+    {"syn.mesa", "177.mesa", true, genMesa},
+    {"syn.galgel", "178.galgel", true, genGalgel},
+    {"syn.art", "179.art", true, genArt},
+    {"syn.equake", "183.equake", true, genEquake},
+    {"syn.facerec", "187.facerec", true, genFacerec},
+    {"syn.ammp", "188.ammp", true, genAmmp},
+    {"syn.lucas", "189.lucas", true, genLucas},
+    {"syn.fma3d", "191.fma3d", true, genFma3d},
+    {"syn.sixtrack", "200.sixtrack", true, genSixtrack},
+    {"syn.apsi", "301.apsi", true, genApsi},
+    {"syn.gzip", "164.gzip", false, genGzip},
+    {"syn.vpr", "175.vpr", false, genVpr},
+    {"syn.gcc", "176.gcc", false, genGcc},
+    {"syn.mcf", "181.mcf", false, genMcf},
+    {"syn.crafty", "186.crafty", false, genCrafty},
+    {"syn.parser", "197.parser", false, genParser},
+    {"syn.eon", "252.eon", false, genEon},
+    {"syn.perlbmk", "253.perlbmk", false, genPerlbmk},
+    {"syn.gap", "254.gap", false, genGap},
+    {"syn.vortex", "255.vortex", false, genVortex},
+    {"syn.bzip2", "256.bzip2", false, genBzip2},
+    {"syn.twolf", "300.twolf", false, genTwolf},
+};
+
+uint32_t
+scaleOf(InputSize size)
+{
+    switch (size) {
+      case InputSize::Test: return 1;
+      case InputSize::Train: return 6;
+      case InputSize::Ref: return 30;
+    }
+    return 1;
+}
+
+} // namespace
+
+InputSize
+parseInputSize(const std::string &name)
+{
+    if (name == "test")
+        return InputSize::Test;
+    if (name == "train")
+        return InputSize::Train;
+    if (name == "ref")
+        return InputSize::Ref;
+    fatal("unknown input size '%s' (test/train/ref)", name.c_str());
+}
+
+std::vector<std::string>
+Workloads::names()
+{
+    std::vector<std::string> out;
+    for (const Entry &e : kSuite)
+        out.emplace_back(e.name);
+    return out;
+}
+
+Workload
+Workloads::build(const std::string &name, InputSize size)
+{
+    for (const Entry &e : kSuite) {
+        if (name == e.name) {
+            Workload w;
+            w.name = e.name;
+            w.specName = e.specName;
+            w.fp = e.fp;
+            w.program = assemble(e.generate(scaleOf(size)));
+            return w;
+        }
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<Workload>
+Workloads::buildAll(InputSize size)
+{
+    std::vector<Workload> out;
+    out.reserve(std::size(kSuite));
+    for (const Entry &e : kSuite)
+        out.push_back(build(e.name, size));
+    return out;
+}
+
+} // namespace tea

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The synthetic SPEC CPU2000 workload suite.
+ *
+ * The paper evaluates on 26 SPEC CPU2000 benchmarks (14 CFP2000 +
+ * 12 CINT2000). SPEC binaries and inputs are not redistributable, so the
+ * suite is substituted by 26 synthetic TinyX86 programs, one per SPEC
+ * row, each engineered to reproduce its namesake's *control-flow
+ * character* — which is the only property Tables 1-4 depend on:
+ *
+ * - FP analogues are dominated by regular loop nests (high coverage,
+ *   few traces);
+ * - syn.gcc has the largest static code footprint and the most traces;
+ * - syn.gzip / syn.bzip2 have data-dependent inner loops that make
+ *   trace trees (TT) explode while CTT stays compact;
+ * - syn.perlbmk / syn.gap are interpreter dispatch loops over indirect
+ *   jumps (low trace coverage);
+ * - syn.eon is deeply call-heavy with many tiny functions;
+ * - syn.mcf chases pointers through a linked structure, etc.
+ *
+ * Programs are deterministic (guest-side LCG for "random" data), always
+ * halt, and their dynamic length scales with InputSize.
+ */
+
+#ifndef TEA_WORKLOADS_WORKLOAD_HH
+#define TEA_WORKLOADS_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace tea {
+
+/** Input scale, analogous to SPEC's test/train/ref inputs. */
+enum class InputSize
+{
+    Test,  ///< ~10^5 dynamic instructions; unit tests
+    Train, ///< ~10^6; quick experiments
+    Ref,   ///< ~5x10^6; the numbers reported in EXPERIMENTS.md
+};
+
+/** Parse "test"/"train"/"ref". @throws FatalError on other input. */
+InputSize parseInputSize(const std::string &name);
+
+/** One benchmark of the suite. */
+struct Workload
+{
+    std::string name;     ///< suite name, e.g. "syn.gzip"
+    std::string specName; ///< the SPEC row it substitutes, "164.gzip"
+    bool fp;              ///< CFP2000 analogue (vs CINT2000)
+    Program program;
+};
+
+/**
+ * The workload registry.
+ */
+class Workloads
+{
+  public:
+    /** All workload names in the paper's Table 1 row order. */
+    static std::vector<std::string> names();
+
+    /**
+     * Build one workload at the given scale.
+     * @throws FatalError for unknown names.
+     */
+    static Workload build(const std::string &name, InputSize size);
+
+    /** Build the whole suite in table order. */
+    static std::vector<Workload> buildAll(InputSize size);
+};
+
+} // namespace tea
+
+#endif // TEA_WORKLOADS_WORKLOAD_HH

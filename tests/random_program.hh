@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Structured random-program generator for property tests.
+ *
+ * Generates TinyX86 programs that always halt: random loop nests with
+ * bounded trip counts, data-dependent diamonds, leaf calls, and the
+ * occasional REP/CPUID special. Used to fuzz the recording/replay
+ * pipeline far beyond the hand-written workloads.
+ */
+
+#ifndef TEA_TESTS_RANDOM_PROGRAM_HH
+#define TEA_TESTS_RANDOM_PROGRAM_HH
+
+#include <string>
+
+#include "isa/assembler.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "workloads/builder.hh"
+
+namespace tea {
+namespace test {
+
+/** Generate a random, always-halting program from a seed. */
+inline Program
+randomProgram(uint64_t seed)
+{
+    Xorshift64Star rng(seed);
+    AsmBuilder b;
+    b.line(".org 0x1000");
+    b.line(".entry main");
+    b.ins("jmp main"); // leaf functions live before main
+    int nleaves = static_cast<int>(rng.nextRange(0, 2));
+    for (int leaf = 0; leaf < nleaves; ++leaf) {
+        b.label(strprintf("leaf%d", leaf));
+        int ops = static_cast<int>(rng.nextRange(1, 3));
+        for (int i = 0; i < ops; ++i) {
+            switch (rng.nextBelow(3)) {
+              case 0: b.ins("add eax, 13"); break;
+              case 1: b.ins("xor eax, 255"); break;
+              default: b.ins("shr eax, 1"); break;
+            }
+        }
+        b.ins("ret");
+    }
+    b.label("main");
+    b.ins("mov ebx, %u", static_cast<unsigned>(rng.nextRange(1, 100000)));
+    b.ins("mov edi, 0");
+
+    int nblocks = static_cast<int>(rng.nextRange(2, 6));
+    for (int blk = 0; blk < nblocks; ++blk) {
+        int depth = static_cast<int>(rng.nextRange(1, 3));
+        // Loop counters use ecx/edx/ebp from innermost to outermost.
+        static const char *counters[3] = {"ecx", "edx", "ebp"};
+        std::string labels[3];
+        for (int d = depth - 1; d >= 0; --d) {
+            labels[d] = b.fresh("loop");
+            b.ins("mov %s, %u", counters[d],
+                  static_cast<unsigned>(rng.nextRange(2, d == 0 ? 80 : 12)));
+            b.label(labels[d]);
+        }
+        // Body: a few arithmetic ops, maybe a diamond, maybe a special.
+        int body = static_cast<int>(rng.nextRange(1, 5));
+        for (int i = 0; i < body; ++i) {
+            switch (rng.nextBelow(6)) {
+              case 0: b.ins("add edi, 7"); break;
+              case 1: b.ins("xor edi, ebx"); break;
+              case 2: b.ins("shr edi, 1"); break;
+              case 3: b.ins("add edi, ecx"); break;
+              case 4: b.lcg("ebx", "eax"); b.ins("add edi, eax"); break;
+              default: b.ins("sub edi, 3"); break;
+            }
+        }
+        if (rng.nextBool(0.5)) { // diamond
+            std::string skip = b.fresh("skip");
+            std::string join = b.fresh("join");
+            b.ins("test edi, %u",
+                  static_cast<unsigned>(1u << rng.nextBelow(4)));
+            b.ins("je %s", skip.c_str());
+            b.ins("add edi, 11");
+            b.ins("jmp %s", join.c_str());
+            b.label(skip);
+            b.ins("sub edi, 5");
+            b.label(join);
+        }
+        if (nleaves > 0 && rng.nextBool(0.3)) {
+            b.ins("call leaf%d",
+                  static_cast<int>(rng.nextBelow(
+                      static_cast<uint64_t>(nleaves))));
+            b.ins("add edi, eax");
+        }
+        if (rng.nextBool(0.15)) {
+            // cpuid clobbers eax..edx; preserve the live counters and
+            // the LCG state around it, as real code does.
+            b.ins("push ebx");
+            b.ins("push ecx");
+            b.ins("push edx");
+            b.ins("cpuid");
+            b.ins("pop edx");
+            b.ins("pop ecx");
+            b.ins("pop ebx");
+        }
+        if (rng.nextBool(0.15)) {
+            b.ins("mov esi, 0x200000");
+            b.ins("mov edi, 0x240000");
+            b.ins("mov ecx, %u",
+                  static_cast<unsigned>(rng.nextRange(1, 30)));
+            b.ins("repmovs");
+            b.ins("mov edi, eax");
+            // restore the innermost counter clobbered by the REP setup
+            b.ins("mov ecx, 1");
+        }
+        for (int d = 0; d < depth; ++d) {
+            b.ins("dec %s", counters[d]);
+            b.ins("jne %s", labels[d].c_str());
+        }
+    }
+    b.ins("out edi");
+    b.ins("halt");
+    return assemble(b.source());
+}
+
+} // namespace test
+} // namespace tea
+
+#endif // TEA_TESTS_RANDOM_PROGRAM_HH

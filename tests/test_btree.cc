@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the B+ tree (§4.2's global container) and the per-state
+ * local cache. The heavyweight check is a randomized differential test
+ * against std::map over mixed insert/erase/find workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "btree/bptree.hh"
+#include "btree/local_cache.hh"
+#include "util/random.hh"
+
+namespace tea {
+namespace {
+
+TEST(BPlusTree, EmptyTree)
+{
+    BPlusTree t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.height(), 1);
+    uint32_t v;
+    EXPECT_FALSE(t.find(1, v));
+    EXPECT_FALSE(t.erase(1));
+    EXPECT_NO_THROW(t.checkInvariants());
+}
+
+TEST(BPlusTree, InsertFindOverwrite)
+{
+    BPlusTree t;
+    t.insert(10, 100);
+    t.insert(20, 200);
+    t.insert(10, 111); // overwrite
+    EXPECT_EQ(t.size(), 2u);
+    uint32_t v;
+    ASSERT_TRUE(t.find(10, v));
+    EXPECT_EQ(v, 111u);
+    ASSERT_TRUE(t.find(20, v));
+    EXPECT_EQ(v, 200u);
+    EXPECT_FALSE(t.find(15, v));
+    EXPECT_TRUE(t.contains(20));
+    EXPECT_FALSE(t.contains(21));
+}
+
+TEST(BPlusTree, GrowsAndSplits)
+{
+    BPlusTree t;
+    const int n = 10'000;
+    for (int i = 0; i < n; ++i)
+        t.insert(static_cast<uint32_t>(i * 7919 % 100000),
+                 static_cast<uint32_t>(i));
+    EXPECT_GT(t.height(), 2) << "10k keys must split past one level";
+    t.checkInvariants();
+
+    auto items = t.items();
+    EXPECT_EQ(items.size(), t.size());
+    for (size_t i = 1; i < items.size(); ++i)
+        EXPECT_LT(items[i - 1].first, items[i].first);
+}
+
+TEST(BPlusTree, SequentialAndReverseInsertion)
+{
+    for (bool reverse : {false, true}) {
+        BPlusTree t;
+        for (int i = 0; i < 2000; ++i) {
+            uint32_t key = reverse ? 1999u - static_cast<uint32_t>(i)
+                                   : static_cast<uint32_t>(i);
+            t.insert(key, key * 2);
+        }
+        t.checkInvariants();
+        EXPECT_EQ(t.size(), 2000u);
+        uint32_t v;
+        for (uint32_t k = 0; k < 2000; ++k) {
+            ASSERT_TRUE(t.find(k, v)) << (reverse ? "rev " : "fwd ") << k;
+            EXPECT_EQ(v, k * 2);
+        }
+    }
+}
+
+TEST(BPlusTree, EraseDownToEmpty)
+{
+    BPlusTree t;
+    for (uint32_t i = 0; i < 500; ++i)
+        t.insert(i, i);
+    for (uint32_t i = 0; i < 500; ++i) {
+        EXPECT_TRUE(t.erase(i)) << i;
+        if (i % 37 == 0)
+            t.checkInvariants();
+    }
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.height(), 1) << "root collapses back to a leaf";
+    t.checkInvariants();
+}
+
+TEST(BPlusTree, EraseMissingKeyIsNoop)
+{
+    BPlusTree t;
+    t.insert(5, 50);
+    EXPECT_FALSE(t.erase(6));
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(BPlusTree, MoveSemantics)
+{
+    BPlusTree a;
+    for (uint32_t i = 0; i < 100; ++i)
+        a.insert(i, i + 1);
+    BPlusTree b = std::move(a);
+    EXPECT_EQ(b.size(), 100u);
+    EXPECT_TRUE(a.empty()) << "moved-from tree is empty but valid";
+    a.insert(7, 8);
+    EXPECT_EQ(a.size(), 1u);
+    a = std::move(b);
+    EXPECT_EQ(a.size(), 100u);
+    uint32_t v;
+    EXPECT_TRUE(a.find(42, v));
+    EXPECT_EQ(v, 43u);
+}
+
+TEST(BPlusTree, FootprintScalesWithContent)
+{
+    BPlusTree small, large;
+    for (uint32_t i = 0; i < 10; ++i)
+        small.insert(i, i);
+    for (uint32_t i = 0; i < 10'000; ++i)
+        large.insert(i, i);
+    EXPECT_GT(large.footprintBytes(), small.footprintBytes() * 10);
+}
+
+/** Differential test: B+ tree behaves exactly like std::map. */
+class BPlusTreeVsStdMap : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(BPlusTreeVsStdMap, MixedOperations)
+{
+    Xorshift64Star rng(GetParam());
+    BPlusTree tree;
+    std::map<uint32_t, uint32_t> ref;
+
+    for (int op = 0; op < 20'000; ++op) {
+        uint32_t key = static_cast<uint32_t>(rng.nextBelow(2'000));
+        switch (rng.nextBelow(4)) {
+          case 0:
+          case 1: { // insert (overwrite allowed)
+            uint32_t value = static_cast<uint32_t>(rng.next());
+            tree.insert(key, value);
+            ref[key] = value;
+            break;
+          }
+          case 2: { // erase
+            bool tree_erased = tree.erase(key);
+            bool ref_erased = ref.erase(key) > 0;
+            ASSERT_EQ(tree_erased, ref_erased) << "op " << op;
+            break;
+          }
+          default: { // find
+            uint32_t v = 0;
+            bool found = tree.find(key, v);
+            auto it = ref.find(key);
+            ASSERT_EQ(found, it != ref.end()) << "op " << op;
+            if (found) {
+                ASSERT_EQ(v, it->second) << "op " << op;
+            }
+            break;
+          }
+        }
+        ASSERT_EQ(tree.size(), ref.size());
+    }
+    tree.checkInvariants();
+
+    auto items = tree.items();
+    ASSERT_EQ(items.size(), ref.size());
+    size_t i = 0;
+    for (const auto &[k, v] : ref) {
+        EXPECT_EQ(items[i].first, k);
+        EXPECT_EQ(items[i].second, v);
+        ++i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreeVsStdMap,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+TEST(LocalCache, MissThenHit)
+{
+    LocalCache c;
+    uint32_t v = 99;
+    EXPECT_FALSE(c.lookup(0x1000, v));
+    c.fill(0x1000, 7);
+    ASSERT_TRUE(c.lookup(0x1000, v));
+    EXPECT_EQ(v, 7u);
+}
+
+TEST(LocalCache, ZeroValueIsCacheable)
+{
+    // The replayer caches "this address is cold" as value 0 (NTE).
+    LocalCache c;
+    c.fill(0x2000, 0);
+    uint32_t v = 99;
+    ASSERT_TRUE(c.lookup(0x2000, v));
+    EXPECT_EQ(v, 0u);
+}
+
+TEST(LocalCache, ConflictingSlotsEvict)
+{
+    LocalCache c;
+    // Same slot: addresses differing by kEntries * 4.
+    uint32_t a = 0x1000;
+    uint32_t b = a + LocalCache::kEntries * 4;
+    c.fill(a, 1);
+    c.fill(b, 2);
+    uint32_t v;
+    EXPECT_FALSE(c.lookup(a, v)) << "evicted by the conflicting fill";
+    ASSERT_TRUE(c.lookup(b, v));
+    EXPECT_EQ(v, 2u);
+}
+
+TEST(LocalCache, DistinctSlotsCoexist)
+{
+    LocalCache c;
+    for (uint32_t i = 0; i < LocalCache::kEntries; ++i)
+        c.fill(0x1000 + i * 4, i);
+    for (uint32_t i = 0; i < LocalCache::kEntries; ++i) {
+        uint32_t v;
+        ASSERT_TRUE(c.lookup(0x1000 + i * 4, v));
+        EXPECT_EQ(v, i);
+    }
+}
+
+TEST(LocalCache, ClearInvalidates)
+{
+    LocalCache c;
+    c.fill(0x1000, 5);
+    c.clear();
+    uint32_t v;
+    EXPECT_FALSE(c.lookup(0x1000, v));
+}
+
+} // namespace
+} // namespace tea

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Targeted emitter scenarios: every successor-routing case of the code
+ * replicator, verified both structurally (emitted instruction shapes)
+ * and behaviourally (executing the translated image).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dbt/memory_model.hh"
+#include "dbt/runtime.hh"
+#include "isa/assembler.hh"
+#include "vm/machine.hh"
+
+namespace tea {
+namespace {
+
+/** Wrap one hand-built trace and translate it. */
+TranslatedImage
+emitOne(const Program &prog, Trace trace)
+{
+    TraceSet set;
+    set.add(std::move(trace));
+    return translate(prog, set);
+}
+
+/** Instruction stream of the first emitted trace. */
+std::vector<Insn>
+cacheCode(const TranslatedImage &image)
+{
+    return image.traces.at(0).code;
+}
+
+TEST(EmitterCases, AdjacentFallthroughElidesTheJump)
+{
+    Program p = assemble(R"(
+        a:
+            add eax, 1
+            cmp eax, 100
+            jl b
+            halt
+        b:
+            add ebx, 1
+            jmp a
+    )");
+    // Trace: a (cond to b) -> b (jmp back to a): both edges intra.
+    Trace t;
+    t.blocks.push_back({p.label("a"), p.at(2).addr, true});   // a..jl
+    t.blocks.push_back({p.label("b"), p.at(5).addr, false});  // b..jmp
+    t.edges.push_back({0, 1});
+    t.edges.push_back({1, 0});
+    TranslatedImage image = emitOne(p, t);
+    auto code = cacheCode(image);
+
+    // Expect: add, cmp, cond-jl (to b copy), jmp-stub (fall-through
+    // exit to halt), add, jmp (back to a copy), then the stub.
+    ASSERT_GE(code.size(), 6u);
+    EXPECT_EQ(code[0].op, Opcode::Add);
+    EXPECT_EQ(code[2].op, Opcode::Jl);
+    // The jl's rewritten target is the cache copy of b.
+    EXPECT_EQ(static_cast<Addr>(code[2].dst.imm),
+              image.traces[0].blockCacheAddr[1]);
+    // b's jmp is rewritten back to the cache copy of a.
+    bool jmp_to_a_copy = false;
+    for (const Insn &insn : code)
+        if (insn.op == Opcode::Jmp &&
+            static_cast<Addr>(insn.dst.imm) ==
+                image.traces[0].blockCacheAddr[0])
+            jmp_to_a_copy = true;
+    EXPECT_TRUE(jmp_to_a_copy);
+}
+
+TEST(EmitterCases, BothArmsIntraTrace)
+{
+    Program p = assemble(R"(
+        main:
+            mov ecx, 50
+        head:
+            test eax, 1
+            je even
+            add eax, 3
+            jmp tail
+        even:
+            add eax, 5
+        tail:
+            dec ecx
+            jne head
+            out eax
+            halt
+    )");
+    // A tree-ish trace with both diamond arms present.
+    size_t head_idx = p.indexAt(p.label("head"));
+    Trace t;
+    t.kind = TraceKind::CompactTraceTree;
+    t.blocks.push_back(
+        {p.label("head"), p.at(head_idx + 1).addr, true}); // test, je
+    t.blocks.push_back(
+        {p.at(head_idx + 2).addr, p.at(head_idx + 3).addr, false});
+    t.blocks.push_back(
+        {p.label("even"), p.at(head_idx + 4).addr, false});
+    t.blocks.push_back(
+        {p.label("tail"), p.at(head_idx + 6).addr, false});
+    t.edges.push_back({0, 1}); // fall-through arm
+    t.edges.push_back({0, 2}); // taken arm
+    t.edges.push_back({1, 3});
+    t.edges.push_back({2, 3});
+    t.edges.push_back({3, 0}); // loop close
+    t.validate();
+
+    TranslatedImage image = emitOne(p, t);
+    // With both arms inside the trace, the only exit is tail's
+    // fall-through (loop end): exactly one stub.
+    EXPECT_EQ(image.traces[0].stubs.size(), 1u);
+    EXPECT_EQ(image.traces[0].memory.stubBytes, kExitStubBytes);
+
+    // Behaviour check: the dispatch run must match native output.
+    Machine native(p);
+    native.run();
+    auto run = DbtRuntime::runTranslated(image);
+    ASSERT_TRUE(run.halted);
+    EXPECT_EQ(run.output, native.output());
+    EXPECT_GT(run.cacheSteps, 0u);
+}
+
+TEST(EmitterCases, ConditionalExitGetsAStubOnTheTakenSide)
+{
+    Program p = assemble(R"(
+        loop:
+            add eax, 1
+            cmp eax, 10
+            je done
+            dec ecx
+            jne loop
+            halt
+        done:
+            out eax
+            halt
+    )");
+    // Trace covers the loop only; `je done` exits on the taken side.
+    Trace t;
+    t.blocks.push_back({p.label("loop"), p.at(2).addr, true});
+    t.blocks.push_back({p.at(3).addr, p.at(4).addr, false});
+    t.edges.push_back({0, 1});
+    t.edges.push_back({1, 0});
+    TranslatedImage image = emitOne(p, t);
+
+    // Find the emitted je: its target must be a stub that jumps to done.
+    Addr done = p.label("done");
+    bool je_routed_via_stub = false;
+    for (const Insn &insn : image.traces[0].code) {
+        if (insn.op != Opcode::Je)
+            continue;
+        Addr target = static_cast<Addr>(insn.dst.imm);
+        for (const auto &[stub_addr, guest] : image.traces[0].stubs)
+            if (stub_addr == target && guest == done)
+                je_routed_via_stub = true;
+    }
+    EXPECT_TRUE(je_routed_via_stub);
+
+    // Behaviour: the translated run must still reach `done` at eax==10.
+    auto run = DbtRuntime::runTranslated(image);
+    ASSERT_TRUE(run.halted);
+    ASSERT_EQ(run.output.size(), 1u);
+    EXPECT_EQ(run.output[0], 10u);
+}
+
+TEST(EmitterCases, IndirectTerminatorsStayVerbatimAndChargeIbtc)
+{
+    Program p = assemble(R"(
+        .org 0x1000
+        main:
+            mov eax, target
+        spin:
+            jmp eax
+        target:
+            dec ecx
+            jne spin2
+            halt
+        spin2:
+            mov eax, target
+            jmp eax
+    )");
+    Trace t;
+    t.blocks.push_back({p.label("spin"), p.label("spin"), true});
+    TraceSet set;
+    set.add(t);
+    auto memories = accountTraces(p, set);
+    EXPECT_GE(memories[0].metaBytes, kIndirectStubBytes)
+        << "indirect jumps pay the IBTC cost";
+    EXPECT_EQ(memories[0].stubBytes, 0u) << "no direct exits to stub";
+}
+
+TEST(EmitterCases, CallReturnPointIsPreserved)
+{
+    Program p = assemble(R"(
+        main:
+            mov ecx, 60
+        loop:
+            call fn
+            dec ecx
+            jne loop
+            out eax
+            halt
+        fn:
+            add eax, 2
+            ret
+    )");
+    // Trace records through the call: [loop..call] -> [fn..ret].
+    Trace t;
+    t.blocks.push_back({p.label("loop"), p.label("loop"), true});
+    t.blocks.push_back({p.label("fn"), p.at(p.indexAt(p.label("fn")) + 1)
+                                            .addr,
+                        false});
+    t.edges.push_back({0, 1});
+    TranslatedImage image = emitOne(p, t);
+
+    // Behaviour is the acid test: every ret must land on code that
+    // routes back to the guest return point (dec ecx), not into the
+    // callee copy again.
+    Machine native(p);
+    native.run();
+    auto run = DbtRuntime::runTranslated(image);
+    ASSERT_TRUE(run.halted);
+    EXPECT_EQ(run.output, native.output());
+    EXPECT_EQ(run.output.at(0), 120u);
+}
+
+TEST(EmitterCases, TraceLinkingPatchesStubs)
+{
+    Program p = assemble(R"(
+        main:
+            mov ecx, 200
+        first:
+            add eax, 1
+            test eax, 1
+            je second
+        back:
+            dec ecx
+            jne first
+            halt
+        second:
+            add ebx, 2
+            jmp back
+    )");
+    // Two traces: the `first..back` loop and the `second` path.
+    TraceSet set;
+    {
+        Trace t;
+        t.blocks.push_back({p.label("first"), p.at(3).addr, true});
+        t.blocks.push_back({p.label("back"), p.at(5).addr, false});
+        t.edges.push_back({0, 1});
+        t.edges.push_back({1, 0});
+        set.add(t);
+    }
+    {
+        Trace t;
+        t.blocks.push_back({p.label("second"), p.at(7).addr, true});
+        set.add(t);
+    }
+    TranslatedImage image = translate(p, set);
+
+    // Trace 1's je-exit targets `second`, which is trace 2's entry: the
+    // stub must have been patched to the cache entry, and a link record
+    // charged.
+    bool linked = false;
+    for (const auto &[stub_addr, guest] : image.traces[0].stubs) {
+        if (guest != p.label("second"))
+            continue;
+        const Insn &jmp = image.translated.insnAt(stub_addr);
+        if (static_cast<Addr>(jmp.dst.imm) == image.traces[1].cacheEntry)
+            linked = true;
+    }
+    EXPECT_TRUE(linked);
+
+    Machine native(p);
+    native.run();
+    auto run = DbtRuntime::runTranslated(image);
+    EXPECT_EQ(run.output, native.output());
+    // Linked traces keep execution inside the cache across the hop.
+    EXPECT_GT(run.cacheSteps, run.steps / 2);
+}
+
+} // namespace
+} // namespace tea

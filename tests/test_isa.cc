@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Unit and property tests for the TinyX86 ISA: instruction model,
+ * binary encoding round trips, the assembler, and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/disasm.hh"
+#include "isa/encoding.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace tea {
+namespace {
+
+TEST(InsnModel, OpcodeNamesRoundTrip)
+{
+    for (int i = 0; i < static_cast<int>(Opcode::NumOpcodes); ++i) {
+        auto op = static_cast<Opcode>(i);
+        Opcode parsed;
+        ASSERT_TRUE(parseOpcode(opcodeName(op), parsed)) << opcodeName(op);
+        EXPECT_EQ(parsed, op);
+    }
+    Opcode dummy;
+    EXPECT_FALSE(parseOpcode("frobnicate", dummy));
+}
+
+TEST(InsnModel, RegisterNamesRoundTrip)
+{
+    for (size_t i = 0; i < kNumRegs; ++i) {
+        auto reg = static_cast<Reg>(i);
+        Reg parsed;
+        ASSERT_TRUE(parseReg(regName(reg), parsed));
+        EXPECT_EQ(parsed, reg);
+    }
+    Reg dummy;
+    EXPECT_FALSE(parseReg("r8", dummy));
+    EXPECT_TRUE(parseReg("EAX", dummy)) << "case-insensitive";
+}
+
+TEST(InsnModel, Classifiers)
+{
+    EXPECT_TRUE(isControlFlow(Opcode::Jmp));
+    EXPECT_TRUE(isControlFlow(Opcode::Je));
+    EXPECT_TRUE(isControlFlow(Opcode::Call));
+    EXPECT_TRUE(isControlFlow(Opcode::Ret));
+    EXPECT_FALSE(isControlFlow(Opcode::Add));
+    EXPECT_TRUE(isConditionalJump(Opcode::Jns));
+    EXPECT_FALSE(isConditionalJump(Opcode::Jmp));
+    EXPECT_TRUE(isBlockTerminator(Opcode::Halt));
+    EXPECT_FALSE(isBlockTerminator(Opcode::Cpuid));
+    EXPECT_TRUE(isRepString(Opcode::RepScas));
+    EXPECT_TRUE(isPinBlockSplitter(Opcode::Cpuid));
+    EXPECT_TRUE(isPinBlockSplitter(Opcode::RepMovs));
+    EXPECT_FALSE(isPinBlockSplitter(Opcode::Mov));
+}
+
+TEST(InsnModel, DirectTarget)
+{
+    Insn jmp;
+    jmp.op = Opcode::Jmp;
+    jmp.dst = Operand::makeImm(0x2000);
+    EXPECT_EQ(jmp.directTarget(), 0x2000u);
+
+    Insn indirect;
+    indirect.op = Opcode::Jmp;
+    indirect.dst = Operand::makeReg(Reg::Eax);
+    EXPECT_EQ(indirect.directTarget(), kNoAddr);
+
+    Insn add;
+    add.op = Opcode::Add;
+    add.dst = Operand::makeImm(5);
+    EXPECT_EQ(add.directTarget(), kNoAddr);
+
+    Insn ret;
+    ret.op = Opcode::Ret;
+    EXPECT_EQ(ret.directTarget(), kNoAddr);
+}
+
+TEST(Encoding, KnownLengths)
+{
+    Insn nop;
+    nop.op = Opcode::Nop;
+    EXPECT_EQ(encodedLength(nop), 1u);
+
+    Insn inc;
+    inc.op = Opcode::Inc;
+    inc.dst = Operand::makeReg(Reg::Eax);
+    EXPECT_EQ(encodedLength(inc), 3u); // opcode + desc + reg
+
+    Insn small_imm;
+    small_imm.op = Opcode::Mov;
+    small_imm.dst = Operand::makeReg(Reg::Eax);
+    small_imm.src = Operand::makeImm(5);
+    EXPECT_EQ(encodedLength(small_imm), 4u);
+
+    Insn big_imm = small_imm;
+    big_imm.src = Operand::makeImm(100000);
+    EXPECT_EQ(encodedLength(big_imm), 7u);
+}
+
+TEST(Encoding, VariableLengthIsBounded)
+{
+    // The worst case: two memory operands with 4-byte displacements.
+    MemRef worst;
+    worst.hasBase = true;
+    worst.hasIndex = true;
+    worst.scale = 8;
+    worst.disp = 1 << 20;
+    Insn insn;
+    insn.op = Opcode::Mov;
+    insn.dst = Operand::makeMem(worst);
+    insn.src = Operand::makeMem(worst);
+    EXPECT_LE(encodedLength(insn), kMaxInsnLength);
+}
+
+/** Build a random (valid) instruction. */
+Insn
+randomInsn(Xorshift64Star &rng)
+{
+    Insn insn;
+    for (;;) {
+        insn.op = static_cast<Opcode>(
+            rng.nextBelow(static_cast<uint64_t>(Opcode::NumOpcodes)));
+        break;
+    }
+    auto random_operand = [&](bool allow_mem) {
+        switch (rng.nextBelow(allow_mem ? 3 : 2)) {
+          case 0:
+            return Operand::makeReg(
+                static_cast<Reg>(rng.nextBelow(kNumRegs)));
+          case 1:
+            return Operand::makeImm(
+                static_cast<int32_t>(rng.nextRange(-1 << 30, 1 << 30)));
+          default: {
+            // Canonical form only: absent base/index fields keep their
+            // default values, as the decoder will reproduce them.
+            MemRef m;
+            m.hasBase = rng.nextBool();
+            if (m.hasBase)
+                m.base = static_cast<Reg>(rng.nextBelow(kNumRegs));
+            m.hasIndex = rng.nextBool();
+            if (m.hasIndex) {
+                m.index = static_cast<Reg>(rng.nextBelow(kNumRegs));
+                m.scale = static_cast<uint8_t>(1u << rng.nextBelow(4));
+            }
+            m.disp = static_cast<int32_t>(rng.nextRange(-100000, 100000));
+            return Operand::makeMem(m);
+          }
+        }
+    };
+    int count = operandCount(insn.op);
+    if (count >= 1)
+        insn.dst = random_operand(true);
+    if (count >= 2)
+        insn.src = random_operand(true);
+    return insn;
+}
+
+class EncodingRoundTrip : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(EncodingRoundTrip, EncodeDecodeIsIdentity)
+{
+    Xorshift64Star rng(GetParam());
+    for (int i = 0; i < 500; ++i) {
+        Insn insn = randomInsn(rng);
+        std::vector<uint8_t> bytes;
+        size_t len = encode(insn, bytes);
+        ASSERT_EQ(len, bytes.size());
+        ASSERT_EQ(len, encodedLength(insn));
+        Insn decoded = decode(bytes, 0, 0x1000);
+        EXPECT_EQ(decoded.op, insn.op);
+        EXPECT_EQ(decoded.dst, insn.dst);
+        EXPECT_EQ(decoded.src, insn.src);
+        EXPECT_EQ(decoded.length, len);
+        EXPECT_EQ(decoded.addr, 0x1000u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodingRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Encoding, DecodeRejectsGarbage)
+{
+    std::vector<uint8_t> bad = {0xff};
+    EXPECT_THROW(decode(bad, 0, 0x1000), FatalError);
+    std::vector<uint8_t> truncated = {
+        static_cast<uint8_t>(Opcode::Mov)};
+    EXPECT_THROW(decode(truncated, 0, 0x1000), FatalError);
+}
+
+TEST(Assembler, BasicProgram)
+{
+    Program p = assemble(R"(
+        .org 0x2000
+        .entry start
+        start:
+            mov eax, 1
+            add eax, 2
+            halt
+    )");
+    EXPECT_EQ(p.baseAddr(), 0x2000u);
+    EXPECT_EQ(p.entry(), 0x2000u);
+    EXPECT_EQ(p.size(), 3u);
+    EXPECT_EQ(p.at(0).op, Opcode::Mov);
+    EXPECT_EQ(p.at(2).op, Opcode::Halt);
+    EXPECT_EQ(p.label("start"), 0x2000u);
+}
+
+TEST(Assembler, LabelsResolveForwardAndBackward)
+{
+    Program p = assemble(R"(
+        loop:
+            dec eax
+            jne loop
+            jmp end
+            nop
+        end:
+            halt
+    )");
+    const Insn &jne = p.at(1);
+    EXPECT_EQ(jne.directTarget(), p.label("loop"));
+    const Insn &jmp = p.at(2);
+    EXPECT_EQ(jmp.directTarget(), p.label("end"));
+}
+
+TEST(Assembler, MemoryOperandForms)
+{
+    Program p = assemble(R"(
+        mov eax, [esi]
+        mov eax, [esi + 8]
+        mov eax, [esi - 8]
+        mov eax, [esi + ecx*4]
+        mov eax, [esi + ecx*4 + 12]
+        mov eax, [ecx*8]
+        mov eax, [0x100000]
+        halt
+    )");
+    EXPECT_EQ(p.at(0).src.mem.hasBase, true);
+    EXPECT_EQ(p.at(0).src.mem.disp, 0);
+    EXPECT_EQ(p.at(1).src.mem.disp, 8);
+    EXPECT_EQ(p.at(2).src.mem.disp, -8);
+    EXPECT_TRUE(p.at(3).src.mem.hasIndex);
+    EXPECT_EQ(p.at(3).src.mem.scale, 4);
+    EXPECT_EQ(p.at(4).src.mem.disp, 12);
+    EXPECT_FALSE(p.at(5).src.mem.hasBase);
+    EXPECT_EQ(p.at(5).src.mem.scale, 8);
+    EXPECT_EQ(p.at(6).src.mem.disp, 0x100000);
+}
+
+TEST(Assembler, DataSectionAndLabelReferences)
+{
+    Program p = assemble(R"(
+        .org 0x1000
+        main:
+            mov esi, table
+            mov eax, [table + 4]
+            halt
+        .data 0x100000
+        table:
+            .word 11 22 head
+            .space 8
+        head:
+            .word 33
+    )");
+    EXPECT_EQ(p.label("table"), 0x100000u);
+    EXPECT_EQ(p.label("head"), 0x100000u + 12 + 8);
+    ASSERT_EQ(p.data().size(), 4u);
+    EXPECT_EQ(p.data()[0].value, 11u);
+    EXPECT_EQ(p.data()[2].value, p.label("head"));
+    EXPECT_EQ(p.data()[3].addr, p.label("head"));
+    EXPECT_EQ(static_cast<Addr>(p.at(0).src.imm), p.label("table"));
+}
+
+TEST(Assembler, Errors)
+{
+    EXPECT_THROW(assemble("bogus eax, 1\nhalt\n"), FatalError);
+    EXPECT_THROW(assemble("mov eax\nhalt\n"), FatalError);
+    EXPECT_THROW(assemble("jmp nowhere\nhalt\n"), FatalError);
+    EXPECT_THROW(assemble("x: nop\nx: nop\nhalt\n"), FatalError);
+    EXPECT_THROW(assemble(".org 12\nnop\nhalt\n"), FatalError);
+    EXPECT_THROW(assemble(".word 1\nhalt\n"), FatalError)
+        << ".word outside .data";
+    EXPECT_THROW(assemble(""), FatalError) << "empty program";
+    EXPECT_THROW(assemble("mov eax, [esi + ecx*3]\nhalt\n"), FatalError)
+        << "bad scale";
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    Program p = assemble(R"(
+        ; full-line comment
+        # hash comment
+        nop        ; trailing comment
+
+        halt
+    )");
+    EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(Program, IndexAtAndPatch)
+{
+    Program p = assemble("nop\nmov eax, 5\nhalt\n");
+    Addr second = p.at(1).addr;
+    EXPECT_EQ(p.indexAt(second), 1u);
+    EXPECT_EQ(p.indexAt(second + 1), Program::npos);
+    EXPECT_TRUE(p.isInsnStart(p.baseAddr()));
+
+    Insn patched = p.at(1);
+    patched.src = Operand::makeImm(9);
+    p.patch(1, patched);
+    EXPECT_EQ(p.at(1).src.imm, 9);
+
+    // Length-changing patches are rejected.
+    Insn longer = p.at(1);
+    longer.src = Operand::makeImm(1 << 20);
+    EXPECT_THROW(p.patch(1, longer), FatalError);
+    EXPECT_THROW(p.patch(99, patched), FatalError);
+}
+
+TEST(Program, ImageRoundTrip)
+{
+    Program p = assemble(R"(
+        .org 0x3000
+        start:
+            mov eax, 100000
+            mov ebx, [esi + ecx*2 + 4]
+            cmp eax, ebx
+            jne start
+            halt
+    )");
+    std::vector<uint8_t> image = p.encodeImage();
+    EXPECT_EQ(image.size(), p.codeBytes());
+    Program q = Program::decodeImage(image, 0x3000);
+    ASSERT_EQ(q.size(), p.size());
+    for (size_t i = 0; i < p.size(); ++i) {
+        EXPECT_EQ(q.at(i).op, p.at(i).op);
+        EXPECT_EQ(q.at(i).addr, p.at(i).addr);
+        EXPECT_EQ(q.at(i).dst, p.at(i).dst);
+        EXPECT_EQ(q.at(i).src, p.at(i).src);
+    }
+}
+
+TEST(Disasm, TextRoundTripsThroughAssembler)
+{
+    Program p = assemble(R"(
+        start:
+            mov eax, -5
+            lea edi, [esi + ecx*4 - 8]
+            test eax, eax
+            je start
+            repmovs
+            out eax
+            halt
+    )");
+    // Reassembling each rendered instruction must reproduce it.
+    for (size_t i = 0; i < p.size(); ++i) {
+        std::string text = formatInsn(p.at(i));
+        Program q = assemble(text + "\n");
+        EXPECT_EQ(q.at(0).op, p.at(i).op) << text;
+        EXPECT_EQ(q.at(0).dst, p.at(i).dst) << text;
+        EXPECT_EQ(q.at(0).src, p.at(i).src) << text;
+    }
+    std::string listing = disassemble(p);
+    EXPECT_NE(listing.find("start:"), std::string::npos);
+    EXPECT_NE(listing.find("repmovs"), std::string::npos);
+}
+
+} // namespace
+} // namespace tea

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests for the intra-TBB peephole pass: transform-level unit cases
+ * plus the acid test — translated images built with optimization on
+ * must behave bit-identically to native execution, across workloads
+ * and selectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dbt/runtime.hh"
+#include "isa/assembler.hh"
+#include "opt/peephole.hh"
+#include "vm/machine.hh"
+#include "workloads/workload.hh"
+
+namespace tea {
+namespace {
+
+/** Assemble a snippet and return its instructions (no terminator). */
+std::vector<Insn>
+insns(const std::string &body)
+{
+    Program p = assemble(body + "\nhalt\n");
+    std::vector<Insn> out(p.instructions().begin(),
+                          p.instructions().end() - 1);
+    return out;
+}
+
+TEST(Peephole, PropagatesConstantsIntoSources)
+{
+    PeepholeStats stats;
+    auto out = optimizeBlock(insns(R"(
+        mov eax, 100
+        add ebx, eax
+        sub ecx, eax
+    )"), &stats);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[1].src.kind, OperandKind::Imm);
+    EXPECT_EQ(out[1].src.imm, 100);
+    EXPECT_EQ(out[2].src.imm, 100);
+    EXPECT_EQ(stats.constOperands, 2u);
+}
+
+TEST(Peephole, TrackingStopsAtRedefinitions)
+{
+    auto out = optimizeBlock(insns(R"(
+        mov eax, 100
+        add eax, 1
+        add ebx, eax
+    )"));
+    // eax is no longer the constant 100 after the add.
+    EXPECT_EQ(out[2].src.kind, OperandKind::Reg);
+}
+
+TEST(Peephole, FoldsConstantBasesIntoDisplacements)
+{
+    PeepholeStats stats;
+    auto out = optimizeBlock(insns(R"(
+        mov esi, 0x100000
+        mov eax, [esi + 8]
+        mov ebx, [edi + esi*4]
+    )"), &stats);
+    EXPECT_FALSE(out[1].src.mem.hasBase);
+    EXPECT_EQ(out[1].src.mem.disp, 0x100008);
+    EXPECT_FALSE(out[2].src.mem.hasIndex) << "index*scale folds too";
+    EXPECT_EQ(out[2].src.mem.disp, 0x400000);
+    EXPECT_EQ(stats.memFolds, 2u);
+}
+
+TEST(Peephole, RemovesDeadMovs)
+{
+    PeepholeStats stats;
+    auto out = optimizeBlock(insns(R"(
+        mov eax, 1
+        mov eax, 2
+        mov ebx, ebx
+        add ecx, eax
+    )"), &stats);
+    ASSERT_EQ(out.size(), 2u); // mov eax,2 (folded into add) + add
+    EXPECT_EQ(stats.deadMovs, 2u);
+}
+
+TEST(Peephole, KeepsMovsThatFeedMemoryOrLaterBlocks)
+{
+    // The trailing mov might be read by the next block: never removed.
+    auto out = optimizeBlock(insns(R"(
+        mov eax, 5
+        mov [0x100000], eax
+        mov ebx, 9
+    )"));
+    EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Peephole, StrengthReducesOnlyWhenFlagsAreDead)
+{
+    PeepholeStats stats;
+    // Flags killed by the following cmp: reduction is legal.
+    auto reduced = optimizeBlock(insns(R"(
+        mul eax, 8
+        cmp eax, 100
+    )"), &stats);
+    EXPECT_EQ(reduced[0].op, Opcode::Shl);
+    EXPECT_EQ(reduced[0].src.imm, 3);
+    EXPECT_EQ(stats.strengthReduced, 1u);
+
+    // No flag killer before the block ends: flags conservatively live.
+    auto kept = optimizeBlock(insns("mul eax, 8\nmov ebx, 1\n"));
+    EXPECT_EQ(kept[0].op, Opcode::Mul);
+
+    // A conditional consumer in between: illegal.
+    Program p = assemble("mul eax, 4\nje somewhere\nsomewhere:\nhalt\n");
+    std::vector<Insn> block(p.instructions().begin(),
+                            p.instructions().end() - 1);
+    auto guarded = optimizeBlock(block);
+    EXPECT_EQ(guarded[0].op, Opcode::Mul);
+}
+
+TEST(Peephole, XchgSourcesAreNeverSubstituted)
+{
+    auto out = optimizeBlock(insns(R"(
+        mov eax, 7
+        xchg ebx, eax
+    )"));
+    EXPECT_EQ(out[1].op, Opcode::Xchg);
+    EXPECT_EQ(out[1].src.kind, OperandKind::Reg)
+        << "xchg writes its source; it must stay a register";
+}
+
+TEST(Peephole, CpuidAndRepInvalidateTracking)
+{
+    PeepholeStats stats;
+    auto out = optimizeBlock(insns(R"(
+        mov ecx, 4
+        cpuid
+        add eax, ecx
+    )"), &stats);
+    // Bonus: the mov is dead — cpuid overwrites ecx without reading it.
+    EXPECT_EQ(stats.deadMovs, 1u);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out.back().op, Opcode::Add);
+    EXPECT_EQ(out.back().src.kind, OperandKind::Reg)
+        << "cpuid rewrote ecx; the constant is stale";
+
+    // When the constant survives (ecx is read first), tracking still
+    // stops at the clobber.
+    auto out2 = optimizeBlock(insns(R"(
+        mov ecx, 4
+        add edi, ecx
+        cpuid
+        add eax, ecx
+    )"));
+    ASSERT_EQ(out2.size(), 4u);
+    EXPECT_EQ(out2[1].src.kind, OperandKind::Imm) << "before cpuid";
+    EXPECT_EQ(out2[3].src.kind, OperandKind::Reg) << "after cpuid";
+}
+
+TEST(Peephole, SemanticsPreservedOnAFlagHeavyBlock)
+{
+    // Run the raw and the optimized sequence and compare full state.
+    const char *body = R"(
+        mov eax, 6
+        mov ebx, eax
+        mul ebx, 4
+        cmp ebx, 24
+        je eq
+        out 0
+        halt
+    eq:
+        mov ecx, 0x100000
+        mov [ecx + 4], ebx
+        mov edx, [ecx + 4]
+        out edx
+        halt
+    )";
+    Program p = assemble(body);
+    Machine m(p);
+    m.run();
+    ASSERT_EQ(m.output().size(), 1u);
+    EXPECT_EQ(m.output()[0], 24u);
+}
+
+/** Optimized translated execution must equal native execution. */
+class OptimizedEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::string>>
+{
+};
+
+TEST_P(OptimizedEquivalence, OutputsMatchNative)
+{
+    Workload w = Workloads::build(std::get<0>(GetParam()),
+                                  InputSize::Test);
+    Machine native(w.program);
+    ASSERT_EQ(native.run(), RunExit::Halted);
+
+    DbtRuntime dbt(w.program);
+    auto rec = dbt.record(std::get<1>(GetParam()));
+    TranslatedImage plain = translate(w.program, rec.traces, false);
+    TranslatedImage opt = translate(w.program, rec.traces, true);
+
+    auto run = DbtRuntime::runTranslated(opt);
+    ASSERT_TRUE(run.halted);
+    EXPECT_EQ(run.output, native.output())
+        << "optimization changed observable behaviour";
+    // The pass optimizes dependences and instruction count; immediates
+    // substituted for registers can cost encoding bytes, so allow a
+    // small growth margin while catching anything pathological.
+    EXPECT_LE(opt.totalBytes(), plain.totalBytes() * 11 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadsBySelectors, OptimizedEquivalence,
+    ::testing::Combine(::testing::Values("syn.mcf", "syn.gzip",
+                                         "syn.crafty", "syn.vortex",
+                                         "syn.gcc", "syn.equake",
+                                         "syn.lucas", "syn.swim"),
+                       ::testing::Values("mret", "ctt")),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param) + "_" +
+                           std::get<1>(info.param);
+        for (char &c : name)
+            if (c == '.')
+                c = '_';
+        return name;
+    });
+
+TEST(OptimizedTranslate, ReportsWork)
+{
+    // The suite's address-heavy workloads must give the optimizer
+    // something to do.
+    Workload w = Workloads::build("syn.equake", InputSize::Test);
+    DbtRuntime dbt(w.program);
+    auto rec = dbt.record("mret");
+    TranslatedImage opt = translate(w.program, rec.traces, true);
+    EXPECT_GT(opt.optStats.total(), 0u);
+}
+
+} // namespace
+} // namespace tea

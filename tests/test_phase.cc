@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the phase-detection extension.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tea/phase.hh"
+
+namespace tea {
+namespace {
+
+/** Feed synthetic cumulative stats describing one window. */
+ReplayStats
+cumulative(uint64_t blocks, uint64_t cold_exits, uint64_t nte_blocks)
+{
+    ReplayStats st;
+    st.blocks = blocks;
+    st.exitsToCold = cold_exits;
+    st.nteBlocks = nte_blocks;
+    return st;
+}
+
+TEST(PhaseDetector, EmptyDetector)
+{
+    PhaseDetector d;
+    EXPECT_TRUE(d.windows().empty());
+    EXPECT_FALSE(d.inStablePhase());
+    EXPECT_EQ(d.phaseCount(), 0u);
+    EXPECT_EQ(d.longestPhase(), 0u);
+}
+
+TEST(PhaseDetector, ClassifiesWindowsByOffTraceRatio)
+{
+    PhaseDetector d;
+    d.sample(cumulative(1000, 10, 0));   // 1% off-trace -> stable
+    d.sample(cumulative(2000, 510, 0));  // 50% -> unstable
+    d.sample(cumulative(3000, 520, 10)); // 2% -> stable
+    ASSERT_EQ(d.windows().size(), 3u);
+    EXPECT_TRUE(d.windows()[0].stable);
+    EXPECT_FALSE(d.windows()[1].stable);
+    EXPECT_TRUE(d.windows()[2].stable);
+    EXPECT_TRUE(d.inStablePhase());
+    EXPECT_EQ(d.phaseCount(), 2u) << "two maximal stable runs";
+}
+
+TEST(PhaseDetector, CountsNteBlocksAsInstability)
+{
+    PhaseDetector d;
+    d.sample(cumulative(1000, 0, 900)); // warming up: mostly NTE
+    ASSERT_EQ(d.windows().size(), 1u);
+    EXPECT_FALSE(d.windows()[0].stable);
+}
+
+TEST(PhaseDetector, TinyWindowsAreIgnored)
+{
+    PhaseDetector::Config cfg;
+    cfg.minWindowBlocks = 100;
+    PhaseDetector d(cfg);
+    d.sample(cumulative(50, 0, 0));
+    EXPECT_TRUE(d.windows().empty());
+    // The skipped window's deltas fold into the next sample.
+    d.sample(cumulative(500, 5, 0));
+    ASSERT_EQ(d.windows().size(), 1u);
+    EXPECT_EQ(d.windows()[0].blocks, 450u);
+}
+
+TEST(PhaseDetector, LongestPhase)
+{
+    PhaseDetector d;
+    uint64_t blocks = 0, exits = 0;
+    auto window = [&](bool stable) {
+        blocks += 1000;
+        exits += stable ? 0 : 500;
+        d.sample(cumulative(blocks, exits, 0));
+    };
+    window(true);
+    window(true);
+    window(false);
+    window(true);
+    window(true);
+    window(true);
+    EXPECT_EQ(d.phaseCount(), 2u);
+    EXPECT_EQ(d.longestPhase(), 3u);
+}
+
+TEST(PhaseDetector, CustomThreshold)
+{
+    PhaseDetector::Config cfg;
+    cfg.stableExitRatio = 0.30;
+    PhaseDetector d(cfg);
+    d.sample(cumulative(1000, 200, 0)); // 20% < 30% -> stable
+    ASSERT_EQ(d.windows().size(), 1u);
+    EXPECT_TRUE(d.windows()[0].stable);
+}
+
+} // namespace
+} // namespace tea

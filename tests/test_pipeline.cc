@@ -1,0 +1,119 @@
+/**
+ * @file
+ * End-to-end smoke tests: workloads assemble and run; recording under
+ * the DBT produces traces; Algorithm 1 builds a valid TEA; replay on the
+ * unmodified program keeps a precise state map and reasonable coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dbt/runtime.hh"
+#include "tea/builder.hh"
+#include "tea/replayer.hh"
+#include "trace/factory.hh"
+#include "vm/block.hh"
+#include "vm/machine.hh"
+#include "workloads/workload.hh"
+
+namespace tea {
+namespace {
+
+TEST(Pipeline, AllWorkloadsAssembleAndHalt)
+{
+    for (const std::string &name : Workloads::names()) {
+        SCOPED_TRACE(name);
+        Workload w = Workloads::build(name, InputSize::Test);
+        Machine m(w.program);
+        RunExit exit = m.run(50'000'000);
+        EXPECT_EQ(exit, RunExit::Halted) << name << " did not halt";
+        EXPECT_FALSE(m.output().empty()) << name << " printed no checksum";
+        // Test inputs should be around 10^5 dynamic instructions;
+        // enforce a sane band so scaling stays meaningful.
+        EXPECT_GT(m.icountRepAsOne(), 20'000u) << name;
+        EXPECT_LT(m.icountRepAsOne(), 5'000'000u) << name;
+    }
+}
+
+TEST(Pipeline, WorkloadsAreDeterministic)
+{
+    Workload w = Workloads::build("syn.gzip", InputSize::Test);
+    Machine a(w.program);
+    Machine b(w.program);
+    a.run();
+    b.run();
+    EXPECT_EQ(a.output(), b.output());
+    EXPECT_EQ(a.icountRepAsOne(), b.icountRepAsOne());
+}
+
+TEST(Pipeline, RecordBuildReplayRoundTrip)
+{
+    Workload w = Workloads::build("syn.mcf", InputSize::Test);
+
+    // Record with the DBT runtime (StarDBT block policy).
+    DbtRuntime dbt(w.program);
+    auto rec = dbt.record("mret");
+    ASSERT_GT(rec.traces.size(), 0u) << "no traces recorded";
+
+    // Algorithm 1.
+    Tea tea = buildTea(rec.traces);
+    EXPECT_EQ(tea.numTbbStates(), rec.traces.totalBlocks());
+
+    // Replay against the unmodified program with consistency checking.
+    LookupConfig cfg;
+    cfg.checkConsistency = true;
+    TeaReplayer replayer(tea, cfg);
+    Machine m(w.program);
+    BlockTracker tracker(
+        w.program,
+        [&replayer](const BlockTransition &tr) { replayer.feed(tr); },
+        /*rep_per_iteration=*/false);
+    RunExit exit = m.runHooked(
+        [&tracker](const EdgeEvent &ev) { tracker.onEdge(ev); },
+        /*split_at_special=*/false);
+    EXPECT_EQ(exit, RunExit::Halted);
+
+    const ReplayStats &st = replayer.stats();
+    EXPECT_GT(st.insnsTotal, 0u);
+    // The hot list scan dominates; replay coverage must be high.
+    EXPECT_GT(st.coverage(), 0.5) << "coverage " << st.coverage();
+    // Replay coverage is at least the recording-time coverage (the
+    // recorder spent the warm-up outside traces).
+    EXPECT_GE(st.coverage() + 1e-9, rec.stats.coverage());
+}
+
+TEST(Pipeline, AllSelectorsProduceValidTeas)
+{
+    Workload w = Workloads::build("syn.gzip", InputSize::Test);
+    DbtRuntime dbt(w.program);
+    for (const std::string &sel : selectorNames()) {
+        SCOPED_TRACE(sel);
+        auto rec = dbt.record(sel);
+        EXPECT_GT(rec.traces.size(), 0u);
+        Tea tea = buildTea(rec.traces); // validates internally
+        EXPECT_EQ(tea.numTbbStates(), rec.traces.totalBlocks());
+    }
+}
+
+TEST(Pipeline, TranslatedExecutionMatchesNative)
+{
+    for (const char *name : {"syn.mcf", "syn.gzip", "syn.crafty"}) {
+        SCOPED_TRACE(name);
+        Workload w = Workloads::build(name, InputSize::Test);
+
+        Machine native(w.program);
+        native.run();
+
+        DbtRuntime dbt(w.program);
+        auto rec = dbt.record("mret");
+        ASSERT_GT(rec.traces.size(), 0u);
+        TranslatedImage image = translate(w.program, rec.traces);
+        auto run = DbtRuntime::runTranslated(image);
+        EXPECT_TRUE(run.halted);
+        EXPECT_EQ(run.output, native.output())
+            << "replicated trace code diverged from native execution";
+        EXPECT_GT(run.cacheSteps, 0u) << "never executed trace code";
+    }
+}
+
+} // namespace
+} // namespace tea

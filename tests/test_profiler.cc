@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the TeaProfiler: per-copy bins, edge counts, exit
+ * histograms, and report/serialization output.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "util/logging.hh"
+#include "tea/builder.hh"
+#include "tea/profiler.hh"
+#include "tea/recorder.hh"
+#include "trace/mret.hh"
+#include "vm/block.hh"
+#include "vm/machine.hh"
+
+namespace tea {
+namespace {
+
+struct Profiled
+{
+    Program prog;
+    TraceSet traces;
+    Tea tea;
+    std::unique_ptr<TeaReplayer> replayer;
+    std::unique_ptr<TeaProfiler> profiler;
+};
+
+/** Record traces, then profile a replay of the same program. */
+Profiled
+profileProgram(const char *src)
+{
+    Profiled out{assemble(src), {}, {}, nullptr, nullptr};
+
+    TeaRecorder recorder(std::make_unique<MretSelector>());
+    Machine rec(out.prog);
+    BlockTracker rec_tracker(
+        out.prog, [&](const BlockTransition &tr) { recorder.feed(tr); });
+    rec.runHooked([&](const EdgeEvent &ev) { rec_tracker.onEdge(ev); },
+                  false);
+    out.traces = recorder.traces();
+    out.tea = buildTea(out.traces);
+
+    out.replayer =
+        std::make_unique<TeaReplayer>(out.tea, LookupConfig{});
+    out.profiler =
+        std::make_unique<TeaProfiler>(out.tea, *out.replayer);
+    Machine m(out.prog);
+    BlockTracker tracker(out.prog, [&](const BlockTransition &tr) {
+        out.profiler->observe(tr);
+        out.replayer->feed(tr);
+    });
+    m.runHooked([&](const EdgeEvent &ev) { tracker.onEdge(ev); }, false);
+    return out;
+}
+
+const char *kLoopWithExit = R"(
+    main:
+        mov ebp, 1000
+        mov ebx, 3
+    head:
+        mul ebx, 1103515245
+        add ebx, 12345
+        mov eax, ebx
+        shr eax, 16
+        and eax, 7
+        je rare
+        add edi, 1
+        jmp tail
+    rare:
+        sub edi, 9
+    tail:
+        dec ebp
+        jne head
+        halt
+)";
+
+TEST(Profiler, BinsMatchReplayerCounts)
+{
+    Profiled p = profileProgram(kLoopWithExit);
+    ASSERT_GT(p.traces.size(), 0u);
+    const auto &bins = p.profiler->tbbProfiles();
+    ASSERT_EQ(bins.size(), p.tea.numStates());
+    for (StateId id = 1; id < p.tea.numStates(); ++id)
+        EXPECT_EQ(bins[id].executions, p.replayer->execCount(id));
+    // Instruction attribution sums to the machine total.
+    uint64_t instrs = 0;
+    for (const auto &bin : bins)
+        instrs += bin.instructions;
+    EXPECT_EQ(instrs, p.replayer->stats().insnsTotal);
+}
+
+TEST(Profiler, EdgesAndExitsAreCounted)
+{
+    Profiled p = profileProgram(kLoopWithExit);
+    uint64_t edge_total = 0;
+    for (const auto &[key, count] : p.profiler->edgeCounts()) {
+        EXPECT_NE(key.first, Tea::kNteState);
+        EXPECT_NE(key.second, Tea::kNteState);
+        edge_total += count;
+    }
+    EXPECT_EQ(edge_total, p.replayer->stats().intraTraceHits);
+
+    auto hot = p.profiler->hotExits(4);
+    EXPECT_LE(hot.size(), 4u);
+    for (size_t i = 1; i < hot.size(); ++i)
+        EXPECT_GE(hot[i - 1].count, hot[i].count) << "sorted by count";
+}
+
+TEST(Profiler, ReportAndSerializeContainTheData)
+{
+    Profiled p = profileProgram(kLoopWithExit);
+    std::string report = p.profiler->report(&p.prog);
+    EXPECT_NE(report.find("TEA profile"), std::string::npos);
+    EXPECT_NE(report.find("$$T1."), std::string::npos);
+
+    std::string blob = p.profiler->serialize();
+    EXPECT_NE(blob.find("teaprofile 1"), std::string::npos);
+    EXPECT_NE(blob.find("tbb "), std::string::npos);
+}
+
+TEST(Profiler, DuplicatedCopiesGetSeparateBins)
+{
+    // The Figure 1 scenario at the profiler level: the same guest block
+    // in two traces accumulates into two different bins.
+    Profiled p = profileProgram(kLoopWithExit);
+    Addr tail = p.prog.label("tail");
+    std::vector<uint64_t> tail_bins;
+    for (StateId id = 1; id < p.tea.numStates(); ++id)
+        if (p.tea.state(id).start == tail &&
+            p.profiler->tbbProfiles()[id].executions > 0)
+            tail_bins.push_back(p.profiler->tbbProfiles()[id].executions);
+    if (tail_bins.size() >= 2) {
+        uint64_t total = 0;
+        for (uint64_t b : tail_bins)
+            total += b;
+        EXPECT_LE(tail_bins[0], total) << "bins partition the counts";
+    }
+}
+
+TEST(Profiler, TraceEntryCount)
+{
+    Profiled p = profileProgram(kLoopWithExit);
+    ASSERT_GT(p.traces.size(), 0u);
+    EXPECT_GT(p.profiler->traceEntryCount(0), 0.0);
+    EXPECT_EQ(p.profiler->traceEntryCount(9999), 0.0);
+}
+
+
+TEST(Profiler, MergeAccumulatesAStoredProfile)
+{
+    Profiled p = profileProgram(kLoopWithExit);
+    std::string stored = p.profiler->serialize();
+    auto before = p.profiler->tbbProfiles();
+
+    p.profiler->merge(stored); // add this run's own profile once more
+    const auto &after = p.profiler->tbbProfiles();
+    for (StateId id = 1; id < p.tea.numStates(); ++id) {
+        EXPECT_EQ(after[id].executions, 2 * before[id].executions);
+        EXPECT_EQ(after[id].instructions, 2 * before[id].instructions);
+    }
+    // Round trip of the doubled profile parses too.
+    EXPECT_NO_THROW(p.profiler->merge(p.profiler->serialize()));
+}
+
+TEST(Profiler, MergeRejectsMalformedOrForeignProfiles)
+{
+    Profiled p = profileProgram(kLoopWithExit);
+    EXPECT_THROW(p.profiler->merge("garbage"), FatalError);
+    EXPECT_THROW(p.profiler->merge("teaprofile 1\ntbb 99 0 1 1\n"),
+                 FatalError);
+    EXPECT_THROW(p.profiler->merge("teaprofile 1\nedge 0 1 5\n"),
+                 FatalError);
+    EXPECT_THROW(p.profiler->merge("teaprofile 1\nwat 1 2 3\n"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace tea

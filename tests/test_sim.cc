@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the timing-simulator substrate: the bimodal predictor and
+ * the block-granular cycle model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "sim/cycle_model.hh"
+#include "sim/predictor.hh"
+#include "util/logging.hh"
+#include "vm/block.hh"
+#include "vm/machine.hh"
+
+namespace tea {
+namespace {
+
+TEST(Predictor, LearnsAStableDirection)
+{
+    BranchPredictor bp(64);
+    Addr branch = 0x1000;
+    EXPECT_FALSE(bp.predict(branch)) << "starts weakly not-taken";
+    bp.update(branch, true);
+    bp.update(branch, true);
+    EXPECT_TRUE(bp.predict(branch));
+    // A stable branch becomes ~100% predictable.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(bp.update(branch, true));
+}
+
+TEST(Predictor, SaturationAbsorbsOneAnomaly)
+{
+    BranchPredictor bp(64);
+    Addr branch = 0x2000;
+    for (int i = 0; i < 4; ++i)
+        bp.update(branch, true);
+    bp.update(branch, false); // one not-taken
+    EXPECT_TRUE(bp.predict(branch))
+        << "2-bit counters tolerate a single anomaly";
+}
+
+TEST(Predictor, AlternatingBranchesMispredict)
+{
+    BranchPredictor bp(64);
+    Addr branch = 0x3000;
+    for (int i = 0; i < 200; ++i)
+        bp.update(branch, i % 2 == 0);
+    EXPECT_LT(bp.accuracy(), 0.7);
+    EXPECT_EQ(bp.predictions(), 200u);
+    bp.reset();
+    EXPECT_EQ(bp.predictions(), 0u);
+    EXPECT_DOUBLE_EQ(bp.accuracy(), 1.0);
+}
+
+TEST(Predictor, RejectsNonPowerOfTwo)
+{
+    EXPECT_THROW(BranchPredictor(100), FatalError);
+    EXPECT_THROW(BranchPredictor(0), FatalError);
+}
+
+TEST(CycleModel, InsnCostsFollowTheConfig)
+{
+    Program p = assemble("nop\nhalt\n");
+    CycleConfig cfg;
+    CycleModel model(p, cfg);
+
+    Insn add;
+    add.op = Opcode::Add;
+    add.dst = Operand::makeReg(Reg::Eax);
+    add.src = Operand::makeImm(1);
+    EXPECT_EQ(model.insnCost(add), cfg.simpleOp);
+
+    add.src = Operand::makeMem(MemRef{true, Reg::Esi, false, Reg::Eax,
+                                      1, 0});
+    EXPECT_EQ(model.insnCost(add), cfg.simpleOp + cfg.memSurcharge);
+
+    Insn div;
+    div.op = Opcode::Div;
+    div.dst = Operand::makeReg(Reg::Eax);
+    div.src = Operand::makeReg(Reg::Ebx);
+    EXPECT_EQ(model.insnCost(div), cfg.divOp);
+
+    Insn cpuid;
+    cpuid.op = Opcode::Cpuid;
+    EXPECT_EQ(model.insnCost(cpuid), cfg.cpuidOp);
+}
+
+/** Drive a program through the model and return it. */
+uint64_t
+simulate(const Program &p, CycleModel &model)
+{
+    Machine m(p);
+    BlockTracker tracker(
+        p, [&](const BlockTransition &tr) { model.feed(tr); });
+    EXPECT_EQ(m.runHooked(
+                  [&](const EdgeEvent &ev) { tracker.onEdge(ev); }, false),
+              RunExit::Halted);
+    return model.cycles();
+}
+
+TEST(CycleModel, StableLoopHasLowCpi)
+{
+    Program p = assemble(R"(
+        main:
+            mov ecx, 10000
+        loop:
+            add eax, 1
+            add ebx, eax
+            dec ecx
+            jne loop
+            halt
+    )");
+    CycleModel model(p);
+    simulate(p, model);
+    // All simple ops, one perfectly-predicted branch.
+    EXPECT_GT(model.cpi(), 0.9);
+    EXPECT_LT(model.cpi(), 1.5);
+    EXPECT_GT(model.predictor().accuracy(), 0.99);
+}
+
+TEST(CycleModel, RandomBranchesRaiseCpi)
+{
+    Program p = assemble(R"(
+        main:
+            mov ecx, 10000
+            mov ebx, 7
+        loop:
+            mul ebx, 1103515245
+            add ebx, 12345
+            mov eax, ebx
+            shr eax, 16
+            test eax, 1
+            je skip
+            add edi, 1
+        skip:
+            dec ecx
+            jne loop
+            halt
+    )");
+    CycleModel low_penalty_model(p, [] {
+        CycleConfig c;
+        c.mispredictPenalty = 0;
+        return c;
+    }());
+    CycleModel default_model(p);
+    uint64_t without_penalty = simulate(p, low_penalty_model);
+    uint64_t with_penalty = simulate(p, default_model);
+    EXPECT_GT(with_penalty, without_penalty * 110 / 100)
+        << "a 50/50 branch must cost real misprediction cycles";
+    EXPECT_LT(default_model.predictor().accuracy(), 0.85);
+}
+
+TEST(CycleModel, RepIterationsAreCharged)
+{
+    Program p = assemble(R"(
+        main:
+            mov edi, 0x100000
+            mov eax, 1
+            mov ecx, 100
+            repstos
+            halt
+    )");
+    CycleModel model(p);
+    Machine m(p);
+    BlockTracker tracker(
+        p, [&](const BlockTransition &tr) { model.feed(tr); },
+        /*rep_per_iteration=*/true);
+    m.runHooked([&](const EdgeEvent &ev) { tracker.onEdge(ev); }, true);
+    // 100 iterations must dominate the handful of setup instructions.
+    EXPECT_GT(model.cycles(), 100u);
+}
+
+TEST(CycleModel, DeterministicAcrossRuns)
+{
+    Program p = assemble(R"(
+        main:
+            mov ecx, 500
+        loop:
+            add eax, ecx
+            dec ecx
+            jne loop
+            halt
+    )");
+    CycleModel a(p), b(p);
+    EXPECT_EQ(simulate(p, a), simulate(p, b));
+    a.reset();
+    EXPECT_EQ(a.cycles(), 0u);
+}
+
+} // namespace
+} // namespace tea

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Tests for the TEA core: the automaton, Algorithm 1 (builder),
+ * Algorithm 2 (recorder), the replayer's transition function under all
+ * lookup configurations, and TEA serialization.
+ *
+ * The parameterized suites sweep (workload x selector) and assert the
+ * paper's properties on every combination:
+ *  - Property 1/2 (via Tea::validate, called inside buildTea),
+ *  - determinism,
+ *  - the "precise map" (replay state always matches the executing block),
+ *  - lookup-configuration equivalence (all four configs of §4.2 compute
+ *    the same state sequence; they only differ in speed).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tea/builder.hh"
+#include "tea/recorder.hh"
+#include "tea/replayer.hh"
+#include "tea/serialize.hh"
+#include "trace/factory.hh"
+#include "util/logging.hh"
+#include "vm/block.hh"
+#include "vm/machine.hh"
+#include "workloads/workload.hh"
+
+namespace tea {
+namespace {
+
+TraceSet
+record(const Program &prog, const std::string &selector)
+{
+    TeaRecorder recorder(makeSelector(selector));
+    Machine m(prog);
+    BlockTracker tracker(
+        prog, [&](const BlockTransition &tr) { recorder.feed(tr); });
+    m.runHooked([&](const EdgeEvent &ev) { tracker.onEdge(ev); }, false);
+    return recorder.traces();
+}
+
+TEST(Automaton, EmptyTeaHasOnlyNte)
+{
+    Tea tea;
+    EXPECT_EQ(tea.numStates(), 1u);
+    EXPECT_EQ(tea.numTbbStates(), 0u);
+    EXPECT_EQ(tea.numTransitions(), 0u);
+    EXPECT_EQ(tea.entryAt(0x1000), Tea::kNteState);
+    EXPECT_EQ(tea.nextState(Tea::kNteState, 0x1000), Tea::kNteState);
+}
+
+TEST(Automaton, HandBuiltTransitions)
+{
+    // Two-trace automaton mirroring Figure 3: T1 = {A, B}, T2 = {C}.
+    Tea tea;
+    StateId a = tea.addState(0, 0, 0x1000, 0x1008, true);
+    StateId b = tea.addState(0, 1, 0x1010, 0x1018, false);
+    StateId c = tea.addState(1, 0, 0x2000, 0x2008, true);
+    tea.addTransition(a, b);
+    tea.addTransition(b, a);
+    tea.addEntry(a);
+    tea.addEntry(c);
+
+    // NTE enters traces only at their entries.
+    EXPECT_EQ(tea.nextState(Tea::kNteState, 0x1000), a);
+    EXPECT_EQ(tea.nextState(Tea::kNteState, 0x2000), c);
+    EXPECT_EQ(tea.nextState(Tea::kNteState, 0x1010), Tea::kNteState)
+        << "mid-trace blocks are not entry points";
+
+    // Intra-trace transitions follow the labels.
+    EXPECT_EQ(tea.nextState(a, 0x1010), b);
+    EXPECT_EQ(tea.nextState(b, 0x1000), a);
+
+    // Leaving a trace falls back to NTE or into another trace's entry.
+    EXPECT_EQ(tea.nextState(a, 0x3000), Tea::kNteState);
+    EXPECT_EQ(tea.nextState(a, 0x2000), c) << "trace-to-trace";
+
+    EXPECT_EQ(tea.stateFor(0, 1), b);
+    EXPECT_EQ(tea.stateFor(9, 0), Tea::kNteState);
+    EXPECT_EQ(tea.numTransitions(), 4u); // 2 intra + 2 entries
+}
+
+TEST(Automaton, DuplicateEntriesRejected)
+{
+    Tea tea;
+    StateId a = tea.addState(0, 0, 0x1000, 0x1008, false);
+    StateId b = tea.addState(1, 0, 0x1000, 0x100c, false);
+    tea.addEntry(a);
+    EXPECT_THROW(tea.addEntry(b), PanicError);
+}
+
+TEST(Builder, Figure2Example)
+{
+    // T1 = {begin, header, next}, T2 = {inc, next}: the paper's traces.
+    TraceSet traces;
+    Trace t1;
+    t1.blocks.push_back({0x1000, 0x1004, true});  // $$T1.begin
+    t1.blocks.push_back({0x1008, 0x100c, false}); // $$T1.header
+    t1.blocks.push_back({0x1014, 0x1018, false}); // $$T1.next
+    t1.edges.push_back({0, 1});
+    t1.edges.push_back({1, 2});
+    t1.edges.push_back({2, 0});
+    traces.add(t1);
+    Trace t2;
+    t2.blocks.push_back({0x1010, 0x1010, false}); // $$T2.inc
+    t2.blocks.push_back({0x1014, 0x1018, false}); // $$T2.next
+    t2.edges.push_back({0, 1});
+    traces.add(t2);
+
+    Tea tea = buildTea(traces); // validates Properties 1 and 2
+    EXPECT_EQ(tea.numTbbStates(), 5u);
+
+    // The paper's precision claim: the two instances of block "next"
+    // are distinct states, distinguishable by the current state.
+    StateId t1_next = tea.stateFor(0, 2);
+    StateId t2_next = tea.stateFor(1, 1);
+    EXPECT_NE(t1_next, t2_next);
+    EXPECT_EQ(tea.state(t1_next).start, tea.state(t2_next).start);
+
+    // From $$T1.header, PC 0x1014 means $$T1.next...
+    EXPECT_EQ(tea.nextState(tea.stateFor(0, 1), 0x1014), t1_next);
+    // ...but from $$T2.inc it means $$T2.next.
+    EXPECT_EQ(tea.nextState(tea.stateFor(1, 0), 0x1014), t2_next);
+
+    std::string dot = tea.toDot("fig3");
+    EXPECT_NE(dot.find("NTE"), std::string::npos);
+    EXPECT_NE(dot.find("$$T1."), std::string::npos);
+    EXPECT_NE(dot.find("$$T2."), std::string::npos);
+}
+
+TEST(Serialize, EmptyAndRoundTrip)
+{
+    Tea empty;
+    auto bytes = saveTea(empty);
+    EXPECT_EQ(bytes.size(), empty.serializedBytes());
+    Tea loaded = loadTea(bytes);
+    EXPECT_EQ(loaded.numTbbStates(), 0u);
+
+    EXPECT_THROW(loadTea({1, 2, 3, 4}), FatalError);
+}
+
+TEST(Serialize, CorruptionDetected)
+{
+    Tea tea;
+    tea.addState(0, 0, 0x1000, 0x1008, true);
+    tea.addEntry(1);
+    auto bytes = saveTea(tea);
+    auto truncated = bytes;
+    truncated.pop_back();
+    EXPECT_THROW(loadTea(truncated), FatalError);
+    auto padded = bytes;
+    padded.push_back(0);
+    EXPECT_THROW(loadTea(padded), FatalError);
+}
+
+/** (workload, selector) sweep fixture. */
+class TeaPipeline
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::string>>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        workload = Workloads::build(std::get<0>(GetParam()),
+                                    InputSize::Test);
+        traces = record(workload.program, std::get<1>(GetParam()));
+    }
+
+    Workload workload;
+    TraceSet traces;
+};
+
+TEST_P(TeaPipeline, BuilderSatisfiesPaperProperties)
+{
+    Tea tea = buildTea(traces); // throws if Property 1/2 violated
+    EXPECT_EQ(tea.numTbbStates(), traces.totalBlocks());
+    // Every trace entry reachable from NTE.
+    for (const Trace &t : traces.all())
+        EXPECT_EQ(tea.entryAt(t.entry()), tea.stateFor(t.id, 0));
+}
+
+TEST_P(TeaPipeline, SerializationRoundTripsExactly)
+{
+    Tea tea = buildTea(traces);
+    auto bytes = saveTea(tea);
+    EXPECT_EQ(bytes.size(), tea.serializedBytes());
+    Tea loaded = loadTea(bytes);
+    ASSERT_EQ(loaded.numStates(), tea.numStates());
+    ASSERT_EQ(loaded.numTransitions(), tea.numTransitions());
+    for (StateId id = 1; id < tea.numStates(); ++id) {
+        const TeaState &a = tea.state(id);
+        const TeaState &b = loaded.state(id);
+        EXPECT_EQ(a.trace, b.trace);
+        EXPECT_EQ(a.tbb, b.tbb);
+        EXPECT_EQ(a.start, b.start);
+        EXPECT_EQ(a.end, b.end);
+        EXPECT_EQ(a.loopHeader, b.loopHeader);
+        EXPECT_EQ(a.succs, b.succs);
+    }
+    loaded.validate(traces);
+}
+
+TEST_P(TeaPipeline, ReplayKeepsThePreciseMap)
+{
+    Tea tea = buildTea(traces);
+    LookupConfig cfg;
+    cfg.checkConsistency = true; // panics on any state/PC divergence
+    TeaReplayer replayer(tea, cfg);
+    Machine m(workload.program);
+    BlockTracker tracker(
+        workload.program,
+        [&](const BlockTransition &tr) { replayer.feed(tr); });
+    EXPECT_EQ(m.runHooked(
+                  [&](const EdgeEvent &ev) { tracker.onEdge(ev); }, false),
+              RunExit::Halted);
+    if (!traces.empty()) {
+        EXPECT_GT(replayer.stats().insnsInTrace, 0u);
+    }
+    // Edge instrumentation sees no intra-REP boundaries, so the replay
+    // counts each REP once (the StarDBT convention).
+    EXPECT_EQ(replayer.stats().insnsTotal, m.icountRepAsOne());
+}
+
+TEST_P(TeaPipeline, AllLookupConfigsComputeTheSameStateSequence)
+{
+    Tea tea = buildTea(traces);
+    const LookupConfig configs[] = {
+        {true, true, false},
+        {true, false, false},
+        {false, true, false},
+        {false, false, false},
+    };
+    std::vector<std::vector<StateId>> sequences;
+    for (const LookupConfig &cfg : configs) {
+        TeaReplayer replayer(tea, cfg);
+        std::vector<StateId> seq;
+        Machine m(workload.program);
+        BlockTracker tracker(workload.program,
+                             [&](const BlockTransition &tr) {
+                                 replayer.feed(tr);
+                                 seq.push_back(replayer.currentState());
+                             });
+        m.runHooked([&](const EdgeEvent &ev) { tracker.onEdge(ev); },
+                    false);
+        sequences.push_back(std::move(seq));
+    }
+    for (size_t i = 1; i < std::size(configs); ++i)
+        EXPECT_EQ(sequences[i], sequences[0])
+            << "lookup structures must only affect speed, config " << i;
+}
+
+TEST_P(TeaPipeline, OnlineRecordingMatchesItsOwnReplay)
+{
+    // Record online (Algorithm 2), then replay the resulting automaton:
+    // replay coverage must be at least the recording coverage.
+    TeaRecorder recorder(makeSelector(std::get<1>(GetParam())));
+    Machine m(workload.program);
+    BlockTracker rec_tracker(
+        workload.program,
+        [&](const BlockTransition &tr) { recorder.feed(tr); });
+    m.runHooked([&](const EdgeEvent &ev) { rec_tracker.onEdge(ev); },
+                false);
+
+    Tea tea = buildTea(recorder.traces());
+    TeaReplayer replayer(tea, LookupConfig{});
+    Machine m2(workload.program);
+    BlockTracker replay_tracker(
+        workload.program,
+        [&](const BlockTransition &tr) { replayer.feed(tr); });
+    m2.runHooked([&](const EdgeEvent &ev) { replay_tracker.onEdge(ev); },
+                 false);
+
+    EXPECT_GE(replayer.stats().coverage() + 1e-9,
+              recorder.stats().coverage());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadsBySelectors, TeaPipeline,
+    ::testing::Combine(::testing::Values("syn.mcf", "syn.gzip",
+                                         "syn.crafty", "syn.mesa",
+                                         "syn.perlbmk", "syn.swim"),
+                       ::testing::Values("mret", "tt", "ctt", "mfet")),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param) + "_" +
+                           std::get<1>(info.param);
+        for (char &c : name)
+            if (c == '.')
+                c = '_';
+        return name;
+    });
+
+TEST(Recorder, StartsEmptyAndGrows)
+{
+    Workload w = Workloads::build("syn.mcf", InputSize::Test);
+    TeaRecorder recorder(makeSelector("mret"));
+    EXPECT_EQ(recorder.traces().size(), 0u);
+    EXPECT_EQ(recorder.tea().numTbbStates(), 0u);
+    EXPECT_FALSE(recorder.creating());
+
+    Machine m(w.program);
+    BlockTracker tracker(
+        w.program, [&](const BlockTransition &tr) { recorder.feed(tr); });
+    m.runHooked([&](const EdgeEvent &ev) { tracker.onEdge(ev); }, false);
+
+    EXPECT_GT(recorder.traces().size(), 0u);
+    EXPECT_GT(recorder.installs(), 0u);
+    EXPECT_EQ(recorder.tea().numTbbStates(),
+              recorder.traces().totalBlocks());
+    EXPECT_FALSE(recorder.creating()) << "recording must have finished";
+    EXPECT_EQ(recorder.stats().insnsTotal, m.icountRepAsOne());
+}
+
+TEST(Replayer, ProfilesPerCopyCounts)
+{
+    // Duplicated-block profiling: distinct TBB states get distinct bins.
+    TraceSet traces;
+    Trace t;
+    t.blocks.push_back({0x1000, 0x1008, true});
+    t.blocks.push_back({0x1010, 0x1018, false});
+    t.edges.push_back({0, 1});
+    t.edges.push_back({1, 0});
+    traces.add(t);
+    Tea tea = buildTea(traces);
+    TeaReplayer replayer(tea, LookupConfig{});
+
+    auto feed = [&](Addr start, Addr end, Addr to) {
+        BlockTransition tr{};
+        tr.from = {start, end, 2};
+        tr.toStart = to;
+        tr.kind = EdgeKind::BranchTaken;
+        replayer.feed(tr);
+    };
+    // NTE -> enter trace -> loop twice -> exit to cold.
+    feed(0x0500, 0x0504, 0x1000);
+    feed(0x1000, 0x1008, 0x1010);
+    feed(0x1010, 0x1018, 0x1000);
+    feed(0x1000, 0x1008, 0x1010);
+    feed(0x1010, 0x1018, 0x9000);
+    feed(0x9000, 0x9004, kNoAddr);
+
+    EXPECT_EQ(replayer.execCountFor(0, 0), 2u);
+    EXPECT_EQ(replayer.execCountFor(0, 1), 2u);
+    EXPECT_EQ(replayer.stats().traceExits, 1u);
+    EXPECT_EQ(replayer.stats().exitsToCold, 1u);
+    EXPECT_EQ(replayer.stats().nteBlocks, 2u);
+    EXPECT_EQ(replayer.stats().intraTraceHits, 3u);
+    EXPECT_DOUBLE_EQ(replayer.stats().coverage(), 8.0 / 12.0);
+
+    replayer.reset();
+    EXPECT_EQ(replayer.currentState(), Tea::kNteState);
+    EXPECT_EQ(replayer.stats().blocks, 0u);
+    EXPECT_EQ(replayer.execCountFor(0, 0), 0u);
+}
+
+TEST(Replayer, ConsistencyCheckCatchesDesync)
+{
+    TraceSet traces;
+    Trace t;
+    t.blocks.push_back({0x1000, 0x1008, true});
+    traces.add(t);
+    Tea tea = buildTea(traces);
+    LookupConfig cfg;
+    cfg.checkConsistency = true;
+    TeaReplayer replayer(tea, cfg);
+    replayer.setCurrentState(1);
+
+    BlockTransition wrong{};
+    wrong.from = {0x2000, 0x2008, 1}; // state says 0x1000 is executing
+    wrong.toStart = 0x3000;
+    wrong.kind = EdgeKind::Jump;
+    EXPECT_THROW(replayer.feed(wrong), PanicError);
+}
+
+} // namespace
+} // namespace tea

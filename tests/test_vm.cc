@@ -1,0 +1,508 @@
+/**
+ * @file
+ * Tests for the VM: memory, instruction semantics (including flags),
+ * edge events, instruction-count policies, and dynamic block discovery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "util/logging.hh"
+#include "vm/block.hh"
+#include "vm/machine.hh"
+
+namespace tea {
+namespace {
+
+/** Assemble, run to halt, and return the machine for inspection. */
+Machine
+runProgram(const std::string &body)
+{
+    Program p = assemble(body);
+    Machine m(p);
+    EXPECT_EQ(m.run(1'000'000), RunExit::Halted);
+    return m;
+}
+
+TEST(Memory, ZeroFilledOnFirstTouch)
+{
+    Memory mem;
+    EXPECT_EQ(mem.load32(0x100000), 0u);
+    EXPECT_EQ(mem.load8(0xdeadbeef), 0u);
+    EXPECT_EQ(mem.residentPages(), 0u) << "loads must not allocate";
+}
+
+TEST(Memory, StoreLoadRoundTrip)
+{
+    Memory mem;
+    mem.store32(0x1234, 0xcafebabe);
+    EXPECT_EQ(mem.load32(0x1234), 0xcafebabeu);
+    EXPECT_EQ(mem.load8(0x1234), 0xbeu) << "little endian";
+    EXPECT_EQ(mem.load8(0x1237), 0xcau);
+}
+
+TEST(Memory, WordStraddlingPages)
+{
+    Memory mem;
+    Addr addr = Memory::kPageSize - 2;
+    mem.store32(addr, 0x11223344);
+    EXPECT_EQ(mem.load32(addr), 0x11223344u);
+    EXPECT_EQ(mem.residentPages(), 2u);
+    mem.clear();
+    EXPECT_EQ(mem.residentPages(), 0u);
+}
+
+TEST(Semantics, MovAndArithmetic)
+{
+    Machine m = runProgram(R"(
+        mov eax, 10
+        mov ebx, 3
+        sub eax, ebx
+        mul eax, ebx
+        out eax
+        halt
+    )");
+    EXPECT_EQ(m.output().at(0), 21u);
+}
+
+TEST(Semantics, DivAndMod)
+{
+    Machine m = runProgram(R"(
+        mov eax, -17
+        mov ebx, 5
+        mov ecx, eax
+        div eax, ebx
+        mod ecx, ebx
+        out eax
+        out ecx
+        halt
+    )");
+    EXPECT_EQ(static_cast<int32_t>(m.output().at(0)), -3)
+        << "C-style truncating division";
+    EXPECT_EQ(static_cast<int32_t>(m.output().at(1)), -2);
+}
+
+TEST(Semantics, DivisionFaults)
+{
+    Program by_zero = assemble("mov eax, 1\nmov ebx, 0\ndiv eax, ebx\nhalt\n");
+    Machine m1(by_zero);
+    EXPECT_THROW(m1.run(), FatalError);
+
+    Program overflow = assemble(
+        "mov eax, -2147483648\nmov ebx, -1\ndiv eax, ebx\nhalt\n");
+    Machine m2(overflow);
+    EXPECT_THROW(m2.run(), FatalError);
+}
+
+TEST(Semantics, FlagsFromCmp)
+{
+    // signed: -1 < 1; unsigned: 0xffffffff > 1.
+    Machine m = runProgram(R"(
+        mov eax, -1
+        cmp eax, 1
+        jl signed_less
+        out 0
+        halt
+    signed_less:
+        cmp eax, 1
+        ja unsigned_above
+        out 0
+        halt
+    unsigned_above:
+        out 1
+        halt
+    )");
+    EXPECT_EQ(m.output().at(0), 1u);
+}
+
+TEST(Semantics, ConditionalJumpMatrix)
+{
+    // Each comparison routes to a distinct out value.
+    struct Case
+    {
+        const char *jump;
+        int32_t a, b;
+        bool taken;
+    };
+    const Case cases[] = {
+        {"je", 5, 5, true},    {"je", 5, 6, false},
+        {"jne", 5, 6, true},   {"jne", 5, 5, false},
+        {"jl", -2, 3, true},   {"jl", 3, -2, false},
+        {"jle", 3, 3, true},   {"jle", 4, 3, false},
+        {"jg", 4, 3, true},    {"jg", 3, 3, false},
+        {"jge", 3, 3, true},   {"jge", -4, 3, false},
+        {"jb", 1, 2, true},    {"jb", -1, 2, false}, // unsigned!
+        {"jbe", 2, 2, true},   {"jbe", 3, 2, false},
+        {"ja", -1, 2, true},   {"ja", 2, 2, false},
+        {"jae", 2, 2, true},   {"jae", 1, 2, false},
+    };
+    for (const Case &c : cases) {
+        std::string src = strprintf(
+            "mov eax, %d\ncmp eax, %d\n%s yes\nout 0\nhalt\n"
+            "yes:\nout 1\nhalt\n",
+            c.a, c.b, c.jump);
+        Machine m = runProgram(src);
+        EXPECT_EQ(m.output().at(0), c.taken ? 1u : 0u)
+            << c.jump << " " << c.a << "," << c.b;
+    }
+}
+
+TEST(Semantics, SignFlagJumps)
+{
+    Machine m = runProgram(R"(
+        mov eax, 1
+        sub eax, 5
+        js negative
+        out 0
+        halt
+    negative:
+        out 1
+        halt
+    )");
+    EXPECT_EQ(m.output().at(0), 1u);
+}
+
+TEST(Semantics, IncDecPreserveCarry)
+{
+    // Set CF via a borrowing sub, then dec; CF must survive for jb.
+    Machine m = runProgram(R"(
+        mov eax, 0
+        sub eax, 1       ; CF := 1
+        mov ebx, 5
+        dec ebx          ; must not clobber CF
+        jb carry_kept
+        out 0
+        halt
+    carry_kept:
+        out 1
+        halt
+    )");
+    EXPECT_EQ(m.output().at(0), 1u);
+}
+
+TEST(Semantics, AdcChain)
+{
+    // 0xffffffff + 1 carries into the next limb.
+    Machine m = runProgram(R"(
+        mov eax, -1       ; low limb a
+        mov ebx, 0        ; high limb a
+        cmp eax, eax      ; clear CF
+        add eax, 1        ; CF := 1
+        adc ebx, 0        ; high limb += carry
+        out eax
+        out ebx
+        halt
+    )");
+    EXPECT_EQ(m.output().at(0), 0u);
+    EXPECT_EQ(m.output().at(1), 1u);
+}
+
+TEST(Semantics, ShiftsAndLogic)
+{
+    Machine m = runProgram(R"(
+        mov eax, -8
+        mov ebx, eax
+        mov ecx, eax
+        shr eax, 1
+        sar ebx, 1
+        shl ecx, 1
+        out eax
+        out ebx
+        out ecx
+        mov edx, 0xf0
+        and edx, 0x3c
+        out edx
+        mov esi, 5
+        not esi
+        out esi
+        mov edi, 5
+        neg edi
+        out edi
+        halt
+    )");
+    EXPECT_EQ(m.output().at(0), 0x7ffffffcu);
+    EXPECT_EQ(static_cast<int32_t>(m.output().at(1)), -4);
+    EXPECT_EQ(static_cast<int32_t>(m.output().at(2)), -16);
+    EXPECT_EQ(m.output().at(3), 0x30u);
+    EXPECT_EQ(m.output().at(4), ~5u);
+    EXPECT_EQ(static_cast<int32_t>(m.output().at(5)), -5);
+}
+
+TEST(Semantics, StackAndCalls)
+{
+    Machine m = runProgram(R"(
+        main:
+            mov eax, 5
+            push eax
+            mov eax, 7
+            call double_it
+            pop ebx
+            out eax
+            out ebx
+            halt
+        double_it:
+            add eax, eax
+            ret
+    )");
+    EXPECT_EQ(m.output().at(0), 14u);
+    EXPECT_EQ(m.output().at(1), 5u);
+}
+
+TEST(Semantics, IndirectJumpAndCall)
+{
+    Machine m = runProgram(R"(
+        .org 0x1000
+        main:
+            mov eax, target
+            jmp eax
+            out 0
+            halt
+        target:
+            mov ebx, fn
+            call ebx
+            out eax
+            halt
+        fn:
+            mov eax, 77
+            ret
+    )");
+    EXPECT_EQ(m.output().at(0), 77u);
+}
+
+TEST(Semantics, XchgAndLea)
+{
+    Machine m = runProgram(R"(
+        mov eax, 1
+        mov ebx, 2
+        xchg eax, ebx
+        out eax
+        out ebx
+        mov esi, 100
+        mov ecx, 3
+        lea edx, [esi + ecx*4 + 7]
+        out edx
+        halt
+    )");
+    EXPECT_EQ(m.output().at(0), 2u);
+    EXPECT_EQ(m.output().at(1), 1u);
+    EXPECT_EQ(m.output().at(2), 119u);
+}
+
+TEST(Semantics, RepMovsAndStos)
+{
+    Machine m = runProgram(R"(
+        .org 0x1000
+        main:
+            mov edi, 0x100000
+            mov eax, 42
+            mov ecx, 10
+            repstos
+            mov esi, 0x100000
+            mov edi, 0x200000
+            mov ecx, 10
+            repmovs
+            mov eax, [0x200024]   ; last copied word
+            out eax
+            out ecx               ; ecx exhausted
+            out esi               ; advanced by 40
+            halt
+    )");
+    EXPECT_EQ(m.output().at(0), 42u);
+    EXPECT_EQ(m.output().at(1), 0u);
+    EXPECT_EQ(m.output().at(2), 0x100028u);
+}
+
+TEST(Semantics, RepScasFindsValue)
+{
+    Machine m = runProgram(R"(
+        .org 0x1000
+        main:
+            mov edi, 0x100000
+            mov eax, 7
+            mov ecx, 8
+            repscas
+            je found
+            out 0
+            halt
+        found:
+            out edi
+            halt
+        .data 0x100000
+        .word 1 2 3 7 5 6 7 8
+    )");
+    // Found at index 3; edi advanced past the match.
+    EXPECT_EQ(m.output().at(0), 0x100000u + 16u);
+}
+
+TEST(Semantics, RepWithZeroCountIsNoop)
+{
+    Machine m = runProgram(R"(
+        mov ecx, 0
+        mov edi, 0x100000
+        mov eax, 9
+        repstos
+        mov ebx, [0x100000]
+        out ebx
+        halt
+    )");
+    EXPECT_EQ(m.output().at(0), 0u);
+}
+
+TEST(Semantics, CpuidWritesModelRegisters)
+{
+    Machine m = runProgram("cpuid\nout eax\nout ebx\nhalt\n");
+    EXPECT_EQ(m.output().at(0), 0x54494e59u);
+    EXPECT_EQ(m.output().at(1), 0x58383621u);
+}
+
+TEST(CountPolicies, RepCountsDifferPerPolicy)
+{
+    Program p = assemble(R"(
+        mov ecx, 10
+        mov edi, 0x100000
+        mov eax, 1
+        repstos
+        halt
+    )");
+    Machine m(p);
+    m.run();
+    // 5 instructions as one each (StarDBT), but the REP expands to 10
+    // iterations under the Pin convention (§4.1).
+    EXPECT_EQ(m.icountRepAsOne(), 5u);
+    EXPECT_EQ(m.icountRepPerIter(), 5u + 9u);
+}
+
+TEST(Machine, StepLimitStopsRunawayGuests)
+{
+    Program p = assemble("spin:\njmp spin\nhalt\n");
+    Machine m(p);
+    EXPECT_EQ(m.run(1000), RunExit::StepLimit);
+    EXPECT_FALSE(m.halted());
+}
+
+TEST(Machine, ResetRestoresInitialState)
+{
+    Program p = assemble(R"(
+        main:
+            mov eax, [counter]
+            add eax, 1
+            mov [counter], eax
+            out eax
+            halt
+        .data 0x100000
+        counter:
+            .word 100
+    )");
+    Machine m(p);
+    m.run();
+    EXPECT_EQ(m.output().at(0), 101u);
+    m.reset();
+    m.run();
+    EXPECT_EQ(m.output().at(0), 101u) << "data must be re-initialized";
+}
+
+TEST(Machine, EdgeEventsDescribeControlFlow)
+{
+    Program p = assemble(R"(
+        main:
+            mov eax, 2
+        loop:
+            dec eax
+            jne loop
+            call fn
+            halt
+        fn:
+            ret
+    )");
+    Machine m(p);
+    std::vector<EdgeKind> kinds;
+    m.runHooked([&](const EdgeEvent &ev) { kinds.push_back(ev.kind); },
+                false);
+    ASSERT_EQ(kinds.size(), 5u);
+    EXPECT_EQ(kinds[0], EdgeKind::BranchTaken);
+    EXPECT_EQ(kinds[1], EdgeKind::BranchNotTaken);
+    EXPECT_EQ(kinds[2], EdgeKind::Call);
+    EXPECT_EQ(kinds[3], EdgeKind::Ret);
+    EXPECT_EQ(kinds[4], EdgeKind::Halt);
+}
+
+TEST(BlockTracker, TracksBlockBoundaries)
+{
+    Program p = assemble(R"(
+        main:
+            mov eax, 3
+        loop:
+            dec eax
+            jne loop
+            halt
+    )");
+    Machine m(p);
+    std::vector<BlockTransition> transitions;
+    BlockTracker tracker(
+        p, [&](const BlockTransition &tr) { transitions.push_back(tr); });
+    m.runHooked([&](const EdgeEvent &ev) { tracker.onEdge(ev); }, false);
+
+    // [main..jne] taken, [loop..jne] taken, [loop..jne] not taken,
+    // then the halt block.
+    ASSERT_EQ(transitions.size(), 4u);
+    EXPECT_EQ(transitions[0].from.start, p.label("main"));
+    EXPECT_EQ(transitions[0].from.icount, 3u);
+    EXPECT_EQ(transitions[0].toStart, p.label("loop"));
+    EXPECT_EQ(transitions[1].from.start, p.label("loop"));
+    EXPECT_EQ(transitions[1].from.icount, 2u);
+    EXPECT_EQ(transitions[2].kind, EdgeKind::BranchNotTaken);
+    EXPECT_EQ(transitions[3].kind, EdgeKind::Halt);
+    EXPECT_EQ(transitions[3].toStart, kNoAddr);
+    EXPECT_EQ(tracker.blocks().size(), 3u)
+        << "main-block, loop-block, halt-block";
+}
+
+TEST(BlockTracker, PinPolicySplitsAtSpecials)
+{
+    Program p = assemble(R"(
+        main:
+            mov eax, 1
+            cpuid
+            mov ebx, 2
+            halt
+    )");
+    auto count_blocks = [&](bool split) {
+        Machine m(p);
+        size_t n = 0;
+        BlockTracker tracker(p, [&](const BlockTransition &) { ++n; });
+        m.runHooked([&](const EdgeEvent &ev) { tracker.onEdge(ev); },
+                    split);
+        return n;
+    };
+    EXPECT_EQ(count_blocks(false), 1u) << "StarDBT: one block to halt";
+    EXPECT_EQ(count_blocks(true), 3u)
+        << "Pin: [mov], [cpuid], [mov halt]";
+}
+
+TEST(BlockTracker, RepIterationCountPolicy)
+{
+    Program p = assemble(R"(
+        main:
+            mov edi, 0x100000
+            mov eax, 5
+            mov ecx, 4
+            repstos
+            halt
+    )");
+    auto total_icount = [&](bool per_iter) {
+        Machine m(p);
+        uint64_t icount = 0;
+        BlockTracker tracker(
+            p,
+            [&](const BlockTransition &tr) { icount += tr.from.icount; },
+            per_iter);
+        m.runHooked([&](const EdgeEvent &ev) { tracker.onEdge(ev); },
+                    true);
+        return icount;
+    };
+    EXPECT_EQ(total_icount(false), 5u);
+    EXPECT_EQ(total_icount(true), 8u); // repstos counts 4 iterations
+}
+
+} // namespace
+} // namespace tea

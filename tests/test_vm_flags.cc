@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Property tests for the ALU flag semantics: every arithmetic opcode is
+ * driven with random operands through the Machine and compared against
+ * an independently written reference model (IA-32 semantics). The
+ * conditional-jump predicates are then derived from the same flags, so
+ * this pins down the part of the ISA the trace selectors depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "vm/machine.hh"
+
+namespace tea {
+namespace {
+
+/** Reference flag computation, written independently of machine.cc. */
+struct Ref
+{
+    uint32_t result;
+    bool zf, sf, cf, of;
+    bool cfValid = true; ///< some ops leave CF untouched
+    bool ofValid = true;
+};
+
+Ref
+refAdd(uint32_t a, uint32_t b)
+{
+    uint64_t wide = static_cast<uint64_t>(a) + b;
+    uint32_t r = static_cast<uint32_t>(wide);
+    int64_t swide = static_cast<int64_t>(static_cast<int32_t>(a)) +
+                    static_cast<int32_t>(b);
+    return {r, r == 0, static_cast<int32_t>(r) < 0, wide > 0xffffffffull,
+            swide != static_cast<int32_t>(r)};
+}
+
+Ref
+refSub(uint32_t a, uint32_t b)
+{
+    uint32_t r = a - b;
+    int64_t swide = static_cast<int64_t>(static_cast<int32_t>(a)) -
+                    static_cast<int32_t>(b);
+    return {r, r == 0, static_cast<int32_t>(r) < 0, a < b,
+            swide != static_cast<int32_t>(r)};
+}
+
+Ref
+refLogic(char op, uint32_t a, uint32_t b)
+{
+    uint32_t r = op == '&' ? (a & b) : op == '|' ? (a | b) : (a ^ b);
+    return {r, r == 0, static_cast<int32_t>(r) < 0, false, false};
+}
+
+/** Execute `mnemonic eax, imm(b)` with eax = a; return machine state. */
+struct Outcome
+{
+    uint32_t result;
+    Flags flags;
+};
+
+Outcome
+execute(const std::string &mnemonic, uint32_t a, uint32_t b)
+{
+    // Set flags to a known junk state first so "must set" is testable.
+    std::string src = strprintf(
+        "mov eax, %d\nmov ebx, %d\n%s eax, ebx\nhalt\n",
+        static_cast<int32_t>(a), static_cast<int32_t>(b),
+        mnemonic.c_str());
+    Program p = assemble(src);
+    Machine m(p);
+    EXPECT_EQ(m.run(100), RunExit::Halted);
+    return {m.reg(Reg::Eax), m.flags()};
+}
+
+class FlagSemantics : public ::testing::TestWithParam<uint64_t>
+{
+  protected:
+    Xorshift64Star rng{GetParam()};
+
+    uint32_t
+    interesting()
+    {
+        // Mix random values with boundary cases.
+        switch (rng.nextBelow(6)) {
+          case 0: return 0;
+          case 1: return 1;
+          case 2: return 0x7fffffff;
+          case 3: return 0x80000000;
+          case 4: return 0xffffffff;
+          default: return static_cast<uint32_t>(rng.next());
+        }
+    }
+};
+
+TEST_P(FlagSemantics, AddMatchesReference)
+{
+    for (int i = 0; i < 200; ++i) {
+        uint32_t a = interesting(), b = interesting();
+        Ref ref = refAdd(a, b);
+        Outcome out = execute("add", a, b);
+        EXPECT_EQ(out.result, ref.result) << a << "+" << b;
+        EXPECT_EQ(out.flags.zf, ref.zf);
+        EXPECT_EQ(out.flags.sf, ref.sf);
+        EXPECT_EQ(out.flags.cf, ref.cf) << a << "+" << b;
+        EXPECT_EQ(out.flags.of, ref.of) << a << "+" << b;
+    }
+}
+
+TEST_P(FlagSemantics, SubAndCmpMatchReference)
+{
+    for (int i = 0; i < 200; ++i) {
+        uint32_t a = interesting(), b = interesting();
+        Ref ref = refSub(a, b);
+        Outcome sub = execute("sub", a, b);
+        EXPECT_EQ(sub.result, ref.result);
+        EXPECT_EQ(sub.flags.cf, ref.cf) << a << "-" << b;
+        EXPECT_EQ(sub.flags.of, ref.of) << a << "-" << b;
+        Outcome cmp = execute("cmp", a, b);
+        EXPECT_EQ(cmp.result, a) << "cmp must not write";
+        EXPECT_EQ(cmp.flags.zf, ref.zf);
+        EXPECT_EQ(cmp.flags.sf, ref.sf);
+        EXPECT_EQ(cmp.flags.cf, ref.cf);
+        EXPECT_EQ(cmp.flags.of, ref.of);
+    }
+}
+
+TEST_P(FlagSemantics, LogicOpsClearCarryAndOverflow)
+{
+    const std::pair<const char *, char> ops[] = {
+        {"and", '&'}, {"or", '|'}, {"xor", '^'}};
+    for (int i = 0; i < 100; ++i) {
+        uint32_t a = interesting(), b = interesting();
+        for (auto [name, op] : ops) {
+            Ref ref = refLogic(op, a, b);
+            Outcome out = execute(name, a, b);
+            EXPECT_EQ(out.result, ref.result) << name;
+            EXPECT_EQ(out.flags.zf, ref.zf) << name;
+            EXPECT_EQ(out.flags.sf, ref.sf) << name;
+            EXPECT_FALSE(out.flags.cf) << name;
+            EXPECT_FALSE(out.flags.of) << name;
+        }
+    }
+}
+
+TEST_P(FlagSemantics, TestIsAndWithoutWriteback)
+{
+    for (int i = 0; i < 100; ++i) {
+        uint32_t a = interesting(), b = interesting();
+        Outcome out = execute("test", a, b);
+        EXPECT_EQ(out.result, a);
+        EXPECT_EQ(out.flags.zf, (a & b) == 0);
+        EXPECT_EQ(out.flags.sf, static_cast<int32_t>(a & b) < 0);
+    }
+}
+
+TEST_P(FlagSemantics, ConditionalPredicatesDeriveFromFlags)
+{
+    // For random (a, b), each signed/unsigned predicate must agree with
+    // C semantics on int32_t / uint32_t.
+    struct Pred
+    {
+        const char *jump;
+        bool (*eval)(uint32_t, uint32_t);
+    };
+    const Pred preds[] = {
+        {"je", [](uint32_t a, uint32_t b) { return a == b; }},
+        {"jne", [](uint32_t a, uint32_t b) { return a != b; }},
+        {"jl",
+         [](uint32_t a, uint32_t b) {
+             return static_cast<int32_t>(a) < static_cast<int32_t>(b);
+         }},
+        {"jle",
+         [](uint32_t a, uint32_t b) {
+             return static_cast<int32_t>(a) <= static_cast<int32_t>(b);
+         }},
+        {"jg",
+         [](uint32_t a, uint32_t b) {
+             return static_cast<int32_t>(a) > static_cast<int32_t>(b);
+         }},
+        {"jge",
+         [](uint32_t a, uint32_t b) {
+             return static_cast<int32_t>(a) >= static_cast<int32_t>(b);
+         }},
+        {"jb", [](uint32_t a, uint32_t b) { return a < b; }},
+        {"jbe", [](uint32_t a, uint32_t b) { return a <= b; }},
+        {"ja", [](uint32_t a, uint32_t b) { return a > b; }},
+        {"jae", [](uint32_t a, uint32_t b) { return a >= b; }},
+    };
+    for (int i = 0; i < 60; ++i) {
+        uint32_t a = interesting(), b = interesting();
+        for (const Pred &pred : preds) {
+            std::string src = strprintf(
+                "mov eax, %d\nmov ebx, %d\ncmp eax, ebx\n%s yes\n"
+                "out 0\nhalt\nyes:\nout 1\nhalt\n",
+                static_cast<int32_t>(a), static_cast<int32_t>(b),
+                pred.jump);
+            Program p = assemble(src);
+            Machine m(p);
+            ASSERT_EQ(m.run(100), RunExit::Halted);
+            EXPECT_EQ(m.output().at(0) == 1u, pred.eval(a, b))
+                << pred.jump << "(" << a << ", " << b << ")";
+        }
+    }
+}
+
+TEST_P(FlagSemantics, NegAndIncDecBoundaries)
+{
+    // neg INT_MIN overflows; inc 0x7fffffff overflows; dec 0x80000000
+    // overflows. All well-defined in the guest (wraparound + OF).
+    Outcome neg_min = execute("sub", 0, 0x80000000u);
+    EXPECT_EQ(neg_min.result, 0x80000000u);
+    EXPECT_TRUE(neg_min.flags.of);
+
+    Program p = assemble(R"(
+        mov eax, 2147483647
+        inc eax
+        halt
+    )");
+    Machine m(p);
+    m.run();
+    EXPECT_EQ(m.reg(Reg::Eax), 0x80000000u);
+    EXPECT_TRUE(m.flags().of);
+    EXPECT_TRUE(m.flags().sf);
+
+    Program q = assemble(R"(
+        mov eax, -2147483648
+        dec eax
+        halt
+    )");
+    Machine n(q);
+    n.run();
+    EXPECT_EQ(n.reg(Reg::Eax), 0x7fffffffu);
+    EXPECT_TRUE(n.flags().of);
+    EXPECT_FALSE(n.flags().sf);
+}
+
+TEST_P(FlagSemantics, MulOverflowSetsCarryAndOverflow)
+{
+    for (int i = 0; i < 100; ++i) {
+        uint32_t a = interesting(), b = interesting();
+        int64_t wide = static_cast<int64_t>(static_cast<int32_t>(a)) *
+                       static_cast<int32_t>(b);
+        Outcome out = execute("mul", a, b);
+        EXPECT_EQ(out.result, static_cast<uint32_t>(wide));
+        bool overflow =
+            wide != static_cast<int32_t>(static_cast<uint32_t>(wide));
+        EXPECT_EQ(out.flags.cf, overflow) << a << "*" << b;
+        EXPECT_EQ(out.flags.of, overflow);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlagSemantics,
+                         ::testing::Values(17, 29, 41, 53));
+
+} // namespace
+} // namespace tea

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the synthetic SPEC CPU2000 suite: registry integrity,
+ * determinism, halting, input-size scaling, and the per-benchmark
+ * control-flow characteristics the experiments rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dbt/runtime.hh"
+#include "util/logging.hh"
+#include "vm/machine.hh"
+#include "workloads/workload.hh"
+
+namespace tea {
+namespace {
+
+TEST(Registry, TwentySixBenchmarksInTableOrder)
+{
+    auto names = Workloads::names();
+    ASSERT_EQ(names.size(), 26u);
+    EXPECT_EQ(names.front(), "syn.wupwise");
+    EXPECT_EQ(names[13], "syn.apsi") << "14 CFP2000 rows first";
+    EXPECT_EQ(names[14], "syn.gzip");
+    EXPECT_EQ(names.back(), "syn.twolf");
+}
+
+TEST(Registry, SpecNamesAndFpFlags)
+{
+    int fp = 0;
+    for (const std::string &name : Workloads::names()) {
+        Workload w = Workloads::build(name, InputSize::Test);
+        EXPECT_FALSE(w.specName.empty());
+        EXPECT_NE(w.specName.find('.'), std::string::npos)
+            << "SPEC names look like 181.mcf";
+        fp += w.fp ? 1 : 0;
+    }
+    EXPECT_EQ(fp, 14) << "14 CFP2000 analogues";
+}
+
+TEST(Registry, UnknownNamesAndSizes)
+{
+    EXPECT_THROW(Workloads::build("syn.nope", InputSize::Test),
+                 FatalError);
+    EXPECT_THROW(parseInputSize("huge"), FatalError);
+    EXPECT_EQ(parseInputSize("ref"), InputSize::Ref);
+}
+
+TEST(Scaling, RefIsLargerThanTrainIsLargerThanTest)
+{
+    for (const char *name : {"syn.gzip", "syn.swim", "syn.eon"}) {
+        uint64_t last = 0;
+        for (InputSize size :
+             {InputSize::Test, InputSize::Train, InputSize::Ref}) {
+            Workload w = Workloads::build(name, size);
+            Machine m(w.program);
+            ASSERT_EQ(m.run(), RunExit::Halted) << name;
+            EXPECT_GT(m.icountRepAsOne(), last * 2) << name;
+            last = m.icountRepAsOne();
+        }
+    }
+}
+
+TEST(Scaling, StaticCodeIsSizeIndependent)
+{
+    for (const char *name : {"syn.gcc", "syn.mcf"}) {
+        Workload test = Workloads::build(name, InputSize::Test);
+        Workload ref = Workloads::build(name, InputSize::Ref);
+        EXPECT_EQ(test.program.size(), ref.program.size())
+            << "inputs scale dynamics, not code";
+    }
+}
+
+TEST(Character, GccHasTheLargestCodeFootprint)
+{
+    size_t gcc_size = 0;
+    size_t max_other = 0;
+    for (const std::string &name : Workloads::names()) {
+        Workload w = Workloads::build(name, InputSize::Test);
+        if (name == "syn.gcc")
+            gcc_size = w.program.size();
+        else
+            max_other = std::max(max_other, w.program.size());
+    }
+    EXPECT_GT(gcc_size, max_other * 3);
+}
+
+TEST(Character, GccProducesTheMostTraces)
+{
+    size_t gcc_traces = 0;
+    size_t mcf_traces = 0;
+    for (const char *name : {"syn.gcc", "syn.mcf"}) {
+        Workload w = Workloads::build(name, InputSize::Train);
+        DbtRuntime dbt(w.program);
+        size_t n = dbt.record("mret").traces.size();
+        (name == std::string("syn.gcc") ? gcc_traces : mcf_traces) = n;
+    }
+    EXPECT_GT(gcc_traces, 100u) << "one trace per pass function at least";
+    EXPECT_LT(mcf_traces, 20u) << "pointer chasing is one hot region";
+}
+
+TEST(Character, FpSuiteHasHighMretCoverage)
+{
+    // Loop nests must be almost entirely covered by traces.
+    for (const char *name : {"syn.wupwise", "syn.mgrid", "syn.apsi"}) {
+        Workload w = Workloads::build(name, InputSize::Train);
+        DbtRuntime dbt(w.program);
+        auto rec = dbt.record("mret");
+        EXPECT_GT(rec.stats.coverage(), 0.95) << name;
+    }
+}
+
+TEST(Character, SwimUsesRepStringOps)
+{
+    Workload w = Workloads::build("syn.swim", InputSize::Test);
+    Machine m(w.program);
+    m.run();
+    EXPECT_GT(m.icountRepPerIter(), m.icountRepAsOne())
+        << "REP iterations must make the two counting policies differ";
+}
+
+TEST(Character, MesaExecutesCpuid)
+{
+    Workload w = Workloads::build("syn.mesa", InputSize::Test);
+    bool has_cpuid = false;
+    for (const Insn &insn : w.program.instructions())
+        has_cpuid |= insn.op == Opcode::Cpuid;
+    EXPECT_TRUE(has_cpuid);
+}
+
+TEST(Character, InterpreterWorkloadsUseIndirectBranches)
+{
+    for (const char *name : {"syn.perlbmk", "syn.gcc", "syn.vortex"}) {
+        Workload w = Workloads::build(name, InputSize::Test);
+        bool indirect = false;
+        for (const Insn &insn : w.program.instructions()) {
+            if ((insn.op == Opcode::Jmp || insn.op == Opcode::Call) &&
+                insn.dst.kind != OperandKind::Imm)
+                indirect = true;
+        }
+        EXPECT_TRUE(indirect) << name;
+    }
+}
+
+TEST(Character, TraceTreesExplodeOnBzip2ButNotWithCtt)
+{
+    Workload w = Workloads::build("syn.bzip2", InputSize::Train);
+    DbtRuntime dbt(w.program);
+    size_t mret = dbt.record("mret").traces.totalBlocks();
+    size_t tt = dbt.record("tt").traces.totalBlocks();
+    size_t ctt = dbt.record("ctt").traces.totalBlocks();
+    EXPECT_GT(tt, mret) << "TT unrolls data-dependent inner loops";
+    EXPECT_LE(ctt, tt) << "CTT closes paths at on-path loop headers";
+}
+
+TEST(Determinism, WholeSuiteIsReproducible)
+{
+    for (const std::string &name : Workloads::names()) {
+        Workload a = Workloads::build(name, InputSize::Test);
+        Workload b = Workloads::build(name, InputSize::Test);
+        Machine ma(a.program), mb(b.program);
+        ma.run();
+        mb.run();
+        EXPECT_EQ(ma.output(), mb.output()) << name;
+        EXPECT_EQ(ma.icountRepPerIter(), mb.icountRepPerIter()) << name;
+    }
+}
+
+} // namespace
+} // namespace tea

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * teaasm — standalone TinyX86 assembler / disassembler.
+ *
+ *   teaasm build <in.asm> -o <out.bin>    assemble to a raw code image
+ *   teaasm dump <in.bin> [--base ADDR]    disassemble a raw code image
+ *   teaasm check <in.asm>                 assemble and report statistics
+ *
+ * The binary image is the raw encoded code section
+ * (Program::encodeImage); labels, the entry point, and data-section
+ * contents are source-level concepts and are not part of the image, as
+ * with any flat binary.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "isa/assembler.hh"
+#include "isa/disasm.hh"
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+using namespace tea;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::fputs("usage: teaasm build <in.asm> -o <out.bin>\n"
+               "       teaasm dump <in.bin> [--base ADDR]\n"
+               "       teaasm check <in.asm>\n",
+               stderr);
+    std::exit(2);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+int
+cmdBuild(const std::string &input, const std::string &output)
+{
+    Program prog = assemble(readFile(input));
+    std::vector<uint8_t> image = prog.encodeImage();
+    std::ofstream out(output, std::ios::binary);
+    if (!out)
+        fatal("cannot open '%s' for writing", output.c_str());
+    out.write(reinterpret_cast<const char *>(image.data()),
+              static_cast<std::streamsize>(image.size()));
+    if (!out)
+        fatal("error writing '%s'", output.c_str());
+    std::printf("%s: %zu instructions, %zu bytes, base %s\n",
+                output.c_str(), prog.size(), image.size(),
+                hex32(prog.baseAddr()).c_str());
+    if (!prog.data().empty())
+        warn("%zu data words are source-level only and not in the image",
+             prog.data().size());
+    return 0;
+}
+
+int
+cmdDump(const std::string &input, Addr base)
+{
+    std::string raw = readFile(input);
+    std::vector<uint8_t> bytes(raw.begin(), raw.end());
+    Program prog = Program::decodeImage(bytes, base);
+    std::fputs(disassemble(prog).c_str(), stdout);
+    return 0;
+}
+
+int
+cmdCheck(const std::string &input)
+{
+    Program prog = assemble(readFile(input));
+    size_t branches = 0, indirect = 0, mem_ops = 0, specials = 0;
+    for (const Insn &insn : prog.instructions()) {
+        if (isControlFlow(insn.op)) {
+            ++branches;
+            if (insn.op != Opcode::Ret &&
+                insn.dst.kind != OperandKind::Imm)
+                ++indirect;
+        }
+        if (insn.dst.kind == OperandKind::Mem ||
+            insn.src.kind == OperandKind::Mem)
+            ++mem_ops;
+        if (isPinBlockSplitter(insn.op))
+            ++specials;
+    }
+    std::printf("%s: OK\n", input.c_str());
+    std::printf("  %zu instructions, %zu code bytes (%.2f bytes/insn)\n",
+                prog.size(), prog.codeBytes(),
+                static_cast<double>(prog.codeBytes()) /
+                    static_cast<double>(prog.size()));
+    std::printf("  %zu labels, %zu data words, entry %s\n",
+                prog.labels().size(), prog.data().size(),
+                hex32(prog.entry()).c_str());
+    std::printf("  %zu control transfers (%zu indirect), %zu memory "
+                "operands, %zu CPUID/REP\n",
+                branches, indirect, mem_ops, specials);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        if (argc < 3)
+            usage();
+        std::string command = argv[1];
+        std::string input = argv[2];
+        if (command == "build") {
+            if (argc != 5 || std::strcmp(argv[3], "-o") != 0)
+                usage();
+            return cmdBuild(input, argv[4]);
+        }
+        if (command == "dump") {
+            Addr base = 0x1000;
+            if (argc == 5 && std::strcmp(argv[3], "--base") == 0) {
+                int64_t v;
+                if (!parseInt(argv[4], v))
+                    usage();
+                base = static_cast<Addr>(v);
+            } else if (argc != 3) {
+                usage();
+            }
+            return cmdDump(input, base);
+        }
+        if (command == "check")
+            return cmdCheck(input);
+        usage();
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

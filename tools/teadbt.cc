@@ -1,0 +1,441 @@
+/**
+ * @file
+ * teadbt — command-line driver for the TEA/DBT library.
+ *
+ * Subcommands:
+ *   run <prog>                         assemble and execute natively
+ *   disasm <prog>                      print the disassembly
+ *   record <prog> [--selector S] [--pin] [--traces F] [--tea F]
+ *                                      record traces online; export them
+ *   replay <prog> --traces F [--no-global] [--no-local] [--profile]
+ *                                      replay saved traces on <prog>
+ *   translate <prog> [--selector S] [--optimize]
+ *                                      record, replicate code, validate
+ *   simulate <prog> [--traces F]       replay on the cycle model with
+ *                                      per-trace cycle statistics
+ *   info --traces F | --tea F          inspect a saved traces/TEA file
+ *   dot <prog> [--selector S]          print the TEA in GraphViz DOT
+ *   workloads                          list the synthetic SPEC suite
+ *
+ * <prog> is either a TinyX86 assembly file path or a workload name
+ * ("syn.gzip"); workload names accept --size test|train|ref.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dbt/runtime.hh"
+#include "isa/assembler.hh"
+#include "isa/disasm.hh"
+#include "sim/cycle_model.hh"
+#include "tea/builder.hh"
+#include "tea/profiler.hh"
+#include "tea/recorder.hh"
+#include "tea/replayer.hh"
+#include "tea/serialize.hh"
+#include "trace/factory.hh"
+#include "trace/metrics.hh"
+#include "trace/serialize.hh"
+#include "util/logging.hh"
+#include "util/strutil.hh"
+#include "vm/block.hh"
+#include "vm/machine.hh"
+#include "workloads/workload.hh"
+
+using namespace tea;
+
+namespace {
+
+struct Options
+{
+    std::string command;
+    std::string program;
+    std::string selector = "mret";
+    std::string size = "train";
+    std::string tracesFile;
+    std::string teaFile;
+    bool pinPolicy = false;
+    bool optimize = false;
+    bool noGlobal = false;
+    bool noLocal = false;
+    bool profile = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fputs(
+        "usage: teadbt <command> [args]\n"
+        "  run <prog> [--size S]\n"
+        "  disasm <prog>\n"
+        "  record <prog> [--selector mret|tt|ctt|mfet] [--pin]\n"
+        "         [--traces out.traces] [--tea out.tea]\n"
+        "  replay <prog> --traces in.traces [--no-global] [--no-local]\n"
+        "         [--profile]\n"
+        "  translate <prog> [--selector S] [--optimize]\n"
+        "  simulate <prog> [--traces in.traces] [--selector S]\n"
+        "  info --traces F | --tea F\n"
+        "  dot <prog> [--selector S]\n"
+        "  workloads\n"
+        "<prog> is an assembly file or a workload name like syn.gzip\n",
+        stderr);
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    Options opt;
+    opt.command = argv[1];
+    int positional = 0;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--selector")
+            opt.selector = value();
+        else if (arg == "--size")
+            opt.size = value();
+        else if (arg == "--traces")
+            opt.tracesFile = value();
+        else if (arg == "--tea")
+            opt.teaFile = value();
+        else if (arg == "--pin")
+            opt.pinPolicy = true;
+        else if (arg == "--no-global")
+            opt.noGlobal = true;
+        else if (arg == "--no-local")
+            opt.noLocal = true;
+        else if (arg == "--profile")
+            opt.profile = true;
+        else if (arg == "--optimize")
+            opt.optimize = true;
+        else if (!arg.empty() && arg[0] == '-')
+            usage();
+        else if (positional++ == 0)
+            opt.program = arg;
+        else
+            usage();
+    }
+    return opt;
+}
+
+Program
+loadProgram(const Options &opt)
+{
+    if (opt.program.empty())
+        usage();
+    if (startsWith(opt.program, "syn."))
+        return Workloads::build(opt.program, parseInputSize(opt.size))
+            .program;
+    std::ifstream in(opt.program);
+    if (!in)
+        fatal("cannot open '%s'", opt.program.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return assemble(buf.str());
+}
+
+int
+cmdRun(const Options &opt)
+{
+    Program prog = loadProgram(opt);
+    Machine m(prog);
+    RunExit exit = m.run();
+    std::printf("%s after %llu instructions (%llu with REP expansion)\n",
+                exit == RunExit::Halted ? "halted" : "step limit",
+                static_cast<unsigned long long>(m.icountRepAsOne()),
+                static_cast<unsigned long long>(m.icountRepPerIter()));
+    for (uint32_t v : m.output())
+        std::printf("out: %u (0x%x)\n", v, v);
+    return exit == RunExit::Halted ? 0 : 1;
+}
+
+int
+cmdDisasm(const Options &opt)
+{
+    Program prog = loadProgram(opt);
+    std::fputs(disassemble(prog).c_str(), stdout);
+    std::printf("; %zu instructions, %zu code bytes, entry %s\n",
+                prog.size(), prog.codeBytes(),
+                hex32(prog.entry()).c_str());
+    return 0;
+}
+
+int
+cmdRecord(const Options &opt)
+{
+    Program prog = loadProgram(opt);
+    TeaRecorder recorder(makeSelector(opt.selector));
+    Machine m(prog);
+    BlockTracker tracker(
+        prog, [&](const BlockTransition &tr) { recorder.feed(tr); },
+        /*rep_per_iteration=*/opt.pinPolicy);
+    m.runHooked([&](const EdgeEvent &ev) { tracker.onEdge(ev); },
+                /*split_at_special=*/opt.pinPolicy);
+
+    const TraceSet &traces = recorder.traces();
+    Tea tea = buildTea(traces);
+    ReplayStats st = recorder.stats();
+    std::printf("%zu traces, %zu TBBs; coverage %.1f%%; TEA %zu states, "
+                "%zu bytes serialized\n",
+                traces.size(), traces.totalBlocks(),
+                st.coverage() * 100.0, tea.numStates(),
+                tea.serializedBytes());
+
+    if (!opt.tracesFile.empty()) {
+        saveTracesFile(traces, opt.tracesFile);
+        std::printf("wrote %s\n", opt.tracesFile.c_str());
+    }
+    if (!opt.teaFile.empty()) {
+        saveTeaFile(tea, opt.teaFile);
+        std::printf("wrote %s\n", opt.teaFile.c_str());
+    }
+    return 0;
+}
+
+int
+cmdReplay(const Options &opt)
+{
+    if (opt.tracesFile.empty())
+        usage();
+    Program prog = loadProgram(opt);
+    TraceSet traces = loadTracesFile(opt.tracesFile);
+    Tea tea = buildTea(traces);
+
+    LookupConfig cfg;
+    cfg.useGlobalBTree = !opt.noGlobal;
+    cfg.useLocalCache = !opt.noLocal;
+    TeaReplayer replayer(tea, cfg);
+    TeaProfiler profiler(tea, replayer);
+
+    Machine m(prog);
+    BlockTracker tracker(prog, [&](const BlockTransition &tr) {
+        if (opt.profile)
+            profiler.observe(tr);
+        replayer.feed(tr);
+    });
+    m.runHooked([&](const EdgeEvent &ev) { tracker.onEdge(ev); }, false);
+
+    const ReplayStats &st = replayer.stats();
+    std::printf("coverage %.2f%% (%llu of %llu instructions)\n",
+                st.coverage() * 100.0,
+                static_cast<unsigned long long>(st.insnsInTrace),
+                static_cast<unsigned long long>(st.insnsTotal));
+    std::printf("transitions %llu: intra %llu, exits %llu (%llu cold), "
+                "cache hits %llu, global lookups %llu\n",
+                static_cast<unsigned long long>(st.transitions),
+                static_cast<unsigned long long>(st.intraTraceHits),
+                static_cast<unsigned long long>(st.traceExits),
+                static_cast<unsigned long long>(st.exitsToCold),
+                static_cast<unsigned long long>(st.localCacheHits),
+                static_cast<unsigned long long>(st.globalLookups));
+    if (opt.profile)
+        std::fputs(profiler.report(&prog).c_str(), stdout);
+    return 0;
+}
+
+int
+cmdTranslate(const Options &opt)
+{
+    Program prog = loadProgram(opt);
+    DbtRuntime dbt(prog);
+    auto rec = dbt.record(opt.selector);
+    TranslatedImage image = translate(prog, rec.traces, opt.optimize);
+    if (opt.optimize)
+        std::printf("peephole: %llu const operands, %llu memory folds, "
+                    "%llu dead movs, %llu strength reductions\n",
+                    static_cast<unsigned long long>(
+                        image.optStats.constOperands),
+                    static_cast<unsigned long long>(
+                        image.optStats.memFolds),
+                    static_cast<unsigned long long>(
+                        image.optStats.deadMovs),
+                    static_cast<unsigned long long>(
+                        image.optStats.strengthReduced));
+
+    Machine native(prog);
+    native.run();
+    auto run = DbtRuntime::runTranslated(image);
+    bool ok = run.halted && run.output == native.output();
+
+    size_t code = 0, stubs = 0, meta = 0;
+    for (const EmittedTrace &t : image.traces) {
+        code += t.memory.codeBytes;
+        stubs += t.memory.stubBytes;
+        meta += t.memory.headerBytes + t.memory.metaBytes;
+    }
+    std::printf("%zu traces replicated: %zu code bytes + %zu stub bytes "
+                "+ %zu metadata = %zu total\n",
+                image.traces.size(), code, stubs, meta,
+                image.totalBytes());
+    std::printf("TEA equivalent: %zu bytes (%.0f%% smaller)\n",
+                buildTea(rec.traces).serializedBytes(),
+                100.0 *
+                    (1.0 - static_cast<double>(
+                               buildTea(rec.traces).serializedBytes()) /
+                               static_cast<double>(image.totalBytes())));
+    std::printf("translated execution %s (%llu of %llu steps in cache)\n",
+                ok ? "matches native" : "DIVERGED",
+                static_cast<unsigned long long>(run.cacheSteps),
+                static_cast<unsigned long long>(run.steps));
+    return ok ? 0 : 1;
+}
+
+int
+cmdSimulate(const Options &opt)
+{
+    Program prog = loadProgram(opt);
+    TraceSet traces;
+    if (!opt.tracesFile.empty()) {
+        traces = loadTracesFile(opt.tracesFile);
+    } else {
+        DbtRuntime dbt(prog);
+        traces = dbt.record(opt.selector).traces;
+        std::printf("(recorded %zu traces with %s)\n", traces.size(),
+                    opt.selector.c_str());
+    }
+    Tea tea = buildTea(traces);
+    TeaReplayer replayer(tea, LookupConfig{});
+    CycleModel model(prog);
+
+    std::vector<uint64_t> cycles_per_trace(traces.size(), 0);
+    std::vector<uint64_t> insns_per_trace(traces.size(), 0);
+    uint64_t cold_cycles = 0;
+
+    Machine m(prog);
+    BlockTracker tracker(prog, [&](const BlockTransition &tr) {
+        StateId state = replayer.currentState();
+        uint64_t charged = model.feed(tr);
+        if (state == Tea::kNteState) {
+            cold_cycles += charged;
+        } else {
+            const TeaState &s = tea.state(state);
+            cycles_per_trace[s.trace] += charged;
+            insns_per_trace[s.trace] += tr.from.icount;
+        }
+        replayer.feed(tr);
+    });
+    m.runHooked([&](const EdgeEvent &ev) { tracker.onEdge(ev); }, false);
+
+    std::printf("%llu cycles total, CPI %.2f, branch accuracy %.1f%%, "
+                "cold share %.1f%%\n",
+                static_cast<unsigned long long>(model.cycles()),
+                model.cpi(), model.predictor().accuracy() * 100.0,
+                100.0 * static_cast<double>(cold_cycles) /
+                    static_cast<double>(std::max<uint64_t>(
+                        model.cycles(), 1)));
+    for (TraceId t = 0; t < traces.size(); ++t) {
+        if (cycles_per_trace[t] == 0)
+            continue;
+        double trace_cpi =
+            insns_per_trace[t]
+                ? static_cast<double>(cycles_per_trace[t]) /
+                      static_cast<double>(insns_per_trace[t])
+                : 0.0;
+        std::printf("  T%-4u entry %s: %12llu cycles, CPI %.2f\n", t + 1,
+                    hex32(traces.at(t).entry()).c_str(),
+                    static_cast<unsigned long long>(cycles_per_trace[t]),
+                    trace_cpi);
+    }
+    return 0;
+}
+
+int
+cmdInfo(const Options &opt)
+{
+    if (!opt.tracesFile.empty()) {
+        TraceSet traces = loadTracesFile(opt.tracesFile);
+        Tea tea = buildTea(traces);
+        std::printf("%s: %s\n", opt.tracesFile.c_str(),
+                    computeMetrics(traces).toString().c_str());
+        for (const Trace &t : traces.all()) {
+            std::printf("  T%-4u %-20s entry %s: %zu blocks, %zu "
+                        "edges\n",
+                        t.id + 1, traceKindName(t.kind),
+                        hex32(t.entry()).c_str(), t.blocks.size(),
+                        t.edges.size());
+        }
+        std::printf("as TEA: %zu states, %zu transitions, %zu bytes\n",
+                    tea.numStates(), tea.numTransitions(),
+                    tea.serializedBytes());
+        return 0;
+    }
+    if (!opt.teaFile.empty()) {
+        Tea tea = loadTeaFile(opt.teaFile);
+        std::printf("%s: %zu TBB states + NTE, %zu transitions, %zu "
+                    "entries, %zu bytes\n",
+                    opt.teaFile.c_str(), tea.numTbbStates(),
+                    tea.numTransitions(), tea.entries().size(),
+                    tea.serializedBytes());
+        return 0;
+    }
+    usage();
+}
+
+int
+cmdDot(const Options &opt)
+{
+    Program prog = loadProgram(opt);
+    DbtRuntime dbt(prog);
+    auto rec = dbt.record(opt.selector);
+    Tea tea = buildTea(rec.traces);
+    std::fputs(tea.toDot("tea", &prog).c_str(), stdout);
+    return 0;
+}
+
+int
+cmdWorkloads()
+{
+    std::printf("%-14s %-14s %-5s\n", "name", "substitutes", "kind");
+    for (const std::string &name : Workloads::names()) {
+        Workload w = Workloads::build(name, InputSize::Test);
+        std::printf("%-14s %-14s %-5s\n", w.name.c_str(),
+                    w.specName.c_str(), w.fp ? "CFP" : "CINT");
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        Options opt = parseArgs(argc, argv);
+        if (opt.command == "run")
+            return cmdRun(opt);
+        if (opt.command == "disasm")
+            return cmdDisasm(opt);
+        if (opt.command == "record")
+            return cmdRecord(opt);
+        if (opt.command == "replay")
+            return cmdReplay(opt);
+        if (opt.command == "translate")
+            return cmdTranslate(opt);
+        if (opt.command == "simulate")
+            return cmdSimulate(opt);
+        if (opt.command == "info")
+            return cmdInfo(opt);
+        if (opt.command == "dot")
+            return cmdDot(opt);
+        if (opt.command == "workloads")
+            return cmdWorkloads();
+        usage();
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    } catch (const PanicError &e) {
+        std::fprintf(stderr, "internal error: %s\n", e.what());
+        return 70;
+    }
+}
