@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Replay-service throughput: streams/sec of batch replay at 1, 2, 4,
+ * ... hardware_concurrency workers.
+ *
+ * Records one trace log per workload in a small `syn.gzip`-class set,
+ * replicates the logs into a batch of streams, and replays the batch at
+ * each worker count. Reports streams/sec, speedup over one worker, and
+ * verifies at every scale that the merged profile is bit-identical to
+ * the single-worker merge (the svc determinism contract).
+ *
+ * Note the speedup column measures the *host*: on a single-core
+ * container every worker count necessarily lands near 1.0x.
+ *
+ * Usage: svc_throughput [--size test|train|ref] [--streams N]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include "bench/harness.hh"
+#include "svc/replay_service.hh"
+#include "svc/tracelog.hh"
+#include "tea/builder.hh"
+#include "util/table.hh"
+#include "util/timer.hh"
+#include "vm/machine.hh"
+
+using namespace tea;
+using namespace tea::bench;
+
+namespace {
+
+/** Record a workload's transition stream into an in-memory log. */
+std::vector<uint8_t>
+recordLog(const Program &prog)
+{
+    std::vector<uint8_t> bytes;
+    TraceLogWriter writer(&bytes);
+    Machine m(prog);
+    BlockTracker tracker(
+        prog, [&](const BlockTransition &tr) { writer.append(tr); },
+        /*rep_per_iteration=*/false, /*collect_blocks=*/false);
+    m.runHooked([&](const EdgeEvent &ev) { tracker.onEdge(ev); }, false);
+    writer.finish();
+    return bytes;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    InputSize size = sizeFromArgs(argc, argv);
+    size_t streams = 32;
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--streams") && i + 1 < argc)
+            streams = static_cast<size_t>(std::atoi(argv[i + 1]));
+
+    // The syn.gzip-class set: data-dependent compression-loop CFGs.
+    const std::vector<std::string> names{"syn.gzip", "syn.bzip2"};
+    std::vector<std::shared_ptr<const Tea>> teas;
+    std::vector<std::vector<uint8_t>> logs;
+    uint64_t log_bytes = 0, log_records = 0;
+    for (const std::string &name : names) {
+        Workload w = Workloads::build(name, size);
+        teas.push_back(std::make_shared<const Tea>(
+            buildTea(recordWithDbt(w, "mret"))));
+        logs.push_back(recordLog(w.program));
+        log_bytes += logs.back().size();
+        {
+            TraceLogReader probe(logs.back());
+            BlockTransition tr;
+            while (probe.next(tr))
+                ;
+            log_records += probe.recordsRead();
+        }
+    }
+
+    // One batch = `streams` jobs round-robined over the workload logs.
+    // Jobs alternate automata, so the merge check below uses per-stream
+    // profiles (cross-automaton merged profiles are deliberately empty).
+    std::vector<ReplayJob> jobs;
+    for (size_t i = 0; i < streams; ++i) {
+        size_t k = i % names.size();
+        jobs.push_back(ReplayJob{teas[k], "", &logs[k]});
+    }
+
+    unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    std::printf("svc_throughput: %zu streams (%llu records, %.1f MiB of "
+                "logs), host has %u hardware threads\n",
+                streams, static_cast<unsigned long long>(
+                             log_records * (streams / names.size())),
+                static_cast<double>(log_bytes) / (1 << 20), hw);
+
+    TextTable table({"workers", "batch ms", "streams/s", "speedup"});
+    double base_sps = 0.0;
+    BatchResult reference;
+    for (unsigned workers = 1; workers <= std::max(4u, hw);
+         workers *= 2) {
+        ReplayService service(workers);
+        service.runBatch(jobs); // warm-up: page in logs, fault stacks
+        Stopwatch timer;
+        BatchResult batch = service.runBatch(jobs);
+        double ms = timer.elapsedMillis();
+        if (batch.failures != 0) {
+            std::fprintf(stderr, "%zu streams failed\n", batch.failures);
+            return 1;
+        }
+        double sps = ms > 0 ? 1e3 * static_cast<double>(streams) / ms : 0;
+        if (workers == 1) {
+            base_sps = sps;
+            reference = batch;
+        } else {
+            // Determinism across worker counts, checked at every scale.
+            if (batch.total != reference.total) {
+                std::fprintf(stderr,
+                             "summed stats diverge at %u workers\n",
+                             workers);
+                return 1;
+            }
+            for (size_t i = 0; i < batch.streams.size(); ++i) {
+                if (batch.streams[i].execCounts !=
+                    reference.streams[i].execCounts) {
+                    std::fprintf(stderr,
+                                 "stream %zu profile diverges at %u "
+                                 "workers\n", i, workers);
+                    return 1;
+                }
+            }
+        }
+        table.addRow({std::to_string(workers), TextTable::num(ms, 1),
+                      TextTable::num(sps, 1),
+                      TextTable::num(base_sps > 0 ? sps / base_sps : 0.0,
+                                     2)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("(profiles bit-identical across all worker counts)\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+#include "svc/registry.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "tea/serialize.hh"
+#include "util/logging.hh"
+
+namespace tea {
+
+AutomatonRegistry::AutomatonRegistry(size_t shard_count)
+    : shards(shard_count == 0 ? 1 : shard_count)
+{
+}
+
+AutomatonRegistry::Shard &
+AutomatonRegistry::shardFor(const std::string &name) const
+{
+    return shards[std::hash<std::string>{}(name) % shards.size()];
+}
+
+std::shared_ptr<const Tea>
+AutomatonRegistry::put(const std::string &name, Tea tea)
+{
+    auto snapshot = std::make_shared<const Tea>(std::move(tea));
+    Shard &shard = shardFor(name);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map[name] = snapshot;
+    return snapshot;
+}
+
+std::shared_ptr<const Tea>
+AutomatonRegistry::loadFile(const std::string &name,
+                            const std::string &path)
+{
+    return put(name, loadTeaFile(path));
+}
+
+std::shared_ptr<const Tea>
+AutomatonRegistry::get(const std::string &name) const
+{
+    Shard &shard = shardFor(name);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(name);
+    return it == shard.map.end() ? nullptr : it->second;
+}
+
+bool
+AutomatonRegistry::evict(const std::string &name)
+{
+    Shard &shard = shardFor(name);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.map.erase(name) != 0;
+}
+
+std::vector<std::string>
+AutomatonRegistry::list() const
+{
+    std::vector<std::string> names;
+    for (Shard &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        for (const auto &[name, tea] : shard.map)
+            names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+size_t
+AutomatonRegistry::size() const
+{
+    size_t n = 0;
+    for (Shard &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        n += shard.map.size();
+    }
+    return n;
+}
+
+} // namespace tea

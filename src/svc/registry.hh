@@ -1,0 +1,75 @@
+/**
+ * @file
+ * A named, sharded store of immutable TEA automata.
+ *
+ * The replay service resolves jobs against automata by name. Automata
+ * are held as `shared_ptr<const Tea>` snapshots: a `Tea` is immutable
+ * after construction, so any number of worker threads may replay
+ * against the same snapshot lock-free, and evicting a name never
+ * invalidates replays already in flight — they keep their reference
+ * until the batch drains.
+ *
+ * The name map itself is sharded: each shard has its own mutex, so
+ * concurrent lookups of different names do not serialize. Lock scope is
+ * a single shard for every operation except list()/size(), which sweep
+ * the shards one at a time (they never hold two shard locks at once,
+ * so no lock-order issues).
+ */
+
+#ifndef TEA_SVC_REGISTRY_HH
+#define TEA_SVC_REGISTRY_HH
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tea/automaton.hh"
+
+namespace tea {
+
+class AutomatonRegistry
+{
+  public:
+    static constexpr size_t kDefaultShards = 16;
+
+    explicit AutomatonRegistry(size_t shard_count = kDefaultShards);
+
+    /** Install (or replace) an automaton. @return the stored snapshot. */
+    std::shared_ptr<const Tea> put(const std::string &name, Tea tea);
+
+    /**
+     * Load a serialized TEA (tea/serialize.hh) and install it.
+     * @throws FatalError on unreadable or corrupt files.
+     */
+    std::shared_ptr<const Tea> loadFile(const std::string &name,
+                                        const std::string &path);
+
+    /** Snapshot by name, or nullptr when absent. */
+    std::shared_ptr<const Tea> get(const std::string &name) const;
+
+    /** Drop a name. @return false when it was not registered. */
+    bool evict(const std::string &name);
+
+    /** Registered names, sorted. */
+    std::vector<std::string> list() const;
+
+    /** Number of registered automata. */
+    size_t size() const;
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<std::string, std::shared_ptr<const Tea>> map;
+    };
+
+    Shard &shardFor(const std::string &name) const;
+
+    mutable std::vector<Shard> shards;
+};
+
+} // namespace tea
+
+#endif // TEA_SVC_REGISTRY_HH

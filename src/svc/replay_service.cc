@@ -1,0 +1,76 @@
+#include "svc/replay_service.hh"
+
+#include <thread>
+
+#include "svc/tracelog.hh"
+#include "util/logging.hh"
+
+namespace tea {
+
+ReplayService::ReplayService(size_t workers, LookupConfig config)
+    : cfg(config),
+      pool(workers != 0 ? workers
+                        : std::max(1u, std::thread::hardware_concurrency()))
+{
+}
+
+StreamResult
+ReplayService::runOne(const ReplayJob &job, LookupConfig cfg)
+{
+    StreamResult res;
+    try {
+        if (!job.tea)
+            fatal("replay job without an automaton");
+        TraceLogReader reader =
+            job.logBytes ? TraceLogReader(*job.logBytes)
+                         : TraceLogReader::openFile(job.logPath);
+        TeaReplayer replayer(*job.tea, cfg);
+        BlockTransition tr;
+        while (reader.next(tr))
+            replayer.feed(tr);
+        res.stats = replayer.stats();
+        res.execCounts.resize(job.tea->numStates());
+        for (StateId id = 0; id < job.tea->numStates(); ++id)
+            res.execCounts[id] = replayer.execCount(id);
+    } catch (const FatalError &e) {
+        res = StreamResult{};
+        res.error = e.what();
+    }
+    return res;
+}
+
+BatchResult
+ReplayService::runBatch(const std::vector<ReplayJob> &jobs)
+{
+    BatchResult batch;
+    batch.streams.resize(jobs.size());
+
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const ReplayJob &job = jobs[i];
+        StreamResult &slot = batch.streams[i];
+        pool.submit([&job, &slot, cfg = cfg] { slot = runOne(job, cfg); });
+    }
+    pool.drain();
+
+    // Merge on the calling thread, in job order: bit-identical to a
+    // sequential run no matter how the pool scheduled the jobs.
+    bool one_tea = !jobs.empty() && jobs.front().tea != nullptr;
+    for (const ReplayJob &job : jobs)
+        one_tea = one_tea && job.tea == jobs.front().tea;
+    if (one_tea)
+        batch.mergedExecCounts.assign(jobs.front().tea->numStates(), 0);
+
+    for (const StreamResult &res : batch.streams) {
+        if (!res.ok()) {
+            ++batch.failures;
+            continue;
+        }
+        batch.total += res.stats;
+        if (one_tea)
+            for (size_t s = 0; s < res.execCounts.size(); ++s)
+                batch.mergedExecCounts[s] += res.execCounts[s];
+    }
+    return batch;
+}
+
+} // namespace tea

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Concurrent batch replay of recorded trace logs.
+ *
+ * The service pairs immutable automaton snapshots (svc/registry.hh)
+ * with trace logs (svc/tracelog.hh) and replays each pairing on a fixed
+ * worker pool. The concurrency design keeps the hot transition function
+ * exactly as single-threaded as the paper's:
+ *
+ * - each job constructs its *own* TeaReplayer — the per-state local
+ *   caches and the global B+ tree are private to the job, so the
+ *   transition function takes no locks;
+ * - the shared `Tea` is read-only after build, so any number of
+ *   replayers may walk it concurrently;
+ * - every job writes its result into a slot it exclusively owns, and
+ *   all cross-job merging happens on the calling thread after the pool
+ *   drains, folding in job-submission order.
+ *
+ * That last point is what makes the batch *deterministic*: the merged
+ * per-TBB profile and summed ReplayStats are pure uint64 sums folded in
+ * a fixed order, hence bit-identical to a sequential run regardless of
+ * worker count or OS scheduling.
+ */
+
+#ifndef TEA_SVC_REPLAY_SERVICE_HH
+#define TEA_SVC_REPLAY_SERVICE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tea/replayer.hh"
+#include "util/threadpool.hh"
+
+namespace tea {
+
+/** One replay request: an automaton snapshot plus one trace log. */
+struct ReplayJob
+{
+    std::shared_ptr<const Tea> tea;
+
+    /** File-backed log; used when `logBytes` is null. */
+    std::string logPath;
+
+    /**
+     * In-memory log (benches, tests). Not owned; must outlive the
+     * batch. Readers only consume these bytes, so many jobs may share
+     * one buffer.
+     */
+    const std::vector<uint8_t> *logBytes = nullptr;
+};
+
+/** Outcome of one job (one replayed stream). */
+struct StreamResult
+{
+    ReplayStats stats;
+    /**
+     * Per-state execution counts (index = StateId, slot 0 = NTE) — the
+     * per-TBB profile of the stream.
+     */
+    std::vector<uint64_t> execCounts;
+    /** Empty on success; the FatalError message otherwise. */
+    std::string error;
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Outcome of a whole batch. */
+struct BatchResult
+{
+    /** Per-stream results, in job-submission order. */
+    std::vector<StreamResult> streams;
+    /** Sum of successful streams' stats, folded in job order. */
+    ReplayStats total;
+    /**
+     * Merged per-TBB profile: elementwise sum of the successful
+     * streams' execCounts, folded in job order. Only populated when
+     * every job shares one automaton (the common batch shape);
+     * otherwise empty, because state ids from different automata are
+     * not comparable.
+     */
+    std::vector<uint64_t> mergedExecCounts;
+    /** Jobs that failed (bad log file, corrupt chunk, ...). */
+    size_t failures = 0;
+};
+
+/**
+ * A fixed worker pool replaying batches of trace logs.
+ *
+ * runBatch() blocks until the whole batch completes; per-job failures
+ * are reported in the result, never thrown (one corrupt log must not
+ * poison the other streams of the batch).
+ */
+class ReplayService
+{
+  public:
+    /**
+     * @param workers pool size; 0 picks hardware_concurrency
+     * @param config  lookup configuration for every job's replayer
+     */
+    explicit ReplayService(size_t workers, LookupConfig config = {});
+
+    /** Replay every job; deterministic merge (see file comment). */
+    BatchResult runBatch(const std::vector<ReplayJob> &jobs);
+
+    size_t workers() const { return pool.workers(); }
+
+  private:
+    static StreamResult runOne(const ReplayJob &job, LookupConfig cfg);
+
+    LookupConfig cfg;
+    ThreadPool pool;
+};
+
+} // namespace tea
+
+#endif // TEA_SVC_REPLAY_SERVICE_HH

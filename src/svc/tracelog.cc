@@ -1,0 +1,288 @@
+#include "svc/tracelog.hh"
+
+#include "util/crc32.hh"
+#include "util/logging.hh"
+
+namespace tea {
+
+namespace {
+
+void
+put32(std::vector<uint8_t> &out, uint32_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v >> 16));
+    out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+void
+put64(std::vector<uint8_t> &out, uint64_t v)
+{
+    put32(out, static_cast<uint32_t>(v));
+    put32(out, static_cast<uint32_t>(v >> 32));
+}
+
+/** LEB128 (7 bits per byte, high bit = continue). */
+void
+putVar(std::vector<uint8_t> &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+uint8_t
+get8(const std::vector<uint8_t> &bytes, size_t &cursor)
+{
+    if (cursor >= bytes.size())
+        fatal("tracelog: truncated input");
+    return bytes[cursor++];
+}
+
+uint32_t
+get32(const std::vector<uint8_t> &bytes, size_t &cursor)
+{
+    uint32_t v = get8(bytes, cursor);
+    v |= static_cast<uint32_t>(get8(bytes, cursor)) << 8;
+    v |= static_cast<uint32_t>(get8(bytes, cursor)) << 16;
+    v |= static_cast<uint32_t>(get8(bytes, cursor)) << 24;
+    return v;
+}
+
+uint64_t
+get64(const std::vector<uint8_t> &bytes, size_t &cursor)
+{
+    uint64_t lo = get32(bytes, cursor);
+    uint64_t hi = get32(bytes, cursor);
+    return lo | (hi << 32);
+}
+
+uint64_t
+getVar(const std::vector<uint8_t> &bytes, size_t &cursor)
+{
+    uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+        uint8_t byte = get8(bytes, cursor);
+        v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return v;
+        shift += 7;
+        if (shift > 63)
+            fatal("tracelog: varint too long");
+    }
+}
+
+constexpr uint8_t kMaxEdgeKind = static_cast<uint8_t>(EdgeKind::Halt);
+
+} // namespace
+
+// ---------------------------------------------------------------- writer
+
+TraceLogWriter::TraceLogWriter(const std::string &file_path)
+    : file(file_path, std::ios::binary), path(file_path)
+{
+    if (!file)
+        fatal("cannot open '%s' for writing", path.c_str());
+    std::vector<uint8_t> header;
+    put32(header, TraceLogFormat::kMagic);
+    put32(header, TraceLogFormat::kVersion);
+    emit(header.data(), header.size());
+}
+
+TraceLogWriter::TraceLogWriter(std::vector<uint8_t> *sink) : mem(sink)
+{
+    TEA_ASSERT(sink != nullptr, "tracelog: null memory sink");
+    put32(*mem, TraceLogFormat::kMagic);
+    put32(*mem, TraceLogFormat::kVersion);
+}
+
+TraceLogWriter::~TraceLogWriter()
+{
+    try {
+        finish();
+    } catch (...) {
+        // Destructors must not throw; an explicit finish() reports
+        // write failures to the caller.
+    }
+}
+
+void
+TraceLogWriter::emit(const uint8_t *data, size_t len)
+{
+    if (mem) {
+        mem->insert(mem->end(), data, data + len);
+        return;
+    }
+    file.write(reinterpret_cast<const char *>(data),
+               static_cast<std::streamsize>(len));
+    if (!file)
+        fatal("error writing '%s'", path.c_str());
+}
+
+void
+TraceLogWriter::append(const BlockTransition &tr)
+{
+    TEA_ASSERT(!finished, "tracelog: append after finish");
+    if (tr.from.end < tr.from.start)
+        fatal("tracelog: block with end < start");
+    putVar(payload, tr.from.start);
+    putVar(payload, tr.from.end - tr.from.start);
+    putVar(payload, tr.from.icount);
+    payload.push_back(static_cast<uint8_t>(tr.kind));
+    putVar(payload, tr.toStart);
+    ++chunkRecords;
+    ++total;
+    if (chunkRecords >= TraceLogFormat::kChunkRecords)
+        flushChunk();
+}
+
+void
+TraceLogWriter::flushChunk()
+{
+    if (chunkRecords == 0)
+        return;
+    std::vector<uint8_t> head;
+    put32(head, chunkRecords);
+    put32(head, static_cast<uint32_t>(payload.size()));
+    emit(head.data(), head.size());
+    emit(payload.data(), payload.size());
+    std::vector<uint8_t> tail;
+    put32(tail, crc32(payload.data(), payload.size()));
+    emit(tail.data(), tail.size());
+    payload.clear();
+    chunkRecords = 0;
+}
+
+void
+TraceLogWriter::finish()
+{
+    if (finished)
+        return;
+    flushChunk();
+    std::vector<uint8_t> trailer;
+    put32(trailer, 0);
+    put64(trailer, total);
+    emit(trailer.data(), trailer.size());
+    if (file.is_open()) {
+        file.flush();
+        if (!file)
+            fatal("error writing '%s'", path.c_str());
+    }
+    finished = true;
+}
+
+// ---------------------------------------------------------------- reader
+
+TraceLogReader::TraceLogReader(std::vector<uint8_t> data)
+    : bytes(std::move(data))
+{
+    if (get32(bytes, cursor) != TraceLogFormat::kMagic)
+        fatal("tracelog: bad magic");
+    if (get32(bytes, cursor) != TraceLogFormat::kVersion)
+        fatal("tracelog: unsupported version");
+}
+
+TraceLogReader
+TraceLogReader::openFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    std::vector<uint8_t> data((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+    return TraceLogReader(std::move(data));
+}
+
+void
+TraceLogReader::loadChunk()
+{
+    uint32_t nrecords = get32(bytes, cursor);
+    if (nrecords == 0) {
+        // Trailer: the total must match what the chunks delivered and
+        // nothing may follow it.
+        uint64_t expect = get64(bytes, cursor);
+        if (expect != decoded)
+            fatal("tracelog: trailer count %llu disagrees with %llu "
+                  "records decoded",
+                  static_cast<unsigned long long>(expect),
+                  static_cast<unsigned long long>(decoded));
+        if (cursor != bytes.size())
+            fatal("tracelog: %zu trailing bytes", bytes.size() - cursor);
+        done = true;
+        return;
+    }
+    uint32_t nbytes = get32(bytes, cursor);
+    if (nbytes > bytes.size() - cursor)
+        fatal("tracelog: truncated chunk payload");
+    if (nrecords > nbytes)
+        fatal("tracelog: chunk record count %u exceeds payload bytes %u",
+              nrecords, nbytes);
+    const uint8_t *payload = bytes.data() + cursor;
+    size_t payload_end = cursor + nbytes;
+    size_t crc_cursor = payload_end;
+    uint32_t stored = get32(bytes, crc_cursor);
+    if (crc32(payload, nbytes) != stored)
+        fatal("tracelog: chunk CRC mismatch");
+
+    chunk.clear();
+    chunk.reserve(nrecords);
+    for (uint32_t i = 0; i < nrecords; ++i) {
+        BlockTransition tr;
+        uint64_t start = getVar(bytes, cursor);
+        uint64_t span = getVar(bytes, cursor);
+        if (start > kNoAddr || span > kNoAddr - start)
+            fatal("tracelog: record with out-of-range block bounds");
+        tr.from.start = static_cast<Addr>(start);
+        tr.from.end = static_cast<Addr>(start + span);
+        tr.from.icount = getVar(bytes, cursor);
+        uint8_t kind = get8(bytes, cursor);
+        if (kind > kMaxEdgeKind)
+            fatal("tracelog: record with bad edge kind %u", kind);
+        tr.kind = static_cast<EdgeKind>(kind);
+        uint64_t to = getVar(bytes, cursor);
+        if (to > kNoAddr)
+            fatal("tracelog: record with out-of-range destination");
+        tr.toStart = static_cast<Addr>(to);
+        if (cursor > payload_end)
+            fatal("tracelog: chunk records overrun payload");
+        chunk.push_back(tr);
+    }
+    if (cursor != payload_end)
+        fatal("tracelog: %zu undecoded payload bytes",
+              payload_end - cursor);
+    cursor = crc_cursor; // skip the (already verified) CRC word
+    decoded += nrecords;
+    chunkPos = 0;
+}
+
+bool
+TraceLogReader::next(BlockTransition &out)
+{
+    while (chunkPos >= chunk.size()) {
+        if (done)
+            return false;
+        chunk.clear();
+        chunkPos = 0;
+        loadChunk();
+    }
+    out = chunk[chunkPos++];
+    ++surfaced;
+    return true;
+}
+
+std::vector<BlockTransition>
+readTraceLog(std::vector<uint8_t> bytes)
+{
+    TraceLogReader reader(std::move(bytes));
+    std::vector<BlockTransition> all;
+    BlockTransition tr;
+    while (reader.next(tr))
+        all.push_back(tr);
+    return all;
+}
+
+} // namespace tea

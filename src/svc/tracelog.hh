@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The streaming trace-log format: a recorded BlockTransition stream.
+ *
+ * This is the "record in one system, replay in another" transport: the
+ * recording side hooks a TraceLogWriter behind its BlockTracker and
+ * ships the resulting file; the replay side streams it back through a
+ * TraceLogReader into a TeaReplayer — no guest program, VM, or even ISA
+ * required on the replay host.
+ *
+ * On-disk layout (little endian; varints are LEB128, see
+ * docs/FORMATS.md for the normative description):
+ *
+ *   u32 magic 'TEAL'   u32 version
+ *   chunk*:  u32 record count (> 0)
+ *            u32 payload bytes
+ *            payload        ; `record count` encoded transitions
+ *            u32 CRC-32 of payload
+ *   trailer: u32 0          ; chunk with record count 0 = end marker
+ *            u64 total record count
+ *
+ * Each record encodes one BlockTransition:
+ *   varint from.start, varint from.end - from.start, varint icount,
+ *   u8 edge kind, varint toStart (kNoAddr for the final halt record).
+ *
+ * The explicit trailer makes truncation detectable: a reader that hits
+ * EOF before the end marker (or whose summed chunk counts disagree with
+ * the trailer) reports FatalError instead of silently replaying a
+ * partial stream. Per-chunk CRCs catch payload bit-rot without forcing
+ * the reader to buffer the whole file.
+ */
+
+#ifndef TEA_SVC_TRACELOG_HH
+#define TEA_SVC_TRACELOG_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "vm/block.hh"
+
+namespace tea {
+
+/** Trace-log container constants (shared by writer, reader, tests). */
+struct TraceLogFormat
+{
+    static constexpr uint32_t kMagic = 0x5445414c; // "TEAL"
+    static constexpr uint32_t kVersion = 1;
+    /** Writer flushes a chunk at this many records. */
+    static constexpr uint32_t kChunkRecords = 4096;
+};
+
+/**
+ * Appends BlockTransitions to a chunked log.
+ *
+ * Hook it behind a BlockTracker callback; call finish() (or let the
+ * destructor do it) to emit the trailer. A log without its trailer is
+ * deliberately unreadable — crash-truncated recordings must not replay
+ * as if complete.
+ */
+class TraceLogWriter
+{
+  public:
+    /** Write to a file. @throws FatalError when the file can't open. */
+    explicit TraceLogWriter(const std::string &path);
+
+    /** Write into a caller-owned buffer (tests, benches). */
+    explicit TraceLogWriter(std::vector<uint8_t> *sink);
+
+    /** Calls finish() if the caller has not. */
+    ~TraceLogWriter();
+
+    TraceLogWriter(const TraceLogWriter &) = delete;
+    TraceLogWriter &operator=(const TraceLogWriter &) = delete;
+
+    /** Append one record. @throws PanicError after finish(). */
+    void append(const BlockTransition &tr);
+
+    /** Flush the open chunk and write the trailer; idempotent. */
+    void finish();
+
+    /** Records appended so far. */
+    uint64_t records() const { return total; }
+
+  private:
+    void emit(const uint8_t *data, size_t len);
+    void flushChunk();
+
+    std::ofstream file;
+    std::vector<uint8_t> *mem = nullptr;
+    std::string path; ///< for error messages; empty for memory sinks
+    std::vector<uint8_t> payload; ///< open chunk
+    uint32_t chunkRecords = 0;
+    uint64_t total = 0;
+    bool finished = false;
+};
+
+/**
+ * Streams a trace log back, validating as it goes.
+ *
+ * Decodes one chunk at a time: the CRC of a chunk is checked before any
+ * of its records are surfaced, and the trailer is checked when the last
+ * chunk is consumed — next() never returns data from a corrupt or
+ * truncated region. All corruption surfaces as FatalError.
+ */
+class TraceLogReader
+{
+  public:
+    /** Take ownership of an in-memory log. @throws FatalError. */
+    explicit TraceLogReader(std::vector<uint8_t> bytes);
+
+    /** Read a log file fully into memory and open it. */
+    static TraceLogReader openFile(const std::string &path);
+
+    /**
+     * Fetch the next record.
+     * @return false at the (validated) end of the log
+     * @throws FatalError on any corruption or truncation
+     */
+    bool next(BlockTransition &out);
+
+    /** Records surfaced so far. */
+    uint64_t recordsRead() const { return surfaced; }
+
+  private:
+    void loadChunk();
+
+    std::vector<uint8_t> bytes;
+    size_t cursor = 0;
+    std::vector<BlockTransition> chunk; ///< decoded records of one chunk
+    size_t chunkPos = 0;
+    uint64_t surfaced = 0; ///< records returned by next()
+    uint64_t decoded = 0;  ///< records decoded from chunks (trailer check)
+    bool done = false;
+};
+
+/** Convenience: decode an entire in-memory log. @throws FatalError. */
+std::vector<BlockTransition> readTraceLog(std::vector<uint8_t> bytes);
+
+} // namespace tea
+
+#endif // TEA_SVC_TRACELOG_HH

@@ -67,6 +67,30 @@ struct ReplayStats
                    : static_cast<double>(insnsInTrace) /
                          static_cast<double>(insnsTotal);
     }
+
+    /**
+     * Accumulate another run's counters (batch replay, svc). Pure
+     * integer sums, so folding per-stream stats in a fixed order yields
+     * bit-identical totals no matter which threads produced them.
+     */
+    ReplayStats &
+    operator+=(const ReplayStats &o)
+    {
+        blocks += o.blocks;
+        insnsTotal += o.insnsTotal;
+        insnsInTrace += o.insnsInTrace;
+        transitions += o.transitions;
+        intraTraceHits += o.intraTraceHits;
+        traceExits += o.traceExits;
+        exitsToCold += o.exitsToCold;
+        nteBlocks += o.nteBlocks;
+        localCacheHits += o.localCacheHits;
+        globalLookups += o.globalLookups;
+        globalHits += o.globalHits;
+        return *this;
+    }
+
+    bool operator==(const ReplayStats &) const = default;
 };
 
 /**

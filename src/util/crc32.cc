@@ -1,0 +1,35 @@
+#include "util/crc32.hh"
+
+#include <array>
+
+namespace tea {
+
+namespace {
+
+std::array<uint32_t, 256>
+buildTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32Update(uint32_t crc, const void *data, size_t len)
+{
+    static const std::array<uint32_t, 256> table = buildTable();
+    const auto *p = static_cast<const uint8_t *>(data);
+    crc = ~crc;
+    for (size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+    return ~crc;
+}
+
+} // namespace tea

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+ *
+ * Used by the trace-log format (svc/tracelog.hh) to detect payload
+ * corruption per chunk. Table-driven; the table is a function-local
+ * static, so first-use initialization is thread-safe.
+ */
+
+#ifndef TEA_UTIL_CRC32_HH
+#define TEA_UTIL_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tea {
+
+/** Incremental CRC-32: pass the previous return value to continue. */
+uint32_t crc32Update(uint32_t crc, const void *data, size_t len);
+
+/** One-shot CRC-32 of a buffer. */
+inline uint32_t
+crc32(const void *data, size_t len)
+{
+    return crc32Update(0, data, len);
+}
+
+} // namespace tea
+
+#endif // TEA_UTIL_CRC32_HH

@@ -1,0 +1,89 @@
+#include "util/threadpool.hh"
+
+#include "util/logging.hh"
+
+namespace tea {
+
+ThreadPool::ThreadPool(size_t workers)
+{
+    if (workers == 0)
+        workers = 1;
+    threads.reserve(workers);
+    for (size_t i = 0; i < workers; ++i)
+        threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        stopping = true;
+    }
+    cvTask.notify_all();
+    for (std::thread &t : threads)
+        t.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stopping)
+            panic("threadpool: submit after shutdown");
+        queue.push_back(std::move(task));
+    }
+    cvTask.notify_one();
+}
+
+void
+ThreadPool::drain()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    cvIdle.wait(lock, [this] { return queue.empty() && inFlight == 0; });
+    if (firstError) {
+        std::exception_ptr err = firstError;
+        firstError = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
+uint64_t
+ThreadPool::executed() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return doneCount;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+        cvTask.wait(lock, [this] { return stopping || !queue.empty(); });
+        if (queue.empty()) {
+            if (stopping)
+                return;
+            continue;
+        }
+        Task task = std::move(queue.front());
+        queue.pop_front();
+        ++inFlight;
+        lock.unlock();
+        try {
+            task();
+        } catch (...) {
+            lock.lock();
+            if (!firstError)
+                firstError = std::current_exception();
+            lock.unlock();
+        }
+        lock.lock();
+        --inFlight;
+        ++doneCount;
+        if (queue.empty() && inFlight == 0)
+            cvIdle.notify_all();
+    }
+}
+
+} // namespace tea

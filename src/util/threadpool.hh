@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A fixed-size worker pool for batch jobs.
+ *
+ * The pool is deliberately minimal: N threads created up front, a FIFO
+ * task queue, and a drain() barrier. Higher layers (svc/replay_service.hh)
+ * get their determinism by *not* communicating through the pool at all —
+ * each task writes to a slot it exclusively owns, and all merging happens
+ * after drain() on the calling thread. The pool therefore needs no
+ * futures, no task priorities, and no work stealing.
+ *
+ * Exception contract: a task that throws does not kill the worker; the
+ * first exception is captured and rethrown from the next drain() (or
+ * swallowed by the destructor if the caller never drains). Tasks that
+ * must report per-item errors should catch locally instead.
+ */
+
+#ifndef TEA_UTIL_THREADPOOL_HH
+#define TEA_UTIL_THREADPOOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tea {
+
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /**
+     * Start `workers` threads. 0 is clamped to 1: a pool with no
+     * workers would deadlock the first drain().
+     */
+    explicit ThreadPool(size_t workers);
+
+    /** Pending tasks run to completion, then workers join. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task. @throws PanicError after shutdown began. */
+    void submit(Task task);
+
+    /**
+     * Block until every submitted task has finished executing (not just
+     * been dequeued). Rethrows the first task exception captured since
+     * the previous drain(). The pool is reusable afterwards.
+     */
+    void drain();
+
+    size_t workers() const { return threads.size(); }
+
+    /** Tasks executed since construction (for tests and stats). */
+    uint64_t executed() const;
+
+  private:
+    void workerLoop();
+
+    mutable std::mutex mu;
+    std::condition_variable cvTask;  ///< signals workers: task or stop
+    std::condition_variable cvIdle;  ///< signals drain(): all work done
+    std::deque<Task> queue;
+    std::vector<std::thread> threads;
+    size_t inFlight = 0;     ///< tasks dequeued but not finished
+    uint64_t doneCount = 0;  ///< tasks finished since construction
+    bool stopping = false;
+    std::exception_ptr firstError;
+};
+
+} // namespace tea
+
+#endif // TEA_UTIL_THREADPOOL_HH

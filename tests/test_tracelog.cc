@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Trace-log round trips: writer/reader agreement on synthetic streams,
+ * chunk-boundary behavior, file-backed logs, and real recorded
+ * workload streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "svc/tracelog.hh"
+#include "util/logging.hh"
+#include "vm/machine.hh"
+#include "workloads/workload.hh"
+
+namespace tea {
+namespace {
+
+BlockTransition
+makeTr(Addr start, Addr end, uint64_t icount, EdgeKind kind, Addr to)
+{
+    BlockTransition tr;
+    tr.from.start = start;
+    tr.from.end = end;
+    tr.from.icount = icount;
+    tr.kind = kind;
+    tr.toStart = to;
+    return tr;
+}
+
+bool
+sameTr(const BlockTransition &a, const BlockTransition &b)
+{
+    return a.from == b.from && a.toStart == b.toStart && a.kind == b.kind;
+}
+
+std::vector<BlockTransition>
+syntheticStream(size_t n)
+{
+    std::vector<BlockTransition> stream;
+    stream.reserve(n);
+    Addr pc = 0x1000;
+    for (size_t i = 0; i < n; ++i) {
+        Addr next = 0x1000 + static_cast<Addr>((i * 13) % 4096);
+        auto kind = static_cast<EdgeKind>(i % 6); // everything but Halt
+        stream.push_back(makeTr(pc, pc + 8 + (i % 5), 1 + (i % 17),
+                                kind, next));
+        pc = next;
+    }
+    // Final halt record: no successor block.
+    stream.push_back(
+        makeTr(pc, pc + 4, 3, EdgeKind::Halt, kNoAddr));
+    return stream;
+}
+
+TEST(TraceLog, MemoryRoundTrip)
+{
+    auto stream = syntheticStream(100);
+    std::vector<uint8_t> bytes;
+    {
+        TraceLogWriter writer(&bytes);
+        for (const auto &tr : stream)
+            writer.append(tr);
+        writer.finish();
+        EXPECT_EQ(writer.records(), stream.size());
+    }
+    auto back = readTraceLog(bytes);
+    ASSERT_EQ(back.size(), stream.size());
+    for (size_t i = 0; i < stream.size(); ++i)
+        EXPECT_TRUE(sameTr(back[i], stream[i])) << "record " << i;
+}
+
+TEST(TraceLog, EmptyLogIsValid)
+{
+    std::vector<uint8_t> bytes;
+    {
+        TraceLogWriter writer(&bytes);
+        writer.finish();
+    }
+    TraceLogReader reader(bytes);
+    BlockTransition tr;
+    EXPECT_FALSE(reader.next(tr));
+    EXPECT_FALSE(reader.next(tr)); // idempotent at end
+    EXPECT_EQ(reader.recordsRead(), 0u);
+}
+
+TEST(TraceLog, MultiChunkStreamsCleanly)
+{
+    // Cross several chunk boundaries and end mid-chunk.
+    size_t n = TraceLogFormat::kChunkRecords * 3 + 123;
+    auto stream = syntheticStream(n);
+    std::vector<uint8_t> bytes;
+    {
+        TraceLogWriter writer(&bytes);
+        for (const auto &tr : stream)
+            writer.append(tr);
+        writer.finish();
+    }
+    TraceLogReader reader(std::move(bytes));
+    BlockTransition tr;
+    size_t i = 0;
+    while (reader.next(tr)) {
+        ASSERT_LT(i, stream.size());
+        EXPECT_TRUE(sameTr(tr, stream[i])) << "record " << i;
+        ++i;
+    }
+    EXPECT_EQ(i, stream.size());
+    EXPECT_EQ(reader.recordsRead(), stream.size());
+}
+
+TEST(TraceLog, DestructorFinishesUnfinishedLog)
+{
+    std::vector<uint8_t> bytes;
+    {
+        TraceLogWriter writer(&bytes);
+        writer.append(makeTr(0x100, 0x108, 4, EdgeKind::Jump, 0x100));
+        // No explicit finish(): the destructor must emit the trailer.
+    }
+    auto back = readTraceLog(bytes);
+    EXPECT_EQ(back.size(), 1u);
+}
+
+TEST(TraceLog, AppendAfterFinishPanics)
+{
+    std::vector<uint8_t> bytes;
+    TraceLogWriter writer(&bytes);
+    writer.finish();
+    EXPECT_THROW(
+        writer.append(makeTr(0x100, 0x108, 4, EdgeKind::Jump, 0x100)),
+        PanicError);
+}
+
+TEST(TraceLog, FileRoundTrip)
+{
+    std::string path = "test_tracelog_roundtrip.tlog";
+    auto stream = syntheticStream(500);
+    {
+        TraceLogWriter writer(path);
+        for (const auto &tr : stream)
+            writer.append(tr);
+        writer.finish();
+    }
+    TraceLogReader reader = TraceLogReader::openFile(path);
+    BlockTransition tr;
+    size_t i = 0;
+    while (reader.next(tr))
+        EXPECT_TRUE(sameTr(tr, stream[i++]));
+    EXPECT_EQ(i, stream.size());
+    std::remove(path.c_str());
+}
+
+TEST(TraceLog, UnopenableFileIsFatal)
+{
+    EXPECT_THROW(TraceLogWriter("/nonexistent-dir/x.tlog"), FatalError);
+    EXPECT_THROW(TraceLogReader::openFile("no-such-file.tlog"),
+                 FatalError);
+}
+
+TEST(TraceLog, RecordedWorkloadRoundTrips)
+{
+    // The real producer: a hooked VM run through a BlockTracker.
+    Workload w = Workloads::build("syn.mcf", InputSize::Test);
+    std::vector<BlockTransition> live;
+    std::vector<uint8_t> bytes;
+    {
+        TraceLogWriter writer(&bytes);
+        Machine m(w.program);
+        BlockTracker tracker(w.program, [&](const BlockTransition &tr) {
+            live.push_back(tr);
+            writer.append(tr);
+        });
+        m.runHooked([&](const EdgeEvent &ev) { tracker.onEdge(ev); },
+                    false);
+        writer.finish();
+    }
+    ASSERT_FALSE(live.empty());
+    auto back = readTraceLog(bytes);
+    ASSERT_EQ(back.size(), live.size());
+    for (size_t i = 0; i < live.size(); ++i)
+        ASSERT_TRUE(sameTr(back[i], live[i])) << "record " << i;
+    // The last record of a halted run carries no successor.
+    EXPECT_EQ(back.back().toStart, kNoAddr);
+}
+
+} // namespace
+} // namespace tea

@@ -1,0 +1,52 @@
+# Usage-path smoke test for the teadbt CLI, run via
+#   cmake -DTEADBT=<path> -P check_usage.cmake
+#
+# Every case below is an invalid invocation: it must exit nonzero and
+# print the usage text to stderr. A case that "succeeds", crashes, or
+# stays silent fails the test.
+
+if(NOT TEADBT)
+    message(FATAL_ERROR "pass -DTEADBT=<path to teadbt>")
+endif()
+
+# Each entry is a |-separated argv; NONE means "no arguments at all".
+set(cases
+    "NONE"                    # no subcommand
+    "frobnicate"              # unknown subcommand
+    "run"                     # missing <prog>
+    "disasm"
+    "record"
+    "replay|syn.mcf"          # missing --traces
+    "translate"
+    "simulate"
+    "info"                    # missing --traces/--tea
+    "dot"
+    "record-log|syn.mcf"      # missing --log
+    "record-log"
+    "batch-replay"            # missing <tea> <log>...
+    "batch-replay|only.tea"   # missing logs
+    "batch-replay|--jobs|0|a.tea|b.tlog" # bad worker count
+    "run|syn.mcf|stray-arg"   # excess positional
+    "run|--bogus-flag"        # unknown flag
+)
+
+foreach(case IN LISTS cases)
+    if(case STREQUAL "NONE")
+        set(args "")
+    else()
+        string(REPLACE "|" ";" args "${case}")
+    endif()
+    execute_process(COMMAND ${TEADBT} ${args}
+                    RESULT_VARIABLE rv
+                    OUTPUT_VARIABLE out
+                    ERROR_VARIABLE err)
+    if(rv EQUAL 0)
+        message(FATAL_ERROR "teadbt ${case}: expected failure, got exit 0")
+    endif()
+    if(NOT err MATCHES "usage:")
+        message(FATAL_ERROR
+                "teadbt ${case}: exit ${rv} but no usage on stderr:\n${err}")
+    endif()
+endforeach()
+
+message(STATUS "all ${CMAKE_ARGC} usage paths exit nonzero with usage")

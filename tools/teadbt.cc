@@ -16,6 +16,11 @@
  *   info --traces F | --tea F          inspect a saved traces/TEA file
  *   dot <prog> [--selector S]          print the TEA in GraphViz DOT
  *   workloads                          list the synthetic SPEC suite
+ *   record-log <prog> --log F [--pin]  record the block-transition
+ *                                      stream to a trace log (svc)
+ *   batch-replay --jobs N <tea> <log>...
+ *                                      replay many trace logs on a
+ *                                      worker pool (svc)
  *
  * <prog> is either a TinyX86 assembly file path or a workload name
  * ("syn.gzip"); workload names accept --size test|train|ref.
@@ -32,6 +37,9 @@
 #include "isa/assembler.hh"
 #include "isa/disasm.hh"
 #include "sim/cycle_model.hh"
+#include "svc/registry.hh"
+#include "svc/replay_service.hh"
+#include "svc/tracelog.hh"
 #include "tea/builder.hh"
 #include "tea/profiler.hh"
 #include "tea/recorder.hh"
@@ -58,6 +66,9 @@ struct Options
     std::string size = "train";
     std::string tracesFile;
     std::string teaFile;
+    std::string logFile;
+    std::vector<std::string> extraArgs; ///< positionals after the first
+    int jobs = 1;
     bool pinPolicy = false;
     bool optimize = false;
     bool noGlobal = false;
@@ -81,6 +92,9 @@ usage()
         "  info --traces F | --tea F\n"
         "  dot <prog> [--selector S]\n"
         "  workloads\n"
+        "  record-log <prog> --log out.tlog [--pin] [--size S]\n"
+        "  batch-replay [--jobs N] <tea-file> <log>...\n"
+        "         [--no-global] [--no-local]\n"
         "<prog> is an assembly file or a workload name like syn.gzip\n",
         stderr);
     std::exit(2);
@@ -109,7 +123,13 @@ parseArgs(int argc, char **argv)
             opt.tracesFile = value();
         else if (arg == "--tea")
             opt.teaFile = value();
-        else if (arg == "--pin")
+        else if (arg == "--log")
+            opt.logFile = value();
+        else if (arg == "--jobs") {
+            opt.jobs = std::atoi(value().c_str());
+            if (opt.jobs < 1)
+                usage();
+        } else if (arg == "--pin")
             opt.pinPolicy = true;
         else if (arg == "--no-global")
             opt.noGlobal = true;
@@ -124,7 +144,7 @@ parseArgs(int argc, char **argv)
         else if (positional++ == 0)
             opt.program = arg;
         else
-            usage();
+            opt.extraArgs.push_back(arg);
     }
     return opt;
 }
@@ -394,6 +414,68 @@ cmdDot(const Options &opt)
 }
 
 int
+cmdRecordLog(const Options &opt)
+{
+    if (opt.logFile.empty())
+        usage();
+    Program prog = loadProgram(opt);
+    TraceLogWriter writer(opt.logFile);
+    Machine m(prog);
+    BlockTracker tracker(
+        prog, [&](const BlockTransition &tr) { writer.append(tr); },
+        /*rep_per_iteration=*/opt.pinPolicy,
+        /*collect_blocks=*/false);
+    m.runHooked([&](const EdgeEvent &ev) { tracker.onEdge(ev); },
+                /*split_at_special=*/opt.pinPolicy);
+    writer.finish();
+    std::printf("wrote %s: %llu block transitions\n", opt.logFile.c_str(),
+                static_cast<unsigned long long>(writer.records()));
+    return 0;
+}
+
+int
+cmdBatchReplay(const Options &opt)
+{
+    // First positional is the serialized TEA; the rest are trace logs.
+    if (opt.program.empty() || opt.extraArgs.empty())
+        usage();
+    AutomatonRegistry registry;
+    auto tea = registry.loadFile(opt.program, opt.program);
+
+    LookupConfig cfg;
+    cfg.useGlobalBTree = !opt.noGlobal;
+    cfg.useLocalCache = !opt.noLocal;
+    ReplayService service(static_cast<size_t>(opt.jobs), cfg);
+
+    std::vector<ReplayJob> jobsVec;
+    jobsVec.reserve(opt.extraArgs.size());
+    for (const std::string &log : opt.extraArgs)
+        jobsVec.push_back(ReplayJob{tea, log, nullptr});
+
+    BatchResult batch = service.runBatch(jobsVec);
+    for (size_t i = 0; i < batch.streams.size(); ++i) {
+        const StreamResult &res = batch.streams[i];
+        if (!res.ok()) {
+            std::printf("%-24s FAILED: %s\n", opt.extraArgs[i].c_str(),
+                        res.error.c_str());
+            continue;
+        }
+        std::printf("%-24s coverage %6.2f%%  %10llu blocks  %9llu "
+                    "transitions\n",
+                    opt.extraArgs[i].c_str(), res.stats.coverage() * 100.0,
+                    static_cast<unsigned long long>(res.stats.blocks),
+                    static_cast<unsigned long long>(res.stats.transitions));
+    }
+    std::printf("batch: %zu streams on %zu workers, %zu failed; total "
+                "coverage %.2f%% (%llu of %llu instructions)\n",
+                batch.streams.size(), service.workers(), batch.failures,
+                batch.total.coverage() * 100.0,
+                static_cast<unsigned long long>(batch.total.insnsInTrace),
+                static_cast<unsigned long long>(batch.total.insnsTotal));
+    return batch.failures == 0 ? 0 : 1;
+}
+
+int
 cmdWorkloads()
 {
     std::printf("%-14s %-14s %-5s\n", "name", "substitutes", "kind");
@@ -412,6 +494,9 @@ main(int argc, char **argv)
 {
     try {
         Options opt = parseArgs(argc, argv);
+        // Only batch-replay takes more than one positional argument.
+        if (opt.command != "batch-replay" && !opt.extraArgs.empty())
+            usage();
         if (opt.command == "run")
             return cmdRun(opt);
         if (opt.command == "disasm")
@@ -430,6 +515,10 @@ main(int argc, char **argv)
             return cmdDot(opt);
         if (opt.command == "workloads")
             return cmdWorkloads();
+        if (opt.command == "record-log")
+            return cmdRecordLog(opt);
+        if (opt.command == "batch-replay")
+            return cmdBatchReplay(opt);
         usage();
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
