@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Networked replay throughput: loopback streams/sec at 1, 2, 4, ...
+ * concurrent clients against a TeaServer.
+ *
+ * Records one `syn.gzip` trace log, uploads the automaton once, then
+ * replays a fixed batch of streams through N client threads (server
+ * sized to N workers). At every scale the client-side results are
+ * checked bit-identical to a local ReplayService::runBatch over the
+ * same jobs: per-stream stats, per-stream profiles, and the merged
+ * per-TBB profile — the wire adds framing, never drift.
+ *
+ * Note the speedup column measures the *host*: on a single-core
+ * container every client count necessarily lands near 1.0x, and the
+ * delta between net and local streams/sec is the protocol cost.
+ *
+ * Usage: net_throughput [--size test|train|ref] [--streams N]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include "bench/harness.hh"
+#include "net/client.hh"
+#include "net/server.hh"
+#include "svc/replay_service.hh"
+#include "svc/tracelog.hh"
+#include "tea/builder.hh"
+#include "util/table.hh"
+#include "util/timer.hh"
+#include "vm/machine.hh"
+
+using namespace tea;
+using namespace tea::bench;
+
+namespace {
+
+/** Record a workload's transition stream into an in-memory log. */
+std::vector<uint8_t>
+recordLog(const Program &prog)
+{
+    std::vector<uint8_t> bytes;
+    TraceLogWriter writer(&bytes);
+    Machine m(prog);
+    BlockTracker tracker(
+        prog, [&](const BlockTransition &tr) { writer.append(tr); },
+        /*rep_per_iteration=*/false, /*collect_blocks=*/false);
+    m.runHooked([&](const EdgeEvent &ev) { tracker.onEdge(ev); }, false);
+    writer.finish();
+    return bytes;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    InputSize size = sizeFromArgs(argc, argv);
+    size_t streams = 32;
+    for (int i = 1; i < argc; ++i)
+        if (!std::strcmp(argv[i], "--streams") && i + 1 < argc)
+            streams = static_cast<size_t>(std::atoi(argv[i + 1]));
+    if (streams == 0)
+        streams = 1;
+
+    // One workload so the merged per-TBB profile is populated (the
+    // batch merge is only defined when every stream shares a TEA).
+    Workload w = Workloads::build("syn.gzip", size);
+    auto tea = std::make_shared<const Tea>(
+        buildTea(recordWithDbt(w, "mret")));
+    std::vector<uint8_t> log = recordLog(w.program);
+
+    // Local reference: the same batch through ReplayService.
+    std::vector<ReplayJob> jobs(streams, ReplayJob{tea, "", &log});
+    ReplayService local(1);
+    BatchResult reference = local.runBatch(jobs);
+    if (reference.failures != 0) {
+        std::fprintf(stderr, "local reference batch failed\n");
+        return 1;
+    }
+    Stopwatch localTimer;
+    local.runBatch(jobs);
+    double localMs = localTimer.elapsedMillis();
+
+    unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    std::printf("net_throughput: %zu streams of %.1f MiB over loopback "
+                "TCP, host has %u hardware threads "
+                "(local 1-worker batch: %.1f ms)\n",
+                streams, static_cast<double>(log.size()) / (1 << 20),
+                hw, localMs);
+
+    TextTable table({"clients", "batch ms", "streams/s", "speedup"});
+    double base_sps = 0.0;
+    for (unsigned clients = 1; clients <= std::max(4u, hw);
+         clients *= 2) {
+        ServerConfig cfg;
+        cfg.endpoint = "tcp:127.0.0.1:0";
+        cfg.workers = clients;
+        TeaServer server(cfg);
+        server.start();
+        std::string ep = server.endpoint();
+        {
+            TeaClient admin = TeaClient::connect(ep);
+            admin.putAutomaton("gzip", *tea);
+        }
+
+        // Streams round-robined over the clients; every client keeps
+        // its connection for its whole share of the batch.
+        std::vector<StreamResult> results(streams);
+        std::vector<int> failed(clients, 0);
+        Stopwatch timer;
+        std::vector<std::thread> threads;
+        for (unsigned c = 0; c < clients; ++c) {
+            threads.emplace_back([&, c] {
+                try {
+                    TeaClient client = TeaClient::connect(ep);
+                    RemoteReplayOptions opt;
+                    opt.wantProfile = true;
+                    for (size_t s = c; s < streams; s += clients) {
+                        RemoteReplayResult r =
+                            client.replay("gzip", log, opt);
+                        results[s].stats = r.stats;
+                        results[s].execCounts = std::move(r.execCounts);
+                    }
+                } catch (const FatalError &e) {
+                    std::fprintf(stderr, "client %u: %s\n", c, e.what());
+                    failed[c] = 1;
+                }
+            });
+        }
+        for (auto &t : threads)
+            t.join();
+        double ms = timer.elapsedMillis();
+        for (unsigned c = 0; c < clients; ++c)
+            if (failed[c])
+                return 1;
+        server.stop();
+
+        // Bit-identical to the local batch: per-stream and merged.
+        std::vector<uint64_t> merged(tea->numStates(), 0);
+        for (size_t s = 0; s < streams; ++s) {
+            if (!(results[s].stats == reference.streams[s].stats) ||
+                results[s].execCounts !=
+                    reference.streams[s].execCounts) {
+                std::fprintf(stderr,
+                             "stream %zu diverges from the local batch "
+                             "at %u clients\n", s, clients);
+                return 1;
+            }
+            for (size_t i = 0; i < results[s].execCounts.size(); ++i)
+                merged[i] += results[s].execCounts[i];
+        }
+        if (merged != reference.mergedExecCounts) {
+            std::fprintf(stderr,
+                         "merged profile diverges at %u clients\n",
+                         clients);
+            return 1;
+        }
+
+        double sps = ms > 0 ? 1e3 * static_cast<double>(streams) / ms : 0;
+        if (clients == 1)
+            base_sps = sps;
+        table.addRow({std::to_string(clients), TextTable::num(ms, 1),
+                      TextTable::num(sps, 1),
+                      TextTable::num(base_sps > 0 ? sps / base_sps : 0.0,
+                                     2)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("(remote results bit-identical to the local batch at "
+                "every client count)\n");
+    return 0;
+}

@@ -1,0 +1,152 @@
+#include "net/client.hh"
+
+#include <algorithm>
+
+#include "tea/serialize.hh"
+
+namespace tea {
+
+TeaClient
+TeaClient::connect(const std::string &endpoint)
+{
+    TeaClient c(Socket::connectTo(Endpoint::parse(endpoint)));
+    PayloadWriter w;
+    w.u32(Wire::kMagic);
+    w.u32(Wire::kVersion);
+    c.sendFrame(MsgType::Hello, w);
+    Frame ok = c.expect(MsgType::HelloOk);
+    PayloadReader r(ok.payload);
+    uint32_t version = r.u32();
+    r.expectEnd();
+    if (version != Wire::kVersion)
+        fatal("server speaks protocol version %u, want %u", version,
+              Wire::kVersion);
+    return c;
+}
+
+void
+TeaClient::sendFrame(MsgType type, const PayloadWriter &w)
+{
+    std::vector<uint8_t> bytes;
+    appendFrame(bytes, type, w.out());
+    sock.sendAll(bytes.data(), bytes.size());
+}
+
+Frame
+TeaClient::recvFrame()
+{
+    Frame frame;
+    uint8_t buf[64 * 1024];
+    while (!decoder.poll(frame)) {
+        size_t n = sock.recvSome(buf, sizeof(buf));
+        if (n == 0)
+            fatal("server closed the connection");
+        decoder.feed(buf, n);
+    }
+    return frame;
+}
+
+Frame
+TeaClient::expect(MsgType want)
+{
+    Frame frame = recvFrame();
+    if (frame.type == want)
+        return frame;
+    if (frame.type == MsgType::Busy)
+        throw ServerBusy("server busy: admission queue full");
+    if (frame.type == MsgType::Error) {
+        PayloadReader r(frame.payload);
+        r.u8(); // fatal flag; either way this request is over
+        fatal("server error: %s", r.str(64 * 1024).c_str());
+    }
+    fatal("unexpected reply type 0x%02x",
+          static_cast<unsigned>(frame.type));
+}
+
+void
+TeaClient::putAutomaton(const std::string &name,
+                        const std::vector<uint8_t> &teaBytes)
+{
+    PayloadWriter w;
+    w.str(name);
+    w.raw(teaBytes.data(), teaBytes.size());
+    sendFrame(MsgType::PutAutomaton, w);
+    expect(MsgType::PutOk);
+}
+
+void
+TeaClient::putAutomaton(const std::string &name, const Tea &tea)
+{
+    putAutomaton(name, saveTea(tea));
+}
+
+std::vector<std::string>
+TeaClient::list()
+{
+    sendFrame(MsgType::List, PayloadWriter{});
+    Frame ok = expect(MsgType::ListOk);
+    PayloadReader r(ok.payload);
+    uint32_t count = r.u32();
+    std::vector<std::string> names;
+    names.reserve(count);
+    for (uint32_t i = 0; i < count; ++i)
+        names.push_back(r.str(Wire::kMaxName));
+    r.expectEnd();
+    return names;
+}
+
+bool
+TeaClient::evict(const std::string &name)
+{
+    PayloadWriter w;
+    w.str(name);
+    sendFrame(MsgType::Evict, w);
+    Frame ok = expect(MsgType::EvictOk);
+    PayloadReader r(ok.payload);
+    bool found = r.u8() != 0;
+    r.expectEnd();
+    return found;
+}
+
+RemoteReplayResult
+TeaClient::replay(const std::string &name, const uint8_t *log,
+                  size_t len, RemoteReplayOptions opt)
+{
+    PayloadWriter begin;
+    begin.str(name);
+    uint8_t flags = 0;
+    if (opt.wantProfile)
+        flags |= ReplayFlags::kProfile;
+    if (opt.noGlobal)
+        flags |= ReplayFlags::kNoGlobal;
+    if (opt.noLocal)
+        flags |= ReplayFlags::kNoLocal;
+    begin.u8(flags);
+    sendFrame(MsgType::ReplayBegin, begin);
+    // Wait for the ack before streaming: an unknown name fails here,
+    // with no log bytes wasted on the wire.
+    expect(MsgType::ReplayOk);
+
+    for (size_t off = 0; off < len; off += Wire::kReplayChunk) {
+        size_t n = std::min(Wire::kReplayChunk, len - off);
+        PayloadWriter chunk;
+        chunk.raw(log + off, n);
+        sendFrame(MsgType::ReplayChunk, chunk);
+    }
+    sendFrame(MsgType::ReplayEnd, PayloadWriter{});
+
+    Frame result = expect(MsgType::ReplayResult);
+    PayloadReader r(result.payload);
+    RemoteReplayResult out;
+    out.stats = decodeStats(r);
+    if (r.u8() != 0) {
+        uint32_t states = r.u32();
+        out.execCounts.reserve(states);
+        for (uint32_t i = 0; i < states; ++i)
+            out.execCounts.push_back(r.u64());
+    }
+    r.expectEnd();
+    return out;
+}
+
+} // namespace tea

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * TeaClient: the dialing side of the tead wire protocol.
+ *
+ * A thin, blocking, single-connection client: connect() performs the
+ * versioned HELLO handshake, then each method is one request/response
+ * exchange (replay() is one request of many frames). Server-reported
+ * request failures and protocol violations surface as FatalError; a
+ * server that answers the handshake with BUSY (admission queue full)
+ * throws the ServerBusy subclass so callers can back off and retry
+ * without string-matching.
+ *
+ * The client is not thread-safe: one connection, one conversation.
+ * Open more clients for parallelism — the loopback integration test
+ * and bench/net_throughput run one client per thread.
+ */
+
+#ifndef TEA_NET_CLIENT_HH
+#define TEA_NET_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.hh"
+#include "net/socket.hh"
+#include "tea/automaton.hh"
+#include "util/logging.hh"
+
+namespace tea {
+
+/** The server refused admission (its session queue is full). */
+class ServerBusy : public FatalError
+{
+  public:
+    using FatalError::FatalError;
+};
+
+/** Per-replay options, mirroring REPLAY_BEGIN's flag bits. */
+struct RemoteReplayOptions
+{
+    bool wantProfile = false; ///< return per-TBB execution counts
+    bool noGlobal = false;    ///< LookupConfig::useGlobalBTree = false
+    bool noLocal = false;     ///< LookupConfig::useLocalCache = false
+};
+
+/** One remote stream's outcome. */
+struct RemoteReplayResult
+{
+    ReplayStats stats;
+    /** Per-state execution counts; empty unless wantProfile was set. */
+    std::vector<uint64_t> execCounts;
+};
+
+class TeaClient
+{
+  public:
+    /**
+     * Dial and shake hands.
+     * @throws ServerBusy when the server refuses admission
+     * @throws FatalError on connect or protocol failures
+     */
+    static TeaClient connect(const std::string &endpoint);
+
+    /** Upload a serialized TEA under `name` (replaces an older one). */
+    void putAutomaton(const std::string &name,
+                      const std::vector<uint8_t> &teaBytes);
+
+    /** Serialize and upload an automaton. */
+    void putAutomaton(const std::string &name, const Tea &tea);
+
+    /** Names registered on the server, sorted. */
+    std::vector<std::string> list();
+
+    /** Drop a name on the server. @return false when it was absent. */
+    bool evict(const std::string &name);
+
+    /**
+     * Stream a trace log and replay it remotely.
+     * @throws FatalError when the server rejects the stream (unknown
+     *         name, corrupt log) or the connection breaks
+     */
+    RemoteReplayResult replay(const std::string &name,
+                              const uint8_t *log, size_t len,
+                              RemoteReplayOptions opt = {});
+
+    RemoteReplayResult
+    replay(const std::string &name, const std::vector<uint8_t> &log,
+           RemoteReplayOptions opt = {})
+    {
+        return replay(name, log.data(), log.size(), opt);
+    }
+
+    void close() { sock.close(); }
+
+  private:
+    explicit TeaClient(Socket s) : sock(std::move(s)) {}
+
+    void sendFrame(MsgType type, const PayloadWriter &w);
+    /** Blocking read of the next frame. @throws FatalError on EOF. */
+    Frame recvFrame();
+    /**
+     * recvFrame(), then unwrap: BUSY throws ServerBusy, ERROR throws
+     * FatalError with the server's message, any type other than `want`
+     * throws. @return the frame of type `want`
+     */
+    Frame expect(MsgType want);
+
+    Socket sock;
+    FrameDecoder decoder;
+};
+
+} // namespace tea
+
+#endif // TEA_NET_CLIENT_HH

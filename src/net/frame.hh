@@ -1,0 +1,202 @@
+/**
+ * @file
+ * The tead wire protocol: length-prefixed, CRC-protected frames.
+ *
+ * Every message on a connection — in either direction — is one frame:
+ *
+ *   u32 body length       ; 1 (type byte) + payload bytes, ≤ 64 MiB + 1
+ *   u8  message type      ; MsgType
+ *   payload               ; message-specific, see docs/FORMATS.md
+ *   u32 CRC-32            ; over the length field AND the body
+ *
+ * All integers are little endian, matching the repo's other formats.
+ * The CRC covers the length prefix so a corrupted length cannot
+ * reframe the stream undetected: whatever bytes the corrupt length
+ * selects as a "frame", the checksum was computed over different ones.
+ *
+ * The decoder is a pure byte-stream machine with no socket knowledge,
+ * which is what makes the protocol fuzzable in-process
+ * (tests/test_net_fuzz.cc): feed() any byte salad, poll() either
+ * yields intact frames or throws FatalError — never returns a frame
+ * whose checksum did not verify, and never allocates more than the
+ * frame cap no matter what the length field claims.
+ *
+ * A session is a conversation of frames:
+ *
+ *   client: HELLO {magic, version}     server: HELLO_OK | BUSY | ERROR
+ *   client: PUT_AUTOMATON {name, tea}  server: PUT_OK | ERROR
+ *   client: LIST                       server: LIST_OK
+ *   client: EVICT {name}               server: EVICT_OK
+ *   client: REPLAY_BEGIN {name, flags} server: REPLAY_OK | ERROR
+ *   client: REPLAY_CHUNK {log bytes}*  (no reply per chunk)
+ *   client: REPLAY_END                 server: REPLAY_STATS | ERROR
+ *
+ * ERROR carries a "fatal" flag: requests that merely failed (unknown
+ * automaton, corrupt TEA bytes, corrupt log) keep the session alive;
+ * protocol violations (bad magic, bad CRC, message out of order) close
+ * the connection right after the ERROR frame.
+ */
+
+#ifndef TEA_NET_FRAME_HH
+#define TEA_NET_FRAME_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tea/replayer.hh"
+
+namespace tea {
+
+/** Protocol constants shared by client, server, and the fuzz tests. */
+struct Wire
+{
+    static constexpr uint32_t kMagic = 0x5445414e; // "TEAN"
+    static constexpr uint32_t kVersion = 1;
+    /** Hard cap on one frame's payload (PUT_AUTOMATON is the largest). */
+    static constexpr uint32_t kMaxPayload = 64u << 20;
+    /** Longest accepted automaton name. */
+    static constexpr size_t kMaxName = 256;
+    /** Per-stream cap on accumulated REPLAY_CHUNK bytes. */
+    static constexpr uint64_t kMaxLogBytes = 256ull << 20;
+    /** Client-side split size for REPLAY_CHUNK frames. */
+    static constexpr size_t kReplayChunk = 256u << 10;
+};
+
+enum class MsgType : uint8_t {
+    Hello = 0x01,
+    HelloOk = 0x02,
+    Busy = 0x03,
+    Error = 0x04,
+    PutAutomaton = 0x10,
+    PutOk = 0x11,
+    List = 0x12,
+    ListOk = 0x13,
+    Evict = 0x14,
+    EvictOk = 0x15,
+    ReplayBegin = 0x20,
+    ReplayOk = 0x21,
+    ReplayChunk = 0x22,
+    ReplayEnd = 0x23,
+    ReplayResult = 0x24,
+};
+
+/** REPLAY_BEGIN flag bits. */
+struct ReplayFlags
+{
+    static constexpr uint8_t kProfile = 1u << 0;  ///< return execCounts
+    static constexpr uint8_t kNoGlobal = 1u << 1; ///< LookupConfig
+    static constexpr uint8_t kNoLocal = 1u << 2;  ///< LookupConfig
+};
+
+/** One decoded frame. */
+struct Frame
+{
+    MsgType type;
+    std::vector<uint8_t> payload;
+};
+
+/** Append one encoded frame to `out`. @throws PanicError when oversize. */
+void appendFrame(std::vector<uint8_t> &out, MsgType type,
+                 const uint8_t *payload, size_t len);
+
+inline void
+appendFrame(std::vector<uint8_t> &out, MsgType type,
+            const std::vector<uint8_t> &payload)
+{
+    appendFrame(out, type, payload.data(), payload.size());
+}
+
+/**
+ * Incremental frame extraction from a byte stream.
+ *
+ * feed() appends raw bytes; poll() pops the next complete frame.
+ * Malformed framing — zero or oversize length, CRC mismatch — throws
+ * FatalError and poisons the decoder (every later poll() rethrows),
+ * because nothing after a framing error can be trusted.
+ */
+class FrameDecoder
+{
+  public:
+    void feed(const uint8_t *data, size_t len);
+
+    /**
+     * @return true and fill `out` when a complete frame is buffered
+     * @throws FatalError on malformed framing
+     */
+    bool poll(Frame &out);
+
+    /** True when no partial frame is buffered (a clean cut point). */
+    bool atBoundary() const { return buf.size() == head; }
+
+    /** Bytes buffered but not yet consumed. */
+    size_t buffered() const { return buf.size() - head; }
+
+  private:
+    std::vector<uint8_t> buf;
+    size_t head = 0; ///< consumed prefix of buf
+    bool poisoned = false;
+};
+
+// --------------------------------------------------------- payload codecs
+
+/** Little-endian payload builder for frame payloads. */
+class PayloadWriter
+{
+  public:
+    void u8(uint8_t v) { bytes.push_back(v); }
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    /** u32 length + raw bytes. */
+    void str(const std::string &s);
+    /** Raw bytes, no length prefix (must be the payload's tail). */
+    void raw(const uint8_t *data, size_t len);
+
+    const std::vector<uint8_t> &out() const { return bytes; }
+
+  private:
+    std::vector<uint8_t> bytes;
+};
+
+/**
+ * Little-endian payload parser. Underruns, over-long strings, and
+ * trailing garbage (via expectEnd) throw FatalError, so a malformed
+ * payload can never be partially applied.
+ */
+class PayloadReader
+{
+  public:
+    explicit PayloadReader(const std::vector<uint8_t> &payload)
+        : data(payload.data()), len(payload.size())
+    {
+    }
+
+    uint8_t u8();
+    uint32_t u32();
+    uint64_t u64();
+    /** u32 length + bytes; @throws FatalError when longer than maxLen. */
+    std::string str(size_t maxLen);
+    /** Everything not yet consumed. */
+    std::vector<uint8_t> rest();
+
+    size_t remaining() const { return len - pos; }
+    /** @throws FatalError unless the payload was fully consumed. */
+    void expectEnd() const;
+
+  private:
+    const uint8_t *need(size_t n);
+
+    const uint8_t *data;
+    size_t len;
+    size_t pos = 0;
+};
+
+/** Encode ReplayStats as 11 u64 fields in declaration order. */
+void encodeStats(PayloadWriter &w, const ReplayStats &st);
+
+/** Decode the encodeStats() layout. @throws FatalError on underrun. */
+ReplayStats decodeStats(PayloadReader &r);
+
+} // namespace tea
+
+#endif // TEA_NET_FRAME_HH

@@ -1,0 +1,129 @@
+#include "net/server.hh"
+
+#include <thread>
+
+#include "net/frame.hh"
+#include "net/session.hh"
+#include "util/logging.hh"
+
+namespace tea {
+
+TeaServer::TeaServer(ServerConfig config)
+    : cfg(std::move(config)),
+      pool(cfg.workers != 0
+               ? cfg.workers
+               : std::max(1u, std::thread::hardware_concurrency()))
+{
+    if (cfg.maxQueue == 0)
+        cfg.maxQueue = 1;
+}
+
+TeaServer::~TeaServer()
+{
+    stop();
+}
+
+void
+TeaServer::start()
+{
+    if (started.exchange(true))
+        panic("tead server: started twice");
+    listener = Listener::open(Endpoint::parse(cfg.endpoint));
+    acceptThread = std::thread([this] { acceptLoop(); });
+}
+
+std::string
+TeaServer::endpoint() const
+{
+    return started.load() ? listener.local().str() : cfg.endpoint;
+}
+
+uint16_t
+TeaServer::port() const
+{
+    return listener.local().port;
+}
+
+void
+TeaServer::acceptLoop()
+{
+    Socket sock;
+    while (listener.accept(sock)) {
+        if (stopping.load())
+            break; // socket closes on loop exit
+        if (pool.pending() >= cfg.maxQueue) {
+            // Backpressure: one BUSY frame, then close. Never queue
+            // beyond the bound, never buffer the client's bytes.
+            rejected.fetch_add(1);
+            std::vector<uint8_t> busy;
+            appendFrame(busy, MsgType::Busy, nullptr, 0);
+            try {
+                sock.sendAll(busy.data(), busy.size());
+            } catch (const FatalError &) {
+                // The client vanished first; nothing to report.
+            }
+            sock.close();
+            continue;
+        }
+        uint64_t id;
+        auto shared = std::make_shared<Socket>(std::move(sock));
+        {
+            std::lock_guard<std::mutex> lock(connMu);
+            id = nextConnId++;
+            conns.emplace(id, shared);
+        }
+        pool.submit([this, id, shared] {
+            serveConnection(*shared);
+            std::lock_guard<std::mutex> lock(connMu);
+            conns.erase(id);
+        });
+    }
+}
+
+void
+TeaServer::serveConnection(Socket &sock)
+{
+    try {
+        Session session(registry_, cfg.lookup);
+        std::vector<uint8_t> replies;
+        uint8_t buf[64 * 1024];
+        for (;;) {
+            size_t n = sock.recvSome(buf, sizeof(buf));
+            if (n == 0)
+                break; // peer closed (or stop() shut our read down)
+            replies.clear();
+            bool keep = session.consume(buf, n, replies);
+            if (!replies.empty())
+                sock.sendAll(replies.data(), replies.size());
+            if (!keep)
+                break;
+        }
+        served.fetch_add(1);
+    } catch (const FatalError &) {
+        // Socket-level failure (peer reset mid-write): the session is
+        // over either way; one broken client must not hurt the server.
+        served.fetch_add(1);
+    }
+}
+
+void
+TeaServer::stop()
+{
+    if (!started.load() || stopped.exchange(true))
+        return;
+    stopping.store(true);
+    listener.close(); // wakes the accept loop
+    if (acceptThread.joinable())
+        acceptThread.join();
+    // No new sessions can be admitted now. Shut down reads on the live
+    // ones: blocked recvs wake with EOF; an in-flight replay finishes
+    // and its reply still flushes, because the write side stays open.
+    {
+        std::lock_guard<std::mutex> lock(connMu);
+        for (auto &conn : conns)
+            conn.second->shutdownRead();
+    }
+    pool.drain(); // every running and queued session exits
+}
+
+} // namespace tea

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * TeaServer: the networked replay service ("tead").
+ *
+ * The paper's automata are pure data, so the replay side can be a
+ * remote service: clients upload serialized TEAs into the server's
+ * AutomatonRegistry and stream trace logs at it; the server replays
+ * each stream and returns its ReplayStats (plus the per-TBB profile on
+ * request). Results are computed by the same runReplayJob() the
+ * in-process ReplayService uses, so a remote replay is bit-identical
+ * to a local one — enforced by tests/test_net.cc and
+ * bench/net_throughput.
+ *
+ * Concurrency model — one accept thread, sessions on a ThreadPool:
+ *
+ * - the accept loop hands each admitted connection to the worker pool;
+ *   a session occupies its worker for the connection's lifetime, so
+ *   at most `workers` clients are served concurrently;
+ * - admission control is the pool's queue depth
+ *   (ThreadPool::pending()): when `maxQueue` sessions are already
+ *   waiting for a worker, new connections get one BUSY frame and an
+ *   immediate close — backpressure instead of unbounded memory;
+ * - stop() is graceful: the listener closes first (no new
+ *   connections), then every live session socket gets a read-side
+ *   shutdown — a replay already running completes and its reply is
+ *   flushed to the client before the connection closes, because
+ *   writes stay open. stop() returns only after every session exited.
+ */
+
+#ifndef TEA_NET_SERVER_HH
+#define TEA_NET_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/socket.hh"
+#include "svc/registry.hh"
+#include "svc/replay_service.hh"
+#include "util/threadpool.hh"
+
+namespace tea {
+
+struct ServerConfig
+{
+    /** "tcp:host:port" (port 0 = ephemeral) or "unix:/path". */
+    std::string endpoint = "tcp:127.0.0.1:0";
+    /** Session workers; 0 picks hardware_concurrency. */
+    size_t workers = 0;
+    /** Connections allowed to wait for a worker before BUSY (≥ 1). */
+    size_t maxQueue = 64;
+    /** Default lookup configuration for replays (per-stream flags win). */
+    LookupConfig lookup;
+};
+
+class TeaServer
+{
+  public:
+    explicit TeaServer(ServerConfig config);
+
+    /** Calls stop(). */
+    ~TeaServer();
+
+    TeaServer(const TeaServer &) = delete;
+    TeaServer &operator=(const TeaServer &) = delete;
+
+    /**
+     * Bind, listen, and start accepting. @throws FatalError when the
+     * endpoint cannot be bound. One-shot: a stopped server does not
+     * restart.
+     */
+    void start();
+
+    /** Graceful shutdown (see file comment); idempotent. */
+    void stop();
+
+    /** The bound endpoint with any ephemeral port resolved. */
+    std::string endpoint() const;
+
+    /** Resolved TCP port (0 for Unix endpoints). */
+    uint16_t port() const;
+
+    /** The automaton store; preload or inspect it directly. */
+    AutomatonRegistry &registry() { return registry_; }
+
+    size_t workers() const { return pool.workers(); }
+
+    /** Sessions admitted but still waiting for a worker. */
+    size_t queueDepth() const { return pool.pending(); }
+
+    // Counters for the CLI's exit report and the tests.
+    uint64_t sessionsServed() const { return served.load(); }
+    uint64_t busyRejected() const { return rejected.load(); }
+
+  private:
+    void acceptLoop();
+    void serveConnection(Socket &sock);
+
+    ServerConfig cfg;
+    AutomatonRegistry registry_;
+    ThreadPool pool;
+    Listener listener;
+    std::thread acceptThread;
+
+    std::mutex connMu;
+    uint64_t nextConnId = 0;
+    /** Live session sockets, so stop() can shut their reads down. */
+    std::unordered_map<uint64_t, std::shared_ptr<Socket>> conns;
+
+    std::atomic<bool> started{false};
+    std::atomic<bool> stopping{false};
+    std::atomic<bool> stopped{false};
+    std::atomic<uint64_t> served{0};
+    std::atomic<uint64_t> rejected{0};
+};
+
+} // namespace tea
+
+#endif // TEA_NET_SERVER_HH

@@ -1,0 +1,223 @@
+#include "net/session.hh"
+
+#include "tea/serialize.hh"
+#include "util/logging.hh"
+
+namespace tea {
+
+Session::Session(AutomatonRegistry &reg, LookupConfig cfg)
+    : registry(reg), lookup(cfg)
+{
+}
+
+void
+Session::reply(std::vector<uint8_t> &out, MsgType type,
+               const PayloadWriter &w)
+{
+    appendFrame(out, type, w.out());
+}
+
+void
+Session::replyError(std::vector<uint8_t> &out, bool fatal,
+                    const std::string &msg)
+{
+    PayloadWriter w;
+    w.u8(fatal ? 1 : 0);
+    w.str(msg);
+    appendFrame(out, MsgType::Error, w.out());
+}
+
+bool
+Session::consume(const uint8_t *data, size_t len,
+                 std::vector<uint8_t> &out)
+{
+    if (state == State::Closed)
+        return false;
+    decoder.feed(data, len);
+    for (;;) {
+        Frame frame;
+        try {
+            if (!decoder.poll(frame))
+                return true;
+        } catch (const FatalError &e) {
+            // Framing is broken; nothing later can be trusted.
+            replyError(out, /*fatal=*/true, e.what());
+            state = State::Closed;
+            return false;
+        }
+        if (!onFrame(frame, out)) {
+            state = State::Closed;
+            return false;
+        }
+    }
+}
+
+bool
+Session::onFrame(const Frame &frame, std::vector<uint8_t> &out)
+{
+    // Protocol-order checks first: a frame the current state does not
+    // admit is a violation, not a failed request.
+    switch (state) {
+    case State::ExpectHello:
+        if (frame.type != MsgType::Hello) {
+            replyError(out, true, "expected HELLO");
+            return false;
+        }
+        break;
+    case State::Ready:
+        if (frame.type != MsgType::PutAutomaton &&
+            frame.type != MsgType::List &&
+            frame.type != MsgType::Evict &&
+            frame.type != MsgType::ReplayBegin) {
+            replyError(out, true, "unexpected message type");
+            return false;
+        }
+        break;
+    case State::Streaming:
+        if (frame.type != MsgType::ReplayChunk &&
+            frame.type != MsgType::ReplayEnd) {
+            replyError(out, true,
+                       "expected REPLAY_CHUNK or REPLAY_END");
+            return false;
+        }
+        break;
+    case State::Closed:
+        return false;
+    }
+
+    if (frame.type == MsgType::Hello) {
+        try {
+            PayloadReader r(frame.payload);
+            uint32_t magic = r.u32();
+            uint32_t version = r.u32();
+            r.expectEnd();
+            if (magic != Wire::kMagic)
+                fatal("bad protocol magic 0x%08x", magic);
+            if (version != Wire::kVersion)
+                fatal("unsupported protocol version %u", version);
+        } catch (const FatalError &e) {
+            replyError(out, true, e.what());
+            return false;
+        }
+        PayloadWriter w;
+        w.u32(Wire::kVersion);
+        reply(out, MsgType::HelloOk, w);
+        state = State::Ready;
+        return true;
+    }
+
+    // Oversized stream accumulation is a resource violation: close
+    // rather than grow without bound.
+    if (frame.type == MsgType::ReplayChunk &&
+        streamLog.size() + frame.payload.size() > maxLogBytes) {
+        replyError(out, true, "replay stream exceeds the size cap");
+        return false;
+    }
+
+    // Everything else is a request: failures keep the session open.
+    try {
+        handleRequest(frame, out);
+    } catch (const FatalError &e) {
+        if (state == State::Streaming) {
+            // Abandon the stream; the client restarts with a new BEGIN.
+            streamTea.reset();
+            streamLog.clear();
+            state = State::Ready;
+        }
+        replyError(out, false, e.what());
+    }
+    return true;
+}
+
+void
+Session::handleRequest(const Frame &frame, std::vector<uint8_t> &out)
+{
+    switch (frame.type) {
+    case MsgType::PutAutomaton: {
+        PayloadReader r(frame.payload);
+        std::string name = r.str(Wire::kMaxName);
+        if (name.empty())
+            fatal("automaton name must not be empty");
+        Tea tea = loadTea(r.rest()); // validates; throws on corruption
+        auto snap = registry.put(name, std::move(tea));
+        PayloadWriter w;
+        w.u32(static_cast<uint32_t>(snap->numStates()));
+        reply(out, MsgType::PutOk, w);
+        return;
+    }
+    case MsgType::List: {
+        PayloadReader r(frame.payload);
+        r.expectEnd();
+        std::vector<std::string> names = registry.list();
+        PayloadWriter w;
+        w.u32(static_cast<uint32_t>(names.size()));
+        for (const std::string &n : names)
+            w.str(n);
+        reply(out, MsgType::ListOk, w);
+        return;
+    }
+    case MsgType::Evict: {
+        PayloadReader r(frame.payload);
+        std::string name = r.str(Wire::kMaxName);
+        r.expectEnd();
+        PayloadWriter w;
+        w.u8(registry.evict(name) ? 1 : 0);
+        reply(out, MsgType::EvictOk, w);
+        return;
+    }
+    case MsgType::ReplayBegin: {
+        PayloadReader r(frame.payload);
+        std::string name = r.str(Wire::kMaxName);
+        uint8_t flags = r.u8();
+        r.expectEnd();
+        auto snap = registry.get(name);
+        if (!snap)
+            fatal("no automaton named '%s'", name.c_str());
+        // Pin the snapshot now: a concurrent evict cannot touch it.
+        streamTea = std::move(snap);
+        streamLog.clear();
+        streamProfile = (flags & ReplayFlags::kProfile) != 0;
+        streamCfg = lookup;
+        streamCfg.useGlobalBTree = (flags & ReplayFlags::kNoGlobal) == 0;
+        streamCfg.useLocalCache = (flags & ReplayFlags::kNoLocal) == 0;
+        state = State::Streaming;
+        reply(out, MsgType::ReplayOk, PayloadWriter{});
+        return;
+    }
+    case MsgType::ReplayChunk:
+        streamLog.insert(streamLog.end(), frame.payload.begin(),
+                         frame.payload.end());
+        return;
+    case MsgType::ReplayEnd: {
+        PayloadReader r(frame.payload);
+        r.expectEnd();
+        ++replays;
+        ReplayJob job{streamTea, "", &streamLog};
+        StreamResult res = runReplayJob(job, streamCfg);
+        bool wantProfile = streamProfile;
+        streamTea.reset();
+        state = State::Ready;
+        if (!res.ok()) {
+            streamLog.clear();
+            fatal("replay failed: %s", res.error.c_str());
+        }
+        streamLog.clear();
+        PayloadWriter w;
+        encodeStats(w, res.stats);
+        w.u8(wantProfile ? 1 : 0);
+        if (wantProfile) {
+            w.u32(static_cast<uint32_t>(res.execCounts.size()));
+            for (uint64_t c : res.execCounts)
+                w.u64(c);
+        }
+        reply(out, MsgType::ReplayResult, w);
+        return;
+    }
+    default:
+        // onFrame() admits only the cases above per state.
+        panic("session: unhandled message type 0x%02x",
+              static_cast<unsigned>(frame.type));
+    }
+}
+
+} // namespace tea

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The server side of one tead connection, as a pure state machine.
+ *
+ * A Session consumes raw wire bytes and produces raw reply bytes; it
+ * knows nothing about sockets. The server (net/server.hh) pumps it
+ * from a connection's recv loop, and the fuzz tests
+ * (tests/test_net_fuzz.cc) pump it with mutated byte streams directly
+ * — the whole protocol surface is exercised in-process.
+ *
+ * Error containment is the contract:
+ *
+ * - framing failures (bad length, bad CRC) and protocol-order
+ *   violations append one fatal ERROR frame and end the session;
+ * - malformed or failing *requests* inside a well-framed stream
+ *   (unknown automaton, corrupt TEA bytes, corrupt trace log, bad
+ *   payload shape) append a non-fatal ERROR reply and keep the session
+ *   alive — the frame boundary is still trustworthy;
+ * - consume() itself never throws FatalError: every failure becomes an
+ *   ERROR frame or a closed session. (PanicError still propagates —
+ *   that is a library bug, not an input.)
+ *
+ * Replays run inline on the calling thread — the server executes
+ * sessions on its worker pool, so a REPLAY_END does its work on a pool
+ * worker, exactly like a ReplayService job. The automaton snapshot is
+ * pinned at REPLAY_BEGIN, so a concurrent evict never invalidates the
+ * stream being replayed (the registry's immutability contract).
+ */
+
+#ifndef TEA_NET_SESSION_HH
+#define TEA_NET_SESSION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/frame.hh"
+#include "svc/registry.hh"
+#include "svc/replay_service.hh"
+
+namespace tea {
+
+class Session
+{
+  public:
+    Session(AutomatonRegistry &registry, LookupConfig lookup = {});
+
+    /**
+     * Feed wire bytes; append any replies to `out`.
+     * @return false when the connection must close (after flushing out)
+     */
+    bool consume(const uint8_t *data, size_t len,
+                 std::vector<uint8_t> &out);
+
+    /** True once a HELLO has been accepted. */
+    bool handshaken() const { return state != State::ExpectHello; }
+
+    /** Streams replayed by this session (served + failed). */
+    uint64_t replaysRun() const { return replays; }
+
+    /**
+     * Lower the per-stream accumulation cap (default
+     * Wire::kMaxLogBytes). A testing seam: the fuzz tests prove the
+     * cap trips without buffering gigabytes.
+     */
+    void setMaxLogBytes(size_t cap) { maxLogBytes = cap; }
+
+  private:
+    enum class State { ExpectHello, Ready, Streaming, Closed };
+
+    bool onFrame(const Frame &frame, std::vector<uint8_t> &out);
+    void handleRequest(const Frame &frame, std::vector<uint8_t> &out);
+    static void reply(std::vector<uint8_t> &out, MsgType type,
+                      const PayloadWriter &w);
+    static void replyError(std::vector<uint8_t> &out, bool fatal,
+                           const std::string &msg);
+
+    AutomatonRegistry &registry;
+    LookupConfig lookup;
+    FrameDecoder decoder;
+    State state = State::ExpectHello;
+    uint64_t replays = 0;
+    size_t maxLogBytes = Wire::kMaxLogBytes;
+
+    // REPLAY_BEGIN .. REPLAY_END stream in progress:
+    std::shared_ptr<const Tea> streamTea; ///< pinned snapshot
+    std::vector<uint8_t> streamLog;       ///< accumulated chunk bytes
+    bool streamProfile = false;
+    LookupConfig streamCfg;
+};
+
+} // namespace tea
+
+#endif // TEA_NET_SESSION_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Minimal portable sockets for the replay server: endpoints, a
+ * connected stream socket, and a listening socket.
+ *
+ * Two transports, chosen by the endpoint spec:
+ *
+ *   tcp:<host>:<port>   TCP; port 0 binds an ephemeral port (tests
+ *                       read it back from Listener::local())
+ *   unix:<path>         a Unix-domain stream socket
+ *
+ * All I/O is blocking; concurrency lives one layer up (the server runs
+ * one session per worker thread, see net/server.hh). Errors surface as
+ * FatalError with the failing endpoint in the message; EOF is an
+ * in-band return value (recvSome() == 0), not an error, because a peer
+ * hanging up is a normal protocol event.
+ */
+
+#ifndef TEA_NET_SOCKET_HH
+#define TEA_NET_SOCKET_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tea {
+
+/** A parsed dialable/bindable address. */
+struct Endpoint
+{
+    enum class Kind { Tcp, Unix };
+
+    Kind kind = Kind::Tcp;
+    std::string host; ///< TCP only
+    uint16_t port = 0; ///< TCP only; 0 = ephemeral (bind only)
+    std::string path; ///< Unix only
+
+    /**
+     * Parse "tcp:host:port" or "unix:/path".
+     * @throws FatalError on any other shape.
+     */
+    static Endpoint parse(const std::string &spec);
+
+    /** Render back to the canonical spec string. */
+    std::string str() const;
+};
+
+/** A connected stream socket (RAII over the fd). */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket &&o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+    Socket &operator=(Socket &&o) noexcept;
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    /** Dial an endpoint. @throws FatalError when the connect fails. */
+    static Socket connectTo(const Endpoint &ep);
+
+    bool valid() const { return fd_ >= 0; }
+
+    /**
+     * Read up to `len` bytes.
+     * @return bytes read; 0 means the peer closed the connection
+     * @throws FatalError on socket errors
+     */
+    size_t recvSome(void *buf, size_t len);
+
+    /** Write all of `len` bytes. @throws FatalError on errors. */
+    void sendAll(const void *buf, size_t len);
+
+    /**
+     * Disable further receives: a thread blocked in recvSome() wakes
+     * with EOF. Pending writes still flush — the server's graceful
+     * shutdown uses this to let in-flight replies reach the client.
+     */
+    void shutdownRead();
+
+    void close();
+
+  private:
+    int fd_ = -1;
+};
+
+/** A listening socket bound to an endpoint. */
+class Listener
+{
+  public:
+    Listener() = default;
+    ~Listener() { release(); }
+
+    Listener(Listener &&o) noexcept;
+    Listener &operator=(Listener &&o) noexcept;
+    Listener(const Listener &) = delete;
+    Listener &operator=(const Listener &) = delete;
+
+    /**
+     * Bind and listen. For Unix endpoints a stale socket file at the
+     * path is removed first. @throws FatalError on bind failures.
+     */
+    static Listener open(const Endpoint &ep);
+
+    /**
+     * Accept one connection.
+     * @return false once the listener has been closed (the server's
+     *         shutdown path); transient accept errors are retried
+     */
+    bool accept(Socket &out);
+
+    /** The bound endpoint, with any ephemeral TCP port resolved. */
+    const Endpoint &local() const { return local_; }
+
+    /**
+     * Stop accepting: wakes a thread blocked in accept(), which then
+     * returns false. Safe to call from another thread; the fd itself
+     * is released by the destructor, after the accept thread joined,
+     * so no thread ever polls a recycled descriptor.
+     */
+    void close();
+
+  private:
+    void release();
+
+    int fd_ = -1;
+    std::atomic<bool> closing_{false};
+    Endpoint local_;
+};
+
+} // namespace tea
+
+#endif // TEA_NET_SOCKET_HH

@@ -15,7 +15,7 @@ ReplayService::ReplayService(size_t workers, LookupConfig config)
 }
 
 StreamResult
-ReplayService::runOne(const ReplayJob &job, LookupConfig cfg)
+runReplayJob(const ReplayJob &job, LookupConfig cfg)
 {
     StreamResult res;
     try {
@@ -48,7 +48,8 @@ ReplayService::runBatch(const std::vector<ReplayJob> &jobs)
     for (size_t i = 0; i < jobs.size(); ++i) {
         const ReplayJob &job = jobs[i];
         StreamResult &slot = batch.streams[i];
-        pool.submit([&job, &slot, cfg = cfg] { slot = runOne(job, cfg); });
+        pool.submit(
+            [&job, &slot, cfg = cfg] { slot = runReplayJob(job, cfg); });
     }
     pool.drain();
 

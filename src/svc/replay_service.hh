@@ -85,6 +85,16 @@ struct BatchResult
 };
 
 /**
+ * Replay one job synchronously on the calling thread.
+ *
+ * The single-stream unit of work shared by ReplayService (which fans
+ * it out over a worker pool) and the network session (net/session.hh,
+ * which runs it inline per REPLAY_STREAM request). Failures are
+ * reported in the result, never thrown.
+ */
+StreamResult runReplayJob(const ReplayJob &job, LookupConfig cfg);
+
+/**
  * A fixed worker pool replaying batches of trace logs.
  *
  * runBatch() blocks until the whole batch completes; per-job failures
@@ -105,9 +115,13 @@ class ReplayService
 
     size_t workers() const { return pool.workers(); }
 
-  private:
-    static StreamResult runOne(const ReplayJob &job, LookupConfig cfg);
+    /** Jobs submitted but not yet picked up by a worker. */
+    size_t pendingJobs() const { return pool.pending(); }
 
+    /** Jobs executed since construction. */
+    uint64_t executedJobs() const { return pool.executed(); }
+
+  private:
     LookupConfig cfg;
     ThreadPool pool;
 };

@@ -44,6 +44,13 @@ std::string hex32(uint32_t value);
 std::string join(const std::vector<std::string> &items,
                  std::string_view sep);
 
+/**
+ * Escape a string for embedding inside a JSON string literal (the
+ * surrounding quotes are the caller's). Escapes '"', '\\', and all
+ * control characters; everything else passes through byte-for-byte.
+ */
+std::string jsonEscape(std::string_view s);
+
 } // namespace tea
 
 #endif // TEA_UTIL_STRUTIL_HH

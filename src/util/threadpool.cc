@@ -55,6 +55,13 @@ ThreadPool::executed() const
     return doneCount;
 }
 
+size_t
+ThreadPool::pending() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return queue.size();
+}
+
 void
 ThreadPool::workerLoop()
 {

@@ -61,6 +61,14 @@ class ThreadPool
     /** Tasks executed since construction (for tests and stats). */
     uint64_t executed() const;
 
+    /**
+     * Queue depth: tasks submitted but not yet picked up by a worker.
+     * Admission control (net/server.hh) and the batch-replay CLI read
+     * this to bound and report backlog; the value is advisory — it can
+     * change the moment the lock is released.
+     */
+    size_t pending() const;
+
   private:
     void workerLoop();
 

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Concurrency stress for the AutomatonRegistry: threads racing
+ * put/get/evict/list must never corrupt the store, and — the contract
+ * the whole replay service leans on — evicting a name must never
+ * invalidate a snapshot a replay already holds. Run in the sanitize CI
+ * job (ASan/UBSan) where a dangling snapshot or a data race in the
+ * shard locking would be caught, not just flaky.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "dbt/runtime.hh"
+#include "svc/registry.hh"
+#include "svc/replay_service.hh"
+#include "svc/tracelog.hh"
+#include "tea/builder.hh"
+#include "vm/machine.hh"
+#include "workloads/workload.hh"
+
+namespace tea {
+namespace {
+
+/** Record a workload's transition stream into an in-memory log. */
+std::vector<uint8_t>
+recordLog(const Program &prog)
+{
+    std::vector<uint8_t> bytes;
+    TraceLogWriter writer(&bytes);
+    Machine m(prog);
+    BlockTracker tracker(
+        prog, [&](const BlockTransition &tr) { writer.append(tr); },
+        /*rep_per_iteration=*/false, /*collect_blocks=*/false);
+    m.runHooked([&](const EdgeEvent &ev) { tracker.onEdge(ev); }, false);
+    writer.finish();
+    return bytes;
+}
+
+/** Record traces with the DBT side and build the automaton. */
+Tea
+recordTea(const Program &prog)
+{
+    DbtRuntime dbt(prog);
+    return buildTea(dbt.record("mret").traces);
+}
+
+TEST(RegistryStress, RacingPutGetEvictListStaysConsistent)
+{
+    // One real automaton, cloned under many names by re-serializing:
+    // registry values are moved in, so each put needs its own copy.
+    Workload w = Workloads::build("syn.gzip", InputSize::Test);
+    const Tea master = recordTea(w.program);
+    const size_t masterStates = master.numStates();
+
+    AutomatonRegistry reg;
+    constexpr int kThreads = 8;
+    constexpr int kNames = 16;
+    constexpr int kOpsPerThread = 400;
+    std::atomic<bool> failed{false};
+
+    auto nameOf = [](int i) { return "tea-" + std::to_string(i); };
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            // Deterministic per-thread op mix; different phase per
+            // thread so puts, gets, and evicts interleave.
+            for (int op = 0; op < kOpsPerThread; ++op) {
+                int name = (op * 7 + t * 3) % kNames;
+                switch ((op + t) % 4) {
+                case 0: {
+                    auto snap = reg.put(nameOf(name), Tea(master));
+                    // put returns the stored snapshot, never null.
+                    if (!snap || snap->numStates() != masterStates)
+                        failed = true;
+                    break;
+                }
+                case 1: {
+                    auto snap = reg.get(nameOf(name));
+                    // A hit must be a complete automaton — a torn or
+                    // half-constructed value would trip this (or ASan).
+                    if (snap && snap->numStates() != masterStates)
+                        failed = true;
+                    break;
+                }
+                case 2:
+                    reg.evict(nameOf(name));
+                    break;
+                case 3: {
+                    std::vector<std::string> names = reg.list();
+                    if (names.size() > static_cast<size_t>(kNames))
+                        failed = true;
+                    // list() is sorted even while writers race.
+                    if (!std::is_sorted(names.begin(), names.end()))
+                        failed = true;
+                    break;
+                }
+                }
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_FALSE(failed.load());
+
+    // Quiescent state is sane: every surviving name resolves to a
+    // complete automaton and size() agrees with list().
+    std::vector<std::string> names = reg.list();
+    EXPECT_EQ(names.size(), reg.size());
+    for (const std::string &n : names) {
+        auto snap = reg.get(n);
+        ASSERT_NE(snap, nullptr) << n;
+        EXPECT_EQ(snap->numStates(), masterStates);
+    }
+}
+
+TEST(RegistryStress, EvictionNeverInvalidatesInFlightReplays)
+{
+    Workload w = Workloads::build("syn.gzip", InputSize::Test);
+    const Tea master = recordTea(w.program);
+    std::vector<uint8_t> log = recordLog(w.program);
+
+    // Reference result, replayed against a private copy.
+    StreamResult reference = runReplayJob(
+        ReplayJob{std::make_shared<const Tea>(Tea(master)), "", &log},
+        LookupConfig{});
+    ASSERT_TRUE(reference.ok());
+
+    AutomatonRegistry reg;
+    std::atomic<bool> stop{false};
+
+    // Churner: relentlessly replaces and evicts the name the replay
+    // threads are using. If eviction freed the automaton out from
+    // under a pinned snapshot, the replays below would read freed
+    // memory (ASan) or produce different stats.
+    std::thread churner([&] {
+        while (!stop.load()) {
+            reg.put("gzip", Tea(master));
+            reg.evict("gzip");
+        }
+    });
+
+    constexpr int kReplayers = 4;
+    constexpr int kRounds = 25;
+    std::vector<std::string> errors(kReplayers);
+    std::vector<std::thread> replayers;
+    for (int t = 0; t < kReplayers; ++t) {
+        replayers.emplace_back([&, t] {
+            for (int round = 0; round < kRounds; ++round) {
+                // Pin a snapshot the way Session::ReplayBegin does;
+                // the churner may evict it at any point after.
+                std::shared_ptr<const Tea> snap = reg.get("gzip");
+                if (!snap) {
+                    // Lost the race with evict; next round.
+                    continue;
+                }
+                StreamResult res = runReplayJob(
+                    ReplayJob{std::move(snap), "", &log},
+                    LookupConfig{});
+                if (!res.ok()) {
+                    errors[t] = res.error;
+                    return;
+                }
+                if (!(res.stats == reference.stats) ||
+                    res.execCounts != reference.execCounts) {
+                    errors[t] = "replay diverged from reference";
+                    return;
+                }
+            }
+        });
+    }
+    for (auto &t : replayers)
+        t.join();
+    stop = true;
+    churner.join();
+
+    for (int t = 0; t < kReplayers; ++t)
+        EXPECT_EQ(errors[t], "") << "replayer " << t;
+}
+
+} // namespace
+} // namespace tea

@@ -30,6 +30,30 @@ TEST(ThreadPool, RunsEveryTask)
     EXPECT_EQ(pool.executed(), 1000u);
 }
 
+TEST(ThreadPool, PendingReportsQueueDepth)
+{
+    // One worker, blocked on a latch: everything submitted behind the
+    // blocker stays in the queue, so pending() must count it exactly.
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.pending(), 0u);
+
+    std::mutex gate;
+    gate.lock();
+    pool.submit([&gate] { std::lock_guard<std::mutex> hold(gate); });
+    // Wait for the worker to pick up the blocker (pending drops to 0).
+    while (pool.pending() != 0)
+        std::this_thread::yield();
+
+    for (int i = 0; i < 5; ++i)
+        pool.submit([] {});
+    EXPECT_EQ(pool.pending(), 5u);
+
+    gate.unlock();
+    pool.drain();
+    EXPECT_EQ(pool.pending(), 0u);
+    EXPECT_EQ(pool.executed(), 6u);
+}
+
 TEST(ThreadPool, ZeroWorkersClampsToOne)
 {
     ThreadPool pool(0);

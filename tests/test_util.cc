@@ -93,6 +93,17 @@ TEST(Strutil, HexAndAffixes)
     EXPECT_EQ(join({}, ","), "");
 }
 
+TEST(Strutil, JsonEscape)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(jsonEscape("tab\there\n"), "tab\\there\\n");
+    EXPECT_EQ(jsonEscape(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
+    EXPECT_EQ(jsonEscape("utf8 ümlaut"), "utf8 ümlaut");
+    EXPECT_EQ(jsonEscape(""), "");
+}
+
 TEST(Stats, Geomean)
 {
     EXPECT_DOUBLE_EQ(geomean({4.0, 9.0}), 6.0);

@@ -26,6 +26,13 @@ set(cases
     "batch-replay"            # missing <tea> <log>...
     "batch-replay|only.tea"   # missing logs
     "batch-replay|--jobs|0|a.tea|b.tlog" # bad worker count
+    "serve"                   # missing --listen
+    "serve|--listen"          # flag without a value
+    "serve|--listen|tcp:127.0.0.1:0|--max-queue|0" # bad queue bound
+    "serve|--listen|tcp:127.0.0.1:0|not-a-preload" # want name=tea
+    "remote-replay"           # missing --connect <name> <log>...
+    "remote-replay|--connect|tcp:localhost:9" # missing name and logs
+    "remote-replay|--connect|tcp:localhost:9|gzip" # missing logs
     "run|syn.mcf|stray-arg"   # excess positional
     "run|--bogus-flag"        # unknown flag
 )

@@ -21,11 +21,18 @@
  *   batch-replay --jobs N <tea> <log>...
  *                                      replay many trace logs on a
  *                                      worker pool (svc)
+ *   serve --listen EP [name=tea]...    run the networked replay
+ *                                      server (net) until SIGINT
+ *   remote-replay --connect EP <name> <log>...
+ *                                      stream trace logs to a server
+ *                                      and print each stream's stats
  *
  * <prog> is either a TinyX86 assembly file path or a workload name
  * ("syn.gzip"); workload names accept --size test|train|ref.
+ * EP is "tcp:host:port" or "unix:/path".
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -34,6 +41,8 @@
 #include <vector>
 
 #include "dbt/runtime.hh"
+#include "net/client.hh"
+#include "net/server.hh"
 #include "isa/assembler.hh"
 #include "isa/disasm.hh"
 #include "sim/cycle_model.hh"
@@ -67,13 +76,17 @@ struct Options
     std::string tracesFile;
     std::string teaFile;
     std::string logFile;
+    std::string endpoint; ///< --listen / --connect
+    std::string putFile;  ///< remote-replay: upload this TEA first
     std::vector<std::string> extraArgs; ///< positionals after the first
     int jobs = 1;
+    int maxQueue = 64;
     bool pinPolicy = false;
     bool optimize = false;
     bool noGlobal = false;
     bool noLocal = false;
     bool profile = false;
+    bool json = false;
 };
 
 [[noreturn]] void
@@ -93,9 +106,13 @@ usage()
         "  dot <prog> [--selector S]\n"
         "  workloads\n"
         "  record-log <prog> --log out.tlog [--pin] [--size S]\n"
-        "  batch-replay [--jobs N] <tea-file> <log>...\n"
+        "  batch-replay [--jobs N] [--json] <tea-file> <log>...\n"
         "         [--no-global] [--no-local]\n"
-        "<prog> is an assembly file or a workload name like syn.gzip\n",
+        "  serve --listen EP [--jobs N] [--max-queue N] [name=tea]...\n"
+        "  remote-replay --connect EP [--put tea-file] [--json]\n"
+        "         [--no-global] [--no-local] <name> <log>...\n"
+        "<prog> is an assembly file or a workload name like syn.gzip\n"
+        "EP is tcp:<host>:<port> or unix:<path>\n",
         stderr);
     std::exit(2);
 }
@@ -125,11 +142,21 @@ parseArgs(int argc, char **argv)
             opt.teaFile = value();
         else if (arg == "--log")
             opt.logFile = value();
+        else if (arg == "--listen" || arg == "--connect")
+            opt.endpoint = value();
+        else if (arg == "--put")
+            opt.putFile = value();
         else if (arg == "--jobs") {
             opt.jobs = std::atoi(value().c_str());
             if (opt.jobs < 1)
                 usage();
-        } else if (arg == "--pin")
+        } else if (arg == "--max-queue") {
+            opt.maxQueue = std::atoi(value().c_str());
+            if (opt.maxQueue < 1)
+                usage();
+        } else if (arg == "--json")
+            opt.json = true;
+        else if (arg == "--pin")
             opt.pinPolicy = true;
         else if (arg == "--no-global")
             opt.noGlobal = true;
@@ -433,6 +460,94 @@ cmdRecordLog(const Options &opt)
     return 0;
 }
 
+// ---- shared reporting for batch-replay / remote-replay ----
+
+/** One replayed stream, normalized across local and remote replay. */
+struct StreamReport
+{
+    std::string log;
+    bool ok;
+    std::string error;
+    ReplayStats stats;
+};
+
+std::string
+statsJson(const ReplayStats &st)
+{
+    return strprintf(
+        "{\"blocks\":%llu,\"insnsTotal\":%llu,\"insnsInTrace\":%llu,"
+        "\"transitions\":%llu,\"intraTraceHits\":%llu,"
+        "\"traceExits\":%llu,\"exitsToCold\":%llu,\"nteBlocks\":%llu,"
+        "\"localCacheHits\":%llu,\"globalLookups\":%llu,"
+        "\"globalHits\":%llu,\"coverage\":%.6f}",
+        static_cast<unsigned long long>(st.blocks),
+        static_cast<unsigned long long>(st.insnsTotal),
+        static_cast<unsigned long long>(st.insnsInTrace),
+        static_cast<unsigned long long>(st.transitions),
+        static_cast<unsigned long long>(st.intraTraceHits),
+        static_cast<unsigned long long>(st.traceExits),
+        static_cast<unsigned long long>(st.exitsToCold),
+        static_cast<unsigned long long>(st.nteBlocks),
+        static_cast<unsigned long long>(st.localCacheHits),
+        static_cast<unsigned long long>(st.globalLookups),
+        static_cast<unsigned long long>(st.globalHits), st.coverage());
+}
+
+void
+printStreamsText(const std::vector<StreamReport> &reports)
+{
+    for (const StreamReport &rep : reports) {
+        if (!rep.ok) {
+            std::printf("%-24s FAILED: %s\n", rep.log.c_str(),
+                        rep.error.c_str());
+            continue;
+        }
+        std::printf("%-24s coverage %6.2f%%  %10llu blocks  %9llu "
+                    "transitions\n",
+                    rep.log.c_str(), rep.stats.coverage() * 100.0,
+                    static_cast<unsigned long long>(rep.stats.blocks),
+                    static_cast<unsigned long long>(
+                        rep.stats.transitions));
+    }
+}
+
+/**
+ * Machine-readable run report (--json): one object on stdout, so CI
+ * and the benches can diff runs without scraping the text output.
+ * `executed`/`queueDepth` are worker-pool telemetry; pass -1 to omit
+ * (remote replay has no local pool).
+ */
+void
+printStreamsJson(const char *command, size_t workers,
+                 const std::vector<StreamReport> &reports,
+                 const ReplayStats &total, size_t failures,
+                 long long executed, long long queueDepth)
+{
+    std::printf("{\n  \"command\": \"%s\",\n  \"workers\": %zu,\n",
+                command, workers);
+    if (executed >= 0)
+        std::printf("  \"executedTasks\": %lld,\n"
+                    "  \"queueDepth\": %lld,\n",
+                    executed, queueDepth);
+    std::printf("  \"failures\": %zu,\n  \"streams\": [\n", failures);
+    for (size_t i = 0; i < reports.size(); ++i) {
+        const StreamReport &rep = reports[i];
+        if (rep.ok)
+            std::printf("    {\"log\": \"%s\", \"ok\": true, "
+                        "\"stats\": %s}%s\n",
+                        jsonEscape(rep.log).c_str(),
+                        statsJson(rep.stats).c_str(),
+                        i + 1 < reports.size() ? "," : "");
+        else
+            std::printf("    {\"log\": \"%s\", \"ok\": false, "
+                        "\"error\": \"%s\"}%s\n",
+                        jsonEscape(rep.log).c_str(),
+                        jsonEscape(rep.error).c_str(),
+                        i + 1 < reports.size() ? "," : "");
+    }
+    std::printf("  ],\n  \"total\": %s\n}\n", statsJson(total).c_str());
+}
+
 int
 cmdBatchReplay(const Options &opt)
 {
@@ -453,26 +568,153 @@ cmdBatchReplay(const Options &opt)
         jobsVec.push_back(ReplayJob{tea, log, nullptr});
 
     BatchResult batch = service.runBatch(jobsVec);
+    std::vector<StreamReport> reports;
     for (size_t i = 0; i < batch.streams.size(); ++i) {
         const StreamResult &res = batch.streams[i];
-        if (!res.ok()) {
-            std::printf("%-24s FAILED: %s\n", opt.extraArgs[i].c_str(),
-                        res.error.c_str());
-            continue;
-        }
-        std::printf("%-24s coverage %6.2f%%  %10llu blocks  %9llu "
-                    "transitions\n",
-                    opt.extraArgs[i].c_str(), res.stats.coverage() * 100.0,
-                    static_cast<unsigned long long>(res.stats.blocks),
-                    static_cast<unsigned long long>(res.stats.transitions));
+        reports.push_back(StreamReport{opt.extraArgs[i], res.ok(),
+                                       res.error, res.stats});
     }
+    if (opt.json) {
+        printStreamsJson("batch-replay", service.workers(), reports,
+                         batch.total, batch.failures,
+                         static_cast<long long>(service.executedJobs()),
+                         static_cast<long long>(service.pendingJobs()));
+        return batch.failures == 0 ? 0 : 1;
+    }
+    printStreamsText(reports);
     std::printf("batch: %zu streams on %zu workers, %zu failed; total "
                 "coverage %.2f%% (%llu of %llu instructions)\n",
                 batch.streams.size(), service.workers(), batch.failures,
                 batch.total.coverage() * 100.0,
                 static_cast<unsigned long long>(batch.total.insnsInTrace),
                 static_cast<unsigned long long>(batch.total.insnsTotal));
+    std::printf("pool: %llu tasks executed, queue depth %zu\n",
+                static_cast<unsigned long long>(service.executedJobs()),
+                service.pendingJobs());
     return batch.failures == 0 ? 0 : 1;
+}
+
+std::vector<uint8_t>
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    std::vector<uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    return bytes;
+}
+
+int
+cmdServe(const Options &opt)
+{
+    if (opt.endpoint.empty())
+        usage();
+    // Positionals preload the registry: each is name=tea-file.
+    // Validate the shape before binding anything.
+    std::vector<std::pair<std::string, std::string>> preloads;
+    auto addPreload = [&](const std::string &s) {
+        size_t eq = s.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 == s.size())
+            usage();
+        preloads.emplace_back(s.substr(0, eq), s.substr(eq + 1));
+    };
+    if (!opt.program.empty())
+        addPreload(opt.program);
+    for (const std::string &s : opt.extraArgs)
+        addPreload(s);
+
+    ServerConfig cfg;
+    cfg.endpoint = opt.endpoint;
+    cfg.workers = static_cast<size_t>(opt.jobs);
+    cfg.maxQueue = static_cast<size_t>(opt.maxQueue);
+    cfg.lookup.useGlobalBTree = !opt.noGlobal;
+    cfg.lookup.useLocalCache = !opt.noLocal;
+    TeaServer server(cfg);
+    for (const auto &[name, path] : preloads) {
+        auto snap = server.registry().loadFile(name, path);
+        std::printf("loaded '%s' from %s (%zu states)\n", name.c_str(),
+                    path.c_str(), snap->numStates());
+    }
+
+    // Block the shutdown signals before starting, so every thread the
+    // server spawns inherits the mask and sigwait() below gets them.
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+    server.start();
+    std::printf("tead: serving on %s (%zu workers, queue limit %d)\n",
+                server.endpoint().c_str(), server.workers(),
+                opt.maxQueue);
+    std::fflush(stdout);
+
+    int sig = 0;
+    sigwait(&set, &sig);
+    std::printf("tead: caught signal %d, draining in-flight replays\n",
+                sig);
+    std::fflush(stdout);
+    server.stop();
+    std::printf("tead: served %llu sessions, rejected %llu as busy\n",
+                static_cast<unsigned long long>(server.sessionsServed()),
+                static_cast<unsigned long long>(server.busyRejected()));
+    return 0;
+}
+
+int
+cmdRemoteReplay(const Options &opt)
+{
+    // First positional is the automaton name; the rest are trace logs.
+    if (opt.endpoint.empty() || opt.program.empty() ||
+        opt.extraArgs.empty())
+        usage();
+    const std::string &name = opt.program;
+
+    TeaClient client = TeaClient::connect(opt.endpoint);
+    if (!opt.putFile.empty()) {
+        client.putAutomaton(name, readFileBytes(opt.putFile));
+        if (!opt.json)
+            std::printf("uploaded %s as '%s'\n", opt.putFile.c_str(),
+                        name.c_str());
+    }
+
+    RemoteReplayOptions ropt;
+    ropt.noGlobal = opt.noGlobal;
+    ropt.noLocal = opt.noLocal;
+
+    std::vector<StreamReport> reports;
+    ReplayStats total;
+    size_t failures = 0;
+    for (const std::string &log : opt.extraArgs) {
+        StreamReport rep{log, true, "", ReplayStats{}};
+        try {
+            rep.stats = client.replay(name, readFileBytes(log), ropt)
+                            .stats;
+            total += rep.stats;
+        } catch (const FatalError &e) {
+            rep.ok = false;
+            rep.error = e.what();
+            ++failures;
+        }
+        reports.push_back(std::move(rep));
+    }
+
+    if (opt.json) {
+        printStreamsJson("remote-replay", 0, reports, total, failures,
+                         -1, -1);
+        return failures == 0 ? 0 : 1;
+    }
+    printStreamsText(reports);
+    std::printf("remote: %zu streams via %s, %zu failed; total "
+                "coverage %.2f%% (%llu of %llu instructions)\n",
+                reports.size(), opt.endpoint.c_str(), failures,
+                total.coverage() * 100.0,
+                static_cast<unsigned long long>(total.insnsInTrace),
+                static_cast<unsigned long long>(total.insnsTotal));
+    return failures == 0 ? 0 : 1;
 }
 
 int
@@ -494,8 +736,10 @@ main(int argc, char **argv)
 {
     try {
         Options opt = parseArgs(argc, argv);
-        // Only batch-replay takes more than one positional argument.
-        if (opt.command != "batch-replay" && !opt.extraArgs.empty())
+        // Only the multi-input subcommands take more than one
+        // positional argument.
+        if (opt.command != "batch-replay" && opt.command != "serve" &&
+            opt.command != "remote-replay" && !opt.extraArgs.empty())
             usage();
         if (opt.command == "run")
             return cmdRun(opt);
@@ -519,6 +763,10 @@ main(int argc, char **argv)
             return cmdRecordLog(opt);
         if (opt.command == "batch-replay")
             return cmdBatchReplay(opt);
+        if (opt.command == "serve")
+            return cmdServe(opt);
+        if (opt.command == "remote-replay")
+            return cmdRemoteReplay(opt);
         usage();
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
