@@ -171,19 +171,24 @@ overheadExperiment(const Workload &w, const std::string &selector,
         TraceSet empty;
         LookupConfig cfg;
         cfg.useLocalCache = false;
+        cfg.useCompiled = false;
         row.emptyMs = replayExperiment(w, base, empty, cfg).millis;
     }
 
     TraceSet traces = recordWithDbt(w, selector, config);
-    auto run = [&](bool global, bool local) {
+    auto run = [&](bool global, bool local, bool compiled) {
         LookupConfig cfg;
         cfg.useGlobalBTree = global;
         cfg.useLocalCache = local;
+        cfg.useCompiled = compiled;
         return replayExperiment(w, base, traces, cfg).millis;
     };
-    row.noGlobalLocalMs = run(false, true);
-    row.globalNoLocalMs = run(true, false);
-    row.globalLocalMs = run(true, true);
+    // The paper's three points, on the paper's structures.
+    row.noGlobalLocalMs = run(false, true, false);
+    row.globalNoLocalMs = run(true, false, false);
+    row.globalLocalMs = run(true, true, false);
+    // Ours: the same Global/Local function on the flat kernel.
+    row.compiledMs = run(true, true, true);
     return row;
 }
 

@@ -7,6 +7,12 @@
  * linear trace list vs global B+ tree vs per-state local cache, plus
  * the end-to-end transition function under each LookupConfig on a
  * synthetic automaton.
+ *
+ * Beyond the paper's structures, the compiled flat kernel gets the
+ * same treatment: BM_FlatHashFind isolates CompiledTea's open-addressed
+ * entry hash against the node B+ tree, and the BM_Transition_Compiled_*
+ * variants run the end-to-end transition function on the CSR kernel so
+ * the compiled-vs-reference speedup is measurable per configuration.
  */
 
 #include <benchmark/benchmark.h>
@@ -17,6 +23,7 @@
 #include "btree/bptree.hh"
 #include "btree/local_cache.hh"
 #include "tea/builder.hh"
+#include "tea/compiled.hh"
 #include "tea/replayer.hh"
 #include "util/random.hh"
 
@@ -91,6 +98,32 @@ BM_StdMapFind(benchmark::State &state)
 }
 BENCHMARK(BM_StdMapFind)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
 
+/**
+ * CompiledTea's flat open-addressed hash over the same key set the
+ * B+ tree indexes. Built through a real automaton (one single-block
+ * trace per key) so the measured probe is the production code path.
+ */
+void
+BM_FlatHashFind(benchmark::State &state)
+{
+    size_t n = static_cast<size_t>(state.range(0));
+    auto keys = makeKeys(n);
+    TraceSet set;
+    for (uint32_t key : keys) {
+        Trace trace;
+        trace.blocks.push_back({key, key + 12, true});
+        set.add(std::move(trace));
+    }
+    Tea tea = buildTea(set);
+    CompiledTea compiled(tea);
+    Xorshift64Star rng(42);
+    for (auto _ : state) {
+        StateId out = compiled.entryAt(keys[rng.nextBelow(n)]);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_FlatHashFind)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
 void
 BM_LocalCacheHit(benchmark::State &state)
 {
@@ -121,24 +154,23 @@ makeTea(size_t traces)
     return buildTea(set);
 }
 
-void
-transitionBench(benchmark::State &state, bool global, bool local)
+/**
+ * The stimulus stream: a loop that mostly stays inside one trace but
+ * hops to a different trace every 16th transition (exercising the
+ * exit path). Pre-generated so the measured loop below is *only* the
+ * transition function — no RNG or struct assembly on the clock.
+ */
+std::vector<BlockTransition>
+makeStream(size_t traces, size_t length)
 {
-    size_t traces = static_cast<size_t>(state.range(0));
-    Tea tea = makeTea(traces);
-    LookupConfig cfg;
-    cfg.useGlobalBTree = global;
-    cfg.useLocalCache = local;
-    TeaReplayer replayer(tea, cfg);
-
-    // Drive a loop that mostly stays inside one trace but hops to a
-    // different trace every 16th transition (exercising the exit path).
     Xorshift64Star rng(7);
+    std::vector<BlockTransition> stream;
+    stream.reserve(length);
     BlockTransition tr{};
     tr.kind = EdgeKind::BranchTaken;
     Addr cur_base = 0x1000;
     int phase = 0;
-    for (auto _ : state) {
+    for (size_t i = 0; i < length; ++i) {
         tr.from.start = cur_base + (phase ? 16 : 0);
         tr.from.end = tr.from.start + 12;
         tr.from.icount = 4;
@@ -151,8 +183,28 @@ transitionBench(benchmark::State &state, bool global, bool local)
             phase ^= 1;
             tr.toStart = cur_base + (phase ? 16 : 0);
         }
-        replayer.feed(tr);
+        stream.push_back(tr);
     }
+    return stream;
+}
+
+void
+transitionBench(benchmark::State &state, bool global, bool local,
+                bool compiled)
+{
+    size_t traces = static_cast<size_t>(state.range(0));
+    Tea tea = makeTea(traces);
+    LookupConfig cfg;
+    cfg.useGlobalBTree = global;
+    cfg.useLocalCache = local;
+    cfg.useCompiled = compiled;
+    TeaReplayer replayer(tea, cfg);
+
+    std::vector<BlockTransition> stream = makeStream(traces, 65536);
+    for (auto _ : state)
+        replayer.feedAll(stream.data(), stream.data() + stream.size());
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(stream.size()));
     state.counters["intra_hit_rate"] = benchmark::Counter(
         static_cast<double>(replayer.stats().intraTraceHits) /
         static_cast<double>(replayer.stats().transitions));
@@ -161,21 +213,50 @@ transitionBench(benchmark::State &state, bool global, bool local)
 void
 BM_Transition_GlobalLocal(benchmark::State &state)
 {
-    transitionBench(state, true, true);
+    transitionBench(state, true, true, false);
 }
 void
 BM_Transition_GlobalNoLocal(benchmark::State &state)
 {
-    transitionBench(state, true, false);
+    transitionBench(state, true, false, false);
 }
 void
 BM_Transition_NoGlobalLocal(benchmark::State &state)
 {
-    transitionBench(state, false, true);
+    transitionBench(state, false, true, false);
+}
+// Same configurations on the compiled flat kernel (bit-identical
+// stats; compare ns/iter against the reference variant above).
+void
+BM_Transition_Compiled_GlobalLocal(benchmark::State &state)
+{
+    transitionBench(state, true, true, true);
+}
+void
+BM_Transition_Compiled_GlobalNoLocal(benchmark::State &state)
+{
+    transitionBench(state, true, false, true);
+}
+void
+BM_Transition_Compiled_NoGlobalLocal(benchmark::State &state)
+{
+    transitionBench(state, false, true, true);
 }
 BENCHMARK(BM_Transition_GlobalLocal)->Arg(16)->Arg(256)->Arg(2048);
 BENCHMARK(BM_Transition_GlobalNoLocal)->Arg(16)->Arg(256)->Arg(2048);
 BENCHMARK(BM_Transition_NoGlobalLocal)->Arg(16)->Arg(256)->Arg(2048);
+BENCHMARK(BM_Transition_Compiled_GlobalLocal)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(2048);
+BENCHMARK(BM_Transition_Compiled_GlobalNoLocal)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(2048);
+BENCHMARK(BM_Transition_Compiled_NoGlobalLocal)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(2048);
 
 } // namespace
 

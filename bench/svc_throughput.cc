@@ -7,23 +7,34 @@
  * replicates the logs into a batch of streams, and replays the batch at
  * each worker count. Reports streams/sec, speedup over one worker, and
  * verifies at every scale that the merged profile is bit-identical to
- * the single-worker merge (the svc determinism contract).
+ * the single-worker merge (the svc determinism contract) AND to a
+ * reference-kernel (non-compiled) batch at the same worker count — the
+ * compiled CSR kernel must not change a single counter.
+ *
+ * Also times the two replay kernels single-threaded over the recorded
+ * logs and reports ns/transition; --min-speedup turns that comparison
+ * into a CI gate, and --json dumps everything machine-readably.
  *
  * Note the speedup column measures the *host*: on a single-core
  * container every worker count necessarily lands near 1.0x.
  *
  * Usage: svc_throughput [--size test|train|ref] [--streams N]
+ *                       [--json FILE] [--min-speedup X]
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <thread>
 
 #include "bench/harness.hh"
 #include "svc/replay_service.hh"
 #include "svc/tracelog.hh"
 #include "tea/builder.hh"
+#include "tea/compiled.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 #include "util/timer.hh"
 #include "vm/machine.hh"
@@ -48,6 +59,47 @@ recordLog(const Program &prog)
     return bytes;
 }
 
+/** One pre-decoded stream paired with its automaton. */
+struct DecodedStream
+{
+    std::shared_ptr<const Tea> tea;
+    std::shared_ptr<const CompiledTea> compiled;
+    std::vector<BlockTransition> transitions;
+};
+
+/**
+ * Single-threaded ns/transition of one replay kernel over every
+ * pre-decoded stream, minimum of `reps` identical runs. The logs are
+ * decoded up front so the measurement isolates the transition function
+ * — the quantity the two kernels actually differ in — rather than the
+ * trace-log parser both share.
+ */
+double
+kernelNsPerTransition(const std::vector<DecodedStream> &streams,
+                      LookupConfig cfg, int reps = 5)
+{
+    double best = 1e300;
+    uint64_t transitions = 0;
+    for (int r = 0; r < reps; ++r) {
+        Stopwatch timer;
+        uint64_t total = 0;
+        for (const DecodedStream &s : streams) {
+            TeaReplayer replayer(*s.tea, cfg,
+                                 cfg.useCompiled ? s.compiled : nullptr);
+            replayer.feedAll(s.transitions.data(),
+                             s.transitions.data() + s.transitions.size());
+            total += replayer.stats().transitions;
+        }
+        double ms = timer.elapsedMillis();
+        if (ms < best) {
+            best = ms;
+            transitions = total;
+        }
+    }
+    return transitions ? best * 1e6 / static_cast<double>(transitions)
+                       : 0.0;
+}
+
 } // namespace
 
 int
@@ -55,9 +107,16 @@ main(int argc, char **argv)
 {
     InputSize size = sizeFromArgs(argc, argv);
     size_t streams = 32;
-    for (int i = 1; i < argc; ++i)
+    std::string json_path;
+    double min_speedup = 0.0;
+    for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--streams") && i + 1 < argc)
             streams = static_cast<size_t>(std::atoi(argv[i + 1]));
+        else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+            json_path = argv[i + 1];
+        else if (!std::strcmp(argv[i], "--min-speedup") && i + 1 < argc)
+            min_speedup = std::atof(argv[i + 1]);
+    }
 
     // The syn.gzip-class set: data-dependent compression-loop CFGs.
     const std::vector<std::string> names{"syn.gzip", "syn.bzip2"};
@@ -82,10 +141,25 @@ main(int argc, char **argv)
     // One batch = `streams` jobs round-robined over the workload logs.
     // Jobs alternate automata, so the merge check below uses per-stream
     // profiles (cross-automaton merged profiles are deliberately empty).
+    // The compiled snapshot is shared per automaton, as the registry
+    // would share it — kernel timings measure replay, not compilation.
+    std::vector<std::shared_ptr<const CompiledTea>> compiled;
+    for (const auto &tea : teas)
+        compiled.push_back(CompiledTea::compile(tea));
     std::vector<ReplayJob> jobs;
     for (size_t i = 0; i < streams; ++i) {
         size_t k = i % names.size();
-        jobs.push_back(ReplayJob{teas[k], "", &logs[k]});
+        jobs.push_back(ReplayJob{teas[k], "", &logs[k], compiled[k]});
+    }
+    // Pre-decoded streams for the single-threaded kernel timing.
+    std::vector<DecodedStream> decoded;
+    for (size_t k = 0; k < names.size(); ++k) {
+        DecodedStream s{teas[k], compiled[k], {}};
+        TraceLogReader reader(logs[k]);
+        BlockTransition tr;
+        while (reader.next(tr))
+            s.transitions.push_back(tr);
+        decoded.push_back(std::move(s));
     }
 
     unsigned hw = std::max(1u, std::thread::hardware_concurrency());
@@ -95,12 +169,25 @@ main(int argc, char **argv)
                              log_records * (streams / names.size())),
                 static_cast<double>(log_bytes) / (1 << 20), hw);
 
+    // Kernel-vs-kernel: same logs, same stats, different inner loop.
+    LookupConfig compiled_cfg; // defaults: compiled CSR + flat hash
+    LookupConfig reference_cfg;
+    reference_cfg.useCompiled = false;
+    double compiled_ns = kernelNsPerTransition(decoded, compiled_cfg);
+    double reference_ns = kernelNsPerTransition(decoded, reference_cfg);
+    double kernel_speedup =
+        compiled_ns > 0 ? reference_ns / compiled_ns : 0.0;
+    std::printf("kernel ns/transition: compiled %.2f, reference %.2f "
+                "(speedup %.2fx)\n",
+                compiled_ns, reference_ns, kernel_speedup);
+
     TextTable table({"workers", "batch ms", "streams/s", "speedup"});
     double base_sps = 0.0;
     BatchResult reference;
+    std::vector<std::pair<unsigned, double>> worker_sps;
     for (unsigned workers = 1; workers <= std::max(4u, hw);
          workers *= 2) {
-        ReplayService service(workers);
+        ReplayService service(workers, compiled_cfg);
         service.runBatch(jobs); // warm-up: page in logs, fault stacks
         Stopwatch timer;
         BatchResult batch = service.runBatch(jobs);
@@ -131,12 +218,71 @@ main(int argc, char **argv)
                 }
             }
         }
+        // Kernel bit-identity, re-checked at every worker count: the
+        // same batch on the reference kernel must match counter for
+        // counter — stats, per-stream profiles, everything.
+        {
+            ReplayService ref_service(workers, reference_cfg);
+            BatchResult ref_batch = ref_service.runBatch(jobs);
+            if (ref_batch.failures != 0 ||
+                ref_batch.total != batch.total) {
+                std::fprintf(stderr,
+                             "compiled/reference stats diverge at %u "
+                             "workers\n", workers);
+                return 1;
+            }
+            for (size_t i = 0; i < batch.streams.size(); ++i) {
+                if (ref_batch.streams[i].execCounts !=
+                    batch.streams[i].execCounts) {
+                    std::fprintf(stderr,
+                                 "compiled/reference profile of stream "
+                                 "%zu diverges at %u workers\n", i,
+                                 workers);
+                    return 1;
+                }
+            }
+        }
+        worker_sps.emplace_back(workers, sps);
         table.addRow({std::to_string(workers), TextTable::num(ms, 1),
                       TextTable::num(sps, 1),
                       TextTable::num(base_sps > 0 ? sps / base_sps : 0.0,
                                      2)});
     }
     std::fputs(table.render().c_str(), stdout);
-    std::printf("(profiles bit-identical across all worker counts)\n");
+    std::printf("(profiles bit-identical across all worker counts and "
+                "both kernels)\n");
+
+    if (!json_path.empty()) {
+        FILE *f = std::fopen(json_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n");
+        std::fprintf(f, "  \"bench\": \"svc_throughput\",\n");
+        std::fprintf(f, "  \"streams\": %zu,\n", streams);
+        std::fprintf(f, "  \"nsPerTransitionCompiled\": %.4f,\n",
+                     compiled_ns);
+        std::fprintf(f, "  \"nsPerTransitionReference\": %.4f,\n",
+                     reference_ns);
+        std::fprintf(f, "  \"kernelSpeedup\": %.4f,\n", kernel_speedup);
+        std::fprintf(f, "  \"streamsPerSec\": [\n");
+        for (size_t i = 0; i < worker_sps.size(); ++i)
+            std::fprintf(f,
+                         "    {\"workers\": %u, \"streamsPerSec\": "
+                         "%.2f}%s\n",
+                         worker_sps[i].first, worker_sps[i].second,
+                         i + 1 < worker_sps.size() ? "," : "");
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    if (min_speedup > 0.0 && kernel_speedup < min_speedup) {
+        std::fprintf(stderr,
+                     "FAIL: compiled kernel speedup %.2fx below the "
+                     "required %.2fx\n", kernel_speedup, min_speedup);
+        return 1;
+    }
     return 0;
 }

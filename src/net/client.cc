@@ -121,6 +121,8 @@ TeaClient::replay(const std::string &name, const uint8_t *log,
         flags |= ReplayFlags::kNoGlobal;
     if (opt.noLocal)
         flags |= ReplayFlags::kNoLocal;
+    if (opt.reference)
+        flags |= ReplayFlags::kReference;
     begin.u8(flags);
     sendFrame(MsgType::ReplayBegin, begin);
     // Wait for the ack before streaming: an unknown name fails here,

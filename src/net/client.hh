@@ -42,6 +42,7 @@ struct RemoteReplayOptions
     bool wantProfile = false; ///< return per-TBB execution counts
     bool noGlobal = false;    ///< LookupConfig::useGlobalBTree = false
     bool noLocal = false;     ///< LookupConfig::useLocalCache = false
+    bool reference = false;   ///< LookupConfig::useCompiled = false
 };
 
 /** One remote stream's outcome. */

@@ -87,6 +87,13 @@ struct ReplayFlags
     static constexpr uint8_t kProfile = 1u << 0;  ///< return execCounts
     static constexpr uint8_t kNoGlobal = 1u << 1; ///< LookupConfig
     static constexpr uint8_t kNoLocal = 1u << 2;  ///< LookupConfig
+    /**
+     * Replay on the reference (pointer-chasing) kernel instead of the
+     * compiled flat kernel. Results are bit-identical either way; the
+     * flag exists for ablation and cross-checking. Absent (the
+     * default) means the server replays against its shared CompiledTea.
+     */
+    static constexpr uint8_t kReference = 1u << 3;
 };
 
 /** One decoded frame. */

@@ -120,7 +120,7 @@ Session::onFrame(const Frame &frame, std::vector<uint8_t> &out)
     } catch (const FatalError &e) {
         if (state == State::Streaming) {
             // Abandon the stream; the client restarts with a new BEGIN.
-            streamTea.reset();
+            stream = AutomatonSnapshot{};
             streamLog.clear();
             state = State::Ready;
         }
@@ -170,16 +170,20 @@ Session::handleRequest(const Frame &frame, std::vector<uint8_t> &out)
         std::string name = r.str(Wire::kMaxName);
         uint8_t flags = r.u8();
         r.expectEnd();
-        auto snap = registry.get(name);
+        AutomatonSnapshot snap = registry.snapshot(name);
         if (!snap)
             fatal("no automaton named '%s'", name.c_str());
-        // Pin the snapshot now: a concurrent evict cannot touch it.
-        streamTea = std::move(snap);
+        // Pin the snapshot now: a concurrent evict cannot touch it,
+        // and the replay below reuses the registry's CompiledTea
+        // instead of compiling per stream.
+        stream = std::move(snap);
         streamLog.clear();
         streamProfile = (flags & ReplayFlags::kProfile) != 0;
         streamCfg = lookup;
         streamCfg.useGlobalBTree = (flags & ReplayFlags::kNoGlobal) == 0;
         streamCfg.useLocalCache = (flags & ReplayFlags::kNoLocal) == 0;
+        if ((flags & ReplayFlags::kReference) != 0)
+            streamCfg.useCompiled = false;
         state = State::Streaming;
         reply(out, MsgType::ReplayOk, PayloadWriter{});
         return;
@@ -192,10 +196,10 @@ Session::handleRequest(const Frame &frame, std::vector<uint8_t> &out)
         PayloadReader r(frame.payload);
         r.expectEnd();
         ++replays;
-        ReplayJob job{streamTea, "", &streamLog};
+        ReplayJob job{stream.tea, "", &streamLog, stream.compiled};
         StreamResult res = runReplayJob(job, streamCfg);
         bool wantProfile = streamProfile;
-        streamTea.reset();
+        stream = AutomatonSnapshot{};
         state = State::Ready;
         if (!res.ok()) {
             streamLog.clear();

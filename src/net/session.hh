@@ -82,9 +82,11 @@ class Session
     uint64_t replays = 0;
     size_t maxLogBytes = Wire::kMaxLogBytes;
 
-    // REPLAY_BEGIN .. REPLAY_END stream in progress:
-    std::shared_ptr<const Tea> streamTea; ///< pinned snapshot
-    std::vector<uint8_t> streamLog;       ///< accumulated chunk bytes
+    // REPLAY_BEGIN .. REPLAY_END stream in progress. The snapshot
+    // pins both the automaton and its registry-shared CompiledTea, so
+    // the replay never compiles and eviction never invalidates it.
+    AutomatonSnapshot stream;       ///< pinned snapshot
+    std::vector<uint8_t> streamLog; ///< accumulated chunk bytes
     bool streamProfile = false;
     LookupConfig streamCfg;
 };

@@ -23,9 +23,12 @@ std::shared_ptr<const Tea>
 AutomatonRegistry::put(const std::string &name, Tea tea)
 {
     auto snapshot = std::make_shared<const Tea>(std::move(tea));
+    // Compile outside the shard lock: one flat image per put, shared
+    // by every replay that later pins this name.
+    auto compiled = CompiledTea::compile(snapshot);
     Shard &shard = shardFor(name);
     std::lock_guard<std::mutex> lock(shard.mu);
-    shard.map[name] = snapshot;
+    shard.map[name] = AutomatonSnapshot{snapshot, std::move(compiled)};
     return snapshot;
 }
 
@@ -39,10 +42,16 @@ AutomatonRegistry::loadFile(const std::string &name,
 std::shared_ptr<const Tea>
 AutomatonRegistry::get(const std::string &name) const
 {
+    return snapshot(name).tea;
+}
+
+AutomatonSnapshot
+AutomatonRegistry::snapshot(const std::string &name) const
+{
     Shard &shard = shardFor(name);
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(name);
-    return it == shard.map.end() ? nullptr : it->second;
+    return it == shard.map.end() ? AutomatonSnapshot{} : it->second;
 }
 
 bool

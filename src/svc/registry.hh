@@ -9,6 +9,12 @@
  * invalidates replays already in flight — they keep their reference
  * until the batch drains.
  *
+ * put() also compiles the snapshot into a CompiledTea exactly once, so
+ * every replay against a registered automaton — svc batch jobs and net
+ * sessions alike — shares one flat kernel image instead of each stream
+ * re-walking (or re-flattening) the mutable Tea. The compiled snapshot
+ * co-owns its source Tea, so the same eviction guarantee holds for it.
+ *
  * The name map itself is sharded: each shard has its own mutex, so
  * concurrent lookups of different names do not serialize. Lock scope is
  * a single shard for every operation except list()/size(), which sweep
@@ -26,8 +32,18 @@
 #include <vector>
 
 #include "tea/automaton.hh"
+#include "tea/compiled.hh"
 
 namespace tea {
+
+/** A pinned (automaton, compiled image) pair, safe across eviction. */
+struct AutomatonSnapshot
+{
+    std::shared_ptr<const Tea> tea;
+    std::shared_ptr<const CompiledTea> compiled;
+
+    explicit operator bool() const { return tea != nullptr; }
+};
 
 class AutomatonRegistry
 {
@@ -49,6 +65,14 @@ class AutomatonRegistry
     /** Snapshot by name, or nullptr when absent. */
     std::shared_ptr<const Tea> get(const std::string &name) const;
 
+    /**
+     * Automaton plus its shared CompiledTea (compiled once at put()).
+     * Both empty when the name is absent. The fields co-own the
+     * underlying automaton: replays keep them until done, so eviction
+     * never invalidates an in-flight stream.
+     */
+    AutomatonSnapshot snapshot(const std::string &name) const;
+
     /** Drop a name. @return false when it was not registered. */
     bool evict(const std::string &name);
 
@@ -62,7 +86,7 @@ class AutomatonRegistry
     struct Shard
     {
         mutable std::mutex mu;
-        std::unordered_map<std::string, std::shared_ptr<const Tea>> map;
+        std::unordered_map<std::string, AutomatonSnapshot> map;
     };
 
     Shard &shardFor(const std::string &name) const;

@@ -1,6 +1,7 @@
 #include "svc/replay_service.hh"
 
 #include <thread>
+#include <unordered_map>
 
 #include "svc/tracelog.hh"
 #include "util/logging.hh"
@@ -14,6 +15,9 @@ ReplayService::ReplayService(size_t workers, LookupConfig config)
 {
 }
 
+/** Transitions decoded per feedAll() call in runReplayJob(). */
+constexpr size_t kFeedBatch = 1024;
+
 StreamResult
 runReplayJob(const ReplayJob &job, LookupConfig cfg)
 {
@@ -24,10 +28,20 @@ runReplayJob(const ReplayJob &job, LookupConfig cfg)
         TraceLogReader reader =
             job.logBytes ? TraceLogReader(*job.logBytes)
                          : TraceLogReader::openFile(job.logPath);
-        TeaReplayer replayer(*job.tea, cfg);
+        TeaReplayer replayer(*job.tea, cfg, job.compiled);
+        // Decode into a small buffer and feed in batches: the batch
+        // kernel keeps its counters in registers across each run.
+        std::vector<BlockTransition> buf;
+        buf.reserve(kFeedBatch);
         BlockTransition tr;
-        while (reader.next(tr))
-            replayer.feed(tr);
+        while (reader.next(tr)) {
+            buf.push_back(tr);
+            if (buf.size() == kFeedBatch) {
+                replayer.feedAll(buf.data(), buf.data() + buf.size());
+                buf.clear();
+            }
+        }
+        replayer.feedAll(buf.data(), buf.data() + buf.size());
         res.stats = replayer.stats();
         res.execCounts.resize(job.tea->numStates());
         for (StateId id = 0; id < job.tea->numStates(); ++id)
@@ -45,8 +59,27 @@ ReplayService::runBatch(const std::vector<ReplayJob> &jobs)
     BatchResult batch;
     batch.streams.resize(jobs.size());
 
-    for (size_t i = 0; i < jobs.size(); ++i) {
-        const ReplayJob &job = jobs[i];
+    // Compile each distinct automaton exactly once, on the calling
+    // thread, before any job runs: N streams over one snapshot must
+    // share one CompiledTea, not build N (test_registry_stress pins
+    // this with CompiledTea::compileCount()). Jobs that arrive with a
+    // compiled snapshot (registry puts) keep it.
+    std::vector<ReplayJob> staged(jobs);
+    if (cfg.useCompiled) {
+        std::unordered_map<const Tea *,
+                           std::shared_ptr<const CompiledTea>> compiledBy;
+        for (ReplayJob &job : staged) {
+            if (!job.tea || job.compiled)
+                continue;
+            auto &slot = compiledBy[job.tea.get()];
+            if (!slot)
+                slot = CompiledTea::compile(job.tea);
+            job.compiled = slot;
+        }
+    }
+
+    for (size_t i = 0; i < staged.size(); ++i) {
+        const ReplayJob &job = staged[i];
         StreamResult &slot = batch.streams[i];
         pool.submit(
             [&job, &slot, cfg = cfg] { slot = runReplayJob(job, cfg); });

@@ -48,6 +48,15 @@ struct ReplayJob
      * one buffer.
      */
     const std::vector<uint8_t> *logBytes = nullptr;
+
+    /**
+     * Compiled snapshot of `tea`, shared across every job replaying
+     * the same automaton (registry puts compile it; runBatch fills it
+     * for ad-hoc jobs). When null and the lookup config selects the
+     * compiled kernel, runReplayJob() compiles privately — correct but
+     * wasteful for concurrent streams, so batch paths always share.
+     */
+    std::shared_ptr<const CompiledTea> compiled;
 };
 
 /** Outcome of one job (one replayed stream). */

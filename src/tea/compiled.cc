@@ -1,0 +1,89 @@
+#include "tea/compiled.hh"
+
+#include <atomic>
+
+#include "util/logging.hh"
+
+namespace tea {
+
+namespace {
+
+std::atomic<uint64_t> compileCounter{0};
+
+/** Smallest power of two >= 2 * n (min 8): keeps the open-addressed
+ *  table at most half full, so probe chains stay short. */
+uint32_t
+hashCapacity(size_t n)
+{
+    uint32_t cap = 8;
+    while (cap < 2 * n)
+        cap *= 2;
+    return cap;
+}
+
+} // namespace
+
+CompiledTea::CompiledTea(const Tea &tea)
+{
+    compileCounter.fetch_add(1, std::memory_order_relaxed);
+    nStates = static_cast<uint32_t>(tea.numStates());
+
+    // SoA state metadata. NTE (slot 0) keeps kNoAddr.
+    stateStart.assign(nStates, kNoAddr);
+    for (StateId id = 1; id < nStates; ++id)
+        stateStart[id] = tea.state(id).start;
+
+    // CSR successor arrays, labels inlined. NTE's run is empty (its
+    // out-transitions are the entry index below).
+    succOffset.assign(nStates + 1, 0);
+    for (StateId id = 1; id < nStates; ++id)
+        succOffset[id + 1] =
+            succOffset[id] +
+            static_cast<uint32_t>(tea.state(id).succs.size());
+    succs.resize(succOffset[nStates]);
+    for (StateId id = 1; id < nStates; ++id) {
+        uint32_t at = succOffset[id];
+        for (StateId t : tea.state(id).succs)
+            succs[at++] = Succ{stateStart[t], t};
+    }
+
+    // Entry index: flat sorted array + open-addressed hash.
+    entriesFlat = tea.entries();
+    uint32_t cap = hashCapacity(entriesFlat.size());
+    hashMask = cap - 1;
+    hashSlots.assign(cap, HashSlot{kNoAddr, Tea::kNteState});
+    for (const auto &[addr, id] : entriesFlat) {
+        TEA_ASSERT(addr != kNoAddr, "entry at the invalid address");
+        uint32_t slot = hashOf(addr) & hashMask;
+        while (hashSlots[slot].addr != kNoAddr)
+            slot = (slot + 1) & hashMask;
+        hashSlots[slot] = HashSlot{addr, id};
+    }
+}
+
+std::shared_ptr<const CompiledTea>
+CompiledTea::compile(std::shared_ptr<const Tea> tea)
+{
+    TEA_ASSERT(tea != nullptr, "compiling a null automaton snapshot");
+    auto compiled = std::make_shared<CompiledTea>(*tea);
+    compiled->source = std::move(tea);
+    return compiled;
+}
+
+size_t
+CompiledTea::footprintBytes() const
+{
+    return succOffset.size() * sizeof(uint32_t) +
+           succs.size() * sizeof(Succ) +
+           stateStart.size() * sizeof(Addr) +
+           hashSlots.size() * sizeof(HashSlot) +
+           entriesFlat.size() * sizeof(entriesFlat[0]);
+}
+
+uint64_t
+CompiledTea::compileCount()
+{
+    return compileCounter.load(std::memory_order_relaxed);
+}
+
+} // namespace tea

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * CompiledTea: an immutable, cache-flat snapshot of a frozen Tea.
+ *
+ * The mutable `Tea` is built for construction: per-state `succs`
+ * vectors (one heap allocation each), an `unordered_map` entry index,
+ * and a node-based B+ tree bolted on at replay time. Every transition
+ * of the reference replay path therefore chases at least two pointers
+ * — the succs vector's buffer, then the target `TeaState` to read its
+ * start address — before it can even compare a label.
+ *
+ * Compilation freezes the automaton into contiguous arrays once, so the
+ * hot transition function of §4.2 touches only flat memory:
+ *
+ * - **CSR successor arrays**: one `Succ {label, target}` stream for the
+ *   whole automaton, indexed by a `numStates()+1` offset table. The
+ *   transition label (the target's start address) is inlined next to
+ *   the target id, so the common-case intra-trace probe is a scan over
+ *   one contiguous run of 8-byte entries — no per-target state loads.
+ * - **Flat open-addressed hash** over the NTE trace-entry addresses
+ *   (power-of-two table, multiplicative hashing, linear probing): the
+ *   default global lookup, replacing the node B+ tree's pointer walk
+ *   with at most a few probes in one array. The B+ tree and the linked
+ *   list survive as `LookupConfig` ablation modes (Table 4).
+ * - **Flat sorted entry array**: the compiled stand-in for the paper's
+ *   linear trace list, used when the global index is ablated away.
+ * - **SoA state metadata** (`stateStart`): the consistency check and
+ *   profile mapping read a plain `Addr` array instead of `TeaState`
+ *   records.
+ *
+ * A CompiledTea is a pure in-memory acceleration structure: the
+ * serialized TEA byte format is untouched (docs/FORMATS.md), and the
+ * compiled kernel's observable behaviour — `ReplayStats`, per-TBB
+ * profiles, the state sequence — is bit-identical to the reference
+ * path (tests/test_compiled.cc proves it differentially).
+ *
+ * Immutability makes snapshots shareable: the registry compiles each
+ * automaton once at put(), and every svc worker and net session replays
+ * against the same `shared_ptr<const CompiledTea>` lock-free.
+ */
+
+#ifndef TEA_TEA_COMPILED_HH
+#define TEA_TEA_COMPILED_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tea/automaton.hh"
+
+namespace tea {
+
+class CompiledTea
+{
+  public:
+    /** One CSR successor entry: the transition label inlined next to
+     *  the target state id (8 bytes, no padding). */
+    struct Succ
+    {
+        Addr label;     ///< start address of the target TBB
+        StateId target; ///< the state the transition enters
+    };
+
+    /** Compile a frozen automaton (does not retain `tea`). */
+    explicit CompiledTea(const Tea &tea);
+
+    /**
+     * Compile and keep the source snapshot alive: the returned
+     * CompiledTea co-owns `tea`, so a registry (or job) holding only
+     * the compiled snapshot can never outlive its automaton.
+     */
+    static std::shared_ptr<const CompiledTea>
+    compile(std::shared_ptr<const Tea> tea);
+
+    /** Total states including NTE (slot 0). */
+    uint32_t numStates() const { return nStates; }
+
+    /** Trace entries indexed by the flat hash. */
+    size_t numEntries() const { return entriesFlat.size(); }
+
+    /** The contiguous successor run of a state. */
+    const Succ *
+    succBegin(StateId id) const
+    {
+        return succs.data() + succOffset[id];
+    }
+    const Succ *
+    succEnd(StateId id) const
+    {
+        return succs.data() + succOffset[id + 1];
+    }
+
+    /** Start address of a state (kNoAddr for NTE). */
+    Addr stateStartOf(StateId id) const { return stateStart[id]; }
+
+    /**
+     * Global lookup, flat-hash mode: the compiled default. At most a
+     * handful of linear probes in one power-of-two array.
+     * @return the entry state, or Tea::kNteState when no trace starts
+     *         at `addr`
+     */
+    StateId
+    entryAt(Addr addr) const
+    {
+        uint32_t slot = hashOf(addr) & hashMask;
+        for (;;) {
+            const HashSlot &h = hashSlots[slot];
+            if (h.addr == addr)
+                return h.state;
+            if (h.addr == kNoAddr)
+                return Tea::kNteState;
+            slot = (slot + 1) & hashMask;
+        }
+    }
+
+    /**
+     * Global lookup, linear mode: scan the flat entry array. The
+     * compiled counterpart of the paper's unindexed trace list — still
+     * O(entries), kept as the "No Global" ablation.
+     */
+    StateId
+    entryLinear(Addr addr) const
+    {
+        for (const auto &[entry, id] : entriesFlat)
+            if (entry == addr)
+                return id;
+        return Tea::kNteState;
+    }
+
+    /** Trace entries, sorted by address (mirrors Tea::entries()). */
+    const std::vector<std::pair<Addr, StateId>> &
+    entries() const
+    {
+        return entriesFlat;
+    }
+
+    /** Resident bytes of every compiled array (memory accounting). */
+    size_t footprintBytes() const;
+
+    /** The co-owned source automaton; null when built by constructor. */
+    const std::shared_ptr<const Tea> &sourceTea() const { return source; }
+
+    /**
+     * Total CompiledTea constructions since process start. The
+     * compile-once contract (registry + batch sharing) is asserted by
+     * the stress tests against this counter.
+     */
+    static uint64_t compileCount();
+
+  private:
+    struct HashSlot
+    {
+        Addr addr;     ///< kNoAddr marks an empty slot
+        StateId state;
+    };
+
+    static uint32_t
+    hashOf(Addr addr)
+    {
+        // Fibonacci multiplicative hash; entry addresses are
+        // word-aligned, so mix the high bits back down.
+        uint32_t h = addr * 0x9e3779b9u;
+        return h ^ (h >> 16);
+    }
+
+    uint32_t nStates = 0;
+    std::vector<uint32_t> succOffset; ///< CSR offsets, size nStates + 1
+    std::vector<Succ> succs;          ///< all transitions, state-major
+    std::vector<Addr> stateStart;     ///< per-state start address (SoA)
+    std::vector<HashSlot> hashSlots;  ///< open-addressed entry index
+    uint32_t hashMask = 0;            ///< hashSlots.size() - 1
+    std::vector<std::pair<Addr, StateId>> entriesFlat; ///< sorted entries
+    std::shared_ptr<const Tea> source; ///< set by compile() only
+};
+
+} // namespace tea
+
+#endif // TEA_TEA_COMPILED_HH

@@ -5,17 +5,29 @@
 
 namespace tea {
 
-TeaReplayer::TeaReplayer(const Tea &automaton, LookupConfig config)
+TeaReplayer::TeaReplayer(const Tea &automaton, LookupConfig config,
+                         std::shared_ptr<const CompiledTea> precompiled)
     : tea(automaton), cfg(config)
 {
-    for (const auto &[addr, id] : tea.entries()) {
-        if (cfg.useGlobalBTree)
-            globalTree.insert(addr, id);
-        else
-            globalList.emplace_front(addr, id);
+    if (cfg.useCompiled) {
+        if (precompiled) {
+            TEA_ASSERT(precompiled->numStates() == tea.numStates(),
+                       "compiled snapshot does not match the automaton");
+            compiledShared = std::move(precompiled);
+        } else {
+            compiledShared = std::make_shared<const CompiledTea>(tea);
+        }
+        compiled = compiledShared.get();
+    } else {
+        for (const auto &[addr, id] : tea.entries()) {
+            if (cfg.useGlobalBTree)
+                globalTree.insert(addr, id);
+            else
+                globalList.emplace_front(addr, id);
+        }
     }
     if (cfg.useLocalCache)
-        caches.resize(tea.numStates());
+        cacheSlot.assign(tea.numStates(), kNoCacheSlot);
     execCounts.assign(tea.numStates(), 0);
 }
 
@@ -37,14 +49,45 @@ size_t
 TeaReplayer::lookupFootprintBytes() const
 {
     size_t bytes = 0;
-    if (cfg.useGlobalBTree) {
+    if (compiled) {
+        bytes += compiled->footprintBytes();
+    } else if (cfg.useGlobalBTree) {
         bytes += globalTree.footprintBytes();
     } else {
         for (const auto &entry : globalList)
             bytes += sizeof(entry) + sizeof(void *);
     }
-    bytes += caches.size() * LocalCache::footprintBytes();
+    // Only materialized caches are charged (plus their slot index);
+    // states that never missed on the exit path cost nothing.
+    bytes += cachePool.size() * LocalCache::footprintBytes();
+    bytes += cacheSlot.size() * sizeof(uint32_t);
     return bytes;
+}
+
+bool
+TeaReplayer::cacheLookup(StateId state, Addr label, StateId &out)
+{
+    uint32_t slot = cacheSlot[state];
+    if (slot == kNoCacheSlot)
+        return false;
+    uint32_t v;
+    if (!cachePool[slot].lookup(label, v))
+        return false;
+    out = static_cast<StateId>(v);
+    return true;
+}
+
+void
+TeaReplayer::cacheFill(StateId state, Addr label, StateId value)
+{
+    uint32_t slot = cacheSlot[state];
+    if (slot == kNoCacheSlot) {
+        // First exit-path miss of this state: materialize its cache.
+        slot = static_cast<uint32_t>(cachePool.size());
+        cachePool.emplace_back();
+        cacheSlot[state] = slot;
+    }
+    cachePool[slot].fill(label, value);
 }
 
 StateId
@@ -70,8 +113,19 @@ TeaReplayer::resolveEntry(Addr addr)
     return Tea::kNteState;
 }
 
+StateId
+TeaReplayer::resolveEntryCompiled(Addr addr)
+{
+    ++st.globalLookups;
+    StateId id = cfg.useGlobalBTree ? compiled->entryAt(addr)
+                                    : compiled->entryLinear(addr);
+    if (id != Tea::kNteState)
+        ++st.globalHits;
+    return id;
+}
+
 void
-TeaReplayer::feed(const BlockTransition &tr)
+TeaReplayer::feedReference(const BlockTransition &tr)
 {
     // Attribute the block that just finished to the current state.
     ++st.blocks;
@@ -109,16 +163,16 @@ TeaReplayer::feed(const BlockTransition &tr)
         // 2. the per-state local cache (covers trace -> trace and
         //    trace -> cold resolutions; a cached 0 means "cold").
         if (cfg.useLocalCache) {
-            uint32_t v;
-            if (caches[cur].lookup(label, v)) {
+            StateId v;
+            if (cacheLookup(cur, label, v)) {
                 ++st.localCacheHits;
-                cur = static_cast<StateId>(v);
+                cur = v;
                 if (cur == Tea::kNteState)
                     ++st.exitsToCold;
                 return;
             }
             StateId next = resolveEntry(label);
-            caches[cur].fill(label, next);
+            cacheFill(cur, label, next);
             cur = next;
             if (cur == Tea::kNteState)
                 ++st.exitsToCold;
@@ -136,6 +190,168 @@ TeaReplayer::feed(const BlockTransition &tr)
 }
 
 void
+TeaReplayer::feedCompiled(const BlockTransition &tr)
+{
+    // Same transition function, walking only flat arrays: CSR succ
+    // entries with inlined labels, then (on the exit path) the lazy
+    // local cache, then the flat global entry index.
+    const CompiledTea &ct = *compiled;
+    ++st.blocks;
+    ++execCounts[cur];
+    st.insnsTotal += tr.from.icount;
+    if (cur == Tea::kNteState)
+        ++st.nteBlocks;
+    if (cur != Tea::kNteState) {
+        st.insnsInTrace += tr.from.icount;
+        if (cfg.checkConsistency) {
+            Addr start = ct.stateStartOf(cur);
+            if (start != tr.from.start)
+                panic("replay desync: state %u maps %s but %s executed",
+                      cur, hex32(start).c_str(),
+                      hex32(tr.from.start).c_str());
+        }
+    }
+
+    if (tr.toStart == kNoAddr)
+        return; // program halted; stay put
+    ++st.transitions;
+    const Addr label = tr.toStart;
+
+    if (cur != Tea::kNteState) {
+        // 1. one contiguous run of (label, target) pairs.
+        const CompiledTea::Succ *end = ct.succEnd(cur);
+        for (const CompiledTea::Succ *p = ct.succBegin(cur); p != end;
+             ++p) {
+            if (p->label == label) {
+                ++st.intraTraceHits;
+                cur = p->target;
+                return;
+            }
+        }
+        ++st.traceExits;
+        // 2. the per-state local cache.
+        if (cfg.useLocalCache) {
+            StateId v;
+            if (cacheLookup(cur, label, v)) {
+                ++st.localCacheHits;
+                cur = v;
+                if (cur == Tea::kNteState)
+                    ++st.exitsToCold;
+                return;
+            }
+            StateId next = resolveEntryCompiled(label);
+            cacheFill(cur, label, next);
+            cur = next;
+            if (cur == Tea::kNteState)
+                ++st.exitsToCold;
+            return;
+        }
+        cur = resolveEntryCompiled(label);
+        if (cur == Tea::kNteState)
+            ++st.exitsToCold;
+        return;
+    }
+
+    // 3. from NTE only the global container applies.
+    cur = resolveEntryCompiled(label);
+}
+
+void
+TeaReplayer::feedAll(const BlockTransition *begin,
+                     const BlockTransition *end)
+{
+    if (compiled)
+        feedCompiledBatch(begin, end);
+    else
+        for (const BlockTransition *p = begin; p != end; ++p)
+            feedReference(*p);
+}
+
+void
+TeaReplayer::feedCompiledBatch(const BlockTransition *begin,
+                               const BlockTransition *end)
+{
+    // The same transition function as feedCompiled(), but the current
+    // state and every counter live in locals for the whole batch and
+    // are stored back once — per-transition memory traffic shrinks to
+    // the execCounts bump plus the CSR probe itself.
+    const CompiledTea &ct = *compiled;
+    ReplayStats local = st;
+    StateId c = cur;
+    uint64_t *exec = execCounts.data();
+
+    auto resolve = [&](Addr label) {
+        ++local.globalLookups;
+        StateId id = cfg.useGlobalBTree ? ct.entryAt(label)
+                                        : ct.entryLinear(label);
+        if (id != Tea::kNteState)
+            ++local.globalHits;
+        return id;
+    };
+
+    for (const BlockTransition *p = begin; p != end; ++p) {
+        ++local.blocks;
+        ++exec[c];
+        local.insnsTotal += p->from.icount;
+        if (c == Tea::kNteState) {
+            ++local.nteBlocks;
+            if (p->toStart == kNoAddr)
+                continue;
+            ++local.transitions;
+            c = resolve(p->toStart);
+            continue;
+        }
+
+        local.insnsInTrace += p->from.icount;
+        if (cfg.checkConsistency) {
+            Addr start = ct.stateStartOf(c);
+            if (start != p->from.start) {
+                st = local;
+                cur = c;
+                panic("replay desync: state %u maps %s but %s executed",
+                      c, hex32(start).c_str(),
+                      hex32(p->from.start).c_str());
+            }
+        }
+        if (p->toStart == kNoAddr)
+            continue;
+        ++local.transitions;
+        const Addr label = p->toStart;
+
+        const CompiledTea::Succ *sEnd = ct.succEnd(c);
+        const CompiledTea::Succ *s = ct.succBegin(c);
+        for (; s != sEnd; ++s) {
+            if (s->label == label) {
+                ++local.intraTraceHits;
+                c = s->target;
+                break;
+            }
+        }
+        if (s != sEnd)
+            continue;
+
+        ++local.traceExits;
+        if (cfg.useLocalCache) {
+            StateId v;
+            if (cacheLookup(c, label, v)) {
+                ++local.localCacheHits;
+                c = v;
+            } else {
+                StateId next = resolve(label);
+                cacheFill(c, label, next);
+                c = next;
+            }
+        } else {
+            c = resolve(label);
+        }
+        if (c == Tea::kNteState)
+            ++local.exitsToCold;
+    }
+    st = local;
+    cur = c;
+}
+
+void
 TeaReplayer::setCurrentState(StateId id)
 {
     TEA_ASSERT(id < tea.numStates(), "bad state id %u", id);
@@ -148,8 +364,9 @@ TeaReplayer::reset()
     cur = Tea::kNteState;
     st = ReplayStats{};
     execCounts.assign(tea.numStates(), 0);
-    for (LocalCache &c : caches)
-        c.clear();
+    cachePool.clear();
+    if (cfg.useLocalCache)
+        cacheSlot.assign(tea.numStates(), kNoCacheSlot);
 }
 
 } // namespace tea

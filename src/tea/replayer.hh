@@ -9,23 +9,38 @@
  *
  *   1. the current state's own transition list (intra-trace, common case),
  *   2. a per-state local cache of recent (address -> state) resolutions,
- *   3. a global container over trace entry addresses: a B+ tree, or a
- *      plain linear list when the B+ tree is disabled.
+ *   3. a global container over trace entry addresses.
  *
- * The four Table 4 configurations are obtained from LookupConfig:
- * {No-Global/Local, Global/No-Local, Global/Local} plus the "Empty" run
- * (an automaton with no traces, global tree on, caches off).
+ * Two kernels implement that same function:
+ *
+ * - the **compiled kernel** (default): walks a CompiledTea — CSR
+ *   successor arrays with inlined labels, flat open-addressed entry
+ *   hash (tea/compiled.hh). The fast path for production replay.
+ * - the **reference kernel**: walks the pointer-based `Tea` directly
+ *   with the paper's node B+ tree or linked trace list. This is the
+ *   §4.2 reproduction the Table 4 ablation measures, and the oracle
+ *   the compiled kernel is differentially tested against.
+ *
+ * Both kernels are bit-identical in every observable: ReplayStats,
+ * per-TBB profiles, and the state sequence (tests/test_compiled.cc).
+ *
+ * The four Table 4 configurations are obtained from LookupConfig with
+ * `useCompiled = false`: {No-Global/Local, Global/No-Local,
+ * Global/Local} plus the "Empty" run (an automaton with no traces,
+ * global tree on, caches off).
  */
 
 #ifndef TEA_TEA_REPLAYER_HH
 #define TEA_TEA_REPLAYER_HH
 
 #include <forward_list>
+#include <memory>
 #include <vector>
 
 #include "btree/bptree.hh"
 #include "btree/local_cache.hh"
 #include "tea/automaton.hh"
+#include "tea/compiled.hh"
 #include "vm/block.hh"
 
 namespace tea {
@@ -33,7 +48,13 @@ namespace tea {
 /** Which lookup accelerators the transition function may use (§4.2). */
 struct LookupConfig
 {
-    bool useGlobalBTree = true; ///< B+ tree over entries vs linear list
+    /**
+     * Use an indexed global container over trace entries vs a linear
+     * list. Under the compiled kernel the index is the flat hash and
+     * the list is the flat entry array; under the reference kernel
+     * they are the paper's node B+ tree and linked list.
+     */
+    bool useGlobalBTree = true;
     bool useLocalCache = true;  ///< per-state caches on the exit path
     /**
      * Verify on every transition that the automaton state matches the
@@ -41,6 +62,12 @@ struct LookupConfig
      * test suite; adds overhead, so benches leave it off.
      */
     bool checkConsistency = false;
+    /**
+     * Replay on the cache-flat CompiledTea kernel (default) instead of
+     * the pointer-chasing reference structures. Observable results are
+     * identical either way; only speed differs.
+     */
+    bool useCompiled = true;
 };
 
 /** Counters gathered during a replay (or an online recording) run. */
@@ -103,10 +130,37 @@ struct ReplayStats
 class TeaReplayer
 {
   public:
-    TeaReplayer(const Tea &tea, LookupConfig config);
+    /**
+     * @param tea    the automaton to replay (must outlive the replayer)
+     * @param config kernel and accelerator selection
+     * @param precompiled an existing compiled snapshot of `tea` to
+     *        share (svc/net replay against one registry-owned
+     *        CompiledTea). When null and the config selects the
+     *        compiled kernel, the replayer compiles its own copy.
+     */
+    TeaReplayer(const Tea &tea, LookupConfig config,
+                std::shared_ptr<const CompiledTea> precompiled = nullptr);
 
     /** Process one completed block execution. */
-    void feed(const BlockTransition &tr);
+    void
+    feed(const BlockTransition &tr)
+    {
+        if (compiled)
+            feedCompiled(tr);
+        else
+            feedReference(tr);
+    }
+
+    /**
+     * Process a contiguous run of block executions. Result-identical
+     * to feeding each transition in order; on the compiled kernel the
+     * batch loop keeps the current state and the hot counters in
+     * registers and writes them back once, which is where most of the
+     * kernel's throughput edge comes from. Batch-replay paths (svc
+     * jobs, benches) should prefer this over per-record feed().
+     */
+    void feedAll(const BlockTransition *begin,
+                 const BlockTransition *end);
 
     /** The automaton state of the block currently executing. */
     StateId currentState() const { return cur; }
@@ -120,8 +174,20 @@ class TeaReplayer
     /** Executions of (trace, tbb) — the per-copy profile of Figure 1. */
     uint64_t execCountFor(TraceId trace, uint32_t tbb) const;
 
-    /** Memory used by the lookup structures (tree/list + caches). */
+    /**
+     * Memory used by the lookup structures: the global container
+     * (compiled arrays, or tree/list on the reference kernel) plus only
+     * the local caches actually materialized — caches allocate lazily
+     * on the first exit-path miss of their state, so an automaton with
+     * a million states costs nothing until states actually exit.
+     */
     size_t lookupFootprintBytes() const;
+
+    /** Per-state local caches materialized so far. */
+    size_t materializedCaches() const { return cachePool.size(); }
+
+    /** The compiled snapshot in use (null on the reference kernel). */
+    const CompiledTea *compiledTea() const { return compiled; }
 
     /** Return to NTE and zero all statistics. */
     void reset();
@@ -133,11 +199,25 @@ class TeaReplayer
     void setCurrentState(StateId id);
 
   private:
+    /** cacheSlot sentinel: no cache materialized for the state yet. */
+    static constexpr uint32_t kNoCacheSlot = 0xffffffffu;
+
+    void feedReference(const BlockTransition &tr);
+    void feedCompiled(const BlockTransition &tr);
+    void feedCompiledBatch(const BlockTransition *begin,
+                           const BlockTransition *end);
     StateId resolveEntry(Addr addr);
+    StateId resolveEntryCompiled(Addr addr);
+    bool cacheLookup(StateId state, Addr label, StateId &out);
+    void cacheFill(StateId state, Addr label, StateId value);
 
     const Tea &tea;
     LookupConfig cfg;
     StateId cur = Tea::kNteState;
+
+    /** The compiled kernel's flat snapshot; null on the reference path. */
+    const CompiledTea *compiled = nullptr;
+    std::shared_ptr<const CompiledTea> compiledShared; ///< ownership
 
     BPlusTree globalTree;
     /**
@@ -147,7 +227,14 @@ class TeaReplayer
      * pointer-chasing cost the paper measured.
      */
     std::forward_list<std::pair<Addr, StateId>> globalList;
-    std::vector<LocalCache> caches;
+
+    /**
+     * Lazy per-state caches: cacheSlot maps a state to its slot in
+     * cachePool, kNoCacheSlot until the state's first exit-path fill.
+     */
+    std::vector<uint32_t> cacheSlot;
+    std::vector<LocalCache> cachePool;
+
     std::vector<uint64_t> execCounts;
     ReplayStats st;
 };

@@ -16,6 +16,7 @@
 
 #include "dbt/runtime.hh"
 #include "svc/registry.hh"
+#include "tea/compiled.hh"
 #include "svc/replay_service.hh"
 #include "svc/tracelog.hh"
 #include "tea/builder.hh"
@@ -180,6 +181,55 @@ TEST(RegistryStress, EvictionNeverInvalidatesInFlightReplays)
 
     for (int t = 0; t < kReplayers; ++t)
         EXPECT_EQ(errors[t], "") << "replayer " << t;
+}
+
+TEST(RegistryStress, ConcurrentStreamsCompileExactlyOnce)
+{
+    Workload w = Workloads::build("syn.gzip", InputSize::Test);
+    const Tea master = recordTea(w.program);
+    std::vector<uint8_t> log = recordLog(w.program);
+
+    AutomatonRegistry reg;
+    const uint64_t before = CompiledTea::compileCount();
+    reg.put("gzip", Tea(master));
+    // put() is the one compilation point: one put, one compile.
+    EXPECT_EQ(CompiledTea::compileCount(), before + 1);
+
+    AutomatonSnapshot snap = reg.snapshot("gzip");
+    ASSERT_TRUE(snap);
+    ASSERT_NE(snap.compiled, nullptr);
+
+    // Reference outcome on the same shared snapshot.
+    StreamResult reference = runReplayJob(
+        ReplayJob{snap.tea, "", &log, snap.compiled}, LookupConfig{});
+    ASSERT_TRUE(reference.ok());
+
+    constexpr int kStreams = 8;
+    std::vector<std::string> errors(kStreams);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kStreams; ++t) {
+        threads.emplace_back([&, t] {
+            // Every stream replays the registry's snapshot the way svc
+            // workers and net sessions do: compiled passed through the
+            // job, never rebuilt.
+            StreamResult res = runReplayJob(
+                ReplayJob{snap.tea, "", &log, snap.compiled},
+                LookupConfig{});
+            if (!res.ok())
+                errors[t] = res.error;
+            else if (!(res.stats == reference.stats) ||
+                     res.execCounts != reference.execCounts)
+                errors[t] = "replay diverged from reference";
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    for (int t = 0; t < kStreams; ++t)
+        EXPECT_EQ(errors[t], "") << "stream " << t;
+
+    // The concurrent streams shared put()'s compilation: zero
+    // recompiles, no matter how many replayers raced.
+    EXPECT_EQ(CompiledTea::compileCount(), before + 1);
 }
 
 } // namespace

@@ -85,6 +85,7 @@ struct Options
     bool optimize = false;
     bool noGlobal = false;
     bool noLocal = false;
+    bool reference = false; ///< reference kernel instead of compiled
     bool profile = false;
     bool json = false;
 };
@@ -99,7 +100,7 @@ usage()
         "  record <prog> [--selector mret|tt|ctt|mfet] [--pin]\n"
         "         [--traces out.traces] [--tea out.tea]\n"
         "  replay <prog> --traces in.traces [--no-global] [--no-local]\n"
-        "         [--profile]\n"
+        "         [--reference] [--profile]\n"
         "  translate <prog> [--selector S] [--optimize]\n"
         "  simulate <prog> [--traces in.traces] [--selector S]\n"
         "  info --traces F | --tea F\n"
@@ -107,10 +108,11 @@ usage()
         "  workloads\n"
         "  record-log <prog> --log out.tlog [--pin] [--size S]\n"
         "  batch-replay [--jobs N] [--json] <tea-file> <log>...\n"
-        "         [--no-global] [--no-local]\n"
+        "         [--no-global] [--no-local] [--reference]\n"
         "  serve --listen EP [--jobs N] [--max-queue N] [name=tea]...\n"
         "  remote-replay --connect EP [--put tea-file] [--json]\n"
-        "         [--no-global] [--no-local] <name> <log>...\n"
+        "         [--no-global] [--no-local] [--reference]\n"
+        "         <name> <log>...\n"
         "<prog> is an assembly file or a workload name like syn.gzip\n"
         "EP is tcp:<host>:<port> or unix:<path>\n",
         stderr);
@@ -162,6 +164,8 @@ parseArgs(int argc, char **argv)
             opt.noGlobal = true;
         else if (arg == "--no-local")
             opt.noLocal = true;
+        else if (arg == "--reference")
+            opt.reference = true;
         else if (arg == "--profile")
             opt.profile = true;
         else if (arg == "--optimize")
@@ -262,6 +266,7 @@ cmdReplay(const Options &opt)
     LookupConfig cfg;
     cfg.useGlobalBTree = !opt.noGlobal;
     cfg.useLocalCache = !opt.noLocal;
+    cfg.useCompiled = !opt.reference;
     TeaReplayer replayer(tea, cfg);
     TeaProfiler profiler(tea, replayer);
 
@@ -560,12 +565,16 @@ cmdBatchReplay(const Options &opt)
     LookupConfig cfg;
     cfg.useGlobalBTree = !opt.noGlobal;
     cfg.useLocalCache = !opt.noLocal;
+    cfg.useCompiled = !opt.reference;
     ReplayService service(static_cast<size_t>(opt.jobs), cfg);
 
+    // Every job shares the registry's compiled snapshot: the batch
+    // compiles nothing per stream.
+    auto compiled = registry.snapshot(opt.program).compiled;
     std::vector<ReplayJob> jobsVec;
     jobsVec.reserve(opt.extraArgs.size());
     for (const std::string &log : opt.extraArgs)
-        jobsVec.push_back(ReplayJob{tea, log, nullptr});
+        jobsVec.push_back(ReplayJob{tea, log, nullptr, compiled});
 
     BatchResult batch = service.runBatch(jobsVec);
     std::vector<StreamReport> reports;
@@ -631,6 +640,7 @@ cmdServe(const Options &opt)
     cfg.maxQueue = static_cast<size_t>(opt.maxQueue);
     cfg.lookup.useGlobalBTree = !opt.noGlobal;
     cfg.lookup.useLocalCache = !opt.noLocal;
+    cfg.lookup.useCompiled = !opt.reference;
     TeaServer server(cfg);
     for (const auto &[name, path] : preloads) {
         auto snap = server.registry().loadFile(name, path);
@@ -684,6 +694,7 @@ cmdRemoteReplay(const Options &opt)
     RemoteReplayOptions ropt;
     ropt.noGlobal = opt.noGlobal;
     ropt.noLocal = opt.noLocal;
+    ropt.reference = opt.reference;
 
     std::vector<StreamReport> reports;
     ReplayStats total;
