@@ -1,15 +1,33 @@
 #include "net/client.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "tea/serialize.hh"
 
 namespace tea {
 
-TeaClient
-TeaClient::connect(const std::string &endpoint)
+uint32_t
+RetryPolicy::delayMs(uint32_t attempt, Xorshift64Star &rng) const
 {
-    TeaClient c(Socket::connectTo(Endpoint::parse(endpoint)));
+    uint64_t base = backoffMs == 0 ? 0 : uint64_t(backoffMs)
+                                             << std::min(attempt, 20u);
+    base = std::min<uint64_t>(base, maxBackoffMs);
+    if (base == 0)
+        return 0;
+    uint64_t half = base / 2;
+    return static_cast<uint32_t>(half + rng.nextBelow(base - half + 1));
+}
+
+TeaClient
+TeaClient::connect(const std::string &endpoint,
+                   const FaultConfig &faults, uint64_t faultSeed)
+{
+    FaultySocket fs(Socket::connectTo(Endpoint::parse(endpoint)));
+    if (faults.any())
+        fs.arm(faults, faultSeed);
+    TeaClient c(std::move(fs));
     PayloadWriter w;
     w.u32(Wire::kMagic);
     w.u32(Wire::kVersion);
@@ -52,8 +70,17 @@ TeaClient::expect(MsgType want)
     Frame frame = recvFrame();
     if (frame.type == want)
         return frame;
-    if (frame.type == MsgType::Busy)
-        throw ServerBusy("server busy: admission queue full");
+    if (frame.type == MsgType::Busy) {
+        ServerBusy busy("server busy: admission queue full");
+        // Newer servers attach {queue depth, session cap}; an empty
+        // payload from an older server leaves the hints at 0.
+        if (frame.payload.size() >= 8) {
+            PayloadReader r(frame.payload);
+            busy.queueDepth = r.u32();
+            busy.maxSessions = r.u32();
+        }
+        throw busy;
+    }
     if (frame.type == MsgType::Error) {
         PayloadReader r(frame.payload);
         r.u8(); // fatal flag; either way this request is over
@@ -93,6 +120,17 @@ TeaClient::list()
         names.push_back(r.str(Wire::kMaxName));
     r.expectEnd();
     return names;
+}
+
+ServerStatus
+TeaClient::ping()
+{
+    sendFrame(MsgType::Ping, PayloadWriter{});
+    Frame pong = expect(MsgType::Pong);
+    PayloadReader r(pong.payload);
+    ServerStatus st = decodeStatus(r);
+    r.expectEnd();
+    return st;
 }
 
 bool
@@ -149,6 +187,44 @@ TeaClient::replay(const std::string &name, const uint8_t *log,
     }
     r.expectEnd();
     return out;
+}
+
+RemoteReplayResult
+replayWithRetry(const RemoteReplayJob &job, const RetryPolicy &policy,
+                uint32_t *attemptsOut)
+{
+    Xorshift64Star jitter(policy.seed);
+    for (uint32_t attempt = 0;; ++attempt) {
+        try {
+            // A fresh connection per attempt: the previous one may be
+            // half-dead, mid-frame, or poisoned by corruption. The
+            // fault seed shifts with the attempt so a chaos retry does
+            // not deterministically replay the same injected failure.
+            TeaClient c = TeaClient::connect(job.endpoint, job.faults,
+                                             job.faultSeed + attempt);
+            if (job.teaBytes != nullptr)
+                c.putAutomaton(job.name, *job.teaBytes);
+            RemoteReplayResult out =
+                c.replay(job.name, job.log, job.len, job.opt);
+            if (attemptsOut != nullptr)
+                *attemptsOut = attempt + 1;
+            return out;
+        } catch (const FatalError &) {
+            // ServerBusy and every transport-level failure land here.
+            // Replay never mutates server state, so retrying from
+            // scratch is always safe; a *semantic* rejection (unknown
+            // name, corrupt log) also lands here and simply fails
+            // `retries` more times — acceptable for a bounded count.
+            if (attempt >= policy.retries) {
+                if (attemptsOut != nullptr)
+                    *attemptsOut = attempt + 1;
+                throw;
+            }
+        }
+        uint32_t ms = policy.delayMs(attempt, jitter);
+        if (ms > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
 }
 
 } // namespace tea

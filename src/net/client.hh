@@ -7,8 +7,20 @@
  * exchange (replay() is one request of many frames). Server-reported
  * request failures and protocol violations surface as FatalError; a
  * server that answers the handshake with BUSY (admission queue full)
- * throws the ServerBusy subclass so callers can back off and retry
- * without string-matching.
+ * throws the ServerBusy subclass — carrying the server's queue depth
+ * and session cap when it sent them — so callers can back off and
+ * retry without string-matching.
+ *
+ * The client holds its socket through a FaultySocket, so the chaos
+ * suite (tests/test_chaos.cc) exercises the *real* client path with
+ * injected faults; unarmed (the default), the wrapper is one branch
+ * per call and the client behaves exactly as before.
+ *
+ * Because a replay is read-only on the server (the registry is only
+ * consulted, never modified), the whole exchange is idempotent — which
+ * is what makes replayWithRetry() safe: any attempt that dies before,
+ * during, or after the result frame can simply be re-run from scratch
+ * on a fresh connection.
  *
  * The client is not thread-safe: one connection, one conversation.
  * Open more clients for parallelism — the loopback integration test
@@ -22,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "net/fault.hh"
 #include "net/frame.hh"
 #include "net/socket.hh"
 #include "tea/automaton.hh"
@@ -29,11 +42,19 @@
 
 namespace tea {
 
-/** The server refused admission (its session queue is full). */
+/**
+ * The server refused admission (its session queue or connection cap is
+ * full). `queueDepth`/`maxSessions` carry the server's hint when the
+ * BUSY frame had one (servers predating the hint send an empty
+ * payload; both fields stay 0 then).
+ */
 class ServerBusy : public FatalError
 {
   public:
     using FatalError::FatalError;
+
+    uint32_t queueDepth = 0;  ///< sessions waiting for a worker
+    uint32_t maxSessions = 0; ///< server's live-connection cap (0 = none)
 };
 
 /** Per-replay options, mirroring REPLAY_BEGIN's flag bits. */
@@ -53,15 +74,37 @@ struct RemoteReplayResult
     std::vector<uint64_t> execCounts;
 };
 
+/**
+ * Capped exponential backoff with seeded jitter, for retrying the
+ * idempotent remote-replay exchange. Attempt k (0-based) sleeps a
+ * uniform draw from [base/2, base] where base = min(maxBackoffMs,
+ * backoffMs << k) — jitter keeps a fleet of retrying clients from
+ * re-stampeding a BUSY server in lockstep.
+ */
+struct RetryPolicy
+{
+    uint32_t retries = 0;       ///< extra attempts after the first
+    uint32_t backoffMs = 50;    ///< base delay before the first retry
+    uint32_t maxBackoffMs = 2000;
+    uint64_t seed = 1;          ///< jitter PRNG seed
+
+    /** Jittered delay before retry number `attempt` (0-based), in ms. */
+    uint32_t delayMs(uint32_t attempt, Xorshift64Star &rng) const;
+};
+
 class TeaClient
 {
   public:
     /**
-     * Dial and shake hands.
+     * Dial and shake hands. A nonzero `faults` config arms fault
+     * injection on the new connection (chaos tests only; the default
+     * injects nothing).
      * @throws ServerBusy when the server refuses admission
      * @throws FatalError on connect or protocol failures
      */
-    static TeaClient connect(const std::string &endpoint);
+    static TeaClient connect(const std::string &endpoint,
+                             const FaultConfig &faults = {},
+                             uint64_t faultSeed = 1);
 
     /** Upload a serialized TEA under `name` (replaces an older one). */
     void putAutomaton(const std::string &name,
@@ -75,6 +118,12 @@ class TeaClient
 
     /** Drop a name on the server. @return false when it was absent. */
     bool evict(const std::string &name);
+
+    /**
+     * Liveness + load probe: PING, wait for PONG. Cheap enough to call
+     * between requests; the stats are a snapshot taken server-side.
+     */
+    ServerStatus ping();
 
     /**
      * Stream a trace log and replay it remotely.
@@ -94,8 +143,11 @@ class TeaClient
 
     void close() { sock.close(); }
 
+    /** Faults the underlying FaultySocket injected (0 when unarmed). */
+    uint64_t faultsInjected() const { return sock.faultsInjected(); }
+
   private:
-    explicit TeaClient(Socket s) : sock(std::move(s)) {}
+    explicit TeaClient(FaultySocket s) : sock(std::move(s)) {}
 
     void sendFrame(MsgType type, const PayloadWriter &w);
     /** Blocking read of the next frame. @throws FatalError on EOF. */
@@ -107,9 +159,41 @@ class TeaClient
      */
     Frame expect(MsgType want);
 
-    Socket sock;
+    FaultySocket sock;
     FrameDecoder decoder;
 };
+
+/**
+ * Everything one self-contained remote replay attempt needs, so a
+ * retry can rebuild the conversation from scratch: dial `endpoint`,
+ * re-upload `teaBytes` when set (the previous attempt may have died
+ * before its PUT landed), then stream the log.
+ */
+struct RemoteReplayJob
+{
+    std::string endpoint;
+    std::string name;
+    const uint8_t *log = nullptr;
+    size_t len = 0;
+    RemoteReplayOptions opt;
+    /** When set, PUT these bytes under `name` before each replay. */
+    const std::vector<uint8_t> *teaBytes = nullptr;
+    /** Chaos-test fault injection; per-attempt seed = faultSeed + k. */
+    FaultConfig faults;
+    uint64_t faultSeed = 1;
+};
+
+/**
+ * Run `job`, retrying per `policy` on ServerBusy and on transient
+ * transport failures (connect refused/reset, connection lost at any
+ * point — replay is idempotent, so a blanket retry is safe). The final
+ * failure is rethrown when every attempt is spent.
+ * @param attemptsOut when non-null, receives the number of attempts
+ *        made (1 = first try succeeded)
+ */
+RemoteReplayResult replayWithRetry(const RemoteReplayJob &job,
+                                   const RetryPolicy &policy,
+                                   uint32_t *attemptsOut = nullptr);
 
 } // namespace tea
 

@@ -1,0 +1,107 @@
+#include "net/fault.hh"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace tea {
+
+void
+FaultySocket::arm(const FaultConfig &config, uint64_t seed)
+{
+    cfg = config;
+    rng = Xorshift64Star(seed);
+    armed = cfg.any();
+}
+
+bool
+FaultySocket::roll(double p)
+{
+    if (p <= 0)
+        return false;
+    if (!rng.nextBool(p))
+        return false;
+    ++injected;
+    return true;
+}
+
+void
+FaultySocket::maybeDelay()
+{
+    if (!roll(cfg.delay))
+        return;
+    uint64_t ms = 1 + rng.nextBelow(std::max(1u, cfg.delayMaxMs));
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+void
+FaultySocket::injectReset(const char *where)
+{
+    sock.close();
+    fatal("injected fault: connection reset (%s)", where);
+}
+
+size_t
+FaultySocket::recvSome(void *buf, size_t len)
+{
+    if (!armed)
+        return sock.recvSome(buf, len);
+    maybeDelay();
+    // A simulated EINTR: the call was interrupted and retried. Socket
+    // retries real EINTRs internally, so from here it is an extra wait
+    // plus a second attempt — observable only as latency.
+    if (roll(cfg.eintr))
+        maybeDelay();
+    if (roll(cfg.reset))
+        injectReset("recv");
+    size_t want = len;
+    if (len > 1 && roll(cfg.shortRead))
+        want = 1 + rng.nextBelow(len);
+    size_t n = sock.recvSome(buf, want);
+    if (n > 0 && roll(cfg.corrupt)) {
+        uint8_t *p = static_cast<uint8_t *>(buf);
+        size_t at = rng.nextBelow(n);
+        p[at] ^= static_cast<uint8_t>(1 + rng.nextBelow(255));
+    }
+    return n;
+}
+
+void
+FaultySocket::sendAll(const void *buf, size_t len)
+{
+    if (!armed || len == 0) {
+        sock.sendAll(buf, len);
+        return;
+    }
+    maybeDelay();
+    if (roll(cfg.eintr))
+        maybeDelay();
+    if (roll(cfg.reset))
+        injectReset("send");
+    const uint8_t *p = static_cast<const uint8_t *>(buf);
+    if (roll(cfg.corrupt)) {
+        // Flip one byte on the way out: the peer's frame CRC must trip.
+        std::vector<uint8_t> bent(p, p + len);
+        size_t at = rng.nextBelow(len);
+        bent[at] ^= static_cast<uint8_t>(1 + rng.nextBelow(255));
+        sock.sendAll(bent.data(), bent.size());
+        return;
+    }
+    if (len > 1 && roll(cfg.shortWrite)) {
+        // Split the write: the peer sees the frame arrive in pieces
+        // (and a reset may land between the halves, mid-frame).
+        size_t cut = 1 + rng.nextBelow(len - 1);
+        sock.sendAll(p, cut);
+        maybeDelay();
+        if (roll(cfg.reset))
+            injectReset("send (mid-frame)");
+        sock.sendAll(p + cut, len - cut);
+        return;
+    }
+    sock.sendAll(p, len);
+}
+
+} // namespace tea

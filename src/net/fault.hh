@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic fault injection for the tead wire stack.
+ *
+ * FaultySocket wraps a connected Socket and implements the same
+ * read/write surface, injecting the faults a replay service meets in
+ * the wild — short reads and writes, interrupted calls, artificial
+ * latency, mid-frame connection resets, and byte corruption — at
+ * per-call probabilities drawn from a seeded Xorshift64Star. Every
+ * decision is a pure function of (seed, call sequence), so any chaos
+ * failure replays exactly from its seed; no fault depends on the wall
+ * clock or the scheduler.
+ *
+ * With no faults configured (a default FaultConfig, or a FaultySocket
+ * never arm()ed) every call forwards straight to the wrapped Socket
+ * behind a single branch — the pass-through overhead is unmeasurable
+ * next to a syscall, which bench/net_throughput confirms.
+ *
+ * The injected faults split into two classes:
+ *
+ * - *benign* shapes the peer must absorb without noticing: short reads
+ *   and writes fragment the byte stream across syscalls (frames arrive
+ *   in pieces), simulated EINTR forces an internal retry, latency
+ *   stretches the exchange. None of these may change any result.
+ * - *destructive* faults that must surface as one typed, clean error:
+ *   an injected reset closes the socket and throws FatalError exactly
+ *   like a peer RST; corruption flips one byte so the far end's frame
+ *   CRC (net/frame.hh) trips. tests/test_chaos.cc sweeps seeds and
+ *   asserts every outcome is either a clean typed failure or a replay
+ *   bit-identical to the local kernel.
+ */
+
+#ifndef TEA_NET_FAULT_HH
+#define TEA_NET_FAULT_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/socket.hh"
+#include "util/random.hh"
+
+namespace tea {
+
+/**
+ * Per-call fault probabilities, all 0 by default (no faults). A
+ * probability applies independently at each recvSome()/sendAll() call.
+ */
+struct FaultConfig
+{
+    // Benign: reshape delivery, never change bytes or outcomes.
+    double shortRead = 0.0;  ///< read fewer bytes than asked
+    double shortWrite = 0.0; ///< split one write into two sends
+    double eintr = 0.0;      ///< simulate an interrupted, retried call
+    double delay = 0.0;      ///< sleep before the call
+    uint32_t delayMaxMs = 2; ///< sleep duration bound (uniform 1..max)
+
+    // Destructive: the call fails; the connection is gone or poisoned.
+    double reset = 0.0;   ///< close the socket mid-call, throw
+    double corrupt = 0.0; ///< flip one byte of the data in flight
+
+    /** True when any probability is nonzero. */
+    bool any() const
+    {
+        return shortRead > 0 || shortWrite > 0 || eintr > 0 ||
+               delay > 0 || reset > 0 || corrupt > 0;
+    }
+};
+
+/**
+ * A Socket wrapper that injects configured faults deterministically.
+ * Implements the Socket I/O surface, so TeaClient can hold one in
+ * place of a bare Socket.
+ */
+class FaultySocket
+{
+  public:
+    FaultySocket() = default;
+    explicit FaultySocket(Socket s) : sock(std::move(s)) {}
+
+    FaultySocket(Socket s, const FaultConfig &config, uint64_t seed)
+        : sock(std::move(s))
+    {
+        arm(config, seed);
+    }
+
+    /** Enable fault injection; a no-fault config disarms. */
+    void arm(const FaultConfig &config, uint64_t seed);
+
+    /**
+     * recvSome with faults: possible delay, simulated EINTR (a retried
+     * wait), short read, injected reset (closes + throws FatalError),
+     * or one received byte flipped.
+     */
+    size_t recvSome(void *buf, size_t len);
+
+    /**
+     * sendAll with faults: possible delay, short write (the data still
+     * all goes out, in two sends — the peer sees a split frame),
+     * injected reset, or one outgoing byte flipped (the peer's CRC
+     * check trips).
+     */
+    void sendAll(const void *buf, size_t len);
+
+    int waitReadable(int timeoutMs) { return sock.waitReadable(timeoutMs); }
+    void shutdownRead() { sock.shutdownRead(); }
+    void close() { sock.close(); }
+    bool valid() const { return sock.valid(); }
+
+    /** Faults injected so far (all classes), for tests and reports. */
+    uint64_t faultsInjected() const { return injected; }
+
+  private:
+    /** Bernoulli draw; false (and no rng advance) when disarmed. */
+    bool roll(double p);
+    void maybeDelay();
+    [[noreturn]] void injectReset(const char *where);
+
+    Socket sock;
+    FaultConfig cfg;
+    Xorshift64Star rng;
+    bool armed = false;
+    uint64_t injected = 0;
+};
+
+} // namespace tea
+
+#endif // TEA_NET_FAULT_HH

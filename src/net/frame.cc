@@ -188,6 +188,24 @@ encodeStats(PayloadWriter &w, const ReplayStats &st)
     w.u64(st.globalHits);
 }
 
+void
+encodeStatus(PayloadWriter &w, const ServerStatus &st)
+{
+    w.u32(st.queueDepth);
+    w.u32(st.activeSessions);
+    w.u64(st.uptimeMs);
+}
+
+ServerStatus
+decodeStatus(PayloadReader &r)
+{
+    ServerStatus st;
+    st.queueDepth = r.u32();
+    st.activeSessions = r.u32();
+    st.uptimeMs = r.u64();
+    return st;
+}
+
 ReplayStats
 decodeStats(PayloadReader &r)
 {

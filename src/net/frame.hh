@@ -27,9 +27,18 @@
  *   client: PUT_AUTOMATON {name, tea}  server: PUT_OK | ERROR
  *   client: LIST                       server: LIST_OK
  *   client: EVICT {name}               server: EVICT_OK
+ *   client: PING                       server: PONG {status}
  *   client: REPLAY_BEGIN {name, flags} server: REPLAY_OK | ERROR
  *   client: REPLAY_CHUNK {log bytes}*  (no reply per chunk)
  *   client: REPLAY_END                 server: REPLAY_STATS | ERROR
+ *
+ * BUSY may carry a payload (queue depth + max-sessions hint) since the
+ * resilience work; it was empty in the first deployment, so readers
+ * must tolerate both shapes. PING/PONG are liveness probes for load
+ * balancers and the chaos tests: PONG reports queue depth, active
+ * sessions, and uptime. Both ride on the unchanged protocol version —
+ * an older server answers PING with its defined unknown-type behavior
+ * (a fatal ERROR), which a prober treats as "alive, but old".
  *
  * ERROR carries a "fatal" flag: requests that merely failed (unknown
  * automaton, corrupt TEA bytes, corrupt log) keep the session alive;
@@ -68,6 +77,8 @@ enum class MsgType : uint8_t {
     HelloOk = 0x02,
     Busy = 0x03,
     Error = 0x04,
+    Ping = 0x05,
+    Pong = 0x06,
     PutAutomaton = 0x10,
     PutOk = 0x11,
     List = 0x12,
@@ -203,6 +214,20 @@ void encodeStats(PayloadWriter &w, const ReplayStats &st);
 
 /** Decode the encodeStats() layout. @throws FatalError on underrun. */
 ReplayStats decodeStats(PayloadReader &r);
+
+/** The PONG liveness snapshot (and the server-side provider's view). */
+struct ServerStatus
+{
+    uint32_t queueDepth = 0;     ///< sessions waiting for a worker
+    uint32_t activeSessions = 0; ///< connections currently served
+    uint64_t uptimeMs = 0;       ///< since the server started
+};
+
+/** Encode ServerStatus as u32, u32, u64. */
+void encodeStatus(PayloadWriter &w, const ServerStatus &st);
+
+/** Decode the encodeStatus() layout. @throws FatalError on underrun. */
+ServerStatus decodeStatus(PayloadReader &r);
 
 } // namespace tea
 

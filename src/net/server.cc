@@ -1,5 +1,8 @@
 #include "net/server.hh"
 
+#include <algorithm>
+#include <chrono>
+#include <limits>
 #include <thread>
 
 #include "net/frame.hh"
@@ -7,6 +10,19 @@
 #include "util/logging.hh"
 
 namespace tea {
+
+namespace {
+
+uint64_t
+steadyMs()
+{
+    using namespace std::chrono;
+    return static_cast<uint64_t>(duration_cast<milliseconds>(
+                                     steady_clock::now().time_since_epoch())
+                                     .count());
+}
+
+} // namespace
 
 TeaServer::TeaServer(ServerConfig config)
     : cfg(std::move(config)),
@@ -28,8 +44,23 @@ TeaServer::start()
 {
     if (started.exchange(true))
         panic("tead server: started twice");
+    startedAtMs.store(steadyMs());
     listener = Listener::open(Endpoint::parse(cfg.endpoint));
     acceptThread = std::thread([this] { acceptLoop(); });
+}
+
+size_t
+TeaServer::activeSessions() const
+{
+    std::lock_guard<std::mutex> lock(connMu);
+    return conns.size();
+}
+
+uint64_t
+TeaServer::uptimeMs() const
+{
+    uint64_t at = startedAtMs.load();
+    return at == 0 ? 0 : steadyMs() - at;
 }
 
 std::string
@@ -51,12 +82,22 @@ TeaServer::acceptLoop()
     while (listener.accept(sock)) {
         if (stopping.load())
             break; // socket closes on loop exit
-        if (pool.pending() >= cfg.maxQueue) {
+        size_t depth = pool.pending();
+        if (depth >= cfg.maxQueue ||
+            (cfg.maxSessions != 0 &&
+             activeSessions() >= cfg.maxSessions)) {
             // Backpressure: one BUSY frame, then close. Never queue
-            // beyond the bound, never buffer the client's bytes.
+            // beyond the bound, never buffer the client's bytes. The
+            // payload tells the client why (depth, cap) so its backoff
+            // can be smarter than a blind sleep.
             rejected.fetch_add(1);
+            PayloadWriter w;
+            w.u32(static_cast<uint32_t>(
+                std::min<size_t>(depth, UINT32_MAX)));
+            w.u32(static_cast<uint32_t>(
+                std::min<size_t>(cfg.maxSessions, UINT32_MAX)));
             std::vector<uint8_t> busy;
-            appendFrame(busy, MsgType::Busy, nullptr, 0);
+            appendFrame(busy, MsgType::Busy, w.out());
             try {
                 sock.sendAll(busy.data(), busy.size());
             } catch (const FatalError &) {
@@ -81,22 +122,95 @@ TeaServer::acceptLoop()
 }
 
 void
+TeaServer::evictConnection(Socket &sock, const char *why)
+{
+    evicted.fetch_add(1);
+    PayloadWriter w;
+    w.u8(1); // fatal: the connection closes after this frame
+    w.str(strprintf("connection evicted: %s", why));
+    std::vector<uint8_t> frame;
+    appendFrame(frame, MsgType::Error, w.out());
+    try {
+        sock.sendAll(frame.data(), frame.size());
+    } catch (const FatalError &) {
+        // Socket already dead; the eviction still counts.
+    }
+    if (evictWarn.allow()) {
+        uint64_t dropped = evictWarn.suppressedAndReset();
+        if (dropped > 0)
+            warn("tead: evicted connection (%s); %llu similar warnings "
+                 "suppressed",
+                 why, static_cast<unsigned long long>(dropped));
+        else
+            warn("tead: evicted connection (%s)", why);
+    }
+}
+
+void
 TeaServer::serveConnection(Socket &sock)
 {
     try {
         Session session(registry_, cfg.lookup);
+        session.setStatusFn([this] {
+            ServerStatus st;
+            st.queueDepth = static_cast<uint32_t>(
+                std::min<size_t>(pool.pending(), UINT32_MAX));
+            st.activeSessions = static_cast<uint32_t>(
+                std::min<size_t>(activeSessions(), UINT32_MAX));
+            st.uptimeMs = uptimeMs();
+            return st;
+        });
         std::vector<uint8_t> replies;
         uint8_t buf[64 * 1024];
+        // Deadline bookkeeping. `lastByteMs` feeds the idle clock;
+        // `requestStartMs` is stamped at the first byte of a request
+        // and feeds the request clock while session.midRequest().
+        uint64_t lastByteMs = steadyMs();
+        uint64_t requestStartMs = lastByteMs;
+        bool midRequest = false;
         for (;;) {
+            int waitMs = -1;
+            if (cfg.idleTimeoutMs != 0 ||
+                (cfg.requestDeadlineMs != 0 && midRequest)) {
+                uint64_t now = steadyMs();
+                int64_t budget = std::numeric_limits<int64_t>::max();
+                const char *why = nullptr;
+                if (cfg.idleTimeoutMs != 0) {
+                    budget = static_cast<int64_t>(
+                        lastByteMs + cfg.idleTimeoutMs - now);
+                    why = "idle timeout";
+                }
+                if (cfg.requestDeadlineMs != 0 && midRequest) {
+                    int64_t left = static_cast<int64_t>(
+                        requestStartMs + cfg.requestDeadlineMs - now);
+                    if (left < budget) {
+                        budget = left;
+                        why = "request deadline exceeded";
+                    }
+                }
+                if (budget <= 0) {
+                    evictConnection(sock, why);
+                    break;
+                }
+                waitMs = static_cast<int>(std::min<int64_t>(
+                    budget, std::numeric_limits<int>::max()));
+            }
+            if (sock.waitReadable(waitMs) == 0)
+                continue; // budget recomputed (and now expired) above
             size_t n = sock.recvSome(buf, sizeof(buf));
             if (n == 0)
                 break; // peer closed (or stop() shut our read down)
+            uint64_t now = steadyMs();
+            lastByteMs = now;
+            if (!midRequest)
+                requestStartMs = now; // these bytes open a new request
             replies.clear();
             bool keep = session.consume(buf, n, replies);
             if (!replies.empty())
                 sock.sendAll(replies.data(), replies.size());
             if (!keep)
                 break;
+            midRequest = session.midRequest();
         }
         served.fetch_add(1);
     } catch (const FatalError &) {

@@ -17,9 +17,21 @@
  *   a session occupies its worker for the connection's lifetime, so
  *   at most `workers` clients are served concurrently;
  * - admission control is the pool's queue depth
- *   (ThreadPool::pending()): when `maxQueue` sessions are already
- *   waiting for a worker, new connections get one BUSY frame and an
- *   immediate close — backpressure instead of unbounded memory;
+ *   (ThreadPool::pending()) plus an optional live-connection cap
+ *   (`maxSessions`): when `maxQueue` sessions already wait for a
+ *   worker, or `maxSessions` connections are live, new connections get
+ *   one BUSY frame — carrying the queue depth and the cap, so the
+ *   client can log *why* and back off smarter — and an immediate
+ *   close: backpressure instead of unbounded memory;
+ * - sessions carry deadlines: `idleTimeoutMs` bounds how long a
+ *   connection may sit sending nothing, `requestDeadlineMs` bounds how
+ *   long one request (a partial frame, or an open replay stream) may
+ *   take end to end. A dead peer trips the idle clock; a slowloris
+ *   trickling a byte at a time keeps the idle clock happy but trips
+ *   the request clock. Either way the session worker is reclaimed: the
+ *   server sends a best-effort fatal ERROR frame (when the socket is
+ *   still writable), counts the eviction, and emits a rate-limited
+ *   warning — a flapping client cannot flood the log;
  * - stop() is graceful: the listener closes first (no new
  *   connections), then every live session socket gets a read-side
  *   shutdown — a replay already running completes and its reply is
@@ -41,6 +53,7 @@
 #include "net/socket.hh"
 #include "svc/registry.hh"
 #include "svc/replay_service.hh"
+#include "util/logging.hh"
 #include "util/threadpool.hh"
 
 namespace tea {
@@ -53,6 +66,20 @@ struct ServerConfig
     size_t workers = 0;
     /** Connections allowed to wait for a worker before BUSY (≥ 1). */
     size_t maxQueue = 64;
+    /** Live-connection cap before BUSY; 0 = bounded by maxQueue only. */
+    size_t maxSessions = 0;
+    /**
+     * Evict a connection that sends nothing for this long (ms);
+     * 0 disables. A stalled or dead client stops pinning its worker.
+     */
+    uint32_t idleTimeoutMs = 0;
+    /**
+     * Evict a connection whose single request (first byte of a frame
+     * through to its completion, or REPLAY_BEGIN through REPLAY_END)
+     * exceeds this budget (ms); 0 disables. Catches slowloris clients
+     * that trickle bytes fast enough to dodge the idle clock.
+     */
+    uint32_t requestDeadlineMs = 0;
     /** Default lookup configuration for replays (per-stream flags win). */
     LookupConfig lookup;
 };
@@ -92,13 +119,23 @@ class TeaServer
     /** Sessions admitted but still waiting for a worker. */
     size_t queueDepth() const { return pool.pending(); }
 
+    /** Live connections (serving or queued). */
+    size_t activeSessions() const;
+
+    /** Milliseconds since start(); 0 before it. */
+    uint64_t uptimeMs() const;
+
     // Counters for the CLI's exit report and the tests.
     uint64_t sessionsServed() const { return served.load(); }
     uint64_t busyRejected() const { return rejected.load(); }
+    /** Connections evicted by the idle or request deadline. */
+    uint64_t sessionsEvicted() const { return evicted.load(); }
 
   private:
     void acceptLoop();
     void serveConnection(Socket &sock);
+    /** Best-effort fatal ERROR + counters; the session ends after. */
+    void evictConnection(Socket &sock, const char *why);
 
     ServerConfig cfg;
     AutomatonRegistry registry_;
@@ -106,7 +143,7 @@ class TeaServer
     Listener listener;
     std::thread acceptThread;
 
-    std::mutex connMu;
+    mutable std::mutex connMu;
     uint64_t nextConnId = 0;
     /** Live session sockets, so stop() can shut their reads down. */
     std::unordered_map<uint64_t, std::shared_ptr<Socket>> conns;
@@ -116,6 +153,10 @@ class TeaServer
     std::atomic<bool> stopped{false};
     std::atomic<uint64_t> served{0};
     std::atomic<uint64_t> rejected{0};
+    std::atomic<uint64_t> evicted{0};
+    std::atomic<uint64_t> startedAtMs{0}; ///< steady clock, for uptime
+    /** Eviction warnings: burst of 5, then at most 5/s. */
+    RateLimiter evictWarn{5.0, 5.0};
 };
 
 } // namespace tea

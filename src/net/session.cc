@@ -68,6 +68,7 @@ Session::onFrame(const Frame &frame, std::vector<uint8_t> &out)
         if (frame.type != MsgType::PutAutomaton &&
             frame.type != MsgType::List &&
             frame.type != MsgType::Evict &&
+            frame.type != MsgType::Ping &&
             frame.type != MsgType::ReplayBegin) {
             replyError(out, true, "unexpected message type");
             return false;
@@ -163,6 +164,14 @@ Session::handleRequest(const Frame &frame, std::vector<uint8_t> &out)
         PayloadWriter w;
         w.u8(registry.evict(name) ? 1 : 0);
         reply(out, MsgType::EvictOk, w);
+        return;
+    }
+    case MsgType::Ping: {
+        PayloadReader r(frame.payload);
+        r.expectEnd();
+        PayloadWriter w;
+        encodeStatus(w, statusFn ? statusFn() : ServerStatus{});
+        reply(out, MsgType::Pong, w);
         return;
     }
     case MsgType::ReplayBegin: {

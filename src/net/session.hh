@@ -30,6 +30,7 @@
 #ifndef TEA_NET_SESSION_HH
 #define TEA_NET_SESSION_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -55,6 +56,29 @@ class Session
     /** True once a HELLO has been accepted. */
     bool handshaken() const { return state != State::ExpectHello; }
 
+    /**
+     * True while a request is underway: a partial frame is buffered, or
+     * a REPLAY_BEGIN .. REPLAY_END stream is open. The server's
+     * per-request deadline (net/server.hh) is armed exactly while this
+     * holds — a slowloris trickling one byte per idle-timeout keeps the
+     * idle clock happy but not this one.
+     */
+    bool midRequest() const
+    {
+        return state == State::Streaming || !decoder.atBoundary();
+    }
+
+    /**
+     * Provider for PONG's ServerStatus payload; the server installs
+     * one reporting its pool and connection counters. Without a
+     * provider PING answers all-zeros (the session alone has no
+     * server-wide view).
+     */
+    void setStatusFn(std::function<ServerStatus()> fn)
+    {
+        statusFn = std::move(fn);
+    }
+
     /** Streams replayed by this session (served + failed). */
     uint64_t replaysRun() const { return replays; }
 
@@ -78,6 +102,7 @@ class Session
     AutomatonRegistry &registry;
     LookupConfig lookup;
     FrameDecoder decoder;
+    std::function<ServerStatus()> statusFn;
     State state = State::ExpectHello;
     uint64_t replays = 0;
     size_t maxLogBytes = Wire::kMaxLogBytes;

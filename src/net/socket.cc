@@ -175,6 +175,22 @@ Socket::sendAll(const void *buf, size_t len)
     }
 }
 
+int
+Socket::waitReadable(int timeoutMs)
+{
+    for (;;) {
+        pollfd pfd{fd_, POLLIN, 0};
+        int rv = ::poll(&pfd, 1, timeoutMs);
+        if (rv > 0)
+            return 1; // readable, EOF, or error: recv reports which
+        if (rv == 0)
+            return 0;
+        if (errno == EINTR)
+            continue; // retry with the full budget; callers re-check
+        fatal("poll: %s", std::strerror(errno));
+    }
+}
+
 void
 Socket::shutdownRead()
 {

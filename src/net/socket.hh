@@ -71,6 +71,15 @@ class Socket
      */
     size_t recvSome(void *buf, size_t len);
 
+    /**
+     * Poll until the socket is readable (data, EOF, or an error —
+     * recvSome() reports which) or `timeoutMs` elapses. Negative means
+     * wait forever. The server's idle/deadline eviction builds on this.
+     * @return 1 when readable, 0 on timeout
+     * @throws FatalError on poll errors
+     */
+    int waitReadable(int timeoutMs);
+
     /** Write all of `len` bytes. @throws FatalError on errors. */
     void sendAll(const void *buf, size_t len);
 

@@ -25,9 +25,11 @@ runReplayJob(const ReplayJob &job, LookupConfig cfg)
     try {
         if (!job.tea)
             fatal("replay job without an automaton");
+        auto mode = job.salvage ? TraceLogReader::Mode::Salvage
+                                : TraceLogReader::Mode::Strict;
         TraceLogReader reader =
-            job.logBytes ? TraceLogReader(*job.logBytes)
-                         : TraceLogReader::openFile(job.logPath);
+            job.logBytes ? TraceLogReader(*job.logBytes, mode)
+                         : TraceLogReader::openFile(job.logPath, mode);
         TeaReplayer replayer(*job.tea, cfg, job.compiled);
         // Decode into a small buffer and feed in batches: the batch
         // kernel keeps its counters in registers across each run.
@@ -42,6 +44,11 @@ runReplayJob(const ReplayJob &job, LookupConfig cfg)
             }
         }
         replayer.feedAll(buf.data(), buf.data() + buf.size());
+        if (reader.torn()) {
+            res.salvaged = true;
+            res.salvageReason = reader.tornReason();
+            res.salvageBytesDropped = reader.bytesDiscarded();
+        }
         res.stats = replayer.stats();
         res.execCounts.resize(job.tea->numStates());
         for (StateId id = 0; id < job.tea->numStates(); ++id)

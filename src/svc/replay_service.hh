@@ -57,6 +57,14 @@ struct ReplayJob
      * wasteful for concurrent streams, so batch paths always share.
      */
     std::shared_ptr<const CompiledTea> compiled;
+
+    /**
+     * Open the log in TraceLogReader salvage mode: a torn log replays
+     * its valid chunk prefix and reports the tear in
+     * StreamResult::salvage* instead of failing the stream. Strict
+     * (the default) keeps the old behavior: any defect fails the job.
+     */
+    bool salvage = false;
 };
 
 /** Outcome of one job (one replayed stream). */
@@ -70,6 +78,13 @@ struct StreamResult
     std::vector<uint64_t> execCounts;
     /** Empty on success; the FatalError message otherwise. */
     std::string error;
+
+    /** Salvage-mode jobs only: did the log tear? (Still counts as ok.) */
+    bool salvaged = false;
+    /** Why the log tore (empty unless salvaged). */
+    std::string salvageReason;
+    /** Bytes after the last valid chunk, dropped by salvage. */
+    uint64_t salvageBytesDropped = 0;
 
     bool ok() const { return error.empty(); }
 };

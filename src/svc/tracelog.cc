@@ -177,9 +177,12 @@ TraceLogWriter::finish()
 
 // ---------------------------------------------------------------- reader
 
-TraceLogReader::TraceLogReader(std::vector<uint8_t> data)
-    : bytes(std::move(data))
+TraceLogReader::TraceLogReader(std::vector<uint8_t> data, Mode m)
+    : bytes(std::move(data)), mode(m)
 {
+    // Bad magic/version throws even in salvage mode: a log whose first
+    // eight bytes are wrong proves nothing, so there is no prefix to
+    // recover.
     if (get32(bytes, cursor) != TraceLogFormat::kMagic)
         fatal("tracelog: bad magic");
     if (get32(bytes, cursor) != TraceLogFormat::kVersion)
@@ -187,18 +190,41 @@ TraceLogReader::TraceLogReader(std::vector<uint8_t> data)
 }
 
 TraceLogReader
-TraceLogReader::openFile(const std::string &path)
+TraceLogReader::openFile(const std::string &path, Mode m)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
         fatal("cannot open '%s'", path.c_str());
     std::vector<uint8_t> data((std::istreambuf_iterator<char>(in)),
                               std::istreambuf_iterator<char>());
-    return TraceLogReader(std::move(data));
+    return TraceLogReader(std::move(data), m);
 }
 
 void
 TraceLogReader::loadChunk()
+{
+    if (mode == Mode::Salvage) {
+        size_t chunkStart = cursor;
+        try {
+            loadChunkStrict();
+        } catch (const FatalError &e) {
+            // The chunk starting at chunkStart is torn: drop any
+            // half-decoded records (they were never CRC-validated in
+            // full) and end the stream at the last good chunk.
+            chunk.clear();
+            chunkPos = 0;
+            done = true;
+            torn_ = true;
+            tornReason_ = e.what();
+            discarded = bytes.size() - chunkStart;
+        }
+        return;
+    }
+    loadChunkStrict();
+}
+
+void
+TraceLogReader::loadChunkStrict()
 {
     uint32_t nrecords = get32(bytes, cursor);
     if (nrecords == 0) {

@@ -102,29 +102,61 @@ class TraceLogWriter
  * Decodes one chunk at a time: the CRC of a chunk is checked before any
  * of its records are surfaced, and the trailer is checked when the last
  * chunk is consumed — next() never returns data from a corrupt or
- * truncated region. All corruption surfaces as FatalError.
+ * truncated region. In the default Strict mode all corruption surfaces
+ * as FatalError.
+ *
+ * Salvage mode recovers what a torn log still proves: the longest
+ * prefix of complete, CRC-valid chunks. The first chunk that fails any
+ * check (truncated header or payload, CRC mismatch, malformed record,
+ * missing or inconsistent trailer) ends the stream instead of
+ * throwing; next() then returns false and torn() reports what
+ * happened. Records already surfaced are exactly the strict-mode
+ * prefix — salvage never yields a byte strict mode would reject.
+ * Because the tail beyond the tear is unframed, the number of *lost*
+ * records is unknowable; bytesDiscarded() reports the raw byte count
+ * instead. A file that is damaged before any content — bad magic or
+ * version — still throws in either mode: there is nothing to salvage.
  */
 class TraceLogReader
 {
   public:
+    enum class Mode
+    {
+        Strict, ///< any defect throws FatalError
+        Salvage ///< recover the valid chunk prefix of a torn log
+    };
+
     /** Take ownership of an in-memory log. @throws FatalError. */
-    explicit TraceLogReader(std::vector<uint8_t> bytes);
+    explicit TraceLogReader(std::vector<uint8_t> bytes,
+                            Mode mode = Mode::Strict);
 
     /** Read a log file fully into memory and open it. */
-    static TraceLogReader openFile(const std::string &path);
+    static TraceLogReader openFile(const std::string &path,
+                                   Mode mode = Mode::Strict);
 
     /**
      * Fetch the next record.
-     * @return false at the (validated) end of the log
-     * @throws FatalError on any corruption or truncation
+     * @return false at the end of the log: validated end in Strict
+     *         mode, validated end *or* the tear in Salvage mode
+     * @throws FatalError on any corruption or truncation (Strict mode)
      */
     bool next(BlockTransition &out);
 
     /** Records surfaced so far. */
     uint64_t recordsRead() const { return surfaced; }
 
+    /** Salvage mode only: did the stream end at a tear? */
+    bool torn() const { return torn_; }
+
+    /** Why the log tore (empty unless torn()). */
+    const std::string &tornReason() const { return tornReason_; }
+
+    /** Bytes after the last valid chunk, dropped by salvage. */
+    uint64_t bytesDiscarded() const { return discarded; }
+
   private:
     void loadChunk();
+    void loadChunkStrict();
 
     std::vector<uint8_t> bytes;
     size_t cursor = 0;
@@ -133,6 +165,10 @@ class TraceLogReader
     uint64_t surfaced = 0; ///< records returned by next()
     uint64_t decoded = 0;  ///< records decoded from chunks (trailer check)
     bool done = false;
+    Mode mode = Mode::Strict;
+    bool torn_ = false;
+    std::string tornReason_;
+    uint64_t discarded = 0;
 };
 
 /** Convenience: decode an entire in-memory log. @throws FatalError. */

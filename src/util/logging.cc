@@ -1,5 +1,7 @@
 #include "util/logging.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 namespace tea {
@@ -84,6 +86,44 @@ fatal(const char *fmt, ...)
     std::string msg = vstrprintf(fmt, ap);
     va_end(ap);
     throw FatalError(msg);
+}
+
+bool
+RateLimiter::allow()
+{
+    using clock = std::chrono::steady_clock;
+    double now = std::chrono::duration<double>(
+                     clock::now().time_since_epoch())
+                     .count();
+    return allowAt(now);
+}
+
+bool
+RateLimiter::allowAt(double nowSeconds)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (!primed) {
+        lastSec = nowSeconds;
+        primed = true;
+    }
+    double elapsed = std::max(0.0, nowSeconds - lastSec);
+    tokens = std::min(cap, tokens + elapsed * rate);
+    lastSec = nowSeconds;
+    if (tokens >= 1.0) {
+        tokens -= 1.0;
+        return true;
+    }
+    ++suppressed;
+    return false;
+}
+
+uint64_t
+RateLimiter::suppressedAndReset()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    uint64_t n = suppressed;
+    suppressed = 0;
+    return n;
 }
 
 void

@@ -12,6 +12,8 @@
 #define TEA_UTIL_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -66,6 +68,48 @@ void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
  */
 [[noreturn]] void panic(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/**
+ * Token-bucket limiter for repetitive log messages, so a flapping
+ * client (one reconnecting and getting evicted in a loop, say) cannot
+ * flood the log. The bucket holds up to `burst` tokens and refills at
+ * `ratePerSec`; each allowed message costs one token. Thread-safe: the
+ * server's eviction path calls it from every session worker.
+ *
+ * Denied messages are counted; suppressedAndReset() lets the next
+ * allowed message report how many were dropped, so the log never
+ * silently loses information — it loses only repetition.
+ */
+class RateLimiter
+{
+  public:
+    RateLimiter(double ratePerSec, double burst)
+        : rate(ratePerSec), cap(burst), tokens(burst)
+    {
+    }
+
+    /** Spend a token if one is available (refilled from the wall clock). */
+    bool allow();
+
+    /**
+     * Clock-explicit variant: `nowSeconds` on any monotonic axis.
+     * allow() delegates here with steady_clock time; tests drive it
+     * with a synthetic clock for determinism.
+     */
+    bool allowAt(double nowSeconds);
+
+    /** Messages denied since the last call; resets the counter. */
+    uint64_t suppressedAndReset();
+
+  private:
+    std::mutex mu;
+    double rate;        ///< tokens per second
+    double cap;         ///< bucket capacity (burst)
+    double tokens;      ///< current balance
+    double lastSec = 0; ///< last refill time
+    bool primed = false;
+    uint64_t suppressed = 0;
+};
 
 /** assert-like helper that panics with a message when cond is false. */
 #define TEA_ASSERT(cond, ...)                                               \

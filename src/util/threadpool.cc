@@ -55,6 +55,13 @@ ThreadPool::executed() const
     return doneCount;
 }
 
+uint64_t
+ThreadPool::failures() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return failCount;
+}
+
 size_t
 ThreadPool::pending() const
 {
@@ -77,15 +84,20 @@ ThreadPool::workerLoop()
         queue.pop_front();
         ++inFlight;
         lock.unlock();
+        std::exception_ptr err;
         try {
             task();
         } catch (...) {
-            lock.lock();
-            if (!firstError)
-                firstError = std::current_exception();
-            lock.unlock();
+            // The worker survives any throwing task; the first
+            // exception is reported at the next drain().
+            err = std::current_exception();
         }
         lock.lock();
+        if (err) {
+            ++failCount;
+            if (!firstError)
+                firstError = err;
+        }
         --inFlight;
         ++doneCount;
         if (queue.empty() && inFlight == 0)

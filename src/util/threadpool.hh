@@ -62,6 +62,14 @@ class ThreadPool
     uint64_t executed() const;
 
     /**
+     * Tasks that exited by throwing, since construction. Included in
+     * executed(): a throwing task still completes — it never kills its
+     * worker or skews pending()/drain() accounting
+     * (tests/test_threadpool.cc pins this).
+     */
+    uint64_t failures() const;
+
+    /**
      * Queue depth: tasks submitted but not yet picked up by a worker.
      * Admission control (net/server.hh) and the batch-replay CLI read
      * this to bound and report backlog; the value is advisory — it can
@@ -79,6 +87,7 @@ class ThreadPool
     std::vector<std::thread> threads;
     size_t inFlight = 0;     ///< tasks dequeued but not finished
     uint64_t doneCount = 0;  ///< tasks finished since construction
+    uint64_t failCount = 0;  ///< tasks that finished by throwing
     bool stopping = false;
     std::exception_ptr firstError;
 };

@@ -304,6 +304,40 @@ TEST(Session, ReplayOfUnknownNameFailsCleanly)
     EXPECT_FALSE(h.open);
 }
 
+TEST(Session, PingAnswersWithStatusPayload)
+{
+    SessionHarness h;
+    h.hello();
+    auto replies = h.send(MsgType::Ping, PayloadWriter{});
+    ASSERT_EQ(replies.size(), 1u);
+    ASSERT_EQ(replies[0].type, MsgType::Pong);
+    PayloadReader r(replies[0].payload);
+    // A bare Session has no status provider; the PONG still carries a
+    // well-formed (all-zero) status record.
+    ServerStatus st = decodeStatus(r);
+    r.expectEnd();
+    EXPECT_EQ(st.queueDepth, 0u);
+    EXPECT_EQ(st.activeSessions, 0u);
+    EXPECT_EQ(st.uptimeMs, 0u);
+    EXPECT_TRUE(h.open);
+}
+
+TEST(Frame, StatusCodecRoundTrips)
+{
+    ServerStatus st;
+    st.queueDepth = 7;
+    st.activeSessions = 3;
+    st.uptimeMs = 123456789ull;
+    PayloadWriter w;
+    encodeStatus(w, st);
+    PayloadReader r(w.out());
+    ServerStatus back = decodeStatus(r);
+    r.expectEnd();
+    EXPECT_EQ(back.queueDepth, 7u);
+    EXPECT_EQ(back.activeSessions, 3u);
+    EXPECT_EQ(back.uptimeMs, 123456789ull);
+}
+
 // ------------------------------------------------------------ integration
 
 class NetLoopback : public ::testing::Test
@@ -469,6 +503,183 @@ TEST_F(NetLoopback, AdmissionQueueOverflowRepliesBusy)
     b.close();
     server.stop();
     EXPECT_EQ(server.sessionsServed(), 2u);
+}
+
+TEST_F(NetLoopback, BusyFrameCarriesQueueDepthAndSessionCap)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.maxSessions = 1; // one live connection, no queueing past it
+    TeaServer server(cfg);
+    server.start();
+    std::string ep = server.endpoint();
+
+    TeaClient a = TeaClient::connect(ep);
+    try {
+        TeaClient::connect(ep);
+        FAIL() << "second connection must bounce off the session cap";
+    } catch (const ServerBusy &busy) {
+        // The BUSY payload names the cap that rejected us.
+        EXPECT_EQ(busy.maxSessions, 1u);
+    }
+    EXPECT_GE(server.busyRejected(), 1u);
+    a.close();
+    server.stop();
+}
+
+TEST_F(NetLoopback, RetryRidesOutABusyServer)
+{
+    ServerConfig cfg;
+    cfg.workers = 1;  // one session at a time
+    cfg.maxQueue = 1; // one session may wait
+    TeaServer server(cfg);
+    server.start();
+    std::string ep = server.endpoint();
+    std::vector<uint8_t> teaBytes = saveTea(*tea);
+
+    // Occupy the worker (A, handshaken) and the queue slot (B, raw).
+    TeaClient a = TeaClient::connect(ep);
+    Socket b = Socket::connectTo(Endpoint::parse(ep));
+    while (server.queueDepth() < 1)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // Release the blockers shortly; until then every connect bounces.
+    std::thread releaser([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(40));
+        a.close();
+        b.close();
+    });
+
+    RemoteReplayJob job;
+    job.endpoint = ep;
+    job.name = "gzip";
+    job.log = log.data();
+    job.len = log.size();
+    job.teaBytes = &teaBytes; // re-uploaded on every attempt
+    RetryPolicy policy;
+    policy.retries = 10;
+    policy.backoffMs = 10;
+    uint32_t attempts = 0;
+    RemoteReplayResult res = replayWithRetry(job, policy, &attempts);
+    releaser.join();
+
+    // It took more than one attempt, and the final result is the real
+    // replay — identical to a local run over the same log.
+    EXPECT_GT(attempts, 1u);
+    TeaReplayer reference(*tea, LookupConfig{});
+    for (const BlockTransition &tr : readTraceLog(log))
+        reference.feed(tr);
+    EXPECT_EQ(res.stats, reference.stats());
+    server.stop();
+}
+
+TEST_F(NetLoopback, IdleTimeoutEvictsAStalledClient)
+{
+    using namespace std::chrono;
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.idleTimeoutMs = 200;
+    TeaServer server(cfg);
+    server.start();
+
+    TeaClient client = TeaClient::connect(server.endpoint());
+    auto t0 = steady_clock::now();
+    // Stall: send nothing. The server must reclaim the worker within
+    // 2x the idle timeout (the poll budget is exact; the margin covers
+    // scheduling).
+    while (server.sessionsEvicted() == 0 &&
+           steady_clock::now() - t0 < milliseconds(2 * 200))
+        std::this_thread::sleep_for(milliseconds(5));
+    auto elapsed =
+        duration_cast<milliseconds>(steady_clock::now() - t0).count();
+    EXPECT_EQ(server.sessionsEvicted(), 1u);
+    EXPECT_LE(elapsed, 2 * 200);
+
+    // The evicted connection is dead from the client's side: the next
+    // exchange fails cleanly instead of hanging.
+    EXPECT_THROW(client.list(), FatalError);
+    server.stop();
+    EXPECT_EQ(server.sessionsServed(), 1u);
+}
+
+TEST_F(NetLoopback, RequestDeadlineEvictsASlowlorisMidFrame)
+{
+    using namespace std::chrono;
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.requestDeadlineMs = 200; // idle clock off: only the request
+    TeaServer server(cfg);      // deadline can trip
+    server.start();
+
+    // Raw socket: handshake, then park three bytes of a frame header
+    // on the wire and stall. An idle-only server would wait forever —
+    // the request deadline must not.
+    Socket s = Socket::connectTo(Endpoint::parse(server.endpoint()));
+    std::vector<uint8_t> hello;
+    PayloadWriter w;
+    w.u32(Wire::kMagic);
+    w.u32(Wire::kVersion);
+    appendFrame(hello, MsgType::Hello, w.out());
+    s.sendAll(hello.data(), hello.size());
+
+    FrameDecoder dec;
+    Frame f;
+    uint8_t buf[4096];
+    while (!dec.poll(f)) {
+        size_t n = s.recvSome(buf, sizeof(buf));
+        ASSERT_GT(n, 0u) << "EOF before HELLO_OK";
+        dec.feed(buf, n);
+    }
+    ASSERT_EQ(f.type, MsgType::HelloOk);
+
+    auto t0 = steady_clock::now();
+    uint8_t partial[3] = {0x10, 0x00, 0x00}; // length word, cut short
+    s.sendAll(partial, sizeof(partial));
+
+    // The server answers with a fatal ERROR naming the deadline, then
+    // closes. Drain until EOF, collecting the frame.
+    bool sawError = false;
+    std::string message;
+    for (;;) {
+        size_t n = s.recvSome(buf, sizeof(buf));
+        if (n == 0)
+            break;
+        dec.feed(buf, n);
+        while (dec.poll(f)) {
+            if (f.type == MsgType::Error) {
+                PayloadReader r(f.payload);
+                EXPECT_EQ(r.u8(), 1u); // fatal
+                message = r.str(64 * 1024);
+                sawError = true;
+            }
+        }
+    }
+    auto elapsed =
+        duration_cast<milliseconds>(steady_clock::now() - t0).count();
+    EXPECT_TRUE(sawError);
+    EXPECT_NE(message.find("request deadline"), std::string::npos)
+        << message;
+    EXPECT_LE(elapsed, 2 * 200);
+    server.stop();
+    EXPECT_EQ(server.sessionsEvicted(), 1u);
+}
+
+TEST_F(NetLoopback, PingReportsLoadAndUptime)
+{
+    ServerConfig cfg;
+    cfg.workers = 2;
+    TeaServer server(cfg);
+    server.start();
+    TeaClient client = TeaClient::connect(server.endpoint());
+
+    ServerStatus st = client.ping();
+    EXPECT_EQ(st.activeSessions, 1u); // us
+    EXPECT_EQ(st.queueDepth, 0u);
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ServerStatus later = client.ping();
+    EXPECT_GT(later.uptimeMs, st.uptimeMs);
+    server.stop();
 }
 
 TEST_F(NetLoopback, GracefulShutdownDrainsAndUnblocksClients)

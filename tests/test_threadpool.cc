@@ -133,6 +133,48 @@ TEST(ThreadPool, SlotPerTaskNeedsNoLocks)
     EXPECT_EQ(sum, 85344u); // sum of squares 0..63
 }
 
+TEST(ThreadPool, FailuresAreCountedAndWorkersSurvive)
+{
+    // One worker absorbing many consecutive throwing tasks: the worker
+    // must survive every one, every task must count as executed, and
+    // failures() must count exactly the throwers — a throwing task can
+    // never skew pending()/drain() accounting.
+    ThreadPool pool(1);
+    std::atomic<int> ran{0};
+    for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 20; ++i)
+            pool.submit([&ran, i] {
+                ++ran;
+                if (i % 2 == 0)
+                    throw FatalError("injected task failure");
+            });
+        EXPECT_THROW(pool.drain(), FatalError);
+    }
+    EXPECT_EQ(ran.load(), 60);
+    EXPECT_EQ(pool.executed(), 60u);
+    EXPECT_EQ(pool.failures(), 30u);
+    EXPECT_EQ(pool.pending(), 0u);
+
+    // Fully functional after the storm, and the error slot was cleared
+    // by the rethrow: a clean round must not resurface a stale error.
+    pool.submit([&ran] { ++ran; });
+    pool.drain();
+    EXPECT_EQ(ran.load(), 61);
+    EXPECT_EQ(pool.failures(), 30u);
+}
+
+TEST(ThreadPool, NonStdExceptionIsCapturedToo)
+{
+    // The capture is exception_ptr-based: a task throwing something
+    // outside the std::exception hierarchy must not terminate().
+    ThreadPool pool(2);
+    pool.submit([] { throw 42; });
+    EXPECT_THROW(pool.drain(), int);
+    EXPECT_EQ(pool.failures(), 1u);
+    pool.submit([] {});
+    pool.drain();
+}
+
 TEST(ThreadPool, DestructorCompletesPendingTasks)
 {
     std::atomic<int> count{0};

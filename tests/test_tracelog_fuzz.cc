@@ -139,6 +139,164 @@ TEST_P(CorruptTraceLog, BitFlippedHeaderIsFatal)
 INSTANTIATE_TEST_SUITE_P(Seeds, CorruptTraceLog,
                          ::testing::Values(101, 202, 303, 404));
 
+// --------------------------------------------------------------- salvage
+
+struct SalvageOutcome
+{
+    size_t records = 0;
+    bool torn = false;
+    std::string reason;
+    uint64_t discarded = 0;
+};
+
+/** Drain a log in salvage mode; never expected to throw past ctor. */
+SalvageOutcome
+salvageDrain(std::vector<uint8_t> bytes)
+{
+    TraceLogReader reader(std::move(bytes),
+                          TraceLogReader::Mode::Salvage);
+    BlockTransition tr;
+    SalvageOutcome out;
+    while (reader.next(tr)) {
+        EXPECT_LE(tr.from.start, tr.from.end);
+        ++out.records;
+    }
+    out.torn = reader.torn();
+    out.reason = reader.tornReason();
+    out.discarded = reader.bytesDiscarded();
+    return out;
+}
+
+/**
+ * Chunk map of a well-formed log: for every byte offset, how many
+ * records the complete-chunk prefix up to that offset holds, and where
+ * that prefix ends. Walked independently of TraceLogReader so the test
+ * does not trust the code under test.
+ */
+struct ChunkMap
+{
+    std::vector<size_t> prefixRecords; ///< by truncation offset
+    std::vector<size_t> prefixEnd;     ///< last complete chunk's end
+};
+
+ChunkMap
+mapChunks(const std::vector<uint8_t> &good)
+{
+    auto rd32 = [&](size_t at) {
+        return uint32_t(good[at]) | (uint32_t(good[at + 1]) << 8) |
+               (uint32_t(good[at + 2]) << 16) |
+               (uint32_t(good[at + 3]) << 24);
+    };
+    ChunkMap map;
+    map.prefixRecords.assign(good.size() + 1, 0);
+    map.prefixEnd.assign(good.size() + 1, 8); // header-only prefix
+    size_t cursor = 8; // magic + version
+    size_t records = 0;
+    while (cursor + 8 <= good.size()) {
+        uint32_t nrec = rd32(cursor);
+        if (nrec == 0)
+            break; // trailer
+        size_t chunkEnd = cursor + 8 + rd32(cursor + 4) + 4; // + CRC
+        for (size_t off = chunkEnd; off <= good.size(); ++off) {
+            map.prefixRecords[off] = records + nrec;
+            map.prefixEnd[off] = chunkEnd;
+        }
+        records += nrec;
+        cursor = chunkEnd;
+    }
+    return map;
+}
+
+TEST(TraceLogSalvage, TruncationAtEveryOffsetSalvagesTheChunkPrefix)
+{
+    // Truncate the log at *every* byte offset past the header: salvage
+    // must recover exactly the records of the complete, CRC-valid
+    // chunk prefix — never one more, never one fewer — account for
+    // every discarded byte, and strict mode must still throw
+    // (EveryTruncationIsFatal above pins the strict half).
+    const auto good = sampleLog(300);
+    ASSERT_EQ(drain(good), 300u);
+    const ChunkMap map = mapChunks(good);
+
+    for (size_t keep = 8; keep < good.size(); ++keep) {
+        std::vector<uint8_t> torn(good.begin(),
+                                  good.begin() + static_cast<long>(keep));
+        SalvageOutcome got = salvageDrain(std::move(torn));
+        EXPECT_EQ(got.records, map.prefixRecords[keep])
+            << "truncated at " << keep;
+        EXPECT_TRUE(got.torn) << "truncated at " << keep;
+        EXPECT_FALSE(got.reason.empty());
+        EXPECT_EQ(got.discarded, keep - map.prefixEnd[keep])
+            << "truncated at " << keep;
+    }
+}
+
+TEST(TraceLogSalvage, IntactLogReadsCleanWithNoTearReported)
+{
+    SalvageOutcome got = salvageDrain(sampleLog(100));
+    EXPECT_EQ(got.records, 100u);
+    EXPECT_FALSE(got.torn);
+    EXPECT_EQ(got.discarded, 0u);
+}
+
+TEST(TraceLogSalvage, CorruptLateChunkKeepsTheEarlierChunks)
+{
+    // Multi-chunk log (the writer flushes every kChunkRecords); flip a
+    // byte near the end: the tear lands in the last chunk or the
+    // trailer, so salvage keeps a whole-chunk prefix and drops the
+    // poisoned tail.
+    const auto good = sampleLog(3 * TraceLogFormat::kChunkRecords);
+    auto bad = good;
+    bad[bad.size() - 20] ^= 0x40;
+    SalvageOutcome got = salvageDrain(std::move(bad));
+    EXPECT_TRUE(got.torn);
+    EXPECT_LT(got.records, size_t{3} * TraceLogFormat::kChunkRecords);
+    EXPECT_EQ(got.records % TraceLogFormat::kChunkRecords, 0u)
+        << "salvage must end on a chunk boundary";
+    EXPECT_GE(got.records, size_t{2} * TraceLogFormat::kChunkRecords)
+        << "the clean leading chunks must survive";
+}
+
+TEST(TraceLogSalvage, BadMagicStillThrowsEvenInSalvageMode)
+{
+    auto bad = sampleLog(16);
+    bad[0] ^= 0xff;
+    EXPECT_THROW(
+        TraceLogReader(bad, TraceLogReader::Mode::Salvage), FatalError);
+}
+
+class SalvageFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(SalvageFuzz, RandomDamageNeverPanicsAndNeverOverReads)
+{
+    // Random truncations and byte rewrites across a multi-chunk log:
+    // salvage must never panic, crash, or surface more records than
+    // the log ever contained; an undamaged read stays complete.
+    const size_t records = 2 * TraceLogFormat::kChunkRecords + 100;
+    const auto good = sampleLog(records);
+    Xorshift64Star rng(GetParam());
+    for (int round = 0; round < 100; ++round) {
+        auto bad = good;
+        if (rng.nextBool(0.5)) {
+            size_t keep = 8 + rng.nextBelow(bad.size() - 8);
+            bad.resize(keep);
+        } else {
+            size_t pos = 8 + rng.nextBelow(bad.size() - 8);
+            bad[pos] = static_cast<uint8_t>(rng.next());
+        }
+        SalvageOutcome got = salvageDrain(std::move(bad));
+        EXPECT_LE(got.records, records);
+        if (!got.torn) {
+            EXPECT_EQ(got.records, records);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SalvageFuzz,
+                         ::testing::Values(11, 22, 33));
+
 TEST(TraceLogFuzz, TrailerCountMismatchIsFatal)
 {
     auto good = sampleLog(16);

@@ -39,6 +39,42 @@ TEST(Logging, AssertMacroPanicsOnlyWhenFalse)
     EXPECT_THROW(TEA_ASSERT(1 + 1 == 3, "math broke"), PanicError);
 }
 
+TEST(RateLimiter, BurstThenThrottleThenRefill)
+{
+    RateLimiter rl(1.0, 3.0); // 1 token/s, burst of 3
+    EXPECT_TRUE(rl.allowAt(100.0));
+    EXPECT_TRUE(rl.allowAt(100.0));
+    EXPECT_TRUE(rl.allowAt(100.0));
+    EXPECT_FALSE(rl.allowAt(100.0)); // bucket empty
+    EXPECT_FALSE(rl.allowAt(100.5)); // half a token is not a token
+    EXPECT_EQ(rl.suppressedAndReset(), 2u);
+    EXPECT_TRUE(rl.allowAt(101.5)); // one second refilled one token
+    EXPECT_FALSE(rl.allowAt(101.6));
+    EXPECT_EQ(rl.suppressedAndReset(), 1u);
+    EXPECT_EQ(rl.suppressedAndReset(), 0u); // reset really resets
+}
+
+TEST(RateLimiter, RefillIsCappedAtBurst)
+{
+    RateLimiter rl(10.0, 2.0);
+    EXPECT_TRUE(rl.allowAt(0.0));
+    EXPECT_TRUE(rl.allowAt(0.0));
+    // A very long quiet period refills to the cap, never beyond it.
+    EXPECT_TRUE(rl.allowAt(1000.0));
+    EXPECT_TRUE(rl.allowAt(1000.0));
+    EXPECT_FALSE(rl.allowAt(1000.0));
+}
+
+TEST(RateLimiter, ClockGoingBackwardsIsHarmless)
+{
+    RateLimiter rl(1.0, 1.0);
+    EXPECT_TRUE(rl.allowAt(50.0));
+    // Negative elapsed time clamps to zero instead of draining (or
+    // manufacturing) tokens.
+    EXPECT_FALSE(rl.allowAt(49.0));
+    EXPECT_TRUE(rl.allowAt(50.5)); // 1.5s forward from the 49.0 stamp
+}
+
 TEST(Logging, Strprintf)
 {
     EXPECT_EQ(strprintf("%s-%04d", "x", 42), "x-0042");

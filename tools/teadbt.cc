@@ -26,6 +26,10 @@
  *   remote-replay --connect EP <name> <log>...
  *                                      stream trace logs to a server
  *                                      and print each stream's stats
+ *                                      (--retries/--backoff-ms retry
+ *                                      busy or broken exchanges)
+ *   ping --connect EP                  probe a server's liveness and
+ *                                      load (queue depth, sessions)
  *
  * <prog> is either a TinyX86 assembly file path or a workload name
  * ("syn.gzip"); workload names accept --size test|train|ref.
@@ -81,6 +85,12 @@ struct Options
     std::vector<std::string> extraArgs; ///< positionals after the first
     int jobs = 1;
     int maxQueue = 64;
+    int maxSessions = 0;       ///< serve: live-connection cap (0 = off)
+    int idleTimeoutMs = 0;     ///< serve: evict idle connections (0 = off)
+    int requestDeadlineMs = 0; ///< serve: per-request budget (0 = off)
+    int retries = 0;           ///< remote-replay: extra attempts
+    int backoffMs = 50;        ///< remote-replay: base retry delay
+    bool salvage = false;      ///< batch-replay: recover torn logs
     bool pinPolicy = false;
     bool optimize = false;
     bool noGlobal = false;
@@ -107,12 +117,17 @@ usage()
         "  dot <prog> [--selector S]\n"
         "  workloads\n"
         "  record-log <prog> --log out.tlog [--pin] [--size S]\n"
-        "  batch-replay [--jobs N] [--json] <tea-file> <log>...\n"
+        "  batch-replay [--jobs N] [--json] [--salvage] <tea-file> "
+        "<log>...\n"
         "         [--no-global] [--no-local] [--reference]\n"
-        "  serve --listen EP [--jobs N] [--max-queue N] [name=tea]...\n"
+        "  serve --listen EP [--jobs N] [--max-queue N]\n"
+        "         [--max-sessions N] [--idle-timeout-ms N]\n"
+        "         [--request-deadline-ms N] [name=tea]...\n"
         "  remote-replay --connect EP [--put tea-file] [--json]\n"
+        "         [--retries N] [--backoff-ms N]\n"
         "         [--no-global] [--no-local] [--reference]\n"
         "         <name> <log>...\n"
+        "  ping --connect EP [--json]\n"
         "<prog> is an assembly file or a workload name like syn.gzip\n"
         "EP is tcp:<host>:<port> or unix:<path>\n",
         stderr);
@@ -156,7 +171,29 @@ parseArgs(int argc, char **argv)
             opt.maxQueue = std::atoi(value().c_str());
             if (opt.maxQueue < 1)
                 usage();
-        } else if (arg == "--json")
+        } else if (arg == "--max-sessions") {
+            opt.maxSessions = std::atoi(value().c_str());
+            if (opt.maxSessions < 0)
+                usage();
+        } else if (arg == "--idle-timeout-ms") {
+            opt.idleTimeoutMs = std::atoi(value().c_str());
+            if (opt.idleTimeoutMs < 0)
+                usage();
+        } else if (arg == "--request-deadline-ms") {
+            opt.requestDeadlineMs = std::atoi(value().c_str());
+            if (opt.requestDeadlineMs < 0)
+                usage();
+        } else if (arg == "--retries") {
+            opt.retries = std::atoi(value().c_str());
+            if (opt.retries < 0)
+                usage();
+        } else if (arg == "--backoff-ms") {
+            opt.backoffMs = std::atoi(value().c_str());
+            if (opt.backoffMs < 0)
+                usage();
+        } else if (arg == "--salvage")
+            opt.salvage = true;
+        else if (arg == "--json")
             opt.json = true;
         else if (arg == "--pin")
             opt.pinPolicy = true;
@@ -573,8 +610,11 @@ cmdBatchReplay(const Options &opt)
     auto compiled = registry.snapshot(opt.program).compiled;
     std::vector<ReplayJob> jobsVec;
     jobsVec.reserve(opt.extraArgs.size());
-    for (const std::string &log : opt.extraArgs)
-        jobsVec.push_back(ReplayJob{tea, log, nullptr, compiled});
+    for (const std::string &log : opt.extraArgs) {
+        ReplayJob job{tea, log, nullptr, compiled};
+        job.salvage = opt.salvage;
+        jobsVec.push_back(std::move(job));
+    }
 
     BatchResult batch = service.runBatch(jobsVec);
     std::vector<StreamReport> reports;
@@ -582,6 +622,14 @@ cmdBatchReplay(const Options &opt)
         const StreamResult &res = batch.streams[i];
         reports.push_back(StreamReport{opt.extraArgs[i], res.ok(),
                                        res.error, res.stats});
+        if (res.salvaged && !opt.json)
+            std::printf("%-24s salvaged: %llu records recovered, %llu "
+                        "bytes dropped (%s)\n",
+                        opt.extraArgs[i].c_str(),
+                        static_cast<unsigned long long>(res.stats.blocks),
+                        static_cast<unsigned long long>(
+                            res.salvageBytesDropped),
+                        res.salvageReason.c_str());
     }
     if (opt.json) {
         printStreamsJson("batch-replay", service.workers(), reports,
@@ -638,6 +686,9 @@ cmdServe(const Options &opt)
     cfg.endpoint = opt.endpoint;
     cfg.workers = static_cast<size_t>(opt.jobs);
     cfg.maxQueue = static_cast<size_t>(opt.maxQueue);
+    cfg.maxSessions = static_cast<size_t>(opt.maxSessions);
+    cfg.idleTimeoutMs = static_cast<uint32_t>(opt.idleTimeoutMs);
+    cfg.requestDeadlineMs = static_cast<uint32_t>(opt.requestDeadlineMs);
     cfg.lookup.useGlobalBTree = !opt.noGlobal;
     cfg.lookup.useLocalCache = !opt.noLocal;
     cfg.lookup.useCompiled = !opt.reference;
@@ -668,9 +719,33 @@ cmdServe(const Options &opt)
                 sig);
     std::fflush(stdout);
     server.stop();
-    std::printf("tead: served %llu sessions, rejected %llu as busy\n",
+    std::printf("tead: served %llu sessions, rejected %llu as busy, "
+                "evicted %llu\n",
                 static_cast<unsigned long long>(server.sessionsServed()),
-                static_cast<unsigned long long>(server.busyRejected()));
+                static_cast<unsigned long long>(server.busyRejected()),
+                static_cast<unsigned long long>(server.sessionsEvicted()));
+    return 0;
+}
+
+int
+cmdPing(const Options &opt)
+{
+    if (opt.endpoint.empty())
+        usage();
+    TeaClient client = TeaClient::connect(opt.endpoint);
+    ServerStatus st = client.ping();
+    if (opt.json) {
+        std::printf("{\"queueDepth\": %u, \"activeSessions\": %u, "
+                    "\"uptimeMs\": %llu}\n",
+                    st.queueDepth, st.activeSessions,
+                    static_cast<unsigned long long>(st.uptimeMs));
+        return 0;
+    }
+    std::printf("tead at %s: up %llu ms, %u active sessions, queue "
+                "depth %u\n",
+                opt.endpoint.c_str(),
+                static_cast<unsigned long long>(st.uptimeMs),
+                st.activeSessions, st.queueDepth);
     return 0;
 }
 
@@ -683,34 +758,68 @@ cmdRemoteReplay(const Options &opt)
         usage();
     const std::string &name = opt.program;
 
-    TeaClient client = TeaClient::connect(opt.endpoint);
-    if (!opt.putFile.empty()) {
-        client.putAutomaton(name, readFileBytes(opt.putFile));
-        if (!opt.json)
-            std::printf("uploaded %s as '%s'\n", opt.putFile.c_str(),
-                        name.c_str());
-    }
-
     RemoteReplayOptions ropt;
     ropt.noGlobal = opt.noGlobal;
     ropt.noLocal = opt.noLocal;
     ropt.reference = opt.reference;
 
+    std::vector<uint8_t> teaBytes;
+    if (!opt.putFile.empty())
+        teaBytes = readFileBytes(opt.putFile);
+
     std::vector<StreamReport> reports;
     ReplayStats total;
     size_t failures = 0;
-    for (const std::string &log : opt.extraArgs) {
-        StreamReport rep{log, true, "", ReplayStats{}};
-        try {
-            rep.stats = client.replay(name, readFileBytes(log), ropt)
-                            .stats;
-            total += rep.stats;
-        } catch (const FatalError &e) {
-            rep.ok = false;
-            rep.error = e.what();
-            ++failures;
+
+    if (opt.retries > 0) {
+        // Retry mode: each stream is a self-contained attempt chain —
+        // fresh connection per attempt, TEA re-uploaded when --put was
+        // given (the previous attempt may have died before it landed).
+        RetryPolicy policy;
+        policy.retries = static_cast<uint32_t>(opt.retries);
+        policy.backoffMs = static_cast<uint32_t>(opt.backoffMs);
+        for (const std::string &log : opt.extraArgs) {
+            StreamReport rep{log, true, "", ReplayStats{}};
+            try {
+                std::vector<uint8_t> bytes = readFileBytes(log);
+                RemoteReplayJob job;
+                job.endpoint = opt.endpoint;
+                job.name = name;
+                job.log = bytes.data();
+                job.len = bytes.size();
+                job.opt = ropt;
+                if (!teaBytes.empty())
+                    job.teaBytes = &teaBytes;
+                rep.stats = replayWithRetry(job, policy).stats;
+                total += rep.stats;
+            } catch (const FatalError &e) {
+                rep.ok = false;
+                rep.error = e.what();
+                ++failures;
+            }
+            reports.push_back(std::move(rep));
         }
-        reports.push_back(std::move(rep));
+    } else {
+        TeaClient client = TeaClient::connect(opt.endpoint);
+        if (!teaBytes.empty()) {
+            client.putAutomaton(name, teaBytes);
+            if (!opt.json)
+                std::printf("uploaded %s as '%s'\n", opt.putFile.c_str(),
+                            name.c_str());
+        }
+        for (const std::string &log : opt.extraArgs) {
+            StreamReport rep{log, true, "", ReplayStats{}};
+            try {
+                rep.stats = client.replay(name, readFileBytes(log), ropt)
+                                .stats;
+                total += rep.stats;
+            } catch (const FatalError &e) {
+                rep.ok = false;
+                rep.error = e.what();
+                ++failures;
+            }
+            reports.push_back(std::move(rep));
+        }
     }
 
     if (opt.json) {
@@ -778,6 +887,8 @@ main(int argc, char **argv)
             return cmdServe(opt);
         if (opt.command == "remote-replay")
             return cmdRemoteReplay(opt);
+        if (opt.command == "ping")
+            return cmdPing(opt);
         usage();
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
