@@ -15,11 +15,19 @@
  * logs and reports ns/transition; --min-speedup turns that comparison
  * into a CI gate, and --json dumps everything machine-readably.
  *
+ * The observability guard: a third single-threaded timing runs the
+ * compiled kernel under the exact instrumentation runReplayJob()
+ * applies (kFeedBatch-sliced feeds, clock stamps at slice boundaries,
+ * per-batch counter bumps) and reports the ns/transition delta against
+ * the bare kernel. --max-overhead X fails the run when metrics add
+ * more than X percent — CI pins it at 3 (ISSUE 5 acceptance).
+ *
  * Note the speedup column measures the *host*: on a single-core
  * container every worker count necessarily lands near 1.0x.
  *
  * Usage: svc_throughput [--size test|train|ref] [--streams N]
  *                       [--json FILE] [--min-speedup X]
+ *                       [--max-overhead X]
  */
 
 #include <cstdio>
@@ -30,6 +38,8 @@
 #include <thread>
 
 #include "bench/harness.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "svc/replay_service.hh"
 #include "svc/tracelog.hh"
 #include "tea/builder.hh"
@@ -100,6 +110,59 @@ kernelNsPerTransition(const std::vector<DecodedStream> &streams,
                        : 0.0;
 }
 
+/**
+ * The same measurement under the service's instrumentation: the
+ * transitions go through feedAll() in kFeedBatch-sized slices with a
+ * monotonic clock stamp on each side of every slice and the per-batch
+ * counters bumped per stream — exactly the shape runReplayJob() and
+ * ReplayService::setMetrics() impose. The delta against
+ * kernelNsPerTransition() is therefore the whole price the replay hot
+ * path pays for observability.
+ */
+double
+instrumentedNsPerTransition(const std::vector<DecodedStream> &streams,
+                            LookupConfig cfg, int reps = 5)
+{
+    constexpr size_t kFeedBatch = 1024; // mirrors svc/replay_service.cc
+    obs::MetricsRegistry reg;
+    obs::Counter &batches = reg.counter("svc.batches");
+    obs::Counter &fed = reg.counter("svc.transitions");
+    double best = 1e300;
+    uint64_t transitions = 0;
+    for (int r = 0; r < reps; ++r) {
+        Stopwatch timer;
+        uint64_t total = 0;
+        for (const DecodedStream &s : streams) {
+            TeaReplayer replayer(*s.tea, cfg,
+                                 cfg.useCompiled ? s.compiled : nullptr);
+            const BlockTransition *p = s.transitions.data();
+            const BlockTransition *end = p + s.transitions.size();
+            uint64_t replayNs = 0, nbatches = 0;
+            while (p < end) {
+                size_t n = static_cast<size_t>(end - p);
+                const BlockTransition *stop =
+                    p + (n < kFeedBatch ? n : kFeedBatch);
+                uint64_t t0 = obs::monotonicNanos();
+                replayer.feedAll(p, stop);
+                replayNs += obs::monotonicNanos() - t0;
+                ++nbatches;
+                p = stop;
+            }
+            batches.inc(nbatches);
+            fed.inc(replayer.stats().transitions);
+            total += replayer.stats().transitions;
+            (void)replayNs; // StreamResult::replayNs stand-in
+        }
+        double ms = timer.elapsedMillis();
+        if (ms < best) {
+            best = ms;
+            transitions = total;
+        }
+    }
+    return transitions ? best * 1e6 / static_cast<double>(transitions)
+                       : 0.0;
+}
+
 } // namespace
 
 int
@@ -109,6 +172,7 @@ main(int argc, char **argv)
     size_t streams = 32;
     std::string json_path;
     double min_speedup = 0.0;
+    double max_overhead = 0.0;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--streams") && i + 1 < argc)
             streams = static_cast<size_t>(std::atoi(argv[i + 1]));
@@ -116,6 +180,8 @@ main(int argc, char **argv)
             json_path = argv[i + 1];
         else if (!std::strcmp(argv[i], "--min-speedup") && i + 1 < argc)
             min_speedup = std::atof(argv[i + 1]);
+        else if (!std::strcmp(argv[i], "--max-overhead") && i + 1 < argc)
+            max_overhead = std::atof(argv[i + 1]);
     }
 
     // The syn.gzip-class set: data-dependent compression-loop CFGs.
@@ -180,6 +246,17 @@ main(int argc, char **argv)
     std::printf("kernel ns/transition: compiled %.2f, reference %.2f "
                 "(speedup %.2fx)\n",
                 compiled_ns, reference_ns, kernel_speedup);
+
+    // Observability guard: the compiled kernel with the service's
+    // metrics/timing instrumentation applied, against the bare kernel.
+    double instrumented_ns =
+        instrumentedNsPerTransition(decoded, compiled_cfg);
+    double overhead_pct =
+        compiled_ns > 0 ? (instrumented_ns / compiled_ns - 1.0) * 100.0
+                        : 0.0;
+    std::printf("instrumented ns/transition: %.2f (metrics overhead "
+                "%+.2f%%)\n",
+                instrumented_ns, overhead_pct);
 
     TextTable table({"workers", "batch ms", "streams/s", "speedup"});
     double base_sps = 0.0;
@@ -265,6 +342,10 @@ main(int argc, char **argv)
                      compiled_ns);
         std::fprintf(f, "  \"nsPerTransitionReference\": %.4f,\n",
                      reference_ns);
+        std::fprintf(f, "  \"nsPerTransitionInstrumented\": %.4f,\n",
+                     instrumented_ns);
+        std::fprintf(f, "  \"metricsOverheadPct\": %.4f,\n",
+                     overhead_pct);
         std::fprintf(f, "  \"kernelSpeedup\": %.4f,\n", kernel_speedup);
         std::fprintf(f, "  \"streamsPerSec\": [\n");
         for (size_t i = 0; i < worker_sps.size(); ++i)
@@ -282,6 +363,12 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "FAIL: compiled kernel speedup %.2fx below the "
                      "required %.2fx\n", kernel_speedup, min_speedup);
+        return 1;
+    }
+    if (max_overhead > 0.0 && overhead_pct > max_overhead) {
+        std::fprintf(stderr,
+                     "FAIL: metrics overhead %.2f%% exceeds the "
+                     "allowed %.2f%%\n", overhead_pct, max_overhead);
         return 1;
     }
     return 0;

@@ -133,6 +133,16 @@ TeaClient::ping()
     return st;
 }
 
+std::string
+TeaClient::stats(bool text)
+{
+    PayloadWriter w;
+    w.u8(text ? 1 : 0);
+    sendFrame(MsgType::Stats, w);
+    Frame ok = expect(MsgType::StatsOk);
+    return std::string(ok.payload.begin(), ok.payload.end());
+}
+
 bool
 TeaClient::evict(const std::string &name)
 {

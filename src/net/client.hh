@@ -126,6 +126,15 @@ class TeaClient
     ServerStatus ping();
 
     /**
+     * Fetch the server's observability snapshot (the STATS frame).
+     * @param text true for the human rendering, false for JSON
+     * @return the report bytes, verbatim
+     * @throws FatalError from an older server that predates STATS (it
+     *         answers unknown types with a fatal ERROR)
+     */
+    std::string stats(bool text = false);
+
+    /**
      * Stream a trace log and replay it remotely.
      * @throws FatalError when the server rejects the stream (unknown
      *         name, corrupt log) or the connection breaks
@@ -145,6 +154,12 @@ class TeaClient
 
     /** Faults the underlying FaultySocket injected (0 when unarmed). */
     uint64_t faultsInjected() const { return sock.faultsInjected(); }
+
+    /** Injected faults of one kind (see FaultKind). */
+    uint64_t faultsInjected(FaultKind kind) const
+    {
+        return sock.faultsInjected(kind);
+    }
 
   private:
     explicit TeaClient(FaultySocket s) : sock(std::move(s)) {}

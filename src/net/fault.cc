@@ -9,6 +9,26 @@
 
 namespace tea {
 
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::ShortRead:
+        return "short_read";
+    case FaultKind::ShortWrite:
+        return "short_write";
+    case FaultKind::Eintr:
+        return "eintr";
+    case FaultKind::Delay:
+        return "delay";
+    case FaultKind::Reset:
+        return "reset";
+    case FaultKind::Corrupt:
+        return "corrupt";
+    }
+    return "unknown";
+}
+
 void
 FaultySocket::arm(const FaultConfig &config, uint64_t seed)
 {
@@ -18,20 +38,21 @@ FaultySocket::arm(const FaultConfig &config, uint64_t seed)
 }
 
 bool
-FaultySocket::roll(double p)
+FaultySocket::roll(double p, FaultKind kind)
 {
     if (p <= 0)
         return false;
     if (!rng.nextBool(p))
         return false;
     ++injected;
+    ++byKind[static_cast<size_t>(kind)];
     return true;
 }
 
 void
 FaultySocket::maybeDelay()
 {
-    if (!roll(cfg.delay))
+    if (!roll(cfg.delay, FaultKind::Delay))
         return;
     uint64_t ms = 1 + rng.nextBelow(std::max(1u, cfg.delayMaxMs));
     std::this_thread::sleep_for(std::chrono::milliseconds(ms));
@@ -53,15 +74,15 @@ FaultySocket::recvSome(void *buf, size_t len)
     // A simulated EINTR: the call was interrupted and retried. Socket
     // retries real EINTRs internally, so from here it is an extra wait
     // plus a second attempt — observable only as latency.
-    if (roll(cfg.eintr))
+    if (roll(cfg.eintr, FaultKind::Eintr))
         maybeDelay();
-    if (roll(cfg.reset))
+    if (roll(cfg.reset, FaultKind::Reset))
         injectReset("recv");
     size_t want = len;
-    if (len > 1 && roll(cfg.shortRead))
+    if (len > 1 && roll(cfg.shortRead, FaultKind::ShortRead))
         want = 1 + rng.nextBelow(len);
     size_t n = sock.recvSome(buf, want);
-    if (n > 0 && roll(cfg.corrupt)) {
+    if (n > 0 && roll(cfg.corrupt, FaultKind::Corrupt)) {
         uint8_t *p = static_cast<uint8_t *>(buf);
         size_t at = rng.nextBelow(n);
         p[at] ^= static_cast<uint8_t>(1 + rng.nextBelow(255));
@@ -77,12 +98,12 @@ FaultySocket::sendAll(const void *buf, size_t len)
         return;
     }
     maybeDelay();
-    if (roll(cfg.eintr))
+    if (roll(cfg.eintr, FaultKind::Eintr))
         maybeDelay();
-    if (roll(cfg.reset))
+    if (roll(cfg.reset, FaultKind::Reset))
         injectReset("send");
     const uint8_t *p = static_cast<const uint8_t *>(buf);
-    if (roll(cfg.corrupt)) {
+    if (roll(cfg.corrupt, FaultKind::Corrupt)) {
         // Flip one byte on the way out: the peer's frame CRC must trip.
         std::vector<uint8_t> bent(p, p + len);
         size_t at = rng.nextBelow(len);
@@ -90,13 +111,13 @@ FaultySocket::sendAll(const void *buf, size_t len)
         sock.sendAll(bent.data(), bent.size());
         return;
     }
-    if (len > 1 && roll(cfg.shortWrite)) {
+    if (len > 1 && roll(cfg.shortWrite, FaultKind::ShortWrite)) {
         // Split the write: the peer sees the frame arrive in pieces
         // (and a reset may land between the halves, mid-frame).
         size_t cut = 1 + rng.nextBelow(len - 1);
         sock.sendAll(p, cut);
         maybeDelay();
-        if (roll(cfg.reset))
+        if (roll(cfg.reset, FaultKind::Reset))
             injectReset("send (mid-frame)");
         sock.sendAll(p + cut, len - cut);
         return;

@@ -33,6 +33,7 @@
 #ifndef TEA_NET_FAULT_HH
 #define TEA_NET_FAULT_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 
@@ -40,6 +41,20 @@
 #include "util/random.hh"
 
 namespace tea {
+
+/** The injectable fault classes, for per-kind accounting. */
+enum class FaultKind : uint8_t {
+    ShortRead = 0,
+    ShortWrite,
+    Eintr,
+    Delay,
+    Reset,
+    Corrupt,
+};
+
+constexpr size_t kFaultKinds = 6;
+
+const char *faultKindName(FaultKind kind);
 
 /**
  * Per-call fault probabilities, all 0 by default (no faults). A
@@ -109,9 +124,19 @@ class FaultySocket
     /** Faults injected so far (all classes), for tests and reports. */
     uint64_t faultsInjected() const { return injected; }
 
+    /**
+     * Faults injected of one kind — the per-kind breakdown the chaos
+     * report and the `fault.*` metrics export (tests/test_obs.cc).
+     */
+    uint64_t
+    faultsInjected(FaultKind kind) const
+    {
+        return byKind[static_cast<size_t>(kind)];
+    }
+
   private:
     /** Bernoulli draw; false (and no rng advance) when disarmed. */
-    bool roll(double p);
+    bool roll(double p, FaultKind kind);
     void maybeDelay();
     [[noreturn]] void injectReset(const char *where);
 
@@ -120,6 +145,7 @@ class FaultySocket
     Xorshift64Star rng;
     bool armed = false;
     uint64_t injected = 0;
+    std::array<uint64_t, kFaultKinds> byKind{};
 };
 
 } // namespace tea

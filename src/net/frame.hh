@@ -28,6 +28,7 @@
  *   client: LIST                       server: LIST_OK
  *   client: EVICT {name}               server: EVICT_OK
  *   client: PING                       server: PONG {status}
+ *   client: STATS [format]             server: STATS_OK {report bytes}
  *   client: REPLAY_BEGIN {name, flags} server: REPLAY_OK | ERROR
  *   client: REPLAY_CHUNK {log bytes}*  (no reply per chunk)
  *   client: REPLAY_END                 server: REPLAY_STATS | ERROR
@@ -39,6 +40,13 @@
  * sessions, and uptime. Both ride on the unchanged protocol version —
  * an older server answers PING with its defined unknown-type behavior
  * (a fatal ERROR), which a prober treats as "alive, but old".
+ *
+ * STATS follows the same versionless pattern: its payload is an
+ * optional u8 format selector (absent or 0 = JSON, 1 = text; extra
+ * bytes are ignored so the request can grow fields), and STATS_OK
+ * carries the rendered metrics snapshot as raw bytes. An old server
+ * answers with the unknown-type fatal ERROR, which `teadbt stats`
+ * reports as "server too old".
  *
  * ERROR carries a "fatal" flag: requests that merely failed (unknown
  * automaton, corrupt TEA bytes, corrupt log) keep the session alive;
@@ -79,6 +87,8 @@ enum class MsgType : uint8_t {
     Error = 0x04,
     Ping = 0x05,
     Pong = 0x06,
+    Stats = 0x07,
+    StatsOk = 0x08,
     PutAutomaton = 0x10,
     PutOk = 0x11,
     List = 0x12,

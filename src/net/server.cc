@@ -7,6 +7,7 @@
 
 #include "net/frame.hh"
 #include "net/session.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace tea {
@@ -26,12 +27,103 @@ steadyMs()
 
 TeaServer::TeaServer(ServerConfig config)
     : cfg(std::move(config)),
+      spans_(cfg.traceRing),
       pool(cfg.workers != 0
                ? cfg.workers
                : std::max(1u, std::thread::hardware_concurrency()))
 {
     if (cfg.maxQueue == 0)
         cfg.maxQueue = 1;
+
+    // The metric catalog (docs/OBSERVABILITY.md). Handles are grabbed
+    // once here; the hot paths below touch only the cached pointers.
+    mRequests = &metrics_.counter("server.requests");
+    mSlow = &metrics_.counter("server.slow_requests");
+    mBytesIn = &metrics_.counter("server.bytes_in");
+    mBytesOut = &metrics_.counter("server.bytes_out");
+    mBusy = &metrics_.counter("server.busy_rejected");
+    mEvictIdle = &metrics_.counter("server.evictions_idle");
+    mEvictDeadline = &metrics_.counter("server.evictions_deadline");
+    mSessions = &metrics_.counter("server.sessions_served");
+    mTaskFailures = &metrics_.counter("pool.task_failures");
+    hRequestMs = &metrics_.histogram("server.request_ms");
+    hTaskMs = &metrics_.histogram("pool.task_ms");
+
+    svcObs_.spans = &spans_;
+    svcObs_.requests = mRequests;
+    svcObs_.replays = &metrics_.counter("svc.streams");
+    svcObs_.replayFailures = &metrics_.counter("svc.stream_failures");
+    svcObs_.transitions = &metrics_.counter("svc.transitions");
+    svcObs_.salvaged = &metrics_.counter("svc.salvaged");
+
+    // Values other objects already maintain are exported as callback
+    // gauges, read at snapshot time — no mirrored state to drift.
+    metrics_.gaugeFn("server.active_sessions", [this] {
+        return static_cast<int64_t>(activeSessions());
+    });
+    metrics_.gaugeFn("server.queue_depth", [this] {
+        return static_cast<int64_t>(pool.pending());
+    });
+    metrics_.gaugeFn("server.uptime_ms", [this] {
+        return static_cast<int64_t>(uptimeMs());
+    });
+    metrics_.gaugeFn("pool.workers", [this] {
+        return static_cast<int64_t>(pool.workers());
+    });
+    metrics_.gaugeFn("pool.executed", [this] {
+        return static_cast<int64_t>(pool.executed());
+    });
+    metrics_.gaugeFn("pool.failures", [this] {
+        return static_cast<int64_t>(pool.failures());
+    });
+    metrics_.gaugeFn("log.suppressed", [] {
+        return static_cast<int64_t>(sharedWarnLimiter().totalSuppressed());
+    });
+    metrics_.gaugeFn("spans.pushed", [this] {
+        return static_cast<int64_t>(spans_.pushed());
+    });
+
+    pool.setTaskObserver([this](double ms, bool failed) {
+        hTaskMs->observe(ms);
+        if (failed)
+            mTaskFailures->inc();
+    });
+}
+
+uint64_t
+TeaServer::slowRequests() const
+{
+    return mSlow->value();
+}
+
+std::string
+TeaServer::statsReport(bool text) const
+{
+    obs::MetricsSnapshot snap = metrics_.snapshot();
+    if (text)
+        return snap.toText();
+    JsonWriter w;
+    w.beginObject();
+    snap.writeJson(w);
+    w.key("spans");
+    w.beginArray();
+    for (const obs::Span &s : spans_.recent(64)) {
+        w.beginObject();
+        w.key("conn");
+        w.value(s.conn);
+        w.key("request");
+        w.value(s.request);
+        w.key("phase");
+        w.value(obs::spanPhaseName(s.phase));
+        w.key("startNs");
+        w.value(s.startNs);
+        w.key("durNs");
+        w.value(s.durNs);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
 }
 
 TeaServer::~TeaServer()
@@ -91,6 +183,7 @@ TeaServer::acceptLoop()
             // payload tells the client why (depth, cap) so its backoff
             // can be smarter than a blind sleep.
             rejected.fetch_add(1);
+            mBusy->inc();
             PayloadWriter w;
             w.u32(static_cast<uint32_t>(
                 std::min<size_t>(depth, UINT32_MAX)));
@@ -100,6 +193,7 @@ TeaServer::acceptLoop()
             appendFrame(busy, MsgType::Busy, w.out());
             try {
                 sock.sendAll(busy.data(), busy.size());
+                mBytesOut->inc(busy.size());
             } catch (const FatalError &) {
                 // The client vanished first; nothing to report.
             }
@@ -113,8 +207,9 @@ TeaServer::acceptLoop()
             id = nextConnId++;
             conns.emplace(id, shared);
         }
-        pool.submit([this, id, shared] {
-            serveConnection(*shared);
+        uint64_t acceptNs = obs::monotonicNanos();
+        pool.submit([this, id, shared, acceptNs] {
+            serveConnection(*shared, id, acceptNs);
             std::lock_guard<std::mutex> lock(connMu);
             conns.erase(id);
         });
@@ -122,9 +217,10 @@ TeaServer::acceptLoop()
 }
 
 void
-TeaServer::evictConnection(Socket &sock, const char *why)
+TeaServer::evictConnection(Socket &sock, const char *why, bool deadline)
 {
     evicted.fetch_add(1);
+    (deadline ? mEvictDeadline : mEvictIdle)->inc();
     PayloadWriter w;
     w.u8(1); // fatal: the connection closes after this frame
     w.str(strprintf("connection evicted: %s", why));
@@ -132,11 +228,16 @@ TeaServer::evictConnection(Socket &sock, const char *why)
     appendFrame(frame, MsgType::Error, w.out());
     try {
         sock.sendAll(frame.data(), frame.size());
+        mBytesOut->inc(frame.size());
     } catch (const FatalError &) {
         // Socket already dead; the eviction still counts.
     }
-    if (evictWarn.allow()) {
-        uint64_t dropped = evictWarn.suppressedAndReset();
+    // Eviction warnings share the process-wide limiter with the pool's
+    // failure warnings and the slow-request log, so the *total* warn
+    // rate is bounded; drops surface as the log.suppressed metric.
+    RateLimiter &limiter = sharedWarnLimiter();
+    if (limiter.allow()) {
+        uint64_t dropped = limiter.suppressedAndReset();
         if (dropped > 0)
             warn("tead: evicted connection (%s); %llu similar warnings "
                  "suppressed",
@@ -147,9 +248,19 @@ TeaServer::evictConnection(Socket &sock, const char *why)
 }
 
 void
-TeaServer::serveConnection(Socket &sock)
+TeaServer::serveConnection(Socket &sock, uint64_t connId,
+                           uint64_t acceptNs)
 {
     try {
+        // The Accept span measures queue wait: accept() to worker
+        // pickup. Under load this is the first thing to grow.
+        obs::Span accept;
+        accept.conn = connId;
+        accept.phase = obs::SpanPhase::Accept;
+        accept.startNs = acceptNs;
+        accept.durNs = obs::monotonicNanos() - acceptNs;
+        spans_.push(accept);
+
         Session session(registry_, cfg.lookup);
         session.setStatusFn([this] {
             ServerStatus st;
@@ -160,6 +271,12 @@ TeaServer::serveConnection(Socket &sock)
             st.uptimeMs = uptimeMs();
             return st;
         });
+        session.setStatsFn(
+            [this](bool text) { return statsReport(text); });
+        SessionObs ob = svcObs_;
+        ob.conn = connId;
+        session.setObs(ob);
+
         std::vector<uint8_t> replies;
         uint8_t buf[64 * 1024];
         // Deadline bookkeeping. `lastByteMs` feeds the idle clock;
@@ -167,6 +284,8 @@ TeaServer::serveConnection(Socket &sock)
         // and feeds the request clock while session.midRequest().
         uint64_t lastByteMs = steadyMs();
         uint64_t requestStartMs = lastByteMs;
+        uint64_t requestStartNs = obs::monotonicNanos();
+        uint64_t lastCompleted = 0;
         bool midRequest = false;
         for (;;) {
             int waitMs = -1;
@@ -175,6 +294,7 @@ TeaServer::serveConnection(Socket &sock)
                 uint64_t now = steadyMs();
                 int64_t budget = std::numeric_limits<int64_t>::max();
                 const char *why = nullptr;
+                bool deadline = false;
                 if (cfg.idleTimeoutMs != 0) {
                     budget = static_cast<int64_t>(
                         lastByteMs + cfg.idleTimeoutMs - now);
@@ -186,10 +306,11 @@ TeaServer::serveConnection(Socket &sock)
                     if (left < budget) {
                         budget = left;
                         why = "request deadline exceeded";
+                        deadline = true;
                     }
                 }
                 if (budget <= 0) {
-                    evictConnection(sock, why);
+                    evictConnection(sock, why, deadline);
                     break;
                 }
                 waitMs = static_cast<int>(std::min<int64_t>(
@@ -200,23 +321,76 @@ TeaServer::serveConnection(Socket &sock)
             size_t n = sock.recvSome(buf, sizeof(buf));
             if (n == 0)
                 break; // peer closed (or stop() shut our read down)
+            mBytesIn->inc(n);
             uint64_t now = steadyMs();
             lastByteMs = now;
-            if (!midRequest)
+            if (!midRequest) {
                 requestStartMs = now; // these bytes open a new request
+                requestStartNs = obs::monotonicNanos();
+            }
             replies.clear();
             bool keep = session.consume(buf, n, replies);
-            if (!replies.empty())
+            if (!replies.empty()) {
+                uint64_t tReply = obs::monotonicNanos();
                 sock.sendAll(replies.data(), replies.size());
+                mBytesOut->inc(replies.size());
+                obs::Span rep;
+                rep.conn = connId;
+                rep.request = session.requestsBegun();
+                rep.phase = obs::SpanPhase::Reply;
+                rep.startNs = tReply;
+                rep.durNs = obs::monotonicNanos() - tReply;
+                spans_.push(rep);
+            }
+            uint64_t completed = session.requestsCompleted();
+            if (completed != lastCompleted) {
+                // One or more requests finished with these bytes:
+                // observe the end-to-end latency, stamp the Request
+                // span, and feed the slow-request log.
+                lastCompleted = completed;
+                uint64_t endNs = obs::monotonicNanos();
+                uint64_t durNs = endNs - requestStartNs;
+                double durMs = static_cast<double>(durNs) / 1e6;
+                hRequestMs->observe(durMs);
+                obs::Span req;
+                req.conn = connId;
+                req.request = session.requestsBegun();
+                req.phase = obs::SpanPhase::Request;
+                req.startNs = requestStartNs;
+                req.durNs = durNs;
+                spans_.push(req);
+                std::vector<obs::Span> phases =
+                    session.takeRequestSpans();
+                if (cfg.slowRequestMs != 0 &&
+                    durMs >= static_cast<double>(cfg.slowRequestMs)) {
+                    mSlow->inc();
+                    RateLimiter &limiter = sharedWarnLimiter();
+                    if (limiter.allow()) {
+                        limiter.suppressedAndReset();
+                        std::string breakdown;
+                        for (const obs::Span &s : phases)
+                            breakdown += strprintf(
+                                " %s=%.2fms", obs::spanPhaseName(s.phase),
+                                static_cast<double>(s.durNs) / 1e6);
+                        warn("tead: slow request on conn %llu: %.1f ms "
+                             "(threshold %u ms)%s",
+                             static_cast<unsigned long long>(connId),
+                             durMs, cfg.slowRequestMs,
+                             breakdown.c_str());
+                    }
+                }
+            }
             if (!keep)
                 break;
             midRequest = session.midRequest();
         }
         served.fetch_add(1);
+        mSessions->inc();
     } catch (const FatalError &) {
         // Socket-level failure (peer reset mid-write): the session is
         // over either way; one broken client must not hurt the server.
         served.fetch_add(1);
+        mSessions->inc();
     }
 }
 

@@ -50,7 +50,10 @@
 #include <thread>
 #include <unordered_map>
 
+#include "net/session.hh"
 #include "net/socket.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "svc/registry.hh"
 #include "svc/replay_service.hh"
 #include "util/logging.hh"
@@ -80,6 +83,15 @@ struct ServerConfig
      * that trickle bytes fast enough to dodge the idle clock.
      */
     uint32_t requestDeadlineMs = 0;
+    /**
+     * Log (rate-limited, with the request's per-phase span breakdown)
+     * any request slower than this many milliseconds; 0 disables the
+     * slow-request log. Every slow request also bumps the
+     * server.slow_requests counter regardless of log rate limiting.
+     */
+    uint32_t slowRequestMs = 0;
+    /** Span ring capacity (entries; rounded up to a power of two). */
+    size_t traceRing = 1024;
     /** Default lookup configuration for replays (per-stream flags win). */
     LookupConfig lookup;
 };
@@ -130,15 +142,50 @@ class TeaServer
     uint64_t busyRejected() const { return rejected.load(); }
     /** Connections evicted by the idle or request deadline. */
     uint64_t sessionsEvicted() const { return evicted.load(); }
+    /** Requests that exceeded ServerConfig::slowRequestMs. */
+    uint64_t slowRequests() const;
+
+    /** The server's metric store (counters, gauges, histograms). */
+    obs::MetricsRegistry &metrics() { return metrics_; }
+
+    /** The span ring every session traces into. */
+    const obs::SpanRing &spans() const { return spans_; }
+
+    /**
+     * Render the full observability snapshot: every metric plus the
+     * newest spans. text=false yields the JSON document the STATS
+     * frame and `teadbt stats --json` serve; text=true the human
+     * rendering. Callable from any thread.
+     */
+    std::string statsReport(bool text) const;
 
   private:
     void acceptLoop();
-    void serveConnection(Socket &sock);
+    void serveConnection(Socket &sock, uint64_t connId,
+                         uint64_t acceptNs);
     /** Best-effort fatal ERROR + counters; the session ends after. */
-    void evictConnection(Socket &sock, const char *why);
+    void evictConnection(Socket &sock, const char *why, bool deadline);
 
     ServerConfig cfg;
     AutomatonRegistry registry_;
+
+    // Observability state. Declared before the pool so the worker
+    // threads (and their task observer) die before the instruments.
+    obs::MetricsRegistry metrics_;
+    obs::SpanRing spans_;
+    obs::Counter *mRequests;       ///< server.requests
+    obs::Counter *mSlow;           ///< server.slow_requests
+    obs::Counter *mBytesIn;        ///< server.bytes_in
+    obs::Counter *mBytesOut;       ///< server.bytes_out
+    obs::Counter *mBusy;           ///< server.busy_rejected
+    obs::Counter *mEvictIdle;      ///< server.evictions_idle
+    obs::Counter *mEvictDeadline;  ///< server.evictions_deadline
+    obs::Counter *mSessions;       ///< server.sessions_served
+    obs::Counter *mTaskFailures;   ///< pool.task_failures
+    obs::Histogram *hRequestMs;    ///< server.request_ms
+    obs::Histogram *hTaskMs;       ///< pool.task_ms
+    SessionObs svcObs_; ///< per-session template; conn id stamped in
+
     ThreadPool pool;
     Listener listener;
     std::thread acceptThread;
@@ -155,8 +202,6 @@ class TeaServer
     std::atomic<uint64_t> rejected{0};
     std::atomic<uint64_t> evicted{0};
     std::atomic<uint64_t> startedAtMs{0}; ///< steady clock, for uptime
-    /** Eviction warnings: burst of 5, then at most 5/s. */
-    RateLimiter evictWarn{5.0, 5.0};
 };
 
 } // namespace tea

@@ -15,6 +15,7 @@ Session::reply(std::vector<uint8_t> &out, MsgType type,
                const PayloadWriter &w)
 {
     appendFrame(out, type, w.out());
+    ++reqDone;
 }
 
 void
@@ -25,6 +26,32 @@ Session::replyError(std::vector<uint8_t> &out, bool fatal,
     w.u8(fatal ? 1 : 0);
     w.str(msg);
     appendFrame(out, MsgType::Error, w.out());
+    ++reqDone;
+}
+
+void
+Session::pushSpan(obs::SpanPhase phase, uint64_t startNs)
+{
+    obs::Span s;
+    s.conn = ob.conn;
+    s.request = reqBegun;
+    s.phase = phase;
+    s.startNs = startNs;
+    s.durNs = obs::monotonicNanos() - startNs;
+    ob.spans->push(s);
+    // Keep a small per-request tail for the slow-request breakdown;
+    // cap it so an untaken buffer stays bounded.
+    if (reqSpans.size() >= 64)
+        reqSpans.erase(reqSpans.begin());
+    reqSpans.push_back(s);
+}
+
+std::vector<obs::Span>
+Session::takeRequestSpans()
+{
+    std::vector<obs::Span> taken = std::move(reqSpans);
+    reqSpans.clear();
+    return taken;
 }
 
 bool
@@ -36,6 +63,7 @@ Session::consume(const uint8_t *data, size_t len,
     decoder.feed(data, len);
     for (;;) {
         Frame frame;
+        uint64_t t0 = traced() ? obs::monotonicNanos() : 0;
         try {
             if (!decoder.poll(frame))
                 return true;
@@ -45,6 +73,15 @@ Session::consume(const uint8_t *data, size_t len,
             state = State::Closed;
             return false;
         }
+        // A frame other than stream payload begins a request; counted
+        // before handling so an in-flight STATS sees itself.
+        if (frame.type != MsgType::ReplayChunk) {
+            ++reqBegun;
+            if (ob.requests != nullptr)
+                ob.requests->inc();
+        }
+        if (traced())
+            pushSpan(obs::SpanPhase::Decode, t0);
         if (!onFrame(frame, out)) {
             state = State::Closed;
             return false;
@@ -69,6 +106,7 @@ Session::onFrame(const Frame &frame, std::vector<uint8_t> &out)
             frame.type != MsgType::List &&
             frame.type != MsgType::Evict &&
             frame.type != MsgType::Ping &&
+            frame.type != MsgType::Stats &&
             frame.type != MsgType::ReplayBegin) {
             replyError(out, true, "unexpected message type");
             return false;
@@ -174,12 +212,29 @@ Session::handleRequest(const Frame &frame, std::vector<uint8_t> &out)
         reply(out, MsgType::Pong, w);
         return;
     }
+    case MsgType::Stats: {
+        // Tolerant by design, like BUSY: empty payload means JSON, a
+        // leading u8 of 1 selects text, and any extra bytes are
+        // ignored so the request can grow fields without a version
+        // bump.
+        bool text = !frame.payload.empty() && frame.payload[0] == 1;
+        std::string report =
+            statsFn ? statsFn(text) : std::string(text ? "" : "{}");
+        PayloadWriter w;
+        w.raw(reinterpret_cast<const uint8_t *>(report.data()),
+              report.size());
+        reply(out, MsgType::StatsOk, w);
+        return;
+    }
     case MsgType::ReplayBegin: {
         PayloadReader r(frame.payload);
         std::string name = r.str(Wire::kMaxName);
         uint8_t flags = r.u8();
         r.expectEnd();
+        uint64_t tLookup = traced() ? obs::monotonicNanos() : 0;
         AutomatonSnapshot snap = registry.snapshot(name);
+        if (traced())
+            pushSpan(obs::SpanPhase::Lookup, tLookup);
         if (!snap)
             fatal("no automaton named '%s'", name.c_str());
         // Pin the snapshot now: a concurrent evict cannot touch it,
@@ -205,12 +260,23 @@ Session::handleRequest(const Frame &frame, std::vector<uint8_t> &out)
         PayloadReader r(frame.payload);
         r.expectEnd();
         ++replays;
+        if (ob.replays != nullptr)
+            ob.replays->inc();
         ReplayJob job{stream.tea, "", &streamLog, stream.compiled};
+        uint64_t tReplay = traced() ? obs::monotonicNanos() : 0;
         StreamResult res = runReplayJob(job, streamCfg);
+        if (traced())
+            pushSpan(obs::SpanPhase::Replay, tReplay);
+        if (ob.transitions != nullptr)
+            ob.transitions->inc(res.stats.transitions);
+        if (ob.salvaged != nullptr && res.salvaged)
+            ob.salvaged->inc();
         bool wantProfile = streamProfile;
         stream = AutomatonSnapshot{};
         state = State::Ready;
         if (!res.ok()) {
+            if (ob.replayFailures != nullptr)
+                ob.replayFailures->inc();
             streamLog.clear();
             fatal("replay failed: %s", res.error.c_str());
         }

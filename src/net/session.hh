@@ -36,10 +36,30 @@
 #include <vector>
 
 #include "net/frame.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "svc/registry.hh"
 #include "svc/replay_service.hh"
 
 namespace tea {
+
+/**
+ * The observability hookup for one session: a span ring plus the
+ * counters the session bumps as it works. All pointers are optional
+ * and borrowed (the server owns the registry and the ring); a
+ * default-constructed SessionObs means "not instrumented" and the
+ * session skips every clock read — the fuzz tests run that way.
+ */
+struct SessionObs
+{
+    obs::SpanRing *spans = nullptr;
+    uint64_t conn = 0; ///< connection id stamped into every span
+    obs::Counter *requests = nullptr;       ///< server.requests
+    obs::Counter *replays = nullptr;        ///< svc.streams
+    obs::Counter *replayFailures = nullptr; ///< svc.stream_failures
+    obs::Counter *transitions = nullptr;    ///< svc.transitions
+    obs::Counter *salvaged = nullptr;       ///< svc.salvaged
+};
 
 class Session
 {
@@ -79,6 +99,40 @@ class Session
         statusFn = std::move(fn);
     }
 
+    /**
+     * Provider for the STATS reply body. Called with text=true for the
+     * human rendering (format byte 1), false for JSON. Without a
+     * provider STATS answers an empty JSON object — again, the session
+     * alone has no server-wide view.
+     */
+    void setStatsFn(std::function<std::string(bool text)> fn)
+    {
+        statsFn = std::move(fn);
+    }
+
+    /** Attach metrics counters and the span ring (see SessionObs). */
+    void setObs(const SessionObs &o) { ob = o; }
+
+    /**
+     * Requests begun: frames handled, excluding REPLAY_CHUNK (which is
+     * stream payload, not a request). Counted when handling *starts*,
+     * so a STATS snapshot rendered mid-request includes the STATS
+     * request itself — that makes the wire-visible count deterministic
+     * for a scripted exchange (tests/test_obs.cc).
+     */
+    uint64_t requestsBegun() const { return reqBegun; }
+
+    /** Requests answered: reply frames emitted, error replies included. */
+    uint64_t requestsCompleted() const { return reqDone; }
+
+    /**
+     * Drain the spans accumulated since the last take — the per-phase
+     * breakdown of the request(s) just handled. The server feeds these
+     * to the slow-request log. Bounded (old spans are dropped first) so
+     * an untaken buffer cannot grow without limit.
+     */
+    std::vector<obs::Span> takeRequestSpans();
+
     /** Streams replayed by this session (served + failed). */
     uint64_t replaysRun() const { return replays; }
 
@@ -94,17 +148,28 @@ class Session
 
     bool onFrame(const Frame &frame, std::vector<uint8_t> &out);
     void handleRequest(const Frame &frame, std::vector<uint8_t> &out);
-    static void reply(std::vector<uint8_t> &out, MsgType type,
-                      const PayloadWriter &w);
-    static void replyError(std::vector<uint8_t> &out, bool fatal,
-                           const std::string &msg);
+    void reply(std::vector<uint8_t> &out, MsgType type,
+               const PayloadWriter &w);
+    void replyError(std::vector<uint8_t> &out, bool fatal,
+                    const std::string &msg);
+
+    /** True when span tracing is wired up (skip clock reads if not). */
+    bool traced() const { return ob.spans != nullptr; }
+
+    /** Record a phase that started at `startNs` and just ended. */
+    void pushSpan(obs::SpanPhase phase, uint64_t startNs);
 
     AutomatonRegistry &registry;
     LookupConfig lookup;
     FrameDecoder decoder;
     std::function<ServerStatus()> statusFn;
+    std::function<std::string(bool text)> statsFn;
+    SessionObs ob;
     State state = State::ExpectHello;
     uint64_t replays = 0;
+    uint64_t reqBegun = 0;
+    uint64_t reqDone = 0;
+    std::vector<obs::Span> reqSpans; ///< since last takeRequestSpans()
     size_t maxLogBytes = Wire::kMaxLogBytes;
 
     // REPLAY_BEGIN .. REPLAY_END stream in progress. The snapshot

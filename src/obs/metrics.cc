@@ -1,0 +1,220 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace tea {
+namespace obs {
+
+size_t
+threadShard()
+{
+    static std::atomic<size_t> nextShard{0};
+    thread_local size_t shard =
+        nextShard.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+    return shard;
+}
+
+// ------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::vector<double> upperBounds)
+    : bounds(std::move(upperBounds))
+{
+    if (!std::is_sorted(bounds.begin(), bounds.end()))
+        panic("histogram bounds must be ascending");
+    for (Shard &s : shards) {
+        s.counts = std::make_unique<std::atomic<uint64_t>[]>(
+            bounds.size() + 1);
+        for (size_t b = 0; b <= bounds.size(); ++b)
+            s.counts[b].store(0, std::memory_order_relaxed);
+    }
+}
+
+void
+Histogram::observe(double value)
+{
+    size_t b = 0;
+    while (b < bounds.size() && value > bounds[b])
+        ++b;
+    Shard &s = shards[threadShard()];
+    s.counts[b].fetch_add(1, std::memory_order_relaxed);
+    double cur = s.sum.load(std::memory_order_relaxed);
+    while (!s.sum.compare_exchange_weak(cur, cur + value,
+                                        std::memory_order_relaxed)) {
+    }
+}
+
+HistogramView
+Histogram::view() const
+{
+    HistogramView v;
+    v.bounds = bounds;
+    v.counts.assign(bounds.size() + 1, 0);
+    for (const Shard &s : shards) {
+        for (size_t b = 0; b <= bounds.size(); ++b)
+            v.counts[b] += s.counts[b].load(std::memory_order_relaxed);
+        v.sum += s.sum.load(std::memory_order_relaxed);
+    }
+    for (uint64_t c : v.counts)
+        v.count += c;
+    return v;
+}
+
+const std::vector<double> &
+Histogram::latencyBoundsMs()
+{
+    static const std::vector<double> bounds{
+        0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,    10,   25,
+        50,   100, 250,  500, 1000, 2500, 5000, 10000};
+    return bounds;
+}
+
+// ------------------------------------------------------- MetricsRegistry
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto &slot = counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto &slot = gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::vector<double> &bounds)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto &slot = histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(bounds);
+    return *slot;
+}
+
+void
+MetricsRegistry::gaugeFn(const std::string &name,
+                         std::function<int64_t()> fn)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    gaugeFns[name] = std::move(fn);
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto &[name, c] : counters)
+        snap.counters.emplace_back(name, c->value());
+    for (const auto &[name, g] : gauges)
+        snap.gauges.emplace_back(name, g->value());
+    for (const auto &[name, fn] : gaugeFns)
+        snap.gauges.emplace_back(name, fn());
+    std::sort(snap.gauges.begin(), snap.gauges.end());
+    for (const auto &[name, h] : histograms)
+        snap.histograms.emplace_back(name, h->view());
+    return snap;
+}
+
+// ------------------------------------------------------- MetricsSnapshot
+
+uint64_t
+MetricsSnapshot::counterValue(const std::string &name) const
+{
+    for (const auto &[n, v] : counters)
+        if (n == name)
+            return v;
+    return 0;
+}
+
+std::string
+MetricsSnapshot::toText() const
+{
+    std::string out;
+    for (const auto &[name, v] : counters)
+        out += strprintf("counter %-28s %llu\n", name.c_str(),
+                         static_cast<unsigned long long>(v));
+    for (const auto &[name, v] : gauges)
+        out += strprintf("gauge   %-28s %lld\n", name.c_str(),
+                         static_cast<long long>(v));
+    for (const auto &[name, h] : histograms) {
+        out += strprintf("hist    %-28s count %llu mean %.3f",
+                         name.c_str(),
+                         static_cast<unsigned long long>(h.count),
+                         h.mean());
+        for (size_t b = 0; b < h.counts.size(); ++b) {
+            if (h.counts[b] == 0)
+                continue;
+            if (b < h.bounds.size())
+                out += strprintf("  le%g:%llu", h.bounds[b],
+                                 static_cast<unsigned long long>(
+                                     h.counts[b]));
+            else
+                out += strprintf("  inf:%llu",
+                                 static_cast<unsigned long long>(
+                                     h.counts[b]));
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+void
+MetricsSnapshot::writeJson(JsonWriter &w) const
+{
+    w.key("counters").beginObject();
+    for (const auto &[name, v] : counters)
+        w.key(name).value(v);
+    w.endObject();
+    w.key("gauges").beginObject();
+    for (const auto &[name, v] : gauges)
+        w.key(name).value(v);
+    w.endObject();
+    w.key("histograms").beginObject();
+    for (const auto &[name, h] : histograms) {
+        w.key(name).beginObject();
+        w.key("count").value(h.count);
+        w.key("sum").value(h.sum);
+        w.key("buckets").beginArray();
+        for (size_t b = 0; b < h.counts.size(); ++b) {
+            if (h.counts[b] == 0)
+                continue; // sparse: empty buckets add bytes, not data
+            w.beginObject();
+            if (b < h.bounds.size())
+                w.key("le").value(h.bounds[b]);
+            else
+                w.key("le").value("+inf");
+            w.key("count").value(h.counts[b]);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+}
+
+std::string
+MetricsSnapshot::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    writeJson(w);
+    w.endObject();
+    return w.str();
+}
+
+} // namespace obs
+} // namespace tea

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * tea_obs metrics: named counters, gauges, and fixed-bucket histograms.
+ *
+ * The paper's argument is quantitative (Table 1 memory, Table 4
+ * transition overhead), and so is the replay service's: the whole
+ * production stack is only credible if its runtime behavior is
+ * measured. This registry is the measuring instrument, built so that
+ * instrumenting the replay hot path costs one relaxed atomic add:
+ *
+ * - every Counter and Histogram is sharded across kMetricShards
+ *   cache-line-aligned slots; a thread picks its shard once (a
+ *   thread_local index) and increments it with memory_order_relaxed —
+ *   no contended cache line, no lock, no fence on x86;
+ * - registration (name -> handle) takes a mutex, but happens once per
+ *   metric at setup time; hot paths hold the returned reference, which
+ *   is stable for the registry's lifetime;
+ * - snapshot() merges the shards into an immutable MetricsSnapshot and
+ *   evaluates the callback gauges; it is safe to call concurrently
+ *   with any number of writers. Relaxed increments mean a snapshot
+ *   taken mid-write races benignly (it may miss in-flight increments);
+ *   once the writing threads are joined — or have handed their result
+ *   to the snapshotting thread through any synchronizing handoff — the
+ *   totals are exact (tests/test_obs.cc pins this).
+ *
+ * The snapshot renders as human text (one metric per line) and as JSON
+ * via the shared util/json writer; the STATS wire frame and `teadbt
+ * stats` both serve those renderings.
+ */
+
+#ifndef TEA_OBS_METRICS_HH
+#define TEA_OBS_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tea {
+
+class JsonWriter;
+
+namespace obs {
+
+/** Shards per metric; a power of two, sized for small-host fleets. */
+constexpr size_t kMetricShards = 16;
+
+/**
+ * This thread's shard index: assigned round-robin at first use, so up
+ * to kMetricShards concurrent threads never share a cache line.
+ */
+size_t threadShard();
+
+/** A monotonically increasing count (events, bytes, faults). */
+class Counter
+{
+  public:
+    void
+    inc(uint64_t n = 1)
+    {
+        shards[threadShard()].v.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        uint64_t sum = 0;
+        for (const Shard &s : shards)
+            sum += s.v.load(std::memory_order_relaxed);
+        return sum;
+    }
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::atomic<uint64_t> v{0};
+    };
+    std::array<Shard, kMetricShards> shards{};
+};
+
+/** A point-in-time signed value (queue depth, live sessions). */
+class Gauge
+{
+  public:
+    void set(int64_t value) { v.store(value, std::memory_order_relaxed); }
+    void add(int64_t d) { v.fetch_add(d, std::memory_order_relaxed); }
+    int64_t value() const { return v.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<int64_t> v{0};
+};
+
+/** A merged histogram as rendered into a snapshot. */
+struct HistogramView
+{
+    /** Bucket upper bounds; an implicit +inf bucket follows the last. */
+    std::vector<double> bounds;
+    /** Per-bucket observation counts (bounds.size() + 1 entries). */
+    std::vector<uint64_t> counts;
+    uint64_t count = 0; ///< total observations
+    double sum = 0.0;   ///< sum of observed values
+
+    double mean() const { return count ? sum / double(count) : 0.0; }
+};
+
+/**
+ * Fixed-bucket histogram, sharded like Counter. observe() is two
+ * relaxed atomic updates plus a short linear scan over the bounds —
+ * cheap enough for per-request latencies, and kept *out* of per-
+ * transition paths by design (replay kernels report at feedAll()
+ * batch boundaries instead; see svc/replay_service.hh).
+ */
+class Histogram
+{
+  public:
+    /** @param upperBounds ascending bucket upper bounds (≤ compare) */
+    explicit Histogram(std::vector<double> upperBounds);
+
+    void observe(double value);
+
+    /** Merge every shard into one immutable view. */
+    HistogramView view() const;
+
+    /** Default latency bounds in milliseconds: 0.05 ms .. 10 s. */
+    static const std::vector<double> &latencyBoundsMs();
+
+  private:
+    std::vector<double> bounds;
+
+    struct alignas(64) Shard
+    {
+        // counts[bucket] sized at construction; sum via CAS because
+        // atomic<double>::fetch_add is not portable everywhere yet.
+        std::unique_ptr<std::atomic<uint64_t>[]> counts;
+        std::atomic<double> sum{0.0};
+    };
+    std::array<Shard, kMetricShards> shards;
+};
+
+/** Immutable merged view of every metric, ready to render. */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, int64_t>> gauges;
+    std::vector<std::pair<std::string, HistogramView>> histograms;
+
+    /** One metric per line, for humans and the serve exit report. */
+    std::string toText() const;
+
+    /** {"counters": {...}, "gauges": {...}, "histograms": {...}}. */
+    std::string toJson() const;
+
+    /**
+     * Write the three member groups into an already-open JSON object,
+     * so callers can append siblings (the server adds "spans").
+     */
+    void writeJson(JsonWriter &w) const;
+
+    /** Convenience for tests: a counter's value, 0 when absent. */
+    uint64_t counterValue(const std::string &name) const;
+};
+
+/**
+ * The named-metric store. Handles returned by counter()/gauge()/
+ * histogram() are valid for the registry's lifetime; re-registering a
+ * name returns the existing instrument (histogram bounds are fixed by
+ * the first registration). gaugeFn() registers a callback evaluated at
+ * snapshot time — for values another object already maintains
+ * (ThreadPool::pending(), live session counts) where mirroring into a
+ * Gauge would just invite drift.
+ */
+class MetricsRegistry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name,
+                         const std::vector<double> &bounds =
+                             Histogram::latencyBoundsMs());
+    void gaugeFn(const std::string &name, std::function<int64_t()> fn);
+
+    MetricsSnapshot snapshot() const;
+
+  private:
+    mutable std::mutex mu;
+    // std::map keeps snapshots sorted by name — stable, diffable output.
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+    std::map<std::string, std::function<int64_t()>> gaugeFns;
+};
+
+} // namespace obs
+} // namespace tea
+
+#endif // TEA_OBS_METRICS_HH

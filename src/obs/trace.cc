@@ -1,0 +1,93 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <chrono>
+
+namespace tea {
+namespace obs {
+
+uint64_t
+monotonicNanos()
+{
+    using namespace std::chrono;
+    return static_cast<uint64_t>(
+        duration_cast<nanoseconds>(
+            steady_clock::now().time_since_epoch())
+            .count());
+}
+
+const char *
+spanPhaseName(SpanPhase phase)
+{
+    switch (phase) {
+    case SpanPhase::Accept: return "accept";
+    case SpanPhase::Decode: return "decode";
+    case SpanPhase::Lookup: return "lookup";
+    case SpanPhase::Replay: return "replay";
+    case SpanPhase::Reply: return "reply";
+    case SpanPhase::Request: return "request";
+    }
+    return "?";
+}
+
+SpanRing::SpanRing(size_t capacity)
+{
+    size_t cap = 8;
+    while (cap < capacity && cap < (size_t(1) << 20))
+        cap <<= 1;
+    slots = std::vector<Slot>(cap);
+    mask = cap - 1;
+}
+
+void
+SpanRing::push(const Span &span)
+{
+    uint64_t ticket = head.fetch_add(1, std::memory_order_relaxed);
+    Slot &s = slots[ticket & mask];
+    // Per-slot seqlock keyed to the ticket: readers discard a slot
+    // whose sequence is odd or changed across the copy. Two writers a
+    // full ring apart can interleave on one slot; readers then see a
+    // sequence mismatch and skip it — one lost span, never a torn one
+    // presented as real.
+    s.seq.store(2 * ticket + 1, std::memory_order_release);
+    s.conn.store(span.conn, std::memory_order_relaxed);
+    s.request.store(span.request, std::memory_order_relaxed);
+    s.phase.store(static_cast<uint8_t>(span.phase),
+                  std::memory_order_relaxed);
+    s.startNs.store(span.startNs, std::memory_order_relaxed);
+    s.durNs.store(span.durNs, std::memory_order_relaxed);
+    s.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+std::vector<Span>
+SpanRing::recent(size_t max) const
+{
+    uint64_t end = head.load(std::memory_order_acquire);
+    uint64_t count = std::min<uint64_t>(end, slots.size());
+    count = std::min<uint64_t>(count, max);
+    std::vector<Span> out;
+    out.reserve(count);
+    // Walk newest -> oldest, then reverse so callers read a timeline.
+    for (uint64_t i = 0; i < count; ++i) {
+        uint64_t ticket = end - 1 - i;
+        const Slot &s = slots[ticket & mask];
+        uint64_t a = s.seq.load(std::memory_order_acquire);
+        if (a != 2 * ticket + 2)
+            continue; // unwritten, mid-write, or already overwritten
+        Span span;
+        span.conn = s.conn.load(std::memory_order_relaxed);
+        span.request = s.request.load(std::memory_order_relaxed);
+        span.phase = static_cast<SpanPhase>(
+            s.phase.load(std::memory_order_relaxed));
+        span.startNs = s.startNs.load(std::memory_order_relaxed);
+        span.durNs = s.durNs.load(std::memory_order_relaxed);
+        if (s.seq.load(std::memory_order_acquire) != a)
+            continue;
+        out.push_back(span);
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+} // namespace obs
+} // namespace tea

@@ -3,6 +3,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "obs/trace.hh"
 #include "svc/tracelog.hh"
 #include "util/logging.hh"
 
@@ -32,18 +33,28 @@ runReplayJob(const ReplayJob &job, LookupConfig cfg)
                          : TraceLogReader::openFile(job.logPath, mode);
         TeaReplayer replayer(*job.tea, cfg, job.compiled);
         // Decode into a small buffer and feed in batches: the batch
-        // kernel keeps its counters in registers across each run.
+        // kernel keeps its counters in registers across each run. The
+        // per-phase clock is stamped only here, at batch boundaries —
+        // three reads per kFeedBatch transitions, nothing in the
+        // transition loop itself (the ≤3% instrumentation budget that
+        // bench/svc_throughput enforces).
         std::vector<BlockTransition> buf;
         buf.reserve(kFeedBatch);
         BlockTransition tr;
-        while (reader.next(tr)) {
-            buf.push_back(tr);
-            if (buf.size() == kFeedBatch) {
-                replayer.feedAll(buf.data(), buf.data() + buf.size());
-                buf.clear();
-            }
+        bool more = true;
+        while (more) {
+            uint64_t t0 = obs::monotonicNanos();
+            buf.clear();
+            while (buf.size() < kFeedBatch && reader.next(tr))
+                buf.push_back(tr);
+            more = buf.size() == kFeedBatch;
+            uint64_t t1 = obs::monotonicNanos();
+            replayer.feedAll(buf.data(), buf.data() + buf.size());
+            uint64_t t2 = obs::monotonicNanos();
+            res.decodeNs += t1 - t0;
+            res.replayNs += t2 - t1;
+            ++res.batches;
         }
-        replayer.feedAll(buf.data(), buf.data() + buf.size());
         if (reader.torn()) {
             res.salvaged = true;
             res.salvageReason = reader.tornReason();
@@ -58,6 +69,21 @@ runReplayJob(const ReplayJob &job, LookupConfig cfg)
         res.error = e.what();
     }
     return res;
+}
+
+void
+ReplayService::setMetrics(obs::MetricsRegistry *m)
+{
+    if (m == nullptr) {
+        mBatches = mStreams = mFailures = mTransitions = mSalvaged =
+            nullptr;
+        return;
+    }
+    mBatches = &m->counter("svc.batches");
+    mStreams = &m->counter("svc.streams");
+    mFailures = &m->counter("svc.stream_failures");
+    mTransitions = &m->counter("svc.transitions");
+    mSalvaged = &m->counter("svc.salvaged");
 }
 
 BatchResult
@@ -101,7 +127,10 @@ ReplayService::runBatch(const std::vector<ReplayJob> &jobs)
     if (one_tea)
         batch.mergedExecCounts.assign(jobs.front().tea->numStates(), 0);
 
+    uint64_t salvaged = 0;
     for (const StreamResult &res : batch.streams) {
+        if (res.salvaged)
+            ++salvaged;
         if (!res.ok()) {
             ++batch.failures;
             continue;
@@ -110,6 +139,16 @@ ReplayService::runBatch(const std::vector<ReplayJob> &jobs)
         if (one_tea)
             for (size_t s = 0; s < res.execCounts.size(); ++s)
                 batch.mergedExecCounts[s] += res.execCounts[s];
+    }
+
+    // Metric updates ride on the merge, on the calling thread — the
+    // workers never touch the registry.
+    if (mBatches != nullptr) {
+        mBatches->inc();
+        mStreams->inc(batch.streams.size());
+        mFailures->inc(batch.failures);
+        mTransitions->inc(batch.total.transitions);
+        mSalvaged->inc(salvaged);
     }
     return batch;
 }

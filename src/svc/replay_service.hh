@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "tea/replayer.hh"
 #include "util/threadpool.hh"
 
@@ -86,6 +87,27 @@ struct StreamResult
     /** Bytes after the last valid chunk, dropped by salvage. */
     uint64_t salvageBytesDropped = 0;
 
+    /**
+     * Per-phase wall-clock profile, stamped only at feedAll() batch
+     * boundaries so no clock read lands in the transition loop.
+     * Deliberately *not* part of ReplayStats: stats stay pure event
+     * counts with a defaulted operator== (the determinism checks and
+     * the 11-u64 wire encoding depend on that), while timing is
+     * scheduler noise that may differ between identical runs.
+     */
+    uint64_t decodeNs = 0; ///< log decode time (TraceLogReader::next)
+    uint64_t replayNs = 0; ///< kernel time (feedAll)
+    uint64_t batches = 0;  ///< feedAll() calls made
+
+    /** Transition rate over the replay phase, for profiling reports. */
+    double
+    transitionsPerSec() const
+    {
+        return replayNs == 0 ? 0.0
+                             : static_cast<double>(stats.transitions) *
+                                   1e9 / static_cast<double>(replayNs);
+    }
+
     bool ok() const { return error.empty(); }
 };
 
@@ -137,6 +159,15 @@ class ReplayService
     /** Replay every job; deterministic merge (see file comment). */
     BatchResult runBatch(const std::vector<ReplayJob> &jobs);
 
+    /**
+     * Wire the service to a metrics registry: registers the svc.*
+     * counters (batches, streams, stream_failures, transitions,
+     * salvaged) and bumps them after every runBatch() merge — on the
+     * calling thread, outside the replay hot path. Pass nullptr to
+     * detach. The registry must outlive the service.
+     */
+    void setMetrics(obs::MetricsRegistry *m);
+
     size_t workers() const { return pool.workers(); }
 
     /** Jobs submitted but not yet picked up by a worker. */
@@ -148,6 +179,15 @@ class ReplayService
   private:
     LookupConfig cfg;
     ThreadPool pool;
+
+    // Metric handles, null until setMetrics(). Raw pointers into the
+    // registry's stable storage (obs/metrics.hh guarantees counters
+    // never move once created).
+    obs::Counter *mBatches = nullptr;
+    obs::Counter *mStreams = nullptr;
+    obs::Counter *mFailures = nullptr;
+    obs::Counter *mTransitions = nullptr;
+    obs::Counter *mSalvaged = nullptr;
 };
 
 } // namespace tea

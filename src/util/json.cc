@@ -1,0 +1,188 @@
+#include "util/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace tea {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (stack.empty()) {
+        if (valuesAtRoot++ > 0)
+            panic("json: more than one document at the root");
+        return;
+    }
+    Frame &top = stack.back();
+    if (top.scope == Scope::Object) {
+        if (!top.keyPending)
+            panic("json: object member without a key");
+        top.keyPending = false;
+    } else {
+        if (top.items > 0)
+            out += ", ";
+    }
+    ++top.items;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out += '{';
+    stack.push_back(Frame{Scope::Object});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (stack.empty() || stack.back().scope != Scope::Object ||
+        stack.back().keyPending)
+        panic("json: endObject out of place");
+    stack.pop_back();
+    out += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out += '[';
+    stack.push_back(Frame{Scope::Array});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (stack.empty() || stack.back().scope != Scope::Array)
+        panic("json: endArray out of place");
+    stack.pop_back();
+    out += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    if (stack.empty() || stack.back().scope != Scope::Object ||
+        stack.back().keyPending)
+        panic("json: key() outside an object member position");
+    if (stack.back().items > 0)
+        out += ", ";
+    out += '"';
+    out += jsonEscape(k);
+    out += "\": ";
+    stack.back().keyPending = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    beforeValue();
+    out += '"';
+    out += jsonEscape(v);
+    out += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    beforeValue();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    out += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    beforeValue();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    if (!std::isfinite(v))
+        v = 0.0; // JSON has no NaN/Inf
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    out += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue();
+    out += "null";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::rawValue(std::string_view json)
+{
+    beforeValue();
+    out += json;
+    return *this;
+}
+
+const std::string &
+JsonWriter::str() const
+{
+    if (!stack.empty())
+        panic("json: document still has %zu open scopes", stack.size());
+    return out;
+}
+
+} // namespace tea

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The repo's one JSON producer.
+ *
+ * Every machine-readable output — `teadbt ... --json`, the metrics
+ * snapshot behind the STATS wire frame, the bench result files — goes
+ * through JsonWriter, so escaping and comma placement live in exactly
+ * one place. The writer is a small streaming builder: begin/end nest
+ * objects and arrays, key() names the next member, value() emits a
+ * scalar; commas are inserted automatically. There is deliberately no
+ * parser: the repo only *emits* JSON, and readers on the other side
+ * (CI, jq, dashboards) bring their own.
+ *
+ * Output style is stable and diff-friendly: `"key": value` with one
+ * space after the colon, no newlines, UTF-8 passed through untouched,
+ * control characters escaped as \\uXXXX. Doubles print with %.6g and
+ * non-finite values degrade to 0 (JSON has no NaN/Inf).
+ */
+
+#ifndef TEA_UTIL_JSON_HH
+#define TEA_UTIL_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tea {
+
+/**
+ * Escape a string for embedding inside a JSON string literal (the
+ * surrounding quotes are the caller's). Escapes '"', '\\', and all
+ * control characters; everything else passes through byte-for-byte.
+ */
+std::string jsonEscape(std::string_view s);
+
+/**
+ * Streaming JSON builder (see file comment). Usage:
+ *
+ *   JsonWriter w;
+ *   w.beginObject();
+ *   w.key("streams").value(uint64_t(4));
+ *   w.key("logs").beginArray().value("a.tlog").value("b.tlog").endArray();
+ *   w.endObject();
+ *   puts(w.str().c_str());
+ *
+ * Nesting errors (value without a key inside an object, mismatched
+ * end) throw PanicError — a malformed emitter is a library bug.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Name the next member; valid only directly inside an object. */
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+    JsonWriter &value(uint64_t v);
+    JsonWriter &value(int64_t v);
+    JsonWriter &value(unsigned v) { return value(uint64_t(v)); }
+    JsonWriter &value(int v) { return value(int64_t(v)); }
+    JsonWriter &value(double v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    /** Emit pre-rendered JSON verbatim as the next value. */
+    JsonWriter &rawValue(std::string_view json);
+
+    /** The rendered document (valid once every begin has its end). */
+    const std::string &str() const;
+
+  private:
+    enum class Scope : uint8_t { Object, Array };
+
+    void beforeValue();
+
+    std::string out;
+    struct Frame
+    {
+        Scope scope;
+        size_t items = 0;
+        bool keyPending = false;
+    };
+    std::vector<Frame> stack;
+    size_t valuesAtRoot = 0;
+};
+
+} // namespace tea
+
+#endif // TEA_UTIL_JSON_HH

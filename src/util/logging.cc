@@ -114,6 +114,7 @@ RateLimiter::allowAt(double nowSeconds)
         return true;
     }
     ++suppressed;
+    ++suppressedTotal;
     return false;
 }
 
@@ -124,6 +125,20 @@ RateLimiter::suppressedAndReset()
     uint64_t n = suppressed;
     suppressed = 0;
     return n;
+}
+
+uint64_t
+RateLimiter::totalSuppressed()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return suppressedTotal;
+}
+
+RateLimiter &
+sharedWarnLimiter()
+{
+    static RateLimiter limiter(5.0, 10.0);
+    return limiter;
 }
 
 void

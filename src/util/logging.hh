@@ -101,6 +101,13 @@ class RateLimiter
     /** Messages denied since the last call; resets the counter. */
     uint64_t suppressedAndReset();
 
+    /**
+     * Messages denied since construction (monotonic — unaffected by
+     * suppressedAndReset()). Exported as the `log.suppressed` metric so
+     * dropped log lines are visible, not silently gone.
+     */
+    uint64_t totalSuppressed();
+
   private:
     std::mutex mu;
     double rate;        ///< tokens per second
@@ -109,7 +116,17 @@ class RateLimiter
     double lastSec = 0; ///< last refill time
     bool primed = false;
     uint64_t suppressed = 0;
+    uint64_t suppressedTotal = 0;
 };
+
+/**
+ * The process-wide limiter for repetitive warnings. Every spammy warn
+ * path — server eviction warnings, thread-pool task failures, the
+ * slow-request trace log — draws from this one bucket, so a flood on
+ * any of them throttles them all and the total drop count is one
+ * number (burst 10, then at most 5/s).
+ */
+RateLimiter &sharedWarnLimiter();
 
 /** assert-like helper that panics with a message when cond is false. */
 #define TEA_ASSERT(cond, ...)                                               \

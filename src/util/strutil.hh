@@ -44,12 +44,7 @@ std::string hex32(uint32_t value);
 std::string join(const std::vector<std::string> &items,
                  std::string_view sep);
 
-/**
- * Escape a string for embedding inside a JSON string literal (the
- * surrounding quotes are the caller's). Escapes '"', '\\', and all
- * control characters; everything else passes through byte-for-byte.
- */
-std::string jsonEscape(std::string_view s);
+// JSON escaping lives in util/json.hh (jsonEscape, JsonWriter).
 
 } // namespace tea
 

@@ -1,5 +1,7 @@
 #include "util/threadpool.hh"
 
+#include <chrono>
+
 #include "util/logging.hh"
 
 namespace tea {
@@ -22,6 +24,13 @@ ThreadPool::~ThreadPool()
     cvTask.notify_all();
     for (std::thread &t : threads)
         t.join();
+}
+
+void
+ThreadPool::setTaskObserver(TaskObserver fn)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    observer = std::move(fn);
 }
 
 void
@@ -83,15 +92,37 @@ ThreadPool::workerLoop()
         Task task = std::move(queue.front());
         queue.pop_front();
         ++inFlight;
+        TaskObserver obs = observer;
         lock.unlock();
+        auto begin = std::chrono::steady_clock::now();
         std::exception_ptr err;
+        std::string what;
         try {
             task();
-        } catch (...) {
+        } catch (const std::exception &e) {
             // The worker survives any throwing task; the first
             // exception is reported at the next drain().
             err = std::current_exception();
+            what = e.what();
+        } catch (...) {
+            err = std::current_exception();
+            what = "non-standard exception";
         }
+        double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - begin)
+                        .count();
+        if (err && sharedWarnLimiter().allow()) {
+            uint64_t dropped = sharedWarnLimiter().suppressedAndReset();
+            if (dropped > 0)
+                warn("threadpool: task failed: %s (%llu similar warnings "
+                     "suppressed)",
+                     what.c_str(),
+                     static_cast<unsigned long long>(dropped));
+            else
+                warn("threadpool: task failed: %s", what.c_str());
+        }
+        if (obs)
+            obs(ms, err != nullptr);
         lock.lock();
         if (err) {
             ++failCount;

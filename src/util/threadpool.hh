@@ -46,6 +46,16 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
+    /**
+     * Per-task completion hook: called on the worker thread after each
+     * task finishes, with the task's wall-clock duration and whether it
+     * threw. The observability layer wires this into a task-latency
+     * histogram and a failure counter (net/server.cc); installing one
+     * while tasks are running is safe. Pass an empty function to clear.
+     */
+    using TaskObserver = std::function<void(double ms, bool failed)>;
+    void setTaskObserver(TaskObserver fn);
+
     /** Enqueue a task. @throws PanicError after shutdown began. */
     void submit(Task task);
 
@@ -90,6 +100,7 @@ class ThreadPool
     uint64_t failCount = 0;  ///< tasks that finished by throwing
     bool stopping = false;
     std::exception_ptr firstError;
+    TaskObserver observer; ///< copied under mu before each call
 };
 
 } // namespace tea

@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "util/dot.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 #include "util/stats.hh"
@@ -138,6 +140,60 @@ TEST(Strutil, JsonEscape)
     EXPECT_EQ(jsonEscape(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
     EXPECT_EQ(jsonEscape("utf8 ümlaut"), "utf8 ümlaut");
     EXPECT_EQ(jsonEscape(""), "");
+}
+
+TEST(Json, WriterObjectsArraysAndEscaping)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("name");
+    w.value("he said \"hi\"\n");
+    w.key("n");
+    w.value(uint64_t(42));
+    w.key("neg");
+    w.value(int64_t(-7));
+    w.key("pi");
+    w.value(3.5);
+    w.key("on");
+    w.value(true);
+    w.key("off");
+    w.value(false);
+    w.key("nothing");
+    w.null();
+    w.key("list");
+    w.beginArray();
+    w.value(uint64_t(1));
+    w.value(uint64_t(2));
+    w.endArray();
+    w.key("empty");
+    w.beginObject();
+    w.endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"name\": \"he said \\\"hi\\\"\\n\", \"n\": 42, "
+              "\"neg\": -7, \"pi\": 3.5, \"on\": true, \"off\": false, "
+              "\"nothing\": null, \"list\": [1, 2], \"empty\": {}}");
+}
+
+TEST(Json, WriterMisuseIsAPanic)
+{
+    JsonWriter w;
+    w.beginObject();
+    // A value directly inside an object (no key) is a structural bug.
+    EXPECT_THROW(w.value(uint64_t(1)), PanicError);
+    JsonWriter open;
+    open.beginArray();
+    EXPECT_THROW(open.str(), PanicError) << "unclosed scope";
+}
+
+TEST(Json, WriterNonfiniteDoublesBecomeZero)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.value(std::numeric_limits<double>::infinity());
+    w.value(std::numeric_limits<double>::quiet_NaN());
+    w.endArray();
+    EXPECT_EQ(w.str(), "[0, 0]");
 }
 
 TEST(Stats, Geomean)

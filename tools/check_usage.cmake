@@ -30,6 +30,9 @@ set(cases
     "serve|--listen"          # flag without a value
     "serve|--listen|tcp:127.0.0.1:0|--max-queue|0" # bad queue bound
     "serve|--listen|tcp:127.0.0.1:0|not-a-preload" # want name=tea
+    "serve|--listen|tcp:127.0.0.1:0|--trace-ring|0" # ring needs slots
+    "stats"                   # missing --connect
+    "stats|--connect|tcp:localhost:9|--watch|0" # bad poll interval
     "remote-replay"           # missing --connect <name> <log>...
     "remote-replay|--connect|tcp:localhost:9" # missing name and logs
     "remote-replay|--connect|tcp:localhost:9|gzip" # missing logs

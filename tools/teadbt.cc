@@ -30,18 +30,24 @@
  *                                      busy or broken exchanges)
  *   ping --connect EP                  probe a server's liveness and
  *                                      load (queue depth, sessions)
+ *   stats --connect EP                 fetch a server's observability
+ *                                      snapshot (metrics + recent
+ *                                      spans; --json for the raw
+ *                                      document, --watch N to poll)
  *
  * <prog> is either a TinyX86 assembly file path or a workload name
  * ("syn.gzip"); workload names accept --size test|train|ref.
  * EP is "tcp:host:port" or "unix:/path".
  */
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "dbt/runtime.hh"
@@ -61,6 +67,7 @@
 #include "trace/factory.hh"
 #include "trace/metrics.hh"
 #include "trace/serialize.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/strutil.hh"
 #include "vm/block.hh"
@@ -90,6 +97,9 @@ struct Options
     int requestDeadlineMs = 0; ///< serve: per-request budget (0 = off)
     int retries = 0;           ///< remote-replay: extra attempts
     int backoffMs = 50;        ///< remote-replay: base retry delay
+    int slowRequestMs = 0;     ///< serve: slow-request log (0 = off)
+    int traceRing = 1024;      ///< serve: span ring capacity
+    int watch = 0;             ///< stats: poll every N seconds (0 = once)
     bool salvage = false;      ///< batch-replay: recover torn logs
     bool pinPolicy = false;
     bool optimize = false;
@@ -122,12 +132,14 @@ usage()
         "         [--no-global] [--no-local] [--reference]\n"
         "  serve --listen EP [--jobs N] [--max-queue N]\n"
         "         [--max-sessions N] [--idle-timeout-ms N]\n"
-        "         [--request-deadline-ms N] [name=tea]...\n"
+        "         [--request-deadline-ms N] [--slow-request-ms N]\n"
+        "         [--trace-ring N] [name=tea]...\n"
         "  remote-replay --connect EP [--put tea-file] [--json]\n"
         "         [--retries N] [--backoff-ms N]\n"
         "         [--no-global] [--no-local] [--reference]\n"
         "         <name> <log>...\n"
         "  ping --connect EP [--json]\n"
+        "  stats --connect EP [--json] [--watch N]\n"
         "<prog> is an assembly file or a workload name like syn.gzip\n"
         "EP is tcp:<host>:<port> or unix:<path>\n",
         stderr);
@@ -190,6 +202,18 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--backoff-ms") {
             opt.backoffMs = std::atoi(value().c_str());
             if (opt.backoffMs < 0)
+                usage();
+        } else if (arg == "--slow-request-ms") {
+            opt.slowRequestMs = std::atoi(value().c_str());
+            if (opt.slowRequestMs < 0)
+                usage();
+        } else if (arg == "--trace-ring") {
+            opt.traceRing = std::atoi(value().c_str());
+            if (opt.traceRing < 1)
+                usage();
+        } else if (arg == "--watch") {
+            opt.watch = std::atoi(value().c_str());
+            if (opt.watch < 1)
                 usage();
         } else if (arg == "--salvage")
             opt.salvage = true;
@@ -513,26 +537,24 @@ struct StreamReport
     ReplayStats stats;
 };
 
-std::string
-statsJson(const ReplayStats &st)
+/** Append one ReplayStats as a JSON object value. */
+void
+writeStatsJson(JsonWriter &w, const ReplayStats &st)
 {
-    return strprintf(
-        "{\"blocks\":%llu,\"insnsTotal\":%llu,\"insnsInTrace\":%llu,"
-        "\"transitions\":%llu,\"intraTraceHits\":%llu,"
-        "\"traceExits\":%llu,\"exitsToCold\":%llu,\"nteBlocks\":%llu,"
-        "\"localCacheHits\":%llu,\"globalLookups\":%llu,"
-        "\"globalHits\":%llu,\"coverage\":%.6f}",
-        static_cast<unsigned long long>(st.blocks),
-        static_cast<unsigned long long>(st.insnsTotal),
-        static_cast<unsigned long long>(st.insnsInTrace),
-        static_cast<unsigned long long>(st.transitions),
-        static_cast<unsigned long long>(st.intraTraceHits),
-        static_cast<unsigned long long>(st.traceExits),
-        static_cast<unsigned long long>(st.exitsToCold),
-        static_cast<unsigned long long>(st.nteBlocks),
-        static_cast<unsigned long long>(st.localCacheHits),
-        static_cast<unsigned long long>(st.globalLookups),
-        static_cast<unsigned long long>(st.globalHits), st.coverage());
+    w.beginObject();
+    w.key("blocks").value(st.blocks);
+    w.key("insnsTotal").value(st.insnsTotal);
+    w.key("insnsInTrace").value(st.insnsInTrace);
+    w.key("transitions").value(st.transitions);
+    w.key("intraTraceHits").value(st.intraTraceHits);
+    w.key("traceExits").value(st.traceExits);
+    w.key("exitsToCold").value(st.exitsToCold);
+    w.key("nteBlocks").value(st.nteBlocks);
+    w.key("localCacheHits").value(st.localCacheHits);
+    w.key("globalLookups").value(st.globalLookups);
+    w.key("globalHits").value(st.globalHits);
+    w.key("coverage").value(st.coverage());
+    w.endObject();
 }
 
 void
@@ -565,29 +587,33 @@ printStreamsJson(const char *command, size_t workers,
                  const ReplayStats &total, size_t failures,
                  long long executed, long long queueDepth)
 {
-    std::printf("{\n  \"command\": \"%s\",\n  \"workers\": %zu,\n",
-                command, workers);
-    if (executed >= 0)
-        std::printf("  \"executedTasks\": %lld,\n"
-                    "  \"queueDepth\": %lld,\n",
-                    executed, queueDepth);
-    std::printf("  \"failures\": %zu,\n  \"streams\": [\n", failures);
-    for (size_t i = 0; i < reports.size(); ++i) {
-        const StreamReport &rep = reports[i];
-        if (rep.ok)
-            std::printf("    {\"log\": \"%s\", \"ok\": true, "
-                        "\"stats\": %s}%s\n",
-                        jsonEscape(rep.log).c_str(),
-                        statsJson(rep.stats).c_str(),
-                        i + 1 < reports.size() ? "," : "");
-        else
-            std::printf("    {\"log\": \"%s\", \"ok\": false, "
-                        "\"error\": \"%s\"}%s\n",
-                        jsonEscape(rep.log).c_str(),
-                        jsonEscape(rep.error).c_str(),
-                        i + 1 < reports.size() ? "," : "");
+    JsonWriter w;
+    w.beginObject();
+    w.key("command").value(command);
+    w.key("workers").value(uint64_t(workers));
+    if (executed >= 0) {
+        w.key("executedTasks").value(int64_t(executed));
+        w.key("queueDepth").value(int64_t(queueDepth));
     }
-    std::printf("  ],\n  \"total\": %s\n}\n", statsJson(total).c_str());
+    w.key("failures").value(uint64_t(failures));
+    w.key("streams").beginArray();
+    for (const StreamReport &rep : reports) {
+        w.beginObject();
+        w.key("log").value(rep.log);
+        w.key("ok").value(rep.ok);
+        if (rep.ok) {
+            w.key("stats");
+            writeStatsJson(w, rep.stats);
+        } else {
+            w.key("error").value(rep.error);
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.key("total");
+    writeStatsJson(w, total);
+    w.endObject();
+    std::printf("%s\n", w.str().c_str());
 }
 
 int
@@ -689,6 +715,8 @@ cmdServe(const Options &opt)
     cfg.maxSessions = static_cast<size_t>(opt.maxSessions);
     cfg.idleTimeoutMs = static_cast<uint32_t>(opt.idleTimeoutMs);
     cfg.requestDeadlineMs = static_cast<uint32_t>(opt.requestDeadlineMs);
+    cfg.slowRequestMs = static_cast<uint32_t>(opt.slowRequestMs);
+    cfg.traceRing = static_cast<size_t>(opt.traceRing);
     cfg.lookup.useGlobalBTree = !opt.noGlobal;
     cfg.lookup.useLocalCache = !opt.noLocal;
     cfg.lookup.useCompiled = !opt.reference;
@@ -720,10 +748,41 @@ cmdServe(const Options &opt)
     std::fflush(stdout);
     server.stop();
     std::printf("tead: served %llu sessions, rejected %llu as busy, "
-                "evicted %llu\n",
+                "evicted %llu, %llu slow requests\n",
                 static_cast<unsigned long long>(server.sessionsServed()),
                 static_cast<unsigned long long>(server.busyRejected()),
-                static_cast<unsigned long long>(server.sessionsEvicted()));
+                static_cast<unsigned long long>(server.sessionsEvicted()),
+                static_cast<unsigned long long>(server.slowRequests()));
+    // The full catalog, so a Ctrl-C'd serve leaves its numbers behind.
+    std::fputs(server.statsReport(/*text=*/true).c_str(), stdout);
+    return 0;
+}
+
+int
+cmdStats(const Options &opt)
+{
+    if (opt.endpoint.empty())
+        usage();
+    for (int round = 0;; ++round) {
+        if (round > 0) {
+            std::fflush(stdout);
+            std::this_thread::sleep_for(
+                std::chrono::seconds(opt.watch));
+            if (!opt.json)
+                std::printf("---\n");
+        }
+        // A fresh connection per round: --watch keeps working across
+        // server restarts, and a one-shot fetch stays a clean
+        // connect/exchange/close.
+        TeaClient client = TeaClient::connect(opt.endpoint);
+        std::string report = client.stats(/*text=*/!opt.json);
+        client.close();
+        std::fputs(report.c_str(), stdout);
+        if (opt.json)
+            std::printf("\n");
+        if (opt.watch <= 0)
+            break;
+    }
     return 0;
 }
 
@@ -735,10 +794,13 @@ cmdPing(const Options &opt)
     TeaClient client = TeaClient::connect(opt.endpoint);
     ServerStatus st = client.ping();
     if (opt.json) {
-        std::printf("{\"queueDepth\": %u, \"activeSessions\": %u, "
-                    "\"uptimeMs\": %llu}\n",
-                    st.queueDepth, st.activeSessions,
-                    static_cast<unsigned long long>(st.uptimeMs));
+        JsonWriter w;
+        w.beginObject();
+        w.key("queueDepth").value(st.queueDepth);
+        w.key("activeSessions").value(st.activeSessions);
+        w.key("uptimeMs").value(st.uptimeMs);
+        w.endObject();
+        std::printf("%s\n", w.str().c_str());
         return 0;
     }
     std::printf("tead at %s: up %llu ms, %u active sessions, queue "
@@ -889,6 +951,8 @@ main(int argc, char **argv)
             return cmdRemoteReplay(opt);
         if (opt.command == "ping")
             return cmdPing(opt);
+        if (opt.command == "stats")
+            return cmdStats(opt);
         usage();
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
