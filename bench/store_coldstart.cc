@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Store cold-start: restart cost with and without the `.teac` tier.
+ *
+ * Simulates a serving fleet restart over N automatons two ways:
+ *
+ *   recompile —  the pre-store path: AutomatonRegistry::loadFile()
+ *                per automaton (parse the `.tea`, rebuild the Tea,
+ *                compile the CSR/hash arenas)
+ *   mmap      —  the store path: CompiledTea::fromFile() per
+ *                automaton (map the `.teac`, validate the header CRC
+ *                and run the full structural audit, adopt pointers —
+ *                zero deserialization, zero compiles), with the
+ *                optional payload-CRC tier off, exactly as the
+ *                store's serving fault-in runs it
+ *                (StoreConfig::verifyPayload)
+ *
+ * Reports ns/automaton for both, the speedup, and the resident bytes
+ * the mapped fleet charges against the store budget; asserts replay
+ * bit-identity between one mapped and one recompiled automaton so the
+ * fast path cannot win by serving different answers. --min-speedup X
+ * turns the comparison into a CI gate (perf-smoke pins it at 10), and
+ * --json dumps everything machine-readably.
+ *
+ * Usage: store_coldstart [--fleet N] [--json FILE] [--min-speedup X]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "svc/registry.hh"
+#include "tea/builder.hh"
+#include "tea/compiled.hh"
+#include "tea/replayer.hh"
+#include "tea/serialize.hh"
+#include "tea/teac.hh"
+#include "trace/factory.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "util/timer.hh"
+
+using namespace tea;
+
+namespace {
+
+/** A synthetic automaton: `traces` two-block cyclic loops. */
+Tea
+makeSyntheticTea(size_t traces)
+{
+    TraceSet set;
+    for (size_t t = 0; t < traces; ++t) {
+        Trace trace;
+        Addr base = 0x1000 + static_cast<Addr>(t) * 64;
+        trace.blocks.push_back({base, base + 12, true});
+        trace.blocks.push_back({base + 16, base + 28, false});
+        trace.edges.push_back({0, 1});
+        trace.edges.push_back({1, 0});
+        set.add(std::move(trace));
+    }
+    return buildTea(set);
+}
+
+/** Feed a short synthetic stream; returns the stats for comparison. */
+ReplayStats
+replaySample(TeaReplayer &replayer)
+{
+    BlockTransition tr{};
+    tr.kind = EdgeKind::BranchTaken;
+    tr.from.icount = 3;
+    tr.from.start = 0x500;
+    tr.from.end = 0x50c;
+    tr.toStart = 0x1000;
+    replayer.feed(tr);
+    for (int i = 0; i < 2000; ++i) {
+        bool atHead = (i % 2) == 0;
+        tr.from.start = atHead ? 0x1000 : 0x1010;
+        tr.from.end = atHead ? 0x100c : 0x101c;
+        tr.toStart = atHead ? 0x1010 : 0x1000;
+        replayer.feed(tr);
+    }
+    return replayer.stats();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    size_t fleet = 100;
+    std::string json_path;
+    double min_speedup = 0.0;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--fleet") && i + 1 < argc)
+            fleet = static_cast<size_t>(std::atoi(argv[i + 1]));
+        else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+            json_path = argv[i + 1];
+        else if (!std::strcmp(argv[i], "--min-speedup") && i + 1 < argc)
+            min_speedup = std::atof(argv[i + 1]);
+    }
+    if (fleet == 0)
+        fleet = 1;
+
+    // Build the fleet once and persist both encodings: the `.tea`
+    // sources (what a store-less server reloads) and the `.teac`
+    // images (what the store maps). Sizes vary so neither path is
+    // tuned to one arena shape, and sit in the hundreds of traces per
+    // automaton — the scale the paper reports for SPEC workloads —
+    // so the fixed per-file mmap cost is amortized the way a real
+    // fleet amortizes it.
+    std::string dir = std::filesystem::temp_directory_path().string() +
+                      "/store_coldstart_" + std::to_string(::getpid());
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    uint64_t teac_bytes = 0, resident_bytes = 0;
+    size_t states_total = 0;
+    for (size_t i = 0; i < fleet; ++i) {
+        Tea tea = makeSyntheticTea(150 + (i % 40) * 15);
+        states_total += tea.numStates();
+        std::string stem = dir + "/fleet-" + std::to_string(i);
+        saveTeaFile(tea, stem + ".tea");
+        CompiledTea compiled(tea);
+        saveTeacFile(compiled, stem + ".teac");
+        teac_bytes += std::filesystem::file_size(stem + ".teac");
+        resident_bytes += compiled.footprintBytes();
+    }
+
+    // Restart path A: parse + rebuild + recompile every automaton into
+    // a fresh registry — what `teadbt serve name=tea ...` pays today.
+    constexpr int kReps = 5;
+    double compile_ms = 1e300;
+    for (int r = 0; r < kReps; ++r) {
+        AutomatonRegistry reg;
+        Stopwatch timer;
+        for (size_t i = 0; i < fleet; ++i) {
+            std::string name = "fleet-" + std::to_string(i);
+            reg.loadFile(name, dir + "/" + name + ".tea");
+        }
+        compile_ms = std::min(compile_ms, timer.elapsedMillis());
+    }
+
+    // Restart path B: map + validate every image — what a store-backed
+    // server pays on first GET of each cold name. The header CRC and
+    // the complete structural audit run; the optional payload-CRC tier
+    // is off, matching the store's serving default
+    // (StoreConfig::verifyPayload), so this times the real fault-in.
+    double mmap_ms = 1e300;
+    uint64_t before = CompiledTea::compileCount();
+    for (int r = 0; r < kReps; ++r) {
+        std::vector<std::shared_ptr<const CompiledTea>> mapped;
+        mapped.reserve(fleet);
+        Stopwatch timer;
+        for (size_t i = 0; i < fleet; ++i)
+            mapped.push_back(CompiledTea::fromFile(
+                dir + "/fleet-" + std::to_string(i) + ".teac",
+                /*verifyPayload=*/false));
+        mmap_ms = std::min(mmap_ms, timer.elapsedMillis());
+    }
+    if (CompiledTea::compileCount() != before) {
+        std::fprintf(stderr,
+                     "FAIL: the mmap path compiled something\n");
+        return 1;
+    }
+
+    // Bit-identity guard: the fast path must serve the same answers.
+    {
+        auto mapped = CompiledTea::fromFile(dir + "/fleet-0.teac");
+        Tea fresh = loadTeaFile(dir + "/fleet-0.tea");
+        LookupConfig cfg;
+        TeaReplayer viaMmap(mapped, cfg);
+        TeaReplayer viaCompile(fresh, cfg);
+        ReplayStats a = replaySample(viaMmap);
+        ReplayStats b = replaySample(viaCompile);
+        if (!(a == b)) {
+            std::fprintf(stderr,
+                         "FAIL: mapped replay diverged from compiled\n");
+            return 1;
+        }
+    }
+
+    double compile_ns =
+        compile_ms * 1e6 / static_cast<double>(fleet);
+    double mmap_ns = mmap_ms * 1e6 / static_cast<double>(fleet);
+    double speedup = mmap_ns > 0 ? compile_ns / mmap_ns : 0.0;
+
+    std::printf("store_coldstart: %zu automatons (%zu states, %.1f MiB "
+                "of .teac images)\n",
+                fleet, states_total,
+                static_cast<double>(teac_bytes) / (1 << 20));
+    TextTable table({"path", "fleet ms", "ns/automaton"});
+    table.addRow({"recompile (.tea)", TextTable::num(compile_ms, 2),
+                  TextTable::num(compile_ns, 0)});
+    table.addRow({"mmap (.teac)", TextTable::num(mmap_ms, 2),
+                  TextTable::num(mmap_ns, 0)});
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("mmap load is %.1fx faster than recompile; fleet "
+                "resident footprint %.1f MiB\n",
+                speedup, static_cast<double>(resident_bytes) / (1 << 20));
+
+    if (!json_path.empty()) {
+        FILE *f = std::fopen(json_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+            return 1;
+        }
+        std::fprintf(f, "{\n");
+        std::fprintf(f, "  \"bench\": \"store_coldstart\",\n");
+        std::fprintf(f, "  \"fleet\": %zu,\n", fleet);
+        std::fprintf(f, "  \"statesTotal\": %zu,\n", states_total);
+        std::fprintf(f, "  \"teacBytesOnDisk\": %llu,\n",
+                     static_cast<unsigned long long>(teac_bytes));
+        std::fprintf(f, "  \"residentBytes\": %llu,\n",
+                     static_cast<unsigned long long>(resident_bytes));
+        std::fprintf(f, "  \"nsPerAutomatonRecompile\": %.1f,\n",
+                     compile_ns);
+        std::fprintf(f, "  \"nsPerAutomatonMmap\": %.1f,\n", mmap_ns);
+        std::fprintf(f, "  \"mmapSpeedup\": %.4f\n", speedup);
+        std::fprintf(f, "}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    std::filesystem::remove_all(dir);
+
+    if (min_speedup > 0.0 && speedup < min_speedup) {
+        std::fprintf(stderr,
+                     "FAIL: mmap load speedup %.2fx below the required "
+                     "%.2fx\n",
+                     speedup, min_speedup);
+        return 1;
+    }
+    return 0;
+}

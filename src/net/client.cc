@@ -110,16 +110,30 @@ TeaClient::putAutomaton(const std::string &name, const Tea &tea)
 std::vector<std::string>
 TeaClient::list()
 {
+    std::vector<std::string> names;
+    for (ListEntry &e : listEntries())
+        names.push_back(std::move(e.name));
+    return names;
+}
+
+std::vector<TeaClient::ListEntry>
+TeaClient::listEntries()
+{
     sendFrame(MsgType::List, PayloadWriter{});
     Frame ok = expect(MsgType::ListOk);
     PayloadReader r(ok.payload);
     uint32_t count = r.u32();
-    std::vector<std::string> names;
-    names.reserve(count);
+    std::vector<ListEntry> entries;
+    entries.reserve(count);
     for (uint32_t i = 0; i < count; ++i)
-        names.push_back(r.str(Wire::kMaxName));
-    r.expectEnd();
-    return names;
+        entries.push_back(ListEntry{r.str(Wire::kMaxName), true});
+    // Store-backed servers append one residency marker per name; the
+    // decode is tolerant (like BUSY's hint fields) so either side may
+    // predate the other without a version bump.
+    if (r.remaining() >= count)
+        for (uint32_t i = 0; i < count; ++i)
+            entries[i].resident = r.u8() != 0;
+    return entries;
 }
 
 ServerStatus

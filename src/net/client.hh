@@ -116,6 +116,22 @@ class TeaClient
     /** Names registered on the server, sorted. */
     std::vector<std::string> list();
 
+    /** One name from listEntries(), with its residency marker. */
+    struct ListEntry
+    {
+        std::string name;
+        /**
+         * True when the automaton is resident in server RAM; false
+         * when it is a cold `.teac` image the server will fault in on
+         * first replay. Servers predating the store omit the markers —
+         * everything reports resident then (which is also true).
+         */
+        bool resident = true;
+    };
+
+    /** Names with resident/cold markers (store-backed servers). */
+    std::vector<ListEntry> listEntries();
+
     /** Drop a name on the server. @return false when it was absent. */
     bool evict(const std::string &name);
 

@@ -92,6 +92,12 @@ enum class MsgType : uint8_t {
     PutAutomaton = 0x10,
     PutOk = 0x11,
     List = 0x12,
+    /**
+     * u32 count, then `count` names. Store-backed servers append one
+     * u8 residency marker per name after the name block (1 = resident
+     * in RAM, 0 = cold `.teac` image); decoded tolerantly, like BUSY's
+     * hint fields, so the growth needs no version bump.
+     */
     ListOk = 0x13,
     Evict = 0x14,
     EvictOk = 0x15,

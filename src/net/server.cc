@@ -82,6 +82,20 @@ TeaServer::TeaServer(ServerConfig config)
     metrics_.gaugeFn("spans.pushed", [this] {
         return static_cast<int64_t>(spans_.pushed());
     });
+    // Resident compiled bytes: the number the store's maxResidentBytes
+    // budget caps, observable whether or not a store is configured.
+    metrics_.gaugeFn("registry.footprint_bytes", [this] {
+        return static_cast<int64_t>(registry_.footprintBytes());
+    });
+
+    if (!cfg.storeDir.empty()) {
+        StoreConfig sc;
+        sc.dir = cfg.storeDir;
+        sc.maxResidentBytes = cfg.storeMaxResidentBytes;
+        sc.maxResident = cfg.storeMaxResident;
+        store_ = std::make_unique<AutomatonStore>(registry_, sc);
+        store_->bindMetrics(metrics_);
+    }
 
     pool.setTaskObserver([this](double ms, bool failed) {
         hTaskMs->observe(ms);
@@ -262,6 +276,7 @@ TeaServer::serveConnection(Socket &sock, uint64_t connId,
         spans_.push(accept);
 
         Session session(registry_, cfg.lookup);
+        session.setStore(store_.get());
         session.setStatusFn([this] {
             ServerStatus st;
             st.queueDepth = static_cast<uint32_t>(

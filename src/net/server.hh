@@ -94,6 +94,16 @@ struct ServerConfig
     size_t traceRing = 1024;
     /** Default lookup configuration for replays (per-stream flags win). */
     LookupConfig lookup;
+    /**
+     * Persistent automaton store directory (store/store.hh); empty
+     * disables the store and keeps the RAM-only registry. With a store,
+     * PUTs write `.teac` images through to disk and replays of cold
+     * names fault them in by mmap — no recompile on restart.
+     */
+    std::string storeDir;
+    /** Resident-tier budgets for the store; 0 = unlimited. */
+    size_t storeMaxResidentBytes = 0;
+    size_t storeMaxResident = 0;
 };
 
 class TeaServer
@@ -123,8 +133,11 @@ class TeaServer
     /** Resolved TCP port (0 for Unix endpoints). */
     uint16_t port() const;
 
-    /** The automaton store; preload or inspect it directly. */
+    /** The resident automaton tier; preload or inspect it directly. */
     AutomatonRegistry &registry() { return registry_; }
+
+    /** The persistent store, or nullptr when storeDir is empty. */
+    AutomatonStore *store() { return store_.get(); }
 
     size_t workers() const { return pool.workers(); }
 
@@ -168,6 +181,7 @@ class TeaServer
 
     ServerConfig cfg;
     AutomatonRegistry registry_;
+    std::unique_ptr<AutomatonStore> store_; ///< set when storeDir != ""
 
     // Observability state. Declared before the pool so the worker
     // threads (and their task observer) die before the instruments.

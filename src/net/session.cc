@@ -1,5 +1,8 @@
 #include "net/session.hh"
 
+#include <algorithm>
+#include <set>
+
 #include "tea/serialize.hh"
 #include "util/logging.hh"
 
@@ -178,20 +181,52 @@ Session::handleRequest(const Frame &frame, std::vector<uint8_t> &out)
         if (name.empty())
             fatal("automaton name must not be empty");
         Tea tea = loadTea(r.rest()); // validates; throws on corruption
-        auto snap = registry.put(name, std::move(tea));
+        uint32_t numStates;
+        if (store != nullptr) {
+            // Write-through: compile once, land the .teac on disk
+            // atomically, and make the snapshot resident.
+            auto snap = store->put(
+                name, std::make_shared<const Tea>(std::move(tea)));
+            numStates = snap.compiled->numStates();
+        } else {
+            auto snap = registry.put(name, std::move(tea));
+            numStates = static_cast<uint32_t>(snap->numStates());
+        }
         PayloadWriter w;
-        w.u32(static_cast<uint32_t>(snap->numStates()));
+        w.u32(numStates);
         reply(out, MsgType::PutOk, w);
         return;
     }
     case MsgType::List: {
         PayloadReader r(frame.payload);
         r.expectEnd();
-        std::vector<std::string> names = registry.list();
+        // The reply grew a residency marker per name (appended after
+        // the name block, so pre-store clients simply ignore it):
+        // 1 = resident in RAM, 0 = cold on disk, faulted in on first
+        // replay. Without a store everything the registry lists is
+        // resident by definition.
+        std::vector<std::pair<std::string, bool>> names;
+        if (store != nullptr) {
+            std::vector<std::string> res = registry.list();
+            std::set<std::string> resSet(res.begin(), res.end());
+            for (const StoreEntry &e : store->list()) {
+                names.emplace_back(e.name, resSet.count(e.name) != 0);
+                resSet.erase(e.name);
+            }
+            // Registry names outside the store dir (direct preloads).
+            for (const std::string &n : resSet)
+                names.emplace_back(n, true);
+            std::sort(names.begin(), names.end());
+        } else {
+            for (const std::string &n : registry.list())
+                names.emplace_back(n, true);
+        }
         PayloadWriter w;
         w.u32(static_cast<uint32_t>(names.size()));
-        for (const std::string &n : names)
+        for (const auto &[n, resident] : names)
             w.str(n);
+        for (const auto &[n, resident] : names)
+            w.u8(resident ? 1 : 0);
         reply(out, MsgType::ListOk, w);
         return;
     }
@@ -199,8 +234,16 @@ Session::handleRequest(const Frame &frame, std::vector<uint8_t> &out)
         PayloadReader r(frame.payload);
         std::string name = r.str(Wire::kMaxName);
         r.expectEnd();
+        // With a store, EVICT drops residency only — the .teac image
+        // stays, so the name remains replayable (cold). Names the
+        // store does not manage (direct preloads) still evict from
+        // the registry.
+        bool found = store != nullptr
+                         ? (store->evictResident(name) ||
+                            registry.evict(name))
+                         : registry.evict(name);
         PayloadWriter w;
-        w.u8(registry.evict(name) ? 1 : 0);
+        w.u8(found ? 1 : 0);
         reply(out, MsgType::EvictOk, w);
         return;
     }
@@ -232,7 +275,12 @@ Session::handleRequest(const Frame &frame, std::vector<uint8_t> &out)
         uint8_t flags = r.u8();
         r.expectEnd();
         uint64_t tLookup = traced() ? obs::monotonicNanos() : 0;
-        AutomatonSnapshot snap = registry.snapshot(name);
+        // Through the store a cold name faults its .teac image in by
+        // mmap here (no recompile); corruption surfaces as a non-fatal
+        // ERROR reply like any other failed request.
+        AutomatonSnapshot snap = store != nullptr
+                                     ? store->get(name)
+                                     : registry.snapshot(name);
         if (traced())
             pushSpan(obs::SpanPhase::Lookup, tLookup);
         if (!snap)
@@ -246,8 +294,15 @@ Session::handleRequest(const Frame &frame, std::vector<uint8_t> &out)
         streamCfg = lookup;
         streamCfg.useGlobalBTree = (flags & ReplayFlags::kNoGlobal) == 0;
         streamCfg.useLocalCache = (flags & ReplayFlags::kNoLocal) == 0;
-        if ((flags & ReplayFlags::kReference) != 0)
+        if ((flags & ReplayFlags::kReference) != 0) {
             streamCfg.useCompiled = false;
+            // The reference kernel walks the source Tea; a mapped
+            // image carries it only as an embedded blob, so rehydrate
+            // per-request — a diagnostic escape hatch, not a hot path.
+            if (!stream.tea && stream.compiled)
+                stream.tea = std::make_shared<const Tea>(
+                    stream.compiled->rehydrateTea());
+        }
         state = State::Streaming;
         reply(out, MsgType::ReplayOk, PayloadWriter{});
         return;

@@ -38,6 +38,7 @@
 #include "net/frame.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "store/store.hh"
 #include "svc/registry.hh"
 #include "svc/replay_service.hh"
 
@@ -114,6 +115,16 @@ class Session
     void setObs(const SessionObs &o) { ob = o; }
 
     /**
+     * Route automaton resolution through a persistent store
+     * (store/store.hh): REPLAY_BEGIN faults cold `.teac` images in by
+     * mmap, PUT writes through to disk, EVICT drops residency only
+     * (the file stays), and LIST reports cold names with resident
+     * markers. Borrowed; nullptr (the default) keeps the RAM-only
+     * registry behavior.
+     */
+    void setStore(AutomatonStore *s) { store = s; }
+
+    /**
      * Requests begun: frames handled, excluding REPLAY_CHUNK (which is
      * stream payload, not a request). Counted when handling *starts*,
      * so a STATS snapshot rendered mid-request includes the STATS
@@ -160,6 +171,7 @@ class Session
     void pushSpan(obs::SpanPhase phase, uint64_t startNs);
 
     AutomatonRegistry &registry;
+    AutomatonStore *store = nullptr; ///< optional disk-backed tier
     LookupConfig lookup;
     FrameDecoder decoder;
     std::function<ServerStatus()> statusFn;

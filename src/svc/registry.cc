@@ -32,6 +32,18 @@ AutomatonRegistry::put(const std::string &name, Tea tea)
     return snapshot;
 }
 
+AutomatonSnapshot
+AutomatonRegistry::putCompiled(const std::string &name,
+                               std::shared_ptr<const CompiledTea> compiled)
+{
+    TEA_ASSERT(compiled != nullptr, "registering a null compiled image");
+    AutomatonSnapshot snap{compiled->sourceTea(), std::move(compiled)};
+    Shard &shard = shardFor(name);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map[name] = snap;
+    return snap;
+}
+
 std::shared_ptr<const Tea>
 AutomatonRegistry::loadFile(const std::string &name,
                             const std::string &path)
@@ -84,6 +96,19 @@ AutomatonRegistry::size() const
         n += shard.map.size();
     }
     return n;
+}
+
+size_t
+AutomatonRegistry::footprintBytes() const
+{
+    size_t bytes = 0;
+    for (Shard &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        for (const auto &[name, snap] : shard.map)
+            if (snap.compiled)
+                bytes += snap.compiled->footprintBytes();
+    }
+    return bytes;
 }
 
 } // namespace tea

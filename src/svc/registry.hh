@@ -36,13 +36,24 @@
 
 namespace tea {
 
-/** A pinned (automaton, compiled image) pair, safe across eviction. */
+/**
+ * A pinned (automaton, compiled image) pair, safe across eviction.
+ *
+ * `tea` may be null while `compiled` is set: automatons faulted in from
+ * a persistent store (store/store.hh) are mapped `.teac` images that
+ * never materialize a Tea. A CompiledTea is self-describing, so every
+ * replay path except the reference kernel works from `compiled` alone;
+ * the reference kernel rehydrates the embedded source on demand.
+ */
 struct AutomatonSnapshot
 {
     std::shared_ptr<const Tea> tea;
     std::shared_ptr<const CompiledTea> compiled;
 
-    explicit operator bool() const { return tea != nullptr; }
+    explicit operator bool() const
+    {
+        return tea != nullptr || compiled != nullptr;
+    }
 };
 
 class AutomatonRegistry
@@ -54,6 +65,15 @@ class AutomatonRegistry
 
     /** Install (or replace) an automaton. @return the stored snapshot. */
     std::shared_ptr<const Tea> put(const std::string &name, Tea tea);
+
+    /**
+     * Install an already-compiled snapshot (a mapped `.teac` image, or
+     * a precompiled fleet member). The stored `tea` field is whatever
+     * source the image co-owns — typically null for mapped images.
+     * @return the stored snapshot
+     */
+    AutomatonSnapshot putCompiled(const std::string &name,
+                                  std::shared_ptr<const CompiledTea> compiled);
 
     /**
      * Load a serialized TEA (tea/serialize.hh) and install it.
@@ -81,6 +101,14 @@ class AutomatonRegistry
 
     /** Number of registered automata. */
     size_t size() const;
+
+    /**
+     * Resident bytes of every registered compiled image (the lookup
+     * structures a replay walks; tea/compiled.hh footprintBytes()).
+     * This is the number the store's `maxResidentBytes` budget caps and
+     * the `registry.footprint_bytes` gauge exports.
+     */
+    size_t footprintBytes() const;
 
   private:
     struct Shard

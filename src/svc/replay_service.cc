@@ -24,14 +24,19 @@ runReplayJob(const ReplayJob &job, LookupConfig cfg)
 {
     StreamResult res;
     try {
-        if (!job.tea)
+        if (!job.tea && !job.compiled)
             fatal("replay job without an automaton");
         auto mode = job.salvage ? TraceLogReader::Mode::Salvage
                                 : TraceLogReader::Mode::Strict;
         TraceLogReader reader =
             job.logBytes ? TraceLogReader(*job.logBytes, mode)
                          : TraceLogReader::openFile(job.logPath, mode);
-        TeaReplayer replayer(*job.tea, cfg, job.compiled);
+        // Compiled-only jobs (store-resident mapped images never carry
+        // a Tea) replay on the snapshot alone; the tea-less constructor
+        // rejects configs that need the source automaton.
+        TeaReplayer replayer =
+            job.tea ? TeaReplayer(*job.tea, cfg, job.compiled)
+                    : TeaReplayer(job.compiled, cfg);
         // Decode into a small buffer and feed in batches: the batch
         // kernel keeps its counters in registers across each run. The
         // per-phase clock is stamped only here, at batch boundaries —
@@ -61,8 +66,8 @@ runReplayJob(const ReplayJob &job, LookupConfig cfg)
             res.salvageBytesDropped = reader.bytesDiscarded();
         }
         res.stats = replayer.stats();
-        res.execCounts.resize(job.tea->numStates());
-        for (StateId id = 0; id < job.tea->numStates(); ++id)
+        res.execCounts.resize(replayer.numStates());
+        for (StateId id = 0; id < replayer.numStates(); ++id)
             res.execCounts[id] = replayer.execCount(id);
     } catch (const FatalError &e) {
         res = StreamResult{};

@@ -38,6 +38,12 @@ namespace tea {
 /** One replay request: an automaton snapshot plus one trace log. */
 struct ReplayJob
 {
+    /**
+     * The source automaton. May be null when `compiled` is set: jobs
+     * against store-faulted mapped images replay on the compiled
+     * snapshot alone (the reference kernel then needs a rehydrated
+     * Tea — net/session.hh does that per-request).
+     */
     std::shared_ptr<const Tea> tea;
 
     /** File-backed log; used when `logBytes` is null. */

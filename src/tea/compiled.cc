@@ -1,8 +1,12 @@
 #include "tea/compiled.hh"
 
 #include <atomic>
+#include <cstring>
 
+#include "tea/serialize.hh"
+#include "tea/teac.hh"
 #include "util/logging.hh"
+#include "util/mmap.hh"
 
 namespace tea {
 
@@ -27,38 +31,82 @@ CompiledTea::CompiledTea(const Tea &tea)
 {
     compileCounter.fetch_add(1, std::memory_order_relaxed);
     nStates = static_cast<uint32_t>(tea.numStates());
+    nEntries_ = static_cast<uint32_t>(tea.entries().size());
 
-    // SoA state metadata. NTE (slot 0) keeps kNoAddr.
-    stateStart.assign(nStates, kNoAddr);
+    uint64_t succTotal = 0;
     for (StateId id = 1; id < nStates; ++id)
-        stateStart[id] = tea.state(id).start;
+        succTotal += tea.state(id).succs.size();
+    TEA_ASSERT(succTotal <= 0xffffffffull, "transition count overflow");
+    nSuccs_ = static_cast<uint32_t>(succTotal);
+
+    uint32_t cap = hashCapacity(nEntries_);
+    hashMask = cap - 1;
+
+    std::vector<uint8_t> blob = saveTea(tea);
+    TEA_ASSERT(blob.size() <= 0xffffffffull, "source TEA blob overflow");
+    teaBlobLen_ = static_cast<uint32_t>(blob.size());
+
+    // Build every section in place inside one arena laid out exactly as
+    // the .teac payload, so serialize() is a verbatim copy and a mapped
+    // image is indistinguishable from a fresh compile.
+    TeacLayout lay =
+        TeacLayout::compute(nStates, nSuccs_, nEntries_, cap, teaBlobLen_);
+    arena.assign(lay.payloadBytes, 0);
+    uint8_t *base = arena.data();
+    auto *succOffset = reinterpret_cast<uint32_t *>(base + lay.offSuccOffset);
+    auto *succsOut = reinterpret_cast<Succ *>(base + lay.offSuccs);
+    auto *stateStart = reinterpret_cast<Addr *>(base + lay.offStateStart);
+    auto *stateMeta = reinterpret_cast<StateMeta *>(base + lay.offStateMeta);
+    auto *hashSlots = reinterpret_cast<HashSlot *>(base + lay.offHashSlots);
+    auto *entriesOut = reinterpret_cast<Entry *>(base + lay.offEntries);
+
+    // SoA state metadata. NTE (slot 0) keeps kNoAddr / ~0u identity.
+    stateStart[0] = kNoAddr;
+    stateMeta[0] = StateMeta{~0u, ~0u};
+    for (StateId id = 1; id < nStates; ++id) {
+        const TeaState &st = tea.state(id);
+        stateStart[id] = st.start;
+        stateMeta[id] = StateMeta{st.trace, st.tbb};
+    }
 
     // CSR successor arrays, labels inlined. NTE's run is empty (its
     // out-transitions are the entry index below).
-    succOffset.assign(nStates + 1, 0);
+    succOffset[0] = 0;
+    succOffset[1] = 0;
     for (StateId id = 1; id < nStates; ++id)
         succOffset[id + 1] =
             succOffset[id] +
             static_cast<uint32_t>(tea.state(id).succs.size());
-    succs.resize(succOffset[nStates]);
     for (StateId id = 1; id < nStates; ++id) {
         uint32_t at = succOffset[id];
         for (StateId t : tea.state(id).succs)
-            succs[at++] = Succ{stateStart[t], t};
+            succsOut[at++] = Succ{stateStart[t], t};
     }
 
     // Entry index: flat sorted array + open-addressed hash.
-    entriesFlat = tea.entries();
-    uint32_t cap = hashCapacity(entriesFlat.size());
-    hashMask = cap - 1;
-    hashSlots.assign(cap, HashSlot{kNoAddr, Tea::kNteState});
-    for (const auto &[addr, id] : entriesFlat) {
+    for (uint32_t i = 0; i < cap; ++i)
+        hashSlots[i] = HashSlot{kNoAddr, Tea::kNteState};
+    uint32_t at = 0;
+    for (const auto &[addr, id] : tea.entries()) {
         TEA_ASSERT(addr != kNoAddr, "entry at the invalid address");
+        entriesOut[at++] = Entry{addr, id};
         uint32_t slot = hashOf(addr) & hashMask;
         while (hashSlots[slot].addr != kNoAddr)
             slot = (slot + 1) & hashMask;
         hashSlots[slot] = HashSlot{addr, id};
     }
+
+    std::memcpy(base + lay.offTea, blob.data(), blob.size());
+
+    payloadP = base;
+    payloadLen = lay.payloadBytes;
+    succOffsetP = succOffset;
+    succsP = succsOut;
+    stateStartP = stateStart;
+    stateMetaP = stateMeta;
+    hashSlotsP = hashSlots;
+    entriesP = entriesOut;
+    teaBlobP = base + lay.offTea;
 }
 
 std::shared_ptr<const CompiledTea>
@@ -70,14 +118,68 @@ CompiledTea::compile(std::shared_ptr<const Tea> tea)
     return compiled;
 }
 
+std::shared_ptr<const CompiledTea>
+CompiledTea::fromMapped(std::shared_ptr<const MappedFile> file,
+                        bool verifyPayload)
+{
+    TEA_ASSERT(file != nullptr, "loading a null mapping");
+    CompiledTeaView view =
+        CompiledTeaView::parse(file->data(), file->size(), verifyPayload);
+    std::shared_ptr<CompiledTea> compiled(new CompiledTea());
+    compiled->adoptView(view);
+    compiled->mapped = std::move(file);
+    return compiled;
+}
+
+std::shared_ptr<const CompiledTea>
+CompiledTea::fromFile(const std::string &path, bool verifyPayload)
+{
+    return fromMapped(MappedFile::openShared(path), verifyPayload);
+}
+
+void
+CompiledTea::adoptView(const CompiledTeaView &view)
+{
+    nStates = view.header.nStates;
+    nSuccs_ = view.header.nSuccs;
+    nEntries_ = view.header.nEntries;
+    hashMask = view.header.hashCap - 1;
+    teaBlobLen_ = view.header.teaBytes;
+    succOffsetP = view.succOffset;
+    succsP = view.succs;
+    stateStartP = view.stateStart;
+    stateMetaP = view.stateMeta;
+    hashSlotsP = view.hashSlots;
+    entriesP = view.entries;
+    teaBlobP = view.teaBlob;
+    payloadP = view.payload;
+    payloadLen = view.header.payloadBytes;
+}
+
+StateId
+CompiledTea::stateFor(uint32_t trace, uint32_t tbb) const
+{
+    for (StateId id = 1; id < nStates; ++id)
+        if (stateMetaP[id].trace == trace && stateMetaP[id].tbb == tbb)
+            return id;
+    return Tea::kNteState;
+}
+
+Tea
+CompiledTea::rehydrateTea() const
+{
+    return loadTea(std::vector<uint8_t>(teaBlobP, teaBlobP + teaBlobLen_));
+}
+
 size_t
 CompiledTea::footprintBytes() const
 {
-    return succOffset.size() * sizeof(uint32_t) +
-           succs.size() * sizeof(Succ) +
-           stateStart.size() * sizeof(Addr) +
-           hashSlots.size() * sizeof(HashSlot) +
-           entriesFlat.size() * sizeof(entriesFlat[0]);
+    return (size_t(nStates) + 1) * sizeof(uint32_t) + // succOffset
+           size_t(nSuccs_) * sizeof(Succ) +
+           size_t(nStates) * sizeof(Addr) +           // stateStart
+           size_t(nStates) * sizeof(StateMeta) +
+           (size_t(hashMask) + 1) * sizeof(HashSlot) +
+           size_t(nEntries_) * sizeof(Entry);
 }
 
 uint64_t

@@ -24,19 +24,33 @@
  *   list survive as `LookupConfig` ablation modes (Table 4).
  * - **Flat sorted entry array**: the compiled stand-in for the paper's
  *   linear trace list, used when the global index is ablated away.
- * - **SoA state metadata** (`stateStart`): the consistency check and
- *   profile mapping read a plain `Addr` array instead of `TeaState`
- *   records.
+ * - **SoA state metadata** (`stateStart`, plus the `(trace, tbb)`
+ *   identity of every state): the consistency check, profile mapping,
+ *   and per-TBB reporting read plain arrays instead of `TeaState`
+ *   records — which also makes a compiled image self-describing, so a
+ *   replay needs no `Tea` at all.
  *
- * A CompiledTea is a pure in-memory acceleration structure: the
- * serialized TEA byte format is untouched (docs/FORMATS.md), and the
- * compiled kernel's observable behaviour — `ReplayStats`, per-TBB
+ * Every array lives in ONE contiguous, offset-addressed arena laid out
+ * exactly as the persistent `.teac` payload (tea/teac.hh): serializing
+ * a compiled automaton is a header plus a verbatim copy of the arena,
+ * and loading one is an mmap plus validation — the bytes on disk are
+ * byte-for-byte the live lookup structures, so a mapped snapshot
+ * replays with zero deserialization. The serialized TEA byte format
+ * itself is untouched (docs/FORMATS.md); a copy of it is embedded in
+ * the arena so a mapped image can rehydrate its source automaton on
+ * demand (the reference-kernel escape hatch).
+ *
+ * The compiled kernel's observable behaviour — `ReplayStats`, per-TBB
  * profiles, the state sequence — is bit-identical to the reference
- * path (tests/test_compiled.cc proves it differentially).
+ * path whether it walks a RAM-built arena or a mapped file
+ * (tests/test_compiled.cc and tests/test_store.cc prove it
+ * differentially).
  *
  * Immutability makes snapshots shareable: the registry compiles each
  * automaton once at put(), and every svc worker and net session replays
- * against the same `shared_ptr<const CompiledTea>` lock-free.
+ * against the same `shared_ptr<const CompiledTea>` lock-free. A
+ * mapped CompiledTea co-owns its MappedFile, so LRU eviction in the
+ * store can never unmap an image a replay still walks.
  */
 
 #ifndef TEA_TEA_COMPILED_HH
@@ -50,6 +64,9 @@
 
 namespace tea {
 
+class MappedFile;
+struct CompiledTeaView;
+
 class CompiledTea
 {
   public:
@@ -59,6 +76,27 @@ class CompiledTea
     {
         Addr label;     ///< start address of the target TBB
         StateId target; ///< the state the transition enters
+    };
+
+    /** One trace entry of the flat sorted array (NTE out-transition). */
+    struct Entry
+    {
+        Addr addr;     ///< trace entry address
+        StateId state; ///< the entry TBB's state
+    };
+
+    /** One slot of the open-addressed entry hash. */
+    struct HashSlot
+    {
+        Addr addr; ///< kNoAddr marks an empty slot
+        StateId state;
+    };
+
+    /** The (trace, tbb) identity of a state (slot 0 = NTE, both ~0u). */
+    struct StateMeta
+    {
+        uint32_t trace;
+        uint32_t tbb;
     };
 
     /** Compile a frozen automaton (does not retain `tea`). */
@@ -72,26 +110,71 @@ class CompiledTea
     static std::shared_ptr<const CompiledTea>
     compile(std::shared_ptr<const Tea> tea);
 
+    /**
+     * Zero-copy load: validate `file` as a `.teac` image (tea/teac.hh)
+     * and serve replay directly from the mapped bytes. The returned
+     * snapshot co-owns the mapping, so it stays valid after the store
+     * evicts (or even deletes) the file. No deserialization happens —
+     * construction cost is header validation plus the structural
+     * audit (plus one CRC pass over the payload in strict mode).
+     *
+     * @param verifyPayload when false, skip the payload CRC and
+     *        source-hash passes (the structural audit still runs; see
+     *        the "Integrity tiers" note in tea/teac.hh) — the store's
+     *        serving default, and right for callers that trust the
+     *        file (e.g. one they just wrote).
+     * @throws FatalError on any corruption — never returns a view that
+     *         could crash or silently misreplay
+     */
+    static std::shared_ptr<const CompiledTea>
+    fromMapped(std::shared_ptr<const MappedFile> file,
+               bool verifyPayload = true);
+
+    /** Map `path` and fromMapped() it. @throws FatalError. */
+    static std::shared_ptr<const CompiledTea>
+    fromFile(const std::string &path, bool verifyPayload = true);
+
+    /**
+     * The relocatable on-disk form: a `.teac` header followed by the
+     * arena verbatim (see tea/teac.hh for the exact layout).
+     */
+    std::vector<uint8_t> serialize() const;
+
     /** Total states including NTE (slot 0). */
     uint32_t numStates() const { return nStates; }
 
     /** Trace entries indexed by the flat hash. */
-    size_t numEntries() const { return entriesFlat.size(); }
+    size_t numEntries() const { return nEntries_; }
+
+    /** Total CSR transitions. */
+    size_t numSuccs() const { return nSuccs_; }
 
     /** The contiguous successor run of a state. */
     const Succ *
     succBegin(StateId id) const
     {
-        return succs.data() + succOffset[id];
+        return succsP + succOffsetP[id];
     }
     const Succ *
     succEnd(StateId id) const
     {
-        return succs.data() + succOffset[id + 1];
+        return succsP + succOffsetP[id + 1];
     }
 
     /** Start address of a state (kNoAddr for NTE). */
-    Addr stateStartOf(StateId id) const { return stateStart[id]; }
+    Addr stateStartOf(StateId id) const { return stateStartP[id]; }
+
+    /** Owning trace of a state (~0u for NTE). */
+    uint32_t stateTraceOf(StateId id) const { return stateMetaP[id].trace; }
+
+    /** TBB index of a state within its trace (~0u for NTE). */
+    uint32_t stateTbbOf(StateId id) const { return stateMetaP[id].tbb; }
+
+    /**
+     * State representing (trace, tbb), or Tea::kNteState when absent.
+     * A linear scan — profile reporting only, never the replay path.
+     */
+    StateId stateFor(uint32_t trace, uint32_t tbb) const;
 
     /**
      * Global lookup, flat-hash mode: the compiled default. At most a
@@ -104,7 +187,7 @@ class CompiledTea
     {
         uint32_t slot = hashOf(addr) & hashMask;
         for (;;) {
-            const HashSlot &h = hashSlots[slot];
+            const HashSlot &h = hashSlotsP[slot];
             if (h.addr == addr)
                 return h.state;
             if (h.addr == kNoAddr)
@@ -121,38 +204,52 @@ class CompiledTea
     StateId
     entryLinear(Addr addr) const
     {
-        for (const auto &[entry, id] : entriesFlat)
-            if (entry == addr)
-                return id;
+        for (const Entry *p = entriesP; p != entriesP + nEntries_; ++p)
+            if (p->addr == addr)
+                return p->state;
         return Tea::kNteState;
     }
 
     /** Trace entries, sorted by address (mirrors Tea::entries()). */
-    const std::vector<std::pair<Addr, StateId>> &
-    entries() const
-    {
-        return entriesFlat;
-    }
+    const Entry *entriesBegin() const { return entriesP; }
+    const Entry *entriesEnd() const { return entriesP + nEntries_; }
 
-    /** Resident bytes of every compiled array (memory accounting). */
+    /**
+     * Resident bytes of the lookup structures (memory accounting for
+     * Table 1/4 comparisons). Excludes the embedded source-TEA blob —
+     * that is provenance, not a structure the kernel walks.
+     */
     size_t footprintBytes() const;
 
-    /** The co-owned source automaton; null when built by constructor. */
+    /** The whole arena (payload) size: every section incl. the blob. */
+    size_t arenaBytes() const { return static_cast<size_t>(payloadLen); }
+
+    /** The embedded serialized source automaton (tea/serialize.hh). */
+    const uint8_t *teaBlob() const { return teaBlobP; }
+    size_t teaBlobBytes() const { return teaBlobLen_; }
+
+    /**
+     * Deserialize the embedded source blob back into a Tea — the slow
+     * path that makes the reference kernel (and consistency ablations)
+     * available even for a mapped image whose Tea was never loaded.
+     * @throws FatalError when the blob is corrupt
+     */
+    Tea rehydrateTea() const;
+
+    /** True when this snapshot serves replay out of a mapped file. */
+    bool isMapped() const { return mapped != nullptr; }
+
+    /** The co-owned source automaton; null when built by constructor
+     *  or loaded from a mapping. */
     const std::shared_ptr<const Tea> &sourceTea() const { return source; }
 
     /**
-     * Total CompiledTea constructions since process start. The
-     * compile-once contract (registry + batch sharing) is asserted by
-     * the stress tests against this counter.
+     * Total CompiledTea *compilations* (constructions from a Tea) since
+     * process start. Mapped loads do not count — that is the point of
+     * the store: the compile-once contract and the mmap-never-compiles
+     * contract are both asserted against this counter.
      */
     static uint64_t compileCount();
-
-  private:
-    struct HashSlot
-    {
-        Addr addr;     ///< kNoAddr marks an empty slot
-        StateId state;
-    };
 
     static uint32_t
     hashOf(Addr addr)
@@ -163,15 +260,43 @@ class CompiledTea
         return h ^ (h >> 16);
     }
 
+  private:
+    friend struct CompiledTeaView;
+
+    CompiledTea() = default;
+
+    /** Point the typed section pointers into `payload`. */
+    void adoptView(const CompiledTeaView &view);
+
     uint32_t nStates = 0;
-    std::vector<uint32_t> succOffset; ///< CSR offsets, size nStates + 1
-    std::vector<Succ> succs;          ///< all transitions, state-major
-    std::vector<Addr> stateStart;     ///< per-state start address (SoA)
-    std::vector<HashSlot> hashSlots;  ///< open-addressed entry index
-    uint32_t hashMask = 0;            ///< hashSlots.size() - 1
-    std::vector<std::pair<Addr, StateId>> entriesFlat; ///< sorted entries
+    uint32_t nSuccs_ = 0;
+    uint32_t nEntries_ = 0;
+    uint32_t hashMask = 0;      ///< hash capacity - 1
+    uint32_t teaBlobLen_ = 0;
+
+    // Typed views into the arena; identical whether the payload is the
+    // owned vector below or a mapped file.
+    const uint32_t *succOffsetP = nullptr; ///< CSR offsets, nStates + 1
+    const Succ *succsP = nullptr;          ///< transitions, state-major
+    const Addr *stateStartP = nullptr;     ///< per-state start address
+    const StateMeta *stateMetaP = nullptr; ///< per-state (trace, tbb)
+    const HashSlot *hashSlotsP = nullptr;  ///< open-addressed index
+    const Entry *entriesP = nullptr;       ///< sorted entries
+    const uint8_t *teaBlobP = nullptr;     ///< serialized source TEA
+
+    const uint8_t *payloadP = nullptr; ///< the whole arena
+    uint64_t payloadLen = 0;
+
+    std::vector<uint8_t> arena; ///< owned payload (RAM compilation)
+    std::shared_ptr<const MappedFile> mapped; ///< mapped payload
     std::shared_ptr<const Tea> source; ///< set by compile() only
 };
+
+static_assert(sizeof(CompiledTea::Succ) == 8 &&
+              sizeof(CompiledTea::Entry) == 8 &&
+              sizeof(CompiledTea::HashSlot) == 8 &&
+              sizeof(CompiledTea::StateMeta) == 8,
+              "the .teac sections are arrays of packed 8-byte records");
 
 } // namespace tea
 

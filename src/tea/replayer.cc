@@ -7,28 +7,45 @@ namespace tea {
 
 TeaReplayer::TeaReplayer(const Tea &automaton, LookupConfig config,
                          std::shared_ptr<const CompiledTea> precompiled)
-    : tea(automaton), cfg(config)
+    : tea(&automaton), cfg(config)
 {
     if (cfg.useCompiled) {
         if (precompiled) {
-            TEA_ASSERT(precompiled->numStates() == tea.numStates(),
+            TEA_ASSERT(precompiled->numStates() == tea->numStates(),
                        "compiled snapshot does not match the automaton");
             compiledShared = std::move(precompiled);
         } else {
-            compiledShared = std::make_shared<const CompiledTea>(tea);
+            compiledShared = std::make_shared<const CompiledTea>(*tea);
         }
         compiled = compiledShared.get();
     } else {
-        for (const auto &[addr, id] : tea.entries()) {
+        for (const auto &[addr, id] : tea->entries()) {
             if (cfg.useGlobalBTree)
                 globalTree.insert(addr, id);
             else
                 globalList.emplace_front(addr, id);
         }
     }
+    nStatesTotal = static_cast<uint32_t>(tea->numStates());
     if (cfg.useLocalCache)
-        cacheSlot.assign(tea.numStates(), kNoCacheSlot);
-    execCounts.assign(tea.numStates(), 0);
+        cacheSlot.assign(nStatesTotal, kNoCacheSlot);
+    execCounts.assign(nStatesTotal, 0);
+}
+
+TeaReplayer::TeaReplayer(std::shared_ptr<const CompiledTea> snapshot,
+                         LookupConfig config)
+    : cfg(config)
+{
+    TEA_ASSERT(snapshot != nullptr, "replaying a null compiled snapshot");
+    if (!cfg.useCompiled)
+        fatal("the reference replay kernel needs the source automaton; "
+              "a compiled snapshot alone cannot serve it");
+    compiledShared = std::move(snapshot);
+    compiled = compiledShared.get();
+    nStatesTotal = compiled->numStates();
+    if (cfg.useLocalCache)
+        cacheSlot.assign(nStatesTotal, kNoCacheSlot);
+    execCounts.assign(nStatesTotal, 0);
 }
 
 uint64_t
@@ -41,7 +58,10 @@ TeaReplayer::execCount(StateId id) const
 uint64_t
 TeaReplayer::execCountFor(TraceId trace, uint32_t tbb) const
 {
-    StateId id = tea.stateFor(trace, tbb);
+    // The compiled snapshot carries every state's identity, so the
+    // per-copy profile works even without a source Tea (mapped images).
+    StateId id = tea ? tea->stateFor(trace, tbb)
+                     : compiled->stateFor(trace, tbb);
     return id == Tea::kNteState ? 0 : execCounts[id];
 }
 
@@ -136,7 +156,7 @@ TeaReplayer::feedReference(const BlockTransition &tr)
     if (cur != Tea::kNteState) {
         st.insnsInTrace += tr.from.icount;
         if (cfg.checkConsistency) {
-            const TeaState &s = tea.state(cur);
+            const TeaState &s = tea->state(cur);
             if (s.start != tr.from.start)
                 panic("replay desync: state %u maps %s but %s executed",
                       cur, hex32(s.start).c_str(),
@@ -151,9 +171,9 @@ TeaReplayer::feedReference(const BlockTransition &tr)
 
     if (cur != Tea::kNteState) {
         // 1. the state's own transition list (intra-trace).
-        const TeaState &s = tea.state(cur);
+        const TeaState &s = tea->state(cur);
         for (StateId t : s.succs) {
-            if (tea.state(t).start == label) {
+            if (tea->state(t).start == label) {
                 ++st.intraTraceHits;
                 cur = t;
                 return;
@@ -354,7 +374,7 @@ TeaReplayer::feedCompiledBatch(const BlockTransition *begin,
 void
 TeaReplayer::setCurrentState(StateId id)
 {
-    TEA_ASSERT(id < tea.numStates(), "bad state id %u", id);
+    TEA_ASSERT(id < nStatesTotal, "bad state id %u", id);
     cur = id;
 }
 
@@ -363,10 +383,10 @@ TeaReplayer::reset()
 {
     cur = Tea::kNteState;
     st = ReplayStats{};
-    execCounts.assign(tea.numStates(), 0);
+    execCounts.assign(nStatesTotal, 0);
     cachePool.clear();
     if (cfg.useLocalCache)
-        cacheSlot.assign(tea.numStates(), kNoCacheSlot);
+        cacheSlot.assign(nStatesTotal, kNoCacheSlot);
 }
 
 } // namespace tea

@@ -141,6 +141,21 @@ class TeaReplayer
     TeaReplayer(const Tea &tea, LookupConfig config,
                 std::shared_ptr<const CompiledTea> precompiled = nullptr);
 
+    /**
+     * Tea-less construction: replay a compiled snapshot alone — the
+     * store's mapped `.teac` images never materialize a Tea at all.
+     * A CompiledTea is self-describing (SoA metadata carries each
+     * state's identity), so profiles and consistency checks work as
+     * usual; only the reference kernel needs the source automaton,
+     * hence `config.useCompiled` must be set.
+     *
+     * @param snapshot the compiled automaton (shared, kept alive)
+     * @param config   accelerator selection; `useCompiled` required
+     * @throws FatalError when config selects the reference kernel
+     */
+    TeaReplayer(std::shared_ptr<const CompiledTea> snapshot,
+                LookupConfig config);
+
     /** Process one completed block execution. */
     void
     feed(const BlockTransition &tr)
@@ -189,6 +204,9 @@ class TeaReplayer
     /** The compiled snapshot in use (null on the reference kernel). */
     const CompiledTea *compiledTea() const { return compiled; }
 
+    /** Total automaton states including NTE. */
+    uint32_t numStates() const { return nStatesTotal; }
+
     /** Return to NTE and zero all statistics. */
     void reset();
 
@@ -211,8 +229,11 @@ class TeaReplayer
     bool cacheLookup(StateId state, Addr label, StateId &out);
     void cacheFill(StateId state, Addr label, StateId value);
 
-    const Tea &tea;
+    /** The source automaton; null when replaying a compiled snapshot
+     *  alone (the reference kernel is unavailable then). */
+    const Tea *tea = nullptr;
     LookupConfig cfg;
+    uint32_t nStatesTotal = 0;
     StateId cur = Tea::kNteState;
 
     /** The compiled kernel's flat snapshot; null on the reference path. */

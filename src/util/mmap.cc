@@ -1,0 +1,85 @@
+#include "util/mmap.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace tea {
+
+MappedFile
+MappedFile::open(const std::string &path)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        fatal("cannot open '%s': %s", path.c_str(),
+              std::strerror(errno));
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        int err = errno;
+        ::close(fd);
+        fatal("cannot stat '%s': %s", path.c_str(), std::strerror(err));
+    }
+    if (!S_ISREG(st.st_mode)) {
+        ::close(fd);
+        fatal("'%s' is not a regular file", path.c_str());
+    }
+
+    MappedFile mf;
+    mf.path_ = path;
+    mf.len = static_cast<size_t>(st.st_size);
+    if (mf.len != 0) {
+        void *p = ::mmap(nullptr, mf.len, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (p == MAP_FAILED) {
+            int err = errno;
+            ::close(fd);
+            fatal("cannot mmap '%s': %s", path.c_str(),
+                  std::strerror(err));
+        }
+        mf.base = static_cast<const uint8_t *>(p);
+    }
+    // The mapping holds its own reference to the file; the descriptor
+    // is no longer needed.
+    ::close(fd);
+    return mf;
+}
+
+std::shared_ptr<const MappedFile>
+MappedFile::openShared(const std::string &path)
+{
+    return std::make_shared<const MappedFile>(open(path));
+}
+
+MappedFile::~MappedFile()
+{
+    if (base != nullptr)
+        ::munmap(const_cast<uint8_t *>(base), len);
+}
+
+MappedFile::MappedFile(MappedFile &&other) noexcept
+    : base(other.base), len(other.len), path_(std::move(other.path_))
+{
+    other.base = nullptr;
+    other.len = 0;
+}
+
+MappedFile &
+MappedFile::operator=(MappedFile &&other) noexcept
+{
+    if (this != &other) {
+        if (base != nullptr)
+            ::munmap(const_cast<uint8_t *>(base), len);
+        base = other.base;
+        len = other.len;
+        path_ = std::move(other.path_);
+        other.base = nullptr;
+        other.len = 0;
+    }
+    return *this;
+}
+
+} // namespace tea

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * MappedFile: a read-only, shareable memory mapping of a file.
+ *
+ * The persistent automaton store serves compiled automata straight out
+ * of mapped `.teac` images (tea/teac.hh): the bytes on disk *are* the
+ * live lookup structures, so "loading" is one mmap plus validation —
+ * no deserialization, no allocation proportional to the automaton.
+ *
+ * Lifetime is the load-bearing part: a MappedFile is held through
+ * `shared_ptr` by every CompiledTea view built over it, so the mapping
+ * stays alive while any replay still walks it. Evicting a name from
+ * the store merely drops the store's reference — the munmap happens
+ * only when the last pinned snapshot lets go, which is what makes
+ * LRU eviction safe against in-flight replays.
+ */
+
+#ifndef TEA_UTIL_MMAP_HH
+#define TEA_UTIL_MMAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace tea {
+
+class MappedFile
+{
+  public:
+    /**
+     * Map `path` read-only. @throws FatalError when the file cannot be
+     * opened, statted, or mapped. Empty files map successfully with
+     * size() == 0 and a null data pointer.
+     */
+    static MappedFile open(const std::string &path);
+
+    /** open(), wrapped for sharing across snapshots. */
+    static std::shared_ptr<const MappedFile>
+    openShared(const std::string &path);
+
+    MappedFile() = default;
+    ~MappedFile();
+
+    MappedFile(MappedFile &&other) noexcept;
+    MappedFile &operator=(MappedFile &&other) noexcept;
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    const uint8_t *data() const { return base; }
+    size_t size() const { return len; }
+    const std::string &path() const { return path_; }
+
+    /** True when a mapping is held. */
+    explicit operator bool() const { return base != nullptr; }
+
+  private:
+    const uint8_t *base = nullptr;
+    size_t len = 0;
+    std::string path_;
+};
+
+} // namespace tea
+
+#endif // TEA_UTIL_MMAP_HH

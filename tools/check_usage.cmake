@@ -26,7 +26,14 @@ set(cases
     "batch-replay"            # missing <tea> <log>...
     "batch-replay|only.tea"   # missing logs
     "batch-replay|--jobs|0|a.tea|b.tlog" # bad worker count
+    "compile"                 # missing <tea> and --out
+    "compile|a.tea"           # missing --out
+    "compile|--out|dir"       # missing <tea> inputs
+    "inspect"                 # missing <file.teac>
     "serve"                   # missing --listen
+    "serve|--listen|tcp:127.0.0.1:0|--store" # flag without a value
+    "serve|--listen|tcp:127.0.0.1:0|--max-resident-bytes|-1" # bad budget
+    "serve|--listen|tcp:127.0.0.1:0|--max-resident|-1" # bad budget
     "serve|--listen"          # flag without a value
     "serve|--listen|tcp:127.0.0.1:0|--max-queue|0" # bad queue bound
     "serve|--listen|tcp:127.0.0.1:0|not-a-preload" # want name=tea

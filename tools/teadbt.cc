@@ -21,8 +21,21 @@
  *   batch-replay --jobs N <tea> <log>...
  *                                      replay many trace logs on a
  *                                      worker pool (svc)
+ *   compile <tea>... --out DIR         precompile TEA files into
+ *                                      relocatable .teac snapshots
+ *                                      (store); names are the input
+ *                                      basenames minus ".tea"
+ *   inspect <file.teac>                validate and dump a compiled
+ *                                      snapshot's header, sections,
+ *                                      and checksums (--json)
  *   serve --listen EP [name=tea]...    run the networked replay
- *                                      server (net) until SIGINT
+ *                                      server (net) until SIGINT;
+ *                                      --store DIR backs the registry
+ *                                      with a .teac directory
+ *                                      (mmap'd cold loads, LRU
+ *                                      eviction via
+ *                                      --max-resident-bytes /
+ *                                      --max-resident)
  *   remote-replay --connect EP <name> <log>...
  *                                      stream trace logs to a server
  *                                      and print each stream's stats
@@ -44,6 +57,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -53,6 +67,7 @@
 #include "dbt/runtime.hh"
 #include "net/client.hh"
 #include "net/server.hh"
+#include "store/store.hh"
 #include "isa/assembler.hh"
 #include "isa/disasm.hh"
 #include "sim/cycle_model.hh"
@@ -60,15 +75,18 @@
 #include "svc/replay_service.hh"
 #include "svc/tracelog.hh"
 #include "tea/builder.hh"
+#include "tea/compiled.hh"
 #include "tea/profiler.hh"
 #include "tea/recorder.hh"
 #include "tea/replayer.hh"
 #include "tea/serialize.hh"
+#include "tea/teac.hh"
 #include "trace/factory.hh"
 #include "trace/metrics.hh"
 #include "trace/serialize.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
+#include "util/mmap.hh"
 #include "util/strutil.hh"
 #include "vm/block.hh"
 #include "vm/machine.hh"
@@ -89,6 +107,8 @@ struct Options
     std::string logFile;
     std::string endpoint; ///< --listen / --connect
     std::string putFile;  ///< remote-replay: upload this TEA first
+    std::string outDir;   ///< compile: .teac output directory
+    std::string storeDir; ///< serve: disk-backed automaton store
     std::vector<std::string> extraArgs; ///< positionals after the first
     int jobs = 1;
     int maxQueue = 64;
@@ -100,6 +120,8 @@ struct Options
     int slowRequestMs = 0;     ///< serve: slow-request log (0 = off)
     int traceRing = 1024;      ///< serve: span ring capacity
     int watch = 0;             ///< stats: poll every N seconds (0 = once)
+    long long maxResidentBytes = 0; ///< serve: store byte budget (0 = off)
+    long long maxResident = 0;      ///< serve: store count budget (0 = off)
     bool salvage = false;      ///< batch-replay: recover torn logs
     bool pinPolicy = false;
     bool optimize = false;
@@ -130,10 +152,14 @@ usage()
         "  batch-replay [--jobs N] [--json] [--salvage] <tea-file> "
         "<log>...\n"
         "         [--no-global] [--no-local] [--reference]\n"
+        "  compile <tea-file>... --out DIR\n"
+        "  inspect <file.teac> [--json]\n"
         "  serve --listen EP [--jobs N] [--max-queue N]\n"
         "         [--max-sessions N] [--idle-timeout-ms N]\n"
         "         [--request-deadline-ms N] [--slow-request-ms N]\n"
-        "         [--trace-ring N] [name=tea]...\n"
+        "         [--trace-ring N] [--store DIR]\n"
+        "         [--max-resident-bytes N] [--max-resident N]\n"
+        "         [name=tea]...\n"
         "  remote-replay --connect EP [--put tea-file] [--json]\n"
         "         [--retries N] [--backoff-ms N]\n"
         "         [--no-global] [--no-local] [--reference]\n"
@@ -175,6 +201,19 @@ parseArgs(int argc, char **argv)
             opt.endpoint = value();
         else if (arg == "--put")
             opt.putFile = value();
+        else if (arg == "--out")
+            opt.outDir = value();
+        else if (arg == "--store")
+            opt.storeDir = value();
+        else if (arg == "--max-resident-bytes") {
+            opt.maxResidentBytes = std::atoll(value().c_str());
+            if (opt.maxResidentBytes < 0)
+                usage();
+        } else if (arg == "--max-resident") {
+            opt.maxResident = std::atoll(value().c_str());
+            if (opt.maxResident < 0)
+                usage();
+        }
         else if (arg == "--jobs") {
             opt.jobs = std::atoi(value().c_str());
             if (opt.jobs < 1)
@@ -690,6 +729,106 @@ readFileBytes(const std::string &path)
 }
 
 int
+cmdCompile(const Options &opt)
+{
+    // Positionals are .tea files; each becomes <out>/<basename>.teac.
+    if (opt.program.empty() || opt.outDir.empty())
+        usage();
+    std::vector<std::string> inputs;
+    inputs.push_back(opt.program);
+    for (const std::string &s : opt.extraArgs)
+        inputs.push_back(s);
+
+    std::filesystem::create_directories(opt.outDir);
+    for (const std::string &in : inputs) {
+        std::string name = std::filesystem::path(in).stem().string();
+        if (!AutomatonStore::validName(name))
+            fatal("'%s' does not yield a usable automaton name",
+                  in.c_str());
+        auto tea = std::make_shared<const Tea>(loadTeaFile(in));
+        auto compiled = CompiledTea::compile(tea);
+        std::string out = opt.outDir + "/" + name + ".teac";
+        saveTeacFile(*compiled, out);
+        std::printf("%-24s -> %s (%u states, %u entries, %zu bytes)\n",
+                    in.c_str(), out.c_str(), compiled->numStates(),
+                    compiled->numEntries(),
+                    compiled->arenaBytes() + sizeof(TeacHeader));
+    }
+    return 0;
+}
+
+int
+cmdInspect(const Options &opt)
+{
+    if (opt.program.empty())
+        usage();
+    // Map and fully validate — header CRC, canonical layout, payload
+    // CRC, structural audit — exactly as a serving load would.
+    auto file = MappedFile::openShared(opt.program);
+    CompiledTeaView view =
+        CompiledTeaView::parse(file->data(), file->size());
+    const TeacHeader &h = view.header;
+
+    if (opt.json) {
+        JsonWriter w;
+        w.beginObject();
+        w.key("file").value(opt.program);
+        w.key("fileBytes").value(static_cast<uint64_t>(file->size()));
+        w.key("magic").value(h.magic);
+        w.key("version").value(h.version);
+        w.key("flags").value(h.flags);
+        w.key("states").value(h.nStates);
+        w.key("succs").value(h.nSuccs);
+        w.key("entries").value(h.nEntries);
+        w.key("hashCap").value(h.hashCap);
+        w.key("teaBytes").value(h.teaBytes);
+        w.key("payloadBytes").value(h.payloadBytes);
+        w.key("offSuccOffset").value(h.offSuccOffset);
+        w.key("offSuccs").value(h.offSuccs);
+        w.key("offStateStart").value(h.offStateStart);
+        w.key("offStateMeta").value(h.offStateMeta);
+        w.key("offHashSlots").value(h.offHashSlots);
+        w.key("offEntries").value(h.offEntries);
+        w.key("offTea").value(h.offTea);
+        w.key("sourceHash").value(h.sourceHash);
+        w.key("payloadCrc").value(h.payloadCrc);
+        w.key("headerCrc").value(h.headerCrc);
+        w.key("valid").value(true);
+        w.endObject();
+        std::printf("%s\n", w.str().c_str());
+        return 0;
+    }
+
+    std::printf("%s: valid .teac snapshot (%zu bytes)\n",
+                opt.program.c_str(), file->size());
+    std::printf("  format      version %u, flags 0x%08x\n", h.version,
+                h.flags);
+    std::printf("  automaton   %u states (incl. NTE), %u transitions, "
+                "%u trace entries\n",
+                h.nStates, h.nSuccs, h.nEntries);
+    std::printf("  hash table  %u slots (%.0f%% full)\n", h.hashCap,
+                h.hashCap ? 100.0 * h.nEntries / h.hashCap : 0.0);
+    std::printf("  payload     %llu bytes (+%zu header)\n",
+                static_cast<unsigned long long>(h.payloadBytes),
+                sizeof(TeacHeader));
+    std::printf("  sections    succOffset@%llu succs@%llu "
+                "stateStart@%llu stateMeta@%llu\n",
+                static_cast<unsigned long long>(h.offSuccOffset),
+                static_cast<unsigned long long>(h.offSuccs),
+                static_cast<unsigned long long>(h.offStateStart),
+                static_cast<unsigned long long>(h.offStateMeta));
+    std::printf("              hashSlots@%llu entries@%llu "
+                "tea@%llu (%u bytes embedded)\n",
+                static_cast<unsigned long long>(h.offHashSlots),
+                static_cast<unsigned long long>(h.offEntries),
+                static_cast<unsigned long long>(h.offTea), h.teaBytes);
+    std::printf("  checksums   header 0x%08x, payload 0x%08x, "
+                "source 0x%08x (all verified)\n",
+                h.headerCrc, h.payloadCrc, h.sourceHash);
+    return 0;
+}
+
+int
 cmdServe(const Options &opt)
 {
     if (opt.endpoint.empty())
@@ -720,7 +859,14 @@ cmdServe(const Options &opt)
     cfg.lookup.useGlobalBTree = !opt.noGlobal;
     cfg.lookup.useLocalCache = !opt.noLocal;
     cfg.lookup.useCompiled = !opt.reference;
+    cfg.storeDir = opt.storeDir;
+    cfg.storeMaxResidentBytes =
+        static_cast<size_t>(opt.maxResidentBytes);
+    cfg.storeMaxResident = static_cast<size_t>(opt.maxResident);
     TeaServer server(cfg);
+    if (server.store() != nullptr)
+        std::printf("store: %s (%zu .teac images on disk)\n",
+                    opt.storeDir.c_str(), server.store()->list().size());
     for (const auto &[name, path] : preloads) {
         auto snap = server.registry().loadFile(name, path);
         std::printf("loaded '%s' from %s (%zu states)\n", name.c_str(),
@@ -921,7 +1067,8 @@ main(int argc, char **argv)
         // Only the multi-input subcommands take more than one
         // positional argument.
         if (opt.command != "batch-replay" && opt.command != "serve" &&
-            opt.command != "remote-replay" && !opt.extraArgs.empty())
+            opt.command != "remote-replay" && opt.command != "compile" &&
+            !opt.extraArgs.empty())
             usage();
         if (opt.command == "run")
             return cmdRun(opt);
@@ -945,6 +1092,10 @@ main(int argc, char **argv)
             return cmdRecordLog(opt);
         if (opt.command == "batch-replay")
             return cmdBatchReplay(opt);
+        if (opt.command == "compile")
+            return cmdCompile(opt);
+        if (opt.command == "inspect")
+            return cmdInspect(opt);
         if (opt.command == "serve")
             return cmdServe(opt);
         if (opt.command == "remote-replay")
