@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "svc/tracelog.hh"
 #include "tea/serialize.hh"
 
 namespace tea {
@@ -211,6 +212,73 @@ TeaClient::replay(const std::string &name, const uint8_t *log,
     }
     r.expectEnd();
     return out;
+}
+
+void
+TeaClient::recordBegin(const std::string &name, RemoteRecordOptions opt)
+{
+    PayloadWriter w;
+    w.str(name);
+    w.u8(0); // flags: reserved
+    w.u32(opt.swapInterval);
+    w.str(opt.selector);
+    sendFrame(MsgType::RecordBegin, w);
+    // Wait for the ack before streaming: a claimed name or unknown
+    // selector fails here, with no transitions wasted on the wire.
+    expect(MsgType::RecordOk);
+}
+
+void
+TeaClient::recordChunk(const BlockTransition *batch, size_t n)
+{
+    PayloadWriter chunk;
+    std::vector<uint8_t> bytes;
+    for (size_t i = 0; i < n; ++i)
+        encodeTransition(bytes, batch[i]);
+    chunk.raw(bytes.data(), bytes.size());
+    sendFrame(MsgType::RecordChunk, chunk);
+}
+
+RemoteRecordResult
+TeaClient::recordEnd()
+{
+    sendFrame(MsgType::RecordEnd, PayloadWriter{});
+    Frame result = expect(MsgType::RecordResult);
+    PayloadReader r(result.payload);
+    RemoteRecordResult out;
+    out.transitions = r.u64();
+    out.traces = r.u64();
+    out.states = r.u64();
+    out.swaps = r.u64();
+    out.stats = decodeStats(r);
+    r.expectEnd();
+    return out;
+}
+
+RemoteRecordResult
+TeaClient::record(const std::string &name,
+                  const std::vector<BlockTransition> &trs,
+                  RemoteRecordOptions opt)
+{
+    recordBegin(name, opt);
+    // Split on encoded size, like replay(): a chunk stays well under
+    // the frame cap however long the transition sequence is.
+    std::vector<uint8_t> bytes;
+    for (size_t i = 0; i < trs.size(); ++i) {
+        encodeTransition(bytes, trs[i]);
+        if (bytes.size() >= Wire::kReplayChunk) {
+            PayloadWriter chunk;
+            chunk.raw(bytes.data(), bytes.size());
+            sendFrame(MsgType::RecordChunk, chunk);
+            bytes.clear();
+        }
+    }
+    if (!bytes.empty()) {
+        PayloadWriter chunk;
+        chunk.raw(bytes.data(), bytes.size());
+        sendFrame(MsgType::RecordChunk, chunk);
+    }
+    return recordEnd();
 }
 
 RemoteReplayResult

@@ -74,6 +74,25 @@ struct RemoteReplayResult
     std::vector<uint64_t> execCounts;
 };
 
+/** Per-recording options, mirroring RECORD_BEGIN's optional fields. */
+struct RemoteRecordOptions
+{
+    /** Hot-swap interval in transitions; 0 = the server's default. */
+    uint32_t swapInterval = 0;
+    /** Trace-selection policy name; empty = the server's default. */
+    std::string selector;
+};
+
+/** One remote recording's outcome (the RECORD_RESULT frame). */
+struct RemoteRecordResult
+{
+    uint64_t transitions = 0; ///< transitions the server ingested
+    uint64_t traces = 0;      ///< traces in the final automaton
+    uint64_t states = 0;      ///< states (incl. NTE) in the final automaton
+    uint64_t swaps = 0;       ///< snapshots published (incl. the final)
+    ReplayStats stats;        ///< the server-side recorder's counters
+};
+
 /**
  * Capped exponential backoff with seeded jitter, for retrying the
  * idempotent remote-replay exchange. Attempt k (0-based) sleeps a
@@ -165,6 +184,33 @@ class TeaClient
     {
         return replay(name, log.data(), log.size(), opt);
     }
+
+    /**
+     * Record a whole transition sequence remotely in one call:
+     * RECORD_BEGIN, the transitions in RECORD_CHUNK frames, RECORD_END.
+     * The server grows (and hot-swaps) the automaton under `name` as
+     * the stream arrives; afterwards the name replays like any PUT one.
+     * @throws FatalError when the server rejects the recording (name
+     *         already being recorded, unknown selector, old server)
+     */
+    RemoteRecordResult record(const std::string &name,
+                              const std::vector<BlockTransition> &trs,
+                              RemoteRecordOptions opt = {});
+
+    /**
+     * The incremental recording conversation, for live drivers that do
+     * not hold the whole sequence: recordBegin() once, recordChunk()
+     * per batch, recordEnd() for the result. One recording at a time
+     * per client; replay()/record() must not interleave with it.
+     */
+    void recordBegin(const std::string &name,
+                     RemoteRecordOptions opt = {});
+
+    /** Stream one batch (no reply; errors surface at recordEnd). */
+    void recordChunk(const BlockTransition *batch, size_t n);
+
+    /** Finish the recording and fetch the RECORD_RESULT summary. */
+    RemoteRecordResult recordEnd();
 
     void close() { sock.close(); }
 

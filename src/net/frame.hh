@@ -32,6 +32,22 @@
  *   client: REPLAY_BEGIN {name, flags} server: REPLAY_OK | ERROR
  *   client: REPLAY_CHUNK {log bytes}*  (no reply per chunk)
  *   client: REPLAY_END                 server: REPLAY_STATS | ERROR
+ *   client: RECORD_BEGIN {name, ...}   server: RECORD_OK | ERROR
+ *   client: RECORD_CHUNK {records}*    (no reply per chunk)
+ *   client: RECORD_END                 server: RECORD_RESULT | ERROR
+ *
+ * RECORD grows an automaton server-side from a streamed transition
+ * sequence (rec/recording.hh): BEGIN claims the name (one live
+ * recording per name), each CHUNK carries encodeTransition() records
+ * (svc/tracelog.hh — the same codec `.tlog` chunks use) that are
+ * decoded and fed as one atomic batch, and END publishes the final
+ * snapshot and answers with the recording summary plus the recorder's
+ * ReplayStats. The verbs follow the PING/STATS versionless-growth
+ * pattern — same protocol version, and an older server answers
+ * RECORD_BEGIN with its defined unknown-type fatal ERROR, which the
+ * client reports as "server too old". A mid-recording disconnect
+ * abandons the session: the last hot-swapped snapshot stays installed
+ * and the partial batch is discarded.
  *
  * BUSY may carry a payload (queue depth + max-sessions hint) since the
  * resilience work; it was empty in the first deployment, so readers
@@ -106,6 +122,20 @@ enum class MsgType : uint8_t {
     ReplayChunk = 0x22,
     ReplayEnd = 0x23,
     ReplayResult = 0x24,
+    /**
+     * str name, u8 flags (reserved, send 0; unknown bits ignored),
+     * then optional growth fields decoded tolerantly like BUSY's
+     * hints: u32 swap interval (0 = server default) and str selector
+     * (empty = server default). Extra bytes are ignored.
+     */
+    RecordBegin = 0x30,
+    RecordOk = 0x31,
+    /** Concatenated encodeTransition() records (svc/tracelog.hh). */
+    RecordChunk = 0x32,
+    RecordEnd = 0x33,
+    /** u64 transitions, u64 traces, u64 states, u64 swaps, then the
+     *  recorder's ReplayStats (encodeStats layout). */
+    RecordResult = 0x34,
 };
 
 /** REPLAY_BEGIN flag bits. */

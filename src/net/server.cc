@@ -97,6 +97,12 @@ TeaServer::TeaServer(ServerConfig config)
         store_->bindMetrics(metrics_);
     }
 
+    // The RECORD verb's broker: with a store, hot-swaps publish through
+    // replaceResident() and the final snapshot lands on disk.
+    recSvc_ = std::make_unique<rec::RecordingService>(registry_,
+                                                      store_.get());
+    recSvc_->bindMetrics(metrics_);
+
     pool.setTaskObserver([this](double ms, bool failed) {
         hTaskMs->observe(ms);
         if (failed)
@@ -277,6 +283,7 @@ TeaServer::serveConnection(Socket &sock, uint64_t connId,
 
         Session session(registry_, cfg.lookup);
         session.setStore(store_.get());
+        session.setRecorder(recSvc_.get(), cfg.recordSwapInterval);
         session.setStatusFn([this] {
             ServerStatus st;
             st.queueDepth = static_cast<uint32_t>(

@@ -104,6 +104,12 @@ struct ServerConfig
     /** Resident-tier budgets for the store; 0 = unlimited. */
     size_t storeMaxResidentBytes = 0;
     size_t storeMaxResident = 0;
+    /**
+     * Default hot-swap interval for RECORD sessions (transitions fed
+     * between publish attempts); a client's RECORD_BEGIN may override
+     * it per recording.
+     */
+    uint32_t recordSwapInterval = 4096;
 };
 
 class TeaServer
@@ -138,6 +144,9 @@ class TeaServer
 
     /** The persistent store, or nullptr when storeDir is empty. */
     AutomatonStore *store() { return store_.get(); }
+
+    /** The RECORD verb's session broker (always present). */
+    rec::RecordingService &recorder() { return *recSvc_; }
 
     size_t workers() const { return pool.workers(); }
 
@@ -182,6 +191,7 @@ class TeaServer
     ServerConfig cfg;
     AutomatonRegistry registry_;
     std::unique_ptr<AutomatonStore> store_; ///< set when storeDir != ""
+    std::unique_ptr<rec::RecordingService> recSvc_;
 
     // Observability state. Declared before the pool so the worker
     // threads (and their task observer) die before the instruments.

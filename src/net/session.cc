@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "svc/tracelog.hh"
 #include "tea/serialize.hh"
 #include "util/logging.hh"
 
@@ -78,7 +79,8 @@ Session::consume(const uint8_t *data, size_t len,
         }
         // A frame other than stream payload begins a request; counted
         // before handling so an in-flight STATS sees itself.
-        if (frame.type != MsgType::ReplayChunk) {
+        if (frame.type != MsgType::ReplayChunk &&
+            frame.type != MsgType::RecordChunk) {
             ++reqBegun;
             if (ob.requests != nullptr)
                 ob.requests->inc();
@@ -110,7 +112,8 @@ Session::onFrame(const Frame &frame, std::vector<uint8_t> &out)
             frame.type != MsgType::Evict &&
             frame.type != MsgType::Ping &&
             frame.type != MsgType::Stats &&
-            frame.type != MsgType::ReplayBegin) {
+            frame.type != MsgType::ReplayBegin &&
+            frame.type != MsgType::RecordBegin) {
             replyError(out, true, "unexpected message type");
             return false;
         }
@@ -120,6 +123,14 @@ Session::onFrame(const Frame &frame, std::vector<uint8_t> &out)
             frame.type != MsgType::ReplayEnd) {
             replyError(out, true,
                        "expected REPLAY_CHUNK or REPLAY_END");
+            return false;
+        }
+        break;
+    case State::Recording:
+        if (frame.type != MsgType::RecordChunk &&
+            frame.type != MsgType::RecordEnd) {
+            replyError(out, true,
+                       "expected RECORD_CHUNK or RECORD_END");
             return false;
         }
         break;
@@ -164,6 +175,11 @@ Session::onFrame(const Frame &frame, std::vector<uint8_t> &out)
             // Abandon the stream; the client restarts with a new BEGIN.
             stream = AutomatonSnapshot{};
             streamLog.clear();
+            state = State::Ready;
+        } else if (state == State::Recording) {
+            // Abandon the recording: the session destructor releases
+            // the name and the last swapped snapshot stays installed.
+            recSession.reset();
             state = State::Ready;
         }
         replyError(out, false, e.what());
@@ -345,6 +361,63 @@ Session::handleRequest(const Frame &frame, std::vector<uint8_t> &out)
                 w.u64(c);
         }
         reply(out, MsgType::ReplayResult, w);
+        return;
+    }
+    case MsgType::RecordBegin: {
+        if (recSvc == nullptr)
+            fatal("recording is not enabled on this server");
+        PayloadReader r(frame.payload);
+        std::string name = r.str(Wire::kMaxName);
+        r.u8(); // flags: reserved, unknown bits ignored
+        // Optional growth fields, decoded tolerantly (cf. BUSY/STATS):
+        // a u32 swap interval and a selector name. Extra bytes beyond
+        // those are future fields — ignored.
+        rec::RecordingConfig rc;
+        rc.swapInterval = recSwapInterval;
+        if (r.remaining() >= 4) {
+            uint32_t interval = r.u32();
+            if (interval != 0)
+                rc.swapInterval = interval;
+        }
+        if (r.remaining() >= 4) {
+            std::string selector = r.str(Wire::kMaxName);
+            if (!selector.empty())
+                rc.selector = std::move(selector);
+        }
+        // Deliberately the default LookupConfig, not the server's
+        // replay lookup: the online recorder must be bit-identical to
+        // a default offline TeaRecorder over the same transitions.
+        recSession = recSvc->begin(name, std::move(rc));
+        state = State::Recording;
+        reply(out, MsgType::RecordOk, PayloadWriter{});
+        return;
+    }
+    case MsgType::RecordChunk: {
+        // Decode the whole chunk before feeding any of it: a malformed
+        // record discards the batch atomically instead of leaving the
+        // automaton grown by half a chunk.
+        std::vector<BlockTransition> batch;
+        size_t cursor = 0;
+        while (cursor < frame.payload.size())
+            batch.push_back(decodeTransition(
+                frame.payload.data(), frame.payload.size(), cursor));
+        recSession->feedBatch(batch.data(), batch.size());
+        return;
+    }
+    case MsgType::RecordEnd: {
+        PayloadReader r(frame.payload);
+        r.expectEnd();
+        rec::RecordingResultSummary summary = recSession->finish();
+        ReplayStats st = recSession->stats();
+        recSession.reset();
+        state = State::Ready;
+        PayloadWriter w;
+        w.u64(summary.transitions);
+        w.u64(summary.traces);
+        w.u64(summary.states);
+        w.u64(summary.swaps);
+        encodeStats(w, st);
+        reply(out, MsgType::RecordResult, w);
         return;
     }
     default:

@@ -38,6 +38,7 @@
 #include "net/frame.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "rec/service.hh"
 #include "store/store.hh"
 #include "svc/registry.hh"
 #include "svc/replay_service.hh"
@@ -83,6 +84,11 @@ class Session
      * per-request deadline (net/server.hh) is armed exactly while this
      * holds — a slowloris trickling one byte per idle-timeout keeps the
      * idle clock happy but not this one.
+     *
+     * An open RECORD stream deliberately does NOT count: a live
+     * recording legitimately runs for as long as the recorded workload
+     * does, so it is bounded per-chunk by the idle clock (and by the
+     * partial-frame rule here) rather than by one request budget.
      */
     bool midRequest() const
     {
@@ -125,6 +131,21 @@ class Session
     void setStore(AutomatonStore *s) { store = s; }
 
     /**
+     * Enable the RECORD verb family: RECORD_BEGIN claims a name
+     * through `svc` (one live recording per name, server-wide) and
+     * streams chunks into the RecordingSession it returns. Borrowed;
+     * without a recorder RECORD_BEGIN answers a non-fatal ERROR.
+     * `defaultSwapInterval` applies when the client's RECORD_BEGIN
+     * leaves the interval at 0.
+     */
+    void setRecorder(rec::RecordingService *svc,
+                     uint32_t defaultSwapInterval = 4096)
+    {
+        recSvc = svc;
+        recSwapInterval = defaultSwapInterval;
+    }
+
+    /**
      * Requests begun: frames handled, excluding REPLAY_CHUNK (which is
      * stream payload, not a request). Counted when handling *starts*,
      * so a STATS snapshot rendered mid-request includes the STATS
@@ -155,7 +176,7 @@ class Session
     void setMaxLogBytes(size_t cap) { maxLogBytes = cap; }
 
   private:
-    enum class State { ExpectHello, Ready, Streaming, Closed };
+    enum class State { ExpectHello, Ready, Streaming, Recording, Closed };
 
     bool onFrame(const Frame &frame, std::vector<uint8_t> &out);
     void handleRequest(const Frame &frame, std::vector<uint8_t> &out);
@@ -191,6 +212,14 @@ class Session
     std::vector<uint8_t> streamLog; ///< accumulated chunk bytes
     bool streamProfile = false;
     LookupConfig streamCfg;
+
+    // RECORD_BEGIN .. RECORD_END recording in progress. Destroying
+    // the session mid-recording (disconnect) abandons it: the
+    // RecordingSession destructor releases the name and publishes
+    // nothing further — the last swapped snapshot stays installed.
+    rec::RecordingService *recSvc = nullptr;
+    uint32_t recSwapInterval = 4096;
+    std::unique_ptr<rec::RecordingSession> recSession;
 };
 
 } // namespace tea

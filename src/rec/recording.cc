@@ -1,0 +1,145 @@
+#include "rec/recording.hh"
+
+#include <chrono>
+
+#include "obs/metrics.hh"
+#include "rec/service.hh"
+#include "trace/factory.hh"
+#include "util/logging.hh"
+
+namespace tea {
+namespace rec {
+
+RecordingSession::RecordingSession(std::string name,
+                                   AutomatonRegistry &registry_,
+                                   AutomatonStore *store_,
+                                   RecordingConfig config,
+                                   const RecMetrics *metrics_)
+    : name_(std::move(name)), registry(registry_), store(store_),
+      cfg(std::move(config)), metrics(metrics_),
+      recorder(makeSelector(cfg.selector), cfg.lookup)
+{
+    // Store-name rules apply even without a store attached, so a
+    // recording can always be persisted later.
+    if (!AutomatonStore::validName(name_))
+        fatal("rec: invalid automaton name '%s'", name_.c_str());
+    if (cfg.swapInterval == 0)
+        fatal("rec: swap interval must be positive");
+    if (metrics != nullptr && metrics->sessions != nullptr)
+        metrics->sessions->inc();
+}
+
+RecordingSession::~RecordingSession()
+{
+    if (!finished_ && metrics != nullptr && metrics->aborted != nullptr)
+        metrics->aborted->inc();
+    if (owner != nullptr)
+        owner->release(name_);
+}
+
+void
+RecordingSession::feed(const BlockTransition &tr)
+{
+    TEA_ASSERT(!finished_, "rec: feed after finish");
+    recorder.feed(tr);
+    ++transitionCount;
+    ++sinceSwap;
+    if (metrics != nullptr && metrics->transitions != nullptr)
+        metrics->transitions->inc();
+    maybeSwap();
+}
+
+void
+RecordingSession::feedBatch(const BlockTransition *batch, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        feed(batch[i]);
+}
+
+void
+RecordingSession::maybeSwap()
+{
+    if (sinceSwap < cfg.swapInterval)
+        return;
+    if (recorder.installs() == installsAtCompile) {
+        // Idle interval: nothing grew, nothing to publish. Reset so
+        // the next interval starts from here.
+        sinceSwap = 0;
+        return;
+    }
+    swapNow();
+}
+
+void
+RecordingSession::swapNow()
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    // The automaton grew append-only iff every install since the last
+    // publish added a trace: NewTrace grows traces() by one,
+    // ExtendTrace replaces one in place (reshuffling state ids).
+    bool appendOnly =
+        recorder.traces().size() - tracesAtCompile ==
+        recorder.installs() - installsAtCompile;
+
+    auto snapshot = std::make_shared<const Tea>(recorder.tea());
+    CompiledTea::RecompileInfo info;
+    auto next = CompiledTea::recompile(std::move(snapshot), current_,
+                                       appendOnly, cfg.maxChurn, &info);
+    current_ = std::move(next);
+    tracesAtCompile = recorder.traces().size();
+    installsAtCompile = recorder.installs();
+    sinceSwap = 0;
+
+    // Publish: new requests resolve the grown automaton; in-flight
+    // replays keep the snapshot they pinned.
+    if (store != nullptr)
+        store->replaceResident(name_, current_);
+    else
+        registry.replace(name_, current_);
+    ++swapCount;
+
+    if (metrics != nullptr) {
+        if (!info.unchanged) {
+            obs::Counter *c = info.incremental
+                                  ? metrics->recompilesIncremental
+                                  : metrics->recompilesFull;
+            if (c != nullptr)
+                c->inc();
+        }
+        if (metrics->swaps != nullptr)
+            metrics->swaps->inc();
+        if (metrics->swapMs != nullptr) {
+            double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+            metrics->swapMs->observe(ms);
+        }
+    }
+}
+
+RecordingResultSummary
+RecordingSession::finish()
+{
+    TEA_ASSERT(!finished_, "rec: finish called twice");
+
+    // Publish any unpublished growth; also compile at least once so a
+    // trace-free recording still leaves the name resolvable (an
+    // all-NTE automaton replays every stream as untraced).
+    if (current_ == nullptr || recorder.installs() != installsAtCompile)
+        swapNow();
+
+    if (store != nullptr)
+        store->writeThrough(name_, *current_);
+
+    finished_ = true;
+    RecordingResultSummary out;
+    out.transitions = transitionCount;
+    out.traces = recorder.traces().size();
+    out.states = recorder.tea().numStates();
+    out.swaps = swapCount;
+    return out;
+}
+
+} // namespace rec
+} // namespace tea

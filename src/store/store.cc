@@ -113,6 +113,32 @@ AutomatonStore::put(const std::string &name,
     return out;
 }
 
+AutomatonSnapshot
+AutomatonStore::replaceResident(const std::string &name,
+                                std::shared_ptr<const CompiledTea> compiled)
+{
+    if (!validName(name))
+        fatal("store: invalid automaton name '%s'", name.c_str());
+    TEA_ASSERT(compiled != nullptr, "swapping in a null compiled image");
+    size_t bytes = compiled->footprintBytes();
+    AutomatonSnapshot prev = registry.replace(name, std::move(compiled));
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        insertLocked(name, bytes);
+        enforceBudgetLocked(name);
+    }
+    return prev;
+}
+
+void
+AutomatonStore::writeThrough(const std::string &name,
+                             const CompiledTea &compiled)
+{
+    if (!validName(name))
+        fatal("store: invalid automaton name '%s'", name.c_str());
+    saveTeacFile(compiled, pathFor(name));
+}
+
 bool
 AutomatonStore::evictResident(const std::string &name)
 {

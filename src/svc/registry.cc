@@ -44,6 +44,20 @@ AutomatonRegistry::putCompiled(const std::string &name,
     return snap;
 }
 
+AutomatonSnapshot
+AutomatonRegistry::replace(const std::string &name,
+                           std::shared_ptr<const CompiledTea> compiled)
+{
+    TEA_ASSERT(compiled != nullptr, "swapping in a null compiled image");
+    AutomatonSnapshot next{compiled->sourceTea(), std::move(compiled)};
+    Shard &shard = shardFor(name);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    AutomatonSnapshot &slot = shard.map[name];
+    AutomatonSnapshot prev = slot;
+    slot = std::move(next);
+    return prev;
+}
+
 std::shared_ptr<const Tea>
 AutomatonRegistry::loadFile(const std::string &name,
                             const std::string &path)

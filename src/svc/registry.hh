@@ -76,6 +76,20 @@ class AutomatonRegistry
                                   std::shared_ptr<const CompiledTea> compiled);
 
     /**
+     * Atomic hot-swap: install `compiled` under `name` and return the
+     * snapshot it displaced (empty when the name was new). The swap is
+     * one pointer assignment under the shard lock — a concurrent
+     * snapshot() observes either the old snapshot or the new one,
+     * never a mix — and replays that pinned the old snapshot keep it
+     * alive through their shared_ptr until they drain, exactly like
+     * eviction. This is the recording service's publish step: new
+     * requests resolve the grown automaton while in-flight replays
+     * finish against the version they started with.
+     */
+    AutomatonSnapshot replace(const std::string &name,
+                              std::shared_ptr<const CompiledTea> compiled);
+
+    /**
      * Load a serialized TEA (tea/serialize.hh) and install it.
      * @throws FatalError on unreadable or corrupt files.
      */

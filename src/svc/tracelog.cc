@@ -60,25 +60,64 @@ get64(const std::vector<uint8_t> &bytes, size_t &cursor)
     return lo | (hi << 32);
 }
 
-uint64_t
-getVar(const std::vector<uint8_t> &bytes, size_t &cursor)
-{
-    uint64_t v = 0;
-    int shift = 0;
-    for (;;) {
-        uint8_t byte = get8(bytes, cursor);
-        v |= static_cast<uint64_t>(byte & 0x7f) << shift;
-        if (!(byte & 0x80))
-            return v;
-        shift += 7;
-        if (shift > 63)
-            fatal("tracelog: varint too long");
-    }
-}
-
 constexpr uint8_t kMaxEdgeKind = static_cast<uint8_t>(EdgeKind::Halt);
 
 } // namespace
+
+// ----------------------------------------------------- shared codec
+
+void
+encodeTransition(std::vector<uint8_t> &out, const BlockTransition &tr)
+{
+    if (tr.from.end < tr.from.start)
+        fatal("transition record: block with end < start");
+    putVar(out, tr.from.start);
+    putVar(out, tr.from.end - tr.from.start);
+    putVar(out, tr.from.icount);
+    out.push_back(static_cast<uint8_t>(tr.kind));
+    putVar(out, tr.toStart);
+}
+
+BlockTransition
+decodeTransition(const uint8_t *data, size_t len, size_t &cursor)
+{
+    auto get8r = [&]() -> uint8_t {
+        if (cursor >= len)
+            fatal("transition record: truncated input");
+        return data[cursor++];
+    };
+    auto getVarR = [&]() -> uint64_t {
+        uint64_t v = 0;
+        int shift = 0;
+        for (;;) {
+            uint8_t byte = get8r();
+            v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+            if (!(byte & 0x80))
+                return v;
+            shift += 7;
+            if (shift > 63)
+                fatal("transition record: varint too long");
+        }
+    };
+
+    BlockTransition tr;
+    uint64_t start = getVarR();
+    uint64_t span = getVarR();
+    if (start > kNoAddr || span > kNoAddr - start)
+        fatal("transition record: out-of-range block bounds");
+    tr.from.start = static_cast<Addr>(start);
+    tr.from.end = static_cast<Addr>(start + span);
+    tr.from.icount = getVarR();
+    uint8_t kind = get8r();
+    if (kind > kMaxEdgeKind)
+        fatal("transition record: bad edge kind %u", kind);
+    tr.kind = static_cast<EdgeKind>(kind);
+    uint64_t to = getVarR();
+    if (to > kNoAddr)
+        fatal("transition record: out-of-range destination");
+    tr.toStart = static_cast<Addr>(to);
+    return tr;
+}
 
 // ---------------------------------------------------------------- writer
 
@@ -127,13 +166,7 @@ void
 TraceLogWriter::append(const BlockTransition &tr)
 {
     TEA_ASSERT(!finished, "tracelog: append after finish");
-    if (tr.from.end < tr.from.start)
-        fatal("tracelog: block with end < start");
-    putVar(payload, tr.from.start);
-    putVar(payload, tr.from.end - tr.from.start);
-    putVar(payload, tr.from.icount);
-    payload.push_back(static_cast<uint8_t>(tr.kind));
-    putVar(payload, tr.toStart);
+    encodeTransition(payload, tr);
     ++chunkRecords;
     ++total;
     if (chunkRecords >= TraceLogFormat::kChunkRecords)
@@ -256,27 +289,12 @@ TraceLogReader::loadChunkStrict()
 
     chunk.clear();
     chunk.reserve(nrecords);
-    for (uint32_t i = 0; i < nrecords; ++i) {
-        BlockTransition tr;
-        uint64_t start = getVar(bytes, cursor);
-        uint64_t span = getVar(bytes, cursor);
-        if (start > kNoAddr || span > kNoAddr - start)
-            fatal("tracelog: record with out-of-range block bounds");
-        tr.from.start = static_cast<Addr>(start);
-        tr.from.end = static_cast<Addr>(start + span);
-        tr.from.icount = getVar(bytes, cursor);
-        uint8_t kind = get8(bytes, cursor);
-        if (kind > kMaxEdgeKind)
-            fatal("tracelog: record with bad edge kind %u", kind);
-        tr.kind = static_cast<EdgeKind>(kind);
-        uint64_t to = getVar(bytes, cursor);
-        if (to > kNoAddr)
-            fatal("tracelog: record with out-of-range destination");
-        tr.toStart = static_cast<Addr>(to);
-        if (cursor > payload_end)
-            fatal("tracelog: chunk records overrun payload");
-        chunk.push_back(tr);
-    }
+    // Records decode through the shared codec, bounded by the chunk
+    // payload: a record that would read past it fails as truncation
+    // instead of bleeding into the CRC word.
+    for (uint32_t i = 0; i < nrecords; ++i)
+        chunk.push_back(decodeTransition(bytes.data(), payload_end,
+                                         cursor));
     if (cursor != payload_end)
         fatal("tracelog: %zu undecoded payload bytes",
               payload_end - cursor);

@@ -52,6 +52,30 @@ struct TraceLogFormat
 };
 
 /**
+ * The one transition record encoding, shared by every transport that
+ * carries BlockTransitions — `.tlog` chunk payloads here and the wire
+ * protocol's RECORD_CHUNK payload (net/frame.hh):
+ *
+ *   varint from.start, varint from.end - from.start, varint icount,
+ *   u8 edge kind, varint toStart (kNoAddr for the final halt record)
+ *
+ * encodeTransition() appends one record to `out`; @throws FatalError
+ * when the block bounds are inverted (end < start) — the only state a
+ * live BlockTracker can never produce.
+ */
+void encodeTransition(std::vector<uint8_t> &out,
+                      const BlockTransition &tr);
+
+/**
+ * Decode one encodeTransition() record from `data[cursor..len)`,
+ * advancing `cursor` past it. Truncation, overlong varints,
+ * out-of-range addresses, and bad edge kinds all throw FatalError —
+ * a malformed record is never partially surfaced.
+ */
+BlockTransition decodeTransition(const uint8_t *data, size_t len,
+                                 size_t &cursor);
+
+/**
  * Appends BlockTransitions to a chunked log.
  *
  * Hook it behind a BlockTracker callback; call finish() (or let the

@@ -13,6 +13,7 @@ namespace tea {
 namespace {
 
 std::atomic<uint64_t> compileCounter{0};
+std::atomic<uint64_t> recompileCounter{0};
 
 /** Smallest power of two >= 2 * n (min 8): keeps the open-addressed
  *  table at most half full, so probe chains stay short. */
@@ -119,6 +120,143 @@ CompiledTea::compile(std::shared_ptr<const Tea> tea)
 }
 
 std::shared_ptr<const CompiledTea>
+CompiledTea::recompile(std::shared_ptr<const Tea> tea,
+                       const std::shared_ptr<const CompiledTea> &prev,
+                       bool appendOnly, double maxChurn,
+                       RecompileInfo *info)
+{
+    TEA_ASSERT(tea != nullptr, "recompiling a null automaton snapshot");
+    RecompileInfo local;
+    RecompileInfo &out = info != nullptr ? *info : local;
+    out = RecompileInfo{};
+
+    uint32_t newN = static_cast<uint32_t>(tea->numStates());
+    const char *fallback = nullptr;
+    if (prev == nullptr)
+        fallback = "no previous snapshot";
+    else if (!appendOnly)
+        fallback = "non-append growth";
+    else if (newN < prev->nStates)
+        fallback = "automaton shrank";
+    else if (double(newN - prev->nStates) > maxChurn * double(newN))
+        fallback = "churn over threshold";
+    if (fallback != nullptr) {
+        out.fallbackReason = fallback;
+        return compile(std::move(tea));
+    }
+
+    uint32_t prevN = prev->nStates;
+    if (newN == prevN) {
+        // Append-only with no new states means no new trace: identical
+        // automaton, nothing to build.
+        out.incremental = true;
+        out.unchanged = true;
+        out.reusedStates = prevN;
+        return prev;
+    }
+
+    // Spot-check the append-only claim against the last reused state;
+    // the full differential lives in tests/test_rec.cc.
+    if (prevN > 1) {
+        const TeaState &last = tea->state(prevN - 1);
+        TEA_ASSERT(prev->stateStartP[prevN - 1] == last.start &&
+                       prev->stateMetaP[prevN - 1].trace == last.trace,
+                   "recompile: previous snapshot is not a prefix of the "
+                   "grown automaton");
+    }
+
+    recompileCounter.fetch_add(1, std::memory_order_relaxed);
+
+    uint32_t nEntries = static_cast<uint32_t>(tea->entries().size());
+    // The reused prefix pins its transition count; only appended states
+    // contribute new CSR records.
+    uint64_t succTotal = prev->nSuccs_;
+    for (StateId id = prevN; id < newN; ++id)
+        succTotal += tea->state(id).succs.size();
+    TEA_ASSERT(succTotal <= 0xffffffffull, "transition count overflow");
+    uint32_t nSuccs = static_cast<uint32_t>(succTotal);
+    uint32_t cap = hashCapacity(nEntries);
+
+    // Blobless arena (teaBytes = 0): the source .tea copy is the one
+    // section whose cost scales with the whole automaton, so deltas
+    // skip it and co-own the source instead; serialize() regenerates
+    // the canonical blob-bearing image on persist.
+    TeacLayout lay = TeacLayout::compute(newN, nSuccs, nEntries, cap, 0);
+    std::shared_ptr<CompiledTea> compiled(new CompiledTea());
+    CompiledTea &c = *compiled;
+    c.nStates = newN;
+    c.nSuccs_ = nSuccs;
+    c.nEntries_ = nEntries;
+    c.hashMask = cap - 1;
+    c.teaBlobLen_ = 0;
+    c.arena.assign(lay.payloadBytes, 0);
+    uint8_t *base = c.arena.data();
+    auto *succOffset = reinterpret_cast<uint32_t *>(base + lay.offSuccOffset);
+    auto *succsOut = reinterpret_cast<Succ *>(base + lay.offSuccs);
+    auto *stateStart = reinterpret_cast<Addr *>(base + lay.offStateStart);
+    auto *stateMeta = reinterpret_cast<StateMeta *>(base + lay.offStateMeta);
+    auto *hashSlots = reinterpret_cast<HashSlot *>(base + lay.offHashSlots);
+    auto *entriesOut = reinterpret_cast<Entry *>(base + lay.offEntries);
+
+    // Reused prefix: verbatim copies out of the previous arena (owned
+    // or mapped — the typed pointers read the same either way).
+    std::memcpy(succOffset, prev->succOffsetP,
+                (size_t(prevN) + 1) * sizeof(uint32_t));
+    std::memcpy(succsOut, prev->succsP, size_t(prev->nSuccs_) * sizeof(Succ));
+    std::memcpy(stateStart, prev->stateStartP, size_t(prevN) * sizeof(Addr));
+    std::memcpy(stateMeta, prev->stateMetaP,
+                size_t(prevN) * sizeof(StateMeta));
+
+    // Appended states. Starts and identities first: appended traces'
+    // edges are intra-trace, so a new state's succ targets (and their
+    // labels) land inside the appended range being filled here.
+    for (StateId id = prevN; id < newN; ++id) {
+        const TeaState &st = tea->state(id);
+        stateStart[id] = st.start;
+        stateMeta[id] = StateMeta{st.trace, st.tbb};
+    }
+    for (StateId id = prevN; id < newN; ++id) {
+        const TeaState &st = tea->state(id);
+        succOffset[id + 1] =
+            succOffset[id] + static_cast<uint32_t>(st.succs.size());
+        uint32_t at = succOffset[id];
+        for (StateId t : st.succs)
+            succsOut[at++] = Succ{stateStart[t], t};
+    }
+
+    // Entry index: rebuilt in full. O(traces) — cheap next to the state
+    // sections — and Tea::entries() iterates sorted by address, so the
+    // hash fill order (hence the bytes) matches a full compile exactly.
+    for (uint32_t i = 0; i < cap; ++i)
+        hashSlots[i] = HashSlot{kNoAddr, Tea::kNteState};
+    uint32_t at = 0;
+    for (const auto &[addr, id] : tea->entries()) {
+        TEA_ASSERT(addr != kNoAddr, "entry at the invalid address");
+        entriesOut[at++] = Entry{addr, id};
+        uint32_t slot = hashOf(addr) & c.hashMask;
+        while (hashSlots[slot].addr != kNoAddr)
+            slot = (slot + 1) & c.hashMask;
+        hashSlots[slot] = HashSlot{addr, id};
+    }
+
+    c.payloadP = base;
+    c.payloadLen = lay.payloadBytes;
+    c.succOffsetP = succOffset;
+    c.succsP = succsOut;
+    c.stateStartP = stateStart;
+    c.stateMetaP = stateMeta;
+    c.hashSlotsP = hashSlots;
+    c.entriesP = entriesOut;
+    c.teaBlobP = base + lay.offTea;
+    c.source = std::move(tea);
+
+    out.incremental = true;
+    out.reusedStates = prevN;
+    out.addedStates = newN - prevN;
+    return compiled;
+}
+
+std::shared_ptr<const CompiledTea>
 CompiledTea::fromMapped(std::shared_ptr<const MappedFile> file,
                         bool verifyPayload)
 {
@@ -168,6 +306,10 @@ CompiledTea::stateFor(uint32_t trace, uint32_t tbb) const
 Tea
 CompiledTea::rehydrateTea() const
 {
+    // Blobless delta snapshots carry their source live instead of
+    // serialized.
+    if (teaBlobLen_ == 0 && source != nullptr)
+        return *source;
     return loadTea(std::vector<uint8_t>(teaBlobP, teaBlobP + teaBlobLen_));
 }
 
@@ -186,6 +328,12 @@ uint64_t
 CompiledTea::compileCount()
 {
     return compileCounter.load(std::memory_order_relaxed);
+}
+
+uint64_t
+CompiledTea::recompileCount()
+{
+    return recompileCounter.load(std::memory_order_relaxed);
 }
 
 } // namespace tea

@@ -110,6 +110,51 @@ class CompiledTea
     static std::shared_ptr<const CompiledTea>
     compile(std::shared_ptr<const Tea> tea);
 
+    /** Outcome report of recompile(): which path ran and how much of
+     *  the previous arena it reused. */
+    struct RecompileInfo
+    {
+        bool incremental = false; ///< delta path (or unchanged reuse)
+        bool unchanged = false;   ///< `prev` was returned as-is
+        uint32_t reusedStates = 0;
+        uint32_t addedStates = 0;
+        const char *fallbackReason = nullptr; ///< set when full compile ran
+    };
+
+    /**
+     * Incremental recompile for online recording: a snapshot of `tea`
+     * that reuses the unchanged prefix of `prev`'s arena instead of
+     * rebuilding every section, so recompile cost tracks the *growth*,
+     * not the automaton size.
+     *
+     * Append-only growth (the recorder's NewTrace case) keeps state ids
+     * and the per-state CSR prefix byte-stable: buildTea() assigns ids
+     * in trace order and trace edges never cross traces, so appending a
+     * trace appends states. The delta path memcpys the first prevN
+     * states' offset/succ/start/meta records and builds only the
+     * appended ones. The entry hash and sorted entry array are rebuilt
+     * in full from Tea::entries() — O(traces), not O(states), and the
+     * sorted iteration keeps their bytes canonical.
+     *
+     * Falls back to a full compile (reporting why through `info`) when
+     * `prev` is null, growth was not append-only (ExtendTrace replaces
+     * a trace and reshuffles ids), the automaton shrank, or the
+     * appended state fraction exceeds `maxChurn`. When nothing grew at
+     * all it returns `prev` itself.
+     *
+     * The delta snapshot is *blobless* — no embedded `.tea` copy — and
+     * co-owns `tea` instead; serialize() regenerates the canonical full
+     * image from the source, so persisted `.teac` bytes stay
+     * bit-identical to an offline compile. Write-through pays that
+     * full-compile cost only when a snapshot is persisted, not per
+     * delta.
+     */
+    static std::shared_ptr<const CompiledTea>
+    recompile(std::shared_ptr<const Tea> tea,
+              const std::shared_ptr<const CompiledTea> &prev,
+              bool appendOnly, double maxChurn = 0.5,
+              RecompileInfo *info = nullptr);
+
     /**
      * Zero-copy load: validate `file` as a `.teac` image (tea/teac.hh)
      * and serve replay directly from the mapped bytes. The returned
@@ -250,6 +295,11 @@ class CompiledTea
      * contract are both asserted against this counter.
      */
     static uint64_t compileCount();
+
+    /** Total delta recompiles since process start. A delta bumps this,
+     *  never compileCount() — the store's compile-once and
+     *  mmap-never-compiles contracts stay assertable. */
+    static uint64_t recompileCount();
 
     static uint32_t
     hashOf(Addr addr)

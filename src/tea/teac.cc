@@ -325,6 +325,13 @@ CompiledTeaView::parse(const uint8_t *data, size_t len, bool verifyPayload)
 std::vector<uint8_t>
 CompiledTea::serialize() const
 {
+    // A blobless delta snapshot (CompiledTea::recompile) has no
+    // embedded source copy; its persistent form is the canonical full
+    // compile of the co-owned source, so `.teac` bytes on disk are
+    // bit-identical to an offline compile of the same automaton.
+    if (teaBlobLen_ == 0 && sourceTea() != nullptr)
+        return CompiledTea(*sourceTea()).serialize();
+
     TeacHeader h{};
     h.magic = kTeacMagic;
     h.version = kTeacVersion;

@@ -43,6 +43,11 @@ set(cases
     "remote-replay"           # missing --connect <name> <log>...
     "remote-replay|--connect|tcp:localhost:9" # missing name and logs
     "remote-replay|--connect|tcp:localhost:9|gzip" # missing logs
+    "record|syn.mcf|stray-arg" # local record takes one positional
+    "record|--connect|tcp:localhost:9" # missing name and logs
+    "record|--connect|tcp:localhost:9|gzip" # missing logs
+    "record|--connect|tcp:localhost:9|gzip|--live" # missing <prog>
+    "record|--connect|tcp:localhost:9|gzip|a.tlog|--swap-interval|-1"
     "run|syn.mcf|stray-arg"   # excess positional
     "run|--bogus-flag"        # unknown flag
 )

@@ -7,6 +7,14 @@
  *   disasm <prog>                      print the disassembly
  *   record <prog> [--selector S] [--pin] [--traces F] [--tea F]
  *                                      record traces online; export them
+ *   record --connect EP <name> <log>...
+ *                                      stream saved trace logs to a
+ *                                      server, growing (and hot-
+ *                                      swapping) the automaton <name>
+ *                                      remotely; --live <prog> streams
+ *                                      a local execution instead
+ *                                      (--swap-interval N overrides
+ *                                      the server's publish cadence)
  *   replay <prog> --traces F [--no-global] [--no-local] [--profile]
  *                                      replay saved traces on <prog>
  *   translate <prog> [--selector S] [--optimize]
@@ -120,9 +128,11 @@ struct Options
     int slowRequestMs = 0;     ///< serve: slow-request log (0 = off)
     int traceRing = 1024;      ///< serve: span ring capacity
     int watch = 0;             ///< stats: poll every N seconds (0 = once)
+    int swapInterval = 0;      ///< record: hot-swap cadence (0 = server)
     long long maxResidentBytes = 0; ///< serve: store byte budget (0 = off)
     long long maxResident = 0;      ///< serve: store count budget (0 = off)
     bool salvage = false;      ///< batch-replay: recover torn logs
+    bool live = false;         ///< record --connect: stream an execution
     bool pinPolicy = false;
     bool optimize = false;
     bool noGlobal = false;
@@ -141,6 +151,10 @@ usage()
         "  disasm <prog>\n"
         "  record <prog> [--selector mret|tt|ctt|mfet] [--pin]\n"
         "         [--traces out.traces] [--tea out.tea]\n"
+        "  record --connect EP <name> <log>... [--selector S]\n"
+        "         [--swap-interval N]\n"
+        "  record --connect EP <name> --live <prog> [--selector S]\n"
+        "         [--swap-interval N] [--size S] [--pin]\n"
         "  replay <prog> --traces in.traces [--no-global] [--no-local]\n"
         "         [--reference] [--profile]\n"
         "  translate <prog> [--selector S] [--optimize]\n"
@@ -159,7 +173,7 @@ usage()
         "         [--request-deadline-ms N] [--slow-request-ms N]\n"
         "         [--trace-ring N] [--store DIR]\n"
         "         [--max-resident-bytes N] [--max-resident N]\n"
-        "         [name=tea]...\n"
+        "         [--swap-interval N] [name=tea]...\n"
         "  remote-replay --connect EP [--put tea-file] [--json]\n"
         "         [--retries N] [--backoff-ms N]\n"
         "         [--no-global] [--no-local] [--reference]\n"
@@ -254,7 +268,13 @@ parseArgs(int argc, char **argv)
             opt.watch = std::atoi(value().c_str());
             if (opt.watch < 1)
                 usage();
-        } else if (arg == "--salvage")
+        } else if (arg == "--swap-interval") {
+            opt.swapInterval = std::atoi(value().c_str());
+            if (opt.swapInterval < 0)
+                usage();
+        } else if (arg == "--live")
+            opt.live = true;
+        else if (arg == "--salvage")
             opt.salvage = true;
         else if (arg == "--json")
             opt.json = true;
@@ -323,8 +343,82 @@ cmdDisasm(const Options &opt)
 }
 
 int
+cmdRecordRemote(const Options &opt)
+{
+    // First positional is the automaton name; the rest are trace logs
+    // (or, with --live, the one program to run while streaming).
+    if (opt.program.empty() || opt.extraArgs.empty())
+        usage();
+    const std::string &name = opt.program;
+
+    RemoteRecordOptions ropt;
+    ropt.swapInterval = static_cast<uint32_t>(opt.swapInterval);
+    ropt.selector = opt.selector;
+
+    TeaClient client = TeaClient::connect(opt.endpoint);
+    client.recordBegin(name, ropt);
+
+    // Batch locally so each RECORD_CHUNK carries a few thousand
+    // records rather than one frame per transition.
+    constexpr size_t kBatch = 4096;
+    std::vector<BlockTransition> batch;
+    batch.reserve(kBatch);
+    uint64_t streamed = 0;
+    auto flush = [&] {
+        if (batch.empty())
+            return;
+        client.recordChunk(batch.data(), batch.size());
+        streamed += batch.size();
+        batch.clear();
+    };
+    auto push = [&](const BlockTransition &tr) {
+        batch.push_back(tr);
+        if (batch.size() >= kBatch)
+            flush();
+    };
+
+    if (opt.live) {
+        if (opt.extraArgs.size() != 1)
+            usage();
+        Options progOpt = opt;
+        progOpt.program = opt.extraArgs[0];
+        Program prog = loadProgram(progOpt);
+        Machine m(prog);
+        BlockTracker tracker(
+            prog, [&](const BlockTransition &tr) { push(tr); },
+            /*rep_per_iteration=*/opt.pinPolicy);
+        m.runHooked([&](const EdgeEvent &ev) { tracker.onEdge(ev); },
+                    /*split_at_special=*/opt.pinPolicy);
+    } else {
+        for (const std::string &log : opt.extraArgs) {
+            TraceLogReader reader = TraceLogReader::openFile(log);
+            BlockTransition tr;
+            while (reader.next(tr))
+                push(tr);
+        }
+    }
+    flush();
+
+    RemoteRecordResult res = client.recordEnd();
+    std::printf("recorded '%s' via %s: %llu transitions streamed, "
+                "%llu traces, %llu states, %llu hot-swaps; coverage "
+                "%.2f%%\n",
+                name.c_str(), opt.endpoint.c_str(),
+                static_cast<unsigned long long>(res.transitions),
+                static_cast<unsigned long long>(res.traces),
+                static_cast<unsigned long long>(res.states),
+                static_cast<unsigned long long>(res.swaps),
+                res.stats.coverage() * 100.0);
+    return 0;
+}
+
+int
 cmdRecord(const Options &opt)
 {
+    if (!opt.endpoint.empty())
+        return cmdRecordRemote(opt);
+    if (!opt.extraArgs.empty())
+        usage(); // local record takes exactly one positional
     Program prog = loadProgram(opt);
     TeaRecorder recorder(makeSelector(opt.selector));
     Machine m(prog);
@@ -749,7 +843,7 @@ cmdCompile(const Options &opt)
         auto compiled = CompiledTea::compile(tea);
         std::string out = opt.outDir + "/" + name + ".teac";
         saveTeacFile(*compiled, out);
-        std::printf("%-24s -> %s (%u states, %u entries, %zu bytes)\n",
+        std::printf("%-24s -> %s (%u states, %zu entries, %zu bytes)\n",
                     in.c_str(), out.c_str(), compiled->numStates(),
                     compiled->numEntries(),
                     compiled->arenaBytes() + sizeof(TeacHeader));
@@ -863,6 +957,8 @@ cmdServe(const Options &opt)
     cfg.storeMaxResidentBytes =
         static_cast<size_t>(opt.maxResidentBytes);
     cfg.storeMaxResident = static_cast<size_t>(opt.maxResident);
+    if (opt.swapInterval > 0)
+        cfg.recordSwapInterval = static_cast<uint32_t>(opt.swapInterval);
     TeaServer server(cfg);
     if (server.store() != nullptr)
         std::printf("store: %s (%zu .teac images on disk)\n",
@@ -1068,7 +1164,7 @@ main(int argc, char **argv)
         // positional argument.
         if (opt.command != "batch-replay" && opt.command != "serve" &&
             opt.command != "remote-replay" && opt.command != "compile" &&
-            !opt.extraArgs.empty())
+            opt.command != "record" && !opt.extraArgs.empty())
             usage();
         if (opt.command == "run")
             return cmdRun(opt);
