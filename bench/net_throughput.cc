@@ -14,7 +14,15 @@
  * container every client count necessarily lands near 1.0x, and the
  * delta between net and local streams/sec is the protocol cost.
  *
+ * The wire KB/req column counts both directions of every client's
+ * socket, divided by the number of replay requests. A final section
+ * replays the identical stream from a v1-encoded and a v2-encoded log
+ * and reports the wire bytes each request costs; `--min-wire-compression
+ * X` turns the v1/v2 ratio into a CI gate, failing the run when the v2
+ * upload stops being at least X times smaller on the wire.
+ *
  * Usage: net_throughput [--size test|train|ref] [--streams N]
+ *                       [--min-wire-compression X]
  */
 
 #include <cstdio>
@@ -39,10 +47,13 @@ namespace {
 
 /** Record a workload's transition stream into an in-memory log. */
 std::vector<uint8_t>
-recordLog(const Program &prog)
+recordLog(const Program &prog,
+          uint32_t version = TraceLogFormat::kVersion)
 {
     std::vector<uint8_t> bytes;
-    TraceLogWriter writer(&bytes);
+    TraceLogOptions opts;
+    opts.version = version;
+    TraceLogWriter writer(&bytes, opts);
     Machine m(prog);
     BlockTracker tracker(
         prog, [&](const BlockTransition &tr) { writer.append(tr); },
@@ -59,9 +70,14 @@ main(int argc, char **argv)
 {
     InputSize size = sizeFromArgs(argc, argv);
     size_t streams = 32;
-    for (int i = 1; i < argc; ++i)
+    double min_wire_compression = 0.0;
+    for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--streams") && i + 1 < argc)
             streams = static_cast<size_t>(std::atoi(argv[i + 1]));
+        if (!std::strcmp(argv[i], "--min-wire-compression") &&
+            i + 1 < argc)
+            min_wire_compression = std::atof(argv[i + 1]);
+    }
     if (streams == 0)
         streams = 1;
 
@@ -91,7 +107,8 @@ main(int argc, char **argv)
                 streams, static_cast<double>(log.size()) / (1 << 20),
                 hw, localMs);
 
-    TextTable table({"clients", "batch ms", "streams/s", "speedup"});
+    TextTable table(
+        {"clients", "batch ms", "streams/s", "speedup", "wire KB/req"});
     double base_sps = 0.0;
     for (unsigned clients = 1; clients <= std::max(4u, hw);
          clients *= 2) {
@@ -110,6 +127,7 @@ main(int argc, char **argv)
         // its connection for its whole share of the batch.
         std::vector<StreamResult> results(streams);
         std::vector<int> failed(clients, 0);
+        std::vector<uint64_t> wire(clients, 0);
         Stopwatch timer;
         std::vector<std::thread> threads;
         for (unsigned c = 0; c < clients; ++c) {
@@ -124,6 +142,8 @@ main(int argc, char **argv)
                         results[s].stats = r.stats;
                         results[s].execCounts = std::move(r.execCounts);
                     }
+                    wire[c] =
+                        client.bytesSent() + client.bytesReceived();
                 } catch (const FatalError &e) {
                     std::fprintf(stderr, "client %u: %s\n", c, e.what());
                     failed[c] = 1;
@@ -162,13 +182,75 @@ main(int argc, char **argv)
         double sps = ms > 0 ? 1e3 * static_cast<double>(streams) / ms : 0;
         if (clients == 1)
             base_sps = sps;
+        uint64_t wire_total = 0;
+        for (uint64_t b : wire)
+            wire_total += b;
         table.addRow({std::to_string(clients), TextTable::num(ms, 1),
                       TextTable::num(sps, 1),
                       TextTable::num(base_sps > 0 ? sps / base_sps : 0.0,
-                                     2)});
+                                     2),
+                      TextTable::num(static_cast<double>(wire_total) /
+                                         static_cast<double>(streams) /
+                                         1024.0,
+                                     1)});
     }
     std::fputs(table.render().c_str(), stdout);
     std::printf("(remote results bit-identical to the local batch at "
                 "every client count)\n");
+
+    // Wire cost of the log encoding: the same stream uploaded from a
+    // v1 and a v2 container, one request each over a fresh connection,
+    // counting both directions so the (identical) replies are charged
+    // equally to both.
+    std::vector<uint8_t> log_v1 =
+        recordLog(w.program, TraceLogFormat::kVersionV1);
+    uint64_t wire_req[2] = {0, 0};
+    ReplayStats wire_stats[2];
+    {
+        ServerConfig cfg;
+        cfg.endpoint = "tcp:127.0.0.1:0";
+        cfg.workers = 1;
+        TeaServer server(cfg);
+        server.start();
+        std::string ep = server.endpoint();
+        {
+            TeaClient admin = TeaClient::connect(ep);
+            admin.putAutomaton("gzip", *tea);
+        }
+        const std::vector<uint8_t> *logs[2] = {&log_v1, &log};
+        for (int v = 0; v < 2; ++v) {
+            TeaClient client = TeaClient::connect(ep);
+            RemoteReplayOptions opt;
+            opt.wantProfile = true;
+            RemoteReplayResult r = client.replay("gzip", *logs[v], opt);
+            wire_stats[v] = r.stats;
+            wire_req[v] = client.bytesSent() + client.bytesReceived();
+        }
+        server.stop();
+    }
+    if (!(wire_stats[0] == wire_stats[1])) {
+        std::fprintf(stderr,
+                     "v1 and v2 uploads disagree on replay stats\n");
+        return 1;
+    }
+    double wire_ratio =
+        wire_req[1] > 0
+            ? static_cast<double>(wire_req[0]) /
+                  static_cast<double>(wire_req[1])
+            : 0.0;
+    std::printf("wire bytes/request: v1 %llu, v2 %llu (v2 %.2fx "
+                "smaller on the wire, same replay result)\n",
+                static_cast<unsigned long long>(wire_req[0]),
+                static_cast<unsigned long long>(wire_req[1]),
+                wire_ratio);
+    if (min_wire_compression > 0 && wire_ratio < min_wire_compression) {
+        std::printf("FAIL: v2 wire bytes only %.2fx below v1, "
+                    "gate requires %.2fx\n",
+                    wire_ratio, min_wire_compression);
+        return 1;
+    }
+    if (min_wire_compression > 0)
+        std::printf("PASS: wire compression %.2fx >= %.2fx\n",
+                    wire_ratio, min_wire_compression);
     return 0;
 }

@@ -15,6 +15,14 @@
  * logs and reports ns/transition; --min-speedup turns that comparison
  * into a CI gate, and --json dumps everything machine-readably.
  *
+ * The trace-log codec section encodes every recorded stream in all
+ * three containers (v1 raw, v2 delta, v2 elided), verifies each one
+ * decodes back bit-identically, and reports bytes/record plus decode
+ * ns/transition per encoding. --min-compression X gates the v1/v2
+ * size ratio (CI pins it at 2); --max-decode-ratio Y gates v2 decode
+ * time against v1 (CI pins it at 1.0 — the batch kernel must not be
+ * slower than the raw parse).
+ *
  * The observability guard: a third single-threaded timing runs the
  * compiled kernel under the exact instrumentation runReplayJob()
  * applies (kFeedBatch-sliced feeds, clock stamps at slice boundaries,
@@ -27,7 +35,8 @@
  *
  * Usage: svc_throughput [--size test|train|ref] [--streams N]
  *                       [--json FILE] [--min-speedup X]
- *                       [--max-overhead X]
+ *                       [--max-overhead X] [--min-compression X]
+ *                       [--max-decode-ratio X]
  */
 
 #include <cstdio>
@@ -163,6 +172,34 @@ instrumentedNsPerTransition(const std::vector<DecodedStream> &streams,
                        : 0.0;
 }
 
+/**
+ * Decode ns/transition of one encoded container through
+ * TraceLogReader (headers, CRCs, and the batch kernel included),
+ * minimum of `reps` full drains.
+ */
+double
+decodeNsPerTransition(const std::vector<uint8_t> &bytes,
+                      const CompiledTea *automaton, int reps = 5)
+{
+    double best = 1e300;
+    uint64_t records = 0;
+    for (int r = 0; r < reps; ++r) {
+        Stopwatch timer;
+        TraceLogReader reader(bytes.data(), bytes.size(),
+                              TraceLogReader::Mode::Strict, automaton);
+        BlockTransition tr;
+        uint64_t n = 0;
+        while (reader.next(tr))
+            ++n;
+        double ms = timer.elapsedMillis();
+        if (ms < best) {
+            best = ms;
+            records = n;
+        }
+    }
+    return records ? best * 1e6 / static_cast<double>(records) : 0.0;
+}
+
 } // namespace
 
 int
@@ -173,6 +210,8 @@ main(int argc, char **argv)
     std::string json_path;
     double min_speedup = 0.0;
     double max_overhead = 0.0;
+    double min_compression = 0.0;
+    double max_decode_ratio = 0.0;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--streams") && i + 1 < argc)
             streams = static_cast<size_t>(std::atoi(argv[i + 1]));
@@ -182,6 +221,12 @@ main(int argc, char **argv)
             min_speedup = std::atof(argv[i + 1]);
         else if (!std::strcmp(argv[i], "--max-overhead") && i + 1 < argc)
             max_overhead = std::atof(argv[i + 1]);
+        else if (!std::strcmp(argv[i], "--min-compression") &&
+                 i + 1 < argc)
+            min_compression = std::atof(argv[i + 1]);
+        else if (!std::strcmp(argv[i], "--max-decode-ratio") &&
+                 i + 1 < argc)
+            max_decode_ratio = std::atof(argv[i + 1]);
     }
 
     // The syn.gzip-class set: data-dependent compression-loop CFGs.
@@ -257,6 +302,90 @@ main(int argc, char **argv)
     std::printf("instrumented ns/transition: %.2f (metrics overhead "
                 "%+.2f%%)\n",
                 instrumented_ns, overhead_pct);
+
+    // Trace-log codec: the same streams in all three containers, each
+    // verified to decode back bit-identically before it is timed.
+    std::vector<std::vector<uint8_t>> logs_v1(names.size());
+    std::vector<std::vector<uint8_t>> logs_elided(names.size());
+    for (size_t k = 0; k < names.size(); ++k) {
+        TraceLogOptions v1opt;
+        v1opt.version = TraceLogFormat::kVersionV1;
+        TraceLogWriter w1(&logs_v1[k], v1opt);
+        TraceLogOptions eopt;
+        eopt.elideWith = compiled[k];
+        TraceLogWriter we(&logs_elided[k], eopt);
+        for (const BlockTransition &tr : decoded[k].transitions) {
+            w1.append(tr);
+            we.append(tr);
+        }
+        w1.finish();
+        we.finish();
+    }
+    uint64_t total_records = 0;
+    for (const DecodedStream &s : decoded)
+        total_records += s.transitions.size();
+    const char *enc_name[3] = {"v1 raw", "v2 delta", "v2 elided"};
+    uint64_t enc_bytes[3] = {0, 0, 0};
+    double enc_ns[3] = {0, 0, 0};
+    for (int enc = 0; enc < 3; ++enc) {
+        double weighted_ns = 0;
+        for (size_t k = 0; k < names.size(); ++k) {
+            const std::vector<uint8_t> &b = enc == 0   ? logs_v1[k]
+                                            : enc == 1 ? logs[k]
+                                                       : logs_elided[k];
+            const CompiledTea *aut =
+                enc == 2 ? compiled[k].get() : nullptr;
+            std::vector<BlockTransition> back = readTraceLog(b, aut);
+            const std::vector<BlockTransition> &want =
+                decoded[k].transitions;
+            bool same = back.size() == want.size();
+            for (size_t i = 0; same && i < back.size(); ++i)
+                same = back[i].from == want[i].from &&
+                       back[i].toStart == want[i].toStart &&
+                       back[i].kind == want[i].kind;
+            if (!same) {
+                std::fprintf(stderr,
+                             "%s container of %s does not decode back "
+                             "to the recorded stream\n",
+                             enc_name[enc], names[k].c_str());
+                return 1;
+            }
+            enc_bytes[enc] += b.size();
+            weighted_ns +=
+                decodeNsPerTransition(b, aut) *
+                static_cast<double>(want.size());
+        }
+        enc_ns[enc] =
+            total_records
+                ? weighted_ns / static_cast<double>(total_records)
+                : 0.0;
+    }
+    double compression_v2 =
+        enc_bytes[1] ? static_cast<double>(enc_bytes[0]) /
+                           static_cast<double>(enc_bytes[1])
+                     : 0.0;
+    double compression_elided =
+        enc_bytes[2] ? static_cast<double>(enc_bytes[0]) /
+                           static_cast<double>(enc_bytes[2])
+                     : 0.0;
+    double decode_ratio = enc_ns[0] > 0 ? enc_ns[1] / enc_ns[0] : 0.0;
+    TextTable codec(
+        {"encoding", "bytes", "B/record", "vs v1", "decode ns/rec"});
+    for (int enc = 0; enc < 3; ++enc)
+        codec.addRow(
+            {enc_name[enc], std::to_string(enc_bytes[enc]),
+             TextTable::num(static_cast<double>(enc_bytes[enc]) /
+                                static_cast<double>(total_records),
+                            2),
+             TextTable::num(static_cast<double>(enc_bytes[0]) /
+                                static_cast<double>(enc_bytes[enc]),
+                            2),
+             TextTable::num(enc_ns[enc], 2)});
+    std::fputs(codec.render().c_str(), stdout);
+    std::printf("log codec: v2 %.2fx smaller than v1 (elided %.2fx), "
+                "v2 decode at %.2fx the v1 time; all three decode "
+                "bit-identically\n",
+                compression_v2, compression_elided, decode_ratio);
 
     TextTable table({"workers", "batch ms", "streams/s", "speedup"});
     double base_sps = 0.0;
@@ -347,6 +476,20 @@ main(int argc, char **argv)
         std::fprintf(f, "  \"metricsOverheadPct\": %.4f,\n",
                      overhead_pct);
         std::fprintf(f, "  \"kernelSpeedup\": %.4f,\n", kernel_speedup);
+        std::fprintf(f, "  \"logBytesV1\": %llu,\n",
+                     static_cast<unsigned long long>(enc_bytes[0]));
+        std::fprintf(f, "  \"logBytesV2\": %llu,\n",
+                     static_cast<unsigned long long>(enc_bytes[1]));
+        std::fprintf(f, "  \"logBytesElided\": %llu,\n",
+                     static_cast<unsigned long long>(enc_bytes[2]));
+        std::fprintf(f, "  \"compressionV2\": %.4f,\n", compression_v2);
+        std::fprintf(f, "  \"compressionElided\": %.4f,\n",
+                     compression_elided);
+        std::fprintf(f, "  \"decodeNsPerRecordV1\": %.4f,\n", enc_ns[0]);
+        std::fprintf(f, "  \"decodeNsPerRecordV2\": %.4f,\n", enc_ns[1]);
+        std::fprintf(f, "  \"decodeNsPerRecordElided\": %.4f,\n",
+                     enc_ns[2]);
+        std::fprintf(f, "  \"decodeRatioV2\": %.4f,\n", decode_ratio);
         std::fprintf(f, "  \"streamsPerSec\": [\n");
         for (size_t i = 0; i < worker_sps.size(); ++i)
             std::fprintf(f,
@@ -369,6 +512,19 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "FAIL: metrics overhead %.2f%% exceeds the "
                      "allowed %.2f%%\n", overhead_pct, max_overhead);
+        return 1;
+    }
+    if (min_compression > 0.0 && compression_v2 < min_compression) {
+        std::fprintf(stderr,
+                     "FAIL: v2 compression %.2fx below the required "
+                     "%.2fx\n", compression_v2, min_compression);
+        return 1;
+    }
+    if (max_decode_ratio > 0.0 && decode_ratio > max_decode_ratio) {
+        std::fprintf(stderr,
+                     "FAIL: v2 decode at %.2fx the v1 time exceeds "
+                     "the allowed %.2fx\n", decode_ratio,
+                     max_decode_ratio);
         return 1;
     }
     return 0;

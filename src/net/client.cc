@@ -219,13 +219,17 @@ TeaClient::recordBegin(const std::string &name, RemoteRecordOptions opt)
 {
     PayloadWriter w;
     w.str(name);
-    w.u8(0); // flags: reserved
+    w.u8(opt.v1Chunks ? 0 : RecordFlags::kChunksV2);
     w.u32(opt.swapInterval);
     w.str(opt.selector);
     sendFrame(MsgType::RecordBegin, w);
     // Wait for the ack before streaming: a claimed name or unknown
     // selector fails here, with no transitions wasted on the wire.
-    expect(MsgType::RecordOk);
+    // The ack payload (absent from older servers) carries the
+    // capability byte: bit 0 accepts framed v2 delta chunks.
+    Frame ok = expect(MsgType::RecordOk);
+    recV2 = !opt.v1Chunks && !ok.payload.empty() &&
+            (ok.payload[0] & 1) != 0;
 }
 
 void
@@ -233,8 +237,11 @@ TeaClient::recordChunk(const BlockTransition *batch, size_t n)
 {
     PayloadWriter chunk;
     std::vector<uint8_t> bytes;
-    for (size_t i = 0; i < n; ++i)
-        encodeTransition(bytes, batch[i]);
+    if (recV2)
+        encodeWireChunk(bytes, batch, n);
+    else
+        for (size_t i = 0; i < n; ++i)
+            encodeTransition(bytes, batch[i]);
     chunk.raw(bytes.data(), bytes.size());
     sendFrame(MsgType::RecordChunk, chunk);
 }
@@ -261,8 +268,18 @@ TeaClient::record(const std::string &name,
                   RemoteRecordOptions opt)
 {
     recordBegin(name, opt);
-    // Split on encoded size, like replay(): a chunk stays well under
-    // the frame cap however long the transition sequence is.
+    if (recV2) {
+        // v2 chunks are framed with a record count, so split on count:
+        // a writer-sized chunk encodes far below the frame cap.
+        for (size_t off = 0; off < trs.size();
+             off += TraceLogFormat::kChunkRecords)
+            recordChunk(trs.data() + off,
+                        std::min<size_t>(TraceLogFormat::kChunkRecords,
+                                         trs.size() - off));
+        return recordEnd();
+    }
+    // Legacy records split on encoded size, like replay(): a chunk
+    // stays well under the frame cap however long the sequence is.
     std::vector<uint8_t> bytes;
     for (size_t i = 0; i < trs.size(); ++i) {
         encodeTransition(bytes, trs[i]);

@@ -81,6 +81,12 @@ struct RemoteRecordOptions
     uint32_t swapInterval = 0;
     /** Trace-selection policy name; empty = the server's default. */
     std::string selector;
+    /**
+     * Escape hatch: do not offer RecordFlags::kChunksV2, so every
+     * chunk goes out as bare encodeTransition() records even against
+     * a v2-capable server. Diagnostics and differential tests only.
+     */
+    bool v1Chunks = false;
 };
 
 /** One remote recording's outcome (the RECORD_RESULT frame). */
@@ -214,6 +220,19 @@ class TeaClient
 
     void close() { sock.close(); }
 
+    /**
+     * Did the server acknowledge RecordFlags::kChunksV2 for the
+     * current/last recording? False before any recordBegin(), against
+     * old servers, and under RemoteRecordOptions::v1Chunks.
+     */
+    bool recordChunksV2() const { return recV2; }
+
+    /** Raw bytes written to the socket (frames, after negotiation). */
+    uint64_t bytesSent() const { return sock.bytesSent(); }
+
+    /** Raw bytes read from the socket. */
+    uint64_t bytesReceived() const { return sock.bytesReceived(); }
+
     /** Faults the underlying FaultySocket injected (0 when unarmed). */
     uint64_t faultsInjected() const { return sock.faultsInjected(); }
 
@@ -238,6 +257,7 @@ class TeaClient
 
     FaultySocket sock;
     FrameDecoder decoder;
+    bool recV2 = false; ///< server acknowledged v2 record chunks
 };
 
 /**

@@ -68,8 +68,11 @@ FaultySocket::injectReset(const char *where)
 size_t
 FaultySocket::recvSome(void *buf, size_t len)
 {
-    if (!armed)
-        return sock.recvSome(buf, len);
+    if (!armed) {
+        size_t got = sock.recvSome(buf, len);
+        received += got;
+        return got;
+    }
     maybeDelay();
     // A simulated EINTR: the call was interrupted and retried. Socket
     // retries real EINTRs internally, so from here it is an extra wait
@@ -87,6 +90,7 @@ FaultySocket::recvSome(void *buf, size_t len)
         size_t at = rng.nextBelow(n);
         p[at] ^= static_cast<uint8_t>(1 + rng.nextBelow(255));
     }
+    received += n;
     return n;
 }
 
@@ -95,6 +99,7 @@ FaultySocket::sendAll(const void *buf, size_t len)
 {
     if (!armed || len == 0) {
         sock.sendAll(buf, len);
+        sent += len;
         return;
     }
     maybeDelay();
@@ -109,6 +114,7 @@ FaultySocket::sendAll(const void *buf, size_t len)
         size_t at = rng.nextBelow(len);
         bent[at] ^= static_cast<uint8_t>(1 + rng.nextBelow(255));
         sock.sendAll(bent.data(), bent.size());
+        sent += len;
         return;
     }
     if (len > 1 && roll(cfg.shortWrite, FaultKind::ShortWrite)) {
@@ -116,13 +122,16 @@ FaultySocket::sendAll(const void *buf, size_t len)
         // (and a reset may land between the halves, mid-frame).
         size_t cut = 1 + rng.nextBelow(len - 1);
         sock.sendAll(p, cut);
+        sent += cut;
         maybeDelay();
         if (roll(cfg.reset, FaultKind::Reset))
             injectReset("send (mid-frame)");
         sock.sendAll(p + cut, len - cut);
+        sent += len - cut;
         return;
     }
     sock.sendAll(p, len);
+    sent += len;
 }
 
 } // namespace tea

@@ -121,6 +121,12 @@ class FaultySocket
     void close() { sock.close(); }
     bool valid() const { return sock.valid(); }
 
+    /** Raw bytes written through sendAll(), for wire accounting. */
+    uint64_t bytesSent() const { return sent; }
+
+    /** Raw bytes surfaced by recvSome(). */
+    uint64_t bytesReceived() const { return received; }
+
     /** Faults injected so far (all classes), for tests and reports. */
     uint64_t faultsInjected() const { return injected; }
 
@@ -144,6 +150,8 @@ class FaultySocket
     FaultConfig cfg;
     Xorshift64Star rng;
     bool armed = false;
+    uint64_t sent = 0;
+    uint64_t received = 0;
     uint64_t injected = 0;
     std::array<uint64_t, kFaultKinds> byKind{};
 };

@@ -38,8 +38,7 @@
  *
  * RECORD grows an automaton server-side from a streamed transition
  * sequence (rec/recording.hh): BEGIN claims the name (one live
- * recording per name), each CHUNK carries encodeTransition() records
- * (svc/tracelog.hh — the same codec `.tlog` chunks use) that are
+ * recording per name), each CHUNK carries transition records that are
  * decoded and fed as one atomic batch, and END publishes the final
  * snapshot and answers with the recording summary plus the recorder's
  * ReplayStats. The verbs follow the PING/STATS versionless-growth
@@ -48,6 +47,22 @@
  * client reports as "server too old". A mid-recording disconnect
  * abandons the session: the last hot-swapped snapshot stays installed
  * and the partial batch is discarded.
+ *
+ * RECORD_CHUNK's record encoding is negotiated through the same
+ * tolerant-payload pattern, with no protocol version bump:
+ *
+ *   client RECORD_BEGIN flags        server RECORD_OK payload
+ *   0 (legacy)                       empty (legacy) or u8 0
+ *   RecordFlags::kChunksV2           u8 1 = v2 accepted
+ *
+ * With the bit acknowledged, each chunk payload is one framed
+ * encodeWireChunk() v2 delta chunk (svc/tracelog.hh) — revisited
+ * blocks cost 2-4 wire bytes instead of ~15. Any other pairing (old
+ * client/new server, new client/old server) falls back to bare
+ * concatenated encodeTransition() records, because an old server
+ * ignores unknown flag bits and an old client never reads RECORD_OK's
+ * payload. Streamed REPLAY needs no negotiation: REPLAY_CHUNK carries
+ * `.tlog` bytes verbatim, so a v2 log shrinks the wire by itself.
  *
  * BUSY may carry a payload (queue depth + max-sessions hint) since the
  * resilience work; it was empty in the first deployment, so readers
@@ -129,8 +144,11 @@ enum class MsgType : uint8_t {
      * (empty = server default). Extra bytes are ignored.
      */
     RecordBegin = 0x30,
+    /** Optional u8 capability ack: bit 0 = v2 chunks accepted. */
     RecordOk = 0x31,
-    /** Concatenated encodeTransition() records (svc/tracelog.hh). */
+    /** Concatenated encodeTransition() records, or one framed v2
+     *  delta chunk once RecordFlags::kChunksV2 was acknowledged
+     *  (svc/tracelog.hh). */
     RecordChunk = 0x32,
     RecordEnd = 0x33,
     /** u64 transitions, u64 traces, u64 states, u64 swaps, then the
@@ -151,6 +169,18 @@ struct ReplayFlags
      * default) means the server replays against its shared CompiledTea.
      */
     static constexpr uint8_t kReference = 1u << 3;
+};
+
+/** RECORD_BEGIN flag bits (unknown bits are ignored server-side). */
+struct RecordFlags
+{
+    /**
+     * Client can send framed v2 delta chunks (encodeWireChunk) in
+     * RECORD_CHUNK. The server acknowledges with a u8 1 leading
+     * RECORD_OK's payload; without the ack the client must fall back
+     * to bare encodeTransition() records.
+     */
+    static constexpr uint8_t kChunksV2 = 1u << 0;
 };
 
 /** One decoded frame. */

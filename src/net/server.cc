@@ -55,6 +55,7 @@ TeaServer::TeaServer(ServerConfig config)
     svcObs_.replayFailures = &metrics_.counter("svc.stream_failures");
     svcObs_.transitions = &metrics_.counter("svc.transitions");
     svcObs_.salvaged = &metrics_.counter("svc.salvaged");
+    svcObs_.recWireBytes = &metrics_.counter("rec.wire_bytes");
 
     // Values other objects already maintain are exported as callback
     // gauges, read at snapshot time — no mirrored state to drift.

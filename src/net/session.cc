@@ -368,7 +368,9 @@ Session::handleRequest(const Frame &frame, std::vector<uint8_t> &out)
             fatal("recording is not enabled on this server");
         PayloadReader r(frame.payload);
         std::string name = r.str(Wire::kMaxName);
-        r.u8(); // flags: reserved, unknown bits ignored
+        // Unknown flag bits are ignored (versionless growth); bit 0
+        // requests framed v2 delta chunks, acknowledged below.
+        uint8_t flags = r.u8();
         // Optional growth fields, decoded tolerantly (cf. BUSY/STATS):
         // a u32 swap interval and a selector name. Extra bytes beyond
         // those are future fields — ignored.
@@ -388,19 +390,32 @@ Session::handleRequest(const Frame &frame, std::vector<uint8_t> &out)
         // replay lookup: the online recorder must be bit-identical to
         // a default offline TeaRecorder over the same transitions.
         recSession = recSvc->begin(name, std::move(rc));
+        recChunksV2 = (flags & RecordFlags::kChunksV2) != 0;
         state = State::Recording;
-        reply(out, MsgType::RecordOk, PayloadWriter{});
+        // The ack byte completes the negotiation: an old client never
+        // reads RECORD_OK's payload, a new one reads bit 0.
+        PayloadWriter w;
+        w.u8(recChunksV2 ? 1 : 0);
+        reply(out, MsgType::RecordOk, w);
         return;
     }
     case MsgType::RecordChunk: {
         // Decode the whole chunk before feeding any of it: a malformed
         // record discards the batch atomically instead of leaving the
         // automaton grown by half a chunk.
+        if (ob.recWireBytes != nullptr)
+            ob.recWireBytes->inc(frame.payload.size());
         std::vector<BlockTransition> batch;
-        size_t cursor = 0;
-        while (cursor < frame.payload.size())
-            batch.push_back(decodeTransition(
-                frame.payload.data(), frame.payload.size(), cursor));
+        if (recChunksV2) {
+            // One framed v2 delta chunk (CRC-checked, batch-decoded).
+            batch = decodeWireChunk(frame.payload.data(),
+                                    frame.payload.size());
+        } else {
+            size_t cursor = 0;
+            while (cursor < frame.payload.size())
+                batch.push_back(decodeTransition(
+                    frame.payload.data(), frame.payload.size(), cursor));
+        }
         recSession->feedBatch(batch.data(), batch.size());
         return;
     }

@@ -61,6 +61,7 @@ struct SessionObs
     obs::Counter *replayFailures = nullptr; ///< svc.stream_failures
     obs::Counter *transitions = nullptr;    ///< svc.transitions
     obs::Counter *salvaged = nullptr;       ///< svc.salvaged
+    obs::Counter *recWireBytes = nullptr;   ///< rec.wire_bytes
 };
 
 class Session
@@ -220,6 +221,9 @@ class Session
     rec::RecordingService *recSvc = nullptr;
     uint32_t recSwapInterval = 4096;
     std::unique_ptr<rec::RecordingSession> recSession;
+    /** This recording's chunks arrive as framed v2 delta chunks
+     *  (negotiated via RecordFlags::kChunksV2 at RECORD_BEGIN). */
+    bool recChunksV2 = false;
 };
 
 } // namespace tea

@@ -16,9 +16,6 @@ ReplayService::ReplayService(size_t workers, LookupConfig config)
 {
 }
 
-/** Transitions decoded per feedAll() call in runReplayJob(). */
-constexpr size_t kFeedBatch = 1024;
-
 StreamResult
 runReplayJob(const ReplayJob &job, LookupConfig cfg)
 {
@@ -28,35 +25,38 @@ runReplayJob(const ReplayJob &job, LookupConfig cfg)
             fatal("replay job without an automaton");
         auto mode = job.salvage ? TraceLogReader::Mode::Salvage
                                 : TraceLogReader::Mode::Strict;
+        // The job's pinned snapshot doubles as the decode automaton:
+        // elided v2 chunks reconstruct through the same CompiledTea
+        // the replay walks (null for reference-kernel jobs without a
+        // snapshot, which then decode every non-elided log as before).
+        const CompiledTea *decodeTea = job.compiled.get();
         TraceLogReader reader =
-            job.logBytes ? TraceLogReader(*job.logBytes, mode)
-                         : TraceLogReader::openFile(job.logPath, mode);
+            job.logBytes
+                ? TraceLogReader(job.logBytes->data(),
+                                 job.logBytes->size(), mode, decodeTea)
+                : TraceLogReader::openFile(job.logPath, mode, decodeTea);
         // Compiled-only jobs (store-resident mapped images never carry
         // a Tea) replay on the snapshot alone; the tea-less constructor
         // rejects configs that need the source automaton.
         TeaReplayer replayer =
             job.tea ? TeaReplayer(*job.tea, cfg, job.compiled)
                     : TeaReplayer(job.compiled, cfg);
-        // Decode into a small buffer and feed in batches: the batch
-        // kernel keeps its counters in registers across each run. The
-        // per-phase clock is stamped only here, at batch boundaries —
-        // three reads per kFeedBatch transitions, nothing in the
-        // transition loop itself (the ≤3% instrumentation budget that
+        // Feed whole decoded chunks: the batch decode kernel fills the
+        // reader's chunk buffer and feedAll() consumes it in place —
+        // no per-record copy between decode and replay. The per-phase
+        // clock is stamped only at chunk boundaries — three reads per
+        // kChunkRecords transitions, nothing in the transition loop
+        // itself (the ≤3% instrumentation budget that
         // bench/svc_throughput enforces).
-        std::vector<BlockTransition> buf;
-        buf.reserve(kFeedBatch);
-        BlockTransition tr;
-        bool more = true;
-        while (more) {
+        for (;;) {
             uint64_t t0 = obs::monotonicNanos();
-            buf.clear();
-            while (buf.size() < kFeedBatch && reader.next(tr))
-                buf.push_back(tr);
-            more = buf.size() == kFeedBatch;
+            const std::vector<BlockTransition> *buf = reader.nextChunk();
             uint64_t t1 = obs::monotonicNanos();
-            replayer.feedAll(buf.data(), buf.data() + buf.size());
-            uint64_t t2 = obs::monotonicNanos();
             res.decodeNs += t1 - t0;
+            if (buf == nullptr)
+                break;
+            replayer.feedAll(buf->data(), buf->data() + buf->size());
+            uint64_t t2 = obs::monotonicNanos();
             res.replayNs += t2 - t1;
             ++res.batches;
         }

@@ -1,11 +1,19 @@
 #include "svc/tracelog.hh"
 
+#include <algorithm>
+#include <unordered_map>
+
+#include "tea/compiled.hh"
 #include "util/crc32.hh"
 #include "util/logging.hh"
+#include "util/mmap.hh"
 
 namespace tea {
 
 namespace {
+
+/** File-write buffer: chunks accumulate here between write() calls. */
+constexpr size_t kWriteBuffer = 256 * 1024;
 
 void
 put32(std::vector<uint8_t> &out, uint32_t v)
@@ -34,33 +42,482 @@ putVar(std::vector<uint8_t> &out, uint64_t v)
     out.push_back(static_cast<uint8_t>(v));
 }
 
-uint8_t
-get8(const std::vector<uint8_t> &bytes, size_t &cursor)
+/** Zigzag: small magnitudes of either sign become small varints. */
+uint64_t
+zigzag(int64_t v)
 {
-    if (cursor >= bytes.size())
+    return (static_cast<uint64_t>(v) << 1) ^
+           static_cast<uint64_t>(v >> 63);
+}
+
+int64_t
+unzigzag(uint64_t u)
+{
+    return static_cast<int64_t>(u >> 1) ^ -static_cast<int64_t>(u & 1);
+}
+
+uint8_t
+rd8(const uint8_t *data, size_t len, size_t &cursor)
+{
+    if (cursor >= len)
         fatal("tracelog: truncated input");
-    return bytes[cursor++];
+    return data[cursor++];
 }
 
 uint32_t
-get32(const std::vector<uint8_t> &bytes, size_t &cursor)
+rd32(const uint8_t *data, size_t len, size_t &cursor)
 {
-    uint32_t v = get8(bytes, cursor);
-    v |= static_cast<uint32_t>(get8(bytes, cursor)) << 8;
-    v |= static_cast<uint32_t>(get8(bytes, cursor)) << 16;
-    v |= static_cast<uint32_t>(get8(bytes, cursor)) << 24;
+    uint32_t v = rd8(data, len, cursor);
+    v |= static_cast<uint32_t>(rd8(data, len, cursor)) << 8;
+    v |= static_cast<uint32_t>(rd8(data, len, cursor)) << 16;
+    v |= static_cast<uint32_t>(rd8(data, len, cursor)) << 24;
     return v;
 }
 
 uint64_t
-get64(const std::vector<uint8_t> &bytes, size_t &cursor)
+rd64(const uint8_t *data, size_t len, size_t &cursor)
 {
-    uint64_t lo = get32(bytes, cursor);
-    uint64_t hi = get32(bytes, cursor);
+    uint64_t lo = rd32(data, len, cursor);
+    uint64_t hi = rd32(data, len, cursor);
     return lo | (hi << 32);
 }
 
+/**
+ * Force the per-record decoders into the chunk loop: at -O2 GCC
+ * outlines them (the cold fatal() paths inflate their size estimate),
+ * and the call/return alone costs a measurable share of the decode
+ * budget at a few ns per record.
+ */
+#if defined(__GNUC__)
+#define TEA_HOT_INLINE inline __attribute__((always_inline))
+#else
+#define TEA_HOT_INLINE inline
+#endif
+
 constexpr uint8_t kMaxEdgeKind = static_cast<uint8_t>(EdgeKind::Halt);
+
+/**
+ * The decode cursor of the batch kernel: a raw pointer pair. The
+ * varint fast path checks bounds once (a varint spans at most 10
+ * bytes), not per byte — decodeChunk() runs it for every field of
+ * every record except the last few of a chunk.
+ */
+struct ByteReader
+{
+    const uint8_t *p;
+    const uint8_t *end;
+
+    size_t left() const { return static_cast<size_t>(end - p); }
+
+    uint8_t
+    u8()
+    {
+        if (p == end)
+            fatal("transition record: truncated input");
+        return *p++;
+    }
+
+    uint64_t
+    var()
+    {
+        if (left() >= 10) {
+            uint64_t v = 0;
+            for (int shift = 0; shift <= 63; shift += 7) {
+                uint8_t byte = *p++;
+                v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+                if (!(byte & 0x80))
+                    return v;
+            }
+            fatal("transition record: varint too long");
+        }
+        uint64_t v = 0;
+        int shift = 0;
+        for (;;) {
+            uint8_t byte = u8();
+            v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+            if (!(byte & 0x80))
+                return v;
+            shift += 7;
+            if (shift > 63)
+                fatal("transition record: varint too long");
+        }
+    }
+};
+
+/** Decode one v1/raw record through the pointer cursor. */
+TEA_HOT_INLINE BlockTransition
+decodeRawRecord(ByteReader &r)
+{
+    BlockTransition tr;
+    uint64_t start = r.var();
+    uint64_t span = r.var();
+    if (start > kNoAddr || span > kNoAddr - start)
+        fatal("transition record: out-of-range block bounds");
+    tr.from.start = static_cast<Addr>(start);
+    tr.from.end = static_cast<Addr>(start + span);
+    tr.from.icount = r.var();
+    uint8_t kind = r.u8();
+    if (kind > kMaxEdgeKind)
+        fatal("transition record: bad edge kind %u", kind);
+    tr.kind = static_cast<EdgeKind>(kind);
+    uint64_t to = r.var();
+    if (to > kNoAddr)
+        fatal("transition record: out-of-range destination");
+    tr.toStart = static_cast<Addr>(to);
+    return tr;
+}
+
+// ------------------------------------------------- v2 delta records
+//
+// One tag byte, then only the fields the tag says are present:
+//
+//   bit 0  same-start: from.start == previous record's toStart
+//   bit 1  new-block:  explicit varint span + varint icount follow
+//                      (and update the chunk dictionary); absent, the
+//                      dictionary entry for from.start supplies both
+//   bit 2  halt:       toStart = kNoAddr, no destination field
+//   bits 3-4           reserved, must be zero
+//   bits 5-7           edge kind (0..6)
+//
+// Field order after the tag: [zigzag from.start delta from the base —
+// the previous toStart, or 0 at a chunk start / after a halt] when
+// not same-start; [varint span, varint icount] when new-block;
+// [zigzag toStart delta from from.start] when not halt. All state is
+// per chunk: every chunk decodes standalone, which is what keeps
+// salvage's whole-chunk-prefix guarantee intact.
+
+constexpr uint8_t kTagSameStart = 0x01;
+constexpr uint8_t kTagNewBlock = 0x02;
+constexpr uint8_t kTagHalt = 0x04;
+constexpr uint8_t kTagReserved = 0x18;
+constexpr int kTagKindShift = 5;
+
+struct DictEntry
+{
+    Addr span;
+    uint64_t icount;
+};
+
+/**
+ * The chunk dictionary, on the batch kernel's hottest path: one find()
+ * per record, one put() per distinct block. Open addressing with
+ * linear probing and a multiplicative hash — the per-record cost is
+ * one multiply and (almost always) one probe, where unordered_map's
+ * bucket chase alone made v2 decode measurably slower than v1.
+ */
+class BlockDict
+{
+  public:
+    BlockDict() { rehash(1u << 9); }
+
+    /**
+     * O(1) between-chunk reset: bumping the generation invalidates
+     * every slot without touching the table, and the table keeps its
+     * grown capacity — a reused dictionary does no allocation and no
+     * memset at a chunk boundary, where assign()-style clearing was a
+     * measurable share of the per-record decode budget.
+     */
+    void
+    clear()
+    {
+        count = 0;
+        if (++gen == 0) {
+            // Stamp wrap-around: re-zero once every 2^32 clears so a
+            // stale stamp can never alias the new generation.
+            for (Slot &sl : slots)
+                sl.stamp = 0;
+            gen = 1;
+        }
+    }
+
+    const DictEntry *
+    find(Addr key) const
+    {
+        for (size_t i = slot(key);; i = (i + 1) & mask) {
+            const Slot &sl = slots[i];
+            if (sl.stamp != gen)
+                return nullptr;
+            if (sl.key == key)
+                return &sl.entry;
+        }
+    }
+
+    void
+    put(Addr key, DictEntry v)
+    {
+        if ((count + 1) * 10 >= capacity * 7)
+            grow();
+        for (size_t i = slot(key);; i = (i + 1) & mask) {
+            Slot &sl = slots[i];
+            if (sl.stamp != gen) {
+                sl.stamp = gen;
+                sl.key = key;
+                sl.entry = v;
+                ++count;
+                return;
+            }
+            if (sl.key == key) {
+                sl.entry = v;
+                return;
+            }
+        }
+    }
+
+  private:
+    /** One probe touches one cache line: stamp, key, and payload live
+     * together rather than in parallel arrays. */
+    struct Slot
+    {
+        uint32_t stamp = 0;
+        Addr key = 0;
+        DictEntry entry{};
+    };
+
+    size_t slot(Addr key) const
+    {
+        return (static_cast<uint64_t>(key) * 0x9e3779b1u) & mask;
+    }
+
+    void
+    rehash(size_t cap)
+    {
+        capacity = cap;
+        mask = cap - 1;
+        slots.assign(cap, Slot{});
+        gen = 1;
+        count = 0;
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old = std::move(slots);
+        uint32_t oldGen = gen;
+        rehash(capacity * 2);
+        for (const Slot &sl : old)
+            if (sl.stamp == oldGen)
+                put(sl.key, sl.entry);
+    }
+
+    std::vector<Slot> slots;
+    uint32_t gen = 0;
+    size_t capacity = 0;
+    size_t mask = 0;
+    size_t count = 0;
+};
+
+struct DeltaState
+{
+    Addr prevTo = kNoAddr; ///< previous record's toStart; kNoAddr = none
+    BlockDict dict;        ///< by from.start
+    StateId pred = Tea::kNteState; ///< elision: the mirrored DFA state
+    /** Elision: last kind seen on the (from.start, toStart) edge. */
+    std::unordered_map<uint64_t, EdgeKind> edgeKind;
+    /** Elision: last label taken out of each automaton state. */
+    std::unordered_map<StateId, Addr> lastSucc;
+
+    /**
+     * Reset to the chunk-boundary state. Containers keep their
+     * capacity, so a thread_local scratch DeltaState makes the codec
+     * allocation-free in steady state while every chunk still decodes
+     * standalone — exactly the same observable behaviour as a fresh
+     * DeltaState.
+     */
+    void
+    reset()
+    {
+        prevTo = kNoAddr;
+        pred = Tea::kNteState;
+        dict.clear();
+        edgeKind.clear();
+        lastSucc.clear();
+    }
+};
+
+uint64_t
+edgeKey(Addr from, Addr to)
+{
+    return (static_cast<uint64_t>(from) << 32) | to;
+}
+
+void
+encodeDeltaRecord(std::vector<uint8_t> &out, const BlockTransition &tr,
+                  DeltaState &st)
+{
+    if (tr.from.end < tr.from.start)
+        fatal("transition record: block with end < start");
+    Addr span = tr.from.end - tr.from.start;
+    uint8_t tag = static_cast<uint8_t>(tr.kind) << kTagKindShift;
+    bool haveBase = st.prevTo != kNoAddr;
+    bool sameStart = haveBase && tr.from.start == st.prevTo;
+    if (sameStart)
+        tag |= kTagSameStart;
+    const DictEntry *it = st.dict.find(tr.from.start);
+    bool newBlock =
+        it == nullptr || it->span != span || it->icount != tr.from.icount;
+    if (newBlock)
+        tag |= kTagNewBlock;
+    bool halt = tr.toStart == kNoAddr;
+    if (halt)
+        tag |= kTagHalt;
+    out.push_back(tag);
+    if (!sameStart)
+        putVar(out,
+               zigzag(static_cast<int64_t>(tr.from.start) -
+                      static_cast<int64_t>(haveBase ? st.prevTo : 0)));
+    if (newBlock) {
+        putVar(out, span);
+        putVar(out, tr.from.icount);
+        st.dict.put(tr.from.start, DictEntry{span, tr.from.icount});
+    }
+    if (!halt)
+        putVar(out, zigzag(static_cast<int64_t>(tr.toStart) -
+                           static_cast<int64_t>(tr.from.start)));
+    st.prevTo = halt ? kNoAddr : tr.toStart;
+}
+
+TEA_HOT_INLINE BlockTransition
+decodeDeltaRecord(ByteReader &r, DeltaState &st)
+{
+    uint8_t tag = r.u8();
+    if (tag & kTagReserved)
+        fatal("transition record: reserved tag bits set");
+    uint8_t kind = tag >> kTagKindShift;
+    if (kind > kMaxEdgeKind)
+        fatal("transition record: bad edge kind %u", kind);
+    BlockTransition tr;
+    tr.kind = static_cast<EdgeKind>(kind);
+    bool haveBase = st.prevTo != kNoAddr;
+    int64_t start;
+    if (tag & kTagSameStart) {
+        if (!haveBase)
+            fatal("transition record: same-start without a base");
+        start = st.prevTo;
+    } else {
+        start = static_cast<int64_t>(haveBase ? st.prevTo : 0) +
+                unzigzag(r.var());
+        if (start < 0 || start > static_cast<int64_t>(kNoAddr))
+            fatal("transition record: out-of-range block start");
+    }
+    tr.from.start = static_cast<Addr>(start);
+    if (tag & kTagNewBlock) {
+        uint64_t span = r.var();
+        if (span > kNoAddr - static_cast<Addr>(start))
+            fatal("transition record: out-of-range block bounds");
+        tr.from.end = static_cast<Addr>(start + span);
+        tr.from.icount = r.var();
+        st.dict.put(tr.from.start,
+                    DictEntry{static_cast<Addr>(span), tr.from.icount});
+    } else {
+        const DictEntry *it = st.dict.find(tr.from.start);
+        if (it == nullptr)
+            fatal("transition record: block 0x%x missing from the "
+                  "chunk dictionary",
+                  tr.from.start);
+        tr.from.end = tr.from.start + it->span;
+        tr.from.icount = it->icount;
+    }
+    if (tag & kTagHalt) {
+        tr.toStart = kNoAddr;
+        st.prevTo = kNoAddr;
+    } else {
+        int64_t to = start + unzigzag(r.var());
+        if (to < 0 || to >= static_cast<int64_t>(kNoAddr))
+            fatal("transition record: out-of-range destination");
+        tr.toStart = static_cast<Addr>(to);
+        st.prevTo = tr.toStart;
+    }
+    return tr;
+}
+
+// -------------------------------------------------- elision predictor
+//
+// The writer and reader mirror the replayer's transition function
+// exactly (tea/replayer.cc feedCompiled): from a trace state, scan its
+// CSR successor run for the label; otherwise — and always from NTE —
+// fall back to the global entry index. The state outcome is
+// independent of LookupConfig (the local cache is value-transparent
+// and the B-tree/flat-hash containers index the same mapping), which
+// is what makes one predictor sound for every replay mode.
+
+StateId
+predictAdvance(const CompiledTea &ct, StateId s, Addr label)
+{
+    if (label == kNoAddr)
+        return s; // halt: the replayer stays put
+    if (s != Tea::kNteState) {
+        const CompiledTea::Succ *end = ct.succEnd(s);
+        for (const CompiledTea::Succ *p = ct.succBegin(s); p != end; ++p)
+            if (p->label == label)
+                return p->target;
+    }
+    return ct.entryAt(label);
+}
+
+/**
+ * The record the automaton predicts at this point, if any. The
+ * destination is the label last taken out of the mirrored state this
+ * chunk, defaulting to the state's first CSR successor before the
+ * state has fired — last-value prediction anchored on the automaton,
+ * so steady-state loop iterations predict perfectly while the
+ * automaton prior covers the first visit. The previous destination
+ * names the block (so from.start is forced), the dictionary supplies
+ * span and icount, and the per-edge kind table supplies the kind the
+ * (block, destination) edge carried last. Soundness never rests on a
+ * guess being right: the writer compares the prediction against the
+ * actual record and sets a bit only on exact equality, so
+ * reconstruction is bit-identical by construction.
+ */
+bool
+predictRecord(const CompiledTea &ct, const DeltaState &st,
+              BlockTransition &out)
+{
+    if (st.prevTo == kNoAddr || st.pred == Tea::kNteState)
+        return false;
+    const DictEntry *it = st.dict.find(st.prevTo);
+    if (it == nullptr)
+        return false;
+    Addr dest;
+    auto ls = st.lastSucc.find(st.pred);
+    if (ls != st.lastSucc.end()) {
+        dest = ls->second;
+    } else {
+        const CompiledTea::Succ *b = ct.succBegin(st.pred);
+        if (ct.succEnd(st.pred) == b)
+            return false;
+        dest = b->label;
+    }
+    auto ek = st.edgeKind.find(edgeKey(st.prevTo, dest));
+    if (ek == st.edgeKind.end())
+        return false;
+    out.from.start = st.prevTo;
+    out.from.end = st.prevTo + it->span;
+    out.from.icount = it->icount;
+    out.kind = ek->second;
+    out.toStart = dest;
+    return true;
+}
+
+/**
+ * Advance the elision predictor's dynamic tables past one record —
+ * writer and reader run this identically, before predictAdvance()
+ * moves the mirrored state.
+ */
+void
+notePredictorTables(DeltaState &st, const BlockTransition &tr)
+{
+    st.edgeKind[edgeKey(tr.from.start, tr.toStart)] = tr.kind;
+    if (st.pred != Tea::kNteState && tr.toStart != kNoAddr)
+        st.lastSucc[st.pred] = tr.toStart;
+}
+
+bool
+sameTransition(const BlockTransition &a, const BlockTransition &b)
+{
+    return a.from.start == b.from.start && a.from.end == b.from.end &&
+           a.from.icount == b.from.icount && a.kind == b.kind &&
+           a.toStart == b.toStart;
+}
 
 } // namespace
 
@@ -81,62 +538,211 @@ encodeTransition(std::vector<uint8_t> &out, const BlockTransition &tr)
 BlockTransition
 decodeTransition(const uint8_t *data, size_t len, size_t &cursor)
 {
-    auto get8r = [&]() -> uint8_t {
-        if (cursor >= len)
-            fatal("transition record: truncated input");
-        return data[cursor++];
-    };
-    auto getVarR = [&]() -> uint64_t {
-        uint64_t v = 0;
-        int shift = 0;
-        for (;;) {
-            uint8_t byte = get8r();
-            v |= static_cast<uint64_t>(byte & 0x7f) << shift;
-            if (!(byte & 0x80))
-                return v;
-            shift += 7;
-            if (shift > 63)
-                fatal("transition record: varint too long");
-        }
-    };
-
-    BlockTransition tr;
-    uint64_t start = getVarR();
-    uint64_t span = getVarR();
-    if (start > kNoAddr || span > kNoAddr - start)
-        fatal("transition record: out-of-range block bounds");
-    tr.from.start = static_cast<Addr>(start);
-    tr.from.end = static_cast<Addr>(start + span);
-    tr.from.icount = getVarR();
-    uint8_t kind = get8r();
-    if (kind > kMaxEdgeKind)
-        fatal("transition record: bad edge kind %u", kind);
-    tr.kind = static_cast<EdgeKind>(kind);
-    uint64_t to = getVarR();
-    if (to > kNoAddr)
-        fatal("transition record: out-of-range destination");
-    tr.toStart = static_cast<Addr>(to);
+    if (cursor > len)
+        fatal("transition record: truncated input");
+    ByteReader r{data + cursor, data + len};
+    BlockTransition tr = decodeRawRecord(r);
+    cursor = static_cast<size_t>(r.p - data);
     return tr;
+}
+
+void
+encodeChunkPayload(std::vector<uint8_t> &out, ChunkEncoding encoding,
+                   const BlockTransition *batch, size_t n,
+                   const CompiledTea *automaton)
+{
+    switch (encoding) {
+    case ChunkEncoding::Raw:
+        for (size_t i = 0; i < n; ++i)
+            encodeTransition(out, batch[i]);
+        return;
+    case ChunkEncoding::Delta: {
+        thread_local DeltaState st;
+        st.reset();
+        for (size_t i = 0; i < n; ++i)
+            encodeDeltaRecord(out, batch[i], st);
+        return;
+    }
+    case ChunkEncoding::Elided: {
+        if (automaton == nullptr)
+            fatal("tracelog: elided encoding needs an automaton");
+        const CompiledTea &ct = *automaton;
+        size_t base = out.size();
+        out.resize(base + (n + 7) / 8, 0);
+        std::vector<uint8_t> fallback;
+        thread_local DeltaState st;
+        st.reset();
+        for (size_t i = 0; i < n; ++i) {
+            BlockTransition predicted;
+            if (predictRecord(ct, st, predicted) &&
+                sameTransition(predicted, batch[i])) {
+                out[base + (i >> 3)] |=
+                    static_cast<uint8_t>(1u << (i & 7));
+                // A predicted destination is a successor label, never
+                // kNoAddr, so the base always stays valid here.
+                st.prevTo = batch[i].toStart;
+            } else {
+                encodeDeltaRecord(fallback, batch[i], st);
+            }
+            notePredictorTables(st, batch[i]);
+            st.pred = predictAdvance(ct, st.pred, batch[i].toStart);
+        }
+        out.insert(out.end(), fallback.begin(), fallback.end());
+        return;
+    }
+    }
+    fatal("tracelog: bad chunk encoding %u",
+          static_cast<unsigned>(encoding));
+}
+
+void
+decodeChunk(const TraceChunkView &chunk, const CompiledTea *automaton,
+            std::vector<BlockTransition> &out)
+{
+    // Pre-size and write by index: the per-record push_back capacity
+    // check and size bump measurably lengthen the kernel's dependency
+    // chain. On a decode error the caller discards `out` wholesale, so
+    // the default-constructed tail is never observed.
+    size_t base = out.size();
+    out.resize(base + chunk.records);
+    BlockTransition *dst = out.data() + base;
+    ByteReader r{chunk.payload, chunk.payload + chunk.size};
+    switch (chunk.encoding) {
+    case ChunkEncoding::Raw:
+        for (uint32_t i = 0; i < chunk.records; ++i)
+            dst[i] = decodeRawRecord(r);
+        break;
+    case ChunkEncoding::Delta: {
+        thread_local DeltaState st;
+        st.reset();
+        for (uint32_t i = 0; i < chunk.records; ++i)
+            dst[i] = decodeDeltaRecord(r, st);
+        break;
+    }
+    case ChunkEncoding::Elided: {
+        if (automaton == nullptr)
+            fatal("tracelog: elided chunk needs the recording "
+                  "automaton");
+        const CompiledTea &ct = *automaton;
+        size_t nbits = (static_cast<size_t>(chunk.records) + 7) / 8;
+        if (chunk.size < nbits)
+            fatal("tracelog: truncated elision bitset");
+        const uint8_t *bits = chunk.payload;
+        r.p = chunk.payload + nbits;
+        thread_local DeltaState st;
+        st.reset();
+        for (uint32_t i = 0; i < chunk.records; ++i) {
+            BlockTransition &tr = dst[i];
+            if ((bits[i >> 3] >> (i & 7)) & 1) {
+                if (!predictRecord(ct, st, tr))
+                    fatal("tracelog: elided record %u is not "
+                          "predictable",
+                          i);
+                st.prevTo = tr.toStart;
+            } else {
+                tr = decodeDeltaRecord(r, st);
+            }
+            notePredictorTables(st, tr);
+            st.pred = predictAdvance(ct, st.pred, tr.toStart);
+        }
+        break;
+    }
+    default:
+        fatal("tracelog: bad chunk encoding %u",
+              static_cast<unsigned>(chunk.encoding));
+    }
+    if (r.p != r.end)
+        fatal("tracelog: %zu undecoded payload bytes", r.left());
+}
+
+// ------------------------------------------------------- wire chunks
+
+void
+encodeWireChunk(std::vector<uint8_t> &out, const BlockTransition *batch,
+                size_t n)
+{
+    std::vector<uint8_t> payload;
+    encodeChunkPayload(payload, ChunkEncoding::Delta, batch, n);
+    std::vector<uint8_t> head;
+    put32(head, static_cast<uint32_t>(n));
+    head.push_back(static_cast<uint8_t>(ChunkEncoding::Delta));
+    put32(head, static_cast<uint32_t>(payload.size()));
+    uint32_t crc = crc32Update(crc32(head.data(), head.size()),
+                               payload.data(), payload.size());
+    out.insert(out.end(), head.begin(), head.end());
+    out.insert(out.end(), payload.begin(), payload.end());
+    put32(out, crc);
+}
+
+std::vector<BlockTransition>
+decodeWireChunk(const uint8_t *data, size_t len)
+{
+    size_t cursor = 0;
+    uint32_t nrecords = rd32(data, len, cursor);
+    if (nrecords > TraceLogFormat::kMaxChunkRecords)
+        fatal("tracelog: chunk record count %u exceeds limit %u",
+              nrecords, TraceLogFormat::kMaxChunkRecords);
+    uint8_t enc = rd8(data, len, cursor);
+    if (enc > static_cast<uint8_t>(ChunkEncoding::Elided))
+        fatal("tracelog: bad chunk encoding %u", enc);
+    if (enc == static_cast<uint8_t>(ChunkEncoding::Elided))
+        fatal("tracelog: elided chunks are not valid on the wire");
+    uint32_t nbytes = rd32(data, len, cursor);
+    if (nbytes > len - cursor)
+        fatal("tracelog: truncated chunk payload");
+    if (nrecords > nbytes)
+        fatal("tracelog: chunk record count %u exceeds payload bytes %u",
+              nrecords, nbytes);
+    const uint8_t *payload = data + cursor;
+    size_t payloadEnd = cursor + nbytes;
+    size_t crcCursor = payloadEnd;
+    uint32_t stored = rd32(data, len, crcCursor);
+    if (crc32(data, payloadEnd) != stored)
+        fatal("tracelog: chunk CRC mismatch");
+    if (crcCursor != len)
+        fatal("tracelog: %zu trailing bytes", len - crcCursor);
+    std::vector<BlockTransition> out;
+    decodeChunk(TraceChunkView{nrecords,
+                               static_cast<ChunkEncoding>(enc), payload,
+                               nbytes},
+                nullptr, out);
+    return out;
 }
 
 // ---------------------------------------------------------------- writer
 
-TraceLogWriter::TraceLogWriter(const std::string &file_path)
-    : file(file_path, std::ios::binary), path(file_path)
+TraceLogWriter::TraceLogWriter(const std::string &file_path,
+                               TraceLogOptions options)
+    : opts(std::move(options)), file(file_path, std::ios::binary),
+      path(file_path)
 {
+    if (opts.version != TraceLogFormat::kVersion &&
+        opts.version != TraceLogFormat::kVersionV1)
+        fatal("tracelog: unsupported writer version %u", opts.version);
+    if (opts.elideWith && opts.version == TraceLogFormat::kVersionV1)
+        fatal("tracelog: elision needs container version 2");
     if (!file)
         fatal("cannot open '%s' for writing", path.c_str());
     std::vector<uint8_t> header;
     put32(header, TraceLogFormat::kMagic);
-    put32(header, TraceLogFormat::kVersion);
+    put32(header, opts.version);
     emit(header.data(), header.size());
 }
 
-TraceLogWriter::TraceLogWriter(std::vector<uint8_t> *sink) : mem(sink)
+TraceLogWriter::TraceLogWriter(std::vector<uint8_t> *sink,
+                               TraceLogOptions options)
+    : opts(std::move(options)), mem(sink)
 {
     TEA_ASSERT(sink != nullptr, "tracelog: null memory sink");
-    put32(*mem, TraceLogFormat::kMagic);
-    put32(*mem, TraceLogFormat::kVersion);
+    if (opts.version != TraceLogFormat::kVersion &&
+        opts.version != TraceLogFormat::kVersionV1)
+        fatal("tracelog: unsupported writer version %u", opts.version);
+    if (opts.elideWith && opts.version == TraceLogFormat::kVersionV1)
+        fatal("tracelog: elision needs container version 2");
+    std::vector<uint8_t> header;
+    put32(header, TraceLogFormat::kMagic);
+    put32(header, opts.version);
+    emit(header.data(), header.size());
 }
 
 TraceLogWriter::~TraceLogWriter()
@@ -152,42 +758,71 @@ TraceLogWriter::~TraceLogWriter()
 void
 TraceLogWriter::emit(const uint8_t *data, size_t len)
 {
+    flushed += len;
     if (mem) {
         mem->insert(mem->end(), data, data + len);
         return;
     }
-    file.write(reinterpret_cast<const char *>(data),
-               static_cast<std::streamsize>(len));
+    obuf.insert(obuf.end(), data, data + len);
+}
+
+void
+TraceLogWriter::drainToFile(bool force)
+{
+    if (mem || obuf.empty())
+        return;
+    if (!force && obuf.size() < kWriteBuffer)
+        return;
+    file.write(reinterpret_cast<const char *>(obuf.data()),
+               static_cast<std::streamsize>(obuf.size()));
     if (!file)
         fatal("error writing '%s'", path.c_str());
+    obuf.clear();
 }
 
 void
 TraceLogWriter::append(const BlockTransition &tr)
 {
     TEA_ASSERT(!finished, "tracelog: append after finish");
-    encodeTransition(payload, tr);
-    ++chunkRecords;
+    if (tr.from.end < tr.from.start)
+        fatal("transition record: block with end < start");
+    pending.push_back(tr);
     ++total;
-    if (chunkRecords >= TraceLogFormat::kChunkRecords)
+    if (pending.size() >= TraceLogFormat::kChunkRecords)
         flushChunk();
 }
 
 void
 TraceLogWriter::flushChunk()
 {
-    if (chunkRecords == 0)
+    if (pending.empty())
         return;
+    ChunkEncoding enc = ChunkEncoding::Raw;
+    if (opts.version >= 2)
+        enc = opts.elideWith ? ChunkEncoding::Elided
+                             : ChunkEncoding::Delta;
+    scratch.clear();
+    encodeChunkPayload(scratch, enc, pending.data(), pending.size(),
+                       opts.elideWith.get());
     std::vector<uint8_t> head;
-    put32(head, chunkRecords);
-    put32(head, static_cast<uint32_t>(payload.size()));
+    put32(head, static_cast<uint32_t>(pending.size()));
+    if (opts.version >= 2)
+        head.push_back(static_cast<uint8_t>(enc));
+    put32(head, static_cast<uint32_t>(scratch.size()));
+    // v2 CRCs cover the chunk header too: a flipped encoding byte or
+    // record count must not pass as a valid chunk of another shape.
+    uint32_t crc =
+        opts.version >= 2
+            ? crc32Update(crc32(head.data(), head.size()),
+                          scratch.data(), scratch.size())
+            : crc32(scratch.data(), scratch.size());
     emit(head.data(), head.size());
-    emit(payload.data(), payload.size());
+    emit(scratch.data(), scratch.size());
     std::vector<uint8_t> tail;
-    put32(tail, crc32(payload.data(), payload.size()));
+    put32(tail, crc);
     emit(tail.data(), tail.size());
-    payload.clear();
-    chunkRecords = 0;
+    pending.clear();
+    drainToFile(false);
 }
 
 void
@@ -200,6 +835,7 @@ TraceLogWriter::finish()
     put32(trailer, 0);
     put64(trailer, total);
     emit(trailer.data(), trailer.size());
+    drainToFile(true);
     if (file.is_open()) {
         file.flush();
         if (!file)
@@ -210,27 +846,51 @@ TraceLogWriter::finish()
 
 // ---------------------------------------------------------------- reader
 
-TraceLogReader::TraceLogReader(std::vector<uint8_t> data, Mode m)
-    : bytes(std::move(data)), mode(m)
+TraceLogReader::TraceLogReader(std::vector<uint8_t> bytes, Mode m,
+                               const CompiledTea *ct)
+    : owned(std::move(bytes))
+{
+    data = owned.data();
+    len = owned.size();
+    automaton = ct;
+    mode = m;
+    readHeader();
+}
+
+TraceLogReader::TraceLogReader(const uint8_t *d, size_t n, Mode m,
+                               const CompiledTea *ct)
+{
+    data = d;
+    len = n;
+    automaton = ct;
+    mode = m;
+    readHeader();
+}
+
+void
+TraceLogReader::readHeader()
 {
     // Bad magic/version throws even in salvage mode: a log whose first
     // eight bytes are wrong proves nothing, so there is no prefix to
     // recover.
-    if (get32(bytes, cursor) != TraceLogFormat::kMagic)
+    if (rd32(data, len, cursor) != TraceLogFormat::kMagic)
         fatal("tracelog: bad magic");
-    if (get32(bytes, cursor) != TraceLogFormat::kVersion)
+    version_ = rd32(data, len, cursor);
+    if (version_ != TraceLogFormat::kVersion &&
+        version_ != TraceLogFormat::kVersionV1)
         fatal("tracelog: unsupported version");
 }
 
 TraceLogReader
-TraceLogReader::openFile(const std::string &path, Mode m)
+TraceLogReader::openFile(const std::string &path, Mode m,
+                         const CompiledTea *ct)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        fatal("cannot open '%s'", path.c_str());
-    std::vector<uint8_t> data((std::istreambuf_iterator<char>(in)),
-                              std::istreambuf_iterator<char>());
-    return TraceLogReader(std::move(data), m);
+    // mmap instead of a read-ahead copy: the kernel pages the log in
+    // as decode walks it, and a multi-gigabyte log costs no heap.
+    std::shared_ptr<const MappedFile> mf = MappedFile::openShared(path);
+    TraceLogReader reader(mf->data(), mf->size(), m, ct);
+    reader.map = std::move(mf);
+    return reader;
 }
 
 void
@@ -249,7 +909,7 @@ TraceLogReader::loadChunk()
             done = true;
             torn_ = true;
             tornReason_ = e.what();
-            discarded = bytes.size() - chunkStart;
+            discarded = len - chunkStart;
         }
         return;
     }
@@ -259,45 +919,54 @@ TraceLogReader::loadChunk()
 void
 TraceLogReader::loadChunkStrict()
 {
-    uint32_t nrecords = get32(bytes, cursor);
+    size_t headStart = cursor;
+    uint32_t nrecords = rd32(data, len, cursor);
     if (nrecords == 0) {
         // Trailer: the total must match what the chunks delivered and
         // nothing may follow it.
-        uint64_t expect = get64(bytes, cursor);
+        uint64_t expect = rd64(data, len, cursor);
         if (expect != decoded)
             fatal("tracelog: trailer count %llu disagrees with %llu "
                   "records decoded",
                   static_cast<unsigned long long>(expect),
                   static_cast<unsigned long long>(decoded));
-        if (cursor != bytes.size())
-            fatal("tracelog: %zu trailing bytes", bytes.size() - cursor);
+        if (cursor != len)
+            fatal("tracelog: %zu trailing bytes", len - cursor);
         done = true;
         return;
     }
-    uint32_t nbytes = get32(bytes, cursor);
-    if (nbytes > bytes.size() - cursor)
+    ChunkEncoding enc = ChunkEncoding::Raw;
+    if (version_ >= 2) {
+        uint8_t e = rd8(data, len, cursor);
+        if (e > static_cast<uint8_t>(ChunkEncoding::Elided))
+            fatal("tracelog: bad chunk encoding %u", e);
+        enc = static_cast<ChunkEncoding>(e);
+        if (nrecords > TraceLogFormat::kMaxChunkRecords)
+            fatal("tracelog: chunk record count %u exceeds limit %u",
+                  nrecords, TraceLogFormat::kMaxChunkRecords);
+    }
+    uint32_t nbytes = rd32(data, len, cursor);
+    if (nbytes > len - cursor)
         fatal("tracelog: truncated chunk payload");
-    if (nrecords > nbytes)
+    if (enc != ChunkEncoding::Elided && nrecords > nbytes)
         fatal("tracelog: chunk record count %u exceeds payload bytes %u",
               nrecords, nbytes);
-    const uint8_t *payload = bytes.data() + cursor;
+    const uint8_t *payload = data + cursor;
     size_t payload_end = cursor + nbytes;
     size_t crc_cursor = payload_end;
-    uint32_t stored = get32(bytes, crc_cursor);
-    if (crc32(payload, nbytes) != stored)
+    uint32_t stored = rd32(data, len, crc_cursor);
+    uint32_t actual =
+        version_ >= 2 ? crc32(data + headStart, payload_end - headStart)
+                      : crc32(payload, nbytes);
+    if (actual != stored)
         fatal("tracelog: chunk CRC mismatch");
 
     chunk.clear();
-    chunk.reserve(nrecords);
-    // Records decode through the shared codec, bounded by the chunk
-    // payload: a record that would read past it fails as truncation
+    // The whole CRC-validated chunk decodes through the batch kernel;
+    // a record that would read past the payload fails as truncation
     // instead of bleeding into the CRC word.
-    for (uint32_t i = 0; i < nrecords; ++i)
-        chunk.push_back(decodeTransition(bytes.data(), payload_end,
-                                         cursor));
-    if (cursor != payload_end)
-        fatal("tracelog: %zu undecoded payload bytes",
-              payload_end - cursor);
+    decodeChunk(TraceChunkView{nrecords, enc, payload, nbytes},
+                automaton, chunk);
     cursor = crc_cursor; // skip the (already verified) CRC word
     decoded += nrecords;
     chunkPos = 0;
@@ -318,15 +987,117 @@ TraceLogReader::next(BlockTransition &out)
     return true;
 }
 
-std::vector<BlockTransition>
-readTraceLog(std::vector<uint8_t> bytes)
+const std::vector<BlockTransition> *
+TraceLogReader::nextChunk()
 {
-    TraceLogReader reader(std::move(bytes));
+    TEA_ASSERT(chunkPos >= chunk.size(),
+               "tracelog: nextChunk() with records still unread");
+    if (done)
+        return nullptr;
+    chunk.clear();
+    chunkPos = 0;
+    loadChunk();
+    if (chunk.empty())
+        return nullptr; // trailer, or the tear in salvage mode
+    chunkPos = chunk.size();
+    surfaced += chunk.size();
+    return &chunk;
+}
+
+std::vector<BlockTransition>
+readTraceLog(std::vector<uint8_t> bytes, const CompiledTea *automaton)
+{
+    TraceLogReader reader(std::move(bytes), TraceLogReader::Mode::Strict,
+                          automaton);
     std::vector<BlockTransition> all;
-    BlockTransition tr;
-    while (reader.next(tr))
-        all.push_back(tr);
+    while (const std::vector<BlockTransition> *c = reader.nextChunk())
+        all.insert(all.end(), c->begin(), c->end());
     return all;
+}
+
+// ------------------------------------------------------------- inspect
+
+TraceLogInfo
+inspectTraceLog(const uint8_t *data, size_t len)
+{
+    TraceLogInfo info;
+    info.fileBytes = len;
+    size_t cursor = 0;
+    if (rd32(data, len, cursor) != TraceLogFormat::kMagic)
+        fatal("tracelog: bad magic");
+    info.version = rd32(data, len, cursor);
+    if (info.version != TraceLogFormat::kVersion &&
+        info.version != TraceLogFormat::kVersionV1)
+        fatal("tracelog: unsupported version");
+    for (;;) {
+        size_t headStart = cursor;
+        uint32_t nrecords = rd32(data, len, cursor);
+        if (nrecords == 0) {
+            uint64_t expect = rd64(data, len, cursor);
+            if (expect != info.records)
+                fatal("tracelog: trailer count %llu disagrees with "
+                      "%llu records framed",
+                      static_cast<unsigned long long>(expect),
+                      static_cast<unsigned long long>(info.records));
+            if (cursor != len)
+                fatal("tracelog: %zu trailing bytes", len - cursor);
+            return info;
+        }
+        TraceLogChunkInfo ci;
+        ci.records = nrecords;
+        if (info.version >= 2) {
+            uint8_t e = rd8(data, len, cursor);
+            if (e > static_cast<uint8_t>(ChunkEncoding::Elided))
+                fatal("tracelog: bad chunk encoding %u", e);
+            ci.encoding = static_cast<ChunkEncoding>(e);
+            if (nrecords > TraceLogFormat::kMaxChunkRecords)
+                fatal("tracelog: chunk record count %u exceeds limit "
+                      "%u",
+                      nrecords, TraceLogFormat::kMaxChunkRecords);
+        }
+        uint32_t nbytes = rd32(data, len, cursor);
+        if (nbytes > len - cursor)
+            fatal("tracelog: truncated chunk payload");
+        ci.payloadBytes = nbytes;
+        const uint8_t *payload = data + cursor;
+        size_t payload_end = cursor + nbytes;
+        size_t crc_cursor = payload_end;
+        uint32_t stored = rd32(data, len, crc_cursor);
+        uint32_t actual = info.version >= 2
+                              ? crc32(data + headStart,
+                                      payload_end - headStart)
+                              : crc32(payload, nbytes);
+        if (actual != stored)
+            fatal("tracelog: chunk CRC mismatch");
+        switch (ci.encoding) {
+        case ChunkEncoding::Raw:
+            ++info.rawChunks;
+            break;
+        case ChunkEncoding::Delta:
+            ++info.deltaChunks;
+            break;
+        case ChunkEncoding::Elided: {
+            ++info.elidedChunks;
+            size_t nbits = (static_cast<size_t>(nrecords) + 7) / 8;
+            if (nbytes < nbits)
+                fatal("tracelog: truncated elision bitset");
+            for (size_t i = 0; i < nbits; ++i) {
+                uint8_t byte = payload[i];
+                if (i == nbits - 1 && (nrecords & 7) != 0)
+                    byte &= static_cast<uint8_t>(
+                        (1u << (nrecords & 7)) - 1);
+                ci.elidedRecords +=
+                    static_cast<uint32_t>(__builtin_popcount(byte));
+            }
+            break;
+        }
+        }
+        info.records += nrecords;
+        info.payloadBytes += nbytes;
+        info.elidedRecords += ci.elidedRecords;
+        info.chunks.push_back(ci);
+        cursor = crc_cursor;
+    }
 }
 
 } // namespace tea

@@ -11,17 +11,33 @@
  * On-disk layout (little endian; varints are LEB128, see
  * docs/FORMATS.md for the normative description):
  *
- *   u32 magic 'TEAL'   u32 version
+ *   u32 magic 'TEAL'   u32 version (1 or 2)
  *   chunk*:  u32 record count (> 0)
+ *            [v2] u8 encoding   ; 0 raw, 1 delta, 2 elided
  *            u32 payload bytes
- *            payload        ; `record count` encoded transitions
- *            u32 CRC-32 of payload
+ *            payload
+ *            u32 CRC-32         ; v1: payload only, v2: header+payload
  *   trailer: u32 0          ; chunk with record count 0 = end marker
  *            u64 total record count
  *
- * Each record encodes one BlockTransition:
- *   varint from.start, varint from.end - from.start, varint icount,
- *   u8 edge kind, varint toStart (kNoAddr for the final halt record).
+ * Version 1 encodes every record standalone (~15 bytes); the reader
+ * accepts it forever. Version 2 — the writer default — compresses
+ * three ways, each chunk self-contained (the codec state resets at
+ * every chunk boundary, so salvage still recovers whole chunks):
+ *
+ * - *delta records*: `from.start` is implied by (or a zigzag delta
+ *   from) the previous record's `toStart`, and a per-chunk dictionary
+ *   keyed by start address replaces the span/icount of a revisited
+ *   block, so the steady-state record is 2–4 bytes;
+ * - *automaton-predicted elision* (opt-in via
+ *   TraceLogOptions::elideWith): the chunk leads with a bitset, one
+ *   bit per record; a 1-bit costs no payload at all — the reader
+ *   replays the same CompiledTea to reconstruct the record the DFA
+ *   fully determines — and a 0-bit falls back to an explicit delta
+ *   record (cold blocks, trace entries/exits, halts);
+ * - decodeChunk(), a batch kernel that decodes a whole CRC-validated
+ *   chunk into a caller-provided vector with one bounds check per
+ *   record region instead of one per byte.
  *
  * The explicit trailer makes truncation detectable: a reader that hits
  * EOF before the end marker (or whose summed chunk counts disagree with
@@ -35,6 +51,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,19 +59,41 @@
 
 namespace tea {
 
+class CompiledTea;
+class MappedFile;
+
 /** Trace-log container constants (shared by writer, reader, tests). */
 struct TraceLogFormat
 {
     static constexpr uint32_t kMagic = 0x5445414c; // "TEAL"
-    static constexpr uint32_t kVersion = 1;
+    /** What the writer emits by default. */
+    static constexpr uint32_t kVersion = 2;
+    /** The uncompressed legacy container; readable forever. */
+    static constexpr uint32_t kVersionV1 = 1;
     /** Writer flushes a chunk at this many records. */
     static constexpr uint32_t kChunkRecords = 4096;
+    /**
+     * Reader-side cap on one v2 chunk's record count. An elided chunk
+     * frames up to 8 records per payload byte, so without a cap a
+     * small forged header could demand a multi-gigabyte decode
+     * allocation. Writers flush at kChunkRecords; the cap leaves 256x
+     * headroom for other producers. (v1 chunks are implicitly bounded:
+     * every record costs at least one payload byte.)
+     */
+    static constexpr uint32_t kMaxChunkRecords = 1u << 20;
+};
+
+/** How one v2 chunk's payload encodes its records. */
+enum class ChunkEncoding : uint8_t
+{
+    Raw = 0,   ///< concatenated v1 records
+    Delta = 1, ///< delta + dictionary records
+    Elided = 2 ///< prediction bitset + explicit delta fallbacks
 };
 
 /**
- * The one transition record encoding, shared by every transport that
- * carries BlockTransitions — `.tlog` chunk payloads here and the wire
- * protocol's RECORD_CHUNK payload (net/frame.hh):
+ * The standalone transition record encoding — v1 chunk payloads and
+ * the legacy wire RECORD_CHUNK payload (net/frame.hh):
  *
  *   varint from.start, varint from.end - from.start, varint icount,
  *   u8 edge kind, varint toStart (kNoAddr for the final halt record)
@@ -76,21 +115,94 @@ BlockTransition decodeTransition(const uint8_t *data, size_t len,
                                  size_t &cursor);
 
 /**
+ * A borrowed view of one chunk's decoded framing: the reader (and the
+ * wire) validate the CRC and hand the payload here for batch decode.
+ */
+struct TraceChunkView
+{
+    uint32_t records = 0;
+    ChunkEncoding encoding = ChunkEncoding::Raw;
+    const uint8_t *payload = nullptr;
+    size_t size = 0; ///< payload bytes
+};
+
+/**
+ * Batch-decode one CRC-validated chunk, appending exactly
+ * `chunk.records` transitions to `out`. This is the hot decode kernel:
+ * a pointer cursor with a fast varint path that checks bounds once per
+ * record region, not per byte. Elided chunks need the same
+ * `automaton` the writer was seeded with; passing nullptr for one
+ * throws. Every malformed payload — truncation, overlong varints,
+ * out-of-range deltas, dictionary misses, reserved tag bits, an
+ * elided bit the automaton cannot predict, trailing bytes — throws
+ * FatalError with nothing partially appended beyond the failing
+ * record.
+ */
+void decodeChunk(const TraceChunkView &chunk,
+                 const CompiledTea *automaton,
+                 std::vector<BlockTransition> &out);
+
+/**
+ * Encode `n` transitions as one chunk payload (no container header or
+ * CRC — the writer and the wire frame it). Elided encoding requires
+ * `automaton`; Raw and Delta ignore it.
+ */
+void encodeChunkPayload(std::vector<uint8_t> &out,
+                        ChunkEncoding encoding,
+                        const BlockTransition *batch, size_t n,
+                        const CompiledTea *automaton = nullptr);
+
+/**
+ * The v2 wire RECORD_CHUNK payload: one self-contained framed chunk
+ * (v2 chunk header + delta payload + CRC-32 over both), so a batch of
+ * revisited blocks costs 2–4 bytes each on the wire instead of ~15.
+ * Negotiated via RecordFlags::kChunksV2 (net/frame.hh).
+ */
+void encodeWireChunk(std::vector<uint8_t> &out,
+                     const BlockTransition *batch, size_t n);
+
+/**
+ * Decode one encodeWireChunk() payload. @throws FatalError on any
+ * framing or codec defect (truncation, CRC mismatch, trailing bytes,
+ * malformed records) — a malformed wire chunk surfaces atomically,
+ * never as a partial batch.
+ */
+std::vector<BlockTransition> decodeWireChunk(const uint8_t *data,
+                                             size_t len);
+
+/** Writer knobs; the default writes v2 delta chunks. */
+struct TraceLogOptions
+{
+    /** kVersion (2) or kVersionV1 (1). */
+    uint32_t version = TraceLogFormat::kVersion;
+    /**
+     * Seed the writer with a compiled automaton to emit Elided chunks
+     * (v2 only): transitions the DFA fully determines cost one bitset
+     * bit. The reader must be handed the same automaton to decode.
+     */
+    std::shared_ptr<const CompiledTea> elideWith;
+};
+
+/**
  * Appends BlockTransitions to a chunked log.
  *
  * Hook it behind a BlockTracker callback; call finish() (or let the
  * destructor do it) to emit the trailer. A log without its trailer is
  * deliberately unreadable — crash-truncated recordings must not replay
- * as if complete.
+ * as if complete. File output is buffered: chunks accumulate in
+ * memory and reach the OS in >=256 KiB writes (one syscall per many
+ * chunks, not three per chunk); finish() drains and flushes.
  */
 class TraceLogWriter
 {
   public:
     /** Write to a file. @throws FatalError when the file can't open. */
-    explicit TraceLogWriter(const std::string &path);
+    explicit TraceLogWriter(const std::string &path,
+                            TraceLogOptions options = {});
 
-    /** Write into a caller-owned buffer (tests, benches). */
-    explicit TraceLogWriter(std::vector<uint8_t> *sink);
+    /** Write into a caller-owned buffer (tests, benches, the wire). */
+    explicit TraceLogWriter(std::vector<uint8_t> *sink,
+                            TraceLogOptions options = {});
 
     /** Calls finish() if the caller has not. */
     ~TraceLogWriter();
@@ -107,16 +219,31 @@ class TraceLogWriter
     /** Records appended so far. */
     uint64_t records() const { return total; }
 
+    /**
+     * Encoded log bytes produced so far (header + completed chunks;
+     * + trailer once finish() ran). Counted as chunks are encoded, so
+     * benches and rec.* metrics report bytes without stat-ing the
+     * file; bytes still in the write buffer are included.
+     */
+    uint64_t flushedBytes() const { return flushed; }
+
+    /** The container version being written (1 or 2). */
+    uint32_t version() const { return opts.version; }
+
   private:
     void emit(const uint8_t *data, size_t len);
     void flushChunk();
+    void drainToFile(bool force);
 
+    TraceLogOptions opts;
     std::ofstream file;
     std::vector<uint8_t> *mem = nullptr;
     std::string path; ///< for error messages; empty for memory sinks
-    std::vector<uint8_t> payload; ///< open chunk
-    uint32_t chunkRecords = 0;
+    std::vector<BlockTransition> pending; ///< open chunk's records
+    std::vector<uint8_t> obuf;    ///< buffered file bytes
+    std::vector<uint8_t> scratch; ///< encoded-chunk staging
     uint64_t total = 0;
+    uint64_t flushed = 0;
     bool finished = false;
 };
 
@@ -132,14 +259,21 @@ class TraceLogWriter
  * Salvage mode recovers what a torn log still proves: the longest
  * prefix of complete, CRC-valid chunks. The first chunk that fails any
  * check (truncated header or payload, CRC mismatch, malformed record,
- * missing or inconsistent trailer) ends the stream instead of
- * throwing; next() then returns false and torn() reports what
- * happened. Records already surfaced are exactly the strict-mode
- * prefix — salvage never yields a byte strict mode would reject.
- * Because the tail beyond the tear is unframed, the number of *lost*
- * records is unknowable; bytesDiscarded() reports the raw byte count
- * instead. A file that is damaged before any content — bad magic or
- * version — still throws in either mode: there is nothing to salvage.
+ * an elided chunk with no automaton to decode it, missing or
+ * inconsistent trailer) ends the stream instead of throwing; next()
+ * then returns false and torn() reports what happened. Records already
+ * surfaced are exactly the strict-mode prefix — salvage never yields a
+ * byte strict mode would reject. Because the tail beyond the tear is
+ * unframed, the number of *lost* records is unknowable;
+ * bytesDiscarded() reports the raw byte count instead. A file that is
+ * damaged before any content — bad magic or version — still throws in
+ * either mode: there is nothing to salvage.
+ *
+ * Elided chunks reconstruct through the `automaton` passed at
+ * construction, which must be the automaton the writer was seeded
+ * with; it is borrowed, so the caller keeps it alive (ReplayJob pins
+ * its snapshot for exactly this reason). Logs without elided chunks
+ * decode with no automaton at all.
  */
 class TraceLogReader
 {
@@ -152,11 +286,21 @@ class TraceLogReader
 
     /** Take ownership of an in-memory log. @throws FatalError. */
     explicit TraceLogReader(std::vector<uint8_t> bytes,
-                            Mode mode = Mode::Strict);
+                            Mode mode = Mode::Strict,
+                            const CompiledTea *automaton = nullptr);
 
-    /** Read a log file fully into memory and open it. */
+    /**
+     * Borrow an in-memory log (no copy). The buffer must outlive the
+     * reader — the replay service streams a session's log this way.
+     */
+    TraceLogReader(const uint8_t *data, size_t len,
+                   Mode mode = Mode::Strict,
+                   const CompiledTea *automaton = nullptr);
+
+    /** mmap a log file (no read-ahead copy) and open it. */
     static TraceLogReader openFile(const std::string &path,
-                                   Mode mode = Mode::Strict);
+                                   Mode mode = Mode::Strict,
+                                   const CompiledTea *automaton = nullptr);
 
     /**
      * Fetch the next record.
@@ -165,6 +309,18 @@ class TraceLogReader
      * @throws FatalError on any corruption or truncation (Strict mode)
      */
     bool next(BlockTransition &out);
+
+    /**
+     * Batch access: decode and surface the next whole chunk. The
+     * returned vector is owned by the reader and valid until the next
+     * nextChunk()/next() call. Do not mix with next() mid-chunk (the
+     * current chunk must be fully drained first).
+     * @return nullptr at the end of the log (or the tear, in Salvage)
+     */
+    const std::vector<BlockTransition> *nextChunk();
+
+    /** The container version of the open log (1 or 2). */
+    uint32_t version() const { return version_; }
 
     /** Records surfaced so far. */
     uint64_t recordsRead() const { return surfaced; }
@@ -179,10 +335,16 @@ class TraceLogReader
     uint64_t bytesDiscarded() const { return discarded; }
 
   private:
+    void readHeader();
     void loadChunk();
     void loadChunkStrict();
 
-    std::vector<uint8_t> bytes;
+    std::vector<uint8_t> owned; ///< backing store for the owning ctor
+    std::shared_ptr<const MappedFile> map; ///< backing store, openFile
+    const uint8_t *data = nullptr;
+    size_t len = 0;
+    const CompiledTea *automaton = nullptr;
+    uint32_t version_ = 0;
     size_t cursor = 0;
     std::vector<BlockTransition> chunk; ///< decoded records of one chunk
     size_t chunkPos = 0;
@@ -195,8 +357,45 @@ class TraceLogReader
     uint64_t discarded = 0;
 };
 
-/** Convenience: decode an entire in-memory log. @throws FatalError. */
-std::vector<BlockTransition> readTraceLog(std::vector<uint8_t> bytes);
+/**
+ * Convenience: decode an entire in-memory log. Pass the writer's
+ * automaton for logs with elided chunks. @throws FatalError.
+ */
+std::vector<BlockTransition>
+readTraceLog(std::vector<uint8_t> bytes,
+             const CompiledTea *automaton = nullptr);
+
+/** Per-chunk accounting from inspectTraceLog(). */
+struct TraceLogChunkInfo
+{
+    ChunkEncoding encoding = ChunkEncoding::Raw;
+    uint32_t records = 0;
+    uint32_t payloadBytes = 0;
+    uint32_t elidedRecords = 0; ///< bitset 1-bits (Elided chunks only)
+};
+
+/** Whole-log accounting from inspectTraceLog(). */
+struct TraceLogInfo
+{
+    uint32_t version = 0;
+    uint64_t fileBytes = 0;
+    uint64_t records = 0;
+    uint64_t payloadBytes = 0;   ///< sum of chunk payloads
+    uint64_t elidedRecords = 0;  ///< records carried as bitset bits
+    uint64_t rawChunks = 0;
+    uint64_t deltaChunks = 0;
+    uint64_t elidedChunks = 0;
+    std::vector<TraceLogChunkInfo> chunks;
+};
+
+/**
+ * Walk a log's framing — header, every chunk header and CRC, trailer —
+ * without decoding records (so no automaton is needed, even for
+ * elided chunks: their bitset is counted, not replayed). Strict:
+ * @throws FatalError on any framing or CRC defect. `teadbt log-info`
+ * is built on this.
+ */
+TraceLogInfo inspectTraceLog(const uint8_t *data, size_t len);
 
 } // namespace tea
 

@@ -17,6 +17,7 @@
 #include "dbt/runtime.hh"
 #include "net/frame.hh"
 #include "net/session.hh"
+#include "rec/service.hh"
 #include "svc/tracelog.hh"
 #include "tea/builder.hh"
 #include "tea/serialize.hh"
@@ -298,6 +299,169 @@ TEST(NetFuzz, PayloadReaderUnderrunAndTrailingBytesAreFatal)
     PayloadReader r4(w4.out());
     EXPECT_THROW(r4.str(Wire::kMaxName), FatalError);
 }
+
+// ------------------------------------------------ RECORD_CHUNK v2 fuzz
+
+/** A golden recording conversation over negotiated v2 chunks. */
+std::vector<uint8_t>
+goldenRecordStream(const std::vector<BlockTransition> &stream)
+{
+    std::vector<uint8_t> out;
+    PayloadWriter hello;
+    hello.u32(Wire::kMagic);
+    hello.u32(Wire::kVersion);
+    appendFrame(out, MsgType::Hello, hello.out());
+
+    PayloadWriter begin;
+    begin.str("fuzz");
+    begin.u8(RecordFlags::kChunksV2);
+    appendFrame(out, MsgType::RecordBegin, begin.out());
+
+    size_t per = TraceLogFormat::kChunkRecords;
+    for (size_t at = 0; at < stream.size(); at += per) {
+        size_t n = std::min(per, stream.size() - at);
+        std::vector<uint8_t> chunk;
+        encodeWireChunk(chunk, stream.data() + at, n);
+        appendFrame(out, MsgType::RecordChunk, chunk.data(),
+                    chunk.size());
+    }
+    appendFrame(out, MsgType::RecordEnd, nullptr, 0);
+    return out;
+}
+
+/**
+ * Drive a recorder-enabled Session with the byte stream; returns the
+ * reply frames seen. Nothing may escape consume().
+ */
+std::vector<uint8_t>
+driveRecordSession(const std::vector<uint8_t> &wire, Xorshift64Star &rng)
+{
+    AutomatonRegistry registry;
+    rec::RecordingService recSvc(registry);
+    Session session(registry);
+    session.setRecorder(&recSvc);
+    std::vector<uint8_t> replies;
+    size_t pos = 0;
+    bool open = true;
+    while (open && pos < wire.size()) {
+        size_t n = 1 + rng.nextBelow(8192);
+        n = std::min(n, wire.size() - pos);
+        std::vector<uint8_t> out;
+        open = session.consume(wire.data() + pos, n, out);
+        pos += n;
+        replies.insert(replies.end(), out.begin(), out.end());
+    }
+    return replies;
+}
+
+const std::vector<BlockTransition> &
+fuzzStream()
+{
+    static const std::vector<BlockTransition> stream = [] {
+        Workload w = Workloads::build("syn.gzip", InputSize::Test);
+        std::vector<BlockTransition> s;
+        Machine m(w.program);
+        BlockTracker tracker(
+            w.program,
+            [&](const BlockTransition &tr) { s.push_back(tr); },
+            /*rep_per_iteration=*/false, /*collect_blocks=*/false);
+        m.runHooked([&](const EdgeEvent &ev) { tracker.onEdge(ev); },
+                    false);
+        return s;
+    }();
+    return stream;
+}
+
+TEST(NetRecordFuzz, GoldenV2RecordingCompletesWithAResult)
+{
+    Xorshift64Star rng(3);
+    std::vector<uint8_t> replies =
+        driveRecordSession(goldenRecordStream(fuzzStream()), rng);
+    // HELLO_OK, RECORD_OK (with the v2 ack byte), RECORD_RESULT.
+    FrameDecoder dec;
+    dec.feed(replies.data(), replies.size());
+    Frame f;
+    ASSERT_TRUE(dec.poll(f));
+    EXPECT_EQ(f.type, MsgType::HelloOk);
+    ASSERT_TRUE(dec.poll(f));
+    ASSERT_EQ(f.type, MsgType::RecordOk);
+    PayloadReader r(f.payload);
+    EXPECT_EQ(r.u8() & 1u, 1u) << "v2 must be acknowledged";
+    ASSERT_TRUE(dec.poll(f));
+    EXPECT_EQ(f.type, MsgType::RecordResult);
+    EXPECT_FALSE(dec.poll(f));
+}
+
+class CorruptRecordWire : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(CorruptRecordWire, DamagedV2ChunksNeverPanicTheSession)
+{
+    // Flip bytes anywhere in the recording conversation — frame
+    // headers, the negotiated chunk head, the delta payload, the CRC.
+    // Every outcome must be a clean reply stream (possibly containing
+    // an ERROR and a close) — never an exception out of consume(), a
+    // panic, or a crash. ASan/UBSan sharpen this in the sanitize job.
+    const std::vector<uint8_t> good = goldenRecordStream(fuzzStream());
+    Xorshift64Star rng(GetParam());
+    for (int round = 0; round < 120; ++round) {
+        auto bad = good;
+        int flips = 1 + static_cast<int>(rng.nextBelow(3));
+        for (int f = 0; f < flips; ++f) {
+            size_t pos = rng.nextBelow(bad.size());
+            bad[pos] = static_cast<uint8_t>(rng.next());
+        }
+        std::vector<uint8_t> replies = driveRecordSession(bad, rng);
+        // Replies must themselves be well-framed.
+        FrameDecoder dec;
+        dec.feed(replies.data(), replies.size());
+        Frame f;
+        while (dec.poll(f)) {
+        }
+        EXPECT_TRUE(dec.atBoundary());
+    }
+}
+
+TEST_P(CorruptRecordWire, TruncatedV2ChunkPayloadDrawsAnError)
+{
+    // Cut the RECORD_CHUNK payload short (reframed, so the frame CRC is
+    // valid and the damage reaches the chunk decoder): the session must
+    // answer with an ERROR frame, not die or accept half a batch.
+    const std::vector<BlockTransition> &stream = fuzzStream();
+    Xorshift64Star rng(GetParam());
+
+    std::vector<uint8_t> chunk;
+    size_t n = std::min<size_t>(stream.size(), 600);
+    encodeWireChunk(chunk, stream.data(), n);
+
+    for (int round = 0; round < 40; ++round) {
+        std::vector<uint8_t> wire;
+        PayloadWriter hello;
+        hello.u32(Wire::kMagic);
+        hello.u32(Wire::kVersion);
+        appendFrame(wire, MsgType::Hello, hello.out());
+        PayloadWriter begin;
+        begin.str("cut");
+        begin.u8(RecordFlags::kChunksV2);
+        appendFrame(wire, MsgType::RecordBegin, begin.out());
+        size_t keep = rng.nextBelow(chunk.size());
+        appendFrame(wire, MsgType::RecordChunk, chunk.data(), keep);
+        std::vector<uint8_t> replies = driveRecordSession(wire, rng);
+
+        FrameDecoder dec;
+        dec.feed(replies.data(), replies.size());
+        Frame f;
+        bool sawError = false;
+        while (dec.poll(f))
+            sawError = sawError || f.type == MsgType::Error;
+        EXPECT_TRUE(sawError) << "kept " << keep << " of "
+                              << chunk.size();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorruptRecordWire,
+                         ::testing::Values(17, 34, 51));
 
 } // namespace
 } // namespace tea

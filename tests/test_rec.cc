@@ -713,5 +713,54 @@ TEST(RecordWire, ConflictsAndBadSelectorsAreNonFatal)
     server.stop();
 }
 
+TEST(RecordWire, V2ChunksAreNegotiatedSmallerAndBitIdentical)
+{
+    // The same stream recorded twice: once over the negotiated v2
+    // delta chunks (the default), once with the --log-v1 escape hatch.
+    // The server-side result must be bit-identical either way, and the
+    // v2 conversation must put materially fewer bytes on the wire.
+    std::vector<BlockTransition> stream = workloadTransitions("syn.gzip");
+
+    ServerConfig cfg;
+    cfg.endpoint = "tcp:127.0.0.1:0";
+    cfg.workers = 2;
+    TeaServer server(cfg);
+    server.start();
+
+    TeaClient v2 = TeaClient::connect(server.endpoint());
+    v2.recordBegin("enc-v2");
+    EXPECT_TRUE(v2.recordChunksV2()) << "server must ack the v2 offer";
+    v2.recordChunk(stream.data(), stream.size());
+    RemoteRecordResult resV2 = v2.recordEnd();
+    uint64_t v2Bytes = v2.bytesSent();
+    EXPECT_GT(v2.bytesReceived(), 0u);
+    v2.close();
+
+    RemoteRecordOptions opt;
+    opt.v1Chunks = true;
+    TeaClient v1 = TeaClient::connect(server.endpoint());
+    v1.recordBegin("enc-v1", opt);
+    EXPECT_FALSE(v1.recordChunksV2());
+    v1.recordChunk(stream.data(), stream.size());
+    RemoteRecordResult resV1 = v1.recordEnd();
+    uint64_t v1Bytes = v1.bytesSent();
+    v1.close();
+
+    EXPECT_EQ(resV2.transitions, stream.size());
+    EXPECT_EQ(resV1.transitions, stream.size());
+    EXPECT_EQ(resV2.traces, resV1.traces);
+    EXPECT_EQ(resV2.states, resV1.states);
+    EXPECT_EQ(statsBytes(resV2.stats), statsBytes(resV1.stats));
+    EXPECT_LT(v2Bytes * 2, v1Bytes)
+        << "delta chunks should at least halve the upload";
+
+    // The negotiated traffic shows up in the rec.wire_bytes counter.
+    TeaClient probe = TeaClient::connect(server.endpoint());
+    std::string stats = probe.stats(/*text=*/false);
+    EXPECT_NE(stats.find("rec.wire_bytes"), std::string::npos);
+    probe.close();
+    server.stop();
+}
+
 } // namespace
 } // namespace tea

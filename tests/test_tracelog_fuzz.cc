@@ -3,25 +3,47 @@
  * Robustness fuzzing of the trace-log reader, in the style of
  * test_serialize_fuzz.cc: truncated files, corrupt CRCs, and
  * bit-flipped headers must always surface as FatalError — never as a
- * PanicError, a crash, or a silently wrong stream.
+ * PanicError, a crash, or a silently wrong stream. Every container
+ * sweep runs over both versions (v1 raw records, v2 delta chunks) and
+ * over elided v2 logs; the batch decode kernel's malformed-payload
+ * paths are hit directly; and a randomized differential suite pins
+ * v1 <-> v2 <-> elided bit-identity through every lookup mode.
  */
 
 #include <gtest/gtest.h>
 
+#include "dbt/runtime.hh"
+#include "svc/replay_service.hh"
 #include "svc/tracelog.hh"
+#include "tea/builder.hh"
+#include "tea/compiled.hh"
 #include "util/crc32.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
+#include "vm/machine.hh"
+#include "workloads/workload.hh"
 
 namespace tea {
 namespace {
 
+constexpr uint32_t kVersions[] = {TraceLogFormat::kVersionV1,
+                                  TraceLogFormat::kVersion};
+
+/** Container chunk-head bytes: v2 adds the encoding byte. */
+size_t
+chunkHead(uint32_t version)
+{
+    return version == 1 ? 8 : 9;
+}
+
 /** A small but multi-chunk log (forced tiny records). */
 std::vector<uint8_t>
-sampleLog(size_t records)
+sampleLog(size_t records, uint32_t version = TraceLogFormat::kVersion)
 {
     std::vector<uint8_t> bytes;
-    TraceLogWriter writer(&bytes);
+    TraceLogOptions opts;
+    opts.version = version;
+    TraceLogWriter writer(&bytes, opts);
     Addr pc = 0x400;
     for (size_t i = 0; i < records; ++i) {
         BlockTransition tr;
@@ -39,9 +61,10 @@ sampleLog(size_t records)
 
 /** Drain a log completely; throws whatever the reader throws. */
 size_t
-drain(std::vector<uint8_t> bytes)
+drain(std::vector<uint8_t> bytes, const CompiledTea *automaton = nullptr)
 {
-    TraceLogReader reader(std::move(bytes));
+    TraceLogReader reader(std::move(bytes), TraceLogReader::Mode::Strict,
+                          automaton);
     BlockTransition tr;
     size_t n = 0;
     while (reader.next(tr)) {
@@ -57,14 +80,17 @@ drain(std::vector<uint8_t> bytes)
 
 TEST(TraceLogFuzz, EveryTruncationIsFatal)
 {
-    const auto good = sampleLog(300);
-    // A strict prefix can never be a valid log: the trailer (end
-    // marker + total count) is mandatory.
-    for (size_t keep = 0; keep < good.size(); ++keep) {
-        std::vector<uint8_t> bad(good.begin(),
-                                 good.begin() + static_cast<long>(keep));
-        EXPECT_THROW(drain(std::move(bad)), FatalError)
-            << "kept " << keep << " of " << good.size();
+    for (uint32_t version : kVersions) {
+        const auto good = sampleLog(300, version);
+        // A strict prefix can never be a valid log: the trailer (end
+        // marker + total count) is mandatory.
+        for (size_t keep = 0; keep < good.size(); ++keep) {
+            std::vector<uint8_t> bad(
+                good.begin(), good.begin() + static_cast<long>(keep));
+            EXPECT_THROW(drain(std::move(bad)), FatalError)
+                << "v" << version << ": kept " << keep << " of "
+                << good.size();
+        }
     }
 }
 
@@ -74,26 +100,28 @@ class CorruptTraceLog : public ::testing::TestWithParam<uint64_t>
 
 TEST_P(CorruptTraceLog, ByteFlipsNeverPanicOrMisread)
 {
-    const auto good = sampleLog(200);
-    Xorshift64Star rng(GetParam());
+    for (uint32_t version : kVersions) {
+        const auto good = sampleLog(200, version);
+        Xorshift64Star rng(GetParam() + version);
 
-    for (int round = 0; round < 400; ++round) {
-        auto bad = good;
-        int flips = 1 + static_cast<int>(rng.nextBelow(3));
-        for (int f = 0; f < flips; ++f) {
-            size_t pos = rng.nextBelow(bad.size());
-            bad[pos] = static_cast<uint8_t>(rng.next());
+        for (int round = 0; round < 200; ++round) {
+            auto bad = good;
+            int flips = 1 + static_cast<int>(rng.nextBelow(3));
+            for (int f = 0; f < flips; ++f) {
+                size_t pos = rng.nextBelow(bad.size());
+                bad[pos] = static_cast<uint8_t>(rng.next());
+            }
+            try {
+                drain(std::move(bad));
+                // Accepted: the flip landed on a byte that either kept
+                // the log valid (e.g. rewrote a record to another valid
+                // one with a lucky CRC) or restored the original value.
+                // Either way drain() has verified the record invariants.
+            } catch (const FatalError &) {
+                // expected for corrupt data
+            }
+            // PanicError or a crash fails the test.
         }
-        try {
-            drain(std::move(bad));
-            // Accepted: the flip landed on a byte that either kept the
-            // log valid (e.g. rewrote a record to another valid one
-            // with a lucky CRC) or restored the original value. Either
-            // way drain() has verified the record invariants.
-        } catch (const FatalError &) {
-            // expected for corrupt data
-        }
-        // PanicError or a crash fails the test.
     }
 }
 
@@ -101,37 +129,60 @@ TEST_P(CorruptTraceLog, CorruptCrcIsFatal)
 {
     // Flip payload bytes only (between the first chunk header and its
     // CRC): must always be caught by the CRC check.
-    const auto good = sampleLog(64);
-    constexpr size_t kHeader = 8;      // magic + version
-    constexpr size_t kChunkHead = 8;   // record count + payload bytes
-    // Payload length of the first (and only) chunk:
-    size_t payload_len = good[kHeader + 4] |
-                         (static_cast<size_t>(good[kHeader + 5]) << 8) |
-                         (static_cast<size_t>(good[kHeader + 6]) << 16) |
-                         (static_cast<size_t>(good[kHeader + 7]) << 24);
-    size_t payload_at = kHeader + kChunkHead;
-    ASSERT_LE(payload_at + payload_len, good.size());
+    for (uint32_t version : kVersions) {
+        const auto good = sampleLog(64, version);
+        constexpr size_t kHeader = 8; // magic + version
+        const size_t head = chunkHead(version);
+        // Payload length is the chunk head's last u32.
+        size_t lenAt = kHeader + head - 4;
+        size_t payload_len =
+            good[lenAt] | (static_cast<size_t>(good[lenAt + 1]) << 8) |
+            (static_cast<size_t>(good[lenAt + 2]) << 16) |
+            (static_cast<size_t>(good[lenAt + 3]) << 24);
+        size_t payload_at = kHeader + head;
+        ASSERT_LE(payload_at + payload_len, good.size());
 
-    Xorshift64Star rng(GetParam());
-    for (int round = 0; round < 300; ++round) {
-        auto bad = good;
-        size_t pos = payload_at + rng.nextBelow(payload_len);
-        uint8_t flip = static_cast<uint8_t>(1 + rng.nextBelow(255));
-        bad[pos] = static_cast<uint8_t>(bad[pos] ^ flip);
-        EXPECT_THROW(drain(std::move(bad)), FatalError)
-            << "payload flip at " << pos << " escaped the CRC";
+        Xorshift64Star rng(GetParam() + version);
+        for (int round = 0; round < 300; ++round) {
+            auto bad = good;
+            size_t pos = payload_at + rng.nextBelow(payload_len);
+            uint8_t flip = static_cast<uint8_t>(1 + rng.nextBelow(255));
+            bad[pos] = static_cast<uint8_t>(bad[pos] ^ flip);
+            EXPECT_THROW(drain(std::move(bad)), FatalError)
+                << "v" << version << ": payload flip at " << pos
+                << " escaped the CRC";
+        }
     }
 }
 
 TEST_P(CorruptTraceLog, BitFlippedHeaderIsFatal)
 {
-    const auto good = sampleLog(32);
+    for (uint32_t version : kVersions) {
+        const auto good = sampleLog(32, version);
+        Xorshift64Star rng(GetParam() + version);
+        for (int round = 0; round < 64; ++round) {
+            auto bad = good;
+            size_t pos = rng.nextBelow(8); // magic or version word
+            uint8_t bit = static_cast<uint8_t>(1u << rng.nextBelow(8));
+            bad[pos] = static_cast<uint8_t>(bad[pos] ^ bit);
+            EXPECT_THROW(drain(std::move(bad)), FatalError);
+        }
+    }
+}
+
+TEST_P(CorruptTraceLog, FlippedEncodingByteIsFatal)
+{
+    // The v2 CRC covers the chunk head, so rewriting the encoding byte
+    // (which would otherwise mis-decode the payload under another
+    // codec) is always caught.
+    const auto good = sampleLog(64);
+    constexpr size_t kEncodingAt = 8 + 4; // header + record count
     Xorshift64Star rng(GetParam());
-    for (int round = 0; round < 64; ++round) {
+    for (int round = 0; round < 32; ++round) {
         auto bad = good;
-        size_t pos = rng.nextBelow(8); // magic or version word
-        uint8_t bit = static_cast<uint8_t>(1u << rng.nextBelow(8));
-        bad[pos] = static_cast<uint8_t>(bad[pos] ^ bit);
+        bad[kEncodingAt] =
+            static_cast<uint8_t>(bad[kEncodingAt] ^
+                                 (1 + rng.nextBelow(255)));
         EXPECT_THROW(drain(std::move(bad)), FatalError);
     }
 }
@@ -151,10 +202,11 @@ struct SalvageOutcome
 
 /** Drain a log in salvage mode; never expected to throw past ctor. */
 SalvageOutcome
-salvageDrain(std::vector<uint8_t> bytes)
+salvageDrain(std::vector<uint8_t> bytes,
+             const CompiledTea *automaton = nullptr)
 {
     TraceLogReader reader(std::move(bytes),
-                          TraceLogReader::Mode::Salvage);
+                          TraceLogReader::Mode::Salvage, automaton);
     BlockTransition tr;
     SalvageOutcome out;
     while (reader.next(tr)) {
@@ -180,23 +232,25 @@ struct ChunkMap
 };
 
 ChunkMap
-mapChunks(const std::vector<uint8_t> &good)
+mapChunks(const std::vector<uint8_t> &good, uint32_t version)
 {
     auto rd32 = [&](size_t at) {
         return uint32_t(good[at]) | (uint32_t(good[at + 1]) << 8) |
                (uint32_t(good[at + 2]) << 16) |
                (uint32_t(good[at + 3]) << 24);
     };
+    const size_t head = chunkHead(version);
     ChunkMap map;
     map.prefixRecords.assign(good.size() + 1, 0);
     map.prefixEnd.assign(good.size() + 1, 8); // header-only prefix
     size_t cursor = 8; // magic + version
     size_t records = 0;
-    while (cursor + 8 <= good.size()) {
+    while (cursor + head <= good.size()) {
         uint32_t nrec = rd32(cursor);
         if (nrec == 0)
             break; // trailer
-        size_t chunkEnd = cursor + 8 + rd32(cursor + 4) + 4; // + CRC
+        size_t chunkEnd =
+            cursor + head + rd32(cursor + head - 4) + 4; // + CRC
         for (size_t off = chunkEnd; off <= good.size(); ++off) {
             map.prefixRecords[off] = records + nrec;
             map.prefixEnd[off] = chunkEnd;
@@ -214,29 +268,34 @@ TEST(TraceLogSalvage, TruncationAtEveryOffsetSalvagesTheChunkPrefix)
     // chunk prefix — never one more, never one fewer — account for
     // every discarded byte, and strict mode must still throw
     // (EveryTruncationIsFatal above pins the strict half).
-    const auto good = sampleLog(300);
-    ASSERT_EQ(drain(good), 300u);
-    const ChunkMap map = mapChunks(good);
+    for (uint32_t version : kVersions) {
+        const auto good = sampleLog(300, version);
+        ASSERT_EQ(drain(good), 300u);
+        const ChunkMap map = mapChunks(good, version);
 
-    for (size_t keep = 8; keep < good.size(); ++keep) {
-        std::vector<uint8_t> torn(good.begin(),
-                                  good.begin() + static_cast<long>(keep));
-        SalvageOutcome got = salvageDrain(std::move(torn));
-        EXPECT_EQ(got.records, map.prefixRecords[keep])
-            << "truncated at " << keep;
-        EXPECT_TRUE(got.torn) << "truncated at " << keep;
-        EXPECT_FALSE(got.reason.empty());
-        EXPECT_EQ(got.discarded, keep - map.prefixEnd[keep])
-            << "truncated at " << keep;
+        for (size_t keep = 8; keep < good.size(); ++keep) {
+            std::vector<uint8_t> torn(
+                good.begin(), good.begin() + static_cast<long>(keep));
+            SalvageOutcome got = salvageDrain(std::move(torn));
+            EXPECT_EQ(got.records, map.prefixRecords[keep])
+                << "v" << version << " truncated at " << keep;
+            EXPECT_TRUE(got.torn)
+                << "v" << version << " truncated at " << keep;
+            EXPECT_FALSE(got.reason.empty());
+            EXPECT_EQ(got.discarded, keep - map.prefixEnd[keep])
+                << "v" << version << " truncated at " << keep;
+        }
     }
 }
 
 TEST(TraceLogSalvage, IntactLogReadsCleanWithNoTearReported)
 {
-    SalvageOutcome got = salvageDrain(sampleLog(100));
-    EXPECT_EQ(got.records, 100u);
-    EXPECT_FALSE(got.torn);
-    EXPECT_EQ(got.discarded, 0u);
+    for (uint32_t version : kVersions) {
+        SalvageOutcome got = salvageDrain(sampleLog(100, version));
+        EXPECT_EQ(got.records, 100u);
+        EXPECT_FALSE(got.torn);
+        EXPECT_EQ(got.discarded, 0u);
+    }
 }
 
 TEST(TraceLogSalvage, CorruptLateChunkKeepsTheEarlierChunks)
@@ -245,16 +304,21 @@ TEST(TraceLogSalvage, CorruptLateChunkKeepsTheEarlierChunks)
     // byte near the end: the tear lands in the last chunk or the
     // trailer, so salvage keeps a whole-chunk prefix and drops the
     // poisoned tail.
-    const auto good = sampleLog(3 * TraceLogFormat::kChunkRecords);
-    auto bad = good;
-    bad[bad.size() - 20] ^= 0x40;
-    SalvageOutcome got = salvageDrain(std::move(bad));
-    EXPECT_TRUE(got.torn);
-    EXPECT_LT(got.records, size_t{3} * TraceLogFormat::kChunkRecords);
-    EXPECT_EQ(got.records % TraceLogFormat::kChunkRecords, 0u)
-        << "salvage must end on a chunk boundary";
-    EXPECT_GE(got.records, size_t{2} * TraceLogFormat::kChunkRecords)
-        << "the clean leading chunks must survive";
+    for (uint32_t version : kVersions) {
+        const auto good =
+            sampleLog(3 * TraceLogFormat::kChunkRecords, version);
+        auto bad = good;
+        bad[bad.size() - 20] ^= 0x40;
+        SalvageOutcome got = salvageDrain(std::move(bad));
+        EXPECT_TRUE(got.torn);
+        EXPECT_LT(got.records,
+                  size_t{3} * TraceLogFormat::kChunkRecords);
+        EXPECT_EQ(got.records % TraceLogFormat::kChunkRecords, 0u)
+            << "salvage must end on a chunk boundary";
+        EXPECT_GE(got.records,
+                  size_t{2} * TraceLogFormat::kChunkRecords)
+            << "the clean leading chunks must survive";
+    }
 }
 
 TEST(TraceLogSalvage, BadMagicStillThrowsEvenInSalvageMode)
@@ -275,21 +339,23 @@ TEST_P(SalvageFuzz, RandomDamageNeverPanicsAndNeverOverReads)
     // salvage must never panic, crash, or surface more records than
     // the log ever contained; an undamaged read stays complete.
     const size_t records = 2 * TraceLogFormat::kChunkRecords + 100;
-    const auto good = sampleLog(records);
-    Xorshift64Star rng(GetParam());
-    for (int round = 0; round < 100; ++round) {
-        auto bad = good;
-        if (rng.nextBool(0.5)) {
-            size_t keep = 8 + rng.nextBelow(bad.size() - 8);
-            bad.resize(keep);
-        } else {
-            size_t pos = 8 + rng.nextBelow(bad.size() - 8);
-            bad[pos] = static_cast<uint8_t>(rng.next());
-        }
-        SalvageOutcome got = salvageDrain(std::move(bad));
-        EXPECT_LE(got.records, records);
-        if (!got.torn) {
-            EXPECT_EQ(got.records, records);
+    for (uint32_t version : kVersions) {
+        const auto good = sampleLog(records, version);
+        Xorshift64Star rng(GetParam() + version);
+        for (int round = 0; round < 100; ++round) {
+            auto bad = good;
+            if (rng.nextBool(0.5)) {
+                size_t keep = 8 + rng.nextBelow(bad.size() - 8);
+                bad.resize(keep);
+            } else {
+                size_t pos = 8 + rng.nextBelow(bad.size() - 8);
+                bad[pos] = static_cast<uint8_t>(rng.next());
+            }
+            SalvageOutcome got = salvageDrain(std::move(bad));
+            EXPECT_LE(got.records, records);
+            if (!got.torn) {
+                EXPECT_EQ(got.records, records);
+            }
         }
     }
 }
@@ -299,17 +365,330 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SalvageFuzz,
 
 TEST(TraceLogFuzz, TrailerCountMismatchIsFatal)
 {
-    auto good = sampleLog(16);
-    // The trailer's u64 total is the last 8 bytes; nudge it.
-    good[good.size() - 8] ^= 1;
-    EXPECT_THROW(drain(std::move(good)), FatalError);
+    for (uint32_t version : kVersions) {
+        auto good = sampleLog(16, version);
+        // The trailer's u64 total is the last 8 bytes; nudge it.
+        good[good.size() - 8] ^= 1;
+        EXPECT_THROW(drain(std::move(good)), FatalError);
+    }
 }
 
 TEST(TraceLogFuzz, TrailingGarbageIsFatal)
 {
-    auto good = sampleLog(16);
-    good.push_back(0xab);
-    EXPECT_THROW(drain(std::move(good)), FatalError);
+    for (uint32_t version : kVersions) {
+        auto good = sampleLog(16, version);
+        good.push_back(0xab);
+        EXPECT_THROW(drain(std::move(good)), FatalError);
+    }
+}
+
+// --------------------------------------------------- elided-log fuzzing
+
+/** A recorded workload, its automaton, and its elided log. */
+struct ElidedSample
+{
+    std::shared_ptr<const Tea> tea;
+    std::shared_ptr<const CompiledTea> automaton;
+    std::vector<BlockTransition> live;
+    std::vector<uint8_t> bytes;
+};
+
+const ElidedSample &
+elidedSample()
+{
+    static const ElidedSample sample = [] {
+        ElidedSample s;
+        Workload w = Workloads::build("syn.mcf", InputSize::Test);
+        DbtRuntime dbt(w.program);
+        s.tea = std::make_shared<const Tea>(
+            buildTea(dbt.record("mret").traces));
+        s.automaton = CompiledTea::compile(s.tea);
+        TraceLogOptions opts;
+        opts.elideWith = s.automaton;
+        TraceLogWriter writer(&s.bytes, opts);
+        Machine m(w.program);
+        BlockTracker tracker(
+            w.program,
+            [&](const BlockTransition &tr) {
+                s.live.push_back(tr);
+                writer.append(tr);
+            },
+            /*rep_per_iteration=*/false, /*collect_blocks=*/false);
+        m.runHooked([&](const EdgeEvent &ev) { tracker.onEdge(ev); },
+                    false);
+        writer.finish();
+        return s;
+    }();
+    return sample;
+}
+
+TEST(TraceLogElidedFuzz, TruncationAndByteFlipsNeverPanic)
+{
+    const ElidedSample &s = elidedSample();
+    ASSERT_EQ(drain(s.bytes, s.automaton.get()), s.live.size());
+
+    Xorshift64Star rng(77);
+    for (int round = 0; round < 300; ++round) {
+        auto bad = s.bytes;
+        if (rng.nextBool(0.4)) {
+            bad.resize(rng.nextBelow(bad.size()));
+            EXPECT_THROW(drain(std::move(bad), s.automaton.get()),
+                         FatalError);
+        } else {
+            size_t pos = rng.nextBelow(bad.size());
+            bad[pos] = static_cast<uint8_t>(rng.next());
+            try {
+                drain(std::move(bad), s.automaton.get());
+            } catch (const FatalError &) {
+                // expected for most flips; a lucky identity flip or a
+                // CRC-colliding rewrite to a valid log is acceptable
+            }
+        }
+        // PanicError or a crash fails the test either way.
+    }
+
+    // Salvage over the damaged elided log never over-reads.
+    for (int round = 0; round < 100; ++round) {
+        auto bad = s.bytes;
+        size_t pos = 8 + rng.nextBelow(bad.size() - 8);
+        bad[pos] = static_cast<uint8_t>(rng.next());
+        SalvageOutcome got =
+            salvageDrain(std::move(bad), s.automaton.get());
+        EXPECT_LE(got.records, s.live.size());
+    }
+}
+
+TEST(TraceLogElidedFuzz, BitsetFlipBehindAValidCrcIsStillFatal)
+{
+    // Forge the CRC after flipping the first bitset bit: record 0 of a
+    // chunk can never be predicted (the predictor has no previous
+    // destination yet), so the decode itself must reject the claim —
+    // the damage is caught by the codec, not just the checksum.
+    const ElidedSample &s = elidedSample();
+    constexpr size_t kHeadAt = 8;      // first chunk head
+    constexpr size_t kPayloadAt = 17;  // head (9 bytes) after container
+    auto rd32 = [&](const std::vector<uint8_t> &b, size_t at) {
+        return uint32_t(b[at]) | (uint32_t(b[at + 1]) << 8) |
+               (uint32_t(b[at + 2]) << 16) | (uint32_t(b[at + 3]) << 24);
+    };
+    ASSERT_EQ(s.bytes[kHeadAt + 4], 2u) << "first chunk must be Elided";
+    size_t payloadLen = rd32(s.bytes, kHeadAt + 5);
+    ASSERT_GT(payloadLen, 0u);
+
+    auto bad = s.bytes;
+    bad[kPayloadAt] ^= 0x01; // record 0's prediction bit
+    uint32_t crc = crc32(bad.data() + kHeadAt, 9 + payloadLen);
+    size_t crcAt = kPayloadAt + payloadLen;
+    bad[crcAt] = static_cast<uint8_t>(crc);
+    bad[crcAt + 1] = static_cast<uint8_t>(crc >> 8);
+    bad[crcAt + 2] = static_cast<uint8_t>(crc >> 16);
+    bad[crcAt + 3] = static_cast<uint8_t>(crc >> 24);
+    EXPECT_THROW(drain(std::move(bad), s.automaton.get()), FatalError);
+}
+
+// ------------------------------------------------- batch decode kernel
+
+/** Run the kernel over a hand-crafted delta payload. */
+std::vector<BlockTransition>
+decodeDelta(const std::vector<uint8_t> &payload, uint32_t records,
+            ChunkEncoding enc = ChunkEncoding::Delta,
+            const CompiledTea *automaton = nullptr)
+{
+    TraceChunkView view;
+    view.records = records;
+    view.encoding = enc;
+    view.payload = payload.data();
+    view.size = payload.size();
+    std::vector<BlockTransition> out;
+    decodeChunk(view, automaton, out);
+    return out;
+}
+
+TEST(TraceLogKernel, ReservedTagBitsAreFatal)
+{
+    // Tag with a reserved bit set; everything else well-formed.
+    for (uint8_t reserved : {0x08, 0x10, 0x18}) {
+        std::vector<uint8_t> payload{
+            static_cast<uint8_t>(0x02 | reserved), // new-block + junk
+            0x02, 0x08, 0x01, 0x02};
+        EXPECT_THROW(decodeDelta(payload, 1), FatalError);
+    }
+}
+
+TEST(TraceLogKernel, SameStartWithoutABaseIsFatal)
+{
+    // First record of a chunk claims "same start as the previous
+    // destination" — but there is no previous destination yet.
+    std::vector<uint8_t> payload{0x03, 0x08, 0x01, 0x02};
+    EXPECT_THROW(decodeDelta(payload, 1), FatalError);
+}
+
+TEST(TraceLogKernel, DictionaryMissIsFatal)
+{
+    // A non-new-block record for a start address the chunk dictionary
+    // has never seen.
+    std::vector<uint8_t> payload{0x00, 0x02, 0x02};
+    EXPECT_THROW(decodeDelta(payload, 1), FatalError);
+}
+
+TEST(TraceLogKernel, OverlongVarintIsFatal)
+{
+    // 10 continuation bytes exceed a u64 varint's maximum length.
+    std::vector<uint8_t> payload{0x02};
+    for (int i = 0; i < 10; ++i)
+        payload.push_back(0x80);
+    payload.push_back(0x01);
+    EXPECT_THROW(decodeDelta(payload, 1), FatalError);
+}
+
+TEST(TraceLogKernel, TrailingPayloadBytesAreFatal)
+{
+    // One valid new-block record, then a stray byte: the kernel must
+    // insist on exact payload consumption.
+    std::vector<uint8_t> good{0x02, 0x02, 0x08, 0x01, 0x02};
+    EXPECT_EQ(decodeDelta(good, 1).size(), 1u);
+    auto bad = good;
+    bad.push_back(0x00);
+    EXPECT_THROW(decodeDelta(bad, 1), FatalError);
+}
+
+TEST(TraceLogKernel, TruncatedPayloadIsFatalAtEveryCut)
+{
+    std::vector<uint8_t> good{0x02, 0x02, 0x08, 0x01, 0x02};
+    for (size_t keep = 0; keep < good.size(); ++keep) {
+        std::vector<uint8_t> cut(good.begin(),
+                                 good.begin() + static_cast<long>(keep));
+        EXPECT_THROW(decodeDelta(cut, 1), FatalError) << "kept " << keep;
+    }
+}
+
+TEST(TraceLogKernel, ElidedChunkWithoutAutomatonIsFatal)
+{
+    std::vector<uint8_t> payload{0x00}; // 1-record bitset, bit clear
+    EXPECT_THROW(decodeDelta(payload, 1, ChunkEncoding::Elided),
+                 FatalError);
+}
+
+// ----------------------------------------------------------- differential
+
+/** A random stream with hot revisits, cold jumps, and odd starts. */
+std::vector<BlockTransition>
+randomStream(Xorshift64Star &rng, size_t n)
+{
+    std::vector<BlockTransition> s;
+    s.reserve(n + 1);
+    Addr pc = 0x1000 + static_cast<Addr>(rng.nextBelow(0x1000));
+    for (size_t i = 0; i < n; ++i) {
+        BlockTransition tr;
+        // Mostly chained from the previous destination (the hot delta
+        // path), sometimes a detached start (the explicit-start path).
+        tr.from.start =
+            rng.nextBool(0.1)
+                ? static_cast<Addr>(rng.nextBelow(0xffff0000))
+                : pc;
+        tr.from.end = tr.from.start + static_cast<Addr>(rng.nextBelow(64));
+        tr.from.icount = rng.nextBelow(1u << 20);
+        tr.kind = static_cast<EdgeKind>(rng.nextBelow(6));
+        // Revisit a small working set often so the dictionary is hot;
+        // jump far occasionally so deltas go long and negative.
+        pc = rng.nextBool(0.7)
+                 ? 0x1000 + static_cast<Addr>(rng.nextBelow(256)) * 16
+                 : static_cast<Addr>(rng.nextBelow(0xffff0000));
+        tr.toStart = pc;
+        s.push_back(tr);
+    }
+    if (rng.nextBool(0.5)) {
+        BlockTransition halt;
+        halt.from.start = pc;
+        halt.from.end = pc + 4;
+        halt.from.icount = 1;
+        halt.kind = EdgeKind::Halt;
+        halt.toStart = kNoAddr;
+        s.push_back(halt);
+    }
+    return s;
+}
+
+bool
+identical(const BlockTransition &a, const BlockTransition &b)
+{
+    return a.from == b.from && a.toStart == b.toStart &&
+           a.kind == b.kind;
+}
+
+class DifferentialFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(DifferentialFuzz, V1AndV2DecodeBitIdentically)
+{
+    Xorshift64Star rng(GetParam());
+    const CompiledTea *automaton = elidedSample().automaton.get();
+    for (int round = 0; round < 20; ++round) {
+        auto stream = randomStream(rng, 50 + rng.nextBelow(3000));
+        std::vector<std::vector<uint8_t>> logs(3);
+        for (int enc = 0; enc < 3; ++enc) {
+            TraceLogOptions opts;
+            if (enc == 0)
+                opts.version = TraceLogFormat::kVersionV1;
+            if (enc == 2)
+                opts.elideWith = elidedSample().automaton;
+            TraceLogWriter w(&logs[enc], opts);
+            for (const auto &tr : stream)
+                w.append(tr);
+            w.finish();
+        }
+        for (int enc = 0; enc < 3; ++enc) {
+            auto back = readTraceLog(logs[enc], automaton);
+            ASSERT_EQ(back.size(), stream.size()) << "encoding " << enc;
+            for (size_t i = 0; i < stream.size(); ++i)
+                ASSERT_TRUE(identical(back[i], stream[i]))
+                    << "encoding " << enc << " record " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
+                         ::testing::Values(5, 55, 555, 5555));
+
+TEST(TraceLogDifferential, ReplayAgreesAcrossEncodingsAndLookupModes)
+{
+    // The ISSUE acceptance bar: a v2 (and elided) log must replay with
+    // ReplayStats bit-identical to the v1 log of the same stream, in
+    // every lookup configuration.
+    const ElidedSample &s = elidedSample();
+    std::vector<std::vector<uint8_t>> logs(3);
+    for (int enc = 0; enc < 2; ++enc) {
+        TraceLogOptions opts;
+        if (enc == 0)
+            opts.version = TraceLogFormat::kVersionV1;
+        TraceLogWriter w(&logs[enc], opts);
+        for (const auto &tr : s.live)
+            w.append(tr);
+        w.finish();
+    }
+    logs[2] = s.bytes;
+
+    for (bool useCompiled : {false, true}) {
+        for (bool useGlobal : {false, true}) {
+            LookupConfig cfg;
+            cfg.useCompiled = useCompiled;
+            cfg.useGlobalBTree = useGlobal;
+            StreamResult ref;
+            for (int enc = 0; enc < 3; ++enc) {
+                ReplayJob job{s.tea, "", &logs[enc], s.automaton};
+                StreamResult res = runReplayJob(job, cfg);
+                ASSERT_TRUE(res.ok()) << res.error;
+                if (enc == 0) {
+                    ref = res;
+                    continue;
+                }
+                EXPECT_EQ(res.stats, ref.stats)
+                    << "encoding " << enc << " compiled=" << useCompiled
+                    << " global=" << useGlobal;
+            }
+        }
+    }
 }
 
 } // namespace

@@ -23,6 +23,10 @@ set(cases
     "dot"
     "record-log|syn.mcf"      # missing --log
     "record-log"
+    "record-log|syn.mcf|--log|o.tlog|--elide|--log-v1" # v1 can't elide
+    "record-log|syn.mcf|--log|o.tlog|--teac|o.teac" # --teac needs --elide
+    "log-info"                # missing <file.tlog>
+    "log-info|a.tlog|b.tlog"  # excess positional
     "batch-replay"            # missing <tea> <log>...
     "batch-replay|only.tea"   # missing logs
     "batch-replay|--jobs|0|a.tea|b.tlog" # bad worker count

@@ -25,7 +25,15 @@
  *   dot <prog> [--selector S]          print the TEA in GraphViz DOT
  *   workloads                          list the synthetic SPEC suite
  *   record-log <prog> --log F [--pin]  record the block-transition
- *                                      stream to a trace log (svc)
+ *                                      stream to a trace log (svc);
+ *                                      --log-v1 writes the legacy
+ *                                      container, --elide predicts
+ *                                      against a recorded automaton
+ *                                      (--teac F saves it alongside)
+ *   log-info <file.tlog>               inspect a trace log's framing,
+ *                                      per-chunk encodings, and
+ *                                      compression ratio (--json;
+ *                                      --teac F decodes elided logs)
  *   batch-replay --jobs N <tea> <log>...
  *                                      replay many trace logs on a
  *                                      worker pool (svc)
@@ -113,6 +121,7 @@ struct Options
     std::string tracesFile;
     std::string teaFile;
     std::string logFile;
+    std::string teacFile; ///< record-log/log-info: compiled automaton
     std::string endpoint; ///< --listen / --connect
     std::string putFile;  ///< remote-replay: upload this TEA first
     std::string outDir;   ///< compile: .teac output directory
@@ -132,6 +141,8 @@ struct Options
     long long maxResidentBytes = 0; ///< serve: store byte budget (0 = off)
     long long maxResident = 0;      ///< serve: store count budget (0 = off)
     bool salvage = false;      ///< batch-replay: recover torn logs
+    bool logV1 = false;        ///< record-log: legacy v1 container
+    bool elide = false;        ///< record-log: automaton-predicted elision
     bool live = false;         ///< record --connect: stream an execution
     bool pinPolicy = false;
     bool optimize = false;
@@ -163,6 +174,8 @@ usage()
         "  dot <prog> [--selector S]\n"
         "  workloads\n"
         "  record-log <prog> --log out.tlog [--pin] [--size S]\n"
+        "         [--log-v1] [--elide [--teac out.teac] [--selector S]]\n"
+        "  log-info <file.tlog> [--json] [--teac file.teac]\n"
         "  batch-replay [--jobs N] [--json] [--salvage] <tea-file> "
         "<log>...\n"
         "         [--no-global] [--no-local] [--reference]\n"
@@ -211,6 +224,8 @@ parseArgs(int argc, char **argv)
             opt.teaFile = value();
         else if (arg == "--log")
             opt.logFile = value();
+        else if (arg == "--teac")
+            opt.teacFile = value();
         else if (arg == "--listen" || arg == "--connect")
             opt.endpoint = value();
         else if (arg == "--put")
@@ -274,6 +289,10 @@ parseArgs(int argc, char **argv)
                 usage();
         } else if (arg == "--live")
             opt.live = true;
+        else if (arg == "--log-v1")
+            opt.logV1 = true;
+        else if (arg == "--elide")
+            opt.elide = true;
         else if (arg == "--salvage")
             opt.salvage = true;
         else if (arg == "--json")
@@ -644,8 +663,33 @@ cmdRecordLog(const Options &opt)
 {
     if (opt.logFile.empty())
         usage();
+    if (opt.elide && opt.logV1)
+        usage(); // elision lives in the v2 container only
+    if (!opt.teacFile.empty() && !opt.elide)
+        usage(); // --teac is the elision automaton's output path
     Program prog = loadProgram(opt);
-    TraceLogWriter writer(opt.logFile);
+
+    TraceLogOptions lopt;
+    if (opt.logV1)
+        lopt.version = TraceLogFormat::kVersionV1;
+    if (opt.elide) {
+        // Record the automaton in a first pass, then write the log with
+        // the writer predicting against it. A tracker-config mismatch
+        // between the passes is safe — mispredicted transitions just
+        // fall back to explicit delta records.
+        DbtRuntime dbt(prog);
+        auto rec = dbt.record(opt.selector);
+        auto tea = std::make_shared<const Tea>(buildTea(rec.traces));
+        lopt.elideWith = CompiledTea::compile(tea);
+        if (!opt.teacFile.empty()) {
+            saveTeacFile(*lopt.elideWith, opt.teacFile);
+            std::printf("wrote %s: elision automaton (%u states)\n",
+                        opt.teacFile.c_str(),
+                        lopt.elideWith->numStates());
+        }
+    }
+
+    TraceLogWriter writer(opt.logFile, lopt);
     Machine m(prog);
     BlockTracker tracker(
         prog, [&](const BlockTransition &tr) { writer.append(tr); },
@@ -654,8 +698,130 @@ cmdRecordLog(const Options &opt)
     m.runHooked([&](const EdgeEvent &ev) { tracker.onEdge(ev); },
                 /*split_at_special=*/opt.pinPolicy);
     writer.finish();
-    std::printf("wrote %s: %llu block transitions\n", opt.logFile.c_str(),
-                static_cast<unsigned long long>(writer.records()));
+    std::printf("wrote %s: %llu block transitions, %llu bytes (v%u%s)\n",
+                opt.logFile.c_str(),
+                static_cast<unsigned long long>(writer.records()),
+                static_cast<unsigned long long>(writer.flushedBytes()),
+                writer.version(), opt.elide ? ", elided" : "");
+    return 0;
+}
+
+const char *
+chunkEncodingName(ChunkEncoding e)
+{
+    switch (e) {
+    case ChunkEncoding::Raw:
+        return "raw";
+    case ChunkEncoding::Delta:
+        return "delta";
+    case ChunkEncoding::Elided:
+        return "elided";
+    }
+    return "?";
+}
+
+int
+cmdLogInfo(const Options &opt)
+{
+    if (opt.program.empty())
+        usage();
+    auto file = MappedFile::openShared(opt.program);
+    TraceLogInfo info = inspectTraceLog(file->data(), file->size());
+
+    // The v1-equivalent size needs the records themselves, so it is
+    // computable exactly when the log is: always for raw/delta logs,
+    // and for elided ones only with the recording automaton (--teac).
+    std::shared_ptr<const CompiledTea> automaton;
+    if (!opt.teacFile.empty())
+        automaton = CompiledTea::fromFile(opt.teacFile);
+    bool haveRatio = info.elidedChunks == 0 || automaton != nullptr;
+    uint64_t v1Bytes = 0;
+    if (haveRatio) {
+        TraceLogReader reader(file->data(), file->size(),
+                              TraceLogReader::Mode::Strict,
+                              automaton.get());
+        std::vector<uint8_t> v1;
+        TraceLogOptions v1opt;
+        v1opt.version = TraceLogFormat::kVersionV1;
+        TraceLogWriter w(&v1, v1opt);
+        const std::vector<BlockTransition> *buf;
+        while ((buf = reader.nextChunk()) != nullptr)
+            for (const BlockTransition &tr : *buf)
+                w.append(tr);
+        w.finish();
+        v1Bytes = v1.size();
+    }
+    double ratio =
+        info.fileBytes > 0 && haveRatio
+            ? static_cast<double>(v1Bytes) /
+                  static_cast<double>(info.fileBytes)
+            : 0.0;
+
+    if (opt.json) {
+        JsonWriter w;
+        w.beginObject();
+        w.key("file").value(opt.program);
+        w.key("version").value(info.version);
+        w.key("fileBytes").value(info.fileBytes);
+        w.key("records").value(info.records);
+        w.key("payloadBytes").value(info.payloadBytes);
+        w.key("elidedRecords").value(info.elidedRecords);
+        w.key("rawChunks").value(info.rawChunks);
+        w.key("deltaChunks").value(info.deltaChunks);
+        w.key("elidedChunks").value(info.elidedChunks);
+        if (haveRatio) {
+            w.key("v1Bytes").value(v1Bytes);
+            w.key("v1Ratio").value(ratio);
+        }
+        w.key("chunks").beginArray();
+        for (const TraceLogChunkInfo &c : info.chunks) {
+            w.beginObject();
+            w.key("encoding").value(chunkEncodingName(c.encoding));
+            w.key("records").value(c.records);
+            w.key("payloadBytes").value(c.payloadBytes);
+            if (c.encoding == ChunkEncoding::Elided)
+                w.key("elidedRecords").value(c.elidedRecords);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        std::printf("%s\n", w.str().c_str());
+        return 0;
+    }
+
+    std::printf("%s: valid v%u trace log (%llu bytes)\n",
+                opt.program.c_str(), info.version,
+                static_cast<unsigned long long>(info.fileBytes));
+    std::printf("  records     %llu in %zu chunks (%llu raw, %llu "
+                "delta, %llu elided)\n",
+                static_cast<unsigned long long>(info.records),
+                info.chunks.size(),
+                static_cast<unsigned long long>(info.rawChunks),
+                static_cast<unsigned long long>(info.deltaChunks),
+                static_cast<unsigned long long>(info.elidedChunks));
+    std::printf("  payload     %llu bytes (%.2f bytes/record)\n",
+                static_cast<unsigned long long>(info.payloadBytes),
+                info.records
+                    ? static_cast<double>(info.payloadBytes) /
+                          static_cast<double>(info.records)
+                    : 0.0);
+    if (info.elidedChunks > 0)
+        std::printf("  elision     %llu of %llu records carried as "
+                    "bitset bits (%.1f%%)\n",
+                    static_cast<unsigned long long>(info.elidedRecords),
+                    static_cast<unsigned long long>(info.records),
+                    info.records ? 100.0 *
+                                       static_cast<double>(
+                                           info.elidedRecords) /
+                                       static_cast<double>(info.records)
+                                 : 0.0);
+    if (haveRatio)
+        std::printf("  v1 size     %llu bytes (this log is %.2fx "
+                    "smaller)\n",
+                    static_cast<unsigned long long>(v1Bytes), ratio);
+    else
+        std::printf("  v1 size     unknown (elided chunks; pass --teac "
+                    "to decode)\n");
     return 0;
 }
 
@@ -1186,6 +1352,8 @@ main(int argc, char **argv)
             return cmdWorkloads();
         if (opt.command == "record-log")
             return cmdRecordLog(opt);
+        if (opt.command == "log-info")
+            return cmdLogInfo(opt);
         if (opt.command == "batch-replay")
             return cmdBatchReplay(opt);
         if (opt.command == "compile")
