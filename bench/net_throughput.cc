@@ -1,18 +1,32 @@
 /**
  * @file
  * Networked replay throughput: loopback streams/sec at 1, 2, 4, ...
- * concurrent clients against a TeaServer.
+ * concurrent clients against a TeaServer, on both connection engines.
  *
  * Records one `syn.gzip` trace log, uploads the automaton once, then
  * replays a fixed batch of streams through N client threads (server
- * sized to N workers). At every scale the client-side results are
- * checked bit-identical to a local ReplayService::runBatch over the
- * same jobs: per-stream stats, per-stream profiles, and the merged
- * per-TBB profile — the wire adds framing, never drift.
+ * sized to N workers). Every configuration is run twice — once on the
+ * blocking thread-per-connection core and once on the epoll event-loop
+ * core — and at every scale the client-side results are checked
+ * bit-identical to a local ReplayService::runBatch over the same jobs:
+ * per-stream stats, per-stream profiles, and the merged per-TBB
+ * profile — the wire adds framing, never drift.
+ *
+ * The `held` column is the event-loop core's headline: that many extra
+ * connections are opened and parked idle on the server for the whole
+ * batch. On the loop core an idle connection costs a few hundred bytes
+ * and no thread, so the batch runs at full speed with 512+ spectators;
+ * the blocking core would park one pool worker per held connection and
+ * deadlock the batch, so held rows are loop-only by construction.
  *
  * Note the speedup column measures the *host*: on a single-core
  * container every client count necessarily lands near 1.0x, and the
  * delta between net and local streams/sec is the protocol cost.
+ *
+ * `--min-loop-ratio X` turns the core comparison into a CI gate: the
+ * event-loop core's streams/sec at 8 clients must be at least X times
+ * the blocking core's, so the readiness loop can never quietly become
+ * slower than the engine it replaces.
  *
  * The wire KB/req column counts both directions of every client's
  * socket, divided by the number of replay requests. A final section
@@ -22,17 +36,21 @@
  * upload stops being at least X times smaller on the wire.
  *
  * Usage: net_throughput [--size test|train|ref] [--streams N]
+ *                       [--held-open N] [--min-loop-ratio X]
  *                       [--min-wire-compression X]
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <thread>
 
 #include "bench/harness.hh"
 #include "net/client.hh"
 #include "net/server.hh"
+#include "net/socket.hh"
 #include "svc/replay_service.hh"
 #include "svc/tracelog.hh"
 #include "tea/builder.hh"
@@ -63,6 +81,12 @@ recordLog(const Program &prog,
     return bytes;
 }
 
+const char *
+coreName(ServerCore core)
+{
+    return core == ServerCore::Blocking ? "blocking" : "event-loop";
+}
+
 } // namespace
 
 int
@@ -70,10 +94,16 @@ main(int argc, char **argv)
 {
     InputSize size = sizeFromArgs(argc, argv);
     size_t streams = 32;
+    size_t held_open = 512;
     double min_wire_compression = 0.0;
+    double min_loop_ratio = 0.0;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--streams") && i + 1 < argc)
             streams = static_cast<size_t>(std::atoi(argv[i + 1]));
+        if (!std::strcmp(argv[i], "--held-open") && i + 1 < argc)
+            held_open = static_cast<size_t>(std::atoi(argv[i + 1]));
+        if (!std::strcmp(argv[i], "--min-loop-ratio") && i + 1 < argc)
+            min_loop_ratio = std::atof(argv[i + 1]);
         if (!std::strcmp(argv[i], "--min-wire-compression") &&
             i + 1 < argc)
             min_wire_compression = std::atof(argv[i + 1]);
@@ -107,20 +137,40 @@ main(int argc, char **argv)
                 streams, static_cast<double>(log.size()) / (1 << 20),
                 hw, localMs);
 
-    TextTable table(
-        {"clients", "batch ms", "streams/s", "speedup", "wire KB/req"});
-    double base_sps = 0.0;
-    for (unsigned clients = 1; clients <= std::max(4u, hw);
-         clients *= 2) {
+    TextTable table({"core", "clients", "held", "batch ms", "streams/s",
+                     "speedup", "wire KB/req"});
+    // Speedup baselines and the 8-client gate inputs, per core.
+    double base_sps[2] = {0.0, 0.0};
+    std::map<unsigned, double> sps_by_clients[2];
+
+    // One measured configuration: `clients` threads splitting the
+    // batch round-robin against a `core` server, with `heldOpen` extra
+    // idle connections parked on it for the duration. Returns
+    // streams/sec, or a negative value after printing the failure.
+    auto runScale = [&](ServerCore core, unsigned clients,
+                        size_t heldOpen) -> double {
         ServerConfig cfg;
         cfg.endpoint = "tcp:127.0.0.1:0";
         cfg.workers = clients;
+        cfg.core = core;
         TeaServer server(cfg);
         server.start();
         std::string ep = server.endpoint();
         {
             TeaClient admin = TeaClient::connect(ep);
             admin.putAutomaton("gzip", *tea);
+        }
+
+        // The idle pile goes up before the clock starts; pacing keeps
+        // the connect burst inside the listener backlog.
+        std::vector<Socket> held;
+        held.reserve(heldOpen);
+        for (size_t i = 0; i < heldOpen; ++i) {
+            held.push_back(Socket::connectTo(Endpoint::parse(ep)));
+            if ((i & 0xff) == 0xff)
+                while (server.activeSessions() + 256 < held.size())
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
         }
 
         // Streams round-robined over the clients; every client keeps
@@ -155,7 +205,8 @@ main(int argc, char **argv)
         double ms = timer.elapsedMillis();
         for (unsigned c = 0; c < clients; ++c)
             if (failed[c])
-                return 1;
+                return -1.0;
+        held.clear();
         server.stop();
 
         // Bit-identical to the local batch: per-stream and merged.
@@ -166,37 +217,81 @@ main(int argc, char **argv)
                     reference.streams[s].execCounts) {
                 std::fprintf(stderr,
                              "stream %zu diverges from the local batch "
-                             "at %u clients\n", s, clients);
-                return 1;
+                             "(%s core, %u clients)\n",
+                             s, coreName(core), clients);
+                return -1.0;
             }
             for (size_t i = 0; i < results[s].execCounts.size(); ++i)
                 merged[i] += results[s].execCounts[i];
         }
         if (merged != reference.mergedExecCounts) {
             std::fprintf(stderr,
-                         "merged profile diverges at %u clients\n",
-                         clients);
-            return 1;
+                         "merged profile diverges (%s core, %u "
+                         "clients)\n",
+                         coreName(core), clients);
+            return -1.0;
         }
 
         double sps = ms > 0 ? 1e3 * static_cast<double>(streams) / ms : 0;
-        if (clients == 1)
-            base_sps = sps;
+        int ci = core == ServerCore::Blocking ? 0 : 1;
+        if (clients == 1 && heldOpen == 0)
+            base_sps[ci] = sps;
         uint64_t wire_total = 0;
         for (uint64_t b : wire)
             wire_total += b;
-        table.addRow({std::to_string(clients), TextTable::num(ms, 1),
+        table.addRow({coreName(core), std::to_string(clients),
+                      std::to_string(heldOpen), TextTable::num(ms, 1),
                       TextTable::num(sps, 1),
-                      TextTable::num(base_sps > 0 ? sps / base_sps : 0.0,
-                                     2),
+                      TextTable::num(
+                          base_sps[ci] > 0 ? sps / base_sps[ci] : 0.0,
+                          2),
                       TextTable::num(static_cast<double>(wire_total) /
                                          static_cast<double>(streams) /
                                          1024.0,
                                      1)});
+        return sps;
+    };
+
+    // The scaling sweep runs to at least 8 clients on both cores so
+    // the --min-loop-ratio gate always has its comparison point.
+    for (int ci = 0; ci < 2; ++ci) {
+        ServerCore core =
+            ci == 0 ? ServerCore::Blocking : ServerCore::EventLoop;
+        for (unsigned clients = 1; clients <= std::max(8u, hw);
+             clients *= 2) {
+            double sps = runScale(core, clients, 0);
+            if (sps < 0)
+                return 1;
+            sps_by_clients[ci][clients] = sps;
+        }
     }
+
+    // The held-open pile: loop core only — the blocking core would
+    // park one worker per idle connection and starve the batch.
+    if (held_open > 0 &&
+        runScale(ServerCore::EventLoop, 8, held_open) < 0)
+        return 1;
+
     std::fputs(table.render().c_str(), stdout);
-    std::printf("(remote results bit-identical to the local batch at "
-                "every client count)\n");
+    std::printf("(remote results bit-identical to the local batch in "
+                "every configuration; held = idle connections parked "
+                "on the server for the whole batch)\n");
+
+    double ratio8 = sps_by_clients[0][8] > 0
+                        ? sps_by_clients[1][8] / sps_by_clients[0][8]
+                        : 0.0;
+    std::printf("event-loop vs blocking at 8 clients: %.1f vs %.1f "
+                "streams/s (%.2fx)\n",
+                sps_by_clients[1][8], sps_by_clients[0][8], ratio8);
+    if (min_loop_ratio > 0 && ratio8 < min_loop_ratio) {
+        std::printf("FAIL: event-loop core only %.2fx of the blocking "
+                    "core at 8 clients, gate requires %.2fx\n",
+                    ratio8, min_loop_ratio);
+        return 1;
+    }
+    if (min_loop_ratio > 0)
+        std::printf("PASS: event-loop/blocking ratio %.2fx >= %.2fx\n",
+                    ratio8, min_loop_ratio);
 
     // Wire cost of the log encoding: the same stream uploaded from a
     // v1 and a v2 container, one request each over a fresh connection,

@@ -25,6 +25,14 @@ faultKindName(FaultKind kind)
         return "reset";
     case FaultKind::Corrupt:
         return "corrupt";
+    case FaultKind::NbEagainRead:
+        return "nb_eagain_read";
+    case FaultKind::NbEagainWrite:
+        return "nb_eagain_write";
+    case FaultKind::NbPartialWrite:
+        return "nb_partial_write";
+    case FaultKind::SpuriousReady:
+        return "spurious_ready";
     }
     return "unknown";
 }
@@ -134,4 +142,90 @@ FaultySocket::sendAll(const void *buf, size_t len)
     sent += len;
 }
 
+Socket::IoResult
+FaultySocket::recvNb(void *buf, size_t len)
+{
+    if (!armed) {
+        Socket::IoResult res = sock.recvNb(buf, len);
+        received += res.n;
+        return res;
+    }
+    if (roll(cfg.nbEagainRead, FaultKind::NbEagainRead)) {
+        // Nothing touched the fd: the data (if any) is still queued,
+        // and level-triggered readiness will re-offer it — an EAGAIN
+        // storm only costs extra loop iterations.
+        Socket::IoResult res;
+        res.wouldBlock = true;
+        return res;
+    }
+    if (roll(cfg.reset, FaultKind::Reset)) {
+        // The nonblocking surface reports peer-gone in-band.
+        sock.close();
+        Socket::IoResult res;
+        res.closed = true;
+        return res;
+    }
+    size_t want = len;
+    if (len > 1 && roll(cfg.shortRead, FaultKind::ShortRead))
+        want = 1 + rng.nextBelow(len);
+    Socket::IoResult res = sock.recvNb(buf, want);
+    if (res.n > 0 && roll(cfg.corrupt, FaultKind::Corrupt)) {
+        uint8_t *p = static_cast<uint8_t *>(buf);
+        size_t at = rng.nextBelow(res.n);
+        p[at] ^= static_cast<uint8_t>(1 + rng.nextBelow(255));
+    }
+    received += res.n;
+    return res;
+}
+
+Socket::IoResult
+FaultySocket::sendNb(const void *buf, size_t len)
+{
+    if (!armed || len == 0) {
+        Socket::IoResult res = sock.sendNb(buf, len);
+        sent += res.n;
+        return res;
+    }
+    if (roll(cfg.nbEagainWrite, FaultKind::NbEagainWrite)) {
+        Socket::IoResult res;
+        res.wouldBlock = true;
+        return res;
+    }
+    if (roll(cfg.reset, FaultKind::Reset)) {
+        sock.close();
+        Socket::IoResult res;
+        res.closed = true;
+        return res;
+    }
+    size_t want = len;
+    if (len > 1 && roll(cfg.nbPartialWrite, FaultKind::NbPartialWrite))
+        // Truncate the *attempt*: the bytes after the cut are simply
+        // not offered to the kernel, so the caller's write queue keeps
+        // them — exactly a short send() under a full socket buffer,
+        // landed deliberately at interesting (watermark) boundaries.
+        want = 1 + rng.nextBelow(len - 1);
+    Socket::IoResult res;
+    if (roll(cfg.corrupt, FaultKind::Corrupt)) {
+        std::vector<uint8_t> bent(static_cast<const uint8_t *>(buf),
+                                  static_cast<const uint8_t *>(buf) +
+                                      want);
+        size_t at = rng.nextBelow(want);
+        bent[at] ^= static_cast<uint8_t>(1 + rng.nextBelow(255));
+        res = sock.sendNb(bent.data(), bent.size());
+    } else {
+        res = sock.sendNb(buf, want);
+    }
+    sent += res.n;
+    return res;
+}
+
+bool
+FaultySocket::rollSpuriousReady()
+{
+    if (!armed)
+        return false;
+    return roll(cfg.spuriousReady, FaultKind::SpuriousReady);
+}
+
 } // namespace tea
+

@@ -50,9 +50,15 @@ enum class FaultKind : uint8_t {
     Delay,
     Reset,
     Corrupt,
+    // Nonblocking-only kinds (the event-loop core's I/O surface): the
+    // blocking calls never roll these.
+    NbEagainRead,   ///< recvNb reports wouldBlock without reading
+    NbEagainWrite,  ///< sendNb reports wouldBlock without writing
+    NbPartialWrite, ///< sendNb moves fewer bytes than offered
+    SpuriousReady,  ///< the loop treats an un-ready fd as readable
 };
 
-constexpr size_t kFaultKinds = 6;
+constexpr size_t kFaultKinds = 10;
 
 const char *faultKindName(FaultKind kind);
 
@@ -73,11 +79,24 @@ struct FaultConfig
     double reset = 0.0;   ///< close the socket mid-call, throw
     double corrupt = 0.0; ///< flip one byte of the data in flight
 
+    // Nonblocking (event-loop) faults, all benign by construction: the
+    // readiness loop must absorb every one of these without changing
+    // any result — EAGAIN storms and spurious wakeups are exactly what
+    // epoll is allowed to do to a correct server. Rolled only by
+    // recvNb/sendNb (and SpuriousReady by the loop itself); the
+    // blocking calls, and therefore the blocking core, never see them.
+    double nbEagainRead = 0.0;   ///< recvNb: spurious wouldBlock
+    double nbEagainWrite = 0.0;  ///< sendNb: spurious wouldBlock
+    double nbPartialWrite = 0.0; ///< sendNb: truncate the attempt
+    double spuriousReady = 0.0;  ///< loop: phantom readable event
+
     /** True when any probability is nonzero. */
     bool any() const
     {
         return shortRead > 0 || shortWrite > 0 || eintr > 0 ||
-               delay > 0 || reset > 0 || corrupt > 0;
+               delay > 0 || reset > 0 || corrupt > 0 ||
+               nbEagainRead > 0 || nbEagainWrite > 0 ||
+               nbPartialWrite > 0 || spuriousReady > 0;
     }
 };
 
@@ -116,6 +135,33 @@ class FaultySocket
      */
     void sendAll(const void *buf, size_t len);
 
+    /**
+     * recvNb with faults: an armed nbEagainRead probability turns the
+     * attempt into a spurious wouldBlock (no bytes consumed) — the
+     * EAGAIN storm a level-triggered loop must simply re-poll through.
+     * Benign by construction: nothing is lost, delivery is only
+     * deferred. Corrupt/reset faults apply as in recvSome.
+     */
+    Socket::IoResult recvNb(void *buf, size_t len);
+
+    /**
+     * sendNb with faults: nbEagainWrite defers the whole attempt
+     * (wouldBlock, nothing sent); nbPartialWrite truncates it to a
+     * random prefix — the loop's write queue must carry the remainder
+     * across watermark boundaries. Corrupt faults poison one byte of
+     * whatever does go out.
+     */
+    Socket::IoResult sendNb(const void *buf, size_t len);
+
+    /**
+     * A Bernoulli draw on SpuriousReady, for the event loop to consult
+     * before treating a connection as readable without a poller event.
+     * Always false when unarmed — and free: the rng does not advance.
+     */
+    bool rollSpuriousReady();
+
+    void setNonBlocking(bool on) { sock.setNonBlocking(on); }
+    int fd() const { return sock.fd(); }
     int waitReadable(int timeoutMs) { return sock.waitReadable(timeoutMs); }
     void shutdownRead() { sock.shutdownRead(); }
     void close() { sock.close(); }

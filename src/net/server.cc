@@ -5,6 +5,7 @@
 #include <limits>
 #include <thread>
 
+#include "net/event_loop.hh"
 #include "net/frame.hh"
 #include "net/session.hh"
 #include "util/json.hh"
@@ -48,6 +49,21 @@ TeaServer::TeaServer(ServerConfig config)
     mTaskFailures = &metrics_.counter("pool.task_failures");
     hRequestMs = &metrics_.histogram("server.request_ms");
     hTaskMs = &metrics_.histogram("pool.task_ms");
+
+    // Event-loop core health. Registered unconditionally so the metric
+    // catalog is stable across cores; on the blocking core they all
+    // read zero (a cheap, greppable signal of which engine ran).
+    mLoopIterations = &metrics_.counter("loop.iterations");
+    mLoopWakeups = &metrics_.counter("loop.wakeups");
+    mLoopTimers = &metrics_.counter("loop.timers_fired");
+    mLoopDeferred = &metrics_.counter("loop.writes_deferred");
+    mLoopStalls = &metrics_.counter("loop.backpressure_stalls");
+    mLoopOverflow = &metrics_.counter("loop.wq_overflow");
+    mLoopFaults = &metrics_.counter("loop.faults_injected");
+    hLoopMs = &metrics_.histogram("loop.latency_ms");
+    metrics_.gaugeFn("loop.sessions", [this] {
+        return loop_ ? static_cast<int64_t>(loop_->liveConns()) : 0;
+    });
 
     svcObs_.spans = &spans_;
     svcObs_.requests = mRequests;
@@ -159,12 +175,19 @@ TeaServer::start()
         panic("tead server: started twice");
     startedAtMs.store(steadyMs());
     listener = Listener::open(Endpoint::parse(cfg.endpoint));
+    if (cfg.core == ServerCore::EventLoop) {
+        loop_ = std::make_unique<EventLoop>(*this);
+        loop_->start();
+        return;
+    }
     acceptThread = std::thread([this] { acceptLoop(); });
 }
 
 size_t
 TeaServer::activeSessions() const
 {
+    if (loop_)
+        return loop_->liveConns();
     std::lock_guard<std::mutex> lock(connMu);
     return conns.size();
 }
@@ -268,6 +291,28 @@ TeaServer::evictConnection(Socket &sock, const char *why, bool deadline)
     }
 }
 
+std::unique_ptr<Session>
+TeaServer::makeSession(uint64_t connId)
+{
+    auto session = std::make_unique<Session>(registry_, cfg.lookup);
+    session->setStore(store_.get());
+    session->setRecorder(recSvc_.get(), cfg.recordSwapInterval);
+    session->setStatusFn([this] {
+        ServerStatus st;
+        st.queueDepth = static_cast<uint32_t>(
+            std::min<size_t>(pool.pending(), UINT32_MAX));
+        st.activeSessions = static_cast<uint32_t>(
+            std::min<size_t>(activeSessions(), UINT32_MAX));
+        st.uptimeMs = uptimeMs();
+        return st;
+    });
+    session->setStatsFn([this](bool text) { return statsReport(text); });
+    SessionObs ob = svcObs_;
+    ob.conn = connId;
+    session->setObs(ob);
+    return session;
+}
+
 void
 TeaServer::serveConnection(Socket &sock, uint64_t connId,
                            uint64_t acceptNs)
@@ -282,23 +327,8 @@ TeaServer::serveConnection(Socket &sock, uint64_t connId,
         accept.durNs = obs::monotonicNanos() - acceptNs;
         spans_.push(accept);
 
-        Session session(registry_, cfg.lookup);
-        session.setStore(store_.get());
-        session.setRecorder(recSvc_.get(), cfg.recordSwapInterval);
-        session.setStatusFn([this] {
-            ServerStatus st;
-            st.queueDepth = static_cast<uint32_t>(
-                std::min<size_t>(pool.pending(), UINT32_MAX));
-            st.activeSessions = static_cast<uint32_t>(
-                std::min<size_t>(activeSessions(), UINT32_MAX));
-            st.uptimeMs = uptimeMs();
-            return st;
-        });
-        session.setStatsFn(
-            [this](bool text) { return statsReport(text); });
-        SessionObs ob = svcObs_;
-        ob.conn = connId;
-        session.setObs(ob);
+        std::unique_ptr<Session> sessionPtr = makeSession(connId);
+        Session &session = *sessionPtr;
 
         std::vector<uint8_t> replies;
         uint8_t buf[64 * 1024];
@@ -423,6 +453,16 @@ TeaServer::stop()
     if (!started.load() || stopped.exchange(true))
         return;
     stopping.store(true);
+    if (loop_) {
+        // The loop drains itself: accepts stop, in-flight consume
+        // tasks finish, queued replies flush, stragglers are evicted
+        // at the drain deadline. The listener closes after the loop
+        // thread joined — it owns the fd's poller registration.
+        loop_->stop();
+        listener.close();
+        pool.drain();
+        return;
+    }
     listener.close(); // wakes the accept loop
     if (acceptThread.joinable())
         acceptThread.join();

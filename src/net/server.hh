@@ -11,7 +11,15 @@
  * to a local one — enforced by tests/test_net.cc and
  * bench/net_throughput.
  *
- * Concurrency model — one accept thread, sessions on a ThreadPool:
+ * Two interchangeable connection engines (ServerConfig::core): the
+ * thread-per-connection core documented below, and the epoll/poll
+ * event-loop core (net/event_loop.hh) that owns every socket on one
+ * thread and scales to tens of thousands of connections. Admission
+ * (BUSY), deadlines, eviction, and graceful drain mean the same thing
+ * on both; the differences are purely mechanical (who blocks where).
+ *
+ * Concurrency model of the blocking core — one accept thread, sessions
+ * on a ThreadPool:
  *
  * - the accept loop hands each admitted connection to the worker pool;
  *   a session occupies its worker for the connection's lifetime, so
@@ -50,6 +58,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "net/fault.hh"
 #include "net/session.hh"
 #include "net/socket.hh"
 #include "obs/metrics.hh"
@@ -60,6 +69,23 @@
 #include "util/threadpool.hh"
 
 namespace tea {
+
+class EventLoop;
+
+/**
+ * Which connection engine drives the server.
+ *
+ * - `Blocking`: the original thread-per-connection core described in
+ *   the file comment above — one pool worker parked per live socket.
+ * - `EventLoop`: the single-threaded epoll/poll readiness core
+ *   (net/event_loop.hh) — sockets are nonblocking and owned by the
+ *   loop, replay/record work still runs on the pool, and idle
+ *   connections cost a few hundred bytes instead of a thread. Same
+ *   wire protocol, same Session, same BUSY/eviction/deadline meaning;
+ *   tests/test_chaos.cc proves both cores bit-identical under fault
+ *   injection.
+ */
+enum class ServerCore : uint8_t { Blocking, EventLoop };
 
 struct ServerConfig
 {
@@ -110,6 +136,44 @@ struct ServerConfig
      * it per recording.
      */
     uint32_t recordSwapInterval = 4096;
+
+    /** Connection engine; see ServerCore. */
+    ServerCore core = ServerCore::Blocking;
+
+    // ----- event-loop core tuning (ignored by the blocking core) -----
+
+    /**
+     * Hard cap on one connection's queued-but-unsent reply bytes. A
+     * peer that stops reading while requesting more output is fatally
+     * closed when its queue would pass this — per-connection memory is
+     * bounded no matter what the peer does.
+     */
+    size_t maxWriteQueueBytes = 64u << 20;
+    /**
+     * Stop reading from a connection whose write queue passes this
+     * (backpressure: its next request would only pile more replies
+     * onto a peer that is not draining the current ones) ...
+     */
+    size_t writeHighWatermark = 4u << 20;
+    /** ... and resume reading once the queue drains below this. */
+    size_t writeLowWatermark = 1u << 20;
+    /**
+     * stop()'s patience: a connection still holding unflushed replies
+     * (or an unfinished consume) this long after drain began is
+     * evicted. 0 means close stragglers immediately.
+     */
+    uint32_t drainDeadlineMs = 2000;
+    /** Timer-wheel granularity (ms); deadlines round up to it. */
+    uint32_t loopTickMs = 4;
+    /** Use the poll(2) backend even where epoll is available (tests). */
+    bool loopForcePoll = false;
+    /**
+     * Chaos-test fault injection on the loop's nonblocking sockets
+     * (EAGAIN storms, partial writes, spurious readiness). Default:
+     * nothing armed, exact pass-through.
+     */
+    FaultConfig loopFaults;
+    uint64_t loopFaultSeed = 1;
 };
 
 class TeaServer
@@ -182,11 +246,15 @@ class TeaServer
     std::string statsReport(bool text) const;
 
   private:
+    friend class EventLoop; ///< the loop core is an engine of this class
+
     void acceptLoop();
     void serveConnection(Socket &sock, uint64_t connId,
                          uint64_t acceptNs);
     /** Best-effort fatal ERROR + counters; the session ends after. */
     void evictConnection(Socket &sock, const char *why, bool deadline);
+    /** A Session wired exactly like serveConnection()'s, for the loop. */
+    std::unique_ptr<Session> makeSession(uint64_t connId);
 
     ServerConfig cfg;
     AutomatonRegistry registry_;
@@ -208,11 +276,21 @@ class TeaServer
     obs::Counter *mTaskFailures;   ///< pool.task_failures
     obs::Histogram *hRequestMs;    ///< server.request_ms
     obs::Histogram *hTaskMs;       ///< pool.task_ms
+    // Event-loop health (all stay zero on the blocking core).
+    obs::Counter *mLoopIterations; ///< loop.iterations
+    obs::Counter *mLoopWakeups;    ///< loop.wakeups
+    obs::Counter *mLoopTimers;     ///< loop.timers_fired
+    obs::Counter *mLoopDeferred;   ///< loop.writes_deferred
+    obs::Counter *mLoopStalls;     ///< loop.backpressure_stalls
+    obs::Counter *mLoopOverflow;   ///< loop.wq_overflow
+    obs::Counter *mLoopFaults;     ///< loop.faults_injected
+    obs::Histogram *hLoopMs;       ///< loop.latency_ms
     SessionObs svcObs_; ///< per-session template; conn id stamped in
 
     ThreadPool pool;
     Listener listener;
     std::thread acceptThread;
+    std::unique_ptr<EventLoop> loop_; ///< set when core == EventLoop
 
     mutable std::mutex connMu;
     uint64_t nextConnId = 0;

@@ -3,10 +3,13 @@
  * The server side of one tead connection, as a pure state machine.
  *
  * A Session consumes raw wire bytes and produces raw reply bytes; it
- * knows nothing about sockets. The server (net/server.hh) pumps it
- * from a connection's recv loop, and the fuzz tests
- * (tests/test_net_fuzz.cc) pump it with mutated byte streams directly
- * — the whole protocol surface is exercised in-process.
+ * knows nothing about sockets. Both connection engines pump it: the
+ * blocking core (net/server.hh) from a parked worker's recv loop, the
+ * event-loop core (net/event_loop.hh) from pool tasks fed by the
+ * readiness thread — being socket-free is what lets one state machine
+ * serve both. The fuzz tests (tests/test_net_fuzz.cc) pump it with
+ * mutated byte streams directly — the whole protocol surface is
+ * exercised in-process.
  *
  * Error containment is the contract:
  *

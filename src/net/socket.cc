@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <poll.h>
@@ -192,6 +193,73 @@ Socket::waitReadable(int timeoutMs)
 }
 
 void
+Socket::setNonBlocking(bool on)
+{
+    int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags < 0)
+        fatal("fcntl(F_GETFL): %s", std::strerror(errno));
+    int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    if (want != flags && ::fcntl(fd_, F_SETFL, want) < 0)
+        fatal("fcntl(F_SETFL): %s", std::strerror(errno));
+}
+
+Socket::IoResult
+Socket::recvNb(void *buf, size_t len)
+{
+    IoResult res;
+    for (;;) {
+        ssize_t n = ::recv(fd_, buf, len, 0);
+        if (n > 0) {
+            res.n = static_cast<size_t>(n);
+            return res;
+        }
+        if (n == 0) {
+            res.closed = true; // orderly EOF
+            return res;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            res.wouldBlock = true;
+            return res;
+        }
+        if (errno == ECONNRESET || errno == EPIPE ||
+            errno == ETIMEDOUT || errno == ECONNABORTED) {
+            // The peer is gone: a scheduling event for the event loop,
+            // not an exception — the connection simply retires.
+            res.closed = true;
+            return res;
+        }
+        fatal("recv (nonblocking): %s", std::strerror(errno));
+    }
+}
+
+Socket::IoResult
+Socket::sendNb(const void *buf, size_t len)
+{
+    IoResult res;
+    for (;;) {
+        ssize_t n = ::send(fd_, buf, len, MSG_NOSIGNAL);
+        if (n >= 0) {
+            res.n = static_cast<size_t>(n);
+            return res;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            res.wouldBlock = true;
+            return res;
+        }
+        if (errno == ECONNRESET || errno == EPIPE ||
+            errno == ETIMEDOUT || errno == ECONNABORTED) {
+            res.closed = true;
+            return res;
+        }
+        fatal("send (nonblocking): %s", std::strerror(errno));
+    }
+}
+
+void
 Socket::shutdownRead()
 {
     if (fd_ >= 0)
@@ -313,6 +381,53 @@ Listener::accept(Socket &out)
         out = Socket(cfd);
         return true;
     }
+}
+
+Socket::IoResult
+Listener::acceptNb(Socket &out)
+{
+    Socket::IoResult res;
+    for (;;) {
+        if (closing_.load()) {
+            res.closed = true;
+            return res;
+        }
+        int cfd = ::accept(fd_, nullptr, nullptr);
+        if (cfd >= 0) {
+            out = Socket(cfd);
+            res.n = 1;
+            return res;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK ||
+            errno == ECONNABORTED || errno == EMFILE ||
+            errno == ENFILE) {
+            // Backlog drained, the connection died before we got it,
+            // or we are out of descriptors: nothing to accept *now*.
+            // (EMFILE as wouldBlock means an fd-exhausted server stops
+            // accepting instead of spinning in a fatal loop; pending
+            // clients wait in the kernel backlog.)
+            res.wouldBlock = true;
+            return res;
+        }
+        if (closing_.load()) {
+            res.closed = true;
+            return res;
+        }
+        fatal("accept: %s", std::strerror(errno));
+    }
+}
+
+void
+Listener::setNonBlocking(bool on)
+{
+    int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags < 0)
+        fatal("fcntl(F_GETFL): %s", std::strerror(errno));
+    int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    if (want != flags && ::fcntl(fd_, F_SETFL, want) < 0)
+        fatal("fcntl(F_SETFL): %s", std::strerror(errno));
 }
 
 void

@@ -9,11 +9,17 @@
  *                       read it back from Listener::local())
  *   unix:<path>         a Unix-domain stream socket
  *
- * All I/O is blocking; concurrency lives one layer up (the server runs
- * one session per worker thread, see net/server.hh). Errors surface as
- * FatalError with the failing endpoint in the message; EOF is an
- * in-band return value (recvSome() == 0), not an error, because a peer
- * hanging up is a normal protocol event.
+ * Two I/O surfaces share the fd:
+ *
+ * - the blocking calls (recvSome/sendAll/waitReadable) used by the
+ *   client and the thread-per-connection server core; errors surface
+ *   as FatalError, EOF is an in-band return value (recvSome() == 0),
+ *   because a peer hanging up is a normal protocol event;
+ * - the nonblocking calls (recvNb/sendNb, after setNonBlocking) used
+ *   by the event-loop server core (net/event_loop.hh): would-block and
+ *   peer-gone are in-band IoResult fields — the readiness loop treats
+ *   both as ordinary scheduling events — and only programming errors
+ *   (EBADF and kin) still throw.
  */
 
 #ifndef TEA_NET_SOCKET_HH
@@ -84,6 +90,36 @@ class Socket
     void sendAll(const void *buf, size_t len);
 
     /**
+     * One nonblocking I/O attempt's outcome. Exactly one of the three
+     * cases holds: `n > 0` (bytes moved), `wouldBlock` (retry on the
+     * next readiness event), or `closed` (EOF on read; EPIPE/RST on
+     * write — the peer is gone either way).
+     */
+    struct IoResult
+    {
+        size_t n = 0;
+        bool wouldBlock = false;
+        bool closed = false;
+    };
+
+    /** Toggle O_NONBLOCK on the fd. @throws FatalError on fcntl errors. */
+    void setNonBlocking(bool on);
+
+    /**
+     * One nonblocking read attempt (the fd must be nonblocking).
+     * @throws FatalError only on programming errors (EBADF etc.);
+     * resets from the peer come back as `closed`, not an exception —
+     * the event loop retires the connection, it does not unwind.
+     */
+    IoResult recvNb(void *buf, size_t len);
+
+    /** One nonblocking write attempt; may move fewer than `len` bytes. */
+    IoResult sendNb(const void *buf, size_t len);
+
+    /** The raw descriptor, for poller registration; -1 when invalid. */
+    int fd() const { return fd_; }
+
+    /**
      * Disable further receives: a thread blocked in recvSome() wakes
      * with EOF. Pending writes still flush — the server's graceful
      * shutdown uses this to let in-flight replies reach the client.
@@ -120,6 +156,24 @@ class Listener
      *         shutdown path); transient accept errors are retried
      */
     bool accept(Socket &out);
+
+    /**
+     * One nonblocking accept attempt, for the event-loop core: the
+     * caller must have registered fd() with its poller and put the
+     * listener in nonblocking mode via setNonBlocking(). Exactly one of
+     * the IoResult cases holds: `n == 1` (a connection landed in `out`),
+     * `wouldBlock` (the backlog is drained — wait for the next
+     * readiness event), or `closed` (the listener was close()d).
+     * Transient per-connection errors (ECONNABORTED and kin) come back
+     * as wouldBlock so the loop simply moves on.
+     */
+    Socket::IoResult acceptNb(Socket &out);
+
+    /** Toggle O_NONBLOCK on the listening fd. */
+    void setNonBlocking(bool on);
+
+    /** The listening descriptor, for poller registration; -1 if unbound. */
+    int fd() const { return fd_; }
 
     /** The bound endpoint, with any ephemeral TCP port resolved. */
     const Endpoint &local() const { return local_; }

@@ -26,6 +26,7 @@ spanPhaseName(SpanPhase phase)
     case SpanPhase::Replay: return "replay";
     case SpanPhase::Reply: return "reply";
     case SpanPhase::Request: return "request";
+    case SpanPhase::Dispatch: return "dispatch";
     }
     return "?";
 }

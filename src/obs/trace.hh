@@ -50,6 +50,7 @@ enum class SpanPhase : uint8_t {
     Replay,     ///< the replay kernel run (REPLAY_END)
     Reply,      ///< reply bytes flushed to the socket
     Request,    ///< the whole request, first byte to last reply byte
+    Dispatch,   ///< event loop: read-ready to worker pickup latency
 };
 
 const char *spanPhaseName(SpanPhase phase);

@@ -65,12 +65,26 @@ recordLog(const Program &prog)
  * suite with deadlines off found exactly that hang.)
  */
 ServerConfig
-chaosServerConfig()
+chaosServerConfig(ServerCore core)
 {
     ServerConfig cfg;
+    cfg.core = core;
     cfg.workers = 2;
     cfg.idleTimeoutMs = 300;
     cfg.requestDeadlineMs = 1500;
+    if (core == ServerCore::EventLoop) {
+        // Server-side chaos only the event loop can meet: EAGAIN
+        // storms, partial nonblocking writes, and spurious readiness
+        // on the loop's sockets. All benign by construction (delivery
+        // is deferred, never lost), so every all-or-nothing invariant
+        // below holds unchanged — the client-side fault mixes do the
+        // destructive work on both cores.
+        cfg.loopFaults.nbEagainRead = 0.1;
+        cfg.loopFaults.nbEagainWrite = 0.1;
+        cfg.loopFaults.nbPartialWrite = 0.2;
+        cfg.loopFaults.spuriousReady = 0.05;
+        cfg.loopFaultSeed = 77;
+    }
     return cfg;
 }
 
@@ -170,9 +184,29 @@ std::vector<uint8_t> *Chaos::log = nullptr;
 std::vector<uint8_t> *Chaos::teaBytes = nullptr;
 StreamResult *Chaos::reference = nullptr;
 
-TEST_F(Chaos, BenignFaultsNeverChangeAnyResult)
+/**
+ * Every chaos invariant runs once per connection engine. The seeds and
+ * the client-side fault schedules are identical across cores, so a
+ * divergence pins the blame on the engine, not the dice; the
+ * event-loop run additionally arms the loop-side nonblocking faults
+ * (see chaosServerConfig).
+ */
+class ChaosCores : public Chaos,
+                   public ::testing::WithParamInterface<ServerCore>
 {
-    TeaServer server(chaosServerConfig());
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Cores, ChaosCores,
+    ::testing::Values(ServerCore::Blocking, ServerCore::EventLoop),
+    [](const ::testing::TestParamInfo<ServerCore> &info) {
+        return info.param == ServerCore::Blocking ? "Blocking"
+                                                  : "EventLoop";
+    });
+
+TEST_P(ChaosCores, BenignFaultsNeverChangeAnyResult)
+{
+    TeaServer server(chaosServerConfig(GetParam()));
     server.start();
 
     // Short reads/writes, EINTR, and latency only reshape delivery:
@@ -192,9 +226,9 @@ TEST_F(Chaos, BenignFaultsNeverChangeAnyResult)
     server.stop();
 }
 
-TEST_F(Chaos, MixedFaultsFailCleanOrMatchExactly)
+TEST_P(ChaosCores, MixedFaultsFailCleanOrMatchExactly)
 {
-    TeaServer server(chaosServerConfig());
+    TeaServer server(chaosServerConfig(GetParam()));
     server.start();
 
     FaultConfig faults;
@@ -213,9 +247,9 @@ TEST_F(Chaos, MixedFaultsFailCleanOrMatchExactly)
     server.stop();
 }
 
-TEST_F(Chaos, DestructiveFaultsAlwaysFailCleanly)
+TEST_P(ChaosCores, DestructiveFaultsAlwaysFailCleanly)
 {
-    TeaServer server(chaosServerConfig());
+    TeaServer server(chaosServerConfig(GetParam()));
     server.start();
 
     FaultConfig faults;
@@ -234,9 +268,9 @@ TEST_F(Chaos, DestructiveFaultsAlwaysFailCleanly)
     // session to completion or EOF and is still draining cleanly.
 }
 
-TEST_F(Chaos, RetriesConvergeUnderBoundedDestructiveRate)
+TEST_P(ChaosCores, RetriesConvergeUnderBoundedDestructiveRate)
 {
-    TeaServer server(chaosServerConfig());
+    TeaServer server(chaosServerConfig(GetParam()));
     server.start();
 
     // Low destructive rate + benign noise: each attempt fails with
@@ -273,9 +307,10 @@ TEST_F(Chaos, RetriesConvergeUnderBoundedDestructiveRate)
     server.stop();
 }
 
-TEST_F(Chaos, UnarmedFaultySocketIsExactPassThrough)
+TEST_P(ChaosCores, UnarmedFaultySocketIsExactPassThrough)
 {
     ServerConfig cfg;
+    cfg.core = GetParam();
     cfg.workers = 1;
     TeaServer server(cfg);
     server.start();

@@ -358,12 +358,40 @@ class NetLoopback : public ::testing::Test
     std::vector<uint8_t> foreignLog;
 };
 
-TEST_F(NetLoopback, FourConcurrentClientsMatchLocalBatchBitForBit)
+/**
+ * The integration suite runs once per connection engine: the BUSY,
+ * eviction, deadline, and shutdown assertions must mean exactly the
+ * same thing on the blocking core and the event loop. Tests tied to
+ * the blocking core's worker-parking mechanics (queue-slot occupancy)
+ * stay on the plain NetLoopback fixture below.
+ */
+class NetCores : public NetLoopback,
+                 public ::testing::WithParamInterface<ServerCore>
+{
+  protected:
+    ServerConfig
+    baseConfig() const
+    {
+        ServerConfig cfg;
+        cfg.core = GetParam();
+        return cfg;
+    }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Cores, NetCores,
+    ::testing::Values(ServerCore::Blocking, ServerCore::EventLoop),
+    [](const ::testing::TestParamInfo<ServerCore> &info) {
+        return info.param == ServerCore::Blocking ? "Blocking"
+                                                  : "EventLoop";
+    });
+
+TEST_P(NetCores, FourConcurrentClientsMatchLocalBatchBitForBit)
 {
     constexpr int kClients = 4;
     constexpr int kStreamsPerClient = 2;
 
-    ServerConfig cfg;
+    ServerConfig cfg = baseConfig();
     cfg.endpoint = "tcp:127.0.0.1:0"; // ephemeral
     cfg.workers = kClients;
     TeaServer server(cfg);
@@ -432,11 +460,13 @@ TEST_F(NetLoopback, FourConcurrentClientsMatchLocalBatchBitForBit)
     EXPECT_EQ(server.busyRejected(), 0u);
 }
 
-TEST_F(NetLoopback, UnixSocketRoundTrip)
+TEST_P(NetCores, UnixSocketRoundTrip)
 {
-    ServerConfig cfg;
+    ServerConfig cfg = baseConfig();
     cfg.endpoint = "unix:/tmp/tead-test-" +
-                   std::to_string(::getpid()) + ".sock";
+                   std::to_string(::getpid()) +
+                   (GetParam() == ServerCore::EventLoop ? "-el" : "-bl") +
+                   ".sock";
     cfg.workers = 1;
     TeaServer server(cfg);
     server.start();
@@ -454,9 +484,9 @@ TEST_F(NetLoopback, UnixSocketRoundTrip)
     EXPECT_FALSE(client.evict("gzip"));
 }
 
-TEST_F(NetLoopback, LookupFlagsChangeTheLookupPathNotTheResult)
+TEST_P(NetCores, LookupFlagsChangeTheLookupPathNotTheResult)
 {
-    ServerConfig cfg;
+    ServerConfig cfg = baseConfig();
     cfg.workers = 1;
     TeaServer server(cfg);
     server.start();
@@ -505,9 +535,9 @@ TEST_F(NetLoopback, AdmissionQueueOverflowRepliesBusy)
     EXPECT_EQ(server.sessionsServed(), 2u);
 }
 
-TEST_F(NetLoopback, BusyFrameCarriesQueueDepthAndSessionCap)
+TEST_P(NetCores, BusyFrameCarriesQueueDepthAndSessionCap)
 {
-    ServerConfig cfg;
+    ServerConfig cfg = baseConfig();
     cfg.workers = 1;
     cfg.maxSessions = 1; // one live connection, no queueing past it
     TeaServer server(cfg);
@@ -573,10 +603,10 @@ TEST_F(NetLoopback, RetryRidesOutABusyServer)
     server.stop();
 }
 
-TEST_F(NetLoopback, IdleTimeoutEvictsAStalledClient)
+TEST_P(NetCores, IdleTimeoutEvictsAStalledClient)
 {
     using namespace std::chrono;
-    ServerConfig cfg;
+    ServerConfig cfg = baseConfig();
     cfg.workers = 1;
     cfg.idleTimeoutMs = 200;
     TeaServer server(cfg);
@@ -602,10 +632,10 @@ TEST_F(NetLoopback, IdleTimeoutEvictsAStalledClient)
     EXPECT_EQ(server.sessionsServed(), 1u);
 }
 
-TEST_F(NetLoopback, RequestDeadlineEvictsASlowlorisMidFrame)
+TEST_P(NetCores, RequestDeadlineEvictsASlowlorisMidFrame)
 {
     using namespace std::chrono;
-    ServerConfig cfg;
+    ServerConfig cfg = baseConfig();
     cfg.workers = 1;
     cfg.requestDeadlineMs = 200; // idle clock off: only the request
     TeaServer server(cfg);      // deadline can trip
@@ -664,9 +694,9 @@ TEST_F(NetLoopback, RequestDeadlineEvictsASlowlorisMidFrame)
     EXPECT_EQ(server.sessionsEvicted(), 1u);
 }
 
-TEST_F(NetLoopback, PingReportsLoadAndUptime)
+TEST_P(NetCores, PingReportsLoadAndUptime)
 {
-    ServerConfig cfg;
+    ServerConfig cfg = baseConfig();
     cfg.workers = 2;
     TeaServer server(cfg);
     server.start();
@@ -682,9 +712,9 @@ TEST_F(NetLoopback, PingReportsLoadAndUptime)
     server.stop();
 }
 
-TEST_F(NetLoopback, GracefulShutdownDrainsAndUnblocksClients)
+TEST_P(NetCores, GracefulShutdownDrainsAndUnblocksClients)
 {
-    ServerConfig cfg;
+    ServerConfig cfg = baseConfig();
     cfg.workers = 2;
     TeaServer server(cfg);
     server.start();

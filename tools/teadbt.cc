@@ -140,6 +140,11 @@ struct Options
     int swapInterval = 0;      ///< record: hot-swap cadence (0 = server)
     long long maxResidentBytes = 0; ///< serve: store byte budget (0 = off)
     long long maxResident = 0;      ///< serve: store count budget (0 = off)
+    long long maxWriteQueue = 0;    ///< serve: per-conn reply cap (0 = default)
+    long long highWatermark = 0;    ///< serve: pause reads above (0 = default)
+    long long lowWatermark = 0;     ///< serve: resume reads below (0 = default)
+    int drainDeadlineMs = -1;       ///< serve: stop() patience (-1 = default)
+    bool blocking = false;          ///< serve: thread-per-connection core
     bool salvage = false;      ///< batch-replay: recover torn logs
     bool logV1 = false;        ///< record-log: legacy v1 container
     bool elide = false;        ///< record-log: automaton-predicted elision
@@ -186,7 +191,10 @@ usage()
         "         [--request-deadline-ms N] [--slow-request-ms N]\n"
         "         [--trace-ring N] [--store DIR]\n"
         "         [--max-resident-bytes N] [--max-resident N]\n"
-        "         [--swap-interval N] [name=tea]...\n"
+        "         [--swap-interval N] [--blocking]\n"
+        "         [--max-write-queue-bytes N] [--write-high-watermark N]\n"
+        "         [--write-low-watermark N] [--drain-deadline-ms N]\n"
+        "         [name=tea]...\n"
         "  remote-replay --connect EP [--put tea-file] [--json]\n"
         "         [--retries N] [--backoff-ms N]\n"
         "         [--no-global] [--no-local] [--reference]\n"
@@ -287,7 +295,27 @@ parseArgs(int argc, char **argv)
             opt.swapInterval = std::atoi(value().c_str());
             if (opt.swapInterval < 0)
                 usage();
-        } else if (arg == "--live")
+        } else if (arg == "--max-write-queue-bytes") {
+            opt.maxWriteQueue = std::atoll(value().c_str());
+            if (opt.maxWriteQueue < 1)
+                usage();
+        } else if (arg == "--write-high-watermark") {
+            opt.highWatermark = std::atoll(value().c_str());
+            if (opt.highWatermark < 1)
+                usage();
+        } else if (arg == "--write-low-watermark") {
+            opt.lowWatermark = std::atoll(value().c_str());
+            if (opt.lowWatermark < 1)
+                usage();
+        } else if (arg == "--drain-deadline-ms") {
+            opt.drainDeadlineMs = std::atoi(value().c_str());
+            if (opt.drainDeadlineMs < 0)
+                usage();
+        } else if (arg == "--blocking")
+            opt.blocking = true;
+        else if (arg == "--event-loop")
+            opt.blocking = false; // the default; kept as the explicit spelling
+        else if (arg == "--live")
             opt.live = true;
         else if (arg == "--log-v1")
             opt.logV1 = true;
@@ -1109,6 +1137,19 @@ cmdServe(const Options &opt)
 
     ServerConfig cfg;
     cfg.endpoint = opt.endpoint;
+    // The CLI defaults to the event-loop core — idle connections cost
+    // memory, not worker threads. --blocking restores the original
+    // thread-per-connection engine (library default) for comparison.
+    cfg.core = opt.blocking ? ServerCore::Blocking
+                            : ServerCore::EventLoop;
+    if (opt.maxWriteQueue > 0)
+        cfg.maxWriteQueueBytes = static_cast<size_t>(opt.maxWriteQueue);
+    if (opt.highWatermark > 0)
+        cfg.writeHighWatermark = static_cast<size_t>(opt.highWatermark);
+    if (opt.lowWatermark > 0)
+        cfg.writeLowWatermark = static_cast<size_t>(opt.lowWatermark);
+    if (opt.drainDeadlineMs >= 0)
+        cfg.drainDeadlineMs = static_cast<uint32_t>(opt.drainDeadlineMs);
     cfg.workers = static_cast<size_t>(opt.jobs);
     cfg.maxQueue = static_cast<size_t>(opt.maxQueue);
     cfg.maxSessions = static_cast<size_t>(opt.maxSessions);
@@ -1144,9 +1185,11 @@ cmdServe(const Options &opt)
     pthread_sigmask(SIG_BLOCK, &set, nullptr);
 
     server.start();
-    std::printf("tead: serving on %s (%zu workers, queue limit %d)\n",
-                server.endpoint().c_str(), server.workers(),
-                opt.maxQueue);
+    std::printf("tead: serving on %s (%s core, %zu workers, "
+                "queue limit %d)\n",
+                server.endpoint().c_str(),
+                opt.blocking ? "blocking" : "event-loop",
+                server.workers(), opt.maxQueue);
     std::fflush(stdout);
 
     int sig = 0;
