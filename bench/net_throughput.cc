@@ -35,16 +35,26 @@
  * X` turns the v1/v2 ratio into a CI gate, failing the run when the v2
  * upload stops being at least X times smaller on the wire.
  *
+ * The scrape row re-runs the 8-client event-loop configuration with a
+ * concurrent HTTP scraper hammering GET /metrics on the same listener
+ * at 1 Hz — the Prometheus-shaped workload the exposition endpoint
+ * invites. `--min-scrape-ratio X` gates scraped replay throughput at X
+ * times the unscraped 8-client run (CI pins it at 0.95), so a scrape
+ * can never quietly tax the replay path.
+ *
  * Usage: net_throughput [--size test|train|ref] [--streams N]
  *                       [--held-open N] [--min-loop-ratio X]
  *                       [--min-wire-compression X]
+ *                       [--min-scrape-ratio X]
  */
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <string>
 #include <thread>
 
 #include "bench/harness.hh"
@@ -87,6 +97,25 @@ coreName(ServerCore core)
     return core == ServerCore::Blocking ? "blocking" : "event-loop";
 }
 
+/** One blocking GET against the wire listener; returns the response. */
+std::string
+httpGet(const std::string &endpoint, const std::string &target)
+{
+    Socket s = Socket::connectTo(Endpoint::parse(endpoint));
+    std::string req = "GET " + target + " HTTP/1.1\r\n"
+                      "Host: tead\r\nConnection: close\r\n\r\n";
+    s.sendAll(req.data(), req.size());
+    std::string resp;
+    char buf[4096];
+    for (;;) {
+        size_t n = s.recvSome(buf, sizeof(buf));
+        if (n == 0)
+            break;
+        resp.append(buf, n);
+    }
+    return resp;
+}
+
 } // namespace
 
 int
@@ -97,6 +126,7 @@ main(int argc, char **argv)
     size_t held_open = 512;
     double min_wire_compression = 0.0;
     double min_loop_ratio = 0.0;
+    double min_scrape_ratio = 0.0;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--streams") && i + 1 < argc)
             streams = static_cast<size_t>(std::atoi(argv[i + 1]));
@@ -107,6 +137,8 @@ main(int argc, char **argv)
         if (!std::strcmp(argv[i], "--min-wire-compression") &&
             i + 1 < argc)
             min_wire_compression = std::atof(argv[i + 1]);
+        if (!std::strcmp(argv[i], "--min-scrape-ratio") && i + 1 < argc)
+            min_scrape_ratio = std::atof(argv[i + 1]);
     }
     if (streams == 0)
         streams = 1;
@@ -145,10 +177,12 @@ main(int argc, char **argv)
 
     // One measured configuration: `clients` threads splitting the
     // batch round-robin against a `core` server, with `heldOpen` extra
-    // idle connections parked on it for the duration. Returns
-    // streams/sec, or a negative value after printing the failure.
+    // idle connections parked on it and (when `scrape` is set) a
+    // concurrent 1 Hz HTTP /metrics scraper on the same listener for
+    // the duration. Returns streams/sec, or a negative value after
+    // printing the failure.
     auto runScale = [&](ServerCore core, unsigned clients,
-                        size_t heldOpen) -> double {
+                        size_t heldOpen, bool scrape) -> double {
         ServerConfig cfg;
         cfg.endpoint = "tcp:127.0.0.1:0";
         cfg.workers = clients;
@@ -172,6 +206,36 @@ main(int argc, char **argv)
                     std::this_thread::sleep_for(
                         std::chrono::milliseconds(1));
         }
+
+        // The scraper starts before the clock and runs for the whole
+        // batch: one GET /metrics immediately and then once per
+        // second, so even a sub-second batch is scraped at least once.
+        std::atomic<bool> scrapeStop{false};
+        std::atomic<uint64_t> scrapes{0};
+        std::atomic<int> scrapeFailed{0};
+        std::thread scraper;
+        if (scrape)
+            scraper = std::thread([&] {
+                try {
+                    do {
+                        std::string resp = httpGet(ep, "/metrics");
+                        if (resp.find("HTTP/1.1 200") ==
+                                std::string::npos ||
+                            resp.find("# EOF") == std::string::npos) {
+                            scrapeFailed.store(1);
+                            return;
+                        }
+                        scrapes.fetch_add(1);
+                        for (int tick = 0;
+                             tick < 100 && !scrapeStop.load(); ++tick)
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(10));
+                    } while (!scrapeStop.load());
+                } catch (const FatalError &e) {
+                    std::fprintf(stderr, "scraper: %s\n", e.what());
+                    scrapeFailed.store(1);
+                }
+            });
 
         // Streams round-robined over the clients; every client keeps
         // its connection for its whole share of the batch.
@@ -203,6 +267,18 @@ main(int argc, char **argv)
         for (auto &t : threads)
             t.join();
         double ms = timer.elapsedMillis();
+        if (scraper.joinable()) {
+            scrapeStop.store(true);
+            scraper.join();
+            if (scrapeFailed.load() != 0 || scrapes.load() == 0) {
+                std::fprintf(stderr,
+                             "scraper failed or never completed a "
+                             "scrape (%llu ok)\n",
+                             static_cast<unsigned long long>(
+                                 scrapes.load()));
+                return -1.0;
+            }
+        }
         for (unsigned c = 0; c < clients; ++c)
             if (failed[c])
                 return -1.0;
@@ -234,12 +310,13 @@ main(int argc, char **argv)
 
         double sps = ms > 0 ? 1e3 * static_cast<double>(streams) / ms : 0;
         int ci = core == ServerCore::Blocking ? 0 : 1;
-        if (clients == 1 && heldOpen == 0)
+        if (clients == 1 && heldOpen == 0 && !scrape)
             base_sps[ci] = sps;
         uint64_t wire_total = 0;
         for (uint64_t b : wire)
             wire_total += b;
-        table.addRow({coreName(core), std::to_string(clients),
+        table.addRow({scrape ? "loop+scrape" : coreName(core),
+                      std::to_string(clients),
                       std::to_string(heldOpen), TextTable::num(ms, 1),
                       TextTable::num(sps, 1),
                       TextTable::num(
@@ -259,7 +336,7 @@ main(int argc, char **argv)
             ci == 0 ? ServerCore::Blocking : ServerCore::EventLoop;
         for (unsigned clients = 1; clients <= std::max(8u, hw);
              clients *= 2) {
-            double sps = runScale(core, clients, 0);
+            double sps = runScale(core, clients, 0, false);
             if (sps < 0)
                 return 1;
             sps_by_clients[ci][clients] = sps;
@@ -269,7 +346,14 @@ main(int argc, char **argv)
     // The held-open pile: loop core only — the blocking core would
     // park one worker per idle connection and starve the batch.
     if (held_open > 0 &&
-        runScale(ServerCore::EventLoop, 8, held_open) < 0)
+        runScale(ServerCore::EventLoop, 8, held_open, false) < 0)
+        return 1;
+
+    // The scraped row: same 8-client event-loop batch with the 1 Hz
+    // /metrics scraper sharing the listener (loop core only — the
+    // blocking core has no HTTP path).
+    double scraped_sps = runScale(ServerCore::EventLoop, 8, 0, true);
+    if (scraped_sps < 0)
         return 1;
 
     std::fputs(table.render().c_str(), stdout);
@@ -292,6 +376,22 @@ main(int argc, char **argv)
     if (min_loop_ratio > 0)
         std::printf("PASS: event-loop/blocking ratio %.2fx >= %.2fx\n",
                     ratio8, min_loop_ratio);
+
+    double scrape_ratio = sps_by_clients[1][8] > 0
+                              ? scraped_sps / sps_by_clients[1][8]
+                              : 0.0;
+    std::printf("scraped vs unscraped at 8 clients: %.1f vs %.1f "
+                "streams/s (%.2fx under a 1 Hz /metrics scraper)\n",
+                scraped_sps, sps_by_clients[1][8], scrape_ratio);
+    if (min_scrape_ratio > 0 && scrape_ratio < min_scrape_ratio) {
+        std::printf("FAIL: scraped throughput only %.2fx of unscraped, "
+                    "gate requires %.2fx\n",
+                    scrape_ratio, min_scrape_ratio);
+        return 1;
+    }
+    if (min_scrape_ratio > 0)
+        std::printf("PASS: scrape ratio %.2fx >= %.2fx\n", scrape_ratio,
+                    min_scrape_ratio);
 
     // Wire cost of the log encoding: the same stream uploaded from a
     // v1 and a v2 container, one request each over a fresh connection,

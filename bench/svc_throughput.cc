@@ -26,9 +26,10 @@
  * The observability guard: a third single-threaded timing runs the
  * compiled kernel under the exact instrumentation runReplayJob()
  * applies (kFeedBatch-sliced feeds, clock stamps at slice boundaries,
- * per-batch counter bumps) and reports the ns/transition delta against
- * the bare kernel. --max-overhead X fails the run when metrics add
- * more than X percent — CI pins it at 3 (ISSUE 5 acceptance).
+ * per-batch counter bumps, and the per-automaton labeled series the
+ * session resolves once per stream) and reports the ns/transition
+ * delta against the bare kernel. --max-overhead X fails the run when
+ * metrics add more than X percent — CI pins it at 3.
  *
  * Note the speedup column measures the *host*: on a single-core
  * container every worker count necessarily lands near 1.0x.
@@ -124,9 +125,11 @@ kernelNsPerTransition(const std::vector<DecodedStream> &streams,
  * transitions go through feedAll() in kFeedBatch-sized slices with a
  * monotonic clock stamp on each side of every slice and the per-batch
  * counters bumped per stream — exactly the shape runReplayJob() and
- * ReplayService::setMetrics() impose. The delta against
- * kernelNsPerTransition() is therefore the whole price the replay hot
- * path pays for observability.
+ * ReplayService::setMetrics() impose, plus the per-automaton labeled
+ * attribution the network session adds (one at() intern per stream,
+ * one labeled counter add and one labeled histogram observe per
+ * stream). The delta against kernelNsPerTransition() is therefore the
+ * whole price the replay hot path pays for observability.
  */
 double
 instrumentedNsPerTransition(const std::vector<DecodedStream> &streams,
@@ -136,14 +139,26 @@ instrumentedNsPerTransition(const std::vector<DecodedStream> &streams,
     obs::MetricsRegistry reg;
     obs::Counter &batches = reg.counter("svc.batches");
     obs::Counter &fed = reg.counter("svc.transitions");
+    obs::LabeledCounter &transitionsBy =
+        reg.labeledCounter("svc.transitions_by_automaton");
+    obs::LabeledHistogram &replayMsBy =
+        reg.labeledHistogram("svc.replay_ms_by_automaton");
     double best = 1e300;
     uint64_t transitions = 0;
     for (int r = 0; r < reps; ++r) {
         Stopwatch timer;
         uint64_t total = 0;
+        size_t streamIdx = 0;
         for (const DecodedStream &s : streams) {
             TeaReplayer replayer(*s.tea, cfg,
                                  cfg.useCompiled ? s.compiled : nullptr);
+            // The session resolves labeled handles once per stream
+            // (net/session.cc ReplayBegin); the intern mutex is paid
+            // here, never per transition.
+            std::string name =
+                "wl-" + std::to_string(streamIdx++ % 2);
+            obs::Counter &labTransitions = transitionsBy.at(name);
+            obs::Histogram &labReplayMs = replayMsBy.at(name);
             const BlockTransition *p = s.transitions.data();
             const BlockTransition *end = p + s.transitions.size();
             uint64_t replayNs = 0, nbatches = 0;
@@ -159,8 +174,9 @@ instrumentedNsPerTransition(const std::vector<DecodedStream> &streams,
             }
             batches.inc(nbatches);
             fed.inc(replayer.stats().transitions);
+            labTransitions.inc(replayer.stats().transitions);
+            labReplayMs.observe(static_cast<double>(replayNs) / 1e6);
             total += replayer.stats().transitions;
-            (void)replayNs; // StreamResult::replayNs stand-in
         }
         double ms = timer.elapsedMillis();
         if (ms < best) {

@@ -151,8 +151,14 @@ TeaClient::ping()
 std::string
 TeaClient::stats(bool text)
 {
+    return statsFormat(text ? 1 : 0);
+}
+
+std::string
+TeaClient::statsFormat(uint8_t format)
+{
     PayloadWriter w;
-    w.u8(text ? 1 : 0);
+    w.u8(format);
     sendFrame(MsgType::Stats, w);
     Frame ok = expect(MsgType::StatsOk);
     return std::string(ok.payload.begin(), ok.payload.end());

@@ -176,6 +176,14 @@ class TeaClient
     std::string stats(bool text = false);
 
     /**
+     * STATS with an explicit format byte: 0 = JSON report, 1 = text
+     * report, 2 = history JSON (`teadbt stats --history`), 3 = flight-
+     * recorder JSON (`teadbt flight-dump`). stats() delegates here.
+     * Servers predating a format treat it as 0 and answer JSON.
+     */
+    std::string statsFormat(uint8_t format);
+
+    /**
      * Stream a trace log and replay it remotely.
      * @throws FatalError when the server rejects the stream (unknown
      *         name, corrupt log) or the connection breaks

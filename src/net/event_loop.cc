@@ -18,6 +18,7 @@
 #include "net/frame.hh"
 #include "net/server.hh"
 #include "net/session.hh"
+#include "obs/flightrec.hh"
 #include "util/logging.hh"
 
 namespace tea {
@@ -294,7 +295,19 @@ struct EventLoop::Conn
     uint64_t readyNs = 0; ///< read-to-dispatch stamp (Dispatch span)
     bool midRequest = false;
     uint64_t lastCompleted = 0;
+
+    // HTTP exposition on the shared listener: the first bytes of every
+    // connection are sniffed once; a `GET ` prefix switches the conn to
+    // HTTP mode, where the loop itself parses one request and queues
+    // the response (no Session, no pool task). Everything else replays
+    // the sniffed prefix into the normal frame path.
+    bool protoKnown = false; ///< first-bytes classification done
+    bool isHttp = false;
+    std::vector<uint8_t> httpBuf; ///< pre-classification + HTTP request
 };
+
+/** One HTTP request's headers may not exceed this (scrapers are tiny). */
+constexpr size_t kMaxHttpRequest = 8 * 1024;
 
 EventLoop::EventLoop(TeaServer &server)
     : srv(server),
@@ -507,17 +520,134 @@ EventLoop::handleReadable(Conn *c)
     srv.mBytesIn->inc(res.n);
     uint64_t now = steadyMs();
     c->lastActivityMs = now;
+    if (!c->protoKnown) {
+        if (!classifyProtocol(c, readScratch_.data(), res.n))
+            return; // fewer than four bytes so far; keep buffering
+        // The sniffed prefix is in httpBuf either way: an HTTP request
+        // head, or wire-protocol bytes to replay into the frame path.
+        std::vector<uint8_t> prefix = std::move(c->httpBuf);
+        c->httpBuf = {};
+        if (c->isHttp) {
+            handleHttpBytes(c, prefix.data(), prefix.size());
+            return;
+        }
+        if (!c->midRequest) {
+            c->requestStartMs = now;
+            c->requestStartNs = obs::monotonicNanos();
+        }
+        dispatchConsume(c, prefix.data(), prefix.size());
+        return;
+    }
+    if (c->isHttp) {
+        handleHttpBytes(c, readScratch_.data(), res.n);
+        return;
+    }
     if (!c->midRequest) {
         c->requestStartMs = now;
         c->requestStartNs = obs::monotonicNanos();
     }
-    dispatchConsume(c, res.n);
+    dispatchConsume(c, readScratch_.data(), res.n);
+}
+
+bool
+EventLoop::classifyProtocol(Conn *c, const uint8_t *data, size_t n)
+{
+    c->httpBuf.insert(c->httpBuf.end(), data, data + n);
+    if (c->httpBuf.size() < 4)
+        return false; // not enough to tell; wait for more bytes
+    c->protoKnown = true;
+    c->isHttp = std::memcmp(c->httpBuf.data(), "GET ", 4) == 0;
+    return true;
 }
 
 void
-EventLoop::dispatchConsume(Conn *c, size_t n)
+EventLoop::handleHttpBytes(Conn *c, const uint8_t *data, size_t n)
 {
-    c->rdbuf.assign(readScratch_.data(), readScratch_.data() + n);
+    if (c->httpBuf.size() + n > kMaxHttpRequest) {
+        destroy(c); // a scraper's request never approaches the cap
+        return;
+    }
+    c->httpBuf.insert(c->httpBuf.end(), data, data + n);
+    // One request per connection (Connection: close): serve once the
+    // header block is complete, ignore anything after it.
+    static const char kEnd[] = "\r\n\r\n";
+    auto it = std::search(c->httpBuf.begin(), c->httpBuf.end(), kEnd,
+                          kEnd + 4);
+    if (it == c->httpBuf.end())
+        return; // headers still arriving
+    // Request line: "GET <target> HTTP/1.1". The target ends at the
+    // first space or CR after the method.
+    std::string head(c->httpBuf.begin(), it);
+    std::string target;
+    size_t start = 4; // past "GET "
+    size_t end = head.find_first_of(" \r\n", start);
+    target = head.substr(start, (end == std::string::npos
+                                     ? head.size()
+                                     : end) -
+                                    start);
+    c->httpBuf.clear();
+    c->httpBuf.shrink_to_fit();
+    srv.mHttpRequests->inc();
+    serveHttp(c, target);
+}
+
+void
+EventLoop::serveHttp(Conn *c, const std::string &target)
+{
+    // Strip any query string: /metrics?x=y scrapes /metrics.
+    std::string path = target.substr(0, target.find('?'));
+    int status = 200;
+    const char *statusText = "OK";
+    std::string contentType = "text/plain; charset=utf-8";
+    std::string body;
+    if (path == "/metrics") {
+        contentType = "application/openmetrics-text; version=1.0.0; "
+                      "charset=utf-8";
+        body = srv.openMetricsText();
+    } else if (path == "/healthz") {
+        if (draining_ || srv.draining()) {
+            status = 503;
+            statusText = "Service Unavailable";
+            body = "draining\n";
+        } else {
+            body = "ok\n";
+        }
+    } else if (path == "/history.json") {
+        contentType = "application/json";
+        body = srv.historyJson();
+    } else if (path == "/flight.json") {
+        contentType = "application/json";
+        body = obs::FlightRecorder::instance().toJson("http");
+    } else {
+        status = 404;
+        statusText = "Not Found";
+        body = "not found\n";
+    }
+    std::string resp = strprintf("HTTP/1.1 %d %s\r\n"
+                                 "Content-Type: %s\r\n"
+                                 "Content-Length: %zu\r\n"
+                                 "Connection: close\r\n\r\n",
+                                 status, statusText, contentType.c_str(),
+                                 body.size());
+    resp += body;
+    // Reply, then close — exactly the eviction-frame flush discipline:
+    // queue, stop reading, cut at the drain deadline if never drained.
+    c->closing = true;
+    c->wantIn = false;
+    updateInterest(c);
+    if (!queueBytes(c, reinterpret_cast<const uint8_t *>(resp.data()),
+                    resp.size()))
+        return; // hard cap tripped: connection destroyed
+    wheel_.schedule(timerKey(c->id, kTimerDrain),
+                    steadyMs() +
+                        std::max<uint32_t>(srv.cfg.drainDeadlineMs, 100));
+    flushWrites(c);
+}
+
+void
+EventLoop::dispatchConsume(Conn *c, const uint8_t *data, size_t n)
+{
+    c->rdbuf.assign(data, data + n);
     c->processing = true;
     c->wantIn = false; // no reads until the session is ours again
     updateInterest(c);

@@ -58,6 +58,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -170,7 +171,19 @@ class EventLoop
     void admit(Socket sock);
     void handleReadable(Conn *c);
     void handleWritable(Conn *c);
-    void dispatchConsume(Conn *c, size_t n);
+    /**
+     * Sniff the connection's first bytes: `GET ` switches it to HTTP
+     * mode (the exposition endpoints share the wire listener — see
+     * docs/DESIGN.md §5i); anything else replays the buffered prefix
+     * into the normal frame path. Returns false while fewer than four
+     * bytes have arrived (keep buffering) or when c was destroyed.
+     */
+    bool classifyProtocol(Conn *c, const uint8_t *data, size_t n);
+    /** Accumulate HTTP bytes; serve and begin closing when complete. */
+    void handleHttpBytes(Conn *c, const uint8_t *data, size_t n);
+    /** Route one parsed request target and queue the response. */
+    void serveHttp(Conn *c, const std::string &target);
+    void dispatchConsume(Conn *c, const uint8_t *data, size_t n);
     void drainCompletions();
     void completeConsume(Conn *c);
     void handleTimer(uint64_t key);

@@ -8,6 +8,8 @@
 #include "net/event_loop.hh"
 #include "net/frame.hh"
 #include "net/session.hh"
+#include "obs/flightrec.hh"
+#include "obs/openmetrics.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
 
@@ -35,6 +37,10 @@ TeaServer::TeaServer(ServerConfig config)
 {
     if (cfg.maxQueue == 0)
         cfg.maxQueue = 1;
+    // Bounds-check the STATS span limit: at least one span, and no
+    // more than a sane report can carry (the ring caps it below this).
+    cfg.statsSpanLimit =
+        std::min<size_t>(std::max<size_t>(cfg.statsSpanLimit, 1), 4096);
 
     // The metric catalog (docs/OBSERVABILITY.md). Handles are grabbed
     // once here; the hot paths below touch only the cached pointers.
@@ -60,6 +66,7 @@ TeaServer::TeaServer(ServerConfig config)
     mLoopStalls = &metrics_.counter("loop.backpressure_stalls");
     mLoopOverflow = &metrics_.counter("loop.wq_overflow");
     mLoopFaults = &metrics_.counter("loop.faults_injected");
+    mHttpRequests = &metrics_.counter("loop.http_requests");
     hLoopMs = &metrics_.histogram("loop.latency_ms");
     metrics_.gaugeFn("loop.sessions", [this] {
         return loop_ ? static_cast<int64_t>(loop_->liveConns()) : 0;
@@ -72,6 +79,15 @@ TeaServer::TeaServer(ServerConfig config)
     svcObs_.transitions = &metrics_.counter("svc.transitions");
     svcObs_.salvaged = &metrics_.counter("svc.salvaged");
     svcObs_.recWireBytes = &metrics_.counter("rec.wire_bytes");
+    // Per-automaton families. Named *_by_automaton so they never
+    // collide with the scalar family in the OpenMetrics exposition
+    // (one family name cannot be both unlabeled and labeled).
+    svcObs_.replaysBy =
+        &metrics_.labeledCounter("svc.streams_by_automaton");
+    svcObs_.transitionsBy =
+        &metrics_.labeledCounter("svc.transitions_by_automaton");
+    svcObs_.replayMsBy =
+        &metrics_.labeledHistogram("svc.replay_ms_by_automaton");
 
     // Values other objects already maintain are exported as callback
     // gauges, read at snapshot time — no mirrored state to drift.
@@ -112,6 +128,7 @@ TeaServer::TeaServer(ServerConfig config)
         sc.maxResident = cfg.storeMaxResident;
         store_ = std::make_unique<AutomatonStore>(registry_, sc);
         store_->bindMetrics(metrics_);
+        store_->bindTrace(&spans_);
     }
 
     // The RECORD verb's broker: with a store, hot-swaps publish through
@@ -119,6 +136,22 @@ TeaServer::TeaServer(ServerConfig config)
     recSvc_ = std::make_unique<rec::RecordingService>(registry_,
                                                       store_.get());
     recSvc_->bindMetrics(metrics_);
+
+    // Handles the history sampler reads each tick. counter() is
+    // get-or-create by name, so these alias the instruments the store
+    // and recorder already bump (or stay zero without a store).
+    mRecTransitions = &metrics_.counter("rec.transitions");
+    mStoreHits = &metrics_.counter("store.hits");
+    mStoreFaults = &metrics_.counter("store.mmap_loads");
+    if (cfg.historyIntervalMs != 0) {
+        history_ = std::make_unique<obs::HistoryRing>(
+            std::vector<std::string>{
+                "server.requests", "server.bytes_in",
+                "server.bytes_out", "svc.streams", "svc.transitions",
+                "rec.transitions", "store.hits", "store.mmap_loads",
+                "server.active_sessions"},
+            std::max<size_t>(cfg.historyFrames, 2));
+    }
 
     pool.setTaskObserver([this](double ms, bool failed) {
         hTaskMs->observe(ms);
@@ -144,7 +177,7 @@ TeaServer::statsReport(bool text) const
     snap.writeJson(w);
     w.key("spans");
     w.beginArray();
-    for (const obs::Span &s : spans_.recent(64)) {
+    for (const obs::Span &s : spans_.recent(cfg.statsSpanLimit)) {
         w.beginObject();
         w.key("conn");
         w.value(s.conn);
@@ -163,6 +196,83 @@ TeaServer::statsReport(bool text) const
     return w.str();
 }
 
+std::string
+TeaServer::statsPayload(uint8_t format) const
+{
+    switch (format) {
+    case 1:
+        return statsReport(true);
+    case 2:
+        return historyJson();
+    case 3:
+        return obs::FlightRecorder::instance().toJson("stats");
+    default:
+        return statsReport(false);
+    }
+}
+
+std::string
+TeaServer::historyJson() const
+{
+    if (history_)
+        return history_->toJson();
+    JsonWriter w;
+    w.beginObject();
+    w.key("series");
+    w.beginArray();
+    w.endArray();
+    w.key("frames");
+    w.beginArray();
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+TeaServer::openMetricsText() const
+{
+    return obs::toOpenMetrics(metrics_.snapshot());
+}
+
+void
+TeaServer::samplerLoop()
+{
+    std::unique_lock<std::mutex> lock(samplerMu_);
+    while (!samplerStop_) {
+        recordHistorySample();
+        samplerCv_.wait_for(lock,
+                            std::chrono::milliseconds(
+                                cfg.historyIntervalMs),
+                            [this] { return samplerStop_; });
+    }
+    // One final frame so a drain's last counter movements are kept.
+    recordHistorySample();
+}
+
+void
+TeaServer::recordHistorySample()
+{
+    std::vector<uint64_t> vals{
+        mRequests->value(),
+        mBytesIn->value(),
+        mBytesOut->value(),
+        svcObs_.replays->value(),
+        svcObs_.transitions->value(),
+        mRecTransitions->value(),
+        mStoreHits->value(),
+        mStoreFaults->value(),
+        static_cast<uint64_t>(activeSessions()),
+    };
+    history_->record(uptimeMs(), vals);
+    obs::FlightRecorder &flight = obs::FlightRecorder::instance();
+    if (flight.armed()) {
+        // Keep the black box current: a crash between frames still
+        // dumps the last completed one.
+        std::string json = history_->toJson();
+        flight.noteHistoryJson(json.data(), json.size());
+    }
+}
+
 TeaServer::~TeaServer()
 {
     stop();
@@ -175,6 +285,8 @@ TeaServer::start()
         panic("tead server: started twice");
     startedAtMs.store(steadyMs());
     listener = Listener::open(Endpoint::parse(cfg.endpoint));
+    if (history_)
+        samplerThread_ = std::thread([this] { samplerLoop(); });
     if (cfg.core == ServerCore::EventLoop) {
         loop_ = std::make_unique<EventLoop>(*this);
         loop_->start();
@@ -306,7 +418,8 @@ TeaServer::makeSession(uint64_t connId)
         st.uptimeMs = uptimeMs();
         return st;
     });
-    session->setStatsFn([this](bool text) { return statsReport(text); });
+    session->setStatsFn(
+        [this](uint8_t format) { return statsPayload(format); });
     SessionObs ob = svcObs_;
     ob.conn = connId;
     session->setObs(ob);
@@ -453,6 +566,14 @@ TeaServer::stop()
     if (!started.load() || stopped.exchange(true))
         return;
     stopping.store(true);
+    if (samplerThread_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(samplerMu_);
+            samplerStop_ = true;
+        }
+        samplerCv_.notify_all();
+        samplerThread_.join();
+    }
     if (loop_) {
         // The loop drains itself: accepts stop, in-flight consume
         // tasks finish, queued replies flush, stragglers are evicted

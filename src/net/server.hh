@@ -51,6 +51,7 @@
 #define TEA_NET_SERVER_HH
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -61,6 +62,7 @@
 #include "net/fault.hh"
 #include "net/session.hh"
 #include "net/socket.hh"
+#include "obs/history.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "svc/registry.hh"
@@ -136,6 +138,23 @@ struct ServerConfig
      * it per recording.
      */
     uint32_t recordSwapInterval = 4096;
+
+    /**
+     * Spans included in a STATS reply and statsReport() (newest
+     * first). Clamped to [1, 4096] at construction; the span ring's
+     * own capacity is the effective ceiling below that.
+     */
+    size_t statsSpanLimit = 64;
+    /**
+     * Cadence of the metrics history sampler (ms): a background thread
+     * snapshots a fixed set of counters into the delta-compressed
+     * history ring (obs/history.hh) this often, serving
+     * `teadbt stats --history` and GET /history.json. 0 disables the
+     * sampler and the ring entirely.
+     */
+    uint32_t historyIntervalMs = 1000;
+    /** Frames the history ring retains (raised to 2 when sampling). */
+    size_t historyFrames = 120;
 
     /** Connection engine; see ServerCore. */
     ServerCore core = ServerCore::Blocking;
@@ -239,11 +258,32 @@ class TeaServer
 
     /**
      * Render the full observability snapshot: every metric plus the
-     * newest spans. text=false yields the JSON document the STATS
-     * frame and `teadbt stats --json` serve; text=true the human
-     * rendering. Callable from any thread.
+     * newest spans (ServerConfig::statsSpanLimit of them). text=false
+     * yields the JSON document the STATS frame and `teadbt stats
+     * --json` serve; text=true the human rendering. Callable from any
+     * thread.
      */
     std::string statsReport(bool text) const;
+
+    /**
+     * The STATS reply body for a wire format byte: 0 = JSON report,
+     * 1 = text report, 2 = history JSON (historyJson()), 3 = flight-
+     * recorder JSON (obs::FlightRecorder::instance()). Unknown bytes
+     * answer the JSON report, so old servers and new clients coexist.
+     */
+    std::string statsPayload(uint8_t format) const;
+
+    /**
+     * The history ring as `{"series": [...], "frames": [[tMs, v...],
+     * ...]}`; an empty document when the sampler is disabled.
+     */
+    std::string historyJson() const;
+
+    /** The metrics snapshot as OpenMetrics text (GET /metrics). */
+    std::string openMetricsText() const;
+
+    /** True once stop() began: GET /healthz answers 503 then. */
+    bool draining() const { return stopping.load(); }
 
   private:
     friend class EventLoop; ///< the loop core is an engine of this class
@@ -284,8 +324,25 @@ class TeaServer
     obs::Counter *mLoopStalls;     ///< loop.backpressure_stalls
     obs::Counter *mLoopOverflow;   ///< loop.wq_overflow
     obs::Counter *mLoopFaults;     ///< loop.faults_injected
+    obs::Counter *mHttpRequests;   ///< loop.http_requests
     obs::Histogram *hLoopMs;       ///< loop.latency_ms
+    // Handles the history sampler reads (owned by other subsystems'
+    // catalogs; counter() is get-or-create so these alias them).
+    obs::Counter *mRecTransitions; ///< rec.transitions
+    obs::Counter *mStoreHits;      ///< store.hits
+    obs::Counter *mStoreFaults;    ///< store.mmap_loads
     SessionObs svcObs_; ///< per-session template; conn id stamped in
+
+    // History sampler: a thread recording counter values into the ring
+    // every historyIntervalMs, stopped via the cv. Null/never started
+    // when historyIntervalMs == 0.
+    std::unique_ptr<obs::HistoryRing> history_;
+    std::thread samplerThread_;
+    std::mutex samplerMu_;
+    std::condition_variable samplerCv_;
+    bool samplerStop_ = false;
+    void samplerLoop();
+    void recordHistorySample();
 
     ThreadPool pool;
     Listener listener;

@@ -272,13 +272,15 @@ Session::handleRequest(const Frame &frame, std::vector<uint8_t> &out)
         return;
     }
     case MsgType::Stats: {
-        // Tolerant by design, like BUSY: empty payload means JSON, a
-        // leading u8 of 1 selects text, and any extra bytes are
-        // ignored so the request can grow fields without a version
+        // Tolerant by design, like BUSY: empty payload means format 0
+        // (JSON), a leading u8 selects the format (1 = text, 2 =
+        // history JSON, 3 = flight-recorder JSON), and any extra bytes
+        // are ignored so the request can grow fields without a version
         // bump.
-        bool text = !frame.payload.empty() && frame.payload[0] == 1;
+        uint8_t format = frame.payload.empty() ? 0 : frame.payload[0];
         std::string report =
-            statsFn ? statsFn(text) : std::string(text ? "" : "{}");
+            statsFn ? statsFn(format)
+                    : std::string(format == 1 ? "" : "{}");
         PayloadWriter w;
         w.raw(reinterpret_cast<const uint8_t *>(report.data()),
               report.size());
@@ -305,6 +307,15 @@ Session::handleRequest(const Frame &frame, std::vector<uint8_t> &out)
         // and the replay below reuses the registry's CompiledTea
         // instead of compiling per stream.
         stream = std::move(snap);
+        // One interning lookup per stream buys the per-automaton
+        // series; the replay loop itself never sees the label map.
+        streamReplaysBy =
+            ob.replaysBy != nullptr ? &ob.replaysBy->at(name) : nullptr;
+        streamTransitionsBy = ob.transitionsBy != nullptr
+                                  ? &ob.transitionsBy->at(name)
+                                  : nullptr;
+        streamReplayMsBy =
+            ob.replayMsBy != nullptr ? &ob.replayMsBy->at(name) : nullptr;
         streamLog.clear();
         streamProfile = (flags & ReplayFlags::kProfile) != 0;
         streamCfg = lookup;
@@ -333,13 +344,22 @@ Session::handleRequest(const Frame &frame, std::vector<uint8_t> &out)
         ++replays;
         if (ob.replays != nullptr)
             ob.replays->inc();
+        if (streamReplaysBy != nullptr)
+            streamReplaysBy->inc();
         ReplayJob job{stream.tea, "", &streamLog, stream.compiled};
-        uint64_t tReplay = traced() ? obs::monotonicNanos() : 0;
+        bool timeReplay = traced() || streamReplayMsBy != nullptr;
+        uint64_t tReplay = timeReplay ? obs::monotonicNanos() : 0;
         StreamResult res = runReplayJob(job, streamCfg);
         if (traced())
             pushSpan(obs::SpanPhase::Replay, tReplay);
+        if (streamReplayMsBy != nullptr)
+            streamReplayMsBy->observe(
+                static_cast<double>(obs::monotonicNanos() - tReplay) /
+                1e6);
         if (ob.transitions != nullptr)
             ob.transitions->inc(res.stats.transitions);
+        if (streamTransitionsBy != nullptr)
+            streamTransitionsBy->inc(res.stats.transitions);
         if (ob.salvaged != nullptr && res.salvaged)
             ob.salvaged->inc();
         bool wantProfile = streamProfile;

@@ -65,6 +65,13 @@ struct SessionObs
     obs::Counter *transitions = nullptr;    ///< svc.transitions
     obs::Counter *salvaged = nullptr;       ///< svc.salvaged
     obs::Counter *recWireBytes = nullptr;   ///< rec.wire_bytes
+    // Per-automaton families (labeled by automaton name). The session
+    // resolves one series handle per family at REPLAY_BEGIN — a mutex
+    // + map lookup once per stream — so the per-transition path stays
+    // one relaxed fetch_add on the resolved handle.
+    obs::LabeledCounter *replaysBy = nullptr;     ///< svc.streams_by_automaton
+    obs::LabeledCounter *transitionsBy = nullptr; ///< svc.transitions_by_automaton
+    obs::LabeledHistogram *replayMsBy = nullptr;  ///< svc.replay_ms_by_automaton
 };
 
 class Session
@@ -111,12 +118,14 @@ class Session
     }
 
     /**
-     * Provider for the STATS reply body. Called with text=true for the
-     * human rendering (format byte 1), false for JSON. Without a
-     * provider STATS answers an empty JSON object — again, the session
-     * alone has no server-wide view.
+     * Provider for the STATS reply body, keyed by the request's format
+     * byte: 0 (or an empty payload) = JSON report, 1 = text report,
+     * 2 = history JSON, 3 = flight-recorder JSON; unknown bytes are the
+     * provider's to map (the server answers JSON). Without a provider
+     * STATS answers an empty JSON object — again, the session alone
+     * has no server-wide view.
      */
-    void setStatsFn(std::function<std::string(bool text)> fn)
+    void setStatsFn(std::function<std::string(uint8_t format)> fn)
     {
         statsFn = std::move(fn);
     }
@@ -200,7 +209,7 @@ class Session
     LookupConfig lookup;
     FrameDecoder decoder;
     std::function<ServerStatus()> statusFn;
-    std::function<std::string(bool text)> statsFn;
+    std::function<std::string(uint8_t format)> statsFn;
     SessionObs ob;
     State state = State::ExpectHello;
     uint64_t replays = 0;
@@ -216,6 +225,11 @@ class Session
     std::vector<uint8_t> streamLog; ///< accumulated chunk bytes
     bool streamProfile = false;
     LookupConfig streamCfg;
+    // Per-automaton series handles resolved at REPLAY_BEGIN (see
+    // SessionObs); null when the family is unbound.
+    obs::Counter *streamReplaysBy = nullptr;
+    obs::Counter *streamTransitionsBy = nullptr;
+    obs::Histogram *streamReplayMsBy = nullptr;
 
     // RECORD_BEGIN .. RECORD_END recording in progress. Destroying
     // the session mid-recording (disconnect) abandons it: the

@@ -1,0 +1,349 @@
+#include "obs/flightrec.hh"
+
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace tea {
+namespace obs {
+
+namespace {
+
+/**
+ * A bump appender over a fixed buffer: the only string machinery the
+ * signal path uses. Every method is async-signal-safe (no allocation,
+ * no locale, no stdio) and silently truncates at the buffer end — a
+ * truncated dump is still mostly-parseable prefix + lost tail, which
+ * beats a handler that corrupts the heap it is reporting on.
+ */
+struct Appender
+{
+    char *p;
+    char *end; ///< one past the last writable byte (NUL lives there)
+
+    void
+    raw(const char *s)
+    {
+        while (*s && p < end)
+            *p++ = *s++;
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        char tmp[20];
+        size_t n = 0;
+        do {
+            tmp[n++] = static_cast<char>('0' + v % 10);
+            v /= 10;
+        } while (v != 0);
+        while (n > 0 && p < end)
+            *p++ = tmp[--n];
+    }
+
+    /** A quoted, escaped JSON string from a NUL-terminated source. */
+    void
+    jstr(const char *s)
+    {
+        static const char hex[] = "0123456789abcdef";
+        if (p < end)
+            *p++ = '"';
+        for (; *s && p < end; ++s) {
+            unsigned char c = static_cast<unsigned char>(*s);
+            if (c == '"' || c == '\\') {
+                if (end - p < 2)
+                    break;
+                *p++ = '\\';
+                *p++ = static_cast<char>(c);
+            } else if (c < 0x20) {
+                if (end - p < 6)
+                    break;
+                *p++ = '\\';
+                *p++ = 'u';
+                *p++ = '0';
+                *p++ = '0';
+                *p++ = hex[c >> 4];
+                *p++ = hex[c & 0xf];
+            } else {
+                *p++ = static_cast<char>(c);
+            }
+        }
+        if (p < end)
+            *p++ = '"';
+    }
+};
+
+const char *
+signalName(int sig)
+{
+    switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    }
+    return "signal";
+}
+
+void
+crashHandler(int sig)
+{
+    FlightRecorder::instance().dumpFromSignal(sig);
+    // SA_RESETHAND restored the default disposition before we ran;
+    // re-raising (pending until the handler returns) then dumps core /
+    // terminates exactly as an un-armed process would have.
+    raise(sig);
+}
+
+void
+copyTruncated(char *dst, size_t cap, const char *src)
+{
+    size_t n = std::strlen(src);
+    if (n > cap - 1)
+        n = cap - 1;
+    std::memcpy(dst, src, n);
+    dst[n] = '\0';
+}
+
+} // namespace
+
+FlightRecorder::FlightRecorder() = default;
+
+FlightRecorder &
+FlightRecorder::instance()
+{
+    static FlightRecorder recorder;
+    return recorder;
+}
+
+void
+FlightRecorder::attachSpans(const SpanRing *ring)
+{
+    spans_.store(ring, std::memory_order_release);
+}
+
+void
+FlightRecorder::noteLog(const char *tag, const char *msg)
+{
+    uint32_t expected = 0;
+    while (!logLock_.compare_exchange_weak(expected, 1,
+                                           std::memory_order_acquire)) {
+        expected = 0;
+    }
+    LogRec &rec = logs_[logHead_ % kMaxLogs];
+    rec.tNs = monotonicNanos();
+    copyTruncated(rec.tag, sizeof(rec.tag), tag);
+    copyTruncated(rec.msg, sizeof(rec.msg), msg);
+    ++logHead_;
+    logLock_.store(0, std::memory_order_release);
+}
+
+void
+FlightRecorder::noteHistoryJson(const char *json, size_t len)
+{
+    int active = histActive_.load(std::memory_order_acquire);
+    int next = active == 0 ? 1 : 0;
+    HistBuf &b = hist_[next];
+    if (len > kMaxHistory - 1)
+        len = kMaxHistory - 1;
+    std::memcpy(b.buf, json, len);
+    b.buf[len] = '\0';
+    b.len = len;
+    histActive_.store(next, std::memory_order_release);
+}
+
+void
+FlightRecorder::setFingerprint(const std::string &text)
+{
+    copyTruncated(fingerprint_, sizeof(fingerprint_), text.c_str());
+}
+
+void
+FlightRecorder::arm(const std::string &path)
+{
+    copyTruncated(path_, sizeof(path_), path.c_str());
+    installFlightLogSink();
+    if (armed_.exchange(true, std::memory_order_acq_rel))
+        return; // handlers already installed; only the path changed
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = crashHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESETHAND;
+    sigaction(SIGSEGV, &sa, nullptr);
+    sigaction(SIGABRT, &sa, nullptr);
+    sigaction(SIGBUS, &sa, nullptr);
+    sigaction(SIGFPE, &sa, nullptr);
+}
+
+std::string
+FlightRecorder::path() const
+{
+    return std::string(path_);
+}
+
+size_t
+FlightRecorder::logCount() const
+{
+    uint32_t expected = 0;
+    while (!logLock_.compare_exchange_weak(expected, 1,
+                                           std::memory_order_acquire)) {
+        expected = 0;
+    }
+    size_t n = logHead_ < kMaxLogs ? logHead_ : kMaxLogs;
+    logLock_.store(0, std::memory_order_release);
+    return n;
+}
+
+size_t
+FlightRecorder::render(char *dst, size_t cap, const char *reason,
+                       bool fromSignal) const
+{
+    Appender a{dst, dst + cap - 1};
+    a.raw("{\"version\": 1, \"reason\": ");
+    a.jstr(reason);
+    a.raw(", \"tNs\": ");
+    a.u64(monotonicNanos());
+    a.raw(", \"fingerprint\": ");
+    a.jstr(fingerprint_);
+
+    a.raw(", \"spans\": [");
+    const SpanRing *ring = spans_.load(std::memory_order_acquire);
+    size_t nspans =
+        ring ? ring->snapshotInto(spanScratch_, kMaxSpans) : 0;
+    for (size_t i = 0; i < nspans; ++i) {
+        const Span &s = spanScratch_[i];
+        if (i > 0)
+            a.raw(", ");
+        a.raw("{\"conn\": ");
+        a.u64(s.conn);
+        a.raw(", \"request\": ");
+        a.u64(s.request);
+        a.raw(", \"phase\": ");
+        a.jstr(spanPhaseName(s.phase));
+        a.raw(", \"startNs\": ");
+        a.u64(s.startNs);
+        a.raw(", \"durNs\": ");
+        a.u64(s.durNs);
+        a.raw("}");
+    }
+    a.raw("]");
+
+    // The log ring, under its spinlock — bounded spins from a signal
+    // handler (the crashing thread may *hold* the lock; waiting
+    // forever would hang the dump), unbounded from graceful paths.
+    bool locked = false;
+    for (int spin = 0; fromSignal ? spin < 4096 : true; ++spin) {
+        uint32_t expected = 0;
+        if (logLock_.compare_exchange_weak(expected, 1,
+                                           std::memory_order_acquire)) {
+            locked = true;
+            break;
+        }
+    }
+    size_t nlogs = 0;
+    uint64_t head = 0;
+    if (locked) {
+        head = logHead_;
+        nlogs = head < kMaxLogs ? head : kMaxLogs;
+        for (size_t i = 0; i < nlogs; ++i)
+            logScratch_[i] = logs_[(head - nlogs + i) % kMaxLogs];
+        logLock_.store(0, std::memory_order_release);
+    }
+    a.raw(", \"logsDropped\": ");
+    a.u64(head > kMaxLogs ? head - kMaxLogs : 0);
+    a.raw(", \"logs\": [");
+    for (size_t i = 0; i < nlogs; ++i) {
+        const LogRec &rec = logScratch_[i];
+        if (i > 0)
+            a.raw(", ");
+        a.raw("{\"tNs\": ");
+        a.u64(rec.tNs);
+        a.raw(", \"tag\": ");
+        a.jstr(rec.tag);
+        a.raw(", \"msg\": ");
+        a.jstr(rec.msg);
+        a.raw("}");
+    }
+    a.raw("]");
+
+    a.raw(", \"history\": ");
+    int active = histActive_.load(std::memory_order_acquire);
+    if (active >= 0 && hist_[active].len > 0) {
+        std::memcpy(histScratch_, hist_[active].buf,
+                    hist_[active].len + 1);
+        a.raw(histScratch_); // pre-rendered JSON, embedded verbatim
+    } else {
+        a.raw("null");
+    }
+    a.raw("}\n");
+    *a.p = '\0';
+    return static_cast<size_t>(a.p - dst);
+}
+
+std::string
+FlightRecorder::toJson(const char *reason) const
+{
+    std::lock_guard<std::mutex> lock(dumpMu_);
+    size_t len = render(dumpBuf_, kDumpBytes, reason, false);
+    return std::string(dumpBuf_, len);
+}
+
+bool
+FlightRecorder::dumpNow(const char *reason)
+{
+    if (path_[0] == '\0')
+        return false;
+    std::lock_guard<std::mutex> lock(dumpMu_);
+    size_t len = render(dumpBuf_, kDumpBytes, reason, false);
+    int fd = ::open(path_, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return false;
+    size_t off = 0;
+    while (off < len) {
+        ssize_t n = ::write(fd, dumpBuf_ + off, len - off);
+        if (n <= 0)
+            break;
+        off += static_cast<size_t>(n);
+    }
+    ::close(fd);
+    return off == len;
+}
+
+void
+FlightRecorder::dumpFromSignal(int sig)
+{
+    // No mutex: the process is dying, and a graceful dump racing this
+    // one at worst interleaves bytes in scratch we no longer need.
+    if (path_[0] == '\0')
+        return;
+    size_t len = render(dumpBuf_, kDumpBytes, signalName(sig), true);
+    int fd = ::open(path_, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return;
+    size_t off = 0;
+    while (off < len) {
+        ssize_t n = ::write(fd, dumpBuf_ + off, len - off);
+        if (n <= 0)
+            break;
+        off += static_cast<size_t>(n);
+    }
+    ::close(fd);
+    const char note[] = "tead: flight recorder dump written\n";
+    ssize_t ignored = ::write(2, note, sizeof(note) - 1);
+    (void)ignored;
+}
+
+void
+installFlightLogSink()
+{
+    setLogSink([](const char *tag, const char *msg) {
+        FlightRecorder::instance().noteLog(tag, msg);
+    });
+}
+
+} // namespace obs
+} // namespace tea

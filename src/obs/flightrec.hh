@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The flight recorder: a preallocated black box for post-mortem debug.
+ *
+ * `teadbt stats` answers questions while the process is alive; this
+ * answers the one that matters after it isn't. The recorder holds, in
+ * memory allocated up front and never grown:
+ *
+ * - the last K log lines (tee'd from util/logging via setLogSink);
+ * - a borrowed pointer to the server's span ring, snapshot at dump
+ *   time with SpanRing::snapshotInto (no allocation);
+ * - the most recent history JSON (double-buffered; the sampler thread
+ *   refreshes it after every frame);
+ * - a config fingerprint string set at arm time.
+ *
+ * arm(path) installs SIGSEGV/SIGABRT/SIGBUS/SIGFPE handlers that
+ * render the whole box as one JSON document into a preallocated
+ * buffer — integer formatting and string escaping by hand, no malloc,
+ * no stdio — write(2) it to `path`, and re-raise the signal so the
+ * default disposition (core dump, exit status) is preserved. The same
+ * renderer serves the graceful paths: `teadbt flight-dump` over the
+ * wire (STATS format byte 3), the dump-on-FatalError hook in the CLI,
+ * and toJson() for tests.
+ *
+ * Log capture is guarded by an atomic spinlock; the signal handler
+ * try-acquires with a bounded spin and skips the log section if the
+ * crashing thread lost the race mid-append — a dump with fewer log
+ * lines beats a deadlocked handler. Everything else the handler reads
+ * is either immutable after arm() (path, fingerprint) or torn-tolerant
+ * by construction (span seqlocks, the history buffer flip).
+ */
+
+#ifndef TEA_OBS_FLIGHTREC_HH
+#define TEA_OBS_FLIGHTREC_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "obs/trace.hh"
+
+namespace tea {
+namespace obs {
+
+class FlightRecorder
+{
+  public:
+    static constexpr size_t kMaxSpans = 128;
+    static constexpr size_t kMaxLogs = 64;
+    static constexpr size_t kMaxLogMsg = 224;
+    static constexpr size_t kMaxTag = 15;
+    static constexpr size_t kMaxHistory = 32 * 1024;
+    static constexpr size_t kMaxFingerprint = 4096;
+    static constexpr size_t kMaxPath = 1024;
+    static constexpr size_t kDumpBytes = 256 * 1024;
+
+    FlightRecorder();
+
+    /** The process singleton the signal handlers and log sink use. */
+    static FlightRecorder &instance();
+
+    /** Borrow the span ring to snapshot at dump time (may be null). */
+    void attachSpans(const SpanRing *ring);
+
+    /** Append one log record (the registered sink calls this). */
+    void noteLog(const char *tag, const char *msg);
+
+    /** Refresh the retained history JSON (sampler thread). */
+    void noteHistoryJson(const char *json, size_t len);
+
+    /** Set the config fingerprint (call before arm()). */
+    void setFingerprint(const std::string &text);
+
+    /**
+     * Install the crash-signal handlers and remember the dump path;
+     * also tees util/logging into this recorder. Only meaningful on
+     * instance() — the handlers reach the singleton. Idempotent.
+     */
+    void arm(const std::string &path);
+
+    bool armed() const { return armed_.load(std::memory_order_acquire); }
+
+    /** The dump path set by arm() ("" before). */
+    std::string path() const;
+
+    /**
+     * Graceful dump to the armed path (FatalError hook, tests).
+     * @return true when the file was written
+     */
+    bool dumpNow(const char *reason);
+
+    /** Render the box as JSON without touching the filesystem. */
+    std::string toJson(const char *reason) const;
+
+    /** Signal-handler entry: render + write(2) + no return value. */
+    void dumpFromSignal(int sig);
+
+    /** Log records currently retained (tests). */
+    size_t logCount() const;
+
+  private:
+    struct LogRec
+    {
+        uint64_t tNs = 0;
+        char tag[kMaxTag + 1] = {0};
+        char msg[kMaxLogMsg + 1] = {0};
+    };
+
+    /**
+     * Render the whole document into dst (NUL-terminated) and return
+     * the length. Async-signal-safe when fromSignal (skips the log
+     * spinlock wait after a bounded spin).
+     */
+    size_t render(char *dst, size_t cap, const char *reason,
+                  bool fromSignal) const;
+
+    std::atomic<const SpanRing *> spans_{nullptr};
+    std::atomic<bool> armed_{false};
+    char path_[kMaxPath] = {0};
+    char fingerprint_[kMaxFingerprint] = {0};
+
+    // Log ring: head counts appends; slot i holds record (i % kMaxLogs).
+    mutable std::atomic<uint32_t> logLock_{0};
+    uint64_t logHead_ = 0;
+    LogRec logs_[kMaxLogs];
+
+    // History JSON, double-buffered: the sampler writes the inactive
+    // side then flips `histActive_`; readers (including the signal
+    // handler) copy from the active side.
+    struct HistBuf
+    {
+        size_t len = 0;
+        char buf[kMaxHistory] = {0};
+    };
+    HistBuf hist_[2];
+    std::atomic<int> histActive_{-1}; ///< -1 = never written
+
+    // Scratch the renderer fills; the signal path is single-shot and
+    // the graceful paths serialize on dumpMu_.
+    mutable std::mutex dumpMu_;
+    mutable Span spanScratch_[kMaxSpans];
+    mutable LogRec logScratch_[kMaxLogs];
+    mutable char histScratch_[kMaxHistory];
+    mutable char dumpBuf_[kDumpBytes];
+};
+
+/** Route util/logging's sink into FlightRecorder::instance(). */
+void installFlightLogSink();
+
+} // namespace obs
+} // namespace tea
+
+#endif // TEA_OBS_FLIGHTREC_HH

@@ -1,0 +1,124 @@
+#include "obs/history.hh"
+
+#include <algorithm>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/varint.hh"
+
+namespace tea {
+namespace obs {
+
+HistoryRing::HistoryRing(std::vector<std::string> seriesNames,
+                         size_t maxFrames)
+    : names_(std::move(seriesNames)),
+      maxFrames_(std::max<size_t>(maxFrames, 2))
+{
+}
+
+void
+HistoryRing::record(uint64_t tMs, const std::vector<uint64_t> &values)
+{
+    if (values.size() != names_.size())
+        panic("history frame carries %zu values for %zu series",
+              values.size(), names_.size());
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!any_) {
+        any_ = true;
+        baseT_ = lastT_ = tMs;
+        base_ = last_ = values;
+        return;
+    }
+    std::vector<uint8_t> enc;
+    putVar(enc, tMs - lastT_); // sampler time is monotonic
+    for (size_t i = 0; i < values.size(); ++i)
+        putVar(enc, zigzag(static_cast<int64_t>(values[i]) -
+                           static_cast<int64_t>(last_[i])));
+    deltas_.push_back(std::move(enc));
+    lastT_ = tMs;
+    last_ = values;
+    // Evict by folding the oldest delta into the absolute base.
+    while (deltas_.size() + 1 > maxFrames_) {
+        apply(deltas_.front(), baseT_, base_);
+        deltas_.pop_front();
+    }
+}
+
+void
+HistoryRing::apply(const std::vector<uint8_t> &enc, uint64_t &t,
+                   std::vector<uint64_t> &vals) const
+{
+    size_t cursor = 0;
+    uint64_t dt = 0;
+    if (!getVar(enc.data(), enc.size(), cursor, dt))
+        panic("history: truncated delta frame");
+    t += dt;
+    for (uint64_t &v : vals) {
+        uint64_t zz = 0;
+        if (!getVar(enc.data(), enc.size(), cursor, zz))
+            panic("history: truncated delta frame");
+        v = static_cast<uint64_t>(static_cast<int64_t>(v) +
+                                  unzigzag(zz));
+    }
+}
+
+std::vector<HistoryRing::Frame>
+HistoryRing::frames() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Frame> out;
+    if (!any_)
+        return out;
+    out.reserve(deltas_.size() + 1);
+    uint64_t t = baseT_;
+    std::vector<uint64_t> vals = base_;
+    out.push_back(Frame{t, vals});
+    for (const std::vector<uint8_t> &enc : deltas_) {
+        apply(enc, t, vals);
+        out.push_back(Frame{t, vals});
+    }
+    return out;
+}
+
+size_t
+HistoryRing::frameCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return any_ ? deltas_.size() + 1 : 0;
+}
+
+size_t
+HistoryRing::encodedBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t bytes = 0;
+    for (const std::vector<uint8_t> &enc : deltas_)
+        bytes += enc.size();
+    return bytes;
+}
+
+std::string
+HistoryRing::toJson() const
+{
+    std::vector<Frame> fs = frames();
+    JsonWriter w;
+    w.beginObject();
+    w.key("series").beginArray();
+    for (const std::string &name : names_)
+        w.value(name);
+    w.endArray();
+    w.key("frames").beginArray();
+    for (const Frame &f : fs) {
+        w.beginArray();
+        w.value(f.tMs);
+        for (uint64_t v : f.values)
+            w.value(v);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace obs
+} // namespace tea

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fixed-footprint time-series history for the metrics registry.
+ *
+ * A snapshot answers "how much, ever"; operators need "how fast, just
+ * now". HistoryRing turns periodic snapshots into that: a sampler
+ * thread (net/server.cc) records one frame every interval — a
+ * timestamp plus the current value of each tracked series — and the
+ * ring keeps the last maxFrames of them in delta-compressed form, so
+ * `teadbt stats --history` and the HTTP `/history.json` surface can
+ * serve rates and sparklines without a metrics database.
+ *
+ * The compression is the v2 trace-log codec's shape (util/varint.hh):
+ * each stored frame is the varint Δt against the previous frame
+ * followed by one zigzag-varint delta per series. Counters move
+ * slowly between one-second samples, so a frame of 10 series is
+ * typically 12-15 bytes; even gauges that jump stay cheap. Only the
+ * oldest frame is held as absolutes — evicting it decodes the next
+ * delta frame into the base, so the ring's footprint is bounded by
+ * maxFrames small byte buffers no matter how long the server runs.
+ *
+ * record() is called by one sampler thread; frames()/toJson() by any
+ * reader (STATS worker, HTTP path). A plain mutex serializes them —
+ * everything here is seconds-cadence cold path.
+ */
+
+#ifndef TEA_OBS_HISTORY_HH
+#define TEA_OBS_HISTORY_HH
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tea {
+namespace obs {
+
+class HistoryRing
+{
+  public:
+    /**
+     * @param seriesNames the tracked series, fixed for the ring's life
+     * @param maxFrames frames retained (min 2: a base and one delta)
+     */
+    HistoryRing(std::vector<std::string> seriesNames, size_t maxFrames);
+
+    /**
+     * Append one frame. `values` must carry one entry per series, in
+     * the order given at construction; `tMs` is milliseconds on any
+     * monotonic scale (the server uses uptime).
+     */
+    void record(uint64_t tMs, const std::vector<uint64_t> &values);
+
+    /** One decoded frame: a timestamp and per-series absolutes. */
+    struct Frame
+    {
+        uint64_t tMs = 0;
+        std::vector<uint64_t> values;
+    };
+
+    const std::vector<std::string> &series() const { return names_; }
+
+    /** Decode every retained frame, oldest first. */
+    std::vector<Frame> frames() const;
+
+    size_t frameCount() const;
+
+    /** Encoded delta bytes currently held (the footprint story). */
+    size_t encodedBytes() const;
+
+    /**
+     * {"series": [names...], "frames": [[tMs, v0, v1, ...], ...]} —
+     * frames oldest first, absolutes reconstructed.
+     */
+    std::string toJson() const;
+
+  private:
+    std::vector<std::string> names_;
+    size_t maxFrames_;
+
+    mutable std::mutex mu_;
+    bool any_ = false;
+    uint64_t baseT_ = 0;            ///< oldest frame, held absolute
+    std::vector<uint64_t> base_;
+    uint64_t lastT_ = 0;            ///< newest frame, for encoding
+    std::vector<uint64_t> last_;
+    /** Delta frames after the base, oldest first. */
+    std::deque<std::vector<uint8_t>> deltas_;
+
+    /** Decode one delta frame on top of (t, vals), in place. */
+    void apply(const std::vector<uint8_t> &enc, uint64_t &t,
+               std::vector<uint64_t> &vals) const;
+};
+
+} // namespace obs
+} // namespace tea
+
+#endif // TEA_OBS_HISTORY_HH

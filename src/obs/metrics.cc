@@ -71,6 +71,113 @@ Histogram::latencyBoundsMs()
     return bounds;
 }
 
+double
+quantile(const HistogramView &v, double q)
+{
+    if (v.count == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    double rank = q * static_cast<double>(v.count);
+    uint64_t cum = 0;
+    for (size_t b = 0; b < v.counts.size(); ++b) {
+        uint64_t prev = cum;
+        cum += v.counts[b];
+        if (v.counts[b] == 0 || static_cast<double>(cum) < rank)
+            continue;
+        if (b >= v.bounds.size()) // +inf: no upper edge to lerp toward
+            return v.bounds.empty() ? 0.0 : v.bounds.back();
+        double lo = b == 0 ? 0.0 : v.bounds[b - 1];
+        double hi = v.bounds[b];
+        double frac = (rank - static_cast<double>(prev)) /
+                      static_cast<double>(v.counts[b]);
+        return lo + (hi - lo) * frac;
+    }
+    return v.bounds.empty() ? 0.0 : v.bounds.back();
+}
+
+// ---------------------------------------------------- labeled instruments
+
+const char *const kOtherLabel = "other";
+
+LabeledCounter::LabeledCounter(std::string labelKey, size_t maxLabels)
+    : key_(std::move(labelKey)), maxLabels_(maxLabels)
+{
+}
+
+Counter &
+LabeledCounter::at(const std::string &label)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = byLabel_.find(label);
+    if (it != byLabel_.end())
+        return *it->second;
+    if (byLabel_.size() >= maxLabels_ || label == kOtherLabel)
+        return other_;
+    auto &slot = byLabel_[label];
+    slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+LabeledCounter::series() const
+{
+    std::vector<std::pair<std::string, uint64_t>> out;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[label, c] : byLabel_) {
+        uint64_t v = c->value();
+        if (v != 0)
+            out.emplace_back(label, v);
+    }
+    uint64_t ov = other_.value();
+    if (ov != 0)
+        out.emplace_back(kOtherLabel, ov);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+LabeledHistogram::LabeledHistogram(std::string labelKey,
+                                   std::vector<double> bounds,
+                                   size_t maxLabels)
+    : key_(std::move(labelKey)), bounds_(std::move(bounds)),
+      maxLabels_(maxLabels), other_(bounds_)
+{
+}
+
+Histogram &
+LabeledHistogram::at(const std::string &label)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = byLabel_.find(label);
+    if (it != byLabel_.end())
+        return *it->second;
+    if (byLabel_.size() >= maxLabels_ || label == kOtherLabel)
+        return other_;
+    auto &slot = byLabel_[label];
+    slot = std::make_unique<Histogram>(bounds_);
+    return *slot;
+}
+
+std::vector<std::pair<std::string, HistogramView>>
+LabeledHistogram::series() const
+{
+    std::vector<std::pair<std::string, HistogramView>> out;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[label, h] : byLabel_) {
+        HistogramView v = h->view();
+        if (v.count != 0)
+            out.emplace_back(label, std::move(v));
+    }
+    HistogramView ov = other_.view();
+    if (ov.count != 0)
+        out.emplace_back(kOtherLabel, std::move(ov));
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    return out;
+}
+
 // ------------------------------------------------------- MetricsRegistry
 
 Counter &
@@ -112,6 +219,32 @@ MetricsRegistry::gaugeFn(const std::string &name,
     gaugeFns[name] = std::move(fn);
 }
 
+LabeledCounter &
+MetricsRegistry::labeledCounter(const std::string &name,
+                                const std::string &labelKey,
+                                size_t maxLabels)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto &slot = labeledCounters[name];
+    if (!slot)
+        slot = std::make_unique<LabeledCounter>(labelKey, maxLabels);
+    return *slot;
+}
+
+LabeledHistogram &
+MetricsRegistry::labeledHistogram(const std::string &name,
+                                  const std::string &labelKey,
+                                  const std::vector<double> &bounds,
+                                  size_t maxLabels)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto &slot = labeledHistograms[name];
+    if (!slot)
+        slot = std::make_unique<LabeledHistogram>(labelKey, bounds,
+                                                 maxLabels);
+    return *slot;
+}
+
 MetricsSnapshot
 MetricsRegistry::snapshot() const
 {
@@ -126,10 +259,48 @@ MetricsRegistry::snapshot() const
     std::sort(snap.gauges.begin(), snap.gauges.end());
     for (const auto &[name, h] : histograms)
         snap.histograms.emplace_back(name, h->view());
+    for (const auto &[name, lc] : labeledCounters)
+        snap.labeledCounters.push_back(
+            LabeledCounterView{name, lc->labelKey(), lc->series()});
+    for (const auto &[name, lh] : labeledHistograms)
+        snap.labeledHistograms.push_back(
+            LabeledHistogramView{name, lh->labelKey(), lh->series()});
     return snap;
 }
 
 // ------------------------------------------------------- MetricsSnapshot
+
+namespace {
+
+/** One histogram as a JSON object: totals, quantiles, sparse buckets. */
+void
+writeHistogramJson(JsonWriter &w, const HistogramView &h)
+{
+    w.beginObject();
+    w.key("count").value(h.count);
+    w.key("sum").value(h.sum);
+    if (h.count > 0) {
+        w.key("p50").value(quantile(h, 0.50));
+        w.key("p90").value(quantile(h, 0.90));
+        w.key("p99").value(quantile(h, 0.99));
+    }
+    w.key("buckets").beginArray();
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+        if (h.counts[b] == 0)
+            continue; // sparse: empty buckets add bytes, not data
+        w.beginObject();
+        if (b < h.bounds.size())
+            w.key("le").value(h.bounds[b]);
+        else
+            w.key("le").value("+inf");
+        w.key("count").value(h.counts[b]);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace
 
 uint64_t
 MetricsSnapshot::counterValue(const std::string &name) const
@@ -137,6 +308,20 @@ MetricsSnapshot::counterValue(const std::string &name) const
     for (const auto &[n, v] : counters)
         if (n == name)
             return v;
+    return 0;
+}
+
+uint64_t
+MetricsSnapshot::labeledValue(const std::string &name,
+                              const std::string &label) const
+{
+    for (const LabeledCounterView &lc : labeledCounters) {
+        if (lc.name != name)
+            continue;
+        for (const auto &[l, v] : lc.series)
+            if (l == label)
+                return v;
+    }
     return 0;
 }
 
@@ -155,6 +340,10 @@ MetricsSnapshot::toText() const
                          name.c_str(),
                          static_cast<unsigned long long>(h.count),
                          h.mean());
+        if (h.count > 0)
+            out += strprintf("  p50 %.3g p90 %.3g p99 %.3g",
+                             quantile(h, 0.50), quantile(h, 0.90),
+                             quantile(h, 0.99));
         for (size_t b = 0; b < h.counts.size(); ++b) {
             if (h.counts[b] == 0)
                 continue;
@@ -168,6 +357,29 @@ MetricsSnapshot::toText() const
                                      h.counts[b]));
         }
         out += '\n';
+    }
+    for (const LabeledCounterView &lc : labeledCounters) {
+        for (const auto &[label, v] : lc.series) {
+            std::string series = strprintf(
+                "%s{%s=\"%s\"}", lc.name.c_str(), lc.labelKey.c_str(),
+                label.c_str());
+            out += strprintf("counter %-28s %llu\n", series.c_str(),
+                             static_cast<unsigned long long>(v));
+        }
+    }
+    for (const LabeledHistogramView &lh : labeledHistograms) {
+        for (const auto &[label, h] : lh.series) {
+            std::string series = strprintf(
+                "%s{%s=\"%s\"}", lh.name.c_str(), lh.labelKey.c_str(),
+                label.c_str());
+            out += strprintf(
+                "hist    %-28s count %llu mean %.3f  p50 %.3g "
+                "p90 %.3g p99 %.3g\n",
+                series.c_str(),
+                static_cast<unsigned long long>(h.count), h.mean(),
+                quantile(h, 0.50), quantile(h, 0.90),
+                quantile(h, 0.99));
+        }
     }
     return out;
 }
@@ -185,22 +397,31 @@ MetricsSnapshot::writeJson(JsonWriter &w) const
     w.endObject();
     w.key("histograms").beginObject();
     for (const auto &[name, h] : histograms) {
-        w.key(name).beginObject();
-        w.key("count").value(h.count);
-        w.key("sum").value(h.sum);
-        w.key("buckets").beginArray();
-        for (size_t b = 0; b < h.counts.size(); ++b) {
-            if (h.counts[b] == 0)
-                continue; // sparse: empty buckets add bytes, not data
-            w.beginObject();
-            if (b < h.bounds.size())
-                w.key("le").value(h.bounds[b]);
-            else
-                w.key("le").value("+inf");
-            w.key("count").value(h.counts[b]);
-            w.endObject();
+        w.key(name);
+        writeHistogramJson(w, h);
+    }
+    w.endObject();
+    w.key("labeledCounters").beginObject();
+    for (const LabeledCounterView &lc : labeledCounters) {
+        w.key(lc.name).beginObject();
+        w.key("labelKey").value(lc.labelKey);
+        w.key("series").beginObject();
+        for (const auto &[label, v] : lc.series)
+            w.key(label).value(v);
+        w.endObject();
+        w.endObject();
+    }
+    w.endObject();
+    w.key("labeledHistograms").beginObject();
+    for (const LabeledHistogramView &lh : labeledHistograms) {
+        w.key(lh.name).beginObject();
+        w.key("labelKey").value(lh.labelKey);
+        w.key("series").beginObject();
+        for (const auto &[label, h] : lh.series) {
+            w.key(label);
+            writeHistogramJson(w, h);
         }
-        w.endArray();
+        w.endObject();
         w.endObject();
     }
     w.endObject();

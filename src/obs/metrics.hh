@@ -143,12 +143,106 @@ class Histogram
     std::array<Shard, kMetricShards> shards;
 };
 
+/**
+ * Quantile estimate from a merged histogram: find the bucket holding
+ * rank q*count, then interpolate linearly inside it (the Prometheus
+ * histogram_quantile shape). The +inf bucket cannot be interpolated
+ * and clamps to the last finite bound. 0 when the histogram is empty.
+ */
+double quantile(const HistogramView &v, double q);
+
+/**
+ * How many distinct label values a labeled instrument will intern
+ * before routing further labels to the shared `other` series. Labels
+ * are automaton names — operator-chosen, not attacker-controlled —
+ * but a fleet restart against a huge store directory must not turn
+ * the registry into an unbounded map.
+ */
+constexpr size_t kDefaultMaxLabels = 64;
+
+/** The catch-all label value once maxLabels is exhausted. */
+extern const char *const kOtherLabel;
+
+/**
+ * A counter with one low-cardinality label dimension (in practice:
+ * the automaton name). at() interns the label under a mutex — called
+ * once per stream/session at setup, never per transition — and
+ * returns a plain Counter whose inc() is the same one relaxed
+ * fetch_add as the unlabeled hot path. Past maxLabels every new label
+ * shares the `other` series, so memory stays bounded no matter how
+ * many automatons a server meets. Raced at() calls for one label
+ * return the same instrument (the mutex serializes interning).
+ */
+class LabeledCounter
+{
+  public:
+    explicit LabeledCounter(std::string labelKey = "automaton",
+                            size_t maxLabels = kDefaultMaxLabels);
+
+    /** The per-label counter; stable for the instrument's lifetime. */
+    Counter &at(const std::string &label);
+
+    const std::string &labelKey() const { return key_; }
+
+    /** Non-zero series, sorted by label (`other` included when hit). */
+    std::vector<std::pair<std::string, uint64_t>> series() const;
+
+  private:
+    std::string key_;
+    size_t maxLabels_;
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> byLabel_;
+    Counter other_;
+};
+
+/** Histogram with the same label dimension as LabeledCounter. */
+class LabeledHistogram
+{
+  public:
+    explicit LabeledHistogram(std::string labelKey = "automaton",
+                              std::vector<double> bounds =
+                                  Histogram::latencyBoundsMs(),
+                              size_t maxLabels = kDefaultMaxLabels);
+
+    Histogram &at(const std::string &label);
+
+    const std::string &labelKey() const { return key_; }
+
+    /** Non-empty series, sorted by label (`other` included when hit). */
+    std::vector<std::pair<std::string, HistogramView>> series() const;
+
+  private:
+    std::string key_;
+    std::vector<double> bounds_;
+    size_t maxLabels_;
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Histogram>> byLabel_;
+    Histogram other_;
+};
+
+/** One labeled instrument, merged into a snapshot. */
+struct LabeledCounterView
+{
+    std::string name;
+    std::string labelKey;
+    std::vector<std::pair<std::string, uint64_t>> series;
+};
+
+struct LabeledHistogramView
+{
+    std::string name;
+    std::string labelKey;
+    std::vector<std::pair<std::string, HistogramView>> series;
+};
+
 /** Immutable merged view of every metric, ready to render. */
 struct MetricsSnapshot
 {
     std::vector<std::pair<std::string, uint64_t>> counters;
     std::vector<std::pair<std::string, int64_t>> gauges;
     std::vector<std::pair<std::string, HistogramView>> histograms;
+    std::vector<LabeledCounterView> labeledCounters;
+    std::vector<LabeledHistogramView> labeledHistograms;
 
     /** One metric per line, for humans and the serve exit report. */
     std::string toText() const;
@@ -164,6 +258,10 @@ struct MetricsSnapshot
 
     /** Convenience for tests: a counter's value, 0 when absent. */
     uint64_t counterValue(const std::string &name) const;
+
+    /** Convenience for tests: a labeled series value, 0 when absent. */
+    uint64_t labeledValue(const std::string &name,
+                          const std::string &label) const;
 };
 
 /**
@@ -185,6 +283,22 @@ class MetricsRegistry
                              Histogram::latencyBoundsMs());
     void gaugeFn(const std::string &name, std::function<int64_t()> fn);
 
+    /**
+     * A counter family with one label dimension. Like the scalar
+     * instruments, the first registration fixes the shape (labelKey,
+     * maxLabels); re-registering returns the existing family.
+     */
+    LabeledCounter &labeledCounter(const std::string &name,
+                                   const std::string &labelKey =
+                                       "automaton",
+                                   size_t maxLabels = kDefaultMaxLabels);
+
+    LabeledHistogram &labeledHistogram(
+        const std::string &name,
+        const std::string &labelKey = "automaton",
+        const std::vector<double> &bounds = Histogram::latencyBoundsMs(),
+        size_t maxLabels = kDefaultMaxLabels);
+
     MetricsSnapshot snapshot() const;
 
   private:
@@ -194,6 +308,10 @@ class MetricsRegistry
     std::map<std::string, std::unique_ptr<Gauge>> gauges;
     std::map<std::string, std::unique_ptr<Histogram>> histograms;
     std::map<std::string, std::function<int64_t()>> gaugeFns;
+    std::map<std::string, std::unique_ptr<LabeledCounter>>
+        labeledCounters;
+    std::map<std::string, std::unique_ptr<LabeledHistogram>>
+        labeledHistograms;
 };
 
 } // namespace obs

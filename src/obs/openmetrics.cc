@@ -1,0 +1,115 @@
+#include "obs/openmetrics.hh"
+
+#include <cctype>
+
+#include "obs/metrics.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace tea {
+namespace obs {
+
+namespace {
+
+/** Escape a label value per the exposition format: \\ " and newline. */
+std::string
+labelEscape(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+        if (c == '\\' || c == '"')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+void
+histogramBody(std::string &out, const std::string &name,
+              const std::string &labels, const HistogramView &h)
+{
+    // Buckets are cumulative in the exposition format (our view is
+    // per-bucket), and the +inf bucket is mandatory.
+    uint64_t cum = 0;
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+        cum += h.counts[b];
+        std::string le =
+            b < h.bounds.size() ? strprintf("%g", h.bounds[b]) : "+Inf";
+        out += strprintf("%s_bucket{%sle=\"%s\"} %llu\n", name.c_str(),
+                         labels.c_str(), le.c_str(),
+                         static_cast<unsigned long long>(cum));
+    }
+    std::string bare =
+        labels.empty()
+            ? std::string()
+            : "{" + labels.substr(0, labels.size() - 1) + "}";
+    out += strprintf("%s_sum%s %.6g\n", name.c_str(), bare.c_str(),
+                     h.sum);
+    out += strprintf("%s_count%s %llu\n", name.c_str(), bare.c_str(),
+                     static_cast<unsigned long long>(cum));
+}
+
+} // namespace
+
+std::string
+openMetricsName(const std::string &name)
+{
+    std::string out = "tea_";
+    for (char c : name)
+        out += std::isalnum(static_cast<unsigned char>(c)) || c == '_'
+                   ? c
+                   : '_';
+    return out;
+}
+
+std::string
+toOpenMetrics(const MetricsSnapshot &snap)
+{
+    std::string out;
+    for (const auto &[name, v] : snap.counters) {
+        std::string n = openMetricsName(name);
+        out += strprintf("# TYPE %s counter\n", n.c_str());
+        out += strprintf("%s_total %llu\n", n.c_str(),
+                         static_cast<unsigned long long>(v));
+    }
+    for (const LabeledCounterView &lc : snap.labeledCounters) {
+        std::string n = openMetricsName(lc.name);
+        out += strprintf("# TYPE %s counter\n", n.c_str());
+        for (const auto &[label, v] : lc.series)
+            out += strprintf(
+                "%s_total{%s=\"%s\"} %llu\n", n.c_str(),
+                lc.labelKey.c_str(), labelEscape(label).c_str(),
+                static_cast<unsigned long long>(v));
+    }
+    for (const auto &[name, v] : snap.gauges) {
+        std::string n = openMetricsName(name);
+        out += strprintf("# TYPE %s gauge\n", n.c_str());
+        out += strprintf("%s %lld\n", n.c_str(),
+                         static_cast<long long>(v));
+    }
+    for (const auto &[name, h] : snap.histograms) {
+        std::string n = openMetricsName(name);
+        out += strprintf("# TYPE %s histogram\n", n.c_str());
+        histogramBody(out, n, "", h);
+    }
+    for (const LabeledHistogramView &lh : snap.labeledHistograms) {
+        std::string n = openMetricsName(lh.name);
+        out += strprintf("# TYPE %s histogram\n", n.c_str());
+        for (const auto &[label, h] : lh.series) {
+            std::string labels =
+                strprintf("%s=\"%s\",", lh.labelKey.c_str(),
+                          labelEscape(label).c_str());
+            histogramBody(out, n, labels, h);
+        }
+    }
+    out += "# EOF\n";
+    return out;
+}
+
+} // namespace obs
+} // namespace tea

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * OpenMetrics text rendering of a MetricsSnapshot.
+ *
+ * The exposition format Prometheus scrapes: `# TYPE` declarations,
+ * counter samples with the `_total` suffix, cumulative histogram
+ * `_bucket{le="..."}` series plus `_sum`/`_count`, one label pair for
+ * the per-automaton families, and a terminating `# EOF`. Metric names
+ * are the registry's dotted names with a `tea_` prefix and dots
+ * flattened to underscores (`svc.transitions` ->
+ * `tea_svc_transitions_total`), so dashboards can tell this exporter's
+ * series from anything else on the host.
+ *
+ * The renderer is a pure function of the snapshot — the HTTP path on
+ * the event loop (net/event_loop.cc) calls it per scrape, and
+ * tools/check_openmetrics.cc is the CI parser that keeps the output
+ * honest against the subset of the spec we emit.
+ */
+
+#ifndef TEA_OBS_OPENMETRICS_HH
+#define TEA_OBS_OPENMETRICS_HH
+
+#include <string>
+
+namespace tea {
+namespace obs {
+
+struct MetricsSnapshot;
+
+/** The snapshot as OpenMetrics text, `# EOF` terminated. */
+std::string toOpenMetrics(const MetricsSnapshot &snap);
+
+/** `tea_` + name with every non-[A-Za-z0-9_] byte flattened to '_'. */
+std::string openMetricsName(const std::string &name);
+
+} // namespace obs
+} // namespace tea
+
+#endif // TEA_OBS_OPENMETRICS_HH

@@ -27,6 +27,7 @@ spanPhaseName(SpanPhase phase)
     case SpanPhase::Reply: return "reply";
     case SpanPhase::Request: return "request";
     case SpanPhase::Dispatch: return "dispatch";
+    case SpanPhase::StoreFaultIn: return "store.fault_in";
     }
     return "?";
 }
@@ -60,14 +61,13 @@ SpanRing::push(const Span &span)
     s.seq.store(2 * ticket + 2, std::memory_order_release);
 }
 
-std::vector<Span>
-SpanRing::recent(size_t max) const
+size_t
+SpanRing::snapshotInto(Span *out, size_t max) const
 {
     uint64_t end = head.load(std::memory_order_acquire);
     uint64_t count = std::min<uint64_t>(end, slots.size());
     count = std::min<uint64_t>(count, max);
-    std::vector<Span> out;
-    out.reserve(count);
+    size_t n = 0;
     // Walk newest -> oldest, then reverse so callers read a timeline.
     for (uint64_t i = 0; i < count; ++i) {
         uint64_t ticket = end - 1 - i;
@@ -84,9 +84,19 @@ SpanRing::recent(size_t max) const
         span.durNs = s.durNs.load(std::memory_order_relaxed);
         if (s.seq.load(std::memory_order_acquire) != a)
             continue;
-        out.push_back(span);
+        out[n++] = span;
     }
-    std::reverse(out.begin(), out.end());
+    std::reverse(out, out + n);
+    return n;
+}
+
+std::vector<Span>
+SpanRing::recent(size_t max) const
+{
+    size_t cap = std::min<size_t>(
+        slots.size(), max == SIZE_MAX ? slots.size() : max);
+    std::vector<Span> out(cap);
+    out.resize(snapshotInto(out.data(), cap));
     return out;
 }
 

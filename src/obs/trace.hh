@@ -51,6 +51,7 @@ enum class SpanPhase : uint8_t {
     Reply,      ///< reply bytes flushed to the socket
     Request,    ///< the whole request, first byte to last reply byte
     Dispatch,   ///< event loop: read-ready to worker pickup latency
+    StoreFaultIn, ///< store: cold .teac image mmap'd into residency
 };
 
 const char *spanPhaseName(SpanPhase phase);
@@ -79,6 +80,15 @@ class SpanRing
      * concurrent writers: slots being overwritten are skipped.
      */
     std::vector<Span> recent(size_t max = SIZE_MAX) const;
+
+    /**
+     * recent() without the allocation: copy at most `max` of the
+     * newest spans into caller-owned storage, oldest first, and
+     * return how many were written. Same best-effort semantics as
+     * recent(). Async-signal-safe — the flight recorder's crash path
+     * calls this from a SIGSEGV handler, where malloc is off-limits.
+     */
+    size_t snapshotInto(Span *out, size_t max) const;
 
     /** Spans ever pushed (≥ what the ring still holds). */
     uint64_t pushed() const

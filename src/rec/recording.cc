@@ -27,6 +27,10 @@ RecordingSession::RecordingSession(std::string name,
         fatal("rec: swap interval must be positive");
     if (metrics != nullptr && metrics->sessions != nullptr)
         metrics->sessions->inc();
+    // Resolve the per-automaton ingest series once; feed() then pays
+    // one relaxed fetch_add, not a label-map lookup per transition.
+    if (metrics != nullptr && metrics->transitionsBy != nullptr)
+        transitionsBy_ = &metrics->transitionsBy->at(name_);
 }
 
 RecordingSession::~RecordingSession()
@@ -46,6 +50,8 @@ RecordingSession::feed(const BlockTransition &tr)
     ++sinceSwap;
     if (metrics != nullptr && metrics->transitions != nullptr)
         metrics->transitions->inc();
+    if (transitionsBy_ != nullptr)
+        transitionsBy_->inc();
     maybeSwap();
 }
 

@@ -49,6 +49,7 @@ namespace tea {
 namespace obs {
 class Counter;
 class Histogram;
+class LabeledCounter;
 } // namespace obs
 
 namespace rec {
@@ -87,6 +88,9 @@ struct RecMetrics
     obs::Counter *swaps = nullptr;         ///< snapshots published
     obs::Counter *aborted = nullptr;       ///< sessions abandoned
     obs::Histogram *swapMs = nullptr;      ///< recompile+publish latency
+    /** Per-automaton ingest family (rec.transitions_by_automaton).
+     *  Each session resolves its own series handle once at open. */
+    obs::LabeledCounter *transitionsBy = nullptr;
 };
 
 class RecordingService;
@@ -172,6 +176,8 @@ class RecordingSession
     AutomatonStore *store = nullptr;
     RecordingConfig cfg;
     const RecMetrics *metrics = nullptr;
+    /** This name's series in rec.transitions_by_automaton (or null). */
+    obs::Counter *transitionsBy_ = nullptr;
     RecordingService *owner = nullptr; ///< set by RecordingService::begin
 
     TeaRecorder recorder;

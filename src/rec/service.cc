@@ -67,6 +67,8 @@ RecordingService::bindMetrics(obs::MetricsRegistry &metrics)
     instruments.swaps = &metrics.counter("rec.swaps");
     instruments.aborted = &metrics.counter("rec.aborted");
     instruments.swapMs = &metrics.histogram("rec.swap_ms");
+    instruments.transitionsBy =
+        &metrics.labeledCounter("rec.transitions_by_automaton");
     metrics.gaugeFn("rec.active", [this] {
         return static_cast<int64_t>(activeSessions());
     });

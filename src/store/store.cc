@@ -6,6 +6,7 @@
 #include <system_error>
 
 #include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "tea/teac.hh"
 #include "util/logging.hh"
 #include "util/mmap.hh"
@@ -66,6 +67,8 @@ AutomatonStore::get(const std::string &name)
         }
         if (hits)
             hits->inc();
+        if (hitsBy)
+            hitsBy->at(name).inc();
         return snap;
     }
 
@@ -78,11 +81,21 @@ AutomatonStore::get(const std::string &name)
     // Fault-in, outside the store lock: mmap + validate, no recompile.
     // A concurrent GET of the same name may race us here; both loads
     // are valid and the last registry insert wins.
+    uint64_t t0 = trace != nullptr ? obs::monotonicNanos() : 0;
     auto compiled =
         CompiledTea::fromMapped(MappedFile::openShared(path),
                                 cfg.verifyPayload);
+    if (trace != nullptr) {
+        obs::Span s;
+        s.phase = obs::SpanPhase::StoreFaultIn;
+        s.startNs = t0;
+        s.durNs = obs::monotonicNanos() - t0;
+        trace->push(s);
+    }
     if (mmapLoads)
         mmapLoads->inc();
+    if (faultsBy)
+        faultsBy->at(name).inc();
     AutomatonSnapshot out = registry.putCompiled(name, compiled);
     {
         std::lock_guard<std::mutex> lock(mu);
@@ -205,6 +218,8 @@ AutomatonStore::bindMetrics(obs::MetricsRegistry &metrics)
     misses = &metrics.counter("store.misses");
     mmapLoads = &metrics.counter("store.mmap_loads");
     evictions = &metrics.counter("store.evictions");
+    hitsBy = &metrics.labeledCounter("store.hits_by_automaton");
+    faultsBy = &metrics.labeledCounter("store.faults_by_automaton");
     metrics.gaugeFn("store.resident", [this] {
         return static_cast<int64_t>(residentCount());
     });

@@ -50,6 +50,8 @@ namespace tea {
 namespace obs {
 class MetricsRegistry;
 class Counter;
+class LabeledCounter;
+class SpanRing;
 } // namespace obs
 
 /** Store placement and budget knobs. */
@@ -171,9 +173,17 @@ class AutomatonStore
     /**
      * Register the `store.*` instruments in `metrics` and start
      * counting against them (hits, misses, mmap_loads, evictions, plus
-     * resident/resident_bytes callback gauges).
+     * resident/resident_bytes callback gauges, plus the per-automaton
+     * store.{hits,faults}_by_automaton labeled families).
      */
     void bindMetrics(obs::MetricsRegistry &metrics);
+
+    /**
+     * Trace cold fault-ins into `ring` as `store.fault_in` spans (the
+     * mmap + validate window of a cold GET). Borrowed; null (the
+     * default) skips the clock reads entirely.
+     */
+    void bindTrace(obs::SpanRing *ring) { trace = ring; }
 
     const StoreConfig &config() const { return cfg; }
 
@@ -209,6 +219,9 @@ class AutomatonStore
     obs::Counter *misses = nullptr;
     obs::Counter *mmapLoads = nullptr;
     obs::Counter *evictions = nullptr;
+    obs::LabeledCounter *hitsBy = nullptr;   ///< store.hits_by_automaton
+    obs::LabeledCounter *faultsBy = nullptr; ///< store.faults_by_automaton
+    obs::SpanRing *trace = nullptr; ///< store.fault_in span sink
 };
 
 } // namespace tea

@@ -7,6 +7,7 @@
 #include "util/crc32.hh"
 #include "util/logging.hh"
 #include "util/mmap.hh"
+#include "util/varint.hh"
 
 namespace tea {
 
@@ -31,30 +32,8 @@ put64(std::vector<uint8_t> &out, uint64_t v)
     put32(out, static_cast<uint32_t>(v >> 32));
 }
 
-/** LEB128 (7 bits per byte, high bit = continue). */
-void
-putVar(std::vector<uint8_t> &out, uint64_t v)
-{
-    while (v >= 0x80) {
-        out.push_back(static_cast<uint8_t>(v) | 0x80);
-        v >>= 7;
-    }
-    out.push_back(static_cast<uint8_t>(v));
-}
-
-/** Zigzag: small magnitudes of either sign become small varints. */
-uint64_t
-zigzag(int64_t v)
-{
-    return (static_cast<uint64_t>(v) << 1) ^
-           static_cast<uint64_t>(v >> 63);
-}
-
-int64_t
-unzigzag(uint64_t u)
-{
-    return static_cast<int64_t>(u >> 1) ^ -static_cast<int64_t>(u & 1);
-}
+// putVar/zigzag/unzigzag live in util/varint.hh now, shared with the
+// metrics history ring's delta codec (obs/history.cc).
 
 uint8_t
 rd8(const uint8_t *data, size_t len, size_t &cursor)

@@ -1,6 +1,7 @@
 #include "util/logging.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 
@@ -9,6 +10,7 @@ namespace tea {
 namespace {
 
 LogLevel g_level = LogLevel::Warn;
+std::atomic<LogSinkFn> g_sink{nullptr};
 
 std::string
 vstrprintf(const char *fmt, va_list ap)
@@ -28,12 +30,20 @@ void
 emit(const char *tag, const std::string &msg)
 {
     std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    if (LogSinkFn sink = g_sink.load(std::memory_order_acquire))
+        sink(tag, msg.c_str());
 }
 
 } // namespace
 
 void setLogLevel(LogLevel level) { g_level = level; }
 LogLevel logLevel() { return g_level; }
+
+void
+setLogSink(LogSinkFn sink)
+{
+    g_sink.store(sink, std::memory_order_release);
+}
 
 std::string
 strprintf(const char *fmt, ...)
@@ -85,6 +95,8 @@ fatal(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrprintf(fmt, ap);
     va_end(ap);
+    if (LogSinkFn sink = g_sink.load(std::memory_order_acquire))
+        sink("fatal", msg.c_str());
     throw FatalError(msg);
 }
 
@@ -148,6 +160,8 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrprintf(fmt, ap);
     va_end(ap);
+    if (LogSinkFn sink = g_sink.load(std::memory_order_acquire))
+        sink("panic", msg.c_str());
     throw PanicError(msg);
 }
 

@@ -42,6 +42,19 @@ void setLogLevel(LogLevel level);
 /** Current global verbosity threshold. */
 LogLevel logLevel();
 
+/**
+ * A tee for every emitted log line (and for the messages fatal() and
+ * panic() are about to throw). The flight recorder (obs/flightrec.hh)
+ * installs one to keep the last K lines in its preallocated black
+ * box. A plain function pointer, deliberately: installation is a
+ * relaxed atomic store, the call adds no allocation or lock to the
+ * logging path, and there is exactly one consumer by design. Pass
+ * nullptr to detach. The sink sees exactly what stderr sees (the
+ * verbosity threshold applies first), plus every fatal/panic message.
+ */
+using LogSinkFn = void (*)(const char *tag, const char *msg);
+void setLogSink(LogSinkFn sink);
+
 /** printf-style formatting into a std::string. */
 std::string strprintf(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * LEB128 varints and zigzag mapping, shared across layers.
+ *
+ * The v2 trace-log codec (svc/tracelog.cc) and the metrics history
+ * ring (obs/history.cc) both delta-compress integer streams the same
+ * way: zigzag the signed delta so small magnitudes of either sign
+ * become small unsigned values, then LEB128 them (7 bits per byte,
+ * high bit = continue). tea_obs cannot link tea_svc, so the helpers
+ * live here in tea_util — header-only, and small enough to inline
+ * into the hot decode loops that care.
+ *
+ * getVar() is the bounds-checked reader shape: it returns false on a
+ * truncated or overlong (> 10 byte) varint instead of throwing, so
+ * both strict decoders (which turn false into fatal()) and salvage
+ * decoders (which stop at the tear) can share it.
+ */
+
+#ifndef TEA_UTIL_VARINT_HH
+#define TEA_UTIL_VARINT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tea {
+
+/** LEB128-append v (7 bits per byte, high bit = continue). */
+inline void
+putVar(std::vector<uint8_t> &out, uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+/**
+ * Decode one LEB128 varint from [*cursor, len). Advances *cursor past
+ * the varint and returns true; returns false (cursor untouched past
+ * the bytes it consumed) on truncation or a varint longer than 10
+ * bytes.
+ */
+inline bool
+getVar(const uint8_t *data, size_t len, size_t &cursor, uint64_t &v)
+{
+    v = 0;
+    for (int shift = 0; shift <= 63; shift += 7) {
+        if (cursor >= len)
+            return false;
+        uint8_t byte = data[cursor++];
+        v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return true;
+    }
+    return false;
+}
+
+/** Zigzag: small magnitudes of either sign become small varints. */
+inline uint64_t
+zigzag(int64_t v)
+{
+    return (static_cast<uint64_t>(v) << 1) ^
+           static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t
+unzigzag(uint64_t u)
+{
+    return static_cast<int64_t>(u >> 1) ^ -static_cast<int64_t>(u & 1);
+}
+
+} // namespace tea
+
+#endif // TEA_UTIL_VARINT_HH

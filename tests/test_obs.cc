@@ -366,8 +366,8 @@ TEST(Stats, EmptyPayloadMeansJsonAndExtraBytesAreIgnored)
     EXPECT_EQ(std::string(f.payload.begin(), f.payload.end()), "{}");
 
     // Extra payload bytes after the format selector are ignored.
-    session.setStatsFn([](bool text) {
-        return std::string(text ? "TEXT" : "JSON");
+    session.setStatsFn([](uint8_t format) {
+        return std::string(format == 1 ? "TEXT" : "JSON");
     });
     PayloadWriter w;
     w.u8(0);

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * check_openmetrics: a deliberately small OpenMetrics lint for CI.
+ *
+ *   check_openmetrics [--require-label KEY] [file]
+ *
+ * Reads an exposition (file argument or stdin) and enforces the subset
+ * of the spec our /metrics endpoint promises: every sample belongs to
+ * a family announced by a preceding `# TYPE`, counter samples end in
+ * `_total`, histogram samples end in `_bucket`/`_sum`/`_count`, every
+ * value parses as a number, and the document ends with `# EOF`.
+ * --require-label fails the run unless at least one sample carries
+ * that label key (CI uses it to prove per-automaton series exist).
+ * Exit 0 on a clean document, 1 with a line-numbered diagnostic.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+static int
+fail(size_t line, const std::string &msg)
+{
+    std::fprintf(stderr, "check_openmetrics: line %zu: %s\n", line,
+                 msg.c_str());
+    return 1;
+}
+
+int
+main(int argc, char **argv)
+{
+    std::string requireLabel, path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--require-label") == 0 && i + 1 < argc)
+            requireLabel = argv[++i];
+        else
+            path = argv[i];
+    }
+    std::ifstream file;
+    if (!path.empty()) {
+        file.open(path);
+        if (!file) {
+            std::fprintf(stderr, "check_openmetrics: cannot open %s\n",
+                         path.c_str());
+            return 1;
+        }
+    }
+    std::istream &in = path.empty() ? std::cin : file;
+
+    std::map<std::string, std::string> types; // family -> type
+    bool sawEof = false, sawLabel = requireLabel.empty();
+    size_t lineNo = 0, samples = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (sawEof)
+            return fail(lineNo, "content after # EOF");
+        if (line.empty())
+            return fail(lineNo, "blank line");
+        if (line[0] == '#') {
+            if (line == "# EOF") {
+                sawEof = true;
+            } else if (line.rfind("# TYPE ", 0) == 0) {
+                std::istringstream ss(line.substr(7));
+                std::string fam, type;
+                if (!(ss >> fam >> type) ||
+                    (type != "counter" && type != "gauge" &&
+                     type != "histogram" && type != "summary" &&
+                     type != "unknown" && type != "info"))
+                    return fail(lineNo, "malformed TYPE line");
+                if (!types.emplace(fam, type).second)
+                    return fail(lineNo, "duplicate TYPE for " + fam);
+            } // other comments (# HELP, # UNIT) pass through
+            continue;
+        }
+        // Sample: name[{labels}] value [timestamp]
+        size_t brace = line.find('{'), sp = line.find(' ');
+        size_t nameEnd = std::min(brace, sp);
+        if (nameEnd == std::string::npos || nameEnd == 0)
+            return fail(lineNo, "malformed sample");
+        std::string name = line.substr(0, nameEnd);
+        size_t valAt = brace == std::string::npos
+                           ? sp
+                           : line.find(' ', line.find('}', brace));
+        if (valAt == std::string::npos)
+            return fail(lineNo, "sample has no value");
+        char *end = nullptr;
+        std::string val = line.substr(valAt + 1);
+        std::strtod(val.c_str(), &end);
+        if (end == val.c_str())
+            return fail(lineNo, "unparseable value '" + val + "'");
+        // Strip the per-type suffix to recover the family name.
+        std::string fam = name;
+        for (const char *sfx : {"_total", "_bucket", "_sum", "_count",
+                                "_created"}) {
+            size_t n = std::strlen(sfx);
+            if (name.size() > n &&
+                name.compare(name.size() - n, n, sfx) == 0 &&
+                types.count(name.substr(0, name.size() - n))) {
+                fam = name.substr(0, name.size() - n);
+                break;
+            }
+        }
+        auto it = types.find(fam);
+        if (it == types.end())
+            return fail(lineNo, "sample '" + name + "' has no TYPE");
+        if (it->second == "counter" && fam == name)
+            return fail(lineNo, "counter sample '" + name +
+                                    "' must end in _total");
+        if (!requireLabel.empty() && brace != std::string::npos &&
+            line.find(requireLabel + "=", brace) <
+                line.find('}', brace))
+            sawLabel = true;
+        ++samples;
+    }
+    if (!sawEof)
+        return fail(lineNo, "document does not end with # EOF");
+    if (!sawLabel)
+        return fail(lineNo, "no sample carries label '" + requireLabel +
+                                "'");
+    std::printf("check_openmetrics: %zu samples in %zu families ok\n",
+                samples, types.size());
+    return 0;
+}

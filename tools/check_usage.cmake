@@ -44,6 +44,11 @@ set(cases
     "serve|--listen|tcp:127.0.0.1:0|--trace-ring|0" # ring needs slots
     "stats"                   # missing --connect
     "stats|--connect|tcp:localhost:9|--watch|0" # bad poll interval
+    "serve|--listen|tcp:127.0.0.1:0|--stats-span-limit|0" # need >= 1
+    "serve|--listen|tcp:127.0.0.1:0|--history-interval-ms|-1" # negative
+    "serve|--listen|tcp:127.0.0.1:0|--history-frames|1" # ring needs 2
+    "serve|--listen|tcp:127.0.0.1:0|--flight-dump" # flag without a value
+    "flight-dump"             # missing --connect
     "remote-replay"           # missing --connect <name> <log>...
     "remote-replay|--connect|tcp:localhost:9" # missing name and logs
     "remote-replay|--connect|tcp:localhost:9|gzip" # missing logs

@@ -62,7 +62,17 @@
  *   stats --connect EP                 fetch a server's observability
  *                                      snapshot (metrics + recent
  *                                      spans; --json for the raw
- *                                      document, --watch N to poll)
+ *                                      document, --watch N to poll,
+ *                                      --history for the time-series
+ *                                      ring as JSON)
+ *   flight-dump --connect EP           fetch the server's flight-
+ *                                      recorder box as JSON (--out F
+ *                                      writes a file)
+ *
+ * serve also exposes HTTP on the same listener (GET /metrics,
+ * /healthz, /history.json, /flight.json) and arms an always-on
+ * flight recorder (--flight-dump PATH, --no-flight) that writes a
+ * post-mortem JSON dump on fatal signals and FatalError exits.
  *
  * <prog> is either a TinyX86 assembly file path or a workload name
  * ("syn.gzip"); workload names accept --size test|train|ref.
@@ -82,6 +92,7 @@
 
 #include "dbt/runtime.hh"
 #include "net/client.hh"
+#include "obs/flightrec.hh"
 #include "net/server.hh"
 #include "store/store.hh"
 #include "isa/assembler.hh"
@@ -126,6 +137,7 @@ struct Options
     std::string putFile;  ///< remote-replay: upload this TEA first
     std::string outDir;   ///< compile: .teac output directory
     std::string storeDir; ///< serve: disk-backed automaton store
+    std::string flightDump; ///< serve: flight-recorder dump path
     std::vector<std::string> extraArgs; ///< positionals after the first
     int jobs = 1;
     int maxQueue = 64;
@@ -138,6 +150,9 @@ struct Options
     int traceRing = 1024;      ///< serve: span ring capacity
     int watch = 0;             ///< stats: poll every N seconds (0 = once)
     int swapInterval = 0;      ///< record: hot-swap cadence (0 = server)
+    int statsSpanLimit = 0;    ///< serve: spans per STATS reply (0 = default)
+    int historyIntervalMs = -1; ///< serve: sampler cadence (-1 = default)
+    int historyFrames = 0;     ///< serve: history ring depth (0 = default)
     long long maxResidentBytes = 0; ///< serve: store byte budget (0 = off)
     long long maxResident = 0;      ///< serve: store count budget (0 = off)
     long long maxWriteQueue = 0;    ///< serve: per-conn reply cap (0 = default)
@@ -145,6 +160,8 @@ struct Options
     long long lowWatermark = 0;     ///< serve: resume reads below (0 = default)
     int drainDeadlineMs = -1;       ///< serve: stop() patience (-1 = default)
     bool blocking = false;          ///< serve: thread-per-connection core
+    bool noFlight = false;     ///< serve: skip arming the flight recorder
+    bool history = false;      ///< stats: fetch the time-series history
     bool salvage = false;      ///< batch-replay: recover torn logs
     bool logV1 = false;        ///< record-log: legacy v1 container
     bool elide = false;        ///< record-log: automaton-predicted elision
@@ -194,13 +211,16 @@ usage()
         "         [--swap-interval N] [--blocking]\n"
         "         [--max-write-queue-bytes N] [--write-high-watermark N]\n"
         "         [--write-low-watermark N] [--drain-deadline-ms N]\n"
+        "         [--stats-span-limit N] [--history-interval-ms N]\n"
+        "         [--history-frames N] [--flight-dump PATH] [--no-flight]\n"
         "         [name=tea]...\n"
         "  remote-replay --connect EP [--put tea-file] [--json]\n"
         "         [--retries N] [--backoff-ms N]\n"
         "         [--no-global] [--no-local] [--reference]\n"
         "         <name> <log>...\n"
         "  ping --connect EP [--json]\n"
-        "  stats --connect EP [--json] [--watch N]\n"
+        "  stats --connect EP [--json] [--watch N] [--history]\n"
+        "  flight-dump --connect EP [--out FILE]\n"
         "<prog> is an assembly file or a workload name like syn.gzip\n"
         "EP is tcp:<host>:<port> or unix:<path>\n",
         stderr);
@@ -311,7 +331,26 @@ parseArgs(int argc, char **argv)
             opt.drainDeadlineMs = std::atoi(value().c_str());
             if (opt.drainDeadlineMs < 0)
                 usage();
-        } else if (arg == "--blocking")
+        } else if (arg == "--stats-span-limit") {
+            opt.statsSpanLimit = std::atoi(value().c_str());
+            if (opt.statsSpanLimit < 1)
+                usage();
+        } else if (arg == "--history-interval-ms") {
+            // 0 is meaningful: it disables the sampler entirely.
+            opt.historyIntervalMs = std::atoi(value().c_str());
+            if (opt.historyIntervalMs < 0)
+                usage();
+        } else if (arg == "--history-frames") {
+            opt.historyFrames = std::atoi(value().c_str());
+            if (opt.historyFrames < 2)
+                usage();
+        } else if (arg == "--flight-dump")
+            opt.flightDump = value();
+        else if (arg == "--no-flight")
+            opt.noFlight = true;
+        else if (arg == "--history")
+            opt.history = true;
+        else if (arg == "--blocking")
             opt.blocking = true;
         else if (arg == "--event-loop")
             opt.blocking = false; // the default; kept as the explicit spelling
@@ -1166,7 +1205,33 @@ cmdServe(const Options &opt)
     cfg.storeMaxResident = static_cast<size_t>(opt.maxResident);
     if (opt.swapInterval > 0)
         cfg.recordSwapInterval = static_cast<uint32_t>(opt.swapInterval);
+    if (opt.statsSpanLimit > 0)
+        cfg.statsSpanLimit = static_cast<size_t>(opt.statsSpanLimit);
+    if (opt.historyIntervalMs >= 0)
+        cfg.historyIntervalMs = static_cast<uint32_t>(opt.historyIntervalMs);
+    if (opt.historyFrames > 0)
+        cfg.historyFrames = static_cast<size_t>(opt.historyFrames);
     TeaServer server(cfg);
+    if (!opt.noFlight) {
+        // Always-on black box: arm before start() so a crash anywhere
+        // in the server's lifetime leaves a dump behind. The default
+        // path lands in the working directory next to the operator.
+        obs::FlightRecorder &fr = obs::FlightRecorder::instance();
+        fr.setFingerprint(strprintf(
+            "teadbt serve %s core=%s workers=%zu max-queue=%d "
+            "store=%s trace-ring=%d history-interval-ms=%u "
+            "history-frames=%zu stats-span-limit=%zu",
+            opt.endpoint.c_str(),
+            opt.blocking ? "blocking" : "event-loop",
+            static_cast<size_t>(opt.jobs), opt.maxQueue,
+            opt.storeDir.empty() ? "-" : opt.storeDir.c_str(),
+            opt.traceRing, cfg.historyIntervalMs, cfg.historyFrames,
+            cfg.statsSpanLimit));
+        fr.attachSpans(&server.spans());
+        fr.arm(opt.flightDump.empty() ? "tead-flight.json"
+                                      : opt.flightDump);
+        std::printf("flight recorder armed: %s\n", fr.path().c_str());
+    }
     if (server.store() != nullptr)
         std::printf("store: %s (%zu .teac images on disk)\n",
                     opt.storeDir.c_str(), server.store()->list().size());
@@ -1226,14 +1291,44 @@ cmdStats(const Options &opt)
         // server restarts, and a one-shot fetch stays a clean
         // connect/exchange/close.
         TeaClient client = TeaClient::connect(opt.endpoint);
-        std::string report = client.stats(/*text=*/!opt.json);
+        // --history asks for format byte 2: the delta-compressed
+        // time-series ring rendered as JSON (always JSON; --json is
+        // implied).
+        std::string report = opt.history
+                                 ? client.statsFormat(2)
+                                 : client.stats(/*text=*/!opt.json);
         client.close();
         std::fputs(report.c_str(), stdout);
-        if (opt.json)
+        if (opt.json || opt.history)
             std::printf("\n");
         if (opt.watch <= 0)
             break;
     }
+    return 0;
+}
+
+int
+cmdFlightDump(const Options &opt)
+{
+    if (opt.endpoint.empty())
+        usage();
+    TeaClient client = TeaClient::connect(opt.endpoint);
+    // STATS format byte 3: the server renders its flight recorder —
+    // same document a crash would have written, minus the crash.
+    std::string doc = client.statsFormat(3);
+    client.close();
+    if (opt.outDir.empty()) {
+        std::fputs(doc.c_str(), stdout);
+        std::printf("\n");
+        return 0;
+    }
+    std::ofstream out(opt.outDir, std::ios::binary | std::ios::trunc);
+    if (!out)
+        fatal("flight-dump: cannot write %s", opt.outDir.c_str());
+    out << doc << '\n';
+    out.close();
+    std::printf("wrote flight dump to %s (%zu bytes)\n",
+                opt.outDir.c_str(), doc.size());
     return 0;
 }
 
@@ -1411,8 +1506,14 @@ main(int argc, char **argv)
             return cmdPing(opt);
         if (opt.command == "stats")
             return cmdStats(opt);
+        if (opt.command == "flight-dump")
+            return cmdFlightDump(opt);
         usage();
     } catch (const FatalError &e) {
+        // An armed recorder (serve) leaves its black box behind even
+        // when the exit is a clean throw rather than a signal.
+        if (obs::FlightRecorder::instance().armed())
+            obs::FlightRecorder::instance().dumpNow("fatal-error");
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     } catch (const PanicError &e) {
